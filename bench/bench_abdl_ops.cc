@@ -1,0 +1,154 @@
+// E5 — ABDL kernel operation throughput (Ch. II.C): INSERT / RETRIEVE /
+// UPDATE / DELETE over growing file sizes, with indexed and scanned
+// access paths. Establishes the kernel-side costs every translated DML
+// statement ultimately pays.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "abdl/parser.h"
+#include "kds/engine.h"
+
+namespace {
+
+using namespace mlds;
+
+abdm::FileDescriptor ItemFile() {
+  abdm::FileDescriptor f;
+  f.name = "item";
+  f.attributes = {
+      {"FILE", abdm::ValueKind::kString, 0, true},
+      {"key", abdm::ValueKind::kInteger, 0, true},
+      {"grp", abdm::ValueKind::kInteger, 0, true},
+      {"payload", abdm::ValueKind::kString, 0, false},
+  };
+  return f;
+}
+
+std::unique_ptr<kds::Engine> MakeLoadedEngine(int records) {
+  auto engine = std::make_unique<kds::Engine>();
+  engine->DefineFile(ItemFile());
+  for (int i = 0; i < records; ++i) {
+    auto req = abdl::ParseRequest(
+        "INSERT (<FILE, item>, <key, " + std::to_string(i) + ">, <grp, " +
+        std::to_string(i % 100) + ">, <payload, 'x'>)");
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+  return engine;
+}
+
+void BM_Abdl_Insert(benchmark::State& state) {
+  auto engine = std::make_unique<kds::Engine>();
+  engine->DefineFile(ItemFile());
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto req = abdl::ParseRequest("INSERT (<FILE, item>, <key, " +
+                                  std::to_string(i++) + ">, <payload, 'x'>)");
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Abdl_Insert);
+
+void BM_Abdl_RetrievePoint(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = item) and (key = 37)) (all attributes)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Abdl_RetrievePoint)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Abdl_RetrieveRangeIndexed(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  auto req =
+      abdl::ParseRequest("RETRIEVE ((FILE = item) and (key < 100)) (key)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+}
+BENCHMARK(BM_Abdl_RetrieveRangeIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Abdl_RetrieveScan(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  // 'payload' is not a directory attribute: full scan.
+  auto req = abdl::ParseRequest("RETRIEVE ((payload = 'x')) (key)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+}
+BENCHMARK(BM_Abdl_RetrieveScan)->Arg(1000)->Arg(10000);
+
+void BM_Abdl_RetrieveAggregateBy(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = item)) (AVG(key), COUNT(key)) BY grp");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+}
+BENCHMARK(BM_Abdl_RetrieveAggregateBy)->Arg(1000)->Arg(10000);
+
+void BM_Abdl_UpdatePoint(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  auto req = abdl::ParseRequest(
+      "UPDATE ((FILE = item) and (key = 37)) (payload = 'y')");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Abdl_UpdatePoint)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Abdl_DeleteInsertCycle(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  auto del = abdl::ParseRequest("DELETE ((FILE = item) and (key = 37))");
+  auto ins = abdl::ParseRequest(
+      "INSERT (<FILE, item>, <key, 37>, <grp, 37>, <payload, 'x'>)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*del));
+    benchmark::DoNotOptimize(engine->Execute(*ins));
+  }
+}
+BENCHMARK(BM_Abdl_DeleteInsertCycle)->Arg(1000)->Arg(10000);
+
+void BM_Abdl_RetrieveCommonJoin(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(static_cast<int>(state.range(0)));
+  abdm::FileDescriptor other;
+  other.name = "other";
+  other.attributes = {{"FILE", abdm::ValueKind::kString, 0, true},
+                      {"grp", abdm::ValueKind::kInteger, 0, true},
+                      {"label", abdm::ValueKind::kString, 0, true}};
+  engine->DefineFile(other);
+  for (int g = 0; g < 100; ++g) {
+    auto req = abdl::ParseRequest("INSERT (<FILE, other>, <grp, " +
+                                  std::to_string(g) + ">, <label, 'g'>)");
+    engine->Execute(*req);
+  }
+  auto join = abdl::ParseRequest(
+      "RETRIEVE-COMMON ((FILE = item) and (key < 200)) (grp) AND "
+      "((FILE = other)) (grp) (key, label)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(*join));
+  }
+}
+BENCHMARK(BM_Abdl_RetrieveCommonJoin)->Arg(1000)->Arg(10000);
+
+void BM_Abdl_ParseRequest(benchmark::State& state) {
+  for (auto _ : state) {
+    auto req = abdl::ParseRequest(
+        "RETRIEVE ((FILE = course) and ((title = 'DB') or (credits >= 3))) "
+        "(title, credits) BY dept");
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Abdl_ParseRequest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

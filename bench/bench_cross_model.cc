@@ -1,0 +1,138 @@
+// E6 — cross-model overhead: the same CODASYL-DML session executed (a)
+// against the AB(functional) University database through the thesis's
+// functional-aware translation, and (b) against an equivalent native
+// AB(network) database through the plain network translation. The thesis
+// argues the cross-model interface is practical because most statements
+// translate identically; the owner-side Daplex-function paths are where
+// extra ABDL requests appear.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "kds/engine.h"
+#include "kms/dml_machine.h"
+#include "transform/abdm_mapping.h"
+#include "university/university.h"
+
+namespace {
+
+using namespace mlds;
+
+/// One environment per target mode. The native-network environment reuses
+/// the transformed University schema but treats it as a native network
+/// database (mapping == nullptr), loaded with the same records.
+struct Env {
+  kds::Engine engine;
+  std::unique_ptr<kc::EngineExecutor> executor;
+  std::unique_ptr<university::UniversityDatabase> db;
+  std::unique_ptr<kms::DmlMachine> machine;
+
+  explicit Env(bool functional_target) {
+    executor = std::make_unique<kc::EngineExecutor>(&engine);
+    university::UniversityConfig config;
+    auto built = university::BuildUniversityDatabase(config, executor.get());
+    db = std::make_unique<university::UniversityDatabase>(std::move(*built));
+    machine = std::make_unique<kms::DmlMachine>(
+        &db->mapping.schema, functional_target ? &db->mapping : nullptr,
+        executor.get());
+  }
+};
+
+Env& FunctionalEnv() {
+  static Env& env = *new Env(true);
+  return env;
+}
+Env& NetworkEnv() {
+  static Env& env = *new Env(false);
+  return env;
+}
+
+void RunOn(benchmark::State& state, Env& env, const char* program) {
+  size_t abdl = 0;
+  for (auto _ : state) {
+    env.machine->ClearTrace();
+    auto results = env.machine->RunProgram(program);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+      return;
+    }
+    abdl = 0;
+    for (const auto& entry : env.machine->trace()) {
+      abdl += entry.abdl.size();
+    }
+  }
+  state.counters["abdl_requests"] = static_cast<double>(abdl);
+}
+
+constexpr char kFindProgram[] =
+    "MOVE 'Computer Science' TO major IN student\n"
+    "FIND ANY student USING major IN student\n"
+    "GET student, major IN student\n";
+
+void BM_CrossModel_Find_Functional(benchmark::State& state) {
+  RunOn(state, FunctionalEnv(), kFindProgram);
+}
+BENCHMARK(BM_CrossModel_Find_Functional);
+
+void BM_CrossModel_Find_NativeNetwork(benchmark::State& state) {
+  RunOn(state, NetworkEnv(), kFindProgram);
+}
+BENCHMARK(BM_CrossModel_Find_NativeNetwork);
+
+constexpr char kNavigateProgram[] =
+    "MOVE 'faculty_1' TO faculty IN faculty\n"
+    "FIND ANY faculty USING faculty IN faculty\n"
+    "FIND FIRST link_1 WITHIN teaching\n"
+    "FIND OWNER WITHIN teaching\n";
+
+void BM_CrossModel_Navigate_Functional(benchmark::State& state) {
+  RunOn(state, FunctionalEnv(), kNavigateProgram);
+}
+BENCHMARK(BM_CrossModel_Navigate_Functional);
+
+void BM_CrossModel_Navigate_NativeNetwork(benchmark::State& state) {
+  RunOn(state, NetworkEnv(), kNavigateProgram);
+}
+BENCHMARK(BM_CrossModel_Navigate_NativeNetwork);
+
+constexpr char kStoreEraseProgram[] =
+    "MOVE 'Bench Course' TO title IN course\n"
+    "MOVE 'BenchSem' TO semester IN course\n"
+    "MOVE 2 TO credits IN course\n"
+    "STORE course\n"
+    "ERASE course\n";
+
+void BM_CrossModel_StoreErase_Functional(benchmark::State& state) {
+  RunOn(state, FunctionalEnv(), kStoreEraseProgram);
+}
+BENCHMARK(BM_CrossModel_StoreErase_Functional);
+
+void BM_CrossModel_StoreErase_NativeNetwork(benchmark::State& state) {
+  RunOn(state, NetworkEnv(), kStoreEraseProgram);
+}
+BENCHMARK(BM_CrossModel_StoreErase_NativeNetwork);
+
+// Subtype STORE: the functional target pays the overlap-table check (one
+// sibling probe per sibling subtype in the ISA hierarchy — here the
+// faculty sibling of support_staff); the native target skips it.
+constexpr char kSubtypeStoreProgram[] =
+    "MOVE 'employee_16' TO employee IN employee\n"
+    "FIND ANY employee USING employee IN employee\n"
+    "MOVE 15 TO hours IN support_staff\n"
+    "STORE support_staff\n"
+    "ERASE support_staff\n";
+
+void BM_CrossModel_SubtypeStore_Functional(benchmark::State& state) {
+  RunOn(state, FunctionalEnv(), kSubtypeStoreProgram);
+}
+BENCHMARK(BM_CrossModel_SubtypeStore_Functional);
+
+void BM_CrossModel_SubtypeStore_NativeNetwork(benchmark::State& state) {
+  RunOn(state, NetworkEnv(), kSubtypeStoreProgram);
+}
+BENCHMARK(BM_CrossModel_SubtypeStore_NativeNetwork);
+
+}  // namespace
+
+BENCHMARK_MAIN();

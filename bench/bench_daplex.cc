@@ -1,0 +1,125 @@
+// E7 — the Daplex (functional) language interface: FOR EACH translation
+// cost by query shape, with the ABDL request counts showing what each
+// feature (inheritance joins, many-to-many traversal, aggregation) adds.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "kds/engine.h"
+#include "kms/daplex_machine.h"
+#include "university/university.h"
+
+namespace {
+
+using namespace mlds;
+
+struct Env {
+  kds::Engine engine;
+  std::unique_ptr<kc::EngineExecutor> executor;
+  std::unique_ptr<university::UniversityDatabase> db;
+  std::unique_ptr<kms::DaplexMachine> machine;
+
+  Env() {
+    executor = std::make_unique<kc::EngineExecutor>(&engine);
+    university::UniversityConfig config;
+    config.persons = 400;
+    config.students = 300;
+    config.employees = 100;
+    config.faculty = 40;
+    auto built = university::BuildUniversityDatabase(config, executor.get());
+    db = std::make_unique<university::UniversityDatabase>(std::move(*built));
+    machine = std::make_unique<kms::DaplexMachine>(
+        &db->functional, &db->mapping.schema, &db->mapping, executor.get());
+  }
+};
+
+Env& SharedEnv() {
+  static Env& env = *new Env();
+  return env;
+}
+
+void RunQuery(benchmark::State& state, const char* query) {
+  Env& env = SharedEnv();
+  size_t abdl = 0;
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = env.machine->ExecuteText(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    abdl = env.machine->trace().size();
+    rows = result->size();
+  }
+  state.counters["abdl_requests"] = static_cast<double>(abdl);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Daplex_ScalarFilter(benchmark::State& state) {
+  RunQuery(state,
+           "FOR EACH student SUCH THAT major = 'Computer Science' "
+           "PRINT major");
+}
+BENCHMARK(BM_Daplex_ScalarFilter);
+
+void BM_Daplex_PointLookup(benchmark::State& state) {
+  RunQuery(state,
+           "FOR EACH student SUCH THAT student = 'student_7' PRINT major");
+}
+BENCHMARK(BM_Daplex_PointLookup);
+
+void BM_Daplex_InheritedPrint(benchmark::State& state) {
+  // Adds one ancestor-fetch ABDL request over the scalar filter.
+  RunQuery(state,
+           "FOR EACH student SUCH THAT major = 'Computer Science' "
+           "PRINT pname, major");
+}
+BENCHMARK(BM_Daplex_InheritedPrint);
+
+void BM_Daplex_InheritedCondition(benchmark::State& state) {
+  // The inherited condition cannot push down: base fetch is the whole
+  // subtype file plus the ancestor join.
+  RunQuery(state, "FOR EACH student SUCH THAT age >= 40 PRINT pname");
+}
+BENCHMARK(BM_Daplex_InheritedCondition);
+
+void BM_Daplex_ManyToMany(benchmark::State& state) {
+  RunQuery(state,
+           "FOR EACH faculty SUCH THAT faculty = 'faculty_3' PRINT teaching");
+}
+BENCHMARK(BM_Daplex_ManyToMany);
+
+void BM_Daplex_Aggregate(benchmark::State& state) {
+  RunQuery(state, "FOR EACH course PRINT COUNT(course), AVG(credits)");
+}
+BENCHMARK(BM_Daplex_Aggregate);
+
+void BM_Daplex_AggregateInherited(benchmark::State& state) {
+  // AVG over an inherited function: selection + ancestor join + fold.
+  RunQuery(state, "FOR EACH faculty PRINT AVG(salary)");
+}
+BENCHMARK(BM_Daplex_AggregateInherited);
+
+void BM_Daplex_CreateDestroyCycle(benchmark::State& state) {
+  Env& env = SharedEnv();
+  for (auto _ : state) {
+    auto created = env.machine->ExecuteStatement(
+        "CREATE department (dname = 'BenchDept')");
+    if (!created.ok()) {
+      state.SkipWithError(created.status().ToString().c_str());
+      return;
+    }
+    auto destroyed = env.machine->ExecuteStatement(
+        "DESTROY department SUCH THAT dname = 'BenchDept'");
+    if (!destroyed.ok()) {
+      state.SkipWithError(destroyed.status().ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Daplex_CreateDestroyCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// E8 — the multi-lingual overhead: the same logical point query and
+// insert executed through each of MLDS's language interfaces and
+// directly in ABDL. The difference between an interface's time and the
+// raw-ABDL time is what its LIL/KMS layer costs — MLDS's central bet is
+// that this translation overhead is small relative to kernel work.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "abdl/parser.h"
+#include "codasyl/parser.h"
+#include "daplex/query.h"
+#include "mlds/mlds.h"
+#include "sql/ast.h"
+#include "university/university.h"
+
+namespace {
+
+using namespace mlds;
+
+struct Env {
+  std::unique_ptr<MldsSystem> system;
+  kms::DmlMachine* codasyl = nullptr;
+  kms::DaplexMachine* daplex = nullptr;
+  kms::SqlMachine* sql = nullptr;
+  kms::DliMachine* dli = nullptr;
+
+  Env() {
+    system = std::make_unique<MldsSystem>();
+    system->LoadFunctionalDatabase(university::kUniversityDaplexDdl);
+    university::UniversityConfig config;
+    config.courses = 200;
+    university::BuildUniversityDatabaseOnLoaded(config, system->executor());
+    system->LoadRelationalDatabase(
+        "SCHEMA payroll;"
+        "CREATE TABLE staff (name CHAR(12) NOT NULL, wage FLOAT, "
+        "UNIQUE (name));");
+    system->LoadHierarchicalDatabase(
+        "SCHEMA clinic;"
+        "SEGMENT patient; FIELD pname CHAR(12);"
+        "SEGMENT visit PARENT patient; FIELD cost FLOAT;");
+    codasyl = *system->OpenCodasylSession("university");
+    daplex = *system->OpenDaplexSession("university");
+    sql = *system->OpenSqlSession("payroll");
+    dli = *system->OpenDliSession("clinic");
+    // Seed the relational and hierarchical databases.
+    for (int i = 0; i < 200; ++i) {
+      sql->ExecuteText("INSERT INTO staff (name, wage) VALUES ('s" +
+                       std::to_string(i) + "', " + std::to_string(20 + i) +
+                       ")");
+    }
+    dli->ExecuteText("ISRT patient (pname = 'smith')");
+    for (int i = 0; i < 50; ++i) {
+      dli->ExecuteText("GU patient (pname = 'smith')");
+      dli->ExecuteText("ISRT visit (cost = " + std::to_string(i) + ".0)");
+    }
+  }
+};
+
+Env& SharedEnv() {
+  static Env& env = *new Env();
+  return env;
+}
+
+// --- Point query through each interface ---
+
+void BM_Interface_PointQuery_Abdl(benchmark::State& state) {
+  Env& env = SharedEnv();
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = course) and (course = 'course_77')) "
+      "(all attributes)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.system->executor()->Execute(*req));
+  }
+}
+BENCHMARK(BM_Interface_PointQuery_Abdl);
+
+void BM_Interface_PointQuery_CodasylDml(benchmark::State& state) {
+  Env& env = SharedEnv();
+  for (auto _ : state) {
+    env.codasyl->ExecuteText("MOVE 'course_77' TO course IN course");
+    benchmark::DoNotOptimize(
+        env.codasyl->ExecuteText("FIND ANY course USING course IN course"));
+  }
+}
+BENCHMARK(BM_Interface_PointQuery_CodasylDml);
+
+void BM_Interface_PointQuery_Daplex(benchmark::State& state) {
+  Env& env = SharedEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.daplex->ExecuteText(
+        "FOR EACH course SUCH THAT course = 'course_77' PRINT title"));
+  }
+}
+BENCHMARK(BM_Interface_PointQuery_Daplex);
+
+void BM_Interface_PointQuery_Sql(benchmark::State& state) {
+  Env& env = SharedEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.sql->ExecuteText("SELECT * FROM staff WHERE name = 's77'"));
+  }
+}
+BENCHMARK(BM_Interface_PointQuery_Sql);
+
+void BM_Interface_PointQuery_Dli(benchmark::State& state) {
+  Env& env = SharedEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.dli->ExecuteText("GU patient (pname = 'smith')"));
+  }
+}
+BENCHMARK(BM_Interface_PointQuery_Dli);
+
+// --- Parsing-only costs (the pure language layer) ---
+
+void BM_Interface_ParseOnly_CodasylDml(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codasyl::ParseStatement(
+        "FIND ANY course USING title, semester IN course"));
+  }
+}
+BENCHMARK(BM_Interface_ParseOnly_CodasylDml);
+
+void BM_Interface_ParseOnly_Sql(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ParseSql(
+        "SELECT title, credits FROM course WHERE dept = 'CS' AND credits > "
+        "3 ORDER BY title"));
+  }
+}
+BENCHMARK(BM_Interface_ParseOnly_Sql);
+
+void BM_Interface_ParseOnly_Daplex(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daplex::ParseForEach(
+        "FOR EACH student SUCH THAT major = 'CS' AND age > 20 PRINT pname, "
+        "major"));
+  }
+}
+BENCHMARK(BM_Interface_ParseOnly_Daplex);
+
+void BM_Interface_ParseOnly_Dli(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kms::ParseDliCall(
+        "GU patient (pname = 'Smith') visit (cost > 100)"));
+  }
+}
+BENCHMARK(BM_Interface_ParseOnly_Dli);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E2 — MBDS capacity growth: backends grow proportionally with the
+// database and the response size; response times stay invariant
+// (thesis Ch. I.B.2).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "abdl/parser.h"
+#include "mbds/controller.h"
+
+namespace {
+
+using namespace mlds;
+
+constexpr int kRecordsPerBackend = 1024;
+
+abdm::FileDescriptor ItemFile() {
+  abdm::FileDescriptor f;
+  f.name = "item";
+  f.attributes = {
+      {"FILE", abdm::ValueKind::kString, 0, true},
+      {"key", abdm::ValueKind::kInteger, 0, true},
+      {"payload", abdm::ValueKind::kString, 0, false},
+  };
+  return f;
+}
+
+std::unique_ptr<mbds::Controller> MakeProportional(int backends) {
+  mbds::MbdsOptions options;
+  options.num_backends = backends;
+  auto controller = std::make_unique<mbds::Controller>(options);
+  controller->DefineFile(ItemFile());
+  const int records = kRecordsPerBackend * backends;
+  for (int i = 0; i < records; ++i) {
+    auto req = abdl::ParseRequest("INSERT (<FILE, item>, <key, " +
+                                  std::to_string(i) + ">, <payload, 'x'>)");
+    benchmark::DoNotOptimize(controller->Execute(*req));
+  }
+  return controller;
+}
+
+void BM_MbdsCapacity_FullScan(benchmark::State& state) {
+  const int backends = static_cast<int>(state.range(0));
+  auto controller = MakeProportional(backends);
+  auto req = abdl::ParseRequest("RETRIEVE ((payload = 'x')) (key)");
+  double sim_ms = 0.0;
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto report = controller->Execute(*req);
+    if (report.ok()) {
+      sim_ms = report->response_time_ms;
+      result_size = report->response.records.size();
+    }
+  }
+  state.counters["backends"] = backends;
+  state.counters["records"] = kRecordsPerBackend * backends;
+  state.counters["result_records"] = static_cast<double>(result_size);
+  state.counters["sim_ms"] = sim_ms;  // invariant across rows.
+}
+BENCHMARK(BM_MbdsCapacity_FullScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Fixed-size responses under proportional growth: selective retrieval of
+// a constant-size slice.
+void BM_MbdsCapacity_FixedSlice(benchmark::State& state) {
+  const int backends = static_cast<int>(state.range(0));
+  auto controller = MakeProportional(backends);
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = item) and (key < 64)) (all attributes)");
+  double sim_ms = 0.0;
+  for (auto _ : state) {
+    auto report = controller->Execute(*req);
+    sim_ms = report.ok() ? report->response_time_ms : 0.0;
+  }
+  state.counters["backends"] = backends;
+  state.counters["sim_ms"] = sim_ms;
+}
+BENCHMARK(BM_MbdsCapacity_FixedSlice)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

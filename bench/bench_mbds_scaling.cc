@@ -1,0 +1,110 @@
+// E1 — MBDS response time vs. number of backends at fixed database size
+// (thesis Ch. I.B.2: "nearly reciprocal decrease in the response times").
+//
+// Wall time measures the simulator's execution cost; the paper's claim is
+// about the *simulated* response time, reported as the sim_ms counter and
+// the speedup-vs-1-backend counter.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "abdl/parser.h"
+#include "mbds/controller.h"
+
+namespace {
+
+using namespace mlds;
+
+constexpr int kRecords = 8192;
+
+abdm::FileDescriptor ItemFile() {
+  abdm::FileDescriptor f;
+  f.name = "item";
+  f.attributes = {
+      {"FILE", abdm::ValueKind::kString, 0, true},
+      {"key", abdm::ValueKind::kInteger, 0, true},
+      {"payload", abdm::ValueKind::kString, 0, false},
+  };
+  return f;
+}
+
+std::unique_ptr<mbds::Controller> MakeLoadedController(int backends,
+                                                       int records) {
+  mbds::MbdsOptions options;
+  options.num_backends = backends;
+  auto controller = std::make_unique<mbds::Controller>(options);
+  controller->DefineFile(ItemFile());
+  for (int i = 0; i < records; ++i) {
+    auto req = abdl::ParseRequest("INSERT (<FILE, item>, <key, " +
+                                  std::to_string(i) + ">, <payload, 'x'>)");
+    benchmark::DoNotOptimize(controller->Execute(*req));
+  }
+  return controller;
+}
+
+double SimTimeOfScan(mbds::Controller* controller) {
+  auto req = abdl::ParseRequest("RETRIEVE ((payload = 'x')) (key)");
+  auto report = controller->Execute(*req);
+  return report.ok() ? report->response_time_ms : 0.0;
+}
+
+double BaselineSimMs() {
+  static const double baseline = [] {
+    auto controller = MakeLoadedController(1, kRecords);
+    return SimTimeOfScan(controller.get());
+  }();
+  return baseline;
+}
+
+void BM_MbdsScaling_FullScan(benchmark::State& state) {
+  const int backends = static_cast<int>(state.range(0));
+  auto controller = MakeLoadedController(backends, kRecords);
+  double sim_ms = 0.0;
+  for (auto _ : state) {
+    sim_ms = SimTimeOfScan(controller.get());
+    benchmark::DoNotOptimize(sim_ms);
+  }
+  state.counters["backends"] = backends;
+  state.counters["sim_ms"] = sim_ms;
+  state.counters["speedup_vs_1"] = BaselineSimMs() / sim_ms;
+}
+BENCHMARK(BM_MbdsScaling_FullScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Indexed point lookups barely profit from extra backends (only one
+// backend holds the record) — the contrast the reciprocal claim rests on.
+void BM_MbdsScaling_PointLookup(benchmark::State& state) {
+  const int backends = static_cast<int>(state.range(0));
+  auto controller = MakeLoadedController(backends, kRecords);
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = item) and (key = 4242)) (all attributes)");
+  double sim_ms = 0.0;
+  for (auto _ : state) {
+    auto report = controller->Execute(*req);
+    sim_ms = report.ok() ? report->response_time_ms : 0.0;
+  }
+  state.counters["backends"] = backends;
+  state.counters["sim_ms"] = sim_ms;
+}
+BENCHMARK(BM_MbdsScaling_PointLookup)->Arg(1)->Arg(4)->Arg(16);
+
+// Broadcast update: affected records spread over all partitions.
+void BM_MbdsScaling_Update(benchmark::State& state) {
+  const int backends = static_cast<int>(state.range(0));
+  auto controller = MakeLoadedController(backends, kRecords);
+  auto req =
+      abdl::ParseRequest("UPDATE ((payload = 'x')) (payload = 'x')");
+  double sim_ms = 0.0;
+  for (auto _ : state) {
+    auto report = controller->Execute(*req);
+    sim_ms = report.ok() ? report->response_time_ms : 0.0;
+  }
+  state.counters["backends"] = backends;
+  state.counters["sim_ms"] = sim_ms;
+}
+BENCHMARK(BM_MbdsScaling_Update)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E3 — The mapping-strategy comparison behind the thesis's design choice
+// (Ch. III.B.2): the Direct Language Interface performs a ONE-STEP schema
+// transformation (functional -> network), versus the High-Level
+// Preprocessing strategy, which pays a per-query translation through
+// Daplex in addition to schema work. The claim: the direct interface's
+// schema transformation is faster and one-step.
+
+#include <benchmark/benchmark.h>
+
+#include "daplex/ddl_parser.h"
+#include "network/ddl_parser.h"
+#include "transform/abdm_mapping.h"
+#include "transform/fun_to_net.h"
+#include "university/university.h"
+
+namespace {
+
+using namespace mlds;
+
+const daplex::FunctionalSchema& Schema() {
+  static const auto& schema = *new daplex::FunctionalSchema(
+      *university::UniversitySchema());
+  return schema;
+}
+
+// Direct language interface: one-step functional -> network transform.
+void BM_DirectTransform_FunToNet(benchmark::State& state) {
+  for (auto _ : state) {
+    auto mapping = transform::TransformFunctionalToNetwork(Schema());
+    benchmark::DoNotOptimize(mapping);
+  }
+  state.counters["steps"] = 1;
+}
+BENCHMARK(BM_DirectTransform_FunToNet);
+
+// Full definition path of the direct interface: transform + kernel file
+// mapping (what LoadFunctionalDatabase runs once per database).
+void BM_DirectTransform_FullDefinition(benchmark::State& state) {
+  for (auto _ : state) {
+    auto mapping = transform::TransformFunctionalToNetwork(Schema());
+    auto db = transform::MapNetworkToAbdm(mapping->schema, &*mapping);
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["steps"] = 2;
+}
+BENCHMARK(BM_DirectTransform_FullDefinition);
+
+// High-level preprocessing simulation: the strategy the thesis rejected
+// re-derives the network view through printed DDL and re-parsing — a
+// two-step pipeline (functional -> DDL text -> network schema) with the
+// serialization cost the one-step transform avoids.
+void BM_HighLevelPreprocessing_TwoStep(benchmark::State& state) {
+  for (auto _ : state) {
+    auto mapping = transform::TransformFunctionalToNetwork(Schema());
+    std::string ddl = mapping->schema.ToDdl();
+    auto reparsed = network::ParseSchema(ddl);
+    benchmark::DoNotOptimize(reparsed);
+  }
+  state.counters["steps"] = 2;
+}
+BENCHMARK(BM_HighLevelPreprocessing_TwoStep);
+
+// Schema parsing costs for reference: the Daplex and network DDL parsers.
+void BM_ParseDaplexDdl(benchmark::State& state) {
+  for (auto _ : state) {
+    auto schema =
+        daplex::ParseFunctionalSchema(university::kUniversityDaplexDdl);
+    benchmark::DoNotOptimize(schema);
+  }
+}
+BENCHMARK(BM_ParseDaplexDdl);
+
+void BM_ParseNetworkDdl(benchmark::State& state) {
+  static const std::string& ddl = *new std::string(
+      transform::TransformFunctionalToNetwork(Schema())->schema.ToDdl());
+  for (auto _ : state) {
+    auto schema = network::ParseSchema(ddl);
+    benchmark::DoNotOptimize(schema);
+  }
+}
+BENCHMARK(BM_ParseNetworkDdl);
+
+}  // namespace
+
+BENCHMARK_MAIN();

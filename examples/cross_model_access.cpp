@@ -1,0 +1,146 @@
+// The thesis's headline scenario: a *functional* (Daplex) database
+// accessed and manipulated through *CODASYL-DML* transactions — the first
+// step from the Multi-Lingual toward the Multi-Model Database System.
+//
+// The session walks every statement family of Chapter VI against the
+// AB(functional) University database and prints the DML -> ABDL
+// translation KMS performs for each.
+
+#include <cstdio>
+
+#include "kfs/formatter.h"
+#include "mlds/mlds.h"
+#include "university/university.h"
+
+namespace {
+
+void PrintTrace(mlds::kms::DmlMachine* dml, size_t from) {
+  for (size_t i = from; i < dml->trace().size(); ++i) {
+    const auto& entry = dml->trace()[i];
+    std::printf("  DML:  %s\n", entry.dml.c_str());
+    for (const auto& abdl : entry.abdl) {
+      std::printf("  ABDL:   => %s\n", abdl.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+bool Run(mlds::kms::DmlMachine* dml, const char* title, const char* program,
+         bool expect_failure = false) {
+  std::printf("--- %s ---\n", title);
+  const size_t before = dml->trace().size();
+  auto results = dml->RunProgram(program);
+  PrintTrace(dml, before);
+  if (!results.ok()) {
+    std::printf("  (status: %s)\n\n", results.status().ToString().c_str());
+    return expect_failure;
+  }
+  if (!results->back().records.empty()) {
+    std::printf("%s\n",
+                mlds::kfs::FormatTable(results->back().records).c_str());
+  }
+  return !expect_failure;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlds;
+  MldsSystem system;
+  if (!system.LoadFunctionalDatabase(university::kUniversityDaplexDdl).ok()) {
+    return 1;
+  }
+  university::UniversityConfig config;
+  auto load =
+      university::BuildUniversityDatabaseOnLoaded(config, system.executor());
+  if (!load.ok()) return 1;
+
+  auto session = system.OpenCodasylSession("university");
+  if (!session.ok()) return 1;
+  kms::DmlMachine* dml = *session;
+  std::printf("Opened functional database 'university' via the network\n"
+              "language interface (cross-model access).\n\n");
+
+  bool ok = true;
+
+  // The Ch. VI.B.4 example: students majoring in Computer Science.
+  ok &= Run(dml, "FIND students majoring in Computer Science",
+            "MOVE 'Computer Science' TO major IN student\n"
+            "FIND ANY student USING major IN student\n"
+            "GET student, major, advisor IN student\n");
+
+  // Navigate a Daplex single-valued function as a set: FIND OWNER.
+  ok &= Run(dml, "FIND OWNER WITHIN advisor (the student's faculty advisor)",
+            "FIND OWNER WITHIN advisor\n");
+
+  // ISA navigation: from the faculty subtype record to its employee
+  // supertype record.
+  ok &= Run(dml, "ISA navigation: faculty -> employee supertype",
+            "MOVE 'faculty_2' TO faculty IN faculty\n"
+            "FIND ANY faculty USING faculty IN faculty\n"
+            "FIND OWNER WITHIN employee_faculty\n"
+            "GET ename, salary IN employee\n");
+
+  // Many-to-many through the link record (teaching / taught_by).
+  ok &= Run(dml, "Courses taught by faculty_1 (many-to-many via link_1)",
+            "MOVE 'faculty_1' TO faculty IN faculty\n"
+            "FIND ANY faculty USING faculty IN faculty\n"
+            "FIND FIRST link_1 WITHIN teaching\n");
+
+  // STORE: the uniqueness constraint carried over from Daplex.
+  ok &= Run(dml, "STORE course violating UNIQUE title, semester (aborts)",
+            "MOVE 'Advanced Database' TO title IN course\n"
+            "MOVE 'Fall86' TO semester IN course\n"
+            "MOVE 4 TO credits IN course\n"
+            "STORE course\n",
+            /*expect_failure=*/true);
+
+  // STORE a subtype record: ISA membership is automatic, so the
+  // supertype entity must be current.
+  ok &= Run(dml, "STORE a new student for person_35",
+            "MOVE 'person_35' TO person IN person\n"
+            "FIND ANY person USING person IN person\n"
+            "MOVE 'Databases' TO major IN student\n"
+            "MOVE 'faculty_1' TO advisor IN student\n"
+            "STORE student\n");
+
+  // The Daplex overlap constraint: employee_1 is faculty; support_staff
+  // is an undeclared overlap.
+  ok &= Run(dml, "STORE support_staff for a faculty entity (overlap aborts)",
+            "MOVE 'employee_1' TO employee IN employee\n"
+            "FIND ANY employee USING employee IN employee\n"
+            "MOVE 10 TO hours IN support_staff\n"
+            "STORE support_staff\n",
+            /*expect_failure=*/true);
+
+  // CONNECT / DISCONNECT on a Daplex function set.
+  ok &= Run(dml, "Reassign a student's advisor via DISCONNECT + CONNECT",
+            "MOVE 'student_3' TO student IN student\n"
+            "FIND ANY student USING student IN student\n"
+            "DISCONNECT student FROM advisor\n");
+  ok &= Run(dml, "  ... CONNECT to faculty_5",
+            "MOVE 'faculty_5' TO faculty IN faculty\n"
+            "FIND ANY faculty USING faculty IN faculty\n"
+            "MOVE 'student_3' TO student IN student\n"
+            "FIND ANY student USING student IN student\n"
+            "CONNECT student TO advisor\n"
+            "GET student, advisor IN student\n");
+
+  // MODIFY with the duplicated-record representation.
+  ok &= Run(dml, "MODIFY salary of employee_3 (updates both AB records)",
+            "MOVE 'employee_3' TO employee IN employee\n"
+            "FIND ANY employee USING employee IN employee\n"
+            "MOVE 50000.0 TO salary IN employee\n"
+            "MODIFY salary IN employee\n");
+
+  // ERASE with the CODASYL + Daplex constraint checks.
+  ok &= Run(dml, "ERASE an advising faculty member (aborts)",
+            "MOVE 'faculty_5' TO faculty IN faculty\n"
+            "FIND ANY faculty USING faculty IN faculty\n"
+            "ERASE faculty\n",
+            /*expect_failure=*/true);
+
+  std::printf("%s\n", ok ? "All scenarios behaved as expected."
+                         : "UNEXPECTED scenario outcome!");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// The ICDE-paper MLDS in one program: five data languages against one
+// kernel database system (Figure 1.2). Each user data model gets its own
+// database and its own language interface — CODASYL-DML, Daplex, SQL,
+// DL/I — while ABDL reaches the kernel directly; every interface
+// translates onto the same five ABDL operations.
+
+#include <cstdio>
+
+#include "abdl/parser.h"
+#include "kfs/formatter.h"
+#include "mlds/mlds.h"
+#include "university/university.h"
+
+namespace {
+
+using namespace mlds;
+
+bool Check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "FAILED: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  MldsSystem system;
+
+  // --- Define four databases, one per user data model. ---
+  bool ok = true;
+  ok &= Check(
+      system.LoadFunctionalDatabase(university::kUniversityDaplexDdl).ok(),
+      "load functional");
+  ok &= Check(system
+                  .LoadNetworkDatabase(
+                      "SCHEMA NAME IS parts;"
+                      "RECORD NAME IS supplier; ITEM sname TYPE IS CHARACTER "
+                      "12;"
+                      "RECORD NAME IS part; ITEM pname TYPE IS CHARACTER 12;"
+                      "SET NAME IS supplies; OWNER IS supplier; MEMBER IS "
+                      "part; INSERTION IS MANUAL; RETENTION IS OPTIONAL;"
+                      "SET SELECTION IS BY APPLICATION;")
+                  .ok(),
+              "load network");
+  ok &= Check(system
+                  .LoadRelationalDatabase(
+                      "SCHEMA payroll;"
+                      "CREATE TABLE staff (name CHAR(12) NOT NULL, wage "
+                      "FLOAT, UNIQUE (name));")
+                  .ok(),
+              "load relational");
+  ok &= Check(system
+                  .LoadHierarchicalDatabase(
+                      "SCHEMA clinic;"
+                      "SEGMENT patient; FIELD pname CHAR(12);"
+                      "SEGMENT visit PARENT patient; FIELD cost FLOAT;")
+                  .ok(),
+              "load hierarchical");
+  if (!ok) return 1;
+
+  std::printf("Loaded databases:");
+  for (const auto& name : system.DatabaseNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // --- 1. CODASYL-DML on the functional database (the thesis). ---
+  university::UniversityConfig config;
+  if (!university::BuildUniversityDatabaseOnLoaded(config, system.executor())
+           .ok()) {
+    return 1;
+  }
+  auto codasyl = system.OpenCodasylSession("university");
+  auto daplex = system.OpenDaplexSession("university");
+  auto sql = system.OpenSqlSession("payroll");
+  auto dli = system.OpenDliSession("clinic");
+  auto net = system.OpenCodasylSession("parts");
+  if (!codasyl.ok() || !daplex.ok() || !sql.ok() || !dli.ok() || !net.ok()) {
+    return 1;
+  }
+
+  std::printf("== CODASYL-DML (network language, functional database) ==\n");
+  auto find = (*codasyl)->RunProgram(
+      "MOVE 'Advanced Database' TO title IN course\n"
+      "FIND ANY course USING title IN course\n"
+      "GET title, credits IN course\n");
+  if (!Check(find.ok(), "codasyl find")) return 1;
+  std::printf("%s\n", kfs::FormatTable(find->back().records).c_str());
+
+  std::printf("== Daplex (functional language, same database) ==\n");
+  auto foreach = (*daplex)->ExecuteText(
+      "FOR EACH course SUCH THAT credits >= 4 PRINT title, credits");
+  if (!Check(foreach.ok(), "daplex for each")) return 1;
+  std::printf("%s\n", kfs::FormatTable(*foreach).c_str());
+
+  std::printf("== SQL (relational database) ==\n");
+  bool sql_ok = true;
+  for (const char* stmt :
+       {"INSERT INTO staff (name, wage) VALUES ('ada', 31.5)",
+        "INSERT INTO staff (name, wage) VALUES ('grace', 35.0)",
+        "UPDATE staff SET wage = 36.0 WHERE name = 'grace'"}) {
+    sql_ok &= (*sql)->ExecuteText(stmt).ok();
+  }
+  auto rows = (*sql)->ExecuteText("SELECT name, wage FROM staff ORDER BY name");
+  if (!Check(sql_ok && rows.ok(), "sql session")) return 1;
+  std::printf("%s\n", kfs::FormatTable(rows->rows).c_str());
+
+  std::printf("== DL/I (hierarchical database) ==\n");
+  auto dli_run = (*dli)->RunProgram(
+      "ISRT patient (pname = 'smith')\n"
+      "ISRT visit (cost = 50.0)\n"
+      "GU patient (pname = 'smith')\n"
+      "ISRT visit (cost = 75.0)\n"
+      "GU patient (pname = 'smith')\n"
+      "GNP visit\n");
+  if (!Check(dli_run.ok(), "dli session")) return 1;
+  std::printf("first visit of smith:\n%s\n",
+              kfs::FormatTable(dli_run->back().segments).c_str());
+
+  std::printf("== CODASYL-DML (native network database) ==\n");
+  auto net_run = (*net)->RunProgram(
+      "MOVE 'acme' TO sname IN supplier\nSTORE supplier\n"
+      "MOVE 'bolt' TO pname IN part\nSTORE part\n"
+      "CONNECT part TO supplies\n"
+      "FIND OWNER WITHIN supplies\nGET sname IN supplier\n");
+  if (!Check(net_run.ok(), "network session")) return 1;
+  std::printf("%s\n", kfs::FormatTable(net_run->back().records).c_str());
+
+  std::printf("== ABDL (the kernel language, directly) ==\n");
+  auto kernel = abdl::ParseRequest(
+      "RETRIEVE ((FILE = staff)) (name, wage) BY name");
+  auto direct = system.executor()->Execute(*kernel);
+  if (!Check(direct.ok(), "direct abdl")) return 1;
+  std::printf("%s\n", kfs::FormatTable(direct->records).c_str());
+  std::printf(
+      "Five languages, four data models, one attribute-based kernel.\n");
+  return 0;
+}

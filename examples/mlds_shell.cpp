@@ -1,0 +1,184 @@
+// An interactive MLDS shell over all four user data models. Statements
+// route to a language interface by their leading keyword:
+//
+//   CODASYL-DML  (university, functional database accessed cross-model):
+//       MOVE / FIND / GET / STORE / CONNECT / DISCONNECT / RECONNECT /
+//       MODIFY / ERASE
+//   Daplex       (university):  FOR EACH / CREATE / DESTROY /
+//       UPDATE <entity type> (...)
+//   SQL          (payroll, relational):  SELECT / INSERT INTO /
+//       DELETE FROM / UPDATE <table> SET
+//   DL/I         (clinic, hierarchical):  GU / GN / GNP / ISRT / REPL /
+//       DLET
+//
+// Meta commands: .help  .trace  .schema  .stats  .quit
+//
+//   echo "MOVE 'Advanced Database' TO title IN course
+//   FIND ANY course USING title IN course
+//   GET" | ./mlds_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "kfs/formatter.h"
+#include "mlds/mlds.h"
+#include "university/university.h"
+
+namespace {
+
+using namespace mlds;
+
+void PrintHelp() {
+  std::printf(
+      "Databases: university (functional), payroll (relational), clinic "
+      "(hierarchical)\n"
+      "  CODASYL-DML   FIND ANY course USING title IN course\n"
+      "  Daplex        FOR EACH student SUCH THAT major = 'CS' PRINT pname\n"
+      "  SQL           SELECT name, wage FROM staff ORDER BY name\n"
+      "  DL/I          GU patient (pname = 'smith')\n"
+      "Meta: .trace (last CODASYL translations), .schema (transformed\n"
+      "network schema), .stats (session statistics), .help, .quit\n");
+}
+
+bool StartsWithWord(std::string_view line, std::string_view word) {
+  if (!StartsWithIgnoreCase(line, word)) return false;
+  return line.size() == word.size() || line[word.size()] == ' ' ||
+         line[word.size()] == '\t';
+}
+
+}  // namespace
+
+int main() {
+  MldsSystem system;
+  if (!system.LoadFunctionalDatabase(university::kUniversityDaplexDdl).ok()) {
+    return 1;
+  }
+  university::UniversityConfig config;
+  if (!university::BuildUniversityDatabaseOnLoaded(config, system.executor())
+           .ok()) {
+    return 1;
+  }
+  if (!system
+           .LoadRelationalDatabase(
+               "SCHEMA payroll;"
+               "CREATE TABLE staff (name CHAR(12) NOT NULL, wage FLOAT, "
+               "UNIQUE (name));")
+           .ok()) {
+    return 1;
+  }
+  if (!system
+           .LoadHierarchicalDatabase(
+               "SCHEMA clinic;"
+               "SEGMENT patient; FIELD pname CHAR(12);"
+               "SEGMENT visit PARENT patient; FIELD vdate CHAR(8); FIELD "
+               "cost FLOAT;")
+           .ok()) {
+    return 1;
+  }
+
+  auto codasyl = system.OpenCodasylSession("university");
+  auto daplex = system.OpenDaplexSession("university");
+  auto sql = system.OpenSqlSession("payroll");
+  auto dli = system.OpenDliSession("clinic");
+  if (!codasyl.ok() || !daplex.ok() || !sql.ok() || !dli.ok()) return 1;
+
+  std::printf("MLDS shell — four languages, one kernel. Type .help for "
+              "commands.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("mlds> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed[0] == '.') {
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      if (trimmed == ".help") {
+        PrintHelp();
+      } else if (trimmed == ".trace") {
+        for (const auto& entry : (*codasyl)->trace()) {
+          std::printf("  %s\n", entry.dml.c_str());
+          for (const auto& abdl : entry.abdl) {
+            std::printf("    => %s\n", abdl.c_str());
+          }
+        }
+      } else if (trimmed == ".schema") {
+        std::printf("%s", system.NetworkViewOf("university")->ToDdl().c_str());
+      } else if (trimmed == ".stats") {
+        std::printf("%s", (*codasyl)->statistics().ToString().c_str());
+      } else {
+        std::printf("unknown command: %s\n", std::string(trimmed).c_str());
+      }
+      continue;
+    }
+
+    // --- DL/I ---
+    if (StartsWithWord(trimmed, "GU") || StartsWithWord(trimmed, "GN") ||
+        StartsWithWord(trimmed, "GNP") || StartsWithWord(trimmed, "ISRT") ||
+        StartsWithWord(trimmed, "REPL") || StartsWithWord(trimmed, "DLET")) {
+      auto outcome = (*dli)->ExecuteText(trimmed);
+      if (!outcome.ok()) {
+        std::printf("error: %s\n", outcome.status().ToString().c_str());
+      } else if (!outcome->segments.empty()) {
+        std::printf("%s", kfs::FormatTable(outcome->segments).c_str());
+      } else if (!outcome->info.empty()) {
+        std::printf("%s\n", outcome->info.c_str());
+      }
+      continue;
+    }
+
+    // --- SQL ---
+    const bool sql_update =
+        StartsWithWord(trimmed, "UPDATE") &&
+        system.FindRelationalSchema("payroll")->FindTable(
+            std::string(Trim(trimmed.substr(6))).substr(
+                0, std::string(Trim(trimmed.substr(6))).find(' '))) != nullptr;
+    if (StartsWithWord(trimmed, "SELECT") ||
+        StartsWithWord(trimmed, "INSERT") ||
+        StartsWithWord(trimmed, "DELETE") || sql_update) {
+      auto outcome = (*sql)->ExecuteText(trimmed);
+      if (!outcome.ok()) {
+        std::printf("error: %s\n", outcome.status().ToString().c_str());
+      } else if (!outcome->rows.empty()) {
+        std::printf("%s", kfs::FormatTable(outcome->rows).c_str());
+      } else {
+        std::printf("%s\n", outcome->info.c_str());
+      }
+      continue;
+    }
+
+    // --- Daplex ---
+    if (StartsWithWord(trimmed, "FOR") || StartsWithWord(trimmed, "CREATE") ||
+        StartsWithWord(trimmed, "DESTROY") ||
+        StartsWithWord(trimmed, "UPDATE")) {
+      auto outcome = (*daplex)->ExecuteStatement(trimmed);
+      if (!outcome.ok()) {
+        std::printf("error: %s\n", outcome.status().ToString().c_str());
+      } else if (!outcome->records.empty()) {
+        std::printf("%s", kfs::FormatTable(outcome->records).c_str());
+      } else {
+        std::printf("%s\n", outcome->info.c_str());
+      }
+      continue;
+    }
+
+    // --- CODASYL-DML (default) ---
+    auto result = (*codasyl)->ExecuteText(trimmed);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->records.empty()) {
+      std::printf("%s", kfs::FormatTable(result->records).c_str());
+    }
+    if (!result->info.empty()) {
+      std::printf("%s\n", result->info.c_str());
+    }
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The multi-lingual property itself: ONE kernel database, accessed and
+// manipulated through TWO data languages. A CODASYL-DML session and a
+// Daplex session operate on the same AB(functional) University database;
+// writes through one language are immediately visible through the other.
+
+#include <cstdio>
+
+#include "kfs/formatter.h"
+#include "mlds/mlds.h"
+#include "university/university.h"
+
+int main() {
+  using namespace mlds;
+  MldsSystem system;
+  if (!system.LoadFunctionalDatabase(university::kUniversityDaplexDdl).ok()) {
+    return 1;
+  }
+  university::UniversityConfig config;
+  if (!university::BuildUniversityDatabaseOnLoaded(config, system.executor())
+           .ok()) {
+    return 1;
+  }
+
+  auto codasyl = system.OpenCodasylSession("university");
+  auto daplex = system.OpenDaplexSession("university");
+  if (!codasyl.ok() || !daplex.ok()) return 1;
+
+  std::printf("== Daplex view: Computer Science students ==\n");
+  auto rows = (*daplex)->ExecuteText(
+      "FOR EACH student SUCH THAT major = 'Computer Science' "
+      "PRINT pname, major, advisor");
+  if (!rows.ok()) return 1;
+  std::printf("%s\n", kfs::FormatTable(*rows).c_str());
+  std::printf("Issued ABDL:\n");
+  for (const auto& abdl : (*daplex)->trace()) {
+    std::printf("  => %s\n", abdl.c_str());
+  }
+
+  std::printf("\n== CODASYL-DML writes a new CS student ==\n");
+  auto write = (*codasyl)->RunProgram(
+      "MOVE 'person_36' TO person IN person\n"
+      "FIND ANY person USING person IN person\n"
+      "MOVE 'Computer Science' TO major IN student\n"
+      "MOVE 'faculty_4' TO advisor IN student\n"
+      "STORE student\n");
+  if (!write.ok()) {
+    std::fprintf(stderr, "%s\n", write.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stored: %s\n", write->back().info.c_str());
+
+  std::printf("\n== Daplex sees the CODASYL write immediately ==\n");
+  auto again = (*daplex)->ExecuteText(
+      "FOR EACH student SUCH THAT major = 'Computer Science' "
+      "PRINT pname, major, advisor");
+  if (!again.ok()) return 1;
+  std::printf("%s", kfs::FormatTable(*again).c_str());
+  std::printf("(%zu rows before, %zu after)\n\n", rows->size(),
+              again->size());
+
+  std::printf("== Daplex aggregates over inherited functions ==\n");
+  auto agg = (*daplex)->ExecuteText(
+      "FOR EACH faculty PRINT COUNT(faculty), AVG(salary)");
+  if (!agg.ok()) {
+    std::fprintf(stderr, "%s\n", agg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", kfs::FormatTable(*agg).c_str());
+
+  std::printf("\n== Many-to-many function through the link file ==\n");
+  auto teaching = (*daplex)->ExecuteText(
+      "FOR EACH faculty SUCH THAT faculty = 'faculty_1' PRINT teaching");
+  if (!teaching.ok()) return 1;
+  std::printf("%s", kfs::FormatTable(*teaching).c_str());
+
+  return again->size() == rows->size() + 1 ? 0 : 1;
+}

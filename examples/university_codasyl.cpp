@@ -1,0 +1,166 @@
+// A native network-database session: the same CODASYL-DML interface the
+// thesis extends, operating on a database that was *defined* in the
+// network model (no schema transformation involved). Demonstrates DDL
+// loading, STORE, set navigation, MODIFY, DISCONNECT, and ERASE on a
+// small order-management schema.
+
+#include <cstdio>
+
+#include "kfs/formatter.h"
+#include "mlds/mlds.h"
+
+namespace {
+
+constexpr char kShopDdl[] = R"(
+SCHEMA NAME IS shop;
+
+RECORD NAME IS customer;
+  ITEM cname TYPE IS CHARACTER 20;
+  ITEM city TYPE IS CHARACTER 12;
+  DUPLICATES ARE NOT ALLOWED FOR cname;
+
+RECORD NAME IS invoice;
+  ITEM number TYPE IS INTEGER;
+  ITEM total TYPE IS FLOAT 8 2;
+
+RECORD NAME IS lineitem;
+  ITEM sku TYPE IS CHARACTER 8;
+  ITEM qty TYPE IS INTEGER;
+
+SET NAME IS system_customer;
+  OWNER IS SYSTEM;
+  MEMBER IS customer;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS places;
+  OWNER IS customer;
+  MEMBER IS invoice;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS contains;
+  OWNER IS invoice;
+  MEMBER IS lineitem;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+)";
+
+bool Must(mlds::kms::DmlMachine* dml, const char* program) {
+  auto results = dml->RunProgram(program);
+  if (!results.ok()) {
+    std::fprintf(stderr, "DML failed: %s\n",
+                 results.status().ToString().c_str());
+    return false;
+  }
+  if (!results->back().records.empty()) {
+    std::printf("%s\n",
+                mlds::kfs::FormatTable(results->back().records).c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlds;
+  MldsSystem system;
+  if (!system.LoadNetworkDatabase(kShopDdl).ok()) return 1;
+  auto session = system.OpenCodasylSession("shop");
+  if (!session.ok()) return 1;
+  kms::DmlMachine* dml = *session;
+
+  std::printf("== Load customers and invoices ==\n");
+  if (!Must(dml,
+            "MOVE 'Acme' TO cname IN customer\n"
+            "MOVE 'Monterey' TO city IN customer\n"
+            "STORE customer\n"
+            "MOVE 101 TO number IN invoice\n"
+            "MOVE 250.0 TO total IN invoice\n"
+            "STORE invoice\n"
+            "CONNECT invoice TO places\n"
+            "MOVE 102 TO number IN invoice\n"
+            "MOVE 80.5 TO total IN invoice\n"
+            "STORE invoice\n"
+            "CONNECT invoice TO places\n")) {
+    return 1;
+  }
+
+  std::printf("== Line items for invoice 102 (current of 'contains') ==\n");
+  if (!Must(dml,
+            "MOVE 'WIDGET' TO sku IN lineitem\n"
+            "MOVE 3 TO qty IN lineitem\n"
+            "STORE lineitem\n"
+            "CONNECT lineitem TO contains\n"
+            "MOVE 'GADGET' TO sku IN lineitem\n"
+            "MOVE 1 TO qty IN lineitem\n"
+            "STORE lineitem\n"
+            "CONNECT lineitem TO contains\n")) {
+    return 1;
+  }
+
+  std::printf("== Navigate: Acme's invoices via FIND FIRST/NEXT ==\n");
+  if (!Must(dml,
+            "MOVE 'Acme' TO cname IN customer\n"
+            "FIND ANY customer USING cname IN customer\n"
+            "FIND FIRST invoice WITHIN places\n")) {
+    return 1;
+  }
+  // Iterate the rest.
+  while (true) {
+    auto next = dml->ExecuteText("FIND NEXT invoice WITHIN places");
+    if (!next.ok()) break;
+    std::printf("%s\n", kfs::FormatTable(next->records).c_str());
+  }
+
+  std::printf("== FIND OWNER: whose invoice is current? ==\n");
+  if (!Must(dml, "FIND OWNER WITHIN places\nGET cname, city IN customer\n")) {
+    return 1;
+  }
+
+  std::printf("== MODIFY the invoice total ==\n");
+  if (!Must(dml,
+            "FIND FIRST invoice WITHIN places\n"
+            "MOVE 275.0 TO total IN invoice\n"
+            "MODIFY total IN invoice\n"
+            "GET number, total IN invoice\n")) {
+    return 1;
+  }
+
+  std::printf("== Duplicates clause: second 'Acme' is rejected ==\n");
+  auto dup = dml->RunProgram(
+      "MOVE 'Acme' TO cname IN customer\n"
+      "MOVE 'Carmel' TO city IN customer\n"
+      "STORE customer\n");
+  std::printf("  status: %s\n\n", dup.status().ToString().c_str());
+  if (dup.ok()) return 1;
+
+  std::printf("== ERASE protection, then clean removal ==\n");
+  auto erase = dml->RunProgram(
+      "MOVE 'Acme' TO cname IN customer\n"
+      "FIND ANY customer USING cname IN customer\n"
+      "ERASE customer\n");
+  std::printf("  ERASE with connected invoices: %s\n",
+              erase.status().ToString().c_str());
+  if (erase.ok()) return 1;
+
+  // Detach both invoices, then erase succeeds.
+  if (!Must(dml,
+            "FIND FIRST invoice WITHIN places\n"
+            "DISCONNECT invoice FROM places\n"
+            "FIND FIRST invoice WITHIN places\n"
+            "DISCONNECT invoice FROM places\n")) {
+    return 1;
+  }
+  if (!Must(dml,
+            "MOVE 'Acme' TO cname IN customer\n"
+            "FIND ANY customer USING cname IN customer\n"
+            "ERASE customer\n")) {
+    return 1;
+  }
+  std::printf("Customer erased. Done.\n");
+  return 0;
+}

@@ -1,0 +1,525 @@
+#include "abdl/parser.h"
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mlds::abdl {
+
+namespace {
+
+using abdm::Conjunction;
+using abdm::Predicate;
+using abdm::Query;
+using abdm::RelOp;
+using abdm::Value;
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // bare word (identifier or keyword)
+  kNumber,   // integer or float literal
+  kString,   // quoted literal
+  kLParen,
+  kRParen,
+  kLAngle,
+  kRAngle,
+  kComma,
+  kSemicolon,
+  kPlus,
+  kRelOp,  // = != < <= > >=  (angle brackets resolved by context)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  RelOp rel = RelOp::kEq;
+};
+
+/// Tokenizer for ABDL text. '<' and '>' are ambiguous between keyword
+/// delimiters (INSERT lists) and relational operators; the lexer emits
+/// kLAngle/kRAngle for bare '<'/'>' and the parser resolves them by
+/// context, while '<=' and '>=' always lex as relational operators.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back({TokKind::kEnd, "", RelOp::kEq});
+        return out;
+      }
+      const char c = text_[pos_];
+      if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", RelOp::kEq});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", RelOp::kEq});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", RelOp::kEq});
+        ++pos_;
+      } else if (c == ';') {
+        out.push_back({TokKind::kSemicolon, ";", RelOp::kEq});
+        ++pos_;
+      } else if (c == '+') {
+        out.push_back({TokKind::kPlus, "+", RelOp::kEq});
+        ++pos_;
+      } else if (c == '=') {
+        out.push_back({TokKind::kRelOp, "=", RelOp::kEq});
+        ++pos_;
+      } else if (c == '!' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        out.push_back({TokKind::kRelOp, "!=", RelOp::kNe});
+        pos_ += 2;
+      } else if (c == '<') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          out.push_back({TokKind::kRelOp, "<=", RelOp::kLe});
+          pos_ += 2;
+        } else if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          out.push_back({TokKind::kRelOp, "<>", RelOp::kNe});
+          pos_ += 2;
+        } else {
+          out.push_back({TokKind::kLAngle, "<", RelOp::kLt});
+          ++pos_;
+        }
+      } else if (c == '>') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          out.push_back({TokKind::kRelOp, ">=", RelOp::kGe});
+          pos_ += 2;
+        } else {
+          out.push_back({TokKind::kRAngle, ">", RelOp::kGt});
+          ++pos_;
+        }
+      } else if (c == '\'' || c == '"') {
+        const char quote = c;
+        size_t end = pos_ + 1;
+        while (end < text_.size() && text_[end] != quote) ++end;
+        if (end >= text_.size()) {
+          return Status::ParseError("unterminated string literal");
+        }
+        out.push_back({TokKind::kString,
+                       std::string(text_.substr(pos_ + 1, end - pos_ - 1)),
+                       RelOp::kEq});
+        pos_ = end + 1;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        size_t end = pos_ + 1;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+          ++end;
+        }
+        out.push_back({TokKind::kNumber, std::string(text_.substr(pos_, end - pos_)),
+                       RelOp::kEq});
+        pos_ = end;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t end = pos_ + 1;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_' || text_[end] == '-' || text_[end] == '.')) {
+          ++end;
+        }
+        out.push_back({TokKind::kIdent, std::string(text_.substr(pos_, end - pos_)),
+                       RelOp::kEq});
+        pos_ = end;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' in ABDL text");
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Boolean expression tree over predicates, normalized to DNF after
+/// parsing. AND binds tighter than OR.
+struct BoolExpr {
+  enum class Kind { kPred, kAnd, kOr } kind = Kind::kPred;
+  Predicate pred;
+  std::vector<BoolExpr> children;
+};
+
+/// Distributes the expression tree into DNF: a vector of conjunctions.
+std::vector<Conjunction> ToDnf(const BoolExpr& e) {
+  switch (e.kind) {
+    case BoolExpr::Kind::kPred:
+      return {Conjunction{{e.pred}}};
+    case BoolExpr::Kind::kOr: {
+      std::vector<Conjunction> out;
+      for (const auto& child : e.children) {
+        auto sub = ToDnf(child);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case BoolExpr::Kind::kAnd: {
+      std::vector<Conjunction> acc = {Conjunction{}};
+      for (const auto& child : e.children) {
+        auto sub = ToDnf(child);
+        std::vector<Conjunction> next;
+        next.reserve(acc.size() * sub.size());
+        for (const auto& a : acc) {
+          for (const auto& b : sub) {
+            Conjunction merged = a;
+            merged.predicates.insert(merged.predicates.end(),
+                                     b.predicates.begin(), b.predicates.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Request> ParseOneRequest() {
+    MLDS_ASSIGN_OR_RETURN(Request req, ParseRequestBody());
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input after ABDL request: '" +
+                                Peek().text + "'");
+    }
+    return req;
+  }
+
+  Result<Transaction> ParseAll() {
+    Transaction txn;
+    while (!AtEnd()) {
+      MLDS_ASSIGN_OR_RETURN(Request req, ParseRequestBody());
+      txn.push_back(std::move(req));
+      while (Peek().kind == TokKind::kSemicolon) Advance();
+    }
+    if (txn.empty()) return Status::ParseError("empty ABDL transaction");
+    return txn;
+  }
+
+  Result<Query> ParseBareQuery() {
+    MLDS_ASSIGN_OR_RETURN(Query q, ParseQueryExpr());
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool ConsumeIdent(std::string_view word) {
+    if (Peek().kind == TokKind::kIdent && EqualsIgnoreCase(Peek().text, word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Request> ParseRequestBody() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected ABDL operation keyword");
+    }
+    const std::string op = ToUpper(Advance().text);
+    if (op == "INSERT") return ParseInsert();
+    if (op == "DELETE") return ParseDelete();
+    if (op == "UPDATE") return ParseUpdate();
+    if (op == "RETRIEVE") return ParseRetrieve();
+    if (op == "RETRIEVE-COMMON") return ParseRetrieveCommon();
+    return Status::ParseError("unknown ABDL operation '" + op + "'");
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kString) {
+      Advance();
+      return Value::String(t.text);
+    }
+    if (t.kind == TokKind::kNumber) {
+      Advance();
+      return Value::Parse(t.text);
+    }
+    if (t.kind == TokKind::kIdent) {
+      Advance();
+      if (EqualsIgnoreCase(t.text, "NULL")) return Value::Null();
+      // Unquoted identifiers are treated as string literals; the thesis
+      // writes values like (FILE = course) without quotes.
+      return Value::String(t.text);
+    }
+    return Status::ParseError("expected literal, got '" + t.text + "'");
+  }
+
+  Result<Request> ParseInsert() {
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' after INSERT"));
+    abdm::Record record;
+    while (true) {
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kLAngle, "'<' opening keyword"));
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("expected attribute name in keyword");
+      }
+      std::string attr = Advance().text;
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kComma, "',' in keyword"));
+      MLDS_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kRAngle, "'>' closing keyword"));
+      record.Set(attr, std::move(v));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after keyword list"));
+    return Request(InsertRequest{std::move(record)});
+  }
+
+  Result<Request> ParseDelete() {
+    MLDS_ASSIGN_OR_RETURN(Query q, ParseQueryExpr());
+    return Request(DeleteRequest{std::move(q)});
+  }
+
+  Result<Request> ParseUpdate() {
+    MLDS_ASSIGN_OR_RETURN(Query q, ParseQueryExpr());
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' opening modifier"));
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected attribute in modifier");
+    }
+    std::string attr = Advance().text;
+    if (Peek().kind != TokKind::kRelOp || Peek().rel != RelOp::kEq) {
+      return Status::ParseError("expected '=' in modifier");
+    }
+    Advance();
+    Modifier mod;
+    mod.attribute = attr;
+    // Either "attr = literal" or "attr = attr + literal".
+    if (Peek().kind == TokKind::kIdent && Peek().text == attr &&
+        Peek(1).kind == TokKind::kPlus) {
+      Advance();  // attr
+      Advance();  // '+'
+      MLDS_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      mod.kind = ModifierKind::kAdd;
+      mod.operand = std::move(v);
+    } else {
+      MLDS_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      mod.kind = ModifierKind::kSet;
+      mod.operand = std::move(v);
+    }
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' closing modifier"));
+    return Request(UpdateRequest{std::move(q), std::move(mod)});
+  }
+
+  Result<std::vector<TargetItem>> ParseTargetList(bool* all_attributes) {
+    *all_attributes = false;
+    std::vector<TargetItem> targets;
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' opening target list"));
+    if (ConsumeIdent("all")) {
+      if (!ConsumeIdent("attributes")) {
+        return Status::ParseError("expected 'attributes' after 'all'");
+      }
+      *all_attributes = true;
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after target list"));
+      return targets;
+    }
+    while (true) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("expected target attribute");
+      }
+      std::string name = Advance().text;
+      TargetItem item;
+      const std::string upper = ToUpper(name);
+      if ((upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+           upper == "MIN" || upper == "MAX") &&
+          Peek().kind == TokKind::kLParen) {
+        Advance();
+        if (Peek().kind != TokKind::kIdent) {
+          return Status::ParseError("expected attribute inside aggregate");
+        }
+        item.attribute = Advance().text;
+        item.aggregate = upper == "COUNT"  ? AggregateOp::kCount
+                         : upper == "SUM" ? AggregateOp::kSum
+                         : upper == "AVG" ? AggregateOp::kAvg
+                         : upper == "MIN" ? AggregateOp::kMin
+                                          : AggregateOp::kMax;
+        MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after aggregate"));
+      } else {
+        item.attribute = std::move(name);
+      }
+      targets.push_back(std::move(item));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after target list"));
+    return targets;
+  }
+
+  Result<Request> ParseRetrieve() {
+    MLDS_ASSIGN_OR_RETURN(Query q, ParseQueryExpr());
+    RetrieveRequest req;
+    req.query = std::move(q);
+    MLDS_ASSIGN_OR_RETURN(req.targets, ParseTargetList(&req.all_attributes));
+    if (ConsumeIdent("by")) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("expected attribute after BY");
+      }
+      req.by_attribute = Advance().text;
+    }
+    return Request(std::move(req));
+  }
+
+  Result<Request> ParseRetrieveCommon() {
+    RetrieveCommonRequest req;
+    MLDS_ASSIGN_OR_RETURN(req.left_query, ParseQueryExpr());
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' before join attribute"));
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected join attribute");
+    }
+    req.left_attribute = Advance().text;
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after join attribute"));
+    if (!ConsumeIdent("and")) {
+      return Status::ParseError("expected AND between RETRIEVE-COMMON halves");
+    }
+    MLDS_ASSIGN_OR_RETURN(req.right_query, ParseQueryExpr());
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' before join attribute"));
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected join attribute");
+    }
+    req.right_attribute = Advance().text;
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after join attribute"));
+    bool all = false;
+    MLDS_ASSIGN_OR_RETURN(req.targets, ParseTargetList(&all));
+    if (all) req.targets.clear();
+    return Request(std::move(req));
+  }
+
+  // --- Query expression parsing (precedence: OR < AND < primary) ---
+
+  Result<Query> ParseQueryExpr() {
+    MLDS_ASSIGN_OR_RETURN(BoolExpr e, ParseOr());
+    return Query(ToDnf(e));
+  }
+
+  Result<BoolExpr> ParseOr() {
+    MLDS_ASSIGN_OR_RETURN(BoolExpr left, ParseAnd());
+    if (!(Peek().kind == TokKind::kIdent && EqualsIgnoreCase(Peek().text, "or"))) {
+      return left;
+    }
+    BoolExpr node;
+    node.kind = BoolExpr::Kind::kOr;
+    node.children.push_back(std::move(left));
+    while (ConsumeIdent("or")) {
+      MLDS_ASSIGN_OR_RETURN(BoolExpr next, ParseAnd());
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<BoolExpr> ParseAnd() {
+    MLDS_ASSIGN_OR_RETURN(BoolExpr left, ParsePrimary());
+    if (!(Peek().kind == TokKind::kIdent && EqualsIgnoreCase(Peek().text, "and"))) {
+      return left;
+    }
+    BoolExpr node;
+    node.kind = BoolExpr::Kind::kAnd;
+    node.children.push_back(std::move(left));
+    while (ConsumeIdent("and")) {
+      MLDS_ASSIGN_OR_RETURN(BoolExpr next, ParsePrimary());
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  /// A primary is either a parenthesized subexpression or a predicate:
+  /// '(' expr ')' vs '(' ident relop literal ')'. We detect the predicate
+  /// by looking two tokens ahead for a relational operator.
+  Result<BoolExpr> ParsePrimary() {
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' in query"));
+    const bool looks_like_pred =
+        Peek().kind == TokKind::kIdent &&
+        (Peek(1).kind == TokKind::kRelOp || Peek(1).kind == TokKind::kLAngle ||
+         Peek(1).kind == TokKind::kRAngle);
+    if (looks_like_pred) {
+      Predicate pred;
+      pred.attribute = Advance().text;
+      const Token& op = Advance();
+      if (op.kind == TokKind::kLAngle) {
+        pred.op = RelOp::kLt;
+      } else if (op.kind == TokKind::kRAngle) {
+        pred.op = RelOp::kGt;
+      } else {
+        pred.op = op.rel;
+      }
+      MLDS_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' closing predicate"));
+      BoolExpr e;
+      e.kind = BoolExpr::Kind::kPred;
+      e.pred = std::move(pred);
+      return e;
+    }
+    MLDS_ASSIGN_OR_RETURN(BoolExpr inner, ParseOr());
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' closing subexpression"));
+    return inner;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Parser> MakeParser(std::string_view text) {
+  Lexer lexer(text);
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  return Parser(std::move(tokens));
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  return parser.ParseOneRequest();
+}
+
+Result<Transaction> ParseTransaction(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  return parser.ParseAll();
+}
+
+Result<abdm::Query> ParseQuery(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  return parser.ParseBareQuery();
+}
+
+}  // namespace mlds::abdl

@@ -1,0 +1,32 @@
+#ifndef MLDS_ABDL_PARSER_H_
+#define MLDS_ABDL_PARSER_H_
+
+#include <string_view>
+
+#include "abdl/request.h"
+#include "common/result.h"
+
+namespace mlds::abdl {
+
+/// Parses one ABDL request written in the thesis's notation, e.g.
+///
+///   RETRIEVE ((FILE = course) and (title = 'Advanced Database'))
+///            (title, dept, semester) BY course
+///   INSERT (<FILE, course>, <title, 'Database'>, <credits, 4>)
+///   UPDATE ((FILE = course) and (credits = 3)) (credits = 4)
+///   DELETE ((FILE = course) and (title = 'Old'))
+///
+/// Query expressions may nest AND/OR arbitrarily; the parser normalizes
+/// them to disjunctive normal form (AND binds tighter than OR).
+Result<Request> ParseRequest(std::string_view text);
+
+/// Parses a semicolon- or newline-separated sequence of requests into a
+/// transaction.
+Result<Transaction> ParseTransaction(std::string_view text);
+
+/// Parses a bare query expression into DNF.
+Result<abdm::Query> ParseQuery(std::string_view text);
+
+}  // namespace mlds::abdl
+
+#endif  // MLDS_ABDL_PARSER_H_

@@ -1,0 +1,106 @@
+#include "abdl/request.h"
+
+namespace mlds::abdl {
+
+namespace {
+
+std::string_view AggregateOpToString(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kNone:
+      return "";
+    case AggregateOp::kCount:
+      return "COUNT";
+    case AggregateOp::kSum:
+      return "SUM";
+    case AggregateOp::kAvg:
+      return "AVG";
+    case AggregateOp::kMin:
+      return "MIN";
+    case AggregateOp::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Modifier::ToString() const {
+  switch (kind) {
+    case ModifierKind::kSet:
+      return "(" + attribute + " = " + operand.ToString() + ")";
+    case ModifierKind::kAdd:
+      return "(" + attribute + " = " + attribute + " + " + operand.ToString() +
+             ")";
+  }
+  return "";
+}
+
+std::string TargetItem::ToString() const {
+  if (aggregate == AggregateOp::kNone) return attribute;
+  std::string out(AggregateOpToString(aggregate));
+  out += "(";
+  out += attribute;
+  out += ")";
+  return out;
+}
+
+std::string_view RequestOperation(const Request& request) {
+  struct Visitor {
+    std::string_view operator()(const InsertRequest&) { return "INSERT"; }
+    std::string_view operator()(const DeleteRequest&) { return "DELETE"; }
+    std::string_view operator()(const UpdateRequest&) { return "UPDATE"; }
+    std::string_view operator()(const RetrieveRequest&) { return "RETRIEVE"; }
+    std::string_view operator()(const RetrieveCommonRequest&) {
+      return "RETRIEVE-COMMON";
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+std::string ToString(const Request& request) {
+  struct Visitor {
+    std::string operator()(const InsertRequest& r) {
+      return "INSERT " + r.record.ToString();
+    }
+    std::string operator()(const DeleteRequest& r) {
+      return "DELETE " + r.query.ToString();
+    }
+    std::string operator()(const UpdateRequest& r) {
+      return "UPDATE " + r.query.ToString() + " " + r.modifier.ToString();
+    }
+    std::string operator()(const RetrieveRequest& r) {
+      std::string out = "RETRIEVE " + r.query.ToString() + " (";
+      if (r.all_attributes) {
+        out += "all attributes";
+      } else {
+        for (size_t i = 0; i < r.targets.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += r.targets[i].ToString();
+        }
+      }
+      out += ")";
+      if (r.by_attribute) {
+        out += " BY " + *r.by_attribute;
+      }
+      return out;
+    }
+    std::string operator()(const RetrieveCommonRequest& r) {
+      std::string out = "RETRIEVE-COMMON " + r.left_query.ToString() + " (" +
+                        r.left_attribute + ") AND " + r.right_query.ToString() +
+                        " (" + r.right_attribute + ") (";
+      if (r.targets.empty()) {
+        out += "all attributes";
+      } else {
+        for (size_t i = 0; i < r.targets.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += r.targets[i].ToString();
+        }
+      }
+      out += ")";
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+}  // namespace mlds::abdl

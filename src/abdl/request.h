@@ -1,0 +1,121 @@
+#ifndef MLDS_ABDL_REQUEST_H_
+#define MLDS_ABDL_REQUEST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "abdm/query.h"
+#include "abdm/record.h"
+
+namespace mlds::abdl {
+
+/// INSERT places a new record into the database, qualified by a list of
+/// keywords (Ch. II.C.2). The record's FILE keyword names the target file.
+struct InsertRequest {
+  abdm::Record record;
+
+  friend bool operator==(const InsertRequest&, const InsertRequest&) = default;
+};
+
+/// DELETE removes the records identified by the query.
+struct DeleteRequest {
+  abdm::Query query;
+
+  friend bool operator==(const DeleteRequest&, const DeleteRequest&) = default;
+};
+
+/// How an UPDATE modifier changes the target attribute's value.
+enum class ModifierKind {
+  kSet,  ///< attribute = constant
+  kAdd,  ///< attribute = attribute + constant (numeric attributes)
+};
+
+/// The modifier of an UPDATE request: which attribute changes and how.
+struct Modifier {
+  std::string attribute;
+  ModifierKind kind = ModifierKind::kSet;
+  abdm::Value operand;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Modifier&, const Modifier&) = default;
+};
+
+/// UPDATE modifies the records identified by the query, applying the
+/// modifier to each.
+struct UpdateRequest {
+  abdm::Query query;
+  Modifier modifier;
+
+  friend bool operator==(const UpdateRequest&, const UpdateRequest&) = default;
+};
+
+/// Aggregate operations available in a RETRIEVE target list.
+enum class AggregateOp {
+  kNone,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// One element of a RETRIEVE target list: an output attribute, optionally
+/// wrapped in an aggregate.
+struct TargetItem {
+  std::string attribute;
+  AggregateOp aggregate = AggregateOp::kNone;
+
+  std::string ToString() const;
+
+  friend bool operator==(const TargetItem&, const TargetItem&) = default;
+};
+
+/// RETRIEVE accesses and returns records: qualified by a query, a
+/// target-list, and an optional by-clause that groups records when an
+/// aggregate is specified (Ch. II.C.2). An empty target list with
+/// `all_attributes` set returns whole records.
+struct RetrieveRequest {
+  abdm::Query query;
+  bool all_attributes = false;
+  std::vector<TargetItem> targets;
+  /// BY attribute: groups results (and orders them) by this attribute.
+  std::optional<std::string> by_attribute;
+
+  friend bool operator==(const RetrieveRequest&,
+                         const RetrieveRequest&) = default;
+};
+
+/// RETRIEVE-COMMON joins the records satisfying two queries on a common
+/// attribute pair, returning the merged target attributes. The thesis's
+/// interface does not use it (Ch. II.C.2), but it is part of ABDL and is
+/// provided for completeness.
+struct RetrieveCommonRequest {
+  abdm::Query left_query;
+  std::string left_attribute;
+  abdm::Query right_query;
+  std::string right_attribute;
+  std::vector<TargetItem> targets;  ///< empty => all attributes of both.
+
+  friend bool operator==(const RetrieveCommonRequest&,
+                         const RetrieveCommonRequest&) = default;
+};
+
+/// A single ABDL request: one of the five basic operations.
+using Request = std::variant<InsertRequest, DeleteRequest, UpdateRequest,
+                             RetrieveRequest, RetrieveCommonRequest>;
+
+/// A transaction groups two or more sequentially executed requests.
+using Transaction = std::vector<Request>;
+
+/// Returns the operation keyword of `request` ("INSERT", "RETRIEVE", ...).
+std::string_view RequestOperation(const Request& request);
+
+/// Renders `request` in the thesis's ABDL notation.
+std::string ToString(const Request& request);
+
+}  // namespace mlds::abdl
+
+#endif  // MLDS_ABDL_REQUEST_H_

@@ -1,0 +1,131 @@
+#include "abdm/query.h"
+
+namespace mlds::abdm {
+
+std::string_view RelOpToString(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNe:
+      return "!=";
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Predicate::Matches(const Record& record) const {
+  auto recorded = record.Get(attribute);
+  if (!recorded.has_value()) return false;
+
+  // Null handling: only (in)equality is meaningful against NULL.
+  if (value.is_null() || recorded->is_null()) {
+    const bool both_null = value.is_null() && recorded->is_null();
+    if (op == RelOp::kEq) return both_null;
+    if (op == RelOp::kNe) return !both_null;
+    return false;
+  }
+
+  const int cmp = recorded->Compare(value);
+  switch (op) {
+    case RelOp::kEq:
+      return cmp == 0;
+    case RelOp::kNe:
+      return cmp != 0;
+    case RelOp::kLt:
+      return cmp < 0;
+    case RelOp::kLe:
+      return cmp <= 0;
+    case RelOp::kGt:
+      return cmp > 0;
+    case RelOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  std::string out = "(";
+  out += attribute;
+  out += " ";
+  out += RelOpToString(op);
+  out += " ";
+  out += value.ToString();
+  out += ")";
+  return out;
+}
+
+bool Conjunction::Matches(const Record& record) const {
+  for (const auto& pred : predicates) {
+    if (!pred.Matches(record)) return false;
+  }
+  return true;
+}
+
+std::string Conjunction::ToString() const {
+  if (predicates.empty()) return "(TRUE)";
+  std::string out = "(";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += predicates[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Query Query::ForFile(std::string_view file, std::vector<Predicate> more) {
+  std::vector<Predicate> preds;
+  preds.reserve(more.size() + 1);
+  preds.push_back(Predicate{std::string(kFileAttribute), RelOp::kEq,
+                            Value::String(std::string(file))});
+  for (auto& p : more) preds.push_back(std::move(p));
+  return Query::And(std::move(preds));
+}
+
+bool Query::Matches(const Record& record) const {
+  for (const auto& conj : disjuncts_) {
+    if (conj.Matches(record)) return true;
+  }
+  return false;
+}
+
+std::string Query::SingleFile() const {
+  std::string file;
+  for (const auto& conj : disjuncts_) {
+    bool found = false;
+    for (const auto& pred : conj.predicates) {
+      if (pred.attribute == kFileAttribute && pred.op == RelOp::kEq &&
+          pred.value.is_string()) {
+        if (file.empty()) {
+          file = pred.value.AsString();
+        } else if (file != pred.value.AsString()) {
+          return "";
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) return "";
+  }
+  return file;
+}
+
+std::string Query::ToString() const {
+  if (disjuncts_.empty()) return "(FALSE)";
+  if (disjuncts_.size() == 1) return disjuncts_[0].ToString();
+  std::string out = "(";
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += " or ";
+    out += disjuncts_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mlds::abdm

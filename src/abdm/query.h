@@ -1,0 +1,105 @@
+#ifndef MLDS_ABDM_QUERY_H_
+#define MLDS_ABDM_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdm/record.h"
+#include "abdm/value.h"
+
+namespace mlds::abdm {
+
+/// Relational operators usable in keyword predicates (Ch. II.C.1).
+enum class RelOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string_view RelOpToString(RelOp op);
+
+/// A keyword predicate: (attribute, relational operator, value). A record
+/// keyword satisfies the predicate when its attribute matches and the
+/// relation holds between the keyword's value and the predicate's value.
+///
+/// Null semantics: equality/inequality against NULL test for null-ness;
+/// ordering comparisons against a null record value are never satisfied.
+struct Predicate {
+  std::string attribute;
+  RelOp op = RelOp::kEq;
+  Value value;
+
+  /// True if `record` has a keyword satisfying this predicate.
+  bool Matches(const Record& record) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.attribute == b.attribute && a.op == b.op && a.value == b.value;
+  }
+};
+
+/// A conjunction of keyword predicates; a record satisfies it when every
+/// predicate is satisfied.
+struct Conjunction {
+  std::vector<Predicate> predicates;
+
+  bool Matches(const Record& record) const;
+  std::string ToString() const;
+
+  friend bool operator==(const Conjunction& a, const Conjunction& b) {
+    return a.predicates == b.predicates;
+  }
+};
+
+/// An ABDM query in disjunctive normal form: a disjunction of
+/// conjunctions of keyword predicates (Ch. II.C.1). An empty query (no
+/// conjunctions) matches nothing; a query with one empty conjunction
+/// matches everything.
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::vector<Conjunction> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  /// Builds the common single-conjunction query.
+  static Query And(std::vector<Predicate> predicates) {
+    return Query({Conjunction{std::move(predicates)}});
+  }
+
+  /// Convenience: (FILE = file) AND further predicates. Every translated
+  /// kernel query in MLDS leads with the FILE predicate.
+  static Query ForFile(std::string_view file,
+                       std::vector<Predicate> more = {});
+
+  bool Matches(const Record& record) const;
+
+  const std::vector<Conjunction>& disjuncts() const { return disjuncts_; }
+  std::vector<Conjunction>& mutable_disjuncts() { return disjuncts_; }
+  bool empty() const { return disjuncts_.empty(); }
+
+  /// Returns the file name this query is restricted to, if every disjunct
+  /// leads with an equality predicate on FILE naming the same file;
+  /// otherwise returns an empty string. The kernel engine uses this to
+  /// confine evaluation to one file's records.
+  std::string SingleFile() const;
+
+  /// Renders the query in the thesis's parenthesized notation, e.g.
+  /// ((FILE = course) and (title = 'Advanced Database')).
+  std::string ToString() const;
+
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.disjuncts_ == b.disjuncts_;
+  }
+
+ private:
+  std::vector<Conjunction> disjuncts_;
+};
+
+}  // namespace mlds::abdm
+
+#endif  // MLDS_ABDM_QUERY_H_

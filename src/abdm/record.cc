@@ -1,0 +1,64 @@
+#include "abdm/record.h"
+
+#include <algorithm>
+
+namespace mlds::abdm {
+
+Record::Record(std::vector<Keyword> keywords, std::string text)
+    : text_(std::move(text)) {
+  keywords_.reserve(keywords.size());
+  for (auto& kw : keywords) {
+    if (!Has(kw.attribute)) keywords_.push_back(std::move(kw));
+  }
+}
+
+void Record::Set(std::string_view attribute, Value value) {
+  for (auto& kw : keywords_) {
+    if (kw.attribute == attribute) {
+      kw.value = std::move(value);
+      return;
+    }
+  }
+  keywords_.push_back(Keyword{std::string(attribute), std::move(value)});
+}
+
+std::optional<Value> Record::Get(std::string_view attribute) const {
+  for (const auto& kw : keywords_) {
+    if (kw.attribute == attribute) return kw.value;
+  }
+  return std::nullopt;
+}
+
+Value Record::GetOrNull(std::string_view attribute) const {
+  auto v = Get(attribute);
+  return v ? *v : Value::Null();
+}
+
+bool Record::Has(std::string_view attribute) const {
+  return Get(attribute).has_value();
+}
+
+bool Record::Erase(std::string_view attribute) {
+  auto it = std::find_if(
+      keywords_.begin(), keywords_.end(),
+      [&](const Keyword& kw) { return kw.attribute == attribute; });
+  if (it == keywords_.end()) return false;
+  keywords_.erase(it);
+  return true;
+}
+
+std::string Record::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < keywords_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "<" + keywords_[i].attribute + ", " + keywords_[i].value.ToString() +
+           ">";
+  }
+  out += ")";
+  if (!text_.empty()) {
+    out += " {" + text_ + "}";
+  }
+  return out;
+}
+
+}  // namespace mlds::abdm

@@ -1,0 +1,83 @@
+#ifndef MLDS_ABDM_RECORD_H_
+#define MLDS_ABDM_RECORD_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdm/value.h"
+#include "common/result.h"
+
+namespace mlds::abdm {
+
+/// An attribute-value pair — the ABDM "keyword" (Ch. II.C.1). The
+/// attribute names the domain; the value is drawn from that domain.
+struct Keyword {
+  std::string attribute;
+  Value value;
+
+  friend bool operator==(const Keyword& a, const Keyword& b) {
+    return a.attribute == b.attribute && a.value == b.value;
+  }
+};
+
+/// An ABDM record: a group of keywords (at most one per attribute) plus an
+/// optional textual portion carrying a free-form description of the
+/// concept the record represents (Figure 2.3).
+///
+/// By MLDS convention the first keyword of every record is
+/// <FILE, file-name> and the second is the record's database-key keyword
+/// (<entity-type, unique-key> for AB(functional) files, Ch. III.C.1).
+class Record {
+ public:
+  Record() = default;
+
+  /// Builds a record from keywords; later duplicates of an attribute are
+  /// dropped so the at-most-one-keyword-per-attribute invariant holds.
+  explicit Record(std::vector<Keyword> keywords, std::string text = "");
+
+  /// Appends (or overwrites) the keyword for `attribute`.
+  void Set(std::string_view attribute, Value value);
+
+  /// Returns the value bound to `attribute`, or nullopt if the record has
+  /// no keyword for it.
+  std::optional<Value> Get(std::string_view attribute) const;
+
+  /// Returns the value bound to `attribute`, or Null if absent.
+  Value GetOrNull(std::string_view attribute) const;
+
+  bool Has(std::string_view attribute) const;
+
+  /// Removes the keyword for `attribute`; returns true if one existed.
+  bool Erase(std::string_view attribute);
+
+  const std::vector<Keyword>& keywords() const { return keywords_; }
+  std::vector<Keyword>& mutable_keywords() { return keywords_; }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  size_t size() const { return keywords_.size(); }
+  bool empty() const { return keywords_.empty(); }
+
+  /// Renders the record in ABDL keyword-list form:
+  /// (<FILE, course>, <title, 'Database'>, ...).
+  std::string ToString() const;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.keywords_ == b.keywords_ && a.text_ == b.text_;
+  }
+
+ private:
+  std::vector<Keyword> keywords_;
+  std::string text_;
+};
+
+/// Convenience: the distinguished attribute naming the file a record
+/// belongs to. Every kernel record's first keyword is <FILE, name>.
+inline constexpr std::string_view kFileAttribute = "FILE";
+
+}  // namespace mlds::abdm
+
+#endif  // MLDS_ABDM_RECORD_H_

@@ -1,0 +1,66 @@
+#ifndef MLDS_ABDM_SCHEMA_H_
+#define MLDS_ABDM_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "abdm/value.h"
+#include "common/result.h"
+
+namespace mlds::abdm {
+
+/// Template for one attribute of a kernel file: its name, the kind of
+/// values drawn from its domain, and whether the directory clusters
+/// records by it (directory attributes are indexed by the kernel engine).
+struct AttributeDescriptor {
+  std::string name;
+  ValueKind kind = ValueKind::kString;
+  /// Maximum value length (string attributes); 0 means unbounded.
+  int max_length = 0;
+  /// Directory attributes participate in the kernel's keyword directory
+  /// and get index-accelerated predicate evaluation.
+  bool directory = false;
+
+  friend bool operator==(const AttributeDescriptor&,
+                         const AttributeDescriptor&) = default;
+};
+
+/// Descriptor for one kernel file — the unit the data-model
+/// transformations emit: one file per record type (AB(network)) or per
+/// entity type/subtype (AB(functional), Ch. III.C.1).
+struct FileDescriptor {
+  std::string name;
+  std::vector<AttributeDescriptor> attributes;
+
+  const AttributeDescriptor* FindAttribute(std::string_view attr) const {
+    for (const auto& a : attributes) {
+      if (a.name == attr) return &a;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const FileDescriptor&,
+                         const FileDescriptor&) = default;
+};
+
+/// A kernel database definition: the set of file descriptors produced by a
+/// data-model transformation (the "KDM database definition" that KMS sends
+/// through KCS to KDS, Ch. I.B.1).
+struct DatabaseDescriptor {
+  std::string name;
+  std::vector<FileDescriptor> files;
+
+  const FileDescriptor* FindFile(std::string_view file) const {
+    for (const auto& f : files) {
+      if (f.name == file) return &f;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const DatabaseDescriptor&,
+                         const DatabaseDescriptor&) = default;
+};
+
+}  // namespace mlds::abdm
+
+#endif  // MLDS_ABDM_SCHEMA_H_

@@ -1,0 +1,98 @@
+#include "abdm/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace mlds::abdm {
+
+std::string_view ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInteger:
+      return "integer";
+    case ValueKind::kFloat:
+      return "float";
+    case ValueKind::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Value Value::Parse(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s.empty()) return Value::String("");
+  if (s.size() >= 2 && (s.front() == '\'' || s.front() == '"') &&
+      s.back() == s.front()) {
+    return Value::String(std::string(s.substr(1, s.size() - 2)));
+  }
+  if (EqualsIgnoreCase(s, "NULL")) return Value::Null();
+
+  // Try integer.
+  {
+    int64_t v = 0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec == std::errc() && ptr == s.data() + s.size()) {
+      return Value::Integer(v);
+    }
+  }
+  // Try float.
+  {
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec == std::errc() && ptr == s.data() + s.size()) {
+      return Value::Float(v);
+    }
+  }
+  return Value::String(std::string(s));
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return 0;
+    return a_null ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    const double a = AsFloat();
+    const double b = other.AsFloat();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString()) < 0
+               ? -1
+               : (AsString() == other.AsString() ? 0 : 1);
+  }
+  // Mixed string/numeric: numeric sorts first.
+  return is_numeric() ? -1 : 1;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "NULL";
+    case ValueKind::kInteger:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueKind::kFloat: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(rep_));
+      return buf;
+    }
+    case ValueKind::kString:
+      return "'" + std::get<std::string>(rep_) + "'";
+  }
+  return "NULL";
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_string()) return AsString();
+  return ToString();
+}
+
+}  // namespace mlds::abdm

@@ -1,0 +1,143 @@
+#include "codasyl/ast.h"
+
+#include "common/strings.h"
+
+namespace mlds::codasyl {
+
+namespace {
+
+std::string JoinItems(const std::vector<std::string>& items) {
+  return Join(items, ", ");
+}
+
+}  // namespace
+
+std::string_view FindPositionToString(FindPosition position) {
+  switch (position) {
+    case FindPosition::kFirst:
+      return "FIRST";
+    case FindPosition::kLast:
+      return "LAST";
+    case FindPosition::kNext:
+      return "NEXT";
+    case FindPosition::kPrior:
+      return "PRIOR";
+  }
+  return "?";
+}
+
+std::string_view StatementKind(const Statement& statement) {
+  struct Visitor {
+    std::string_view operator()(const MoveStatement&) { return "MOVE"; }
+    std::string_view operator()(const FindAnyStatement&) { return "FIND ANY"; }
+    std::string_view operator()(const FindCurrentStatement&) {
+      return "FIND CURRENT";
+    }
+    std::string_view operator()(const FindDuplicateStatement&) {
+      return "FIND DUPLICATE";
+    }
+    std::string_view operator()(const FindPositionalStatement& s) {
+      switch (s.position) {
+        case FindPosition::kFirst:
+          return "FIND FIRST";
+        case FindPosition::kLast:
+          return "FIND LAST";
+        case FindPosition::kNext:
+          return "FIND NEXT";
+        case FindPosition::kPrior:
+          return "FIND PRIOR";
+      }
+      return "FIND";
+    }
+    std::string_view operator()(const FindOwnerStatement&) {
+      return "FIND OWNER";
+    }
+    std::string_view operator()(const FindWithinCurrentStatement&) {
+      return "FIND WITHIN CURRENT";
+    }
+    std::string_view operator()(const GetStatement&) { return "GET"; }
+    std::string_view operator()(const StoreStatement&) { return "STORE"; }
+    std::string_view operator()(const ConnectStatement&) { return "CONNECT"; }
+    std::string_view operator()(const DisconnectStatement&) {
+      return "DISCONNECT";
+    }
+    std::string_view operator()(const ReconnectStatement&) {
+      return "RECONNECT";
+    }
+    std::string_view operator()(const ModifyStatement&) { return "MODIFY"; }
+    std::string_view operator()(const EraseStatement& s) {
+      return s.all ? "ERASE ALL" : "ERASE";
+    }
+  };
+  return std::visit(Visitor{}, statement);
+}
+
+std::string ToString(const Statement& statement) {
+  struct Visitor {
+    std::string operator()(const MoveStatement& s) {
+      return "MOVE " + s.value.ToString() + " TO " + s.item + " IN " +
+             s.record;
+    }
+    std::string operator()(const FindAnyStatement& s) {
+      std::string out = "FIND ANY " + s.record;
+      if (!s.items.empty()) {
+        out += " USING " + JoinItems(s.items) + " IN " + s.record;
+      }
+      if (!s.retaining.empty()) {
+        out += " RETAINING " + JoinItems(s.retaining);
+      }
+      return out;
+    }
+    std::string operator()(const FindCurrentStatement& s) {
+      return "FIND CURRENT " + s.record + " WITHIN " + s.set;
+    }
+    std::string operator()(const FindDuplicateStatement& s) {
+      return "FIND DUPLICATE WITHIN " + s.set + " USING " +
+             JoinItems(s.items) + " IN " + s.record;
+    }
+    std::string operator()(const FindPositionalStatement& s) {
+      return "FIND " + std::string(FindPositionToString(s.position)) + " " +
+             s.record + " WITHIN " + s.set;
+    }
+    std::string operator()(const FindOwnerStatement& s) {
+      return "FIND OWNER WITHIN " + s.set;
+    }
+    std::string operator()(const FindWithinCurrentStatement& s) {
+      return "FIND " + s.record + " WITHIN " + s.set + " CURRENT USING " +
+             JoinItems(s.items) + " IN " + s.record;
+    }
+    std::string operator()(const GetStatement& s) {
+      switch (s.kind) {
+        case GetStatement::Kind::kAll:
+          return "GET";
+        case GetStatement::Kind::kRecord:
+          return "GET " + s.record;
+        case GetStatement::Kind::kItems:
+          return "GET " + JoinItems(s.items) + " IN " + s.record;
+      }
+      return "GET";
+    }
+    std::string operator()(const StoreStatement& s) {
+      return "STORE " + s.record;
+    }
+    std::string operator()(const ConnectStatement& s) {
+      return "CONNECT " + s.record + " TO " + JoinItems(s.sets);
+    }
+    std::string operator()(const DisconnectStatement& s) {
+      return "DISCONNECT " + s.record + " FROM " + JoinItems(s.sets);
+    }
+    std::string operator()(const ReconnectStatement& s) {
+      return "RECONNECT " + s.record + " IN " + JoinItems(s.sets);
+    }
+    std::string operator()(const ModifyStatement& s) {
+      if (s.items.empty()) return "MODIFY " + s.record;
+      return "MODIFY " + JoinItems(s.items) + " IN " + s.record;
+    }
+    std::string operator()(const EraseStatement& s) {
+      return std::string(s.all ? "ERASE ALL " : "ERASE ") + s.record;
+    }
+  };
+  return std::visit(Visitor{}, statement);
+}
+
+}  // namespace mlds::codasyl

@@ -1,0 +1,141 @@
+#ifndef MLDS_CODASYL_AST_H_
+#define MLDS_CODASYL_AST_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "abdm/value.h"
+
+namespace mlds::codasyl {
+
+/// MOVE literal TO item IN record — the host-language assignment that
+/// initializes a UWA field (Ch. VI.B.1's COBOL MOVE).
+struct MoveStatement {
+  abdm::Value value;
+  std::string item;
+  std::string record;
+};
+
+/// FIND ANY record USING item_1, ..., item_n IN record
+/// [RETAINING set_1, ...] (Ch. VI.B.1). The RETAINING clause suppresses
+/// the currency update for the listed set types, the standard CODASYL
+/// device for holding one set occurrence pinned while locating a record
+/// that would otherwise reposition it.
+struct FindAnyStatement {
+  std::string record;
+  std::vector<std::string> items;
+  std::vector<std::string> retaining;
+};
+
+/// FIND CURRENT record WITHIN set (Ch. VI.B.2).
+struct FindCurrentStatement {
+  std::string record;
+  std::string set;
+};
+
+/// FIND DUPLICATE WITHIN set USING item_1, ..., item_n IN record
+/// (Ch. VI.B.3).
+struct FindDuplicateStatement {
+  std::string set;
+  std::vector<std::string> items;
+  std::string record;
+};
+
+/// Position selectors for the FIND FIRST/LAST/NEXT/PRIOR family.
+enum class FindPosition {
+  kFirst,
+  kLast,
+  kNext,
+  kPrior,
+};
+
+std::string_view FindPositionToString(FindPosition position);
+
+/// FIND FIRST|LAST|NEXT|PRIOR record WITHIN set (Ch. VI.B.4).
+struct FindPositionalStatement {
+  FindPosition position = FindPosition::kFirst;
+  std::string record;
+  std::string set;
+};
+
+/// FIND OWNER WITHIN set (Ch. VI.B.5).
+struct FindOwnerStatement {
+  std::string set;
+};
+
+/// FIND record WITHIN set CURRENT USING item_1, ..., item_n IN record
+/// (Ch. VI.B.6).
+struct FindWithinCurrentStatement {
+  std::string record;
+  std::string set;
+  std::vector<std::string> items;
+};
+
+/// The three GET options (Ch. VI.C): bare GET, GET record_type, and
+/// GET item_1, ..., item_n IN record_type.
+struct GetStatement {
+  enum class Kind { kAll, kRecord, kItems };
+  Kind kind = Kind::kAll;
+  std::string record;
+  std::vector<std::string> items;
+};
+
+/// STORE record (Ch. VI.G).
+struct StoreStatement {
+  std::string record;
+};
+
+/// CONNECT record TO set_1, ..., set_n (Ch. VI.D).
+struct ConnectStatement {
+  std::string record;
+  std::vector<std::string> sets;
+};
+
+/// DISCONNECT record FROM set_1, ..., set_n (Ch. VI.E).
+struct DisconnectStatement {
+  std::string record;
+  std::vector<std::string> sets;
+};
+
+/// RECONNECT record IN set_1, ..., set_n: moves the current record of
+/// the run-unit from its present owner to the current occurrence of each
+/// set. Permitted for OPTIONAL and MANDATORY retention (MANDATORY
+/// members may change owners but never detach); FIXED retention rejects
+/// it.
+struct ReconnectStatement {
+  std::string record;
+  std::vector<std::string> sets;
+};
+
+/// MODIFY record | MODIFY item_1, ..., item_n IN record (Ch. VI.F).
+/// An empty item list modifies the entire record from UWA.
+struct ModifyStatement {
+  std::string record;
+  std::vector<std::string> items;
+};
+
+/// ERASE [ALL] record (Ch. VI.H).
+struct EraseStatement {
+  std::string record;
+  bool all = false;
+};
+
+/// One CODASYL-DML statement.
+using Statement =
+    std::variant<MoveStatement, FindAnyStatement, FindCurrentStatement,
+                 FindDuplicateStatement, FindPositionalStatement,
+                 FindOwnerStatement, FindWithinCurrentStatement, GetStatement,
+                 StoreStatement, ConnectStatement, DisconnectStatement,
+                 ReconnectStatement, ModifyStatement, EraseStatement>;
+
+/// The statement's leading keyword(s), e.g. "FIND ANY", "CONNECT".
+std::string_view StatementKind(const Statement& statement);
+
+/// Renders the statement back to DML text.
+std::string ToString(const Statement& statement);
+
+}  // namespace mlds::codasyl
+
+#endif  // MLDS_CODASYL_AST_H_

@@ -1,0 +1,119 @@
+#ifndef MLDS_CODASYL_CIT_H_
+#define MLDS_CODASYL_CIT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdm/record.h"
+
+namespace mlds::codasyl {
+
+/// The current record of the run-unit: its record type, database key, and
+/// a cached copy of the (first) AB record that made it current — GET
+/// serves from this copy without another kernel round trip.
+struct RunUnitCurrency {
+  std::string record_type;
+  std::string dbkey;
+  abdm::Record record;
+};
+
+/// Currency of one set type: the owning record's database key and the
+/// current member's database key (either may be empty when not yet
+/// established).
+struct SetCurrency {
+  std::string owner_dbkey;
+  std::string member_dbkey;
+};
+
+/// The Currency Indicator Table (CIT): the database position of a
+/// run-unit. It identifies the current record of the run-unit, the
+/// current record of each record type, and the current record of each set
+/// type (Ch. II.B.2, III.A). Every FIND updates it.
+class CurrencyIndicatorTable {
+ public:
+  const std::optional<RunUnitCurrency>& run_unit() const { return run_unit_; }
+
+  void SetRunUnit(std::string record_type, std::string dbkey,
+                  abdm::Record record) {
+    run_unit_ = RunUnitCurrency{std::move(record_type), std::move(dbkey),
+                                std::move(record)};
+  }
+  void ClearRunUnit() { run_unit_.reset(); }
+
+  /// Current record (dbkey) of a record type.
+  std::optional<std::string> CurrentOfRecord(std::string_view record) const {
+    auto it = record_currency_.find(std::string(record));
+    if (it == record_currency_.end()) return std::nullopt;
+    return it->second;
+  }
+  void SetCurrentOfRecord(std::string_view record, std::string dbkey) {
+    record_currency_[std::string(record)] = std::move(dbkey);
+  }
+
+  /// Currency of a set type.
+  const SetCurrency* CurrentOfSet(std::string_view set) const {
+    auto it = set_currency_.find(std::string(set));
+    return it == set_currency_.end() ? nullptr : &it->second;
+  }
+  void SetCurrentOfSet(std::string_view set, SetCurrency currency) {
+    set_currency_[std::string(set)] = std::move(currency);
+  }
+  void SetSetOwner(std::string_view set, std::string owner_dbkey) {
+    set_currency_[std::string(set)].owner_dbkey = std::move(owner_dbkey);
+  }
+  void SetSetMember(std::string_view set, std::string member_dbkey) {
+    set_currency_[std::string(set)].member_dbkey = std::move(member_dbkey);
+  }
+
+  void Clear() {
+    run_unit_.reset();
+    record_currency_.clear();
+    set_currency_.clear();
+  }
+
+ private:
+  std::optional<RunUnitCurrency> run_unit_;
+  std::map<std::string, std::string> record_currency_;
+  std::map<std::string, SetCurrency> set_currency_;
+};
+
+/// The Request Buffer (RB): holds the records returned by the auxiliary
+/// retrieve requests of a translated statement, with a cursor for the
+/// FIND NEXT / PRIOR / DUPLICATE family (Ch. III.A). One buffer is kept
+/// per set type (and one per record type for FIND ANY results).
+class RequestBuffer {
+ public:
+  struct Buffer {
+    std::vector<abdm::Record> records;
+    /// Cursor into `records`; -1 before the first position.
+    int cursor = -1;
+  };
+
+  Buffer* Find(std::string_view key) {
+    auto it = buffers_.find(std::string(key));
+    return it == buffers_.end() ? nullptr : &it->second;
+  }
+  const Buffer* Find(std::string_view key) const {
+    auto it = buffers_.find(std::string(key));
+    return it == buffers_.end() ? nullptr : &it->second;
+  }
+
+  Buffer& Load(std::string_view key, std::vector<abdm::Record> records) {
+    Buffer& buffer = buffers_[std::string(key)];
+    buffer.records = std::move(records);
+    buffer.cursor = -1;
+    return buffer;
+  }
+
+  void Clear() { buffers_.clear(); }
+
+ private:
+  std::map<std::string, Buffer> buffers_;
+};
+
+}  // namespace mlds::codasyl
+
+#endif  // MLDS_CODASYL_CIT_H_

@@ -1,0 +1,330 @@
+#include "codasyl/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace mlds::codasyl {
+
+namespace {
+
+/// DML statements are single-line and word-oriented; the lexer produces
+/// words, quoted literals, numbers, and commas.
+struct Token {
+  enum class Kind { kWord, kLiteral, kComma, kEnd } kind = Kind::kEnd;
+  std::string text;        // word text (case preserved)
+  abdm::Value literal;     // for kLiteral
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == ',') {
+      out.push_back({Token::Kind::kComma, ",", {}});
+      ++pos;
+    } else if (c == '\'' || c == '"') {
+      size_t end = pos + 1;
+      while (end < text.size() && text[end] != c) ++end;
+      if (end >= text.size()) {
+        return Status::ParseError("unterminated literal in DML statement");
+      }
+      out.push_back({Token::Kind::kLiteral, "",
+                     abdm::Value::String(
+                         std::string(text.substr(pos + 1, end - pos - 1)))});
+      pos = end + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && pos + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.')) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kLiteral, "",
+                     abdm::Value::Parse(text.substr(pos, end - pos))});
+      pos = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      out.push_back(
+          {Token::Kind::kWord, std::string(text.substr(pos, end - pos)), {}});
+      pos = end;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in DML statement");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", {}});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    MLDS_ASSIGN_OR_RETURN(Statement stmt, ParseStatementBody());
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input after DML statement: '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+
+  bool PeekKeyword(std::string_view word, size_t ahead = 0) const {
+    return Peek(ahead).kind == Token::Kind::kWord &&
+           EqualsIgnoreCase(Peek(ahead).text, word);
+  }
+  bool ConsumeKeyword(std::string_view word) {
+    if (PeekKeyword(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view word) {
+    if (!ConsumeKeyword(word)) {
+      return Status::ParseError("expected '" + std::string(word) + "', got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectName(std::string_view what) {
+    if (Peek().kind != Token::Kind::kWord) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<std::string>> ParseNameList(std::string_view what) {
+    std::vector<std::string> names;
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string name, ExpectName(what));
+      names.push_back(std::move(name));
+      if (Peek().kind == Token::Kind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return names;
+  }
+
+  Result<Statement> ParseStatementBody() {
+    if (ConsumeKeyword("MOVE")) return ParseMove();
+    if (ConsumeKeyword("FIND")) return ParseFind();
+    if (ConsumeKeyword("GET")) return ParseGet();
+    if (ConsumeKeyword("STORE")) {
+      MLDS_ASSIGN_OR_RETURN(std::string record, ExpectName("record type"));
+      return Statement(StoreStatement{std::move(record)});
+    }
+    if (ConsumeKeyword("CONNECT")) {
+      ConnectStatement s;
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      MLDS_ASSIGN_OR_RETURN(s.sets, ParseNameList("set type"));
+      return Statement(std::move(s));
+    }
+    if (ConsumeKeyword("DISCONNECT")) {
+      DisconnectStatement s;
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+      MLDS_ASSIGN_OR_RETURN(s.sets, ParseNameList("set type"));
+      return Statement(std::move(s));
+    }
+    if (ConsumeKeyword("RECONNECT")) {
+      ReconnectStatement s;
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      MLDS_ASSIGN_OR_RETURN(s.sets, ParseNameList("set type"));
+      return Statement(std::move(s));
+    }
+    if (ConsumeKeyword("MODIFY")) return ParseModify();
+    if (ConsumeKeyword("ERASE")) {
+      EraseStatement s;
+      s.all = ConsumeKeyword("ALL");
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      return Statement(std::move(s));
+    }
+    return Status::ParseError("unknown DML statement: '" + Peek().text + "'");
+  }
+
+  Result<Statement> ParseMove() {
+    MoveStatement s;
+    if (Peek().kind == Token::Kind::kLiteral) {
+      s.value = Advance().literal;
+    } else if (Peek().kind == Token::Kind::kWord && !PeekKeyword("TO")) {
+      // Unquoted word literal, e.g. MOVE YES TO eof IN status.
+      s.value = abdm::Value::String(Advance().text);
+    } else {
+      return Status::ParseError("expected literal after MOVE");
+    }
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    MLDS_ASSIGN_OR_RETURN(s.item, ExpectName("item name"));
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+    return Statement(std::move(s));
+  }
+
+  Result<Statement> ParseFind() {
+    if (ConsumeKeyword("ANY")) {
+      FindAnyStatement s;
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      if (PeekKeyword("USING")) {
+        Advance();
+        MLDS_ASSIGN_OR_RETURN(s.items, ParseNameList("item name"));
+        MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+        MLDS_ASSIGN_OR_RETURN(std::string record2, ExpectName("record type"));
+        if (record2 != s.record) {
+          return Status::ParseError(
+              "FIND ANY: USING items must be IN the same record type");
+        }
+      }
+      if (ConsumeKeyword("RETAINING")) {
+        MLDS_ASSIGN_OR_RETURN(s.retaining, ParseNameList("set type"));
+      }
+      return Statement(std::move(s));
+    }
+    if (ConsumeKeyword("CURRENT")) {
+      FindCurrentStatement s;
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+      MLDS_ASSIGN_OR_RETURN(s.set, ExpectName("set type"));
+      return Statement(std::move(s));
+    }
+    if (ConsumeKeyword("DUPLICATE")) {
+      FindDuplicateStatement s;
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+      MLDS_ASSIGN_OR_RETURN(s.set, ExpectName("set type"));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("USING"));
+      MLDS_ASSIGN_OR_RETURN(s.items, ParseNameList("item name"));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      return Statement(std::move(s));
+    }
+    if (ConsumeKeyword("OWNER")) {
+      FindOwnerStatement s;
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+      MLDS_ASSIGN_OR_RETURN(s.set, ExpectName("set type"));
+      return Statement(std::move(s));
+    }
+    for (FindPosition pos : {FindPosition::kFirst, FindPosition::kLast,
+                             FindPosition::kNext, FindPosition::kPrior}) {
+      if (ConsumeKeyword(FindPositionToString(pos))) {
+        FindPositionalStatement s;
+        s.position = pos;
+        MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+        MLDS_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+        MLDS_ASSIGN_OR_RETURN(s.set, ExpectName("set type"));
+        return Statement(std::move(s));
+      }
+    }
+    // FIND record WITHIN set CURRENT USING items IN record.
+    FindWithinCurrentStatement s;
+    MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+    MLDS_ASSIGN_OR_RETURN(s.set, ExpectName("set type"));
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("CURRENT"));
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    MLDS_ASSIGN_OR_RETURN(s.items, ParseNameList("item name"));
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    MLDS_ASSIGN_OR_RETURN(std::string record2, ExpectName("record type"));
+    if (record2 != s.record) {
+      return Status::ParseError(
+          "FIND WITHIN CURRENT: USING items must be IN the same record type");
+    }
+    return Statement(std::move(s));
+  }
+
+  Result<Statement> ParseGet() {
+    GetStatement s;
+    if (AtEnd()) {
+      s.kind = GetStatement::Kind::kAll;
+      return Statement(std::move(s));
+    }
+    // Either GET record, or GET items IN record.
+    MLDS_ASSIGN_OR_RETURN(std::string first, ExpectName("record or item"));
+    if (AtEnd()) {
+      s.kind = GetStatement::Kind::kRecord;
+      s.record = std::move(first);
+      return Statement(std::move(s));
+    }
+    s.kind = GetStatement::Kind::kItems;
+    s.items.push_back(std::move(first));
+    while (Peek().kind == Token::Kind::kComma) {
+      Advance();
+      MLDS_ASSIGN_OR_RETURN(std::string item, ExpectName("item name"));
+      s.items.push_back(std::move(item));
+    }
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+    return Statement(std::move(s));
+  }
+
+  Result<Statement> ParseModify() {
+    ModifyStatement s;
+    MLDS_ASSIGN_OR_RETURN(std::string first, ExpectName("record or item"));
+    if (AtEnd()) {
+      s.record = std::move(first);
+      return Statement(std::move(s));
+    }
+    s.items.push_back(std::move(first));
+    while (Peek().kind == Token::Kind::kComma) {
+      Advance();
+      MLDS_ASSIGN_OR_RETURN(std::string item, ExpectName("item name"));
+      s.items.push_back(std::move(item));
+    }
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+    return Statement(std::move(s));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<std::vector<Statement>> ParseProgram(std::string_view text) {
+  std::vector<Statement> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find_first_of(";\n", start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    if (!line.empty() && !line.starts_with("--")) {
+      MLDS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(line));
+      out.push_back(std::move(stmt));
+    }
+    if (end >= text.size()) break;
+    start = end + 1;
+  }
+  if (out.empty()) return Status::ParseError("empty DML program");
+  return out;
+}
+
+}  // namespace mlds::codasyl

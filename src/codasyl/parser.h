@@ -1,0 +1,37 @@
+#ifndef MLDS_CODASYL_PARSER_H_
+#define MLDS_CODASYL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "codasyl/ast.h"
+#include "common/result.h"
+
+namespace mlds::codasyl {
+
+/// Parses one CODASYL-DML statement in the thesis's syntax:
+///
+///   MOVE 'Advanced Database' TO title IN course
+///   FIND ANY course USING title IN course
+///   FIND CURRENT student WITHIN person_student
+///   FIND DUPLICATE WITHIN person_student USING major IN student
+///   FIND FIRST student WITHIN person_student
+///   FIND OWNER WITHIN advisor
+///   FIND student WITHIN advisor CURRENT USING major IN student
+///   GET  |  GET student  |  GET major, advisor IN student
+///   STORE course
+///   CONNECT student TO advisor
+///   DISCONNECT student FROM advisor
+///   MODIFY credits IN course  |  MODIFY course
+///   ERASE course  |  ERASE ALL course
+///
+/// Keywords are case-insensitive; identifiers preserve case.
+Result<Statement> ParseStatement(std::string_view text);
+
+/// Parses a transaction: statements separated by newlines or semicolons.
+/// Blank lines and '--' comments are skipped.
+Result<std::vector<Statement>> ParseProgram(std::string_view text);
+
+}  // namespace mlds::codasyl
+
+#endif  // MLDS_CODASYL_PARSER_H_

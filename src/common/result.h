@@ -1,0 +1,79 @@
+#ifndef MLDS_COMMON_RESULT_H_
+#define MLDS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mlds {
+
+/// Result<T> holds either a value of type T or a non-OK Status, following
+/// the arrow::Result idiom. A Result is implicitly constructible from both
+/// T and Status so that `return Status::NotFound(...)` and `return value`
+/// both work inside a function returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed Result from a non-OK status. Constructing from an
+  /// OK status is a programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error; on success binds
+/// the unwrapped value to `lhs`.
+#define MLDS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  MLDS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      MLDS_RESULT_CONCAT_(_mlds_result, __LINE__), lhs, rexpr)
+
+#define MLDS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define MLDS_RESULT_CONCAT_(a, b) MLDS_RESULT_CONCAT_IMPL_(a, b)
+#define MLDS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mlds
+
+#endif  // MLDS_COMMON_RESULT_H_

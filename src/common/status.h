@@ -1,0 +1,115 @@
+#ifndef MLDS_COMMON_STATUS_H_
+#define MLDS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mlds {
+
+/// Error categories used throughout MLDS. The taxonomy mirrors the failure
+/// modes of the paper's subsystems: parse errors from the language
+/// interfaces, constraint violations from KMS/KC (duplicates, overlap,
+/// ERASE rules), and not-found/exists conditions from the kernel engine.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kConstraintViolation,
+  kCurrencyError,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+};
+
+/// Returns a human-readable name for `code` (e.g. "ParseError").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status carries the outcome of a fallible operation: a code plus a
+/// message. MLDS does not throw exceptions across API boundaries; every
+/// operation that can fail returns a Status or a Result<T>.
+///
+/// The design follows the RocksDB/Arrow idiom: cheap to copy in the OK
+/// case, explicit `ok()` checks at call sites, and factory functions named
+/// after the error category.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status CurrencyError(std::string msg) {
+    return Status(StatusCode::kCurrencyError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller. Usable in any function that
+/// itself returns Status (or Result<T>, which converts from Status).
+#define MLDS_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::mlds::Status _mlds_status = (expr);            \
+    if (!_mlds_status.ok()) return _mlds_status;     \
+  } while (0)
+
+}  // namespace mlds
+
+#endif  // MLDS_COMMON_STATUS_H_

@@ -1,0 +1,444 @@
+#include "daplex/ddl_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mlds::daplex {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDotDot,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view ddl) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < ddl.size()) {
+    const char c = ddl[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '-' && pos + 1 < ddl.size() && ddl[pos + 1] == '-') {
+      while (pos < ddl.size() && ddl[pos] != '\n') ++pos;
+    } else if (c == '(') {
+      out.push_back({TokKind::kLParen, "("});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({TokKind::kRParen, ")"});
+      ++pos;
+    } else if (c == ',') {
+      out.push_back({TokKind::kComma, ","});
+      ++pos;
+    } else if (c == ':') {
+      out.push_back({TokKind::kColon, ":"});
+      ++pos;
+    } else if (c == ';') {
+      out.push_back({TokKind::kSemicolon, ";"});
+      ++pos;
+    } else if (c == '.' && pos + 1 < ddl.size() && ddl[pos + 1] == '.') {
+      out.push_back({TokKind::kDotDot, ".."});
+      pos += 2;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && pos + 1 < ddl.size() &&
+                std::isdigit(static_cast<unsigned char>(ddl[pos + 1])))) {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             (std::isdigit(static_cast<unsigned char>(ddl[end])) ||
+              (ddl[end] == '.' &&
+               !(end + 1 < ddl.size() && ddl[end + 1] == '.')))) {
+        ++end;
+      }
+      out.push_back({TokKind::kNumber, std::string(ddl.substr(pos, end - pos))});
+      pos = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             (std::isalnum(static_cast<unsigned char>(ddl[end])) ||
+              ddl[end] == '_')) {
+        ++end;
+      }
+      out.push_back({TokKind::kIdent, std::string(ddl.substr(pos, end - pos))});
+      pos = end;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in Daplex DDL");
+    }
+  }
+  out.push_back({TokKind::kEnd, ""});
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FunctionalSchema> Parse() {
+    while (!AtEnd()) {
+      MLDS_RETURN_IF_ERROR(ParseDeclaration());
+    }
+    return std::move(schema_);
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool PeekKeyword(std::string_view word, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokKind::kIdent &&
+           EqualsIgnoreCase(Peek(ahead).text, word);
+  }
+  bool ConsumeKeyword(std::string_view word) {
+    if (PeekKeyword(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectKeyword(std::string_view word) {
+    if (!ConsumeKeyword(word)) {
+      return Status::ParseError("expected '" + std::string(word) +
+                                "', got '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(std::string_view what) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Status ParseDeclaration() {
+    if (ConsumeKeyword("SCHEMA")) {
+      MLDS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("schema name"));
+      schema_.set_name(name);
+      return Expect(TokKind::kSemicolon, "';'");
+    }
+    if (ConsumeKeyword("TYPE")) return ParseType();
+    if (ConsumeKeyword("UNIQUE")) return ParseUnique();
+    if (ConsumeKeyword("OVERLAP")) return ParseOverlap();
+    return Status::ParseError("expected TYPE, UNIQUE, OVERLAP, or SCHEMA; "
+                              "got '" +
+                              Peek().text + "'");
+  }
+
+  Status ParseType() {
+    MLDS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("type name"));
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("IS"));
+    if (ConsumeKeyword("ENTITY")) {
+      EntityType entity;
+      entity.name = std::move(name);
+      MLDS_RETURN_IF_ERROR(ParseFunctionList(&entity.functions));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("END"));
+      if (!ConsumeKeyword("ENTITY") && !ConsumeKeyword("SUBTYPE")) {
+        return Status::ParseError("expected ENTITY after END");
+      }
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+      return schema_.AddEntity(std::move(entity));
+    }
+    if (ConsumeKeyword("SUBTYPE")) {
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      Subtype sub;
+      sub.name = std::move(name);
+      while (true) {
+        MLDS_ASSIGN_OR_RETURN(std::string super, ExpectIdent("supertype name"));
+        sub.supertypes.push_back(std::move(super));
+        if (Peek().kind == TokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MLDS_RETURN_IF_ERROR(ParseFunctionList(&sub.functions));
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("END"));
+      if (!ConsumeKeyword("SUBTYPE") && !ConsumeKeyword("ENTITY")) {
+        return Status::ParseError("expected SUBTYPE after END");
+      }
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+      return schema_.AddSubtype(std::move(sub));
+    }
+    return ParseNonEntity(std::move(name));
+  }
+
+  Status ParseNonEntity(std::string name) {
+    NonEntityType t;
+    t.name = std::move(name);
+    if (ConsumeKeyword("CONSTANT")) {
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::ParseError("expected numeric literal after CONSTANT");
+      }
+      t.is_constant = true;
+      t.constant_value = std::stod(Advance().text);
+      t.kind = ScalarKind::kFloat;
+    } else if (ConsumeKeyword("INTEGER")) {
+      t.kind = ScalarKind::kInteger;
+      if (ConsumeKeyword("RANGE")) {
+        if (Peek().kind != TokKind::kNumber) {
+          return Status::ParseError("expected range lower bound");
+        }
+        t.range_min = std::stoll(Advance().text);
+        MLDS_RETURN_IF_ERROR(Expect(TokKind::kDotDot, "'..'"));
+        if (Peek().kind != TokKind::kNumber) {
+          return Status::ParseError("expected range upper bound");
+        }
+        t.range_max = std::stoll(Advance().text);
+        t.has_range = true;
+        if (t.range_min > t.range_max) {
+          return Status::ParseError("empty RANGE in type '" + t.name + "'");
+        }
+      }
+    } else if (ConsumeKeyword("FLOAT")) {
+      t.kind = ScalarKind::kFloat;
+    } else if (ConsumeKeyword("BOOLEAN")) {
+      t.kind = ScalarKind::kBoolean;
+      t.values = {"true", "false"};
+    } else if (ConsumeKeyword("STRING")) {
+      t.kind = ScalarKind::kString;
+      if (Peek().kind == TokKind::kLParen) {
+        Advance();
+        if (Peek().kind != TokKind::kNumber) {
+          return Status::ParseError("expected string length");
+        }
+        t.max_length = std::stoi(Advance().text);
+        MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      }
+    } else if (Peek().kind == TokKind::kLParen) {
+      Advance();
+      t.kind = ScalarKind::kEnumeration;
+      while (true) {
+        MLDS_ASSIGN_OR_RETURN(std::string lit, ExpectIdent("enumeration literal"));
+        t.max_length =
+            std::max(t.max_length, static_cast<int>(lit.size()));
+        t.values.push_back(std::move(lit));
+        if (Peek().kind == TokKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    } else {
+      return Status::ParseError("unknown non-entity type form for '" +
+                                t.name + "'");
+    }
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+    return schema_.AddNonEntity(std::move(t));
+  }
+
+  Status ParseFunctionList(std::vector<Function>* functions) {
+    while (!PeekKeyword("END")) {
+      if (AtEnd()) return Status::ParseError("unterminated entity body");
+      Function fn;
+      MLDS_ASSIGN_OR_RETURN(fn.name, ExpectIdent("function name"));
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kColon, "':'"));
+      MLDS_RETURN_IF_ERROR(ParseFunctionType(&fn));
+      MLDS_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+      for (const auto& existing : *functions) {
+        if (existing.name == fn.name) {
+          return Status::ParseError("duplicate function '" + fn.name + "'");
+        }
+      }
+      functions->push_back(std::move(fn));
+    }
+    return Status::OK();
+  }
+
+  Status ParseFunctionType(Function* fn) {
+    if (ConsumeKeyword("SET")) {
+      MLDS_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      fn->set_valued = true;
+    }
+    if (ConsumeKeyword("INTEGER")) {
+      fn->result = FunctionResult::kInteger;
+      return Status::OK();
+    }
+    if (ConsumeKeyword("FLOAT")) {
+      fn->result = FunctionResult::kFloat;
+      return Status::OK();
+    }
+    if (ConsumeKeyword("BOOLEAN")) {
+      fn->result = FunctionResult::kBoolean;
+      return Status::OK();
+    }
+    if (ConsumeKeyword("STRING")) {
+      fn->result = FunctionResult::kString;
+      if (Peek().kind == TokKind::kLParen) {
+        Advance();
+        if (Peek().kind != TokKind::kNumber) {
+          return Status::ParseError("expected string length");
+        }
+        fn->max_length = std::stoi(Advance().text);
+        MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      }
+      return Status::OK();
+    }
+    MLDS_ASSIGN_OR_RETURN(std::string target, ExpectIdent("function type"));
+    fn->target = std::move(target);
+    // Resolution between entity and non-entity targets is finalized after
+    // the full schema is read; mark as entity when already known, else
+    // leave as non-entity and let Classify() resolve by lookup.
+    fn->result = FunctionResult::kNonEntity;
+    return Status::OK();
+  }
+
+  Status ParseUnique() {
+    UniquenessConstraint uc;
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string fname, ExpectIdent("function name"));
+      uc.functions.push_back(std::move(fname));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+    MLDS_ASSIGN_OR_RETURN(uc.within, ExpectIdent("type name"));
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+    return schema_.AddUniqueness(std::move(uc));
+  }
+
+  Status ParseOverlap() {
+    OverlapConstraint oc;
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("subtype name"));
+      oc.left.push_back(std::move(name));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("subtype name"));
+      oc.right.push_back(std::move(name));
+      if (Peek().kind == TokKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(Expect(TokKind::kSemicolon, "';'"));
+    return schema_.AddOverlap(std::move(oc));
+  }
+
+  FunctionalSchema schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Resolves named function targets to entity vs non-entity results, and
+/// folds uniqueness constraints into fn_unique flags. Runs after parsing
+/// so forward references work.
+Status ResolveSchema(FunctionalSchema* schema) {
+  auto resolve_functions = [&](std::vector<Function>* functions) {
+    for (auto& fn : *functions) {
+      if (fn.result == FunctionResult::kNonEntity &&
+          schema->IsEntityOrSubtype(fn.target)) {
+        fn.result = FunctionResult::kEntity;
+      }
+    }
+  };
+  // Work on mutable copies through const accessors is not possible, so
+  // rebuild in place via the schema's own storage. FunctionalSchema does
+  // not expose mutable iteration; do it by reconstructing.
+  FunctionalSchema resolved(schema->name());
+  for (const auto& t : schema->nonentities()) {
+    MLDS_RETURN_IF_ERROR(resolved.AddNonEntity(t));
+  }
+  for (auto entity : schema->entities()) {
+    resolve_functions(&entity.functions);
+    MLDS_RETURN_IF_ERROR(resolved.AddEntity(std::move(entity)));
+  }
+  for (auto sub : schema->subtypes()) {
+    resolve_functions(&sub.functions);
+    MLDS_RETURN_IF_ERROR(resolved.AddSubtype(std::move(sub)));
+  }
+  for (const auto& oc : schema->overlaps()) {
+    MLDS_RETURN_IF_ERROR(resolved.AddOverlap(oc));
+  }
+  for (const auto& uc : schema->uniqueness()) {
+    MLDS_RETURN_IF_ERROR(resolved.AddUniqueness(uc));
+  }
+  *schema = std::move(resolved);
+  return Status::OK();
+}
+
+/// Marks fn_unique on every function named by a uniqueness constraint.
+Status ApplyUniqueness(FunctionalSchema* schema) {
+  FunctionalSchema rebuilt(schema->name());
+  auto mark = [&](std::vector<Function>* functions,
+                  const std::string& type_name) {
+    for (auto& fn : *functions) {
+      for (const auto& uc : schema->uniqueness()) {
+        if (uc.within != type_name) continue;
+        for (const auto& fname : uc.functions) {
+          if (fname == fn.name) fn.unique = true;
+        }
+      }
+    }
+  };
+  for (const auto& t : schema->nonentities()) {
+    MLDS_RETURN_IF_ERROR(rebuilt.AddNonEntity(t));
+  }
+  for (auto entity : schema->entities()) {
+    mark(&entity.functions, entity.name);
+    MLDS_RETURN_IF_ERROR(rebuilt.AddEntity(std::move(entity)));
+  }
+  for (auto sub : schema->subtypes()) {
+    mark(&sub.functions, sub.name);
+    MLDS_RETURN_IF_ERROR(rebuilt.AddSubtype(std::move(sub)));
+  }
+  for (const auto& oc : schema->overlaps()) {
+    MLDS_RETURN_IF_ERROR(rebuilt.AddOverlap(oc));
+  }
+  for (const auto& uc : schema->uniqueness()) {
+    MLDS_RETURN_IF_ERROR(rebuilt.AddUniqueness(uc));
+  }
+  *schema = std::move(rebuilt);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FunctionalSchema> ParseFunctionalSchema(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(ddl));
+  Parser parser(std::move(tokens));
+  MLDS_ASSIGN_OR_RETURN(FunctionalSchema schema, parser.Parse());
+  MLDS_RETURN_IF_ERROR(ResolveSchema(&schema));
+  MLDS_RETURN_IF_ERROR(ApplyUniqueness(&schema));
+  MLDS_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace mlds::daplex

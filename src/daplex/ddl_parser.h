@@ -1,0 +1,42 @@
+#ifndef MLDS_DAPLEX_DDL_PARSER_H_
+#define MLDS_DAPLEX_DDL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "daplex/schema.h"
+
+namespace mlds::daplex {
+
+/// Parses a functional schema written in the thesis's Daplex declaration
+/// style (Figures 5.2 / 5.4):
+///
+///   SCHEMA university;
+///
+///   TYPE name IS STRING(30);
+///   TYPE rank IS (instructor, assistant, associate, full);
+///   TYPE credit IS INTEGER RANGE 0..9;
+///
+///   TYPE person IS ENTITY
+///     pname : name;
+///     age   : INTEGER;
+///   END ENTITY;
+///
+///   TYPE student IS SUBTYPE OF person
+///     major   : STRING(10);
+///     advisor : faculty;
+///     hobbies : SET OF STRING(12);
+///   END SUBTYPE;
+///
+///   UNIQUE title, semester WITHIN course;
+///   OVERLAP student WITH support_staff;
+///
+/// Keywords are case-insensitive; identifiers preserve case; `--` starts a
+/// line comment. Forward references between entity types are allowed
+/// (validation runs after the whole schema is read). `END ENTITY` is
+/// accepted as a synonym for `END SUBTYPE` and vice versa.
+Result<FunctionalSchema> ParseFunctionalSchema(std::string_view ddl);
+
+}  // namespace mlds::daplex
+
+#endif  // MLDS_DAPLEX_DDL_PARSER_H_

@@ -1,0 +1,110 @@
+#ifndef MLDS_DAPLEX_QUERY_H_
+#define MLDS_DAPLEX_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "abdm/query.h"
+#include "abdm/value.h"
+#include "common/result.h"
+
+namespace mlds::daplex {
+
+/// One SUCH THAT comparison: function <relop> literal.
+struct Comparison {
+  std::string function;
+  abdm::RelOp op = abdm::RelOp::kEq;
+  abdm::Value value;
+
+  friend bool operator==(const Comparison&, const Comparison&) = default;
+};
+
+/// Aggregate operators usable in a PRINT list.
+enum class DaplexAggregate {
+  kNone,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+  kSum,
+};
+
+/// One PRINT item: a function name, optionally aggregated.
+struct PrintItem {
+  std::string function;
+  DaplexAggregate aggregate = DaplexAggregate::kNone;
+
+  friend bool operator==(const PrintItem&, const PrintItem&) = default;
+};
+
+/// The Daplex iteration query this language interface supports:
+///
+///   FOR EACH <type> [SUCH THAT <fn> <op> <literal> [AND ...]]
+///     PRINT <fn>[, <fn>...] | PRINT ALL | PRINT COUNT(<fn>) ...
+///
+/// Functions in both the SUCH THAT and PRINT clauses may be inherited
+/// from the type's supertypes (value inheritance over the ISA
+/// relationship) and may be entity-valued (printed as the target entity's
+/// database key).
+struct ForEachQuery {
+  std::string type;
+  std::vector<Comparison> such_that;
+  bool print_all = false;
+  std::vector<PrintItem> print;
+
+  friend bool operator==(const ForEachQuery&, const ForEachQuery&) = default;
+};
+
+/// Parses one FOR EACH query. Keywords are case-insensitive.
+Result<ForEachQuery> ParseForEach(std::string_view text);
+
+/// CREATE <type> (fn = literal, ...): creates a new entity. Subtype
+/// creation names the supertype entity through the supertype's key
+/// pseudo-function, e.g. CREATE student (person = 'person_40',
+/// major = 'CS').
+struct CreateStatement {
+  std::string type;
+  std::vector<std::pair<std::string, abdm::Value>> assignments;
+
+  friend bool operator==(const CreateStatement&,
+                         const CreateStatement&) = default;
+};
+
+/// DESTROY <type> [SUCH THAT ...]: removes entities from the database.
+/// Per the thesis's DESTROY semantics (Ch. VI.H): the entire subtype
+/// hierarchy of each destroyed entity is deleted with it, and the
+/// statement aborts when a destroyed entity is referenced by a database
+/// function.
+struct DestroyStatement {
+  std::string type;
+  std::vector<Comparison> such_that;
+
+  friend bool operator==(const DestroyStatement&,
+                         const DestroyStatement&) = default;
+};
+
+/// UPDATE <type> [SUCH THAT ...] (fn = literal, ...): assigns new values
+/// to functions of the selected entities (Daplex's assignment semantics,
+/// restricted to scalar and single-valued functions).
+struct UpdateStatement {
+  std::string type;
+  std::vector<Comparison> such_that;
+  std::vector<std::pair<std::string, abdm::Value>> assignments;
+
+  friend bool operator==(const UpdateStatement&,
+                         const UpdateStatement&) = default;
+};
+
+/// One Daplex DML statement.
+using DaplexStatement = std::variant<ForEachQuery, CreateStatement,
+                                     DestroyStatement, UpdateStatement>;
+
+/// Parses a FOR EACH, CREATE, or DESTROY statement.
+Result<DaplexStatement> ParseDaplexStatement(std::string_view text);
+
+}  // namespace mlds::daplex
+
+#endif  // MLDS_DAPLEX_QUERY_H_

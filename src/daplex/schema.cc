@@ -1,0 +1,374 @@
+#include "daplex/schema.h"
+
+#include <algorithm>
+
+namespace mlds::daplex {
+
+std::string_view ScalarKindToString(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kInteger:
+      return "INTEGER";
+    case ScalarKind::kFloat:
+      return "FLOAT";
+    case ScalarKind::kString:
+      return "STRING";
+    case ScalarKind::kBoolean:
+      return "BOOLEAN";
+    case ScalarKind::kEnumeration:
+      return "ENUMERATION";
+  }
+  return "?";
+}
+
+std::string_view FunctionClassToString(FunctionClass cls) {
+  switch (cls) {
+    case FunctionClass::kScalar:
+      return "scalar";
+    case FunctionClass::kScalarMultiValued:
+      return "scalar multi-valued";
+    case FunctionClass::kSingleValued:
+      return "single-valued";
+    case FunctionClass::kMultiValued:
+      return "multi-valued";
+  }
+  return "?";
+}
+
+Status FunctionalSchema::AddNonEntity(NonEntityType type) {
+  if (FindNonEntity(type.name) != nullptr) {
+    return Status::AlreadyExists("non-entity type '" + type.name +
+                                 "' already declared");
+  }
+  nonentities_.push_back(std::move(type));
+  return Status::OK();
+}
+
+Status FunctionalSchema::AddEntity(EntityType entity) {
+  if (IsEntityOrSubtype(entity.name)) {
+    return Status::AlreadyExists("type '" + entity.name +
+                                 "' already declared");
+  }
+  entities_.push_back(std::move(entity));
+  return Status::OK();
+}
+
+Status FunctionalSchema::AddSubtype(Subtype subtype) {
+  if (IsEntityOrSubtype(subtype.name)) {
+    return Status::AlreadyExists("type '" + subtype.name +
+                                 "' already declared");
+  }
+  subtypes_.push_back(std::move(subtype));
+  return Status::OK();
+}
+
+Status FunctionalSchema::AddUniqueness(UniquenessConstraint constraint) {
+  uniqueness_.push_back(std::move(constraint));
+  return Status::OK();
+}
+
+Status FunctionalSchema::AddOverlap(OverlapConstraint constraint) {
+  overlaps_.push_back(std::move(constraint));
+  return Status::OK();
+}
+
+const NonEntityType* FunctionalSchema::FindNonEntity(
+    std::string_view name) const {
+  for (const auto& t : nonentities_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const EntityType* FunctionalSchema::FindEntity(std::string_view name) const {
+  for (const auto& e : entities_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const Subtype* FunctionalSchema::FindSubtype(std::string_view name) const {
+  for (const auto& s : subtypes_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const std::vector<Function>* FunctionalSchema::FunctionsOf(
+    std::string_view type) const {
+  if (const EntityType* e = FindEntity(type)) return &e->functions;
+  if (const Subtype* s = FindSubtype(type)) return &s->functions;
+  return nullptr;
+}
+
+FunctionClass FunctionalSchema::Classify(const Function& fn) const {
+  bool entity_valued = fn.result == FunctionResult::kEntity;
+  if (fn.result == FunctionResult::kNonEntity) {
+    // A target naming an entity/subtype was stored as kEntity by the
+    // parser, but tolerate unresolved declarations here too.
+    entity_valued = IsEntityOrSubtype(fn.target);
+  }
+  if (entity_valued) {
+    return fn.set_valued ? FunctionClass::kMultiValued
+                         : FunctionClass::kSingleValued;
+  }
+  return fn.set_valued ? FunctionClass::kScalarMultiValued
+                       : FunctionClass::kScalar;
+}
+
+bool FunctionalSchema::IsTerminal(std::string_view type) const {
+  for (const auto& sub : subtypes_) {
+    for (const auto& super : sub.supertypes) {
+      if (super == type) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<const Subtype*> FunctionalSchema::SubtypesOf(
+    std::string_view type) const {
+  std::vector<const Subtype*> out;
+  for (const auto& sub : subtypes_) {
+    if (std::find(sub.supertypes.begin(), sub.supertypes.end(), type) !=
+        sub.supertypes.end()) {
+      out.push_back(&sub);
+    }
+  }
+  return out;
+}
+
+std::optional<ScalarKind> FunctionalSchema::ResolveScalarKind(
+    const Function& fn) const {
+  switch (fn.result) {
+    case FunctionResult::kInteger:
+      return ScalarKind::kInteger;
+    case FunctionResult::kFloat:
+      return ScalarKind::kFloat;
+    case FunctionResult::kString:
+      return ScalarKind::kString;
+    case FunctionResult::kBoolean:
+      return ScalarKind::kBoolean;
+    case FunctionResult::kEntity:
+      return std::nullopt;
+    case FunctionResult::kNonEntity: {
+      const NonEntityType* t = FindNonEntity(fn.target);
+      if (t == nullptr) return std::nullopt;
+      return t->kind;
+    }
+  }
+  return std::nullopt;
+}
+
+int FunctionalSchema::ResolveMaxLength(const Function& fn) const {
+  if (fn.result == FunctionResult::kNonEntity) {
+    const NonEntityType* t = FindNonEntity(fn.target);
+    if (t != nullptr) {
+      if (t->kind == ScalarKind::kEnumeration ||
+          t->kind == ScalarKind::kBoolean) {
+        // Enumerations map into characters sized to the longest literal
+        // (Ch. V.C).
+        int longest = 0;
+        for (const auto& v : t->values) {
+          longest = std::max(longest, static_cast<int>(v.size()));
+        }
+        return longest;
+      }
+      return t->max_length;
+    }
+  }
+  return fn.max_length;
+}
+
+Status FunctionalSchema::Validate() const {
+  auto check_functions = [&](const std::vector<Function>& functions,
+                             const std::string& owner) -> Status {
+    for (const auto& fn : functions) {
+      if (fn.result == FunctionResult::kEntity &&
+          !IsEntityOrSubtype(fn.target)) {
+        return Status::InvalidArgument(
+            "function '" + owner + "." + fn.name +
+            "' targets undeclared entity '" + fn.target + "'");
+      }
+      if (fn.result == FunctionResult::kNonEntity &&
+          FindNonEntity(fn.target) == nullptr &&
+          !IsEntityOrSubtype(fn.target)) {
+        return Status::InvalidArgument("function '" + owner + "." + fn.name +
+                                       "' targets undeclared type '" +
+                                       fn.target + "'");
+      }
+    }
+    return Status::OK();
+  };
+
+  for (const auto& entity : entities_) {
+    MLDS_RETURN_IF_ERROR(check_functions(entity.functions, entity.name));
+  }
+  for (const auto& sub : subtypes_) {
+    MLDS_RETURN_IF_ERROR(check_functions(sub.functions, sub.name));
+    if (sub.supertypes.empty()) {
+      return Status::InvalidArgument("subtype '" + sub.name +
+                                     "' has no supertype");
+    }
+    for (const auto& super : sub.supertypes) {
+      if (!IsEntityOrSubtype(super)) {
+        return Status::InvalidArgument("subtype '" + sub.name +
+                                       "' supertype '" + super +
+                                       "' is not declared");
+      }
+      if (super == sub.name) {
+        return Status::InvalidArgument("subtype '" + sub.name +
+                                       "' cannot be its own supertype");
+      }
+    }
+  }
+  for (const auto& uc : uniqueness_) {
+    const std::vector<Function>* fns = FunctionsOf(uc.within);
+    if (fns == nullptr) {
+      return Status::InvalidArgument("UNIQUE constraint WITHIN undeclared "
+                                     "type '" +
+                                     uc.within + "'");
+    }
+    for (const auto& fname : uc.functions) {
+      const bool found = std::any_of(
+          fns->begin(), fns->end(),
+          [&](const Function& f) { return f.name == fname; });
+      if (!found) {
+        return Status::InvalidArgument("UNIQUE constraint names unknown "
+                                       "function '" +
+                                       fname + "' of '" + uc.within + "'");
+      }
+    }
+  }
+  for (const auto& oc : overlaps_) {
+    for (const auto& list : {oc.left, oc.right}) {
+      for (const auto& name : list) {
+        if (FindSubtype(name) == nullptr) {
+          return Status::InvalidArgument(
+              "OVERLAP constraint names non-subtype '" + name + "'");
+        }
+      }
+    }
+    if (oc.left.empty() || oc.right.empty()) {
+      return Status::InvalidArgument("OVERLAP constraint has an empty side");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string FunctionTypeToDdl(const Function& fn) {
+  std::string type;
+  switch (fn.result) {
+    case FunctionResult::kInteger:
+      type = "INTEGER";
+      break;
+    case FunctionResult::kFloat:
+      type = "FLOAT";
+      break;
+    case FunctionResult::kBoolean:
+      type = "BOOLEAN";
+      break;
+    case FunctionResult::kString:
+      type = "STRING";
+      if (fn.max_length > 0) type += "(" + std::to_string(fn.max_length) + ")";
+      break;
+    case FunctionResult::kEntity:
+    case FunctionResult::kNonEntity:
+      type = fn.target;
+      break;
+  }
+  if (fn.set_valued) type = "SET OF " + type;
+  return type;
+}
+
+void AppendFunctions(const std::vector<Function>& functions,
+                     std::string* out) {
+  for (const auto& fn : functions) {
+    *out += "  " + fn.name + " : " + FunctionTypeToDdl(fn) + ";\n";
+  }
+}
+
+}  // namespace
+
+std::string FunctionalSchema::ToDdl() const {
+  std::string out;
+  if (!name_.empty()) out += "SCHEMA " + name_ + ";\n\n";
+  for (const auto& t : nonentities_) {
+    out += "TYPE " + t.name + " IS ";
+    if (t.is_constant) {
+      out += "CONSTANT " + std::to_string(t.constant_value);
+    } else {
+      switch (t.kind) {
+        case ScalarKind::kInteger:
+          out += "INTEGER";
+          if (t.has_range) {
+            out += " RANGE " + std::to_string(t.range_min) + ".." +
+                   std::to_string(t.range_max);
+          }
+          break;
+        case ScalarKind::kFloat:
+          out += "FLOAT";
+          break;
+        case ScalarKind::kString:
+          out += "STRING";
+          if (t.max_length > 0) {
+            out += "(" + std::to_string(t.max_length) + ")";
+          }
+          break;
+        case ScalarKind::kBoolean:
+          out += "BOOLEAN";
+          break;
+        case ScalarKind::kEnumeration: {
+          out += "(";
+          for (size_t i = 0; i < t.values.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += t.values[i];
+          }
+          out += ")";
+          break;
+        }
+      }
+    }
+    out += ";\n";
+  }
+  if (!nonentities_.empty()) out += "\n";
+  for (const auto& e : entities_) {
+    out += "TYPE " + e.name + " IS ENTITY\n";
+    AppendFunctions(e.functions, &out);
+    out += "END ENTITY;\n\n";
+  }
+  for (const auto& s : subtypes_) {
+    out += "TYPE " + s.name + " IS SUBTYPE OF ";
+    for (size_t i = 0; i < s.supertypes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += s.supertypes[i];
+    }
+    out += "\n";
+    AppendFunctions(s.functions, &out);
+    out += "END SUBTYPE;\n\n";
+  }
+  for (const auto& uc : uniqueness_) {
+    out += "UNIQUE ";
+    for (size_t i = 0; i < uc.functions.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += uc.functions[i];
+    }
+    out += " WITHIN " + uc.within + ";\n";
+  }
+  for (const auto& oc : overlaps_) {
+    out += "OVERLAP ";
+    for (size_t i = 0; i < oc.left.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += oc.left[i];
+    }
+    out += " WITH ";
+    for (size_t i = 0; i < oc.right.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += oc.right[i];
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace mlds::daplex

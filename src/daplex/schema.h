@@ -1,0 +1,218 @@
+#ifndef MLDS_DAPLEX_SCHEMA_H_
+#define MLDS_DAPLEX_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlds::daplex {
+
+/// Scalar kinds of Daplex non-entity types (Ch. V.C): strings, integers,
+/// floating-points, enumerations (including Boolean), and constants.
+enum class ScalarKind {
+  kInteger,
+  kFloat,
+  kString,
+  kBoolean,
+  kEnumeration,
+};
+
+std::string_view ScalarKindToString(ScalarKind kind);
+
+/// A named non-entity type (the thesis's ent_non_node / sub_non_node /
+/// der_non_node family, Figures 4.10-4.12). Non-entity types give
+/// semantically meaningful names to data types and limit the range of
+/// values a data type may assume.
+struct NonEntityType {
+  std::string name;
+  ScalarKind kind = ScalarKind::kString;
+  /// Maximum length of a value (strings; longest literal for enums).
+  int max_length = 0;
+  /// Integer range constraint (RANGE lo..hi), when has_range.
+  bool has_range = false;
+  int64_t range_min = 0;
+  int64_t range_max = 0;
+  /// Enumeration literals (enumeration/boolean kinds).
+  std::vector<std::string> values;
+  /// Numeric constant declaration (TYPE x IS CONSTANT n).
+  bool is_constant = false;
+  double constant_value = 0.0;
+
+  friend bool operator==(const NonEntityType&,
+                         const NonEntityType&) = default;
+};
+
+/// What a Daplex function returns (fn_type of function_node, Fig. 4.14).
+enum class FunctionResult {
+  kInteger,
+  kFloat,
+  kString,
+  kBoolean,
+  kEntity,     ///< an entity type or subtype; `target` names it.
+  kNonEntity,  ///< a named non-entity type; `target` names it.
+};
+
+/// The four function classes the transformation distinguishes (Ch. V.A).
+enum class FunctionClass {
+  kScalar,             ///< scalar result, single-valued.
+  kScalarMultiValued,  ///< scalar result, set-valued.
+  kSingleValued,       ///< entity result, single-valued.
+  kMultiValued,        ///< entity result, set-valued.
+};
+
+std::string_view FunctionClassToString(FunctionClass cls);
+
+/// A function applied to an entity type or subtype (function_node,
+/// Figure 4.14). Functions map a given entity into scalar values,
+/// entities, or sets thereof.
+struct Function {
+  std::string name;
+  FunctionResult result = FunctionResult::kString;
+  /// Entity/subtype or non-entity type name when result references one.
+  std::string target;
+  /// fn_set: the function is set-valued (returns a set of values).
+  bool set_valued = false;
+  /// Maximum value length for string-resulting functions.
+  int max_length = 0;
+  /// fn_unique: participates in a uniqueness constraint.
+  bool unique = false;
+
+  friend bool operator==(const Function&, const Function&) = default;
+};
+
+/// An entity type (ent_node, Figure 4.8).
+struct EntityType {
+  std::string name;
+  std::vector<Function> functions;
+
+  const Function* FindFunction(std::string_view fn) const {
+    for (const auto& f : functions) {
+      if (f.name == fn) return &f;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const EntityType&, const EntityType&) = default;
+};
+
+/// An entity subtype (gen_sub_node, Figure 4.9). Subtyping establishes an
+/// ISA relationship and implies value inheritance; a subtype cannot exist
+/// without its supertype.
+struct Subtype {
+  std::string name;
+  /// One or more entity types and/or subtypes that are supertypes.
+  std::vector<std::string> supertypes;
+  std::vector<Function> functions;
+
+  const Function* FindFunction(std::string_view fn) const {
+    for (const auto& f : functions) {
+      if (f.name == fn) return &f;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const Subtype&, const Subtype&) = default;
+};
+
+/// UNIQUE f1, ..., fn WITHIN type (Ch. V.D): the combined values of the
+/// listed functions uniquely identify entities of the type.
+struct UniquenessConstraint {
+  std::vector<std::string> functions;
+  std::string within;
+
+  friend bool operator==(const UniquenessConstraint&,
+                         const UniquenessConstraint&) = default;
+};
+
+/// OVERLAP a, b WITH c, d (Ch. V.E): entities of subtypes a or b may also
+/// belong to subtypes c or d. Subtypes are disjoint unless overlapped.
+struct OverlapConstraint {
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+
+  friend bool operator==(const OverlapConstraint&,
+                         const OverlapConstraint&) = default;
+};
+
+/// A functional (Daplex) database schema (fun_dbid_node, Figure 4.7).
+class FunctionalSchema {
+ public:
+  FunctionalSchema() = default;
+  explicit FunctionalSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<NonEntityType>& nonentities() const { return nonentities_; }
+  const std::vector<EntityType>& entities() const { return entities_; }
+  const std::vector<Subtype>& subtypes() const { return subtypes_; }
+  const std::vector<UniquenessConstraint>& uniqueness() const {
+    return uniqueness_;
+  }
+  const std::vector<OverlapConstraint>& overlaps() const { return overlaps_; }
+
+  Status AddNonEntity(NonEntityType type);
+  Status AddEntity(EntityType entity);
+  Status AddSubtype(Subtype subtype);
+  Status AddUniqueness(UniquenessConstraint constraint);
+  Status AddOverlap(OverlapConstraint constraint);
+
+  const NonEntityType* FindNonEntity(std::string_view name) const;
+  const EntityType* FindEntity(std::string_view name) const;
+  const Subtype* FindSubtype(std::string_view name) const;
+
+  bool IsEntityOrSubtype(std::string_view name) const {
+    return FindEntity(name) != nullptr || FindSubtype(name) != nullptr;
+  }
+
+  /// Functions declared directly on `type` (entity or subtype); nullptr if
+  /// the name is neither.
+  const std::vector<Function>* FunctionsOf(std::string_view type) const;
+
+  /// Classifies `fn` per Ch. V.A by resolving non-entity targets to their
+  /// scalar kinds. Functions targeting entities/subtypes are single- or
+  /// multi-valued; everything else is scalar (multi-valued when
+  /// set-valued).
+  FunctionClass Classify(const Function& fn) const;
+
+  /// An entity type is terminal when it is not a supertype of any subtype
+  /// (en_terminal of ent_node). Also answers for subtypes.
+  bool IsTerminal(std::string_view type) const;
+
+  /// Direct subtypes of `type`.
+  std::vector<const Subtype*> SubtypesOf(std::string_view type) const;
+
+  /// Resolves the scalar kind a function's values take: direct scalars
+  /// map trivially; non-entity targets resolve through the named type.
+  /// Returns nullopt for entity-valued functions.
+  std::optional<ScalarKind> ResolveScalarKind(const Function& fn) const;
+
+  /// Maximum value length for a function (resolving non-entity targets).
+  int ResolveMaxLength(const Function& fn) const;
+
+  /// Checks referential consistency: function targets resolve, supertypes
+  /// exist, uniqueness constraints name declared functions, and overlap
+  /// constraints name declared subtypes.
+  Status Validate() const;
+
+  /// Renders the schema as Daplex DDL (parseable by ParseFunctionalSchema).
+  std::string ToDdl() const;
+
+  friend bool operator==(const FunctionalSchema&,
+                         const FunctionalSchema&) = default;
+
+ private:
+  std::string name_;
+  std::vector<NonEntityType> nonentities_;
+  std::vector<EntityType> entities_;
+  std::vector<Subtype> subtypes_;
+  std::vector<UniquenessConstraint> uniqueness_;
+  std::vector<OverlapConstraint> overlaps_;
+};
+
+}  // namespace mlds::daplex
+
+#endif  // MLDS_DAPLEX_SCHEMA_H_

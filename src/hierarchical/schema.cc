@@ -1,0 +1,258 @@
+#include "hierarchical/schema.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace mlds::hierarchical {
+
+std::string_view FieldTypeToString(FieldType type) {
+  switch (type) {
+    case FieldType::kInteger:
+      return "INTEGER";
+    case FieldType::kFloat:
+      return "FLOAT";
+    case FieldType::kChar:
+      return "CHAR";
+  }
+  return "?";
+}
+
+Status Schema::AddSegment(Segment segment) {
+  if (FindSegment(segment.name) != nullptr) {
+    return Status::AlreadyExists("segment '" + segment.name +
+                                 "' already declared");
+  }
+  segments_.push_back(std::move(segment));
+  return Status::OK();
+}
+
+const Segment* Schema::FindSegment(std::string_view name) const {
+  for (const auto& s : segments_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Segment*> Schema::ChildrenOf(std::string_view segment) const {
+  std::vector<const Segment*> out;
+  for (const auto& s : segments_) {
+    if (s.parent == segment) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const Segment*> Schema::AncestorsOf(
+    std::string_view segment) const {
+  std::vector<const Segment*> out;
+  const Segment* current = FindSegment(segment);
+  while (current != nullptr && !current->is_root()) {
+    current = FindSegment(current->parent);
+    if (current != nullptr) out.push_back(current);
+  }
+  return out;
+}
+
+Status Schema::Validate() const {
+  for (const auto& segment : segments_) {
+    if (!segment.is_root() && FindSegment(segment.parent) == nullptr) {
+      return Status::InvalidArgument("segment '" + segment.name +
+                                     "' names unknown parent '" +
+                                     segment.parent + "'");
+    }
+    for (const auto& field : segment.fields) {
+      if (field.name == "FILE" || field.name == segment.name ||
+          field.name == segment.parent) {
+        return Status::InvalidArgument(
+            "field '" + field.name + "' of segment '" + segment.name +
+            "' collides with a kernel-reserved keyword name");
+      }
+    }
+    // Cycle check: walking to the root must terminate.
+    std::set<std::string> seen = {segment.name};
+    const Segment* current = &segment;
+    while (!current->is_root()) {
+      if (!seen.insert(current->parent).second) {
+        return Status::InvalidArgument("segment hierarchy cycle through '" +
+                                       current->parent + "'");
+      }
+      current = FindSegment(current->parent);
+      if (current == nullptr) break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToDdl() const {
+  std::string out;
+  if (!name_.empty()) out += "SCHEMA " + name_ + ";\n\n";
+  for (const auto& segment : segments_) {
+    out += "SEGMENT " + segment.name;
+    if (!segment.is_root()) out += " PARENT " + segment.parent;
+    out += ";\n";
+    for (const auto& field : segment.fields) {
+      out += "  FIELD " + field.name + " " +
+             std::string(FieldTypeToString(field.type));
+      if (field.type == FieldType::kChar && field.length > 0) {
+        out += "(" + std::to_string(field.length) + ")";
+      }
+      out += ";\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kNumber, kLParen, kRParen, kSemi, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view ddl) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < ddl.size()) {
+    const char c = ddl[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '-' && pos + 1 < ddl.size() && ddl[pos + 1] == '-') {
+      while (pos < ddl.size() && ddl[pos] != '\n') ++pos;
+    } else if (c == '(') {
+      out.push_back({Token::Kind::kLParen, "("});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({Token::Kind::kRParen, ")"});
+      ++pos;
+    } else if (c == ';') {
+      out.push_back({Token::Kind::kSemi, ";"});
+      ++pos;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             std::isdigit(static_cast<unsigned char>(ddl[end]))) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kNumber, std::string(ddl.substr(pos, end - pos))});
+      pos = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             (std::isalnum(static_cast<unsigned char>(ddl[end])) ||
+              ddl[end] == '_')) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kWord, std::string(ddl.substr(pos, end - pos))});
+      pos = end;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in hierarchical DDL");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, ""});
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> ParseHierarchicalSchema(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(ddl));
+  Schema schema;
+  Segment current;
+  bool have_segment = false;
+  size_t pos = 0;
+  auto peek = [&]() -> const Token& {
+    return pos < tokens.size() ? tokens[pos] : tokens.back();
+  };
+  auto consume = [&](std::string_view w) {
+    if (peek().kind == Token::Kind::kWord &&
+        EqualsIgnoreCase(peek().text, w)) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  auto expect_semi = [&]() -> Status {
+    if (peek().kind != Token::Kind::kSemi) {
+      return Status::ParseError("expected ';', got '" + peek().text + "'");
+    }
+    ++pos;
+    return Status::OK();
+  };
+  auto flush = [&]() -> Status {
+    if (!have_segment) return Status::OK();
+    Status added = schema.AddSegment(std::move(current));
+    current = Segment{};
+    have_segment = false;
+    return added;
+  };
+
+  while (peek().kind != Token::Kind::kEnd) {
+    if (consume("SCHEMA")) {
+      if (peek().kind != Token::Kind::kWord) {
+        return Status::ParseError("expected schema name");
+      }
+      schema.set_name(tokens[pos++].text);
+      MLDS_RETURN_IF_ERROR(expect_semi());
+    } else if (consume("SEGMENT")) {
+      MLDS_RETURN_IF_ERROR(flush());
+      if (peek().kind != Token::Kind::kWord) {
+        return Status::ParseError("expected segment name");
+      }
+      current.name = tokens[pos++].text;
+      if (consume("PARENT")) {
+        if (peek().kind != Token::Kind::kWord) {
+          return Status::ParseError("expected parent segment name");
+        }
+        current.parent = tokens[pos++].text;
+      }
+      have_segment = true;
+      MLDS_RETURN_IF_ERROR(expect_semi());
+    } else if (consume("FIELD")) {
+      if (!have_segment) {
+        return Status::ParseError("FIELD outside a SEGMENT");
+      }
+      Field field;
+      if (peek().kind != Token::Kind::kWord) {
+        return Status::ParseError("expected field name");
+      }
+      field.name = tokens[pos++].text;
+      if (consume("INTEGER") || consume("INT")) {
+        field.type = FieldType::kInteger;
+      } else if (consume("FLOAT") || consume("REAL")) {
+        field.type = FieldType::kFloat;
+      } else if (consume("CHAR")) {
+        field.type = FieldType::kChar;
+        if (peek().kind == Token::Kind::kLParen) {
+          ++pos;
+          if (peek().kind != Token::Kind::kNumber) {
+            return Status::ParseError("expected CHAR length");
+          }
+          field.length = std::stoi(tokens[pos++].text);
+          if (peek().kind != Token::Kind::kRParen) {
+            return Status::ParseError("expected ')'");
+          }
+          ++pos;
+        }
+      } else {
+        return Status::ParseError("unknown field type '" + peek().text + "'");
+      }
+      if (current.FindField(field.name) != nullptr) {
+        return Status::ParseError("duplicate field '" + field.name + "'");
+      }
+      current.fields.push_back(std::move(field));
+      MLDS_RETURN_IF_ERROR(expect_semi());
+    } else {
+      return Status::ParseError("expected SCHEMA, SEGMENT, or FIELD; got '" +
+                                peek().text + "'");
+    }
+  }
+  MLDS_RETURN_IF_ERROR(flush());
+  MLDS_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace mlds::hierarchical

@@ -1,0 +1,96 @@
+#ifndef MLDS_HIERARCHICAL_SCHEMA_H_
+#define MLDS_HIERARCHICAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlds::hierarchical {
+
+/// Field types of the hierarchical model.
+enum class FieldType {
+  kInteger,
+  kFloat,
+  kChar,
+};
+
+std::string_view FieldTypeToString(FieldType type);
+
+/// One field of a segment.
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kChar;
+  int length = 0;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// A segment type: the hierarchical model's record unit. Root segments
+/// have an empty parent.
+struct Segment {
+  std::string name;
+  std::string parent;
+  std::vector<Field> fields;
+
+  bool is_root() const { return parent.empty(); }
+  const Field* FindField(std::string_view field) const {
+    for (const auto& f : fields) {
+      if (f.name == field) return &f;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// A hierarchical database schema (the hie_dbid_node arm of the thesis's
+/// dbid_node union, Figure 4.1): a forest of segment types.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  Status AddSegment(Segment segment);
+  const Segment* FindSegment(std::string_view name) const;
+
+  /// Direct children of `segment`.
+  std::vector<const Segment*> ChildrenOf(std::string_view segment) const;
+
+  /// The chain from `segment` up to its root (nearest parent first).
+  std::vector<const Segment*> AncestorsOf(std::string_view segment) const;
+
+  /// Checks parents exist, no cycles, no reserved field names.
+  Status Validate() const;
+
+  /// Renders DDL parseable by ParseHierarchicalSchema.
+  std::string ToDdl() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::string name_;
+  std::vector<Segment> segments_;
+};
+
+/// Parses hierarchical DDL (a compact DBD):
+///
+///   SCHEMA clinic;
+///   SEGMENT patient;
+///     FIELD pname CHAR(20);
+///   SEGMENT visit PARENT patient;
+///     FIELD vdate CHAR(8);
+///     FIELD cost FLOAT;
+///
+/// Keywords case-insensitive; `--` comments.
+Result<Schema> ParseHierarchicalSchema(std::string_view ddl);
+
+}  // namespace mlds::hierarchical
+
+#endif  // MLDS_HIERARCHICAL_SCHEMA_H_

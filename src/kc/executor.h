@@ -1,0 +1,78 @@
+#ifndef MLDS_KC_EXECUTOR_H_
+#define MLDS_KC_EXECUTOR_H_
+
+#include <string_view>
+
+#include "abdl/request.h"
+#include "abdm/schema.h"
+#include "common/result.h"
+#include "kds/engine.h"
+#include "mbds/controller.h"
+
+namespace mlds::kc {
+
+/// The kernel controller's view of the kernel database system: the
+/// interface through which translated ABDL requests are executed. Two
+/// realizations exist — a single KDS engine (one backend) and the full
+/// multi-backend MBDS — so every language-interface component runs
+/// unchanged against either.
+class KernelExecutor {
+ public:
+  virtual ~KernelExecutor() = default;
+
+  virtual Status DefineDatabase(const abdm::DatabaseDescriptor& db) = 0;
+  virtual bool HasFile(std::string_view file) const = 0;
+  virtual Result<kds::Response> Execute(const abdl::Request& request) = 0;
+  virtual size_t FileSize(std::string_view file) const = 0;
+};
+
+/// KernelExecutor over a single kds::Engine (does not own it).
+class EngineExecutor : public KernelExecutor {
+ public:
+  explicit EngineExecutor(kds::Engine* engine) : engine_(engine) {}
+
+  Status DefineDatabase(const abdm::DatabaseDescriptor& db) override {
+    return engine_->DefineDatabase(db);
+  }
+  bool HasFile(std::string_view file) const override {
+    return engine_->HasFile(file);
+  }
+  Result<kds::Response> Execute(const abdl::Request& request) override {
+    return engine_->Execute(request);
+  }
+  size_t FileSize(std::string_view file) const override {
+    return engine_->FileSize(file);
+  }
+
+ private:
+  kds::Engine* engine_;
+};
+
+/// KernelExecutor over the MBDS backend controller (does not own it).
+class MbdsExecutor : public KernelExecutor {
+ public:
+  explicit MbdsExecutor(mbds::Controller* controller)
+      : controller_(controller) {}
+
+  Status DefineDatabase(const abdm::DatabaseDescriptor& db) override {
+    return controller_->DefineDatabase(db);
+  }
+  bool HasFile(std::string_view file) const override {
+    return controller_->HasFile(file);
+  }
+  Result<kds::Response> Execute(const abdl::Request& request) override {
+    MLDS_ASSIGN_OR_RETURN(mbds::ExecutionReport report,
+                          controller_->Execute(request));
+    return std::move(report.response);
+  }
+  size_t FileSize(std::string_view file) const override {
+    return controller_->FileSize(file);
+  }
+
+ private:
+  mbds::Controller* controller_;
+};
+
+}  // namespace mlds::kc
+
+#endif  // MLDS_KC_EXECUTOR_H_

@@ -1,0 +1,385 @@
+#include "kds/engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mlds::kds {
+
+namespace {
+
+using abdl::AggregateOp;
+using abdm::Record;
+using abdm::Value;
+
+/// Computes one aggregate over the values of `attribute` across `records`.
+Value ComputeAggregate(const std::vector<const Record*>& records,
+                       const std::string& attribute, AggregateOp op) {
+  if (op == AggregateOp::kCount) {
+    int64_t n = 0;
+    for (const Record* r : records) {
+      if (!r->GetOrNull(attribute).is_null()) ++n;
+    }
+    return Value::Integer(n);
+  }
+  bool any = false;
+  double sum = 0.0;
+  Value min_v, max_v;
+  int64_t count = 0;
+  bool all_int = true;
+  for (const Record* r : records) {
+    Value v = r->GetOrNull(attribute);
+    if (v.is_null()) continue;
+    if (!v.is_numeric()) {
+      // MIN/MAX are defined for strings too.
+      if (!any || v.Compare(min_v) < 0) min_v = v;
+      if (!any || v.Compare(max_v) > 0) max_v = v;
+      any = true;
+      all_int = false;
+      continue;
+    }
+    if (!any || v.Compare(min_v) < 0) min_v = v;
+    if (!any || v.Compare(max_v) > 0) max_v = v;
+    sum += v.AsFloat();
+    if (!v.is_integer()) all_int = false;
+    ++count;
+    any = true;
+  }
+  if (!any) return Value::Null();
+  switch (op) {
+    case AggregateOp::kMin:
+      return min_v;
+    case AggregateOp::kMax:
+      return max_v;
+    case AggregateOp::kSum:
+      return all_int ? Value::Integer(static_cast<int64_t>(sum))
+                     : Value::Float(sum);
+    case AggregateOp::kAvg:
+      return count > 0 ? Value::Float(sum / count) : Value::Null();
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+std::vector<Record> PostProcessRetrieve(const abdl::RetrieveRequest& req,
+                                        std::vector<Record> matched) {
+  std::vector<const Record*> refs;
+  refs.reserve(matched.size());
+  for (const Record& r : matched) refs.push_back(&r);
+
+  const bool has_aggregate =
+      std::any_of(req.targets.begin(), req.targets.end(), [](const auto& t) {
+        return t.aggregate != AggregateOp::kNone;
+      });
+
+  std::vector<Record> out;
+  if (!has_aggregate) {
+    if (req.by_attribute.has_value()) {
+      std::stable_sort(refs.begin(), refs.end(),
+                       [&](const Record* a, const Record* b) {
+                         return a->GetOrNull(*req.by_attribute)
+                                    .Compare(b->GetOrNull(*req.by_attribute)) <
+                                0;
+                       });
+    }
+    out.reserve(refs.size());
+    for (const Record* r : refs) {
+      if (req.all_attributes || req.targets.empty()) {
+        out.push_back(*r);
+      } else {
+        Record projected;
+        for (const auto& target : req.targets) {
+          projected.Set(target.attribute, r->GetOrNull(target.attribute));
+        }
+        out.push_back(std::move(projected));
+      }
+    }
+    return out;
+  }
+
+  std::map<Value, std::vector<const Record*>> groups;
+  if (req.by_attribute.has_value()) {
+    for (const Record* r : refs) {
+      groups[r->GetOrNull(*req.by_attribute)].push_back(r);
+    }
+  } else {
+    groups[Value::Null()] = refs;
+  }
+  for (const auto& [key, group] : groups) {
+    Record agg;
+    if (req.by_attribute.has_value()) agg.Set(*req.by_attribute, key);
+    for (const auto& target : req.targets) {
+      if (target.aggregate == AggregateOp::kNone) {
+        agg.Set(target.attribute,
+                group.empty() ? Value::Null()
+                              : group.front()->GetOrNull(target.attribute));
+      } else {
+        agg.Set(target.ToString(),
+                ComputeAggregate(group, target.attribute, target.aggregate));
+      }
+    }
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+Status Engine::DefineDatabase(const abdm::DatabaseDescriptor& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& file : db.files) {
+    if (files_.count(file.name) > 0) {
+      return Status::AlreadyExists("kernel file '" + file.name +
+                                   "' already defined");
+    }
+  }
+  for (const auto& file : db.files) {
+    files_.emplace(file.name,
+                   std::make_unique<FileStore>(file, options_.block_capacity));
+  }
+  return Status::OK();
+}
+
+Status Engine::DefineFile(const abdm::FileDescriptor& descriptor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.count(descriptor.name) > 0) {
+    return Status::AlreadyExists("kernel file '" + descriptor.name +
+                                 "' already defined");
+  }
+  files_.emplace(descriptor.name, std::make_unique<FileStore>(
+                                      descriptor, options_.block_capacity));
+  return Status::OK();
+}
+
+bool Engine::HasFile(std::string_view file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.find(file) != files_.end();
+}
+
+FileStore* Engine::FindFile(std::string_view file) {
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+size_t Engine::FileSize(std::string_view file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second->size();
+}
+
+uint64_t Engine::TotalBlocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, store] : files_) total += store->block_count();
+  return total;
+}
+
+uint64_t Engine::CompactAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t reclaimed = 0;
+  for (auto& [name, store] : files_) reclaimed += store->Compact();
+  return reclaimed;
+}
+
+const abdm::FileDescriptor* Engine::FindDescriptor(
+    std::string_view file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second->descriptor();
+}
+
+std::vector<std::string> Engine::FileNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, store] : files_) names.push_back(name);
+  return names;
+}
+
+std::vector<FileStore*> Engine::Route(const abdm::Query& query) {
+  const std::string file = query.SingleFile();
+  if (!file.empty()) {
+    FileStore* store = FindFile(file);
+    if (store != nullptr) return {store};
+    return {};
+  }
+  std::vector<FileStore*> all;
+  all.reserve(files_.size());
+  for (auto& [name, store] : files_) all.push_back(store.get());
+  return all;
+}
+
+Result<Response> Engine::Execute(const abdl::Request& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  struct Visitor {
+    Engine* engine;
+    Result<Response> operator()(const abdl::InsertRequest& r) {
+      return engine->ExecuteInsert(r);
+    }
+    Result<Response> operator()(const abdl::DeleteRequest& r) {
+      return engine->ExecuteDelete(r);
+    }
+    Result<Response> operator()(const abdl::UpdateRequest& r) {
+      return engine->ExecuteUpdate(r);
+    }
+    Result<Response> operator()(const abdl::RetrieveRequest& r) {
+      return engine->ExecuteRetrieve(r);
+    }
+    Result<Response> operator()(const abdl::RetrieveCommonRequest& r) {
+      return engine->ExecuteRetrieveCommon(r);
+    }
+  };
+  auto result = std::visit(Visitor{this}, request);
+  if (result.ok()) cumulative_io_ += result->io;
+  return result;
+}
+
+Result<std::vector<Response>> Engine::ExecuteTransaction(
+    const abdl::Transaction& txn) {
+  // Holds the engine lock across the whole transaction so its requests
+  // execute without interleaving.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Response> responses;
+  responses.reserve(txn.size());
+  for (const auto& request : txn) {
+    struct Visitor {
+      Engine* engine;
+      Result<Response> operator()(const abdl::InsertRequest& r) {
+        return engine->ExecuteInsert(r);
+      }
+      Result<Response> operator()(const abdl::DeleteRequest& r) {
+        return engine->ExecuteDelete(r);
+      }
+      Result<Response> operator()(const abdl::UpdateRequest& r) {
+        return engine->ExecuteUpdate(r);
+      }
+      Result<Response> operator()(const abdl::RetrieveRequest& r) {
+        return engine->ExecuteRetrieve(r);
+      }
+      Result<Response> operator()(const abdl::RetrieveCommonRequest& r) {
+        return engine->ExecuteRetrieveCommon(r);
+      }
+    };
+    auto result = std::visit(Visitor{this}, request);
+    if (!result.ok()) return result.status();
+    cumulative_io_ += result->io;
+    responses.push_back(std::move(*result));
+  }
+  return responses;
+}
+
+Result<Response> Engine::ExecuteInsert(const abdl::InsertRequest& req) {
+  Value file_value = req.record.GetOrNull(abdm::kFileAttribute);
+  if (!file_value.is_string()) {
+    return Status::InvalidArgument(
+        "INSERT record must carry a <FILE, name> keyword");
+  }
+  FileStore* store = FindFile(file_value.AsString());
+  if (store == nullptr) {
+    return Status::NotFound("kernel file '" + file_value.AsString() +
+                            "' not defined");
+  }
+  Response resp;
+  store->Insert(req.record, &resp.io);
+  resp.affected = 1;
+  return resp;
+}
+
+Result<Response> Engine::ExecuteDelete(const abdl::DeleteRequest& req) {
+  Response resp;
+  for (FileStore* store : Route(req.query)) {
+    resp.affected += store->Delete(req.query, &resp.io);
+  }
+  return resp;
+}
+
+Result<Response> Engine::ExecuteUpdate(const abdl::UpdateRequest& req) {
+  Response resp;
+  const abdl::Modifier& mod = req.modifier;
+  for (FileStore* store : Route(req.query)) {
+    std::vector<RecordId> ids = store->Select(req.query, &resp.io);
+    for (RecordId id : ids) {
+      const Record* old = store->Get(id);
+      Record updated = *old;
+      switch (mod.kind) {
+        case abdl::ModifierKind::kSet:
+          updated.Set(mod.attribute, mod.operand);
+          break;
+        case abdl::ModifierKind::kAdd: {
+          Value cur = updated.GetOrNull(mod.attribute);
+          if (cur.is_numeric() && mod.operand.is_numeric()) {
+            if (cur.is_integer() && mod.operand.is_integer()) {
+              updated.Set(mod.attribute, Value::Integer(cur.AsInteger() +
+                                                        mod.operand.AsInteger()));
+            } else {
+              updated.Set(mod.attribute,
+                          Value::Float(cur.AsFloat() + mod.operand.AsFloat()));
+            }
+          }
+          break;
+        }
+      }
+      store->Replace(id, std::move(updated), &resp.io);
+      ++resp.affected;
+    }
+  }
+  return resp;
+}
+
+Result<Response> Engine::ExecuteRetrieve(const abdl::RetrieveRequest& req) {
+  Response resp;
+  std::vector<Record> matched;
+  for (FileStore* store : Route(req.query)) {
+    for (RecordId id : store->Select(req.query, &resp.io)) {
+      matched.push_back(*store->Get(id));
+    }
+  }
+  resp.records = PostProcessRetrieve(req, std::move(matched));
+  return resp;
+}
+
+Result<Response> Engine::ExecuteRetrieveCommon(
+    const abdl::RetrieveCommonRequest& req) {
+  Response resp;
+  std::vector<const Record*> left, right;
+  for (FileStore* store : Route(req.left_query)) {
+    for (RecordId id : store->Select(req.left_query, &resp.io)) {
+      left.push_back(store->Get(id));
+    }
+  }
+  for (FileStore* store : Route(req.right_query)) {
+    for (RecordId id : store->Select(req.right_query, &resp.io)) {
+      right.push_back(store->Get(id));
+    }
+  }
+  // Hash the right side by join value, then probe with the left.
+  std::map<Value, std::vector<const Record*>> right_by_value;
+  for (const Record* r : right) {
+    Value v = r->GetOrNull(req.right_attribute);
+    if (!v.is_null()) right_by_value[std::move(v)].push_back(r);
+  }
+  for (const Record* l : left) {
+    Value v = l->GetOrNull(req.left_attribute);
+    if (v.is_null()) continue;
+    auto it = right_by_value.find(v);
+    if (it == right_by_value.end()) continue;
+    for (const Record* r : it->second) {
+      Record merged = *l;
+      for (const auto& kw : r->keywords()) {
+        if (!merged.Has(kw.attribute)) merged.Set(kw.attribute, kw.value);
+      }
+      if (!req.targets.empty()) {
+        Record projected;
+        for (const auto& target : req.targets) {
+          projected.Set(target.attribute, merged.GetOrNull(target.attribute));
+        }
+        merged = std::move(projected);
+      }
+      resp.records.push_back(std::move(merged));
+    }
+  }
+  return resp;
+}
+
+}  // namespace mlds::kds

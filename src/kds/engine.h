@@ -1,0 +1,131 @@
+#ifndef MLDS_KDS_ENGINE_H_
+#define MLDS_KDS_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "abdl/request.h"
+#include "abdm/schema.h"
+#include "common/result.h"
+#include "kds/file_store.h"
+#include "kds/io_stats.h"
+
+namespace mlds::kds {
+
+/// Result of executing one ABDL request against the kernel engine.
+struct Response {
+  /// Records returned by RETRIEVE / RETRIEVE-COMMON. For target-list
+  /// retrievals, records are projected to the requested attributes;
+  /// aggregates produce one record per group with the aggregate keyword.
+  std::vector<abdm::Record> records;
+  /// Records inserted / deleted / updated by the write operations.
+  size_t affected = 0;
+  /// Physical work performed by this request.
+  IoStats io;
+};
+
+/// Applies the projection / BY-ordering / aggregation phase of a RETRIEVE
+/// to a set of fully matched records. The engine uses this after its local
+/// selection; the MBDS controller uses it to finalize records merged from
+/// many backends (partial per-backend aggregates would be wrong for AVG).
+std::vector<abdm::Record> PostProcessRetrieve(
+    const abdl::RetrieveRequest& request, std::vector<abdm::Record> matched);
+
+/// Options controlling the kernel engine's storage geometry.
+struct EngineOptions {
+  /// Records per storage block; block counts feed the MBDS cost model.
+  int block_capacity = 16;
+};
+
+/// The kernel database system (KDS) execution engine for one backend: it
+/// owns the kernel files of the loaded databases and executes ABDL
+/// requests against them (Ch. I.B.1). MBDS instantiates one Engine per
+/// backend over that backend's partition of the records.
+///
+/// Thread safety: every public operation takes the engine's mutex, so
+/// concurrent sessions may share one engine; each ABDL request is atomic
+/// (the thesis's single-user interfaces "eventually modified to
+/// multi-user systems", Ch. IV.A). Multi-request DML translations are
+/// not transactional across requests.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Creates the files of `db`. Existing files with the same names are
+  /// rejected.
+  Status DefineDatabase(const abdm::DatabaseDescriptor& db);
+
+  /// Creates one file. Rejects duplicates.
+  Status DefineFile(const abdm::FileDescriptor& descriptor);
+
+  bool HasFile(std::string_view file) const;
+
+  /// Executes one ABDL request.
+  Result<Response> Execute(const abdl::Request& request);
+
+  /// Executes the requests of `txn` in order, stopping at the first
+  /// failure; responses parallel the executed prefix.
+  Result<std::vector<Response>> ExecuteTransaction(const abdl::Transaction& txn);
+
+  /// Cumulative I/O across all executed requests.
+  const IoStats& cumulative_io() const { return cumulative_io_; }
+  void ResetStats() { cumulative_io_.Reset(); }
+
+  /// Live record count in `file` (0 if absent).
+  size_t FileSize(std::string_view file) const;
+
+  /// Total blocks allocated across all files (the "database size" the
+  /// MBDS capacity experiments sweep).
+  uint64_t TotalBlocks() const;
+
+  /// Names of all defined files.
+  std::vector<std::string> FileNames() const;
+
+  /// The descriptor of `file`, or nullptr.
+  const abdm::FileDescriptor* FindDescriptor(std::string_view file) const;
+
+  /// Compacts every file, reclaiming blocks left by deletions. Returns
+  /// the total number of blocks reclaimed.
+  uint64_t CompactAll();
+
+  /// Calls `fn` for every live record of `file`, in slot order.
+  template <typename Fn>
+  Status VisitRecords(std::string_view file, Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      return Status::NotFound("kernel file '" + std::string(file) +
+                              "' not defined");
+    }
+    it->second->ForEach(
+        [&](RecordId, const abdm::Record& record) { fn(record); });
+    return Status::OK();
+  }
+
+ private:
+  Result<Response> ExecuteInsert(const abdl::InsertRequest& req);
+  Result<Response> ExecuteDelete(const abdl::DeleteRequest& req);
+  Result<Response> ExecuteUpdate(const abdl::UpdateRequest& req);
+  Result<Response> ExecuteRetrieve(const abdl::RetrieveRequest& req);
+  Result<Response> ExecuteRetrieveCommon(const abdl::RetrieveCommonRequest& req);
+
+  /// Files a query applies to: the single FILE-qualified store, or all.
+  std::vector<FileStore*> Route(const abdm::Query& query);
+
+  FileStore* FindFile(std::string_view file);
+
+  EngineOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<FileStore>, std::less<>> files_;
+  IoStats cumulative_io_;
+};
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_ENGINE_H_

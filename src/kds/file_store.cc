@@ -1,0 +1,236 @@
+#include "kds/file_store.h"
+
+#include <algorithm>
+
+namespace mlds::kds {
+
+FileStore::FileStore(abdm::FileDescriptor descriptor, int block_capacity)
+    : descriptor_(std::move(descriptor)),
+      block_capacity_(block_capacity > 0 ? block_capacity : 1) {}
+
+uint64_t FileStore::block_count() const {
+  return (slots_.size() + block_capacity_ - 1) / block_capacity_;
+}
+
+bool FileStore::IsDirectoryAttribute(std::string_view attr) const {
+  const abdm::AttributeDescriptor* d = descriptor_.FindAttribute(attr);
+  // Attributes not declared in the descriptor (e.g. set-membership
+  // attributes added by a transformation that chose not to list them) are
+  // still indexed: the kernel directory clusters by every keyword it sees.
+  if (d == nullptr) return true;
+  return d->directory;
+}
+
+void FileStore::IndexInsert(RecordId id, const abdm::Record& record) {
+  for (const auto& kw : record.keywords()) {
+    if (!IsDirectoryAttribute(kw.attribute)) continue;
+    index_[kw.attribute][kw.value].insert(id);
+  }
+}
+
+void FileStore::IndexErase(RecordId id, const abdm::Record& record) {
+  for (const auto& kw : record.keywords()) {
+    auto attr_it = index_.find(kw.attribute);
+    if (attr_it == index_.end()) continue;
+    auto val_it = attr_it->second.find(kw.value);
+    if (val_it == attr_it->second.end()) continue;
+    auto& ids = val_it->second;
+    ids.erase(id);
+    if (ids.empty()) attr_it->second.erase(val_it);
+  }
+}
+
+RecordId FileStore::Insert(abdm::Record record, IoStats* io) {
+  const RecordId id = slots_.size();
+  IndexInsert(id, record);
+  slots_.push_back(std::move(record));
+  ++live_count_;
+  if (io != nullptr) {
+    io->blocks_written += 1;
+    io->index_probes += 1;
+  }
+  return id;
+}
+
+std::optional<std::vector<RecordId>> FileStore::IndexLookup(
+    const abdm::Predicate& pred, IoStats* io) const {
+  if (!IsDirectoryAttribute(pred.attribute)) return std::nullopt;
+  auto attr_it = index_.find(pred.attribute);
+  if (attr_it == index_.end()) {
+    // Attribute never seen: equality can be answered (empty) from the
+    // directory alone; range predicates fall back to a scan of nothing too.
+    if (io != nullptr) io->index_probes += 1;
+    return std::vector<RecordId>{};
+  }
+  const auto& by_value = attr_it->second;
+  if (io != nullptr) io->index_probes += 1;
+  std::vector<RecordId> out;
+  switch (pred.op) {
+    case abdm::RelOp::kEq: {
+      auto it = by_value.find(pred.value);
+      if (it != by_value.end()) out.assign(it->second.begin(), it->second.end());
+      break;
+    }
+    case abdm::RelOp::kLt:
+    case abdm::RelOp::kLe: {
+      for (auto it = by_value.begin(); it != by_value.end(); ++it) {
+        const int cmp = it->first.Compare(pred.value);
+        if (cmp > 0 || (cmp == 0 && pred.op == abdm::RelOp::kLt)) break;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+      break;
+    }
+    case abdm::RelOp::kGt:
+    case abdm::RelOp::kGe: {
+      for (auto it = by_value.rbegin(); it != by_value.rend(); ++it) {
+        const int cmp = it->first.Compare(pred.value);
+        if (cmp < 0 || (cmp == 0 && pred.op == abdm::RelOp::kGt)) break;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+      break;
+    }
+    case abdm::RelOp::kNe:
+      // Not index-assisted: nearly the whole file qualifies.
+      return std::nullopt;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FileStore::SelectConjunction(const abdm::Conjunction& conj,
+                                  std::set<RecordId>* out, IoStats* io) const {
+  // Pick the most selective index-assisted predicate as the access path.
+  // Equality predicates are estimated without materializing their
+  // candidate lists (the FILE keyword's bucket holds every record of the
+  // file, and copying it per query would make point lookups O(n)); a
+  // range predicate is only materialized when no equality bucket beats a
+  // full scan.
+  const abdm::Predicate* best_eq = nullptr;
+  size_t best_eq_size = 0;
+  const abdm::Predicate* range_candidate = nullptr;
+  bool empty_eq = false;
+  for (const auto& pred : conj.predicates) {
+    if (pred.value.is_null()) continue;  // null predicates need a scan.
+    if (!IsDirectoryAttribute(pred.attribute)) continue;
+    if (pred.op == abdm::RelOp::kEq) {
+      auto attr_it = index_.find(pred.attribute);
+      size_t size = 0;
+      if (attr_it != index_.end()) {
+        auto val_it = attr_it->second.find(pred.value);
+        if (val_it != attr_it->second.end()) size = val_it->second.size();
+      }
+      if (size == 0) {
+        empty_eq = true;  // directory proves no record matches.
+        if (io != nullptr) io->index_probes += 1;
+        break;
+      }
+      if (best_eq == nullptr || size < best_eq_size) {
+        best_eq = &pred;
+        best_eq_size = size;
+      }
+    } else if (pred.op != abdm::RelOp::kNe && range_candidate == nullptr) {
+      range_candidate = &pred;
+    }
+  }
+
+  std::optional<std::vector<RecordId>> best;
+  if (empty_eq) {
+    best = std::vector<RecordId>{};
+  } else if (best_eq != nullptr) {
+    best = IndexLookup(*best_eq, io);
+  } else if (range_candidate != nullptr) {
+    best = IndexLookup(*range_candidate, io);
+  }
+
+  std::set<uint64_t> blocks_touched;
+  auto examine = [&](RecordId id) {
+    const auto& slot = slots_[id];
+    if (!slot.has_value()) return;
+    if (io != nullptr) io->records_examined += 1;
+    blocks_touched.insert(BlockOf(id));
+    if (conj.Matches(*slot)) out->insert(id);
+  };
+
+  if (best.has_value()) {
+    for (RecordId id : *best) {
+      if (id < slots_.size()) examine(id);
+    }
+  } else {
+    for (RecordId id = 0; id < slots_.size(); ++id) examine(id);
+    // A full scan touches every allocated block even if records are dead.
+    for (uint64_t b = 0; b < block_count(); ++b) blocks_touched.insert(b);
+  }
+  if (io != nullptr) io->blocks_read += blocks_touched.size();
+}
+
+std::vector<RecordId> FileStore::Select(const abdm::Query& query,
+                                        IoStats* io) const {
+  std::set<RecordId> matched;
+  for (const auto& conj : query.disjuncts()) {
+    SelectConjunction(conj, &matched, io);
+  }
+  return std::vector<RecordId>(matched.begin(), matched.end());
+}
+
+size_t FileStore::Delete(const abdm::Query& query, IoStats* io) {
+  std::vector<RecordId> victims = Select(query, io);
+  std::set<uint64_t> blocks;
+  for (RecordId id : victims) {
+    IndexErase(id, *slots_[id]);
+    slots_[id].reset();
+    --live_count_;
+    blocks.insert(BlockOf(id));
+  }
+  if (io != nullptr) io->blocks_written += blocks.size();
+  return victims.size();
+}
+
+uint64_t FileStore::Compact() {
+  const uint64_t before = block_count();
+  std::vector<std::optional<abdm::Record>> live;
+  live.reserve(live_count_);
+  for (auto& slot : slots_) {
+    if (slot.has_value()) live.push_back(std::move(slot));
+  }
+  slots_ = std::move(live);
+  index_.clear();
+  for (RecordId id = 0; id < slots_.size(); ++id) {
+    IndexInsert(id, *slots_[id]);
+  }
+  return before - block_count();
+}
+
+const abdm::Record* FileStore::Get(RecordId id) const {
+  if (id >= slots_.size() || !slots_[id].has_value()) return nullptr;
+  return &*slots_[id];
+}
+
+void FileStore::Replace(RecordId id, abdm::Record record, IoStats* io) {
+  if (id >= slots_.size() || !slots_[id].has_value()) return;
+  // Re-index only the changed keywords: erasing from an unchanged bucket
+  // (e.g. the FILE keyword's, which lists every record of the file) would
+  // cost O(file size) per update.
+  const abdm::Record& old = *slots_[id];
+  abdm::Record changed_old, changed_new;
+  for (const auto& kw : old.keywords()) {
+    auto updated = record.Get(kw.attribute);
+    if (!updated.has_value() || *updated != kw.value) {
+      changed_old.Set(kw.attribute, kw.value);
+    }
+  }
+  for (const auto& kw : record.keywords()) {
+    auto previous = old.Get(kw.attribute);
+    if (!previous.has_value() || *previous != kw.value) {
+      changed_new.Set(kw.attribute, kw.value);
+    }
+  }
+  IndexErase(id, changed_old);
+  slots_[id] = std::move(record);
+  IndexInsert(id, changed_new);
+  if (io != nullptr) {
+    io->blocks_written += 1;
+    io->index_probes += 1;
+  }
+}
+
+}  // namespace mlds::kds

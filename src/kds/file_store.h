@@ -1,0 +1,111 @@
+#ifndef MLDS_KDS_FILE_STORE_H_
+#define MLDS_KDS_FILE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "abdm/query.h"
+#include "abdm/record.h"
+#include "abdm/schema.h"
+#include "common/result.h"
+#include "kds/io_stats.h"
+
+namespace mlds::kds {
+
+/// Identifies a record slot within one file.
+using RecordId = uint64_t;
+
+/// Block-structured storage for one kernel file, with a keyword directory
+/// (per-attribute index) over the file's directory attributes.
+///
+/// Records occupy fixed slots; `block_capacity` consecutive slots form one
+/// block. Query evaluation accounts block reads: an index-assisted
+/// conjunction touches only the blocks holding candidate records, while a
+/// non-indexable conjunction scans every live block. This mirrors the
+/// attribute-based directory design of MBDS, where keyword predicates are
+/// resolved against the directory before record blocks are fetched.
+class FileStore {
+ public:
+  FileStore(abdm::FileDescriptor descriptor, int block_capacity);
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+  FileStore(FileStore&&) = default;
+  FileStore& operator=(FileStore&&) = default;
+
+  const abdm::FileDescriptor& descriptor() const { return descriptor_; }
+  const std::string& name() const { return descriptor_.name; }
+
+  /// Number of live records.
+  size_t size() const { return live_count_; }
+
+  /// Number of blocks currently allocated (including partially dead ones).
+  uint64_t block_count() const;
+
+  /// Appends a record. The record is stored as given; the caller (engine)
+  /// is responsible for ensuring the FILE keyword is present.
+  RecordId Insert(abdm::Record record, IoStats* io);
+
+  /// Returns ids of live records satisfying `query`, in slot order.
+  std::vector<RecordId> Select(const abdm::Query& query, IoStats* io) const;
+
+  /// Deletes all records satisfying `query`; returns how many.
+  size_t Delete(const abdm::Query& query, IoStats* io);
+
+  /// Returns the live record at `id`, or nullptr.
+  const abdm::Record* Get(RecordId id) const;
+
+  /// Replaces the record at `id` (must be live), updating the directory.
+  void Replace(RecordId id, abdm::Record record, IoStats* io);
+
+  /// Rebuilds the store without dead slots, renumbering records and
+  /// rebuilding the directory. Returns how many blocks were reclaimed.
+  /// Record ids are invalidated; callers must not hold RecordIds across a
+  /// compaction.
+  uint64_t Compact();
+
+  /// Calls `fn` for every live record id (slot order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (RecordId id = 0; id < slots_.size(); ++id) {
+      if (slots_[id].has_value()) fn(id, *slots_[id]);
+    }
+  }
+
+ private:
+  /// Evaluates one conjunction, appending matching live ids to `out` and
+  /// charging `io` for index probes / block reads.
+  void SelectConjunction(const abdm::Conjunction& conj,
+                         std::set<RecordId>* out, IoStats* io) const;
+
+  /// Candidate ids from the directory for an indexed equality predicate;
+  /// nullopt if the predicate is not index-assisted.
+  std::optional<std::vector<RecordId>> IndexLookup(
+      const abdm::Predicate& pred, IoStats* io) const;
+
+  bool IsDirectoryAttribute(std::string_view attr) const;
+
+  void IndexInsert(RecordId id, const abdm::Record& record);
+  void IndexErase(RecordId id, const abdm::Record& record);
+
+  uint64_t BlockOf(RecordId id) const { return id / block_capacity_; }
+
+  abdm::FileDescriptor descriptor_;
+  int block_capacity_;
+  std::vector<std::optional<abdm::Record>> slots_;
+  size_t live_count_ = 0;
+  /// Directory: attribute -> value -> slot ids holding that keyword.
+  /// Buckets are ordered sets so insert/erase stay logarithmic even for
+  /// huge buckets (the FILE keyword's bucket lists every record).
+  std::map<std::string, std::map<abdm::Value, std::set<RecordId>>,
+           std::less<>>
+      index_;
+};
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_FILE_STORE_H_

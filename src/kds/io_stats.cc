@@ -1,0 +1,12 @@
+#include "kds/io_stats.h"
+
+namespace mlds::kds {
+
+std::string IoStats::ToString() const {
+  return "blocks_read=" + std::to_string(blocks_read) +
+         " blocks_written=" + std::to_string(blocks_written) +
+         " index_probes=" + std::to_string(index_probes) +
+         " records_examined=" + std::to_string(records_examined);
+}
+
+}  // namespace mlds::kds

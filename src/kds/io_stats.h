@@ -1,0 +1,40 @@
+#ifndef MLDS_KDS_IO_STATS_H_
+#define MLDS_KDS_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mlds::kds {
+
+/// Accounting of the physical work a request performed. MBDS turns these
+/// counters into simulated response times via its disk cost model, which
+/// is how the reproduction recovers the paper's response-time behaviour
+/// without 1987 hardware.
+struct IoStats {
+  /// Data blocks fetched from "disk" while evaluating queries.
+  uint64_t blocks_read = 0;
+  /// Data blocks written back (inserts, updates, deletes).
+  uint64_t blocks_written = 0;
+  /// Directory (index) probes performed.
+  uint64_t index_probes = 0;
+  /// Records actually examined against predicates.
+  uint64_t records_examined = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    blocks_read += other.blocks_read;
+    blocks_written += other.blocks_written;
+    index_probes += other.index_probes;
+    records_examined += other.records_examined;
+    return *this;
+  }
+
+  void Reset() { *this = IoStats{}; }
+
+  uint64_t total_blocks() const { return blocks_read + blocks_written; }
+
+  std::string ToString() const;
+};
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_IO_STATS_H_

@@ -1,0 +1,127 @@
+#include "kds/snapshot.h"
+
+#include <string>
+
+#include "abdl/parser.h"
+#include "common/strings.h"
+
+namespace mlds::kds {
+
+namespace {
+
+constexpr char kHeader[] = "MLDS-SNAPSHOT 1";
+
+std::string_view KindName(abdm::ValueKind kind) {
+  switch (kind) {
+    case abdm::ValueKind::kNull:
+      return "null";
+    case abdm::ValueKind::kInteger:
+      return "integer";
+    case abdm::ValueKind::kFloat:
+      return "float";
+    case abdm::ValueKind::kString:
+      return "string";
+  }
+  return "string";
+}
+
+Result<abdm::ValueKind> ParseKind(std::string_view name) {
+  if (name == "integer") return abdm::ValueKind::kInteger;
+  if (name == "float") return abdm::ValueKind::kFloat;
+  if (name == "string") return abdm::ValueKind::kString;
+  if (name == "null") return abdm::ValueKind::kNull;
+  return Status::ParseError("unknown attribute kind '" + std::string(name) +
+                            "' in snapshot");
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Engine& engine, std::ostream& out) {
+  out << kHeader << "\n";
+  for (const auto& name : engine.FileNames()) {
+    const abdm::FileDescriptor* desc = engine.FindDescriptor(name);
+    out << "FILE " << name << "\n";
+    for (const auto& attr : desc->attributes) {
+      out << "ATTR " << attr.name << " " << KindName(attr.kind) << " "
+          << attr.max_length << " " << (attr.directory ? 1 : 0) << "\n";
+    }
+  }
+  for (const auto& name : engine.FileNames()) {
+    Status visit = engine.VisitRecords(name, [&](const abdm::Record& record) {
+      out << "INSERT " << record.ToString() << "\n";
+    });
+    MLDS_RETURN_IF_ERROR(visit);
+  }
+  if (!out.good()) return Status::Internal("snapshot write failed");
+  return Status::OK();
+}
+
+Status LoadSnapshot(std::istream& in, Engine* engine) {
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::ParseError("missing snapshot header '" +
+                              std::string(kHeader) + "'");
+  }
+  abdm::FileDescriptor current;
+  bool have_file = false;
+  auto flush = [&]() -> Status {
+    if (!have_file) return Status::OK();
+    Status defined = engine->DefineFile(current);
+    current = abdm::FileDescriptor{};
+    have_file = false;
+    return defined;
+  };
+
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text = Trim(line);
+    if (text.empty()) continue;
+    if (text.starts_with("FILE ")) {
+      MLDS_RETURN_IF_ERROR(flush());
+      current.name = std::string(Trim(text.substr(5)));
+      if (current.name.empty()) {
+        return Status::ParseError("snapshot line " +
+                                  std::to_string(line_number) +
+                                  ": FILE without a name");
+      }
+      have_file = true;
+    } else if (text.starts_with("ATTR ")) {
+      if (!have_file) {
+        return Status::ParseError("snapshot line " +
+                                  std::to_string(line_number) +
+                                  ": ATTR outside FILE");
+      }
+      // ATTR <name> <kind> <max_length> <directory>
+      std::vector<std::string> parts;
+      for (std::string_view piece = text.substr(5); !piece.empty();) {
+        size_t space = piece.find(' ');
+        parts.emplace_back(Trim(piece.substr(0, space)));
+        if (space == std::string_view::npos) break;
+        piece = Trim(piece.substr(space + 1));
+      }
+      if (parts.size() != 4) {
+        return Status::ParseError("snapshot line " +
+                                  std::to_string(line_number) +
+                                  ": malformed ATTR");
+      }
+      abdm::AttributeDescriptor attr;
+      attr.name = parts[0];
+      MLDS_ASSIGN_OR_RETURN(attr.kind, ParseKind(parts[1]));
+      attr.max_length = std::stoi(parts[2]);
+      attr.directory = parts[3] == "1";
+      current.attributes.push_back(std::move(attr));
+    } else if (text.starts_with("INSERT ")) {
+      MLDS_RETURN_IF_ERROR(flush());
+      MLDS_ASSIGN_OR_RETURN(abdl::Request request, abdl::ParseRequest(text));
+      MLDS_ASSIGN_OR_RETURN(Response resp, engine->Execute(request));
+      (void)resp;
+    } else {
+      return Status::ParseError("snapshot line " + std::to_string(line_number) +
+                                ": unrecognized '" + std::string(text) + "'");
+    }
+  }
+  return flush();
+}
+
+}  // namespace mlds::kds

@@ -1,0 +1,36 @@
+#ifndef MLDS_KDS_SNAPSHOT_H_
+#define MLDS_KDS_SNAPSHOT_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "kds/engine.h"
+
+namespace mlds::kds {
+
+/// Text snapshot format for a kernel engine's databases:
+///
+///   MLDS-SNAPSHOT 1
+///   FILE course
+///   ATTR FILE string 0 1
+///   ATTR course string 0 1
+///   ...
+///   INSERT (<FILE, 'course'>, <course, 'course_1'>, ...)
+///   ...
+///
+/// The data section is literally an ABDL INSERT transaction, so loading a
+/// snapshot is: define the files, then execute the inserts — the same
+/// load path MLDS uses everywhere else. Records appear in slot order, so
+/// save -> load -> save is byte-stable for a compacted engine.
+
+/// Writes every file and record of `engine` to `out`.
+Status SaveSnapshot(const Engine& engine, std::ostream& out);
+
+/// Recreates files and records from a snapshot into `engine`. Files that
+/// already exist are rejected (load into a fresh engine).
+Status LoadSnapshot(std::istream& in, Engine* engine);
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_SNAPSHOT_H_

@@ -1,0 +1,105 @@
+#include "kfs/formatter.h"
+
+#include <algorithm>
+
+#include "abdm/value.h"
+
+namespace mlds::kfs {
+
+namespace {
+
+bool IsHidden(const std::string& attribute, const network::RecordType* rt,
+              const network::Schema* schema, const FormatOptions& options) {
+  if (options.hide_file_keyword && attribute == abdm::kFileAttribute) {
+    return true;
+  }
+  if (options.hide_set_keywords && rt != nullptr && schema != nullptr &&
+      attribute != rt->name && rt->FindAttribute(attribute) == nullptr) {
+    // Not the database key and not a declared data item: a set keyword.
+    return true;
+  }
+  return false;
+}
+
+/// Columns in display order: database key first, declared items next,
+/// then any remaining keywords in first-seen order.
+std::vector<std::string> CollectColumns(
+    const std::vector<abdm::Record>& records, const network::RecordType* rt,
+    const network::Schema* schema, const FormatOptions& options) {
+  std::vector<std::string> columns;
+  auto add = [&](const std::string& name) {
+    if (IsHidden(name, rt, schema, options)) return;
+    if (std::find(columns.begin(), columns.end(), name) == columns.end()) {
+      columns.push_back(name);
+    }
+  };
+  if (rt != nullptr) {
+    add(rt->name);
+    for (const auto& attr : rt->attributes) add(attr.name);
+  }
+  for (const auto& record : records) {
+    for (const auto& kw : record.keywords()) add(kw.attribute);
+  }
+  return columns;
+}
+
+}  // namespace
+
+std::string FormatTable(const std::vector<abdm::Record>& records,
+                        const network::RecordType* record_type,
+                        const network::Schema* schema,
+                        const FormatOptions& options) {
+  std::vector<std::string> columns =
+      CollectColumns(records, record_type, schema, options);
+  if (columns.empty()) return "(no records)\n";
+
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records.size());
+  for (const auto& record : records) {
+    std::vector<std::string> row;
+    row.reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      abdm::Value v = record.GetOrNull(columns[c]);
+      std::string cell = v.is_null() ? "-" : v.ToDisplayString();
+      widths[c] = std::max(widths[c], cell.size());
+      row.push_back(std::move(cell));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += options.separator;
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    out += "\n";
+  };
+  append_row(columns);
+  size_t total = 0;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    total += widths[c] + (c > 0 ? options.separator.size() : 0);
+  }
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows) append_row(row);
+  return out;
+}
+
+std::string FormatRecord(const abdm::Record& record,
+                         const FormatOptions& options) {
+  std::string out;
+  for (const auto& kw : record.keywords()) {
+    if (options.hide_file_keyword && kw.attribute == abdm::kFileAttribute) {
+      continue;
+    }
+    out += kw.attribute + ": " +
+           (kw.value.is_null() ? "-" : kw.value.ToDisplayString()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mlds::kfs

@@ -1,0 +1,41 @@
+#ifndef MLDS_KFS_FORMATTER_H_
+#define MLDS_KFS_FORMATTER_H_
+
+#include <string>
+#include <vector>
+
+#include "abdm/record.h"
+#include "network/schema.h"
+
+namespace mlds::kfs {
+
+/// The Kernel Formatting Subsystem: reformats KDM (attribute-based)
+/// results into UDM (network record) display format for the user
+/// (Ch. I.B.1).
+
+/// Formatting options.
+struct FormatOptions {
+  /// Hide the kernel-internal FILE keyword.
+  bool hide_file_keyword = true;
+  /// Hide set-membership keywords (show only the record's data items and
+  /// database key).
+  bool hide_set_keywords = false;
+  /// Column separator.
+  std::string separator = " | ";
+};
+
+/// Formats records as an aligned table. When `record_type` is non-null,
+/// columns follow the record type's declaration order (database key
+/// first); otherwise columns appear in first-seen keyword order.
+std::string FormatTable(const std::vector<abdm::Record>& records,
+                        const network::RecordType* record_type = nullptr,
+                        const network::Schema* schema = nullptr,
+                        const FormatOptions& options = {});
+
+/// Formats one record as "attr: value" lines.
+std::string FormatRecord(const abdm::Record& record,
+                         const FormatOptions& options = {});
+
+}  // namespace mlds::kfs
+
+#endif  // MLDS_KFS_FORMATTER_H_

@@ -1,0 +1,850 @@
+#include "kms/daplex_machine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "transform/abdm_mapping.h"
+
+namespace mlds::kms {
+
+namespace {
+
+using abdm::Conjunction;
+using abdm::Predicate;
+using abdm::Query;
+using abdm::Record;
+using abdm::RelOp;
+using abdm::Value;
+using daplex::Comparison;
+using daplex::DaplexAggregate;
+using daplex::ForEachQuery;
+using daplex::Function;
+using daplex::FunctionClass;
+using transform::KeyAttribute;
+using transform::SetAttribute;
+
+Predicate EqStr(std::string attribute, std::string_view value) {
+  return Predicate{std::move(attribute), RelOp::kEq,
+                   Value::String(std::string(value))};
+}
+
+abdl::RetrieveRequest RetrieveAll(Query query) {
+  abdl::RetrieveRequest req;
+  req.query = std::move(query);
+  req.all_attributes = true;
+  return req;
+}
+
+/// True when any of `values` satisfies `cmp`.
+bool Satisfies(const std::vector<Value>& values, const Comparison& cmp) {
+  for (const Value& v : values) {
+    Record probe;
+    probe.Set(cmp.function, v);
+    Predicate pred{cmp.function, cmp.op, cmp.value};
+    if (pred.Matches(probe)) return true;
+  }
+  return false;
+}
+
+std::string JoinValues(const std::vector<Value>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToDisplayString();
+  }
+  return out;
+}
+
+}  // namespace
+
+void DaplexMachine::EntityView::Absorb(const Record& record) {
+  for (const auto& kw : record.keywords()) {
+    if (kw.attribute == abdm::kFileAttribute) {
+      continue;
+    }
+    if (kw.value.is_null()) continue;
+    auto& seen = values[kw.attribute];
+    if (std::find(seen.begin(), seen.end(), kw.value) == seen.end()) {
+      seen.push_back(kw.value);
+    }
+  }
+}
+
+const std::vector<Value>* DaplexMachine::EntityView::Find(
+    std::string_view function) const {
+  auto it = values.find(std::string(function));
+  return it == values.end() ? nullptr : &it->second;
+}
+
+DaplexMachine::DaplexMachine(const daplex::FunctionalSchema* functional,
+                             const network::Schema* schema,
+                             const transform::FunNetMapping* mapping,
+                             kc::KernelExecutor* executor)
+    : functional_(functional),
+      schema_(schema),
+      mapping_(mapping),
+      executor_(executor) {}
+
+Result<kds::Response> DaplexMachine::Issue(abdl::Request request) {
+  trace_.push_back(abdl::ToString(request));
+  return executor_->Execute(request);
+}
+
+std::vector<std::string> DaplexMachine::AncestorChain(
+    std::string_view type) const {
+  std::vector<std::string> chain;
+  std::deque<std::string> frontier;
+  frontier.emplace_back(type);
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    const daplex::Subtype* sub = functional_->FindSubtype(current);
+    if (sub == nullptr) continue;
+    for (const auto& super : sub->supertypes) {
+      if (std::find(chain.begin(), chain.end(), super) == chain.end()) {
+        chain.push_back(super);
+        frontier.push_back(super);
+      }
+    }
+  }
+  return chain;
+}
+
+Result<DaplexMachine::FunctionSite> DaplexMachine::Resolve(
+    std::string_view type, std::string_view function) const {
+  std::vector<std::string> candidates;
+  candidates.emplace_back(type);
+  for (auto& ancestor : AncestorChain(type)) {
+    candidates.push_back(std::move(ancestor));
+  }
+  for (const auto& candidate : candidates) {
+    if (candidate == function) {
+      // The type name itself: the database-key pseudo-function.
+      return FunctionSite{nullptr, candidate, /*is_key=*/true};
+    }
+    const std::vector<Function>* functions = functional_->FunctionsOf(candidate);
+    if (functions == nullptr) continue;
+    for (const Function& fn : *functions) {
+      if (fn.name == function) {
+        return FunctionSite{&fn, candidate, /*is_key=*/false};
+      }
+    }
+  }
+  return Status::NotFound("function '" + std::string(function) +
+                          "' is not declared on '" + std::string(type) +
+                          "' or its supertypes");
+}
+
+Result<std::vector<Record>> DaplexMachine::FetchByKeys(
+    std::string_view file, const std::set<std::string>& keys) {
+  if (keys.empty()) return std::vector<Record>{};
+  std::vector<Conjunction> disjuncts;
+  disjuncts.reserve(keys.size());
+  for (const auto& key : keys) {
+    disjuncts.push_back(
+        Conjunction{{EqStr(std::string(abdm::kFileAttribute), file),
+                     EqStr(KeyAttribute(file), key)}});
+  }
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(RetrieveAll(Query(std::move(disjuncts)))));
+  return std::move(resp.records);
+}
+
+Status DaplexMachine::AbsorbAncestors(
+    std::string_view type, std::map<std::string, EntityView>* views) {
+  // Walk up one ISA level at a time: collect the supertype keys present
+  // in the views' ISA keywords, fetch those supertype records, merge.
+  std::string current(type);
+  // Map from view dbkey to the key of its record at the current level.
+  std::map<std::string, std::string> level_key;
+  for (auto& [dbkey, view] : *views) level_key[dbkey] = dbkey;
+
+  while (true) {
+    const daplex::Subtype* sub = functional_->FindSubtype(current);
+    if (sub == nullptr) break;
+    // Single-supertype chains cover the University schema; for multiple
+    // supertypes every branch is merged (keys fetched per supertype).
+    std::string next_level;
+    for (const auto& super : sub->supertypes) {
+      const std::string isa_attr =
+          SetAttribute(transform::IsaSetName(super, current));
+      std::set<std::string> super_keys;
+      std::map<std::string, std::string> next_key;
+      for (auto& [dbkey, view] : *views) {
+        const std::vector<Value>* isa = view.Find(isa_attr);
+        if (isa == nullptr || isa->empty() || !isa->front().is_string()) {
+          continue;
+        }
+        super_keys.insert(isa->front().AsString());
+        next_key[dbkey] = isa->front().AsString();
+      }
+      if (super_keys.empty()) continue;
+      MLDS_ASSIGN_OR_RETURN(std::vector<Record> records,
+                            FetchByKeys(super, super_keys));
+      std::map<std::string, std::vector<const Record*>> by_key;
+      for (const Record& r : records) {
+        by_key[r.GetOrNull(KeyAttribute(super)).ToDisplayString()].push_back(
+            &r);
+      }
+      for (auto& [dbkey, view] : *views) {
+        auto key_it = next_key.find(dbkey);
+        if (key_it == next_key.end()) continue;
+        auto recs_it = by_key.find(key_it->second);
+        if (recs_it == by_key.end()) continue;
+        for (const Record* r : recs_it->second) {
+          view.Absorb(*r);
+        }
+      }
+      // Continue the chain through the first supertype (sufficient for
+      // linear hierarchies; diamond chains re-resolve per level).
+      if (next_level.empty()) {
+        next_level = super;
+        level_key = std::move(next_key);
+      }
+    }
+    if (next_level.empty()) break;
+    current = next_level;
+  }
+  return Status::OK();
+}
+
+Status DaplexMachine::AbsorbManyToMany(
+    const Function& fn, std::map<std::string, EntityView>* views) {
+  if (mapping_ == nullptr) return Status::OK();
+  const transform::SetInfo* info = mapping_->FindSetInfo(fn.name);
+  if (info == nullptr ||
+      info->origin != transform::SetOrigin::kManyToManyFunction) {
+    return Status::OK();
+  }
+  // The link record carries <fn, this-side key> and <inverse, other key>.
+  const std::string& link = info->link_record;
+  std::string inverse_attr;
+  for (const auto* set : schema_->SetsWithMember(link)) {
+    if (set->name != fn.name) {
+      inverse_attr = SetAttribute(set->name);
+      break;
+    }
+  }
+  if (inverse_attr.empty()) {
+    return Status::Internal("many-to-many set '" + fn.name +
+                            "' has no inverse over link '" + link + "'");
+  }
+  std::vector<Conjunction> disjuncts;
+  for (const auto& [dbkey, view] : *views) {
+    disjuncts.push_back(
+        Conjunction{{EqStr(std::string(abdm::kFileAttribute), link),
+                     EqStr(SetAttribute(fn.name), dbkey)}});
+  }
+  if (disjuncts.empty()) return Status::OK();
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(RetrieveAll(Query(std::move(disjuncts)))));
+  for (const Record& r : resp.records) {
+    const std::string owner = r.GetOrNull(SetAttribute(fn.name)).ToDisplayString();
+    auto it = views->find(owner);
+    if (it == views->end()) continue;
+    Value other = r.GetOrNull(inverse_attr);
+    if (other.is_null()) continue;
+    auto& seen = it->second.values[fn.name];
+    if (std::find(seen.begin(), seen.end(), other) == seen.end()) {
+      seen.push_back(other);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Record>> DaplexMachine::Execute(const ForEachQuery& query) {
+  trace_.clear();
+  if (!functional_->IsEntityOrSubtype(query.type)) {
+    return Status::NotFound("'" + query.type +
+                            "' is not an entity type or subtype");
+  }
+
+  // Resolve every referenced function up front.
+  std::vector<std::pair<Comparison, FunctionSite>> conditions;
+  for (const auto& cmp : query.such_that) {
+    MLDS_ASSIGN_OR_RETURN(FunctionSite site, Resolve(query.type, cmp.function));
+    conditions.emplace_back(cmp, site);
+  }
+  std::vector<std::pair<daplex::PrintItem, FunctionSite>> prints;
+  for (const auto& item : query.print) {
+    MLDS_ASSIGN_OR_RETURN(FunctionSite site, Resolve(query.type, item.function));
+    prints.emplace_back(item, site);
+  }
+
+  // Conditions on functions declared directly on the queried type (and
+  // not set-valued) push into the kernel query; the rest filter after
+  // the inheritance joins.
+  std::vector<Predicate> pushed = {
+      EqStr(std::string(abdm::kFileAttribute), query.type)};
+  std::vector<std::pair<Comparison, FunctionSite>> residual;
+  for (const auto& [cmp, site] : conditions) {
+    const bool own = site.declared_on == query.type;
+    const FunctionClass cls =
+        site.is_key ? FunctionClass::kScalar
+                    : functional_->Classify(*site.function);
+    const bool pushable = own && (cls == FunctionClass::kScalar ||
+                                  cls == FunctionClass::kSingleValued);
+    if (pushable) {
+      pushed.push_back(Predicate{cmp.function, cmp.op, cmp.value});
+    } else {
+      residual.emplace_back(cmp, site);
+    }
+  }
+
+  MLDS_ASSIGN_OR_RETURN(kds::Response base,
+                        Issue(RetrieveAll(Query::And(std::move(pushed)))));
+
+  // Collapse duplicated kernel records into one view per entity.
+  std::map<std::string, EntityView> views;
+  const std::string key_attr = KeyAttribute(query.type);
+  for (const Record& r : base.records) {
+    const std::string dbkey = r.GetOrNull(key_attr).ToDisplayString();
+    EntityView& view = views[dbkey];
+    view.dbkey = dbkey;
+    view.Absorb(r);
+  }
+
+  // Inheritance joins, when any referenced function is inherited.
+  const bool needs_ancestors =
+      std::any_of(conditions.begin(), conditions.end(),
+                  [&](const auto& c) { return c.second.declared_on != query.type; }) ||
+      std::any_of(prints.begin(), prints.end(), [&](const auto& p) {
+        return p.second.declared_on != query.type;
+      }) ||
+      query.print_all;
+  if (needs_ancestors) {
+    MLDS_RETURN_IF_ERROR(AbsorbAncestors(query.type, &views));
+  }
+
+  // Many-to-many functions referenced anywhere need the link file before
+  // filtering can see their values.
+  for (const auto& [cmp, site] : residual) {
+    if (!site.is_key &&
+        functional_->Classify(*site.function) == FunctionClass::kMultiValued) {
+      MLDS_RETURN_IF_ERROR(AbsorbManyToMany(*site.function, &views));
+    }
+  }
+  for (const auto& [item, site] : prints) {
+    if (!site.is_key &&
+        functional_->Classify(*site.function) == FunctionClass::kMultiValued) {
+      MLDS_RETURN_IF_ERROR(AbsorbManyToMany(*site.function, &views));
+    }
+  }
+
+  // Residual filtering (set semantics: some value satisfies).
+  for (auto it = views.begin(); it != views.end();) {
+    bool keep = true;
+    for (const auto& [cmp, site] : residual) {
+      const std::vector<Value>* values = it->second.Find(cmp.function);
+      if (values == nullptr || !Satisfies(*values, cmp)) {
+        keep = false;
+        break;
+      }
+    }
+    it = keep ? std::next(it) : views.erase(it);
+  }
+
+  // Aggregates: one summary record.
+  const bool has_aggregate =
+      std::any_of(prints.begin(), prints.end(), [](const auto& p) {
+        return p.first.aggregate != DaplexAggregate::kNone;
+      });
+  std::vector<Record> out;
+  if (has_aggregate) {
+    Record summary;
+    for (const auto& [item, site] : prints) {
+      std::vector<Value> all;
+      for (const auto& [dbkey, view] : views) {
+        const std::vector<Value>* values = view.Find(item.function);
+        if (values != nullptr) {
+          all.insert(all.end(), values->begin(), values->end());
+        }
+      }
+      std::string label;
+      Value result;
+      switch (item.aggregate) {
+        case DaplexAggregate::kCount:
+          label = "COUNT(" + item.function + ")";
+          result = Value::Integer(static_cast<int64_t>(all.size()));
+          break;
+        case DaplexAggregate::kNone:
+          label = item.function;
+          result = all.empty() ? Value::Null() : all.front();
+          break;
+        default: {
+          const char* name = item.aggregate == DaplexAggregate::kAvg   ? "AVG"
+                             : item.aggregate == DaplexAggregate::kMin ? "MIN"
+                             : item.aggregate == DaplexAggregate::kMax ? "MAX"
+                                                                       : "SUM";
+          label = std::string(name) + "(" + item.function + ")";
+          double sum = 0.0;
+          Value min_v, max_v;
+          int64_t n = 0;
+          for (const Value& v : all) {
+            if (!v.is_numeric()) continue;
+            if (n == 0 || v.Compare(min_v) < 0) min_v = v;
+            if (n == 0 || v.Compare(max_v) > 0) max_v = v;
+            sum += v.AsFloat();
+            ++n;
+          }
+          if (n == 0) {
+            result = Value::Null();
+          } else if (item.aggregate == DaplexAggregate::kAvg) {
+            result = Value::Float(sum / static_cast<double>(n));
+          } else if (item.aggregate == DaplexAggregate::kMin) {
+            result = min_v;
+          } else if (item.aggregate == DaplexAggregate::kMax) {
+            result = max_v;
+          } else {
+            result = Value::Float(sum);
+          }
+          break;
+        }
+      }
+      summary.Set(label, result);
+    }
+    out.push_back(std::move(summary));
+    return out;
+  }
+
+  // One record per entity, in key order.
+  for (const auto& [dbkey, view] : views) {
+    Record r;
+    r.Set(key_attr, Value::String(dbkey));
+    if (query.print_all) {
+      for (const auto& [attr, values] : view.values) {
+        r.Set(attr, values.size() == 1 ? values.front()
+                                       : Value::String(JoinValues(values)));
+      }
+    } else {
+      for (const auto& [item, site] : prints) {
+        const std::vector<Value>* values = view.Find(item.function);
+        if (values == nullptr || values->empty()) {
+          r.Set(item.function, Value::Null());
+        } else if (values->size() == 1) {
+          r.Set(item.function, values->front());
+        } else {
+          r.Set(item.function, Value::String(JoinValues(*values)));
+        }
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::vector<Record>> DaplexMachine::ExecuteText(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(ForEachQuery query, daplex::ParseForEach(text));
+  return Execute(query);
+}
+
+Result<std::string> DaplexMachine::AllocateDbKey(std::string_view type) {
+  uint64_t next = executor_->FileSize(type) + 1;
+  while (true) {
+    std::string candidate = transform::MakeDbKey(type, next);
+    MLDS_ASSIGN_OR_RETURN(bool exists, EntityExists(type, candidate));
+    ++next;
+    if (!exists) return candidate;
+  }
+}
+
+Result<bool> DaplexMachine::EntityExists(std::string_view file,
+                                         std::string_view dbkey) {
+  abdl::RetrieveRequest probe;
+  probe.query = Query::And({EqStr(std::string(abdm::kFileAttribute), file),
+                            EqStr(KeyAttribute(file), dbkey)});
+  probe.targets = {abdl::TargetItem{KeyAttribute(file)}};
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+  return !resp.records.empty();
+}
+
+Result<DaplexMachine::Outcome> DaplexMachine::Create(
+    const daplex::CreateStatement& statement) {
+  trace_.clear();
+  const std::string& type = statement.type;
+  if (!functional_->IsEntityOrSubtype(type)) {
+    return Status::NotFound("'" + type + "' is not an entity type or subtype");
+  }
+  const std::vector<Function>* functions = functional_->FunctionsOf(type);
+  const daplex::Subtype* subtype = functional_->FindSubtype(type);
+
+  MLDS_ASSIGN_OR_RETURN(std::string dbkey, AllocateDbKey(type));
+  Record record;
+  record.Set(std::string(abdm::kFileAttribute), Value::String(type));
+  record.Set(KeyAttribute(type), Value::String(dbkey));
+
+  std::set<std::string> assigned_supers;
+  for (const auto& [fn_name, value] : statement.assignments) {
+    // Supertype key pseudo-function: CREATE student (person = 'person_4').
+    const bool is_super =
+        subtype != nullptr &&
+        std::find(subtype->supertypes.begin(), subtype->supertypes.end(),
+                  fn_name) != subtype->supertypes.end();
+    if (is_super) {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("supertype key for '" + fn_name +
+                                       "' must be a database key string");
+      }
+      MLDS_ASSIGN_OR_RETURN(bool exists,
+                            EntityExists(fn_name, value.AsString()));
+      if (!exists) {
+        return Status::NotFound("CREATE " + type + ": supertype entity '" +
+                                value.AsString() + "' does not exist");
+      }
+      record.Set(SetAttribute(transform::IsaSetName(fn_name, type)), value);
+      assigned_supers.insert(fn_name);
+      continue;
+    }
+    const Function* fn = nullptr;
+    for (const Function& candidate : *functions) {
+      if (candidate.name == fn_name) {
+        fn = &candidate;
+        break;
+      }
+    }
+    if (fn == nullptr) {
+      return Status::NotFound("CREATE " + type + ": '" + fn_name +
+                              "' is not a function of the type (inherited "
+                              "functions belong to the supertype entity)");
+    }
+    switch (functional_->Classify(*fn)) {
+      case FunctionClass::kScalar:
+      case FunctionClass::kScalarMultiValued:
+        record.Set(fn_name, value);
+        break;
+      case FunctionClass::kSingleValued: {
+        if (!value.is_null()) {
+          if (!value.is_string()) {
+            return Status::InvalidArgument("CREATE " + type + ": '" +
+                                           fn_name +
+                                           "' takes a database key string");
+          }
+          MLDS_ASSIGN_OR_RETURN(bool exists,
+                                EntityExists(fn->target, value.AsString()));
+          if (!exists) {
+            return Status::NotFound("CREATE " + type + ": '" +
+                                    value.AsString() + "' does not exist in '" +
+                                    fn->target + "'");
+          }
+        }
+        record.Set(SetAttribute(fn_name), value);
+        break;
+      }
+      case FunctionClass::kMultiValued:
+        return Status::InvalidArgument(
+            "CREATE " + type + ": multi-valued function '" + fn_name +
+            "' cannot be assigned directly; connect link records instead");
+    }
+  }
+
+  // Every direct supertype must be linked.
+  if (subtype != nullptr) {
+    for (const auto& super : subtype->supertypes) {
+      if (assigned_supers.count(super) == 0) {
+        return Status::InvalidArgument("CREATE " + type +
+                                       ": missing supertype key '" + super +
+                                       "'");
+      }
+      // Overlap table: the supertype entity may not already belong to a
+      // sibling subtype unless an OVERLAP constraint permits it.
+      const std::string owner_key =
+          record.GetOrNull(SetAttribute(transform::IsaSetName(super, type)))
+              .AsString();
+      for (const auto* sibling : functional_->SubtypesOf(super)) {
+        if (sibling->name == type) continue;
+        abdl::RetrieveRequest probe;
+        probe.query = Query::And(
+            {EqStr(std::string(abdm::kFileAttribute), sibling->name),
+             EqStr(SetAttribute(transform::IsaSetName(super, sibling->name)),
+                   owner_key)});
+        probe.targets = {abdl::TargetItem{KeyAttribute(sibling->name)}};
+        MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+        if (resp.records.empty()) continue;
+        bool allowed = false;
+        auto contains = [](const std::vector<std::string>& list,
+                           std::string_view name) {
+          return std::find(list.begin(), list.end(), name) != list.end();
+        };
+        for (const auto& oc : functional_->overlaps()) {
+          if ((contains(oc.left, type) && contains(oc.right, sibling->name)) ||
+              (contains(oc.left, sibling->name) && contains(oc.right, type))) {
+            allowed = true;
+            break;
+          }
+        }
+        if (!allowed) {
+          return Status::ConstraintViolation(
+              "CREATE " + type + ": entity '" + owner_key +
+              "' already belongs to subtype '" + sibling->name +
+              "' and no OVERLAP constraint permits sharing");
+        }
+      }
+    }
+  }
+
+  // Unassigned member-side set keywords start NULL, matching the CODASYL
+  // STORE representation (so (set = NULL) predicates see both paths).
+  for (const auto* set : schema_->SetsWithMember(type)) {
+    if (set->IsSystemOwned()) continue;
+    const transform::SetInfo* info =
+        mapping_ != nullptr ? mapping_->FindSetInfo(set->name) : nullptr;
+    if (info != nullptr &&
+        info->origin == transform::SetOrigin::kOneToManyFunction) {
+      continue;  // owner-side representation.
+    }
+    if (!record.Has(SetAttribute(set->name))) {
+      record.Set(SetAttribute(set->name), Value::Null());
+    }
+  }
+
+  // Uniqueness constraints carried into the transformed schema.
+  const network::RecordType* rt = schema_->FindRecord(type);
+  if (rt != nullptr) {
+    std::vector<Predicate> preds = {
+        EqStr(std::string(abdm::kFileAttribute), type)};
+    bool any = false;
+    for (const auto& attr : rt->attributes) {
+      if (attr.duplicates_allowed) continue;
+      Value v = record.GetOrNull(attr.name);
+      if (v.is_null()) continue;
+      preds.push_back(Predicate{attr.name, RelOp::kEq, v});
+      any = true;
+    }
+    if (any) {
+      abdl::RetrieveRequest probe;
+      probe.query = Query::And(std::move(preds));
+      probe.targets = {abdl::TargetItem{KeyAttribute(type)}};
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+      if (!resp.records.empty()) {
+        return Status::ConstraintViolation(
+            "CREATE " + type + " violates a UNIQUE constraint");
+      }
+    }
+  }
+
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(abdl::InsertRequest{record}));
+  (void)resp;
+  Outcome outcome;
+  outcome.affected = 1;
+  outcome.info = "created " + dbkey;
+  outcome.records = {std::move(record)};
+  return outcome;
+}
+
+Status DaplexMachine::CheckReferences(std::string_view type,
+                                      std::string_view dbkey) {
+  for (const auto* set : schema_->SetsWithOwner(type)) {
+    const transform::SetInfo* info =
+        mapping_ != nullptr ? mapping_->FindSetInfo(set->name) : nullptr;
+    if (info == nullptr) continue;
+    if (info->origin == transform::SetOrigin::kIsa) {
+      continue;  // subtype records cascade rather than abort.
+    }
+    if (info->origin == transform::SetOrigin::kSystem) continue;
+    // Single-valued / many-to-many sets owned by this type: any member
+    // record naming this key is a live function reference.
+    for (const auto& member : set->members) {
+      abdl::RetrieveRequest probe;
+      probe.query =
+          Query::And({EqStr(std::string(abdm::kFileAttribute), member),
+                      EqStr(SetAttribute(set->name), dbkey)});
+      probe.targets = {abdl::TargetItem{SetAttribute(set->name)}};
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+      if (!resp.records.empty()) {
+        return Status::Aborted("DESTROY: entity '" + std::string(dbkey) +
+                               "' is referenced through function set '" +
+                               set->name + "'");
+      }
+    }
+  }
+  // Owner-side one-to-many references and link records where this type is
+  // the member side.
+  for (const auto* set : schema_->SetsWithMember(type)) {
+    const transform::SetInfo* info =
+        mapping_ != nullptr ? mapping_->FindSetInfo(set->name) : nullptr;
+    if (info == nullptr || info->origin != transform::SetOrigin::kOneToManyFunction) {
+      continue;
+    }
+    abdl::RetrieveRequest probe;
+    probe.query =
+        Query::And({EqStr(std::string(abdm::kFileAttribute), set->owner),
+                    EqStr(SetAttribute(set->name), dbkey)});
+    probe.targets = {abdl::TargetItem{SetAttribute(set->name)}};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+    if (!resp.records.empty()) {
+      return Status::Aborted("DESTROY: entity '" + std::string(dbkey) +
+                             "' is referenced through function set '" +
+                             set->name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status DaplexMachine::DestroyEntity(std::string_view type,
+                                    std::string_view dbkey, size_t* deleted) {
+  MLDS_RETURN_IF_ERROR(CheckReferences(type, dbkey));
+  // Cascade into the subtype hierarchy first (the thesis: the entire
+  // hierarchy of the entity is deleted).
+  for (const auto* sub : functional_->SubtypesOf(type)) {
+    const std::string isa_attr =
+        SetAttribute(transform::IsaSetName(type, sub->name));
+    abdl::RetrieveRequest probe;
+    probe.query =
+        Query::And({EqStr(std::string(abdm::kFileAttribute), sub->name),
+                    EqStr(isa_attr, dbkey)});
+    probe.targets = {abdl::TargetItem{KeyAttribute(sub->name)}};
+    MLDS_ASSIGN_OR_RETURN(kds::Response subtype_rows, Issue(probe));
+    std::set<std::string> sub_keys;
+    for (const Record& r : subtype_rows.records) {
+      sub_keys.insert(r.GetOrNull(KeyAttribute(sub->name)).ToDisplayString());
+    }
+    for (const auto& sub_key : sub_keys) {
+      MLDS_RETURN_IF_ERROR(DestroyEntity(sub->name, sub_key, deleted));
+    }
+  }
+  abdl::DeleteRequest del;
+  del.query = Query::And({EqStr(std::string(abdm::kFileAttribute), type),
+                          EqStr(KeyAttribute(type), dbkey)});
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(del));
+  *deleted += resp.affected;
+  return Status::OK();
+}
+
+Result<DaplexMachine::Outcome> DaplexMachine::Update(
+    const daplex::UpdateStatement& statement) {
+  const std::string& type = statement.type;
+  if (!functional_->IsEntityOrSubtype(type)) {
+    return Status::NotFound("'" + type + "' is not an entity type or subtype");
+  }
+  const std::vector<Function>* functions = functional_->FunctionsOf(type);
+
+  // Validate assignments up front: own scalar or single-valued functions
+  // only; entity references must exist.
+  std::vector<std::pair<std::string, Value>> writes;
+  for (const auto& [fn_name, value] : statement.assignments) {
+    const Function* fn = nullptr;
+    for (const Function& candidate : *functions) {
+      if (candidate.name == fn_name) {
+        fn = &candidate;
+        break;
+      }
+    }
+    if (fn == nullptr) {
+      return Status::NotFound("UPDATE " + type + ": '" + fn_name +
+                              "' is not a function of the type");
+    }
+    switch (functional_->Classify(*fn)) {
+      case FunctionClass::kScalar:
+      case FunctionClass::kScalarMultiValued:
+        writes.emplace_back(fn_name, value);
+        break;
+      case FunctionClass::kSingleValued: {
+        if (!value.is_null()) {
+          if (!value.is_string()) {
+            return Status::InvalidArgument("UPDATE " + type + ": '" + fn_name +
+                                           "' takes a database key string");
+          }
+          MLDS_ASSIGN_OR_RETURN(bool exists,
+                                EntityExists(fn->target, value.AsString()));
+          if (!exists) {
+            return Status::NotFound("UPDATE " + type + ": '" +
+                                    value.AsString() + "' does not exist in '" +
+                                    fn->target + "'");
+          }
+        }
+        writes.emplace_back(SetAttribute(fn_name), value);
+        break;
+      }
+      case FunctionClass::kMultiValued:
+        return Status::InvalidArgument("UPDATE " + type +
+                                       ": multi-valued function '" + fn_name +
+                                       "' cannot be assigned directly");
+    }
+  }
+
+  // Select the entities, then issue one kernel UPDATE per (entity, item)
+  // pair — hitting every duplicated record of the entity.
+  ForEachQuery selector;
+  selector.type = type;
+  selector.such_that = statement.such_that;
+  MLDS_ASSIGN_OR_RETURN(std::vector<Record> selected, Execute(selector));
+
+  Outcome outcome;
+  for (const Record& r : selected) {
+    const std::string dbkey =
+        r.GetOrNull(KeyAttribute(type)).ToDisplayString();
+    for (const auto& [attr, value] : writes) {
+      abdl::UpdateRequest update;
+      update.query =
+          Query::And({EqStr(std::string(abdm::kFileAttribute), type),
+                      EqStr(KeyAttribute(type), dbkey)});
+      update.modifier =
+          abdl::Modifier{attr, abdl::ModifierKind::kSet, value};
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(update));
+      (void)resp;
+    }
+    ++outcome.affected;
+  }
+  outcome.info = "updated " + std::to_string(outcome.affected) +
+                 " entity(ies)";
+  return outcome;
+}
+
+Result<DaplexMachine::Outcome> DaplexMachine::Destroy(
+    const daplex::DestroyStatement& statement) {
+  // Select the target entities through the query machinery.
+  ForEachQuery selector;
+  selector.type = statement.type;
+  selector.such_that = statement.such_that;
+  MLDS_ASSIGN_OR_RETURN(std::vector<Record> selected, Execute(selector));
+
+  // Collect keys before mutating.
+  std::vector<std::string> keys;
+  keys.reserve(selected.size());
+  for (const Record& r : selected) {
+    keys.push_back(r.GetOrNull(KeyAttribute(statement.type)).ToDisplayString());
+  }
+  // Pre-flight every reference check so a mid-statement abort does not
+  // leave a partial destruction behind.
+  for (const auto& key : keys) {
+    MLDS_RETURN_IF_ERROR(CheckReferences(statement.type, key));
+  }
+  Outcome outcome;
+  size_t deleted = 0;
+  for (const auto& key : keys) {
+    MLDS_RETURN_IF_ERROR(DestroyEntity(statement.type, key, &deleted));
+    ++outcome.affected;
+  }
+  outcome.info = "destroyed " + std::to_string(outcome.affected) +
+                 " entity(ies), " + std::to_string(deleted) +
+                 " kernel record(s)";
+  return outcome;
+}
+
+Result<DaplexMachine::Outcome> DaplexMachine::ExecuteStatement(
+    std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(daplex::DaplexStatement statement,
+                        daplex::ParseDaplexStatement(text));
+  struct Visitor {
+    DaplexMachine* self;
+    Result<Outcome> operator()(const ForEachQuery& q) {
+      MLDS_ASSIGN_OR_RETURN(std::vector<Record> records, self->Execute(q));
+      Outcome outcome;
+      outcome.records = std::move(records);
+      return outcome;
+    }
+    Result<Outcome> operator()(const daplex::CreateStatement& s) {
+      return self->Create(s);
+    }
+    Result<Outcome> operator()(const daplex::UpdateStatement& s) {
+      return self->Update(s);
+    }
+    Result<Outcome> operator()(const daplex::DestroyStatement& s) {
+      return self->Destroy(s);
+    }
+  };
+  return std::visit(Visitor{this}, statement);
+}
+
+}  // namespace mlds::kms

@@ -1,0 +1,151 @@
+#ifndef MLDS_KMS_DAPLEX_MACHINE_H_
+#define MLDS_KMS_DAPLEX_MACHINE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdl/request.h"
+#include "common/result.h"
+#include "daplex/query.h"
+#include "daplex/schema.h"
+#include "kc/executor.h"
+#include "network/schema.h"
+#include "transform/fun_to_net.h"
+
+namespace mlds::kms {
+
+/// The functional language interface's query processor: translates Daplex
+/// FOR EACH queries into ABDL requests over the AB(functional) database —
+/// the same kernel files the CODASYL-DML interface manipulates, which is
+/// what makes MLDS multi-lingual: one database, several languages.
+///
+/// Supported semantics:
+///  - iteration over an entity type or subtype;
+///  - SUCH THAT comparisons on scalar functions, on single-valued
+///    entity functions (compared against the target's database key), and
+///    on *inherited* functions (value inheritance over ISA);
+///  - PRINT of scalar, entity-valued, inherited, scalar multi-valued
+///    (all values of the duplicated-record representation, joined), and
+///    many-to-many functions (the related entities' keys, via the link
+///    file);
+///  - aggregates (COUNT/AVG/MIN/MAX/SUM) over the selected entities.
+class DaplexMachine {
+ public:
+  /// All pointees must outlive the machine.
+  DaplexMachine(const daplex::FunctionalSchema* functional,
+                const network::Schema* schema,
+                const transform::FunNetMapping* mapping,
+                kc::KernelExecutor* executor);
+
+  DaplexMachine(const DaplexMachine&) = delete;
+  DaplexMachine& operator=(const DaplexMachine&) = delete;
+
+  /// Outcome of a Daplex DML statement (CREATE / DESTROY / FOR EACH).
+  struct Outcome {
+    std::vector<abdm::Record> records;  ///< FOR EACH results.
+    size_t affected = 0;                ///< entities created / destroyed.
+    std::string info;
+  };
+
+  /// Executes one FOR EACH query; returns one record per selected entity
+  /// (or a single record of aggregates).
+  Result<std::vector<abdm::Record>> Execute(const daplex::ForEachQuery& query);
+
+  /// CREATE <type> (fn = value, ...): creates an entity, enforcing
+  /// referential integrity for entity-valued assignments, the uniqueness
+  /// constraints, and (for subtypes) supertype existence plus the overlap
+  /// table.
+  Result<Outcome> Create(const daplex::CreateStatement& statement);
+
+  /// UPDATE <type> [SUCH THAT ...] (fn = value, ...): assigns new values
+  /// to scalar and single-valued functions of the selected entities
+  /// (entity-valued assignments are reference-checked).
+  Result<Outcome> Update(const daplex::UpdateStatement& statement);
+
+  /// DESTROY <type> [SUCH THAT ...]: removes the selected entities and
+  /// their entire subtype hierarchies; aborts when any affected entity is
+  /// referenced by a database function (Ch. VI.H).
+  Result<Outcome> Destroy(const daplex::DestroyStatement& statement);
+
+  /// Parses and executes query text (FOR EACH only).
+  Result<std::vector<abdm::Record>> ExecuteText(std::string_view text);
+
+  /// Parses and executes any Daplex statement.
+  Result<Outcome> ExecuteStatement(std::string_view text);
+
+  /// ABDL requests issued by the most recent query, in issue order.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  /// The merged view of one entity across its duplicated kernel records
+  /// and its supertype records: function name -> the set of values seen.
+  /// Database keys appear under the owning type's name, so the type name
+  /// acts as a key pseudo-function ("faculty = 'faculty_1'").
+  struct EntityView {
+    std::string dbkey;
+    std::map<std::string, std::vector<abdm::Value>> values;
+
+    void Absorb(const abdm::Record& record);
+    const std::vector<abdm::Value>* Find(std::string_view function) const;
+  };
+
+  /// Where a function's values live relative to the queried type.
+  /// `function == nullptr && is_key` marks the key pseudo-function of
+  /// `declared_on` (the type's own name used in a query).
+  struct FunctionSite {
+    const daplex::Function* function = nullptr;
+    std::string declared_on;  ///< type in the ISA chain declaring it.
+    bool is_key = false;
+  };
+
+  Result<kds::Response> Issue(abdl::Request request);
+
+  /// The queried type's ISA ancestor chain (nearest first, deduplicated).
+  std::vector<std::string> AncestorChain(std::string_view type) const;
+
+  /// Finds `function` on `type` or any ancestor.
+  Result<FunctionSite> Resolve(std::string_view type,
+                               std::string_view function) const;
+
+  /// Fetches records of `file` whose key attribute is among `keys`.
+  Result<std::vector<abdm::Record>> FetchByKeys(
+      std::string_view file, const std::set<std::string>& keys);
+
+  /// Merges supertype records into the views, walking the ISA chain.
+  Status AbsorbAncestors(std::string_view type,
+                         std::map<std::string, EntityView>* views);
+
+  /// Fetches the values of a many-to-many function for every view, via
+  /// the link file.
+  Status AbsorbManyToMany(const daplex::Function& fn,
+                          std::map<std::string, EntityView>* views);
+
+  /// Allocates a fresh database key for `type` by probing the kernel.
+  Result<std::string> AllocateDbKey(std::string_view type);
+
+  /// True when a record of `file` with key `dbkey` exists.
+  Result<bool> EntityExists(std::string_view file, std::string_view dbkey);
+
+  /// Aborts when the entity `dbkey` of `type` is referenced by a Daplex
+  /// function (member records of its owned non-ISA sets, owner-side
+  /// duplicated records, or link records).
+  Status CheckReferences(std::string_view type, std::string_view dbkey);
+
+  /// Destroys one entity and (recursively) its subtype records; all
+  /// affected entities pass CheckReferences first.
+  Status DestroyEntity(std::string_view type, std::string_view dbkey,
+                       size_t* deleted);
+
+  const daplex::FunctionalSchema* functional_;
+  const network::Schema* schema_;
+  const transform::FunNetMapping* mapping_;
+  kc::KernelExecutor* executor_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace mlds::kms
+
+#endif  // MLDS_KMS_DAPLEX_MACHINE_H_

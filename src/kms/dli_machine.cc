@@ -1,0 +1,586 @@
+#include "kms/dli_machine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+#include "transform/abdm_mapping.h"
+
+namespace mlds::kms {
+
+namespace {
+
+using abdm::Conjunction;
+using abdm::Predicate;
+using abdm::Query;
+using abdm::Record;
+using abdm::RelOp;
+using abdm::Value;
+using hierarchical::Segment;
+using transform::KeyAttribute;
+
+Predicate FilePred(std::string_view segment) {
+  return Predicate{std::string(abdm::kFileAttribute), RelOp::kEq,
+                   Value::String(std::string(segment))};
+}
+
+abdl::RetrieveRequest RetrieveAll(Query query) {
+  abdl::RetrieveRequest req;
+  req.query = std::move(query);
+  req.all_attributes = true;
+  return req;
+}
+
+// --- DL/I call parsing ---
+
+struct Token {
+  enum class Kind { kWord, kLiteral, kLParen, kRParen, kComma, kRelOp, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  Value literal;
+  RelOp rel = RelOp::kEq;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '(') {
+      out.push_back({Token::Kind::kLParen, "(", {}, {}});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({Token::Kind::kRParen, ")", {}, {}});
+      ++pos;
+    } else if (c == ',') {
+      out.push_back({Token::Kind::kComma, ",", {}, {}});
+      ++pos;
+    } else if (c == '=') {
+      out.push_back({Token::Kind::kRelOp, "=", {}, RelOp::kEq});
+      ++pos;
+    } else if (c == '!' && pos + 1 < text.size() && text[pos + 1] == '=') {
+      out.push_back({Token::Kind::kRelOp, "!=", {}, RelOp::kNe});
+      pos += 2;
+    } else if (c == '<') {
+      if (pos + 1 < text.size() && text[pos + 1] == '=') {
+        out.push_back({Token::Kind::kRelOp, "<=", {}, RelOp::kLe});
+        pos += 2;
+      } else {
+        out.push_back({Token::Kind::kRelOp, "<", {}, RelOp::kLt});
+        ++pos;
+      }
+    } else if (c == '>') {
+      if (pos + 1 < text.size() && text[pos + 1] == '=') {
+        out.push_back({Token::Kind::kRelOp, ">=", {}, RelOp::kGe});
+        pos += 2;
+      } else {
+        out.push_back({Token::Kind::kRelOp, ">", {}, RelOp::kGt});
+        ++pos;
+      }
+    } else if (c == '\'') {
+      size_t end = pos + 1;
+      while (end < text.size() && text[end] != '\'') ++end;
+      if (end >= text.size()) {
+        return Status::ParseError("unterminated literal in DL/I call");
+      }
+      out.push_back({Token::Kind::kLiteral, "",
+                     Value::String(
+                         std::string(text.substr(pos + 1, end - pos - 1))),
+                     {}});
+      pos = end + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && pos + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.')) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kLiteral, "",
+                     Value::Parse(text.substr(pos, end - pos)), {}});
+      pos = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      out.push_back(
+          {Token::Kind::kWord, std::string(text.substr(pos, end - pos)), {}, {}});
+      pos = end;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in DL/I call");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", {}, {}});
+  return out;
+}
+
+}  // namespace
+
+Result<DliCall> ParseDliCall(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  size_t pos = 0;
+  auto peek = [&]() -> const Token& {
+    return pos < tokens.size() ? tokens[pos] : tokens.back();
+  };
+
+  if (peek().kind != Token::Kind::kWord) {
+    return Status::ParseError("expected DL/I function code");
+  }
+  const std::string function = ToUpper(tokens[pos++].text);
+  DliCall call;
+  if (function == "GU") {
+    call.function = DliCall::Function::kGu;
+  } else if (function == "GN") {
+    call.function = DliCall::Function::kGn;
+  } else if (function == "GNP") {
+    call.function = DliCall::Function::kGnp;
+  } else if (function == "ISRT") {
+    call.function = DliCall::Function::kIsrt;
+  } else if (function == "REPL") {
+    call.function = DliCall::Function::kRepl;
+  } else if (function == "DLET") {
+    call.function = DliCall::Function::kDlet;
+  } else {
+    return Status::ParseError("unknown DL/I function '" + function + "'");
+  }
+
+  // SSA list: [segment] [ '(' qual [, qual]... ')' ] ...
+  while (peek().kind != Token::Kind::kEnd) {
+    Ssa ssa;
+    if (peek().kind == Token::Kind::kWord) {
+      ssa.segment = tokens[pos++].text;
+    } else if (call.function != DliCall::Function::kRepl) {
+      return Status::ParseError("expected segment name, got '" + peek().text +
+                                "'");
+    }
+    if (peek().kind == Token::Kind::kLParen) {
+      ++pos;
+      while (true) {
+        if (peek().kind != Token::Kind::kWord) {
+          return Status::ParseError("expected field name in qualification");
+        }
+        Predicate qual;
+        qual.attribute = tokens[pos++].text;
+        if (peek().kind != Token::Kind::kRelOp) {
+          return Status::ParseError("expected operator after '" +
+                                    qual.attribute + "'");
+        }
+        qual.op = tokens[pos++].rel;
+        if (peek().kind == Token::Kind::kLiteral) {
+          qual.value = tokens[pos++].literal;
+        } else if (peek().kind == Token::Kind::kWord &&
+                   EqualsIgnoreCase(peek().text, "NULL")) {
+          ++pos;
+          qual.value = Value::Null();
+        } else {
+          return Status::ParseError("expected literal in qualification");
+        }
+        ssa.qualifications.push_back(std::move(qual));
+        if (peek().kind == Token::Kind::kComma) {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+      if (peek().kind != Token::Kind::kRParen) {
+        return Status::ParseError("expected ')' closing qualification");
+      }
+      ++pos;
+    }
+    call.ssas.push_back(std::move(ssa));
+  }
+  return call;
+}
+
+// --- Machine ---
+
+DliMachine::DliMachine(const hierarchical::Schema* schema,
+                       kc::KernelExecutor* executor)
+    : schema_(schema), executor_(executor) {}
+
+Result<kds::Response> DliMachine::Issue(abdl::Request request) {
+  trace_.push_back(abdl::ToString(request));
+  return executor_->Execute(request);
+}
+
+std::string DliMachine::PositionDescription() const {
+  if (!position_.has_value()) return "";
+  return position_->segment + " " + position_->key;
+}
+
+Result<DliMachine::Outcome> DliMachine::Execute(const DliCall& call) {
+  trace_.clear();
+  switch (call.function) {
+    case DliCall::Function::kGu:
+      return Gu(call);
+    case DliCall::Function::kGn:
+      return Gn(call);
+    case DliCall::Function::kGnp:
+      return Gnp(call);
+    case DliCall::Function::kIsrt:
+      return Isrt(call);
+    case DliCall::Function::kRepl:
+      return Repl(call);
+    case DliCall::Function::kDlet:
+      return Dlet();
+  }
+  return Status::Internal("unreachable DL/I function");
+}
+
+Result<DliMachine::Outcome> DliMachine::ExecuteText(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(DliCall call, ParseDliCall(text));
+  return Execute(call);
+}
+
+Result<std::vector<DliMachine::Outcome>> DliMachine::RunProgram(
+    std::string_view text) {
+  std::vector<Outcome> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find_first_of(";\n", start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    if (!line.empty() && !line.starts_with("--")) {
+      MLDS_ASSIGN_OR_RETURN(Outcome outcome, ExecuteText(line));
+      out.push_back(std::move(outcome));
+    }
+    if (end >= text.size()) break;
+    start = end + 1;
+  }
+  if (out.empty()) return Status::ParseError("empty DL/I program");
+  return out;
+}
+
+Result<std::vector<Record>> DliMachine::FetchLevel(
+    const Segment& segment, const std::vector<Predicate>& quals,
+    const std::vector<std::string>& parent_keys) {
+  for (const auto& qual : quals) {
+    if (segment.FindField(qual.attribute) == nullptr) {
+      return Status::NotFound("field '" + qual.attribute +
+                              "' does not exist in segment '" + segment.name +
+                              "'");
+    }
+  }
+  std::vector<Conjunction> disjuncts;
+  if (parent_keys.empty()) {
+    Conjunction conj;
+    conj.predicates.push_back(FilePred(segment.name));
+    conj.predicates.insert(conj.predicates.end(), quals.begin(), quals.end());
+    disjuncts.push_back(std::move(conj));
+  } else {
+    for (const auto& parent_key : parent_keys) {
+      Conjunction conj;
+      conj.predicates.push_back(FilePred(segment.name));
+      conj.predicates.push_back(Predicate{segment.parent, RelOp::kEq,
+                                          Value::String(parent_key)});
+      conj.predicates.insert(conj.predicates.end(), quals.begin(),
+                             quals.end());
+      disjuncts.push_back(std::move(conj));
+    }
+  }
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(RetrieveAll(Query(std::move(disjuncts)))));
+  std::vector<Record> records = std::move(resp.records);
+  const std::string key_attr = KeyAttribute(segment.name);
+  std::stable_sort(records.begin(), records.end(),
+                   [&](const Record& a, const Record& b) {
+                     return a.GetOrNull(key_attr).Compare(
+                                b.GetOrNull(key_attr)) < 0;
+                   });
+  return records;
+}
+
+void DliMachine::SetPositionFromBuffer() {
+  const Record& record = buffer_[buffer_cursor_];
+  position_ = Position{
+      buffer_segment_,
+      record.GetOrNull(KeyAttribute(buffer_segment_)).ToDisplayString(),
+      record};
+}
+
+DliMachine::Outcome DliMachine::TakeFirst(std::string segment,
+                                          std::vector<Record> records) {
+  buffer_segment_ = std::move(segment);
+  buffer_ = std::move(records);
+  buffer_cursor_ = 0;
+  SetPositionFromBuffer();
+  Outcome outcome;
+  outcome.segments = {buffer_[0]};
+  return outcome;
+}
+
+Result<DliMachine::Outcome> DliMachine::Gu(const DliCall& call) {
+  if (call.ssas.empty()) {
+    return Status::ParseError("GU requires at least one SSA");
+  }
+  // Validate the SSA path: consecutive segments must be parent -> child.
+  std::vector<const Segment*> path;
+  for (const auto& ssa : call.ssas) {
+    const Segment* segment = schema_->FindSegment(ssa.segment);
+    if (segment == nullptr) {
+      return Status::NotFound("segment '" + ssa.segment +
+                              "' is not declared");
+    }
+    if (!path.empty() && segment->parent != path.back()->name) {
+      return Status::InvalidArgument("SSA path break: '" + ssa.segment +
+                                     "' is not a child of '" +
+                                     path.back()->name + "'");
+    }
+    path.push_back(segment);
+  }
+  // Resolve level by level.
+  std::vector<std::string> parent_keys;
+  std::vector<Record> level;
+  for (size_t i = 0; i < path.size(); ++i) {
+    MLDS_ASSIGN_OR_RETURN(
+        level, FetchLevel(*path[i], call.ssas[i].qualifications, parent_keys));
+    if (level.empty()) {
+      return Status::NotFound("GU: no '" + path[i]->name +
+                              "' segment satisfies the SSA path (GE)");
+    }
+    parent_keys.clear();
+    const std::string key_attr = KeyAttribute(path[i]->name);
+    for (const Record& r : level) {
+      parent_keys.push_back(r.GetOrNull(key_attr).ToDisplayString());
+    }
+  }
+  Outcome outcome = TakeFirst(path.back()->name, std::move(level));
+  anchor_ = position_;
+  return outcome;
+}
+
+Result<DliMachine::Outcome> DliMachine::Gn(const DliCall& call) {
+  if (call.ssas.size() > 1) {
+    return Status::InvalidArgument("GN takes at most one segment");
+  }
+  const std::string target =
+      call.ssas.empty() ? buffer_segment_ : call.ssas[0].segment;
+  if (buffer_segment_.empty()) {
+    return Status::CurrencyError("GN without an established position; GU "
+                                 "first");
+  }
+  if (target == buffer_segment_) {
+    if (buffer_cursor_ + 1 >= static_cast<int>(buffer_.size())) {
+      return Status::NotFound("GN: end of '" + buffer_segment_ +
+                              "' segments (GB)");
+    }
+    ++buffer_cursor_;
+    SetPositionFromBuffer();
+    Outcome outcome;
+    outcome.segments = {buffer_[buffer_cursor_]};
+    return outcome;
+  }
+  // Descend: target must be a child of the current segment; the current
+  // segment becomes the new parent anchor.
+  const Segment* child = schema_->FindSegment(target);
+  if (child == nullptr) {
+    return Status::NotFound("segment '" + target + "' is not declared");
+  }
+  if (!position_.has_value() || child->parent != position_->segment) {
+    return Status::InvalidArgument("GN " + target +
+                                   ": not a child of the current segment");
+  }
+  anchor_ = position_;
+  MLDS_ASSIGN_OR_RETURN(
+      std::vector<Record> children,
+      FetchLevel(*child,
+                 call.ssas.empty() ? std::vector<Predicate>{}
+                                   : call.ssas[0].qualifications,
+                 {anchor_->key}));
+  if (children.empty()) {
+    return Status::NotFound("GN " + target + ": no child segments (GE)");
+  }
+  return TakeFirst(child->name, std::move(children));
+}
+
+Result<DliMachine::Outcome> DliMachine::Gnp(const DliCall& call) {
+  if (call.ssas.size() != 1) {
+    return Status::InvalidArgument("GNP takes exactly one segment");
+  }
+  if (!anchor_.has_value()) {
+    return Status::CurrencyError("GNP without an anchored parent; GU first");
+  }
+  const std::string& target = call.ssas[0].segment;
+  const Segment* child = schema_->FindSegment(target);
+  if (child == nullptr) {
+    return Status::NotFound("segment '" + target + "' is not declared");
+  }
+  if (child->parent != anchor_->segment) {
+    return Status::InvalidArgument("GNP " + target +
+                                   ": not a child of the anchored parent '" +
+                                   anchor_->segment + "'");
+  }
+  // Iterating the same child type under the same anchor: advance.
+  if (buffer_segment_ == target && buffer_cursor_ >= 0 &&
+      !buffer_.empty() &&
+      buffer_[0].GetOrNull(child->parent).ToDisplayString() == anchor_->key) {
+    if (buffer_cursor_ + 1 >= static_cast<int>(buffer_.size())) {
+      return Status::NotFound("GNP: no more '" + target +
+                              "' under the parent (GE)");
+    }
+    ++buffer_cursor_;
+    SetPositionFromBuffer();
+    Outcome outcome;
+    outcome.segments = {buffer_[buffer_cursor_]};
+    return outcome;
+  }
+  MLDS_ASSIGN_OR_RETURN(std::vector<Record> children,
+                        FetchLevel(*child, call.ssas[0].qualifications,
+                                   {anchor_->key}));
+  if (children.empty()) {
+    return Status::NotFound("GNP: no '" + target + "' under the parent (GE)");
+  }
+  return TakeFirst(child->name, std::move(children));
+}
+
+Result<std::string> DliMachine::AllocateKey(std::string_view segment) {
+  uint64_t next = executor_->FileSize(segment) + 1;
+  while (true) {
+    std::string candidate = transform::MakeDbKey(segment, next);
+    abdl::RetrieveRequest probe;
+    probe.query = Query::And(
+        {FilePred(segment), Predicate{KeyAttribute(segment), RelOp::kEq,
+                                      Value::String(candidate)}});
+    probe.targets = {abdl::TargetItem{KeyAttribute(segment)}};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+    ++next;
+    if (resp.records.empty()) return candidate;
+  }
+}
+
+Result<DliMachine::Outcome> DliMachine::Isrt(const DliCall& call) {
+  if (call.ssas.size() != 1) {
+    return Status::InvalidArgument("ISRT takes exactly one segment");
+  }
+  const Ssa& ssa = call.ssas[0];
+  const Segment* segment = schema_->FindSegment(ssa.segment);
+  if (segment == nullptr) {
+    return Status::NotFound("segment '" + ssa.segment + "' is not declared");
+  }
+  Record record;
+  record.Set(std::string(abdm::kFileAttribute), Value::String(segment->name));
+  for (const auto& qual : ssa.qualifications) {
+    if (qual.op != RelOp::kEq) {
+      return Status::InvalidArgument("ISRT field list uses '=' only");
+    }
+    if (segment->FindField(qual.attribute) == nullptr) {
+      return Status::NotFound("field '" + qual.attribute +
+                              "' does not exist in segment '" +
+                              segment->name + "'");
+    }
+    record.Set(qual.attribute, qual.value);
+  }
+  if (!segment->is_root()) {
+    // The parent is the current position when it is of the parent type
+    // (the most recent establishment wins), else the anchored segment.
+    std::string parent_key;
+    if (position_.has_value() && position_->segment == segment->parent) {
+      parent_key = position_->key;
+    } else if (anchor_.has_value() && anchor_->segment == segment->parent) {
+      parent_key = anchor_->key;
+    } else {
+      return Status::CurrencyError("ISRT " + segment->name +
+                                   ": no current '" + segment->parent +
+                                   "' parent; GU it first");
+    }
+    record.Set(segment->parent, Value::String(parent_key));
+  }
+  MLDS_ASSIGN_OR_RETURN(std::string key, AllocateKey(segment->name));
+  record.Set(KeyAttribute(segment->name), Value::String(key));
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(abdl::InsertRequest{record}));
+  position_ = Position{segment->name, key, record};
+  Outcome outcome;
+  outcome.affected = resp.affected;
+  outcome.info = "inserted " + key;
+  return outcome;
+}
+
+Result<DliMachine::Outcome> DliMachine::Repl(const DliCall& call) {
+  if (!position_.has_value()) {
+    return Status::CurrencyError("REPL without a current segment");
+  }
+  if (call.ssas.size() != 1 || call.ssas[0].qualifications.empty()) {
+    return Status::InvalidArgument("REPL takes a (field = value, ...) list");
+  }
+  const Segment* segment = schema_->FindSegment(position_->segment);
+  Outcome outcome;
+  for (const auto& qual : call.ssas[0].qualifications) {
+    if (qual.op != RelOp::kEq) {
+      return Status::InvalidArgument("REPL assignments use '=' only");
+    }
+    if (segment->FindField(qual.attribute) == nullptr) {
+      return Status::NotFound("field '" + qual.attribute +
+                              "' does not exist in segment '" +
+                              segment->name + "'");
+    }
+    abdl::UpdateRequest update;
+    update.query = Query::And(
+        {FilePred(segment->name),
+         Predicate{KeyAttribute(segment->name), RelOp::kEq,
+                   Value::String(position_->key)}});
+    update.modifier =
+        abdl::Modifier{qual.attribute, abdl::ModifierKind::kSet, qual.value};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(update));
+    outcome.affected = std::max(outcome.affected, resp.affected);
+    position_->record.Set(qual.attribute, qual.value);
+  }
+  outcome.info = "replaced " + position_->key;
+  return outcome;
+}
+
+Status DliMachine::DeleteSubtree(const Segment& segment,
+                                 const std::string& key, size_t* deleted) {
+  for (const Segment* child : schema_->ChildrenOf(segment.name)) {
+    abdl::RetrieveRequest probe;
+    probe.query = Query::And(
+        {FilePred(child->name),
+         Predicate{child->parent, RelOp::kEq, Value::String(key)}});
+    probe.targets = {abdl::TargetItem{KeyAttribute(child->name)}};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+    std::set<std::string> child_keys;
+    for (const Record& r : resp.records) {
+      child_keys.insert(
+          r.GetOrNull(KeyAttribute(child->name)).ToDisplayString());
+    }
+    for (const auto& child_key : child_keys) {
+      MLDS_RETURN_IF_ERROR(DeleteSubtree(*child, child_key, deleted));
+    }
+  }
+  abdl::DeleteRequest del;
+  del.query = Query::And(
+      {FilePred(segment.name), Predicate{KeyAttribute(segment.name),
+                                         RelOp::kEq, Value::String(key)}});
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(del));
+  *deleted += resp.affected;
+  return Status::OK();
+}
+
+Result<DliMachine::Outcome> DliMachine::Dlet() {
+  if (!position_.has_value()) {
+    return Status::CurrencyError("DLET without a current segment");
+  }
+  const Segment* segment = schema_->FindSegment(position_->segment);
+  size_t deleted = 0;
+  MLDS_RETURN_IF_ERROR(DeleteSubtree(*segment, position_->key, &deleted));
+  Outcome outcome;
+  outcome.affected = deleted;
+  outcome.info = "deleted " + position_->key + " and " +
+                 std::to_string(deleted - 1) + " dependent segment(s)";
+  position_.reset();
+  anchor_.reset();
+  buffer_.clear();
+  buffer_cursor_ = -1;
+  buffer_segment_.clear();
+  return outcome;
+}
+
+}  // namespace mlds::kms

@@ -1,0 +1,134 @@
+#ifndef MLDS_KMS_DLI_MACHINE_H_
+#define MLDS_KMS_DLI_MACHINE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdl/request.h"
+#include "abdm/query.h"
+#include "common/result.h"
+#include "hierarchical/schema.h"
+#include "kc/executor.h"
+
+namespace mlds::kms {
+
+/// One segment search argument of a DL/I call: a segment name plus
+/// optional field qualifications.
+struct Ssa {
+  std::string segment;
+  std::vector<abdm::Predicate> qualifications;
+};
+
+/// A parsed DL/I call.
+struct DliCall {
+  enum class Function {
+    kGu,    ///< GU  — get unique, qualified by an SSA path.
+    kGn,    ///< GN  — get next (same segment type, or descend to a child).
+    kGnp,   ///< GNP — get next within the anchored parent.
+    kIsrt,  ///< ISRT — insert a segment under the current parent.
+    kRepl,  ///< REPL — replace fields of the current segment.
+    kDlet,  ///< DLET — delete the current segment and its dependents.
+  };
+  Function function = Function::kGu;
+  std::vector<Ssa> ssas;
+};
+
+/// Parses one DL/I call:
+///
+///   GU patient (pname = 'Smith') visit (cost > 100)
+///   GN            GN visit          GNP visit
+///   ISRT visit (vdate = '870601', cost = 12.5)
+///   REPL (cost = 99)
+///   DLET
+Result<DliCall> ParseDliCall(std::string_view text);
+
+/// The hierarchical language interface: DL/I calls translated onto ABDL
+/// over the AB(hierarchical) files. Position state follows a simplified
+/// IMS model:
+///
+///  - GU resolves its SSA path level by level (one RETRIEVE per level —
+///    the one-to-many call/request correspondence again), loads the final
+///    level into a buffer, and anchors the parentage at the retrieved
+///    segment;
+///  - GN advances through the buffer; `GN <child-segment>` descends,
+///    re-anchoring at the current segment;
+///  - GNP iterates the children of the anchored parent;
+///  - ISRT inserts under the anchored parent (root segments need none);
+///  - REPL updates fields of the current segment; DLET deletes the
+///    current segment together with its entire dependent subtree.
+class DliMachine {
+ public:
+  DliMachine(const hierarchical::Schema* schema, kc::KernelExecutor* executor);
+
+  DliMachine(const DliMachine&) = delete;
+  DliMachine& operator=(const DliMachine&) = delete;
+
+  struct Outcome {
+    std::vector<abdm::Record> segments;  ///< the retrieved segment (GU/GN).
+    size_t affected = 0;
+    std::string info;
+  };
+
+  Result<Outcome> Execute(const DliCall& call);
+  Result<Outcome> ExecuteText(std::string_view text);
+
+  /// Runs newline/';'-separated calls, stopping at the first error.
+  Result<std::vector<Outcome>> RunProgram(std::string_view text);
+
+  /// ABDL requests issued by the most recent call.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  /// The current position (segment name + key), empty when unset.
+  std::string PositionDescription() const;
+
+ private:
+  struct Position {
+    std::string segment;
+    std::string key;
+    abdm::Record record;
+  };
+
+  Result<Outcome> Gu(const DliCall& call);
+  Result<Outcome> Gn(const DliCall& call);
+  Result<Outcome> Gnp(const DliCall& call);
+  Result<Outcome> Isrt(const DliCall& call);
+  Result<Outcome> Repl(const DliCall& call);
+  Result<Outcome> Dlet();
+
+  Result<kds::Response> Issue(abdl::Request request);
+
+  /// Fetches segments of `segment` matching `quals`, restricted to the
+  /// given parent keys when non-empty; sorted by key.
+  Result<std::vector<abdm::Record>> FetchLevel(
+      const hierarchical::Segment& segment,
+      const std::vector<abdm::Predicate>& quals,
+      const std::vector<std::string>& parent_keys);
+
+  /// Loads `records` as the iteration buffer for `segment`.
+  Outcome TakeFirst(std::string segment, std::vector<abdm::Record> records);
+
+  /// Makes the record at buffer_cursor_ current.
+  void SetPositionFromBuffer();
+
+  /// Deletes `key` of `segment` and its dependent subtree; counts rows.
+  Status DeleteSubtree(const hierarchical::Segment& segment,
+                       const std::string& key, size_t* deleted);
+
+  Result<std::string> AllocateKey(std::string_view segment);
+
+  const hierarchical::Schema* schema_;
+  kc::KernelExecutor* executor_;
+  std::vector<std::string> trace_;
+
+  std::optional<Position> position_;
+  std::optional<Position> anchor_;  ///< parent anchor for GNP/ISRT.
+  std::string buffer_segment_;
+  std::vector<abdm::Record> buffer_;
+  int buffer_cursor_ = -1;
+};
+
+}  // namespace mlds::kms
+
+#endif  // MLDS_KMS_DLI_MACHINE_H_

@@ -1,0 +1,186 @@
+#ifndef MLDS_KMS_DML_MACHINE_H_
+#define MLDS_KMS_DML_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdl/request.h"
+#include "codasyl/ast.h"
+#include "codasyl/cit.h"
+#include "codasyl/uwa.h"
+#include "common/result.h"
+#include "kc/executor.h"
+#include "network/schema.h"
+#include "transform/fun_to_net.h"
+
+namespace mlds::kms {
+
+/// Outcome of executing one CODASYL-DML statement.
+struct DmlResult {
+  /// Records delivered to the user (GET) or made current (FIND family).
+  std::vector<abdm::Record> records;
+  /// Number of ABDL requests the translation generated — the
+  /// one-to-many DML-to-ABDL correspondence the thesis discusses (III.A).
+  size_t abdl_requests = 0;
+  /// Human-readable note ("2 records connected", ...).
+  std::string info;
+};
+
+/// One entry of the translation trace: the DML statement and the ABDL
+/// requests KMS issued for it, in the thesis's notation.
+struct TraceEntry {
+  std::string dml;
+  std::vector<std::string> abdl;
+};
+
+/// Per-session translation statistics: how many statements of each kind
+/// ran and how many ABDL requests of each operation they generated — the
+/// session-level view of the one-to-many correspondence (Ch. III.A).
+struct SessionStats {
+  std::map<std::string, size_t> statements;     ///< by DML statement kind.
+  std::map<std::string, size_t> abdl_requests;  ///< by ABDL operation.
+  size_t total_statements = 0;
+  size_t total_requests = 0;
+
+  std::string ToString() const;
+};
+
+/// The Kernel Mapping Subsystem's CODASYL-DML translator fused with the
+/// Kernel Controller's execution state. It parses nothing itself — it
+/// receives statement ASTs — and implements the Chapter VI translation
+/// algorithms, issuing ABDL requests through a KernelExecutor and
+/// maintaining the Currency Indicator Table, the User Work Area, and the
+/// Request Buffers.
+///
+/// Two target modes exist, as in the thesis:
+///  - native network databases (`mapping == nullptr`): the Emdi
+///    translation — every set relationship lives in member-side keywords;
+///  - transformed functional databases (`mapping != nullptr`): the
+///    thesis's extension — set provenance (ISA vs Daplex function,
+///    owner-side vs member-side) alters the CONNECT / DISCONNECT / STORE /
+///    ERASE translations and enforces the Daplex-imposed constraints
+///    (automatic-insertion sets, overlap table, reference checks).
+class DmlMachine {
+ public:
+  /// `schema`, `mapping` (may be null), and `executor` must outlive the
+  /// machine.
+  DmlMachine(const network::Schema* schema,
+             const transform::FunNetMapping* mapping,
+             kc::KernelExecutor* executor);
+
+  DmlMachine(const DmlMachine&) = delete;
+  DmlMachine& operator=(const DmlMachine&) = delete;
+
+  /// Executes one statement, updating currency and buffers.
+  Result<DmlResult> Execute(const codasyl::Statement& statement);
+
+  /// Parses and executes one statement of DML text.
+  Result<DmlResult> ExecuteText(std::string_view text);
+
+  /// Parses and executes a whole program (newline/';'-separated),
+  /// stopping at the first error.
+  Result<std::vector<DmlResult>> RunProgram(std::string_view text);
+
+  const codasyl::UserWorkArea& uwa() const { return uwa_; }
+  const codasyl::CurrencyIndicatorTable& cit() const { return cit_; }
+
+  /// The cumulative DML -> ABDL translation trace.
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+  /// Cumulative session statistics (not reset by ClearTrace).
+  const SessionStats& statistics() const { return stats_; }
+
+  const network::Schema& schema() const { return *schema_; }
+  bool IsFunctionalTarget() const { return mapping_ != nullptr; }
+
+ private:
+  // --- Statement handlers (Ch. VI sections B through H) ---
+  Result<DmlResult> Move(const codasyl::MoveStatement& s);
+  Result<DmlResult> FindAny(const codasyl::FindAnyStatement& s);
+  Result<DmlResult> FindCurrent(const codasyl::FindCurrentStatement& s);
+  Result<DmlResult> FindDuplicate(const codasyl::FindDuplicateStatement& s);
+  Result<DmlResult> FindPositional(const codasyl::FindPositionalStatement& s);
+  Result<DmlResult> FindOwner(const codasyl::FindOwnerStatement& s);
+  Result<DmlResult> FindWithinCurrent(
+      const codasyl::FindWithinCurrentStatement& s);
+  Result<DmlResult> Get(const codasyl::GetStatement& s);
+  Result<DmlResult> Store(const codasyl::StoreStatement& s);
+  Result<DmlResult> Connect(const codasyl::ConnectStatement& s);
+  Result<DmlResult> Disconnect(const codasyl::DisconnectStatement& s);
+  Result<DmlResult> Reconnect(const codasyl::ReconnectStatement& s);
+  Result<DmlResult> Modify(const codasyl::ModifyStatement& s);
+  Result<DmlResult> Erase(const codasyl::EraseStatement& s);
+
+  // --- Shared machinery ---
+
+  /// Executes one ABDL request through the kernel, appending it to the
+  /// current trace entry.
+  Result<kds::Response> Issue(abdl::Request request);
+
+  /// Looks up a set, a record type, and checks set membership.
+  Result<const network::SetType*> RequireSet(std::string_view set) const;
+  Result<const network::RecordType*> RequireRecord(
+      std::string_view record) const;
+  Status RequireMemberOf(const network::SetType& set,
+                         std::string_view record) const;
+
+  /// The provenance of `set` (kSystem when mapping is absent and the set
+  /// is SYSTEM-owned; member-side treatment otherwise).
+  const transform::SetInfo* SetInfoOf(std::string_view set) const;
+  bool IsOwnerSideOneToMany(std::string_view set) const;
+
+  /// Fetches the member records of the current occurrence of `set` whose
+  /// member type is `record`, in database-key order. Issues 1 ABDL request
+  /// for member-side sets, 2 for owner-side one-to-many sets.
+  Result<std::vector<abdm::Record>> FetchSetMembers(
+      const network::SetType& set, std::string_view record);
+
+  /// Retrieves all AB records carrying `dbkey` in `record`'s key attribute.
+  Result<std::vector<abdm::Record>> FetchByKey(std::string_view record,
+                                               std::string_view dbkey);
+
+  /// Makes `record` current: run-unit, record-type currency, and set
+  /// currencies for every set the record participates in.
+  void UpdateCurrencies(std::string_view record_type,
+                        const abdm::Record& record);
+
+  /// The run-unit checked against an expected record type.
+  Result<const codasyl::RunUnitCurrency*> RequireRunUnit(
+      std::string_view record_type) const;
+
+  /// The owner database key of the current occurrence of `set`.
+  Result<std::string> RequireSetOwner(std::string_view set) const;
+
+  /// Allocates a fresh database key for `record` (probing the kernel so
+  /// generated keys never collide with loaded ones).
+  Result<std::string> AllocateDbKey(std::string_view record);
+
+  /// STORE support: duplicates check (DUPLICATES ARE NOT ALLOWED) and the
+  /// Daplex overlap-table check.
+  Status CheckDuplicates(const network::RecordType& record,
+                         const abdm::Record& candidate);
+  Status CheckOverlap(std::string_view subtype, const std::string& isa_set,
+                      const std::string& owner_key);
+
+  /// True when the overlap table permits `a` and `b` to share an entity.
+  bool OverlapDeclared(std::string_view a, std::string_view b) const;
+
+  const network::Schema* schema_;
+  const transform::FunNetMapping* mapping_;
+  kc::KernelExecutor* executor_;
+
+  codasyl::UserWorkArea uwa_;
+  codasyl::CurrencyIndicatorTable cit_;
+  codasyl::RequestBuffer rb_;
+  std::vector<TraceEntry> trace_;
+  SessionStats stats_;
+  std::map<std::string, uint64_t> next_key_;
+};
+
+}  // namespace mlds::kms
+
+#endif  // MLDS_KMS_DML_MACHINE_H_

@@ -1,0 +1,396 @@
+#include "kms/sql_machine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "transform/abdm_mapping.h"
+
+namespace mlds::kms {
+
+namespace {
+
+using abdm::Conjunction;
+using abdm::Predicate;
+using abdm::Query;
+using abdm::Record;
+using abdm::RelOp;
+using abdm::Value;
+using relational::Table;
+using sql::SelectStatement;
+using sql::SqlAggregate;
+using sql::SqlComparison;
+using sql::WhereClause;
+using transform::KeyAttribute;
+
+Predicate FilePred(std::string_view table) {
+  return Predicate{std::string(abdm::kFileAttribute), RelOp::kEq,
+                   Value::String(std::string(table))};
+}
+
+abdl::AggregateOp MapAggregate(SqlAggregate aggregate) {
+  switch (aggregate) {
+    case SqlAggregate::kNone:
+      return abdl::AggregateOp::kNone;
+    case SqlAggregate::kCount:
+      return abdl::AggregateOp::kCount;
+    case SqlAggregate::kSum:
+      return abdl::AggregateOp::kSum;
+    case SqlAggregate::kAvg:
+      return abdl::AggregateOp::kAvg;
+    case SqlAggregate::kMin:
+      return abdl::AggregateOp::kMin;
+    case SqlAggregate::kMax:
+      return abdl::AggregateOp::kMax;
+  }
+  return abdl::AggregateOp::kNone;
+}
+
+}  // namespace
+
+SqlMachine::SqlMachine(const relational::Schema* schema,
+                       kc::KernelExecutor* executor)
+    : schema_(schema), executor_(executor) {}
+
+Result<kds::Response> SqlMachine::Issue(abdl::Request request) {
+  trace_.push_back(abdl::ToString(request));
+  return executor_->Execute(request);
+}
+
+Result<SqlMachine::Outcome> SqlMachine::Execute(
+    const sql::SqlStatement& statement) {
+  trace_.clear();
+  struct Visitor {
+    SqlMachine* self;
+    Result<Outcome> operator()(const sql::SelectStatement& s) {
+      return self->Select(s);
+    }
+    Result<Outcome> operator()(const sql::InsertStatement& s) {
+      return self->Insert(s);
+    }
+    Result<Outcome> operator()(const sql::UpdateStatement& s) {
+      return self->Update(s);
+    }
+    Result<Outcome> operator()(const sql::DeleteStatement& s) {
+      return self->Delete(s);
+    }
+  };
+  return std::visit(Visitor{this}, statement);
+}
+
+Result<SqlMachine::Outcome> SqlMachine::ExecuteText(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(sql::SqlStatement statement, sql::ParseSql(text));
+  return Execute(statement);
+}
+
+Result<const Table*> SqlMachine::ResolveColumn(
+    const sql::ColumnRef& ref,
+    const std::vector<const Table*>& tables) const {
+  if (!ref.table.empty()) {
+    for (const Table* table : tables) {
+      if (table->name == ref.table) {
+        if (table->FindColumn(ref.column) == nullptr) {
+          return Status::NotFound("column '" + ref.ToString() +
+                                  "' does not exist");
+        }
+        return table;
+      }
+    }
+    return Status::NotFound("table '" + ref.table +
+                            "' is not in the FROM list");
+  }
+  const Table* found = nullptr;
+  for (const Table* table : tables) {
+    if (table->FindColumn(ref.column) != nullptr) {
+      if (found != nullptr) {
+        return Status::InvalidArgument("column '" + ref.column +
+                                       "' is ambiguous; qualify it");
+      }
+      found = table;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("column '" + ref.column + "' does not exist");
+  }
+  return found;
+}
+
+Result<Query> SqlMachine::BuildQuery(const Table& table,
+                                     const WhereClause& where) const {
+  std::vector<Conjunction> disjuncts;
+  if (where.empty()) {
+    disjuncts.push_back(Conjunction{{FilePred(table.name)}});
+    return Query(std::move(disjuncts));
+  }
+  for (const auto& conj : where.disjuncts) {
+    Conjunction out;
+    out.predicates.push_back(FilePred(table.name));
+    for (const SqlComparison& cmp : conj) {
+      if (cmp.right_column.has_value()) {
+        return Status::Unimplemented(
+            "column-to-column comparisons are only supported as the "
+            "equi-join of a two-table SELECT");
+      }
+      if (!cmp.left.table.empty() && cmp.left.table != table.name) {
+        return Status::NotFound("table '" + cmp.left.table +
+                                "' is not in the FROM list");
+      }
+      if (table.FindColumn(cmp.left.column) == nullptr) {
+        return Status::NotFound("column '" + cmp.left.column +
+                                "' does not exist in '" + table.name + "'");
+      }
+      out.predicates.push_back(
+          Predicate{cmp.left.column, cmp.op, cmp.value});
+    }
+    disjuncts.push_back(std::move(out));
+  }
+  return Query(std::move(disjuncts));
+}
+
+Result<std::string> SqlMachine::AllocateTupleKey(std::string_view table) {
+  uint64_t next = next_key_[std::string(table)];
+  if (next == 0) next = executor_->FileSize(table) + 1;
+  while (true) {
+    std::string candidate = transform::MakeDbKey(table, next);
+    abdl::RetrieveRequest probe;
+    probe.query = Query::And(
+        {FilePred(table), Predicate{KeyAttribute(table), RelOp::kEq,
+                                    Value::String(candidate)}});
+    probe.targets = {abdl::TargetItem{KeyAttribute(table)}};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+    ++next;
+    if (resp.records.empty()) {
+      next_key_[std::string(table)] = next;
+      return candidate;
+    }
+  }
+}
+
+Result<SqlMachine::Outcome> SqlMachine::Select(const SelectStatement& s) {
+  std::vector<const Table*> tables;
+  for (const auto& name : s.from) {
+    const Table* table = schema_->FindTable(name);
+    if (table == nullptr) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    tables.push_back(table);
+  }
+
+  // Validate the select list against the FROM tables.
+  for (const auto& item : s.items) {
+    if (item.star) continue;
+    MLDS_RETURN_IF_ERROR(ResolveColumn(item.column, tables).status());
+  }
+
+  Outcome outcome;
+  if (tables.size() == 1) {
+    MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*tables[0], s.where));
+    abdl::RetrieveRequest req;
+    req.query = std::move(query);
+    const bool star =
+        std::any_of(s.items.begin(), s.items.end(),
+                    [](const auto& i) { return i.star && i.aggregate ==
+                                               SqlAggregate::kNone; });
+    if (star) {
+      req.all_attributes = true;
+    } else {
+      for (const auto& item : s.items) {
+        abdl::TargetItem target;
+        target.attribute = item.star ? KeyAttribute(tables[0]->name)
+                                     : item.column.column;
+        target.aggregate = MapAggregate(item.aggregate);
+        req.targets.push_back(std::move(target));
+      }
+    }
+    if (s.group_by.has_value()) {
+      req.by_attribute = *s.group_by;
+    } else if (s.order_by.has_value()) {
+      req.by_attribute = *s.order_by;
+    }
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(req));
+    outcome.rows = std::move(resp.records);
+    // Hide the kernel FILE keyword from star results.
+    if (star) {
+      for (auto& row : outcome.rows) {
+        row.Erase(std::string(abdm::kFileAttribute));
+      }
+    }
+    return outcome;
+  }
+
+  // Two-table SELECT: find the single equi-join comparison and split the
+  // remaining conditions per table (OR across tables is not supported).
+  if (!s.where.disjuncts.empty() && s.where.disjuncts.size() != 1) {
+    return Status::Unimplemented(
+        "two-table SELECT supports a single AND-connected WHERE clause");
+  }
+  const Table* left = tables[0];
+  const Table* right = tables[1];
+  std::string left_col, right_col;
+  std::vector<Predicate> left_preds = {FilePred(left->name)};
+  std::vector<Predicate> right_preds = {FilePred(right->name)};
+  if (!s.where.disjuncts.empty()) {
+    for (const SqlComparison& cmp : s.where.disjuncts[0]) {
+      if (cmp.right_column.has_value()) {
+        if (!left_col.empty()) {
+          return Status::Unimplemented(
+              "two-table SELECT supports exactly one equi-join comparison");
+        }
+        if (cmp.op != RelOp::kEq) {
+          return Status::Unimplemented("joins must be equi-joins");
+        }
+        MLDS_ASSIGN_OR_RETURN(const Table* lt,
+                              ResolveColumn(cmp.left, tables));
+        MLDS_ASSIGN_OR_RETURN(const Table* rt,
+                              ResolveColumn(*cmp.right_column, tables));
+        if (lt == rt) {
+          return Status::InvalidArgument(
+              "join comparison must span both tables");
+        }
+        if (lt == left) {
+          left_col = cmp.left.column;
+          right_col = cmp.right_column->column;
+        } else {
+          left_col = cmp.right_column->column;
+          right_col = cmp.left.column;
+        }
+      } else {
+        MLDS_ASSIGN_OR_RETURN(const Table* owner,
+                              ResolveColumn(cmp.left, tables));
+        Predicate pred{cmp.left.column, cmp.op, cmp.value};
+        (owner == left ? left_preds : right_preds).push_back(std::move(pred));
+      }
+    }
+  }
+  if (left_col.empty()) {
+    return Status::InvalidArgument(
+        "two-table SELECT requires an equi-join comparison in WHERE");
+  }
+
+  abdl::RetrieveCommonRequest join;
+  join.left_query = Query::And(std::move(left_preds));
+  join.left_attribute = left_col;
+  join.right_query = Query::And(std::move(right_preds));
+  join.right_attribute = right_col;
+  const bool star = std::any_of(
+      s.items.begin(), s.items.end(),
+      [](const auto& i) { return i.star; });
+  if (!star) {
+    for (const auto& item : s.items) {
+      if (item.aggregate != SqlAggregate::kNone) {
+        return Status::Unimplemented(
+            "aggregates over two-table SELECTs are not supported");
+      }
+      join.targets.push_back(abdl::TargetItem{item.column.column});
+    }
+  }
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(join));
+  outcome.rows = std::move(resp.records);
+  if (star) {
+    for (auto& row : outcome.rows) {
+      row.Erase(std::string(abdm::kFileAttribute));
+    }
+  }
+  return outcome;
+}
+
+Result<SqlMachine::Outcome> SqlMachine::Insert(const sql::InsertStatement& s) {
+  const Table* table = schema_->FindTable(s.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + s.table + "' does not exist");
+  }
+  Record record;
+  record.Set(std::string(abdm::kFileAttribute), Value::String(s.table));
+  for (size_t i = 0; i < s.columns.size(); ++i) {
+    if (table->FindColumn(s.columns[i]) == nullptr) {
+      return Status::NotFound("column '" + s.columns[i] +
+                              "' does not exist in '" + s.table + "'");
+    }
+    record.Set(s.columns[i], s.values[i]);
+  }
+  // NOT NULL enforcement.
+  for (const auto& column : table->columns) {
+    if (column.not_null && record.GetOrNull(column.name).is_null()) {
+      return Status::ConstraintViolation("column '" + column.name +
+                                         "' is NOT NULL");
+    }
+  }
+  // UNIQUE enforcement (combination semantics, one probe).
+  if (!table->unique_columns.empty()) {
+    std::vector<Predicate> preds = {FilePred(s.table)};
+    bool all_present = true;
+    for (const auto& unique : table->unique_columns) {
+      Value v = record.GetOrNull(unique);
+      if (v.is_null()) {
+        all_present = false;
+        break;
+      }
+      preds.push_back(Predicate{unique, RelOp::kEq, std::move(v)});
+    }
+    if (all_present) {
+      abdl::RetrieveRequest probe;
+      probe.query = Query::And(std::move(preds));
+      probe.targets = {abdl::TargetItem{KeyAttribute(s.table)}};
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+      if (!resp.records.empty()) {
+        return Status::ConstraintViolation(
+            "INSERT violates UNIQUE(" + Join(table->unique_columns, ", ") +
+            ") on '" + s.table + "'");
+      }
+    }
+  }
+  MLDS_ASSIGN_OR_RETURN(std::string key, AllocateTupleKey(s.table));
+  record.Set(KeyAttribute(s.table), Value::String(key));
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(abdl::InsertRequest{std::move(record)}));
+  Outcome outcome;
+  outcome.affected = resp.affected;
+  outcome.info = "inserted " + key;
+  return outcome;
+}
+
+Result<SqlMachine::Outcome> SqlMachine::Update(const sql::UpdateStatement& s) {
+  const Table* table = schema_->FindTable(s.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + s.table + "' does not exist");
+  }
+  for (const auto& [column, value] : s.assignments) {
+    const relational::Column* c = table->FindColumn(column);
+    if (c == nullptr) {
+      return Status::NotFound("column '" + column + "' does not exist in '" +
+                              s.table + "'");
+    }
+    if (c->not_null && value.is_null()) {
+      return Status::ConstraintViolation("column '" + column +
+                                         "' is NOT NULL");
+    }
+  }
+  MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*table, s.where));
+  Outcome outcome;
+  for (const auto& [column, value] : s.assignments) {
+    abdl::UpdateRequest update;
+    update.query = query;
+    update.modifier =
+        abdl::Modifier{column, abdl::ModifierKind::kSet, value};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(update));
+    outcome.affected = std::max(outcome.affected, resp.affected);
+  }
+  outcome.info = "updated " + std::to_string(outcome.affected) + " row(s)";
+  return outcome;
+}
+
+Result<SqlMachine::Outcome> SqlMachine::Delete(const sql::DeleteStatement& s) {
+  const Table* table = schema_->FindTable(s.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + s.table + "' does not exist");
+  }
+  MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*table, s.where));
+  abdl::DeleteRequest del;
+  del.query = std::move(query);
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(del));
+  Outcome outcome;
+  outcome.affected = resp.affected;
+  outcome.info = "deleted " + std::to_string(resp.affected) + " row(s)";
+  return outcome;
+}
+
+}  // namespace mlds::kms

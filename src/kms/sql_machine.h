@@ -1,0 +1,80 @@
+#ifndef MLDS_KMS_SQL_MACHINE_H_
+#define MLDS_KMS_SQL_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abdl/request.h"
+#include "common/result.h"
+#include "kc/executor.h"
+#include "relational/schema.h"
+#include "sql/ast.h"
+
+namespace mlds::kms {
+
+/// The relational language interface's SQL-to-ABDL translator: the third
+/// user data language of MLDS over the same kernel. Translation is close
+/// to one-to-one:
+///
+///   SELECT (one table)  -> RETRIEVE (query) (targets) [BY col]
+///   SELECT (two tables) -> RETRIEVE-COMMON over the equi-join column
+///   INSERT              -> [UNIQUE probe] + INSERT
+///   UPDATE              -> one kernel UPDATE per SET assignment
+///   DELETE              -> DELETE
+///
+/// Constraints enforced: NOT NULL on INSERT, UNIQUE(cols) on INSERT,
+/// column existence everywhere.
+class SqlMachine {
+ public:
+  /// `schema` and `executor` must outlive the machine.
+  SqlMachine(const relational::Schema* schema, kc::KernelExecutor* executor);
+
+  SqlMachine(const SqlMachine&) = delete;
+  SqlMachine& operator=(const SqlMachine&) = delete;
+
+  /// Outcome of one SQL statement.
+  struct Outcome {
+    std::vector<abdm::Record> rows;  ///< SELECT results.
+    size_t affected = 0;             ///< INSERT/UPDATE/DELETE row count.
+    std::string info;
+  };
+
+  Result<Outcome> Execute(const sql::SqlStatement& statement);
+  Result<Outcome> ExecuteText(std::string_view text);
+
+  /// ABDL requests issued by the most recent statement.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  Result<Outcome> Select(const sql::SelectStatement& statement);
+  Result<Outcome> Insert(const sql::InsertStatement& statement);
+  Result<Outcome> Update(const sql::UpdateStatement& statement);
+  Result<Outcome> Delete(const sql::DeleteStatement& statement);
+
+  Result<kds::Response> Issue(abdl::Request request);
+
+  /// Resolves the table a column reference belongs to, and checks the
+  /// column exists. `tables` lists the statement's FROM tables.
+  Result<const relational::Table*> ResolveColumn(
+      const sql::ColumnRef& ref,
+      const std::vector<const relational::Table*>& tables) const;
+
+  /// Builds the kernel query for a single-table WHERE clause.
+  Result<abdm::Query> BuildQuery(const relational::Table& table,
+                                 const sql::WhereClause& where) const;
+
+  /// Allocates a fresh tuple key for `table`.
+  Result<std::string> AllocateTupleKey(std::string_view table);
+
+  const relational::Schema* schema_;
+  kc::KernelExecutor* executor_;
+  std::vector<std::string> trace_;
+  std::map<std::string, uint64_t> next_key_;
+};
+
+}  // namespace mlds::kms
+
+#endif  // MLDS_KMS_SQL_MACHINE_H_

@@ -1,0 +1,228 @@
+#include "mbds/controller.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace mlds::mbds {
+
+Controller::Controller(MbdsOptions options) : options_(options) {
+  const int n = std::max(1, options_.num_backends);
+  backends_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    backends_.push_back(std::make_unique<Backend>(i, options_.engine));
+  }
+}
+
+Status Controller::DefineDatabase(const abdm::DatabaseDescriptor& db) {
+  for (auto& backend : backends_) {
+    MLDS_RETURN_IF_ERROR(backend->engine().DefineDatabase(db));
+  }
+  return Status::OK();
+}
+
+Status Controller::DefineFile(const abdm::FileDescriptor& descriptor) {
+  for (auto& backend : backends_) {
+    MLDS_RETURN_IF_ERROR(backend->engine().DefineFile(descriptor));
+  }
+  return Status::OK();
+}
+
+bool Controller::HasFile(std::string_view file) const {
+  return backends_.front()->engine().HasFile(file);
+}
+
+Result<ExecutionReport> Controller::Execute(const abdl::Request& request) {
+  Result<ExecutionReport> result =
+      std::holds_alternative<abdl::InsertRequest>(request)
+          ? ExecuteInsert(std::get<abdl::InsertRequest>(request))
+          : ExecuteBroadcast(request);
+  if (result.ok()) total_response_ms_ += result->response_time_ms;
+  return result;
+}
+
+Result<ExecutionReport> Controller::ExecuteInsert(
+    const abdl::InsertRequest& request) {
+  // Record distribution: round-robin spreads every file evenly over the
+  // disks; hash placement derives the backend from the record's database
+  // key so placement is order-independent.
+  size_t target_index = insert_cursor_ % backends_.size();
+  if (options_.placement == PlacementPolicy::kHashKey &&
+      request.record.keywords().size() >= 2) {
+    const abdm::Keyword& key = request.record.keywords()[1];
+    target_index = std::hash<std::string>{}(key.attribute + "=" +
+                                            key.value.ToString()) %
+                   backends_.size();
+  }
+  Backend& target = *backends_[target_index];
+  ++insert_cursor_;
+
+  ExecutionReport report;
+  report.backend_times_ms.assign(backends_.size(), 0.0);
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        target.engine().Execute(abdl::Request(request)));
+  const double ms = options_.disk.CostMs(resp.io);
+  target.AddBusyMs(ms);
+  report.backend_times_ms[target.id()] = ms;
+  report.response.affected = resp.affected;
+  report.response.io = resp.io;
+  report.response_time_ms = options_.bus.RoundTripMs() + ms;
+  return report;
+}
+
+Result<ExecutionReport> Controller::ExecuteBroadcast(
+    const abdl::Request& request) {
+  // RETRIEVE-COMMON joins records that may live on different backends, so
+  // a per-backend join would silently drop cross-partition pairs. The
+  // controller instead broadcasts the two halves as plain retrieves and
+  // joins the merged sides itself.
+  if (const auto* join = std::get_if<abdl::RetrieveCommonRequest>(&request)) {
+    return ExecuteDistributedJoin(*join);
+  }
+
+  // For retrieves, backends return raw matched records (all attributes);
+  // the controller applies projection / BY / aggregation to the merged
+  // set, since partial per-backend aggregates would be wrong (e.g. AVG).
+  const auto* retrieve = std::get_if<abdl::RetrieveRequest>(&request);
+  abdl::Request broadcast = request;
+  if (retrieve != nullptr) {
+    abdl::RetrieveRequest raw;
+    raw.query = retrieve->query;
+    raw.all_attributes = true;
+    broadcast = raw;
+  }
+
+  ExecutionReport report;
+  report.backend_times_ms.reserve(backends_.size());
+  std::vector<abdm::Record> merged;
+  double max_ms = 0.0;
+  for (auto& backend : backends_) {
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                          backend->engine().Execute(broadcast));
+    const double ms = options_.disk.CostMs(resp.io);
+    backend->AddBusyMs(ms);
+    report.backend_times_ms.push_back(ms);
+    max_ms = std::max(max_ms, ms);
+    report.response.affected += resp.affected;
+    report.response.io += resp.io;
+    merged.insert(merged.end(),
+                  std::make_move_iterator(resp.records.begin()),
+                  std::make_move_iterator(resp.records.end()));
+  }
+  if (retrieve != nullptr) {
+    report.response.records = kds::PostProcessRetrieve(*retrieve,
+                                                       std::move(merged));
+  } else {
+    report.response.records = std::move(merged);
+  }
+  report.response_time_ms = options_.bus.RoundTripMs() + max_ms;
+  return report;
+}
+
+Result<ExecutionReport> Controller::ExecuteDistributedJoin(
+    const abdl::RetrieveCommonRequest& request) {
+  auto fetch_side = [&](const abdm::Query& query, ExecutionReport* report,
+                        double* max_ms) -> Result<std::vector<abdm::Record>> {
+    abdl::RetrieveRequest raw;
+    raw.query = query;
+    raw.all_attributes = true;
+    std::vector<abdm::Record> merged;
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                            backends_[i]->engine().Execute(abdl::Request(raw)));
+      const double ms = options_.disk.CostMs(resp.io);
+      backends_[i]->AddBusyMs(ms);
+      report->backend_times_ms[i] += ms;
+      *max_ms = std::max(*max_ms, ms);
+      report->response.io += resp.io;
+      merged.insert(merged.end(),
+                    std::make_move_iterator(resp.records.begin()),
+                    std::make_move_iterator(resp.records.end()));
+    }
+    return merged;
+  };
+
+  ExecutionReport report;
+  report.backend_times_ms.assign(backends_.size(), 0.0);
+  // The two sides execute as consecutive parallel phases: each phase
+  // costs its slowest backend.
+  double left_max = 0.0;
+  double right_max = 0.0;
+  MLDS_ASSIGN_OR_RETURN(std::vector<abdm::Record> left,
+                        fetch_side(request.left_query, &report, &left_max));
+  MLDS_ASSIGN_OR_RETURN(std::vector<abdm::Record> right,
+                        fetch_side(request.right_query, &report, &right_max));
+
+  // Hash join at the controller, mirroring the kernel engine's local
+  // RETRIEVE-COMMON semantics.
+  std::map<abdm::Value, std::vector<const abdm::Record*>> right_by_value;
+  for (const abdm::Record& r : right) {
+    abdm::Value v = r.GetOrNull(request.right_attribute);
+    if (!v.is_null()) right_by_value[std::move(v)].push_back(&r);
+  }
+  for (const abdm::Record& l : left) {
+    abdm::Value v = l.GetOrNull(request.left_attribute);
+    if (v.is_null()) continue;
+    auto it = right_by_value.find(v);
+    if (it == right_by_value.end()) continue;
+    for (const abdm::Record* r : it->second) {
+      abdm::Record merged = l;
+      for (const auto& kw : r->keywords()) {
+        if (!merged.Has(kw.attribute)) merged.Set(kw.attribute, kw.value);
+      }
+      if (!request.targets.empty()) {
+        abdm::Record projected;
+        for (const auto& target : request.targets) {
+          projected.Set(target.attribute, merged.GetOrNull(target.attribute));
+        }
+        merged = std::move(projected);
+      }
+      report.response.records.push_back(std::move(merged));
+    }
+  }
+  report.response_time_ms =
+      2 * options_.bus.RoundTripMs() + left_max + right_max;
+  return report;
+}
+
+Result<ExecutionReport> Controller::ExecuteTransaction(
+    const abdl::Transaction& txn) {
+  ExecutionReport total;
+  total.backend_times_ms.assign(backends_.size(), 0.0);
+  for (const auto& request : txn) {
+    MLDS_ASSIGN_OR_RETURN(ExecutionReport report, Execute(request));
+    total.response_time_ms += report.response_time_ms;
+    total.response.affected += report.response.affected;
+    total.response.io += report.response.io;
+    for (size_t i = 0; i < report.backend_times_ms.size(); ++i) {
+      total.backend_times_ms[i] += report.backend_times_ms[i];
+    }
+    total.response.records.insert(
+        total.response.records.end(),
+        std::make_move_iterator(report.response.records.begin()),
+        std::make_move_iterator(report.response.records.end()));
+  }
+  return total;
+}
+
+size_t Controller::FileSize(std::string_view file) const {
+  size_t total = 0;
+  for (const auto& backend : backends_) {
+    total += backend->engine().FileSize(file);
+  }
+  return total;
+}
+
+uint64_t Controller::TotalBlocks() const {
+  uint64_t total = 0;
+  for (const auto& backend : backends_) {
+    total += backend->engine().TotalBlocks();
+  }
+  return total;
+}
+
+void Controller::ResetTiming() {
+  total_response_ms_ = 0.0;
+}
+
+}  // namespace mlds::mbds

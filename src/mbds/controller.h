@@ -1,0 +1,128 @@
+#ifndef MLDS_MBDS_CONTROLLER_H_
+#define MLDS_MBDS_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abdl/request.h"
+#include "abdm/schema.h"
+#include "common/result.h"
+#include "kds/engine.h"
+#include "mbds/disk_model.h"
+
+namespace mlds::mbds {
+
+/// One backend (slave) of MBDS: identical software (a KDS engine) over its
+/// own dedicated disk, holding a partition of every file's records.
+class Backend {
+ public:
+  Backend(int id, kds::EngineOptions options) : id_(id), engine_(options) {}
+
+  int id() const { return id_; }
+  kds::Engine& engine() { return engine_; }
+  const kds::Engine& engine() const { return engine_; }
+
+  /// Total simulated milliseconds this backend's disk has been busy.
+  double busy_ms() const { return busy_ms_; }
+  void AddBusyMs(double ms) { busy_ms_ += ms; }
+
+ private:
+  int id_;
+  kds::Engine engine_;
+  double busy_ms_ = 0.0;
+};
+
+/// Execution outcome of one request through the backend controller.
+struct ExecutionReport {
+  /// Merged response (records from all backends, total affected count).
+  kds::Response response;
+  /// Simulated response time: bus round trip + the slowest participating
+  /// backend (backends execute in parallel).
+  double response_time_ms = 0.0;
+  /// Per-backend execution times for this request.
+  std::vector<double> backend_times_ms;
+};
+
+/// How INSERTs choose a backend.
+enum class PlacementPolicy {
+  /// Consecutive inserts land on consecutive backends: perfectly even.
+  kRoundRobin,
+  /// Hash of the record's database-key keyword (second keyword); falls
+  /// back to round-robin for records without one. Deterministic placement
+  /// independent of arrival order, at the cost of mild skew.
+  kHashKey,
+};
+
+/// Options for constructing the multi-backend system.
+struct MbdsOptions {
+  int num_backends = 1;
+  kds::EngineOptions engine;
+  DiskModel disk;
+  BusModel bus;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+};
+
+/// The MBDS backend controller (master): supervises execution of database
+/// transactions across the parallel backends (Ch. I.B.2).
+///
+/// Record distribution: INSERTs are routed round-robin so every file's
+/// records spread evenly over the backends' disks. All other requests are
+/// broadcast; each backend executes against its partition, and the
+/// controller merges replies. The simulated response time of a broadcast
+/// is the *maximum* backend time (they run in parallel) plus the bus round
+/// trip — which is exactly what yields the paper's two results: reciprocal
+/// response-time decrease as backends are added at fixed database size,
+/// and response-time invariance when backends grow with the database.
+class Controller {
+ public:
+  explicit Controller(MbdsOptions options);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+
+  /// Broadcasts the database definition to every backend.
+  Status DefineDatabase(const abdm::DatabaseDescriptor& db);
+
+  /// Broadcasts one file definition to every backend.
+  Status DefineFile(const abdm::FileDescriptor& descriptor);
+
+  bool HasFile(std::string_view file) const;
+
+  /// Executes one ABDL request across the backends.
+  Result<ExecutionReport> Execute(const abdl::Request& request);
+
+  /// Executes a transaction sequentially; the report times sum.
+  Result<ExecutionReport> ExecuteTransaction(const abdl::Transaction& txn);
+
+  /// Total live records of `file` across all backends.
+  size_t FileSize(std::string_view file) const;
+
+  /// Total allocated blocks across all backends.
+  uint64_t TotalBlocks() const;
+
+  /// Cumulative simulated response time of every executed request.
+  double total_response_time_ms() const { return total_response_ms_; }
+  void ResetTiming();
+
+  const Backend& backend(int i) const { return *backends_[i]; }
+
+ private:
+  Result<ExecutionReport> ExecuteInsert(const abdl::InsertRequest& request);
+  Result<ExecutionReport> ExecuteBroadcast(const abdl::Request& request);
+  /// RETRIEVE-COMMON: both sides broadcast as plain retrieves, with the
+  /// join performed at the controller so cross-partition pairs survive.
+  Result<ExecutionReport> ExecuteDistributedJoin(
+      const abdl::RetrieveCommonRequest& request);
+
+  MbdsOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  uint64_t insert_cursor_ = 0;
+  double total_response_ms_ = 0.0;
+};
+
+}  // namespace mlds::mbds
+
+#endif  // MLDS_MBDS_CONTROLLER_H_

@@ -1,0 +1,53 @@
+#ifndef MLDS_MBDS_DISK_MODEL_H_
+#define MLDS_MBDS_DISK_MODEL_H_
+
+#include "kds/io_stats.h"
+
+namespace mlds::mbds {
+
+/// Deterministic cost model for one backend's dedicated disk system.
+///
+/// The thesis ran on 1987 lab minicomputers with one disk per backend; we
+/// do not have that hardware, so MBDS is reproduced as a simulator: each
+/// backend executes real ABDL requests over its record partition and this
+/// model converts the counted physical work into milliseconds. The default
+/// constants approximate a late-1980s Winchester disk (~28 ms average
+/// positioning, ~2 ms per block transfer), though only the *shape* of the
+/// scaling results depends on them, not the particular values.
+struct DiskModel {
+  /// Positioning (seek + rotational) cost charged once per request that
+  /// touches the disk at all.
+  double seek_ms = 28.0;
+  /// Transfer cost per data block read or written.
+  double transfer_ms_per_block = 2.0;
+  /// Directory (index) probe cost — the directory is small and assumed
+  /// memory-resident after the first access, so probes are cheap.
+  double index_probe_ms = 0.2;
+  /// CPU cost of examining one record against a query.
+  double cpu_ms_per_record = 0.01;
+
+  /// Milliseconds this backend spends executing a request whose physical
+  /// work is `io`.
+  double CostMs(const kds::IoStats& io) const {
+    double ms = 0.0;
+    if (io.total_blocks() > 0) ms += seek_ms;
+    ms += transfer_ms_per_block * static_cast<double>(io.total_blocks());
+    ms += index_probe_ms * static_cast<double>(io.index_probes);
+    ms += cpu_ms_per_record * static_cast<double>(io.records_examined);
+    return ms;
+  }
+};
+
+/// Cost of the controller <-> backend message exchange. The backends are
+/// connected to the controller by a broadcast bus (Figure 1.3), so a
+/// request costs one broadcast plus one reply regardless of backend count.
+struct BusModel {
+  double broadcast_ms = 1.0;
+  double reply_ms = 1.0;
+
+  double RoundTripMs() const { return broadcast_ms + reply_ms; }
+};
+
+}  // namespace mlds::mbds
+
+#endif  // MLDS_MBDS_DISK_MODEL_H_

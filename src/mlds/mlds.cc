@@ -1,0 +1,239 @@
+#include "mlds/mlds.h"
+
+#include "daplex/ddl_parser.h"
+#include "network/ddl_parser.h"
+#include "transform/abdm_mapping.h"
+#include "transform/hie_to_abdm.h"
+#include "transform/rel_to_abdm.h"
+
+namespace mlds {
+
+MldsSystem::MldsSystem() : MldsSystem(Options{}) {}
+
+MldsSystem::MldsSystem(Options options) : options_(options) {
+  if (options_.use_mbds) {
+    mbds::MbdsOptions mbds_options;
+    mbds_options.num_backends = options_.backends;
+    mbds_options.engine = options_.engine;
+    mbds_options.disk = options_.disk;
+    mbds_options.bus = options_.bus;
+    controller_ = std::make_unique<mbds::Controller>(mbds_options);
+    executor_ = std::make_unique<kc::MbdsExecutor>(controller_.get());
+  } else {
+    engine_ = std::make_unique<kds::Engine>(options_.engine);
+    executor_ = std::make_unique<kc::EngineExecutor>(engine_.get());
+  }
+}
+
+MldsSystem::~MldsSystem() = default;
+
+Status MldsSystem::LoadNetworkDatabase(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(network::Schema schema, network::ParseSchema(ddl));
+  if (schema.name().empty()) {
+    return Status::InvalidArgument(
+        "network DDL must carry a SCHEMA NAME IS clause");
+  }
+  if (FindNetworkSchema(schema.name()) != nullptr ||
+      FindFunctionalSchema(schema.name()) != nullptr) {
+    return Status::AlreadyExists("database '" + schema.name() +
+                                 "' already loaded");
+  }
+  MLDS_ASSIGN_OR_RETURN(abdm::DatabaseDescriptor descriptor,
+                        transform::MapNetworkToAbdm(schema));
+  MLDS_RETURN_IF_ERROR(executor_->DefineDatabase(descriptor));
+  auto db = std::make_unique<NetworkDb>();
+  db->schema = std::move(schema);
+  network_dbs_.push_back(std::move(db));
+  return Status::OK();
+}
+
+Status MldsSystem::LoadRelationalDatabase(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(relational::Schema schema,
+                        relational::ParseRelationalSchema(ddl));
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("relational DDL must carry a SCHEMA "
+                                   "clause");
+  }
+  if (FindNetworkSchema(schema.name()) != nullptr ||
+      FindFunctionalSchema(schema.name()) != nullptr ||
+      FindRelationalSchema(schema.name()) != nullptr) {
+    return Status::AlreadyExists("database '" + schema.name() +
+                                 "' already loaded");
+  }
+  MLDS_ASSIGN_OR_RETURN(abdm::DatabaseDescriptor descriptor,
+                        transform::MapRelationalToAbdm(schema));
+  MLDS_RETURN_IF_ERROR(executor_->DefineDatabase(descriptor));
+  auto db = std::make_unique<RelationalDb>();
+  db->schema = std::move(schema);
+  relational_dbs_.push_back(std::move(db));
+  return Status::OK();
+}
+
+Status MldsSystem::LoadHierarchicalDatabase(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(hierarchical::Schema schema,
+                        hierarchical::ParseHierarchicalSchema(ddl));
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("hierarchical DDL must carry a SCHEMA "
+                                   "clause");
+  }
+  if (FindNetworkSchema(schema.name()) != nullptr ||
+      FindFunctionalSchema(schema.name()) != nullptr ||
+      FindRelationalSchema(schema.name()) != nullptr ||
+      FindHierarchicalSchema(schema.name()) != nullptr) {
+    return Status::AlreadyExists("database '" + schema.name() +
+                                 "' already loaded");
+  }
+  MLDS_ASSIGN_OR_RETURN(abdm::DatabaseDescriptor descriptor,
+                        transform::MapHierarchicalToAbdm(schema));
+  MLDS_RETURN_IF_ERROR(executor_->DefineDatabase(descriptor));
+  auto db = std::make_unique<HierarchicalDb>();
+  db->schema = std::move(schema);
+  hierarchical_dbs_.push_back(std::move(db));
+  return Status::OK();
+}
+
+Status MldsSystem::LoadFunctionalDatabase(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(daplex::FunctionalSchema schema,
+                        daplex::ParseFunctionalSchema(ddl));
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("Daplex DDL must carry a SCHEMA clause");
+  }
+  if (FindNetworkSchema(schema.name()) != nullptr ||
+      FindFunctionalSchema(schema.name()) != nullptr) {
+    return Status::AlreadyExists("database '" + schema.name() +
+                                 "' already loaded");
+  }
+  MLDS_ASSIGN_OR_RETURN(transform::FunNetMapping mapping,
+                        transform::TransformFunctionalToNetwork(schema));
+  MLDS_ASSIGN_OR_RETURN(
+      abdm::DatabaseDescriptor descriptor,
+      transform::MapNetworkToAbdm(mapping.schema, &mapping));
+  MLDS_RETURN_IF_ERROR(executor_->DefineDatabase(descriptor));
+  auto db = std::make_unique<FunctionalDb>();
+  db->schema = std::move(schema);
+  db->mapping = std::move(mapping);
+  functional_dbs_.push_back(std::move(db));
+  return Status::OK();
+}
+
+Result<kms::DmlMachine*> MldsSystem::OpenCodasylSession(
+    std::string_view db_name) {
+  // LIL first searches the existing network schemas; if the desired
+  // database is not there, the list of functional schemas is searched
+  // (Ch. V).
+  for (const auto& db : network_dbs_) {
+    if (db->schema.name() == db_name) {
+      sessions_.push_back(std::make_unique<kms::DmlMachine>(
+          &db->schema, nullptr, executor_.get()));
+      return sessions_.back().get();
+    }
+  }
+  for (const auto& db : functional_dbs_) {
+    if (db->schema.name() == db_name) {
+      sessions_.push_back(std::make_unique<kms::DmlMachine>(
+          &db->mapping.schema, &db->mapping, executor_.get()));
+      return sessions_.back().get();
+    }
+  }
+  return Status::NotFound("database '" + std::string(db_name) +
+                          "' is not loaded (searched network and functional "
+                          "schema lists)");
+}
+
+Result<kms::SqlMachine*> MldsSystem::OpenSqlSession(
+    std::string_view db_name) {
+  for (const auto& db : relational_dbs_) {
+    if (db->schema.name() == db_name) {
+      sql_sessions_.push_back(
+          std::make_unique<kms::SqlMachine>(&db->schema, executor_.get()));
+      return sql_sessions_.back().get();
+    }
+  }
+  return Status::NotFound("relational database '" + std::string(db_name) +
+                          "' is not loaded");
+}
+
+Result<kms::DliMachine*> MldsSystem::OpenDliSession(
+    std::string_view db_name) {
+  for (const auto& db : hierarchical_dbs_) {
+    if (db->schema.name() == db_name) {
+      dli_sessions_.push_back(
+          std::make_unique<kms::DliMachine>(&db->schema, executor_.get()));
+      return dli_sessions_.back().get();
+    }
+  }
+  return Status::NotFound("hierarchical database '" + std::string(db_name) +
+                          "' is not loaded");
+}
+
+Result<kms::DaplexMachine*> MldsSystem::OpenDaplexSession(
+    std::string_view db_name) {
+  for (const auto& db : functional_dbs_) {
+    if (db->schema.name() == db_name) {
+      daplex_sessions_.push_back(std::make_unique<kms::DaplexMachine>(
+          &db->schema, &db->mapping.schema, &db->mapping, executor_.get()));
+      return daplex_sessions_.back().get();
+    }
+  }
+  return Status::NotFound("functional database '" + std::string(db_name) +
+                          "' is not loaded");
+}
+
+std::vector<std::string> MldsSystem::DatabaseNames() const {
+  std::vector<std::string> names;
+  for (const auto& db : network_dbs_) names.push_back(db->schema.name());
+  for (const auto& db : functional_dbs_) names.push_back(db->schema.name());
+  for (const auto& db : relational_dbs_) names.push_back(db->schema.name());
+  for (const auto& db : hierarchical_dbs_) names.push_back(db->schema.name());
+  return names;
+}
+
+const hierarchical::Schema* MldsSystem::FindHierarchicalSchema(
+    std::string_view name) const {
+  for (const auto& db : hierarchical_dbs_) {
+    if (db->schema.name() == name) return &db->schema;
+  }
+  return nullptr;
+}
+
+const relational::Schema* MldsSystem::FindRelationalSchema(
+    std::string_view name) const {
+  for (const auto& db : relational_dbs_) {
+    if (db->schema.name() == name) return &db->schema;
+  }
+  return nullptr;
+}
+
+const network::Schema* MldsSystem::FindNetworkSchema(
+    std::string_view name) const {
+  for (const auto& db : network_dbs_) {
+    if (db->schema.name() == name) return &db->schema;
+  }
+  return nullptr;
+}
+
+const daplex::FunctionalSchema* MldsSystem::FindFunctionalSchema(
+    std::string_view name) const {
+  for (const auto& db : functional_dbs_) {
+    if (db->schema.name() == name) return &db->schema;
+  }
+  return nullptr;
+}
+
+const network::Schema* MldsSystem::NetworkViewOf(std::string_view name) const {
+  if (const network::Schema* native = FindNetworkSchema(name)) return native;
+  for (const auto& db : functional_dbs_) {
+    if (db->schema.name() == name) return &db->mapping.schema;
+  }
+  return nullptr;
+}
+
+const transform::FunNetMapping* MldsSystem::MappingOf(
+    std::string_view name) const {
+  for (const auto& db : functional_dbs_) {
+    if (db->schema.name() == name) return &db->mapping;
+  }
+  return nullptr;
+}
+
+}  // namespace mlds

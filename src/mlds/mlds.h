@@ -1,0 +1,155 @@
+#ifndef MLDS_MLDS_MLDS_H_
+#define MLDS_MLDS_MLDS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "daplex/schema.h"
+#include "kc/executor.h"
+#include "kds/engine.h"
+#include "hierarchical/schema.h"
+#include "kms/daplex_machine.h"
+#include "kms/dli_machine.h"
+#include "kms/dml_machine.h"
+#include "kms/sql_machine.h"
+#include "mbds/controller.h"
+#include "network/schema.h"
+#include "relational/schema.h"
+#include "transform/fun_to_net.h"
+
+namespace mlds {
+
+/// The Multi-Lingual Database System facade: the Language Interface Layer
+/// (LIL) plus the database registry, wired over a kernel database system
+/// that is either a single KDS engine or the multi-backend MBDS.
+///
+/// Four user data models load through their DDLs (network, functional,
+/// relational, hierarchical) and four language interfaces open sessions
+/// over them (CODASYL-DML, Daplex, SQL, DL/I); `executor()` reaches the
+/// kernel's ABDL directly. Usage mirrors the thesis's workflow (Ch. V):
+///
+///   MldsSystem mlds;
+///   mlds.LoadFunctionalDatabase(daplex_ddl);              // define
+///   auto session = mlds.OpenCodasylSession("university"); // transform
+///   session->ExecuteText("MOVE 'CS' TO major IN student");
+///   session->ExecuteText("FIND ANY student USING major IN student");
+///
+/// OpenCodasylSession searches the existing network schemas first; when
+/// the name belongs to a functional schema instead, the schema transformer
+/// runs (functional -> network, Ch. V) and the session operates on the
+/// transformed database with the functional-aware KMS translation — the
+/// thesis's cross-model access.
+class MldsSystem {
+ public:
+  struct Options {
+    /// Use the multi-backend kernel (MBDS) instead of a single engine.
+    bool use_mbds = false;
+    int backends = 4;
+    kds::EngineOptions engine;
+    mbds::DiskModel disk;
+    mbds::BusModel bus;
+  };
+
+  MldsSystem();
+  explicit MldsSystem(Options options);
+  ~MldsSystem();
+
+  MldsSystem(const MldsSystem&) = delete;
+  MldsSystem& operator=(const MldsSystem&) = delete;
+
+  /// Defines a new network database from CODASYL DDL text; its kernel
+  /// files (AB(network)) are created immediately.
+  Status LoadNetworkDatabase(std::string_view ddl);
+
+  /// Defines a new relational database from SQL CREATE TABLE DDL; its
+  /// kernel files (AB(relational)) are created immediately.
+  Status LoadRelationalDatabase(std::string_view ddl);
+
+  /// Defines a new hierarchical database from segment DDL; its kernel
+  /// files (AB(hierarchical)) are created immediately.
+  Status LoadHierarchicalDatabase(std::string_view ddl);
+
+  /// Defines a new functional database from Daplex DDL text. The
+  /// functional -> network transformation runs eagerly (the direct
+  /// language interface's one-step schema transformation, Ch. III.B.2)
+  /// and the AB(functional) kernel files are created.
+  Status LoadFunctionalDatabase(std::string_view ddl);
+
+  /// Opens a CODASYL-DML session against the named database. Searches the
+  /// network schema list first, then the functional schema list. The
+  /// returned machine is owned by the system and remains valid until the
+  /// system is destroyed.
+  Result<kms::DmlMachine*> OpenCodasylSession(std::string_view db_name);
+
+  /// Opens a Daplex query session against a *functional* database — the
+  /// functional language interface over the same kernel files, which is
+  /// what makes the system multi-lingual.
+  Result<kms::DaplexMachine*> OpenDaplexSession(std::string_view db_name);
+
+  /// Opens a SQL session against a *relational* database — the third
+  /// language interface of MLDS.
+  Result<kms::SqlMachine*> OpenSqlSession(std::string_view db_name);
+
+  /// Opens a DL/I session against a *hierarchical* database — the fourth
+  /// language interface of MLDS.
+  Result<kms::DliMachine*> OpenDliSession(std::string_view db_name);
+
+  /// Names of loaded databases, network then functional.
+  std::vector<std::string> DatabaseNames() const;
+
+  const network::Schema* FindNetworkSchema(std::string_view name) const;
+  const daplex::FunctionalSchema* FindFunctionalSchema(
+      std::string_view name) const;
+  const relational::Schema* FindRelationalSchema(std::string_view name) const;
+  const hierarchical::Schema* FindHierarchicalSchema(
+      std::string_view name) const;
+
+  /// The network view of a database: the schema itself for network
+  /// databases, the transformed schema for functional ones.
+  const network::Schema* NetworkViewOf(std::string_view name) const;
+
+  /// The transformation metadata for a functional database (nullptr for
+  /// native network databases).
+  const transform::FunNetMapping* MappingOf(std::string_view name) const;
+
+  /// Direct access to the kernel for loaders and benchmarks.
+  kc::KernelExecutor* executor() { return executor_.get(); }
+
+  /// The MBDS controller when `use_mbds`, else nullptr.
+  mbds::Controller* controller() { return controller_.get(); }
+
+ private:
+  struct NetworkDb {
+    network::Schema schema;
+  };
+  struct FunctionalDb {
+    daplex::FunctionalSchema schema;
+    transform::FunNetMapping mapping;
+  };
+  struct RelationalDb {
+    relational::Schema schema;
+  };
+  struct HierarchicalDb {
+    hierarchical::Schema schema;
+  };
+
+  Options options_;
+  std::unique_ptr<kds::Engine> engine_;
+  std::unique_ptr<mbds::Controller> controller_;
+  std::unique_ptr<kc::KernelExecutor> executor_;
+  std::vector<std::unique_ptr<NetworkDb>> network_dbs_;
+  std::vector<std::unique_ptr<FunctionalDb>> functional_dbs_;
+  std::vector<std::unique_ptr<RelationalDb>> relational_dbs_;
+  std::vector<std::unique_ptr<HierarchicalDb>> hierarchical_dbs_;
+  std::vector<std::unique_ptr<kms::DmlMachine>> sessions_;
+  std::vector<std::unique_ptr<kms::DaplexMachine>> daplex_sessions_;
+  std::vector<std::unique_ptr<kms::SqlMachine>> sql_sessions_;
+  std::vector<std::unique_ptr<kms::DliMachine>> dli_sessions_;
+};
+
+}  // namespace mlds
+
+#endif  // MLDS_MLDS_MLDS_H_

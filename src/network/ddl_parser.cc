@@ -1,0 +1,340 @@
+#include "network/ddl_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mlds::network {
+
+namespace {
+
+/// One DDL statement, pre-split into word/punctuation tokens.
+struct Statement {
+  std::vector<std::string> tokens;
+
+  bool KeywordAt(size_t i, std::string_view word) const {
+    return i < tokens.size() && EqualsIgnoreCase(tokens[i], word);
+  }
+  const std::string* At(size_t i) const {
+    return i < tokens.size() ? &tokens[i] : nullptr;
+  }
+};
+
+/// Splits DDL text into ';'-terminated statements of tokens. Tokens are
+/// identifiers/numbers, or single-character punctuation (',', '=').
+Result<std::vector<Statement>> TokenizeStatements(std::string_view ddl) {
+  std::vector<Statement> statements;
+  Statement current;
+  size_t pos = 0;
+  while (pos < ddl.size()) {
+    const char c = ddl[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == ';') {
+      if (!current.tokens.empty()) {
+        statements.push_back(std::move(current));
+        current = Statement{};
+      }
+      ++pos;
+    } else if (c == ',' || c == '=') {
+      current.tokens.emplace_back(1, c);
+      ++pos;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             (std::isalnum(static_cast<unsigned char>(ddl[end])) ||
+              ddl[end] == '_')) {
+        ++end;
+      }
+      current.tokens.emplace_back(ddl.substr(pos, end - pos));
+      pos = end;
+    } else if (c == '-' && pos + 1 < ddl.size() && ddl[pos + 1] == '-') {
+      // Line comment.
+      while (pos < ddl.size() && ddl[pos] != '\n') ++pos;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in network DDL");
+    }
+  }
+  if (!current.tokens.empty()) {
+    return Status::ParseError("unterminated DDL statement (missing ';'): '" +
+                              Join(current.tokens, " ") + "'");
+  }
+  return statements;
+}
+
+Result<int> ParseInt(const std::string& token) {
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::ParseError("expected number, got '" + token + "'");
+    }
+  }
+  return std::stoi(token);
+}
+
+class SchemaBuilder {
+ public:
+  Result<Schema> Build(const std::vector<Statement>& statements) {
+    for (const auto& stmt : statements) {
+      MLDS_RETURN_IF_ERROR(Dispatch(stmt));
+    }
+    MLDS_RETURN_IF_ERROR(FlushRecord());
+    MLDS_RETURN_IF_ERROR(FlushSet());
+    MLDS_RETURN_IF_ERROR(schema_.Validate());
+    return std::move(schema_);
+  }
+
+ private:
+  Status Dispatch(const Statement& s) {
+    if (s.KeywordAt(0, "SCHEMA") && s.KeywordAt(1, "NAME") &&
+        s.KeywordAt(2, "IS")) {
+      if (s.tokens.size() != 4) {
+        return Status::ParseError("SCHEMA NAME IS expects one name");
+      }
+      schema_.set_name(s.tokens[3]);
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "RECORD") && s.KeywordAt(1, "NAME") &&
+        s.KeywordAt(2, "IS")) {
+      MLDS_RETURN_IF_ERROR(FlushRecord());
+      MLDS_RETURN_IF_ERROR(FlushSet());
+      if (s.tokens.size() != 4) {
+        return Status::ParseError("RECORD NAME IS expects one name");
+      }
+      record_.emplace();
+      record_->name = s.tokens[3];
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "ITEM")) return ParseItem(s);
+    if (s.KeywordAt(0, "DUPLICATES")) return ParseDuplicates(s);
+    if (s.KeywordAt(0, "SET") && s.KeywordAt(1, "NAME") &&
+        s.KeywordAt(2, "IS")) {
+      MLDS_RETURN_IF_ERROR(FlushRecord());
+      MLDS_RETURN_IF_ERROR(FlushSet());
+      if (s.tokens.size() != 4) {
+        return Status::ParseError("SET NAME IS expects one name");
+      }
+      set_.emplace();
+      set_->name = s.tokens[3];
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "OWNER") && s.KeywordAt(1, "IS")) {
+      if (!set_.has_value()) {
+        return Status::ParseError("OWNER IS outside a SET declaration");
+      }
+      if (s.tokens.size() != 3) {
+        return Status::ParseError("OWNER IS expects one name");
+      }
+      set_->owner = EqualsIgnoreCase(s.tokens[2], kSystemOwner)
+                        ? std::string(kSystemOwner)
+                        : s.tokens[2];
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "MEMBER") && s.KeywordAt(1, "IS")) {
+      if (!set_.has_value()) {
+        return Status::ParseError("MEMBER IS outside a SET declaration");
+      }
+      if (s.tokens.size() != 3) {
+        return Status::ParseError("MEMBER IS expects one name");
+      }
+      set_->members.push_back(s.tokens[2]);
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "INSERTION") && s.KeywordAt(1, "IS")) {
+      if (!set_.has_value()) {
+        return Status::ParseError("INSERTION IS outside a SET declaration");
+      }
+      if (s.KeywordAt(2, "AUTOMATIC")) {
+        set_->insertion = InsertionMode::kAutomatic;
+      } else if (s.KeywordAt(2, "MANUAL")) {
+        set_->insertion = InsertionMode::kManual;
+      } else {
+        return Status::ParseError("INSERTION IS expects AUTOMATIC or MANUAL");
+      }
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "RETENTION") && s.KeywordAt(1, "IS")) {
+      if (!set_.has_value()) {
+        return Status::ParseError("RETENTION IS outside a SET declaration");
+      }
+      if (s.KeywordAt(2, "FIXED")) {
+        set_->retention = RetentionMode::kFixed;
+      } else if (s.KeywordAt(2, "MANDATORY")) {
+        set_->retention = RetentionMode::kMandatory;
+      } else if (s.KeywordAt(2, "OPTIONAL")) {
+        set_->retention = RetentionMode::kOptional;
+      } else {
+        return Status::ParseError(
+            "RETENTION IS expects FIXED, MANDATORY, or OPTIONAL");
+      }
+      return Status::OK();
+    }
+    if (s.KeywordAt(0, "SET") && s.KeywordAt(1, "SELECTION") &&
+        s.KeywordAt(2, "IS")) {
+      return ParseSelection(s);
+    }
+    if (s.KeywordAt(0, "ORDER") && s.KeywordAt(1, "IS")) {
+      if (!set_.has_value()) {
+        return Status::ParseError("ORDER IS outside a SET declaration");
+      }
+      // ORDER IS SORTED BY <item>
+      if (s.KeywordAt(2, "SORTED") && s.KeywordAt(3, "BY") &&
+          s.tokens.size() == 5) {
+        set_->order = OrderMode::kSortedBy;
+        set_->order_item = s.tokens[4];
+        return Status::OK();
+      }
+      return Status::ParseError("malformed ORDER clause (expected ORDER IS "
+                                "SORTED BY <item>)");
+    }
+    return Status::ParseError("unrecognized DDL statement: '" +
+                              Join(s.tokens, " ") + "'");
+  }
+
+  Status ParseItem(const Statement& s) {
+    if (!record_.has_value()) {
+      return Status::ParseError("ITEM outside a RECORD declaration");
+    }
+    // ITEM <name> TYPE IS <type> [len [dec]]
+    if (s.tokens.size() < 5 || !s.KeywordAt(2, "TYPE") || !s.KeywordAt(3, "IS")) {
+      return Status::ParseError("malformed ITEM clause: '" +
+                                Join(s.tokens, " ") + "'");
+    }
+    Attribute attr;
+    attr.name = s.tokens[1];
+    const std::string& type = s.tokens[4];
+    if (EqualsIgnoreCase(type, "INTEGER")) {
+      attr.type = AttrType::kInteger;
+    } else if (EqualsIgnoreCase(type, "FLOAT")) {
+      attr.type = AttrType::kFloat;
+    } else if (EqualsIgnoreCase(type, "CHARACTER") ||
+               EqualsIgnoreCase(type, "STRING")) {
+      attr.type = AttrType::kString;
+    } else {
+      return Status::ParseError("unknown item type '" + type + "'");
+    }
+    if (s.tokens.size() >= 6) {
+      MLDS_ASSIGN_OR_RETURN(attr.length, ParseInt(s.tokens[5]));
+    }
+    if (s.tokens.size() >= 7) {
+      MLDS_ASSIGN_OR_RETURN(attr.decimal, ParseInt(s.tokens[6]));
+    }
+    if (record_->FindAttribute(attr.name) != nullptr) {
+      return Status::ParseError("duplicate item '" + attr.name +
+                                "' in record '" + record_->name + "'");
+    }
+    record_->attributes.push_back(std::move(attr));
+    return Status::OK();
+  }
+
+  Status ParseDuplicates(const Statement& s) {
+    // DUPLICATES ARE NOT ALLOWED FOR a [, b]...
+    if (!record_.has_value()) {
+      return Status::ParseError("DUPLICATES clause outside a RECORD");
+    }
+    size_t i = 1;
+    if (s.KeywordAt(i, "ARE")) ++i;
+    if (!s.KeywordAt(i, "NOT") || !s.KeywordAt(i + 1, "ALLOWED") ||
+        !s.KeywordAt(i + 2, "FOR")) {
+      return Status::ParseError("malformed DUPLICATES clause");
+    }
+    i += 3;
+    bool any = false;
+    for (; i < s.tokens.size(); ++i) {
+      if (s.tokens[i] == ",") continue;
+      Attribute* attr = record_->FindAttribute(s.tokens[i]);
+      if (attr == nullptr) {
+        return Status::ParseError("DUPLICATES clause names unknown item '" +
+                                  s.tokens[i] + "'");
+      }
+      attr->duplicates_allowed = false;
+      any = true;
+    }
+    if (!any) {
+      return Status::ParseError("DUPLICATES clause names no items");
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelection(const Statement& s) {
+    if (!set_.has_value()) {
+      return Status::ParseError("SET SELECTION outside a SET declaration");
+    }
+    // SET SELECTION IS BY APPLICATION
+    // SET SELECTION IS BY VALUE OF item IN record
+    // SET SELECTION IS BY STRUCTURAL item IN record1 = record2
+    // SET SELECTION IS NOT SPECIFIED
+    if (s.KeywordAt(3, "NOT") && s.KeywordAt(4, "SPECIFIED")) {
+      set_->selection.mode = SelectionMode::kNotSpecified;
+      return Status::OK();
+    }
+    if (!s.KeywordAt(3, "BY")) {
+      return Status::ParseError("malformed SET SELECTION clause");
+    }
+    if (s.KeywordAt(4, "APPLICATION")) {
+      set_->selection.mode = SelectionMode::kApplication;
+      return Status::OK();
+    }
+    if (s.KeywordAt(4, "VALUE")) {
+      // ... OF item IN record
+      if (!s.KeywordAt(5, "OF") || s.tokens.size() < 9 || !s.KeywordAt(7, "IN")) {
+        return Status::ParseError("malformed SET SELECTION BY VALUE clause");
+      }
+      set_->selection.mode = SelectionMode::kValue;
+      set_->selection.item_name = s.tokens[6];
+      set_->selection.record1_name = s.tokens[8];
+      return Status::OK();
+    }
+    if (s.KeywordAt(4, "STRUCTURAL")) {
+      // ... item IN record1 = record2
+      if (s.tokens.size() < 10 || !s.KeywordAt(6, "IN") || s.tokens[8] != "=") {
+        return Status::ParseError(
+            "malformed SET SELECTION BY STRUCTURAL clause");
+      }
+      set_->selection.mode = SelectionMode::kStructural;
+      set_->selection.item_name = s.tokens[5];
+      set_->selection.record1_name = s.tokens[7];
+      set_->selection.record2_name = s.tokens[9];
+      return Status::OK();
+    }
+    return Status::ParseError("unknown SET SELECTION mode");
+  }
+
+  Status FlushRecord() {
+    if (!record_.has_value()) return Status::OK();
+    Status status = schema_.AddRecord(std::move(*record_));
+    record_.reset();
+    return status;
+  }
+
+  Status FlushSet() {
+    if (!set_.has_value()) return Status::OK();
+    if (set_->owner.empty()) {
+      return Status::ParseError("set '" + set_->name + "' missing OWNER");
+    }
+    if (set_->members.empty()) {
+      return Status::ParseError("set '" + set_->name + "' missing MEMBER");
+    }
+    Status status = schema_.AddSet(std::move(*set_));
+    set_.reset();
+    return status;
+  }
+
+  Schema schema_;
+  std::optional<RecordType> record_;
+  std::optional<SetType> set_;
+};
+
+}  // namespace
+
+Result<Schema> ParseSchema(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                        TokenizeStatements(ddl));
+  SchemaBuilder builder;
+  return builder.Build(statements);
+}
+
+}  // namespace mlds::network

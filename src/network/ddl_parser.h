@@ -1,0 +1,35 @@
+#ifndef MLDS_NETWORK_DDL_PARSER_H_
+#define MLDS_NETWORK_DDL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "network/schema.h"
+
+namespace mlds::network {
+
+/// Parses a network schema written in the CODASYL-style DDL this library
+/// emits from Schema::ToDdl() (the Figure 5.1 notation):
+///
+///   SCHEMA NAME IS university;
+///
+///   RECORD NAME IS course;
+///     ITEM title TYPE IS CHARACTER 20;
+///     ITEM credits TYPE IS INTEGER;
+///     DUPLICATES ARE NOT ALLOWED FOR title;
+///
+///   SET NAME IS system_course;
+///     OWNER IS SYSTEM;
+///     MEMBER IS course;
+///     INSERTION IS AUTOMATIC;
+///     RETENTION IS FIXED;
+///     SET SELECTION IS BY APPLICATION;
+///
+/// Keywords are case-insensitive; identifiers preserve case. Statements
+/// terminate with ';'. Clauses after RECORD NAME / SET NAME attach to the
+/// most recent declaration. The parsed schema is validated before return.
+Result<Schema> ParseSchema(std::string_view ddl);
+
+}  // namespace mlds::network
+
+#endif  // MLDS_NETWORK_DDL_PARSER_H_

@@ -1,0 +1,186 @@
+#include "network/schema.h"
+
+namespace mlds::network {
+
+std::string_view AttrTypeToString(AttrType type) {
+  switch (type) {
+    case AttrType::kInteger:
+      return "INTEGER";
+    case AttrType::kFloat:
+      return "FLOAT";
+    case AttrType::kString:
+      return "CHARACTER";
+  }
+  return "?";
+}
+
+std::string_view InsertionModeToString(InsertionMode mode) {
+  switch (mode) {
+    case InsertionMode::kAutomatic:
+      return "AUTOMATIC";
+    case InsertionMode::kManual:
+      return "MANUAL";
+  }
+  return "?";
+}
+
+std::string_view RetentionModeToString(RetentionMode mode) {
+  switch (mode) {
+    case RetentionMode::kFixed:
+      return "FIXED";
+    case RetentionMode::kMandatory:
+      return "MANDATORY";
+    case RetentionMode::kOptional:
+      return "OPTIONAL";
+  }
+  return "?";
+}
+
+std::string_view SelectionModeToString(SelectionMode mode) {
+  switch (mode) {
+    case SelectionMode::kValue:
+      return "BY VALUE";
+    case SelectionMode::kStructural:
+      return "BY STRUCTURAL";
+    case SelectionMode::kApplication:
+      return "BY APPLICATION";
+    case SelectionMode::kNotSpecified:
+      return "NOT SPECIFIED";
+  }
+  return "?";
+}
+
+Status Schema::AddRecord(RecordType record) {
+  if (FindRecord(record.name) != nullptr) {
+    return Status::AlreadyExists("record type '" + record.name +
+                                 "' already declared");
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status Schema::AddSet(SetType set) {
+  if (FindSet(set.name) != nullptr) {
+    return Status::AlreadyExists("set type '" + set.name +
+                                 "' already declared");
+  }
+  sets_.push_back(std::move(set));
+  return Status::OK();
+}
+
+const RecordType* Schema::FindRecord(std::string_view name) const {
+  for (const auto& r : records_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+RecordType* Schema::FindRecord(std::string_view name) {
+  for (auto& r : records_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+const SetType* Schema::FindSet(std::string_view name) const {
+  for (const auto& s : sets_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const SetType*> Schema::SetsWithMember(
+    std::string_view record) const {
+  std::vector<const SetType*> out;
+  for (const auto& s : sets_) {
+    if (s.HasMember(record)) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const SetType*> Schema::SetsWithOwner(
+    std::string_view record) const {
+  std::vector<const SetType*> out;
+  for (const auto& s : sets_) {
+    if (s.owner == record) out.push_back(&s);
+  }
+  return out;
+}
+
+Status Schema::Validate() const {
+  for (const auto& set : sets_) {
+    if (!set.IsSystemOwned() && FindRecord(set.owner) == nullptr) {
+      return Status::InvalidArgument("set '" + set.name + "' owner '" +
+                                     set.owner + "' is not a record type");
+    }
+    if (set.members.empty()) {
+      return Status::InvalidArgument("set '" + set.name + "' has no members");
+    }
+    for (const auto& member : set.members) {
+      if (FindRecord(member) == nullptr) {
+        return Status::InvalidArgument("set '" + set.name + "' member '" +
+                                       member + "' is not a record type");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToDdl() const {
+  std::string out;
+  if (!name_.empty()) {
+    out += "SCHEMA NAME IS " + name_ + ";\n\n";
+  }
+  for (const auto& record : records_) {
+    out += "RECORD NAME IS " + record.name + ";\n";
+    std::vector<std::string> unique_items;
+    for (const auto& attr : record.attributes) {
+      out += "  ITEM " + attr.name + " TYPE IS ";
+      out += AttrTypeToString(attr.type);
+      if (attr.length > 0) {
+        out += " " + std::to_string(attr.length);
+        if (attr.type == AttrType::kFloat && attr.decimal > 0) {
+          out += " " + std::to_string(attr.decimal);
+        }
+      }
+      out += ";\n";
+      if (!attr.duplicates_allowed) unique_items.push_back(attr.name);
+    }
+    if (!unique_items.empty()) {
+      out += "  DUPLICATES ARE NOT ALLOWED FOR ";
+      for (size_t i = 0; i < unique_items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += unique_items[i];
+      }
+      out += ";\n";
+    }
+    out += "\n";
+  }
+  for (const auto& set : sets_) {
+    out += "SET NAME IS " + set.name + ";\n";
+    out += "  OWNER IS " + set.owner + ";\n";
+    for (const auto& member : set.members) {
+      out += "  MEMBER IS " + member + ";\n";
+    }
+    out += "  INSERTION IS " +
+           std::string(InsertionModeToString(set.insertion)) + ";\n";
+    out += "  RETENTION IS " +
+           std::string(RetentionModeToString(set.retention)) + ";\n";
+    if (set.order == OrderMode::kSortedBy) {
+      out += "  ORDER IS SORTED BY " + set.order_item + ";\n";
+    }
+    out += "  SET SELECTION IS " +
+           std::string(SelectionModeToString(set.selection.mode));
+    if (set.selection.mode == SelectionMode::kValue) {
+      out += " OF " + set.selection.item_name + " IN " +
+             set.selection.record1_name;
+    } else if (set.selection.mode == SelectionMode::kStructural) {
+      out += " " + set.selection.item_name + " IN " +
+             set.selection.record1_name + " = " + set.selection.record2_name;
+    }
+    out += ";\n\n";
+  }
+  return out;
+}
+
+}  // namespace mlds::network

@@ -1,0 +1,181 @@
+#ifndef MLDS_NETWORK_SCHEMA_H_
+#define MLDS_NETWORK_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlds::network {
+
+/// Attribute (data-item) types of the network model: the nan_type codes of
+/// the thesis's nattr_node ('I', 'F', 'S'; Figure 4.6).
+enum class AttrType {
+  kInteger,
+  kFloat,
+  kString,
+};
+
+std::string_view AttrTypeToString(AttrType type);
+
+/// One data-item of a record type (the thesis's nattr_node, Figure 4.6).
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kString;
+  /// Maximum value length (string/float display length); 0 = unbounded.
+  int length = 0;
+  /// Maximum decimal digits for floats.
+  int decimal = 0;
+  /// The nan_dup_flag: cleared by a DUPLICATES ARE NOT ALLOWED clause or
+  /// by the transformation of a Daplex uniqueness constraint / scalar
+  /// multi-valued function.
+  bool duplicates_allowed = true;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// A record type: a named collection of data-items (nrec_node, Fig. 4.5).
+struct RecordType {
+  std::string name;
+  std::vector<Attribute> attributes;
+
+  const Attribute* FindAttribute(std::string_view attr) const {
+    for (const auto& a : attributes) {
+      if (a.name == attr) return &a;
+    }
+    return nullptr;
+  }
+  Attribute* FindAttribute(std::string_view attr) {
+    for (auto& a : attributes) {
+      if (a.name == attr) return &a;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const RecordType&, const RecordType&) = default;
+};
+
+/// INSERTION IS AUTOMATIC / MANUAL (nsn_insert_mode).
+enum class InsertionMode {
+  kAutomatic,
+  kManual,
+};
+
+/// RETENTION IS FIXED / MANDATORY / OPTIONAL (nsn_retent_mode).
+enum class RetentionMode {
+  kFixed,
+  kMandatory,
+  kOptional,
+};
+
+/// SET SELECTION IS BY VALUE / STRUCTURAL / APPLICATION (set_select_node,
+/// Figure 4.4).
+enum class SelectionMode {
+  kValue,
+  kStructural,
+  kApplication,
+  kNotSpecified,
+};
+
+std::string_view InsertionModeToString(InsertionMode mode);
+std::string_view RetentionModeToString(RetentionMode mode);
+std::string_view SelectionModeToString(SelectionMode mode);
+
+/// The set selection clause (set_select_node).
+struct SetSelection {
+  SelectionMode mode = SelectionMode::kApplication;
+  std::string item_name;     // BY VALUE / STRUCTURAL: the selecting item.
+  std::string record1_name;  // BY VALUE / STRUCTURAL: the selected record.
+  std::string record2_name;  // BY STRUCTURAL only: the second record.
+
+  friend bool operator==(const SetSelection&, const SetSelection&) = default;
+};
+
+/// ORDER IS ... : how member records of a set occurrence are sequenced
+/// for the FIND FIRST/LAST/NEXT/PRIOR family.
+enum class OrderMode {
+  /// Default: members ordered by database key (insertion surrogate).
+  kByKey,
+  /// ORDER IS SORTED BY <item>: members ordered by a data item's value.
+  kSortedBy,
+};
+
+/// The distinguished owner of system sets.
+inline constexpr std::string_view kSystemOwner = "SYSTEM";
+
+/// A set type: a one-to-many relationship between the owner record type
+/// and the member record type(s) (nset_node, Figure 4.3).
+struct SetType {
+  std::string name;
+  std::string owner;  ///< record type name, or SYSTEM.
+  std::vector<std::string> members;
+  InsertionMode insertion = InsertionMode::kManual;
+  RetentionMode retention = RetentionMode::kOptional;
+  SetSelection selection;
+  OrderMode order = OrderMode::kByKey;
+  /// The sorting item for OrderMode::kSortedBy.
+  std::string order_item;
+
+  bool IsSystemOwned() const { return owner == kSystemOwner; }
+  bool HasMember(std::string_view record) const {
+    for (const auto& m : members) {
+      if (m == record) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const SetType&, const SetType&) = default;
+};
+
+/// A network database schema: the logical view defining every record type,
+/// data-item, and set relationship (net_dbid_node, Figure 4.2).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<RecordType>& records() const { return records_; }
+  const std::vector<SetType>& sets() const { return sets_; }
+
+  /// Adds a record type; rejects duplicates by name.
+  Status AddRecord(RecordType record);
+
+  /// Adds a set type; rejects duplicates by name.
+  Status AddSet(SetType set);
+
+  const RecordType* FindRecord(std::string_view name) const;
+  RecordType* FindRecord(std::string_view name);
+  const SetType* FindSet(std::string_view name) const;
+
+  /// Sets in which `record` participates as a member.
+  std::vector<const SetType*> SetsWithMember(std::string_view record) const;
+
+  /// Sets owned by `record`.
+  std::vector<const SetType*> SetsWithOwner(std::string_view record) const;
+
+  /// Checks referential consistency: every set's owner is SYSTEM or a
+  /// declared record type, every member is declared, a set has exactly one
+  /// owner and at least one member, and no record is both owner and
+  /// member of the same set... except that CODASYL permits the latter, so
+  /// it is allowed; cyclic ownership is permitted too.
+  Status Validate() const;
+
+  /// Renders the schema as CODASYL DDL text (the Figure 5.1 notation);
+  /// parseable by ParseSchema.
+  std::string ToDdl() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::string name_;
+  std::vector<RecordType> records_;
+  std::vector<SetType> sets_;
+};
+
+}  // namespace mlds::network
+
+#endif  // MLDS_NETWORK_SCHEMA_H_

@@ -1,0 +1,256 @@
+#include "relational/schema.h"
+
+#include <cctype>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace mlds::relational {
+
+std::string_view ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInteger:
+      return "INTEGER";
+    case ColumnType::kFloat:
+      return "FLOAT";
+    case ColumnType::kChar:
+      return "CHAR";
+  }
+  return "?";
+}
+
+Status Schema::AddTable(Table table) {
+  if (FindTable(table.name) != nullptr) {
+    return Status::AlreadyExists("table '" + table.name +
+                                 "' already declared");
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+const Table* Schema::FindTable(std::string_view name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+Status Schema::Validate() const {
+  for (const auto& table : tables_) {
+    if (table.columns.empty()) {
+      return Status::InvalidArgument("table '" + table.name +
+                                     "' has no columns");
+    }
+    for (const auto& column : table.columns) {
+      if (column.name == "FILE" || column.name == table.name) {
+        return Status::InvalidArgument(
+            "column '" + column.name + "' of table '" + table.name +
+            "' collides with a kernel-reserved keyword name");
+      }
+    }
+    for (const auto& unique : table.unique_columns) {
+      if (table.FindColumn(unique) == nullptr) {
+        return Status::InvalidArgument("UNIQUE names unknown column '" +
+                                       unique + "' in table '" + table.name +
+                                       "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToDdl() const {
+  std::string out;
+  if (!name_.empty()) out += "SCHEMA " + name_ + ";\n\n";
+  for (const auto& table : tables_) {
+    out += "CREATE TABLE " + table.name + " (\n";
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      const Column& c = table.columns[i];
+      out += "  " + c.name + " " + std::string(ColumnTypeToString(c.type));
+      if (c.type == ColumnType::kChar && c.length > 0) {
+        out += "(" + std::to_string(c.length) + ")";
+      }
+      if (c.not_null) out += " NOT NULL";
+      if (i + 1 < table.columns.size() || !table.unique_columns.empty()) {
+        out += ",";
+      }
+      out += "\n";
+    }
+    if (!table.unique_columns.empty()) {
+      out += "  UNIQUE (" + Join(table.unique_columns, ", ") + ")\n";
+    }
+    out += ");\n\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal tokenizer shared with the DDL parser below.
+struct Token {
+  enum class Kind { kWord, kNumber, kLParen, kRParen, kComma, kSemi, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view ddl) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < ddl.size()) {
+    const char c = ddl[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '-' && pos + 1 < ddl.size() && ddl[pos + 1] == '-') {
+      while (pos < ddl.size() && ddl[pos] != '\n') ++pos;
+    } else if (c == '(') {
+      out.push_back({Token::Kind::kLParen, "("});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({Token::Kind::kRParen, ")"});
+      ++pos;
+    } else if (c == ',') {
+      out.push_back({Token::Kind::kComma, ","});
+      ++pos;
+    } else if (c == ';') {
+      out.push_back({Token::Kind::kSemi, ";"});
+      ++pos;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             std::isdigit(static_cast<unsigned char>(ddl[end]))) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kNumber, std::string(ddl.substr(pos, end - pos))});
+      pos = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < ddl.size() &&
+             (std::isalnum(static_cast<unsigned char>(ddl[end])) ||
+              ddl[end] == '_')) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kWord, std::string(ddl.substr(pos, end - pos))});
+      pos = end;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in relational DDL");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, ""});
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> ParseRelationalSchema(std::string_view ddl) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(ddl));
+  Schema schema;
+  size_t pos = 0;
+  auto peek = [&]() -> const Token& {
+    return pos < tokens.size() ? tokens[pos] : tokens.back();
+  };
+  auto word_is = [&](std::string_view w) {
+    return peek().kind == Token::Kind::kWord && EqualsIgnoreCase(peek().text, w);
+  };
+  auto consume = [&](std::string_view w) {
+    if (word_is(w)) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  auto expect = [&](Token::Kind kind, std::string_view what) -> Status {
+    if (peek().kind != kind) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                peek().text + "'");
+    }
+    ++pos;
+    return Status::OK();
+  };
+
+  while (peek().kind != Token::Kind::kEnd) {
+    if (consume("SCHEMA")) {
+      if (peek().kind != Token::Kind::kWord) {
+        return Status::ParseError("expected schema name");
+      }
+      schema.set_name(tokens[pos++].text);
+      MLDS_RETURN_IF_ERROR(expect(Token::Kind::kSemi, "';'"));
+      continue;
+    }
+    if (!consume("CREATE") || !consume("TABLE")) {
+      return Status::ParseError("expected CREATE TABLE, got '" + peek().text +
+                                "'");
+    }
+    Table table;
+    if (peek().kind != Token::Kind::kWord) {
+      return Status::ParseError("expected table name");
+    }
+    table.name = tokens[pos++].text;
+    MLDS_RETURN_IF_ERROR(expect(Token::Kind::kLParen, "'('"));
+    while (true) {
+      if (consume("UNIQUE")) {
+        MLDS_RETURN_IF_ERROR(expect(Token::Kind::kLParen, "'(' after UNIQUE"));
+        while (true) {
+          if (peek().kind != Token::Kind::kWord) {
+            return Status::ParseError("expected column in UNIQUE list");
+          }
+          table.unique_columns.push_back(tokens[pos++].text);
+          if (peek().kind == Token::Kind::kComma) {
+            ++pos;
+            continue;
+          }
+          break;
+        }
+        MLDS_RETURN_IF_ERROR(expect(Token::Kind::kRParen, "')' after UNIQUE"));
+      } else {
+        Column column;
+        if (peek().kind != Token::Kind::kWord) {
+          return Status::ParseError("expected column name, got '" +
+                                    peek().text + "'");
+        }
+        column.name = tokens[pos++].text;
+        if (consume("INTEGER") || consume("INT")) {
+          column.type = ColumnType::kInteger;
+        } else if (consume("FLOAT") || consume("REAL")) {
+          column.type = ColumnType::kFloat;
+        } else if (consume("CHAR") || consume("VARCHAR")) {
+          column.type = ColumnType::kChar;
+          if (peek().kind == Token::Kind::kLParen) {
+            ++pos;
+            if (peek().kind != Token::Kind::kNumber) {
+              return Status::ParseError("expected CHAR length");
+            }
+            column.length = std::stoi(tokens[pos++].text);
+            MLDS_RETURN_IF_ERROR(expect(Token::Kind::kRParen, "')'"));
+          }
+        } else {
+          return Status::ParseError("unknown column type '" + peek().text +
+                                    "'");
+        }
+        if (consume("NOT")) {
+          if (!consume("NULL")) {
+            return Status::ParseError("expected NULL after NOT");
+          }
+          column.not_null = true;
+        }
+        if (table.FindColumn(column.name) != nullptr) {
+          return Status::ParseError("duplicate column '" + column.name +
+                                    "' in table '" + table.name + "'");
+        }
+        table.columns.push_back(std::move(column));
+      }
+      if (peek().kind == Token::Kind::kComma) {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(expect(Token::Kind::kRParen, "')' closing table"));
+    MLDS_RETURN_IF_ERROR(expect(Token::Kind::kSemi, "';'"));
+    MLDS_RETURN_IF_ERROR(schema.AddTable(std::move(table)));
+  }
+  MLDS_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace mlds::relational

@@ -1,0 +1,93 @@
+#ifndef MLDS_RELATIONAL_SCHEMA_H_
+#define MLDS_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mlds::relational {
+
+/// Column types of the relational model, mirroring the network model's
+/// attribute types (MLDS maps every user model onto the same kernel
+/// domains).
+enum class ColumnType {
+  kInteger,
+  kFloat,
+  kChar,
+};
+
+std::string_view ColumnTypeToString(ColumnType type);
+
+/// One column of a table.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kChar;
+  int length = 0;  ///< CHAR(n) length; 0 = unbounded.
+  /// Declared NOT NULL.
+  bool not_null = false;
+
+  friend bool operator==(const Column&, const Column&) = default;
+};
+
+/// A relation: a named set of columns plus at most one UNIQUE constraint
+/// (a column combination that identifies tuples).
+struct Table {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<std::string> unique_columns;
+
+  const Column* FindColumn(std::string_view column) const {
+    for (const auto& c : columns) {
+      if (c.name == column) return &c;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const Table&, const Table&) = default;
+};
+
+/// A relational database schema (the rel_dbid_node arm of the thesis's
+/// dbid_node union, Figure 4.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Table>& tables() const { return tables_; }
+
+  Status AddTable(Table table);
+  const Table* FindTable(std::string_view name) const;
+
+  Status Validate() const;
+
+  /// Renders CREATE TABLE DDL, parseable by ParseRelationalSchema.
+  std::string ToDdl() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+};
+
+/// Parses SQL-style relational DDL:
+///
+///   SCHEMA registrar;
+///   CREATE TABLE course (
+///     title CHAR(20) NOT NULL,
+///     credits INTEGER,
+///     UNIQUE (title)
+///   );
+///
+/// Keywords are case-insensitive; identifiers preserve case; `--` starts
+/// a line comment.
+Result<Schema> ParseRelationalSchema(std::string_view ddl);
+
+}  // namespace mlds::relational
+
+#endif  // MLDS_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,457 @@
+#include "sql/ast.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace mlds::sql {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kWord,
+    kLiteral,
+    kStar,
+    kComma,
+    kDot,
+    kLParen,
+    kRParen,
+    kRelOp,
+    kSemi,
+    kEnd
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  abdm::Value literal;
+  abdm::RelOp rel = abdm::RelOp::kEq;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '*') {
+      out.push_back({Token::Kind::kStar, "*", {}, {}});
+      ++pos;
+    } else if (c == ',') {
+      out.push_back({Token::Kind::kComma, ",", {}, {}});
+      ++pos;
+    } else if (c == '.') {
+      out.push_back({Token::Kind::kDot, ".", {}, {}});
+      ++pos;
+    } else if (c == ';') {
+      out.push_back({Token::Kind::kSemi, ";", {}, {}});
+      ++pos;
+    } else if (c == '(') {
+      out.push_back({Token::Kind::kLParen, "(", {}, {}});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({Token::Kind::kRParen, ")", {}, {}});
+      ++pos;
+    } else if (c == '=') {
+      out.push_back({Token::Kind::kRelOp, "=", {}, abdm::RelOp::kEq});
+      ++pos;
+    } else if (c == '!' && pos + 1 < text.size() && text[pos + 1] == '=') {
+      out.push_back({Token::Kind::kRelOp, "!=", {}, abdm::RelOp::kNe});
+      pos += 2;
+    } else if (c == '<') {
+      if (pos + 1 < text.size() && text[pos + 1] == '=') {
+        out.push_back({Token::Kind::kRelOp, "<=", {}, abdm::RelOp::kLe});
+        pos += 2;
+      } else if (pos + 1 < text.size() && text[pos + 1] == '>') {
+        out.push_back({Token::Kind::kRelOp, "<>", {}, abdm::RelOp::kNe});
+        pos += 2;
+      } else {
+        out.push_back({Token::Kind::kRelOp, "<", {}, abdm::RelOp::kLt});
+        ++pos;
+      }
+    } else if (c == '>') {
+      if (pos + 1 < text.size() && text[pos + 1] == '=') {
+        out.push_back({Token::Kind::kRelOp, ">=", {}, abdm::RelOp::kGe});
+        pos += 2;
+      } else {
+        out.push_back({Token::Kind::kRelOp, ">", {}, abdm::RelOp::kGt});
+        ++pos;
+      }
+    } else if (c == '\'') {
+      size_t end = pos + 1;
+      while (end < text.size() && text[end] != '\'') ++end;
+      if (end >= text.size()) {
+        return Status::ParseError("unterminated string literal in SQL");
+      }
+      out.push_back({Token::Kind::kLiteral, "",
+                     abdm::Value::String(
+                         std::string(text.substr(pos + 1, end - pos - 1))),
+                     {}});
+      pos = end + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && pos + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.')) {
+        ++end;
+      }
+      out.push_back({Token::Kind::kLiteral, "",
+                     abdm::Value::Parse(text.substr(pos, end - pos)), {}});
+      pos = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      out.push_back(
+          {Token::Kind::kWord, std::string(text.substr(pos, end - pos)), {}, {}});
+      pos = end;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in SQL");
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", {}, {}});
+  return out;
+}
+
+/// Boolean expression over comparisons, flattened to DNF after parsing.
+struct BoolExpr {
+  enum class Kind { kLeaf, kAnd, kOr } kind = Kind::kLeaf;
+  SqlComparison leaf;
+  std::vector<BoolExpr> children;
+};
+
+std::vector<std::vector<SqlComparison>> ToDnf(const BoolExpr& e) {
+  switch (e.kind) {
+    case BoolExpr::Kind::kLeaf:
+      return {{e.leaf}};
+    case BoolExpr::Kind::kOr: {
+      std::vector<std::vector<SqlComparison>> out;
+      for (const auto& child : e.children) {
+        auto sub = ToDnf(child);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case BoolExpr::Kind::kAnd: {
+      std::vector<std::vector<SqlComparison>> acc = {{}};
+      for (const auto& child : e.children) {
+        auto sub = ToDnf(child);
+        std::vector<std::vector<SqlComparison>> next;
+        for (const auto& a : acc) {
+          for (const auto& b : sub) {
+            auto merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlStatement> Parse() {
+    MLDS_ASSIGN_OR_RETURN(SqlStatement stmt, ParseStatement());
+    if (Peek().kind == Token::Kind::kSemi) Advance();
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::ParseError("trailing input after SQL statement: '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool WordIs(std::string_view w, size_t ahead = 0) const {
+    return Peek(ahead).kind == Token::Kind::kWord &&
+           EqualsIgnoreCase(Peek(ahead).text, w);
+  }
+  bool Consume(std::string_view w) {
+    if (WordIs(w)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectWord(std::string_view w) {
+    if (!Consume(w)) {
+      return Status::ParseError("expected '" + std::string(w) + "', got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectName(std::string_view what) {
+    if (Peek().kind != Token::Kind::kWord) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Peek().text + "'");
+    }
+    return Advance().text;
+  }
+  Status Expect(Token::Kind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError("expected " + std::string(what) + ", got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    MLDS_ASSIGN_OR_RETURN(std::string first, ExpectName("column"));
+    if (Peek().kind == Token::Kind::kDot) {
+      Advance();
+      MLDS_ASSIGN_OR_RETURN(std::string column, ExpectName("column"));
+      return ColumnRef{std::move(first), std::move(column)};
+    }
+    return ColumnRef{"", std::move(first)};
+  }
+
+  Result<SqlStatement> ParseStatement() {
+    if (Consume("SELECT")) return ParseSelect();
+    if (Consume("INSERT")) return ParseInsert();
+    if (Consume("UPDATE")) return ParseUpdate();
+    if (Consume("DELETE")) return ParseDelete();
+    return Status::ParseError("expected SELECT, INSERT, UPDATE, or DELETE");
+  }
+
+  Result<SqlStatement> ParseSelect() {
+    SelectStatement stmt;
+    while (true) {
+      SelectItem item;
+      if (Peek().kind == Token::Kind::kStar) {
+        Advance();
+        item.star = true;
+      } else {
+        const std::string upper = ToUpper(Peek().text);
+        if ((upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+             upper == "MIN" || upper == "MAX") &&
+            Peek(1).kind == Token::Kind::kLParen) {
+          Advance();
+          Advance();
+          item.aggregate = upper == "COUNT"  ? SqlAggregate::kCount
+                           : upper == "SUM" ? SqlAggregate::kSum
+                           : upper == "AVG" ? SqlAggregate::kAvg
+                           : upper == "MIN" ? SqlAggregate::kMin
+                                            : SqlAggregate::kMax;
+          if (Peek().kind == Token::Kind::kStar) {
+            Advance();
+            item.star = true;  // COUNT(*)
+          } else {
+            MLDS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+          }
+          MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+        } else {
+          MLDS_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (Peek().kind == Token::Kind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(ExpectWord("FROM"));
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string table, ExpectName("table"));
+      stmt.from.push_back(std::move(table));
+      if (Peek().kind == Token::Kind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (stmt.from.size() > 2) {
+      return Status::Unimplemented(
+          "SELECT supports at most two tables (the RETRIEVE-COMMON join)");
+    }
+    if (Consume("WHERE")) {
+      MLDS_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    if (Consume("GROUP")) {
+      MLDS_RETURN_IF_ERROR(ExpectWord("BY"));
+      MLDS_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      stmt.group_by = ref.column;
+    }
+    if (Consume("ORDER")) {
+      MLDS_RETURN_IF_ERROR(ExpectWord("BY"));
+      MLDS_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      stmt.order_by = ref.column;
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  Result<WhereClause> ParseWhere() {
+    MLDS_ASSIGN_OR_RETURN(BoolExpr expr, ParseOr());
+    WhereClause where;
+    where.disjuncts = ToDnf(expr);
+    return where;
+  }
+
+  Result<BoolExpr> ParseOr() {
+    MLDS_ASSIGN_OR_RETURN(BoolExpr left, ParseAnd());
+    if (!WordIs("OR")) return left;
+    BoolExpr node;
+    node.kind = BoolExpr::Kind::kOr;
+    node.children.push_back(std::move(left));
+    while (Consume("OR")) {
+      MLDS_ASSIGN_OR_RETURN(BoolExpr next, ParseAnd());
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<BoolExpr> ParseAnd() {
+    MLDS_ASSIGN_OR_RETURN(BoolExpr left, ParsePrimary());
+    if (!WordIs("AND")) return left;
+    BoolExpr node;
+    node.kind = BoolExpr::Kind::kAnd;
+    node.children.push_back(std::move(left));
+    while (Consume("AND")) {
+      MLDS_ASSIGN_OR_RETURN(BoolExpr next, ParsePrimary());
+      node.children.push_back(std::move(next));
+    }
+    return node;
+  }
+
+  Result<BoolExpr> ParsePrimary() {
+    if (Peek().kind == Token::Kind::kLParen) {
+      Advance();
+      MLDS_ASSIGN_OR_RETURN(BoolExpr inner, ParseOr());
+      MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+      return inner;
+    }
+    BoolExpr leaf;
+    leaf.kind = BoolExpr::Kind::kLeaf;
+    MLDS_ASSIGN_OR_RETURN(leaf.leaf.left, ParseColumnRef());
+    if (Peek().kind != Token::Kind::kRelOp) {
+      return Status::ParseError("expected comparison operator after '" +
+                                leaf.leaf.left.ToString() + "'");
+    }
+    leaf.leaf.op = Advance().rel;
+    if (Peek().kind == Token::Kind::kLiteral) {
+      leaf.leaf.value = Advance().literal;
+    } else if (WordIs("NULL")) {
+      Advance();
+      leaf.leaf.value = abdm::Value::Null();
+    } else if (Peek().kind == Token::Kind::kWord) {
+      MLDS_ASSIGN_OR_RETURN(ColumnRef right, ParseColumnRef());
+      leaf.leaf.right_column = std::move(right);
+    } else {
+      return Status::ParseError("expected literal or column after operator");
+    }
+    return leaf;
+  }
+
+  Result<SqlStatement> ParseInsert() {
+    MLDS_RETURN_IF_ERROR(ExpectWord("INTO"));
+    InsertStatement stmt;
+    MLDS_ASSIGN_OR_RETURN(stmt.table, ExpectName("table"));
+    MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "'('"));
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string column, ExpectName("column"));
+      stmt.columns.push_back(std::move(column));
+      if (Peek().kind == Token::Kind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+    MLDS_RETURN_IF_ERROR(ExpectWord("VALUES"));
+    MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "'('"));
+    while (true) {
+      if (Peek().kind == Token::Kind::kLiteral) {
+        stmt.values.push_back(Advance().literal);
+      } else if (WordIs("NULL")) {
+        Advance();
+        stmt.values.push_back(abdm::Value::Null());
+      } else {
+        return Status::ParseError("expected literal in VALUES list");
+      }
+      if (Peek().kind == Token::Kind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+    if (stmt.columns.size() != stmt.values.size()) {
+      return Status::ParseError("INSERT column/value count mismatch");
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  Result<SqlStatement> ParseUpdate() {
+    UpdateStatement stmt;
+    MLDS_ASSIGN_OR_RETURN(stmt.table, ExpectName("table"));
+    MLDS_RETURN_IF_ERROR(ExpectWord("SET"));
+    while (true) {
+      MLDS_ASSIGN_OR_RETURN(std::string column, ExpectName("column"));
+      if (Peek().kind != Token::Kind::kRelOp ||
+          Peek().rel != abdm::RelOp::kEq) {
+        return Status::ParseError("expected '=' in SET clause");
+      }
+      Advance();
+      abdm::Value value;
+      if (Peek().kind == Token::Kind::kLiteral) {
+        value = Advance().literal;
+      } else if (WordIs("NULL")) {
+        Advance();
+        value = abdm::Value::Null();
+      } else {
+        return Status::ParseError("expected literal in SET clause");
+      }
+      stmt.assignments.emplace_back(std::move(column), std::move(value));
+      if (Peek().kind == Token::Kind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Consume("WHERE")) {
+      MLDS_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  Result<SqlStatement> ParseDelete() {
+    MLDS_RETURN_IF_ERROR(ExpectWord("FROM"));
+    DeleteStatement stmt;
+    MLDS_ASSIGN_OR_RETURN(stmt.table, ExpectName("table"));
+    if (Consume("WHERE")) {
+      MLDS_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlStatement> ParseSql(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace mlds::sql

@@ -1,0 +1,309 @@
+#include "transform/fun_to_net.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mlds::transform {
+
+namespace {
+
+using daplex::FunctionClass;
+using daplex::FunctionalSchema;
+using daplex::ScalarKind;
+using network::Attribute;
+using network::AttrType;
+using network::InsertionMode;
+using network::RecordType;
+using network::RetentionMode;
+using network::SelectionMode;
+using network::SetType;
+
+/// Maps a Daplex non-entity/scalar kind to a network attribute type
+/// (Ch. V.C): strings and enumerations (and booleans) become characters,
+/// integers become integers, floating-points become floating-points.
+AttrType MapScalarKind(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kInteger:
+      return AttrType::kInteger;
+    case ScalarKind::kFloat:
+      return AttrType::kFloat;
+    case ScalarKind::kString:
+    case ScalarKind::kBoolean:
+    case ScalarKind::kEnumeration:
+      return AttrType::kString;
+  }
+  return AttrType::kString;
+}
+
+SetType MakeSet(std::string name, std::string owner, std::string member,
+                InsertionMode insertion, RetentionMode retention) {
+  SetType set;
+  set.name = std::move(name);
+  set.owner = std::move(owner);
+  set.members = {std::move(member)};
+  set.insertion = insertion;
+  set.retention = retention;
+  // When a record is inserted into a set the set must be the current of
+  // the set type, so set selection is always BY APPLICATION (Ch. V.F).
+  set.selection.mode = SelectionMode::kApplication;
+  return set;
+}
+
+class Transformer {
+ public:
+  explicit Transformer(const FunctionalSchema& schema) : fun_(schema) {}
+
+  Result<FunNetMapping> Run() {
+    mapping_.schema.set_name(fun_.name());
+
+    // Pass 1: declare a record type for every entity type and subtype so
+    // that function sets can reference them in any order.
+    for (const auto& entity : fun_.entities()) {
+      MLDS_RETURN_IF_ERROR(DeclareRecord(entity.name, entity.functions));
+    }
+    for (const auto& sub : fun_.subtypes()) {
+      MLDS_RETURN_IF_ERROR(DeclareRecord(sub.name, sub.functions));
+    }
+
+    // Pass 2: SYSTEM sets for entity types, ISA sets for subtypes.
+    for (const auto& entity : fun_.entities()) {
+      MLDS_RETURN_IF_ERROR(AddSystemSet(entity.name));
+    }
+    for (const auto& sub : fun_.subtypes()) {
+      for (const auto& super : sub.supertypes) {
+        MLDS_RETURN_IF_ERROR(AddIsaSet(super, sub.name));
+      }
+    }
+
+    // Pass 3: sets for entity-valued functions (single- and multi-valued,
+    // with many-to-many detection).
+    for (const auto& entity : fun_.entities()) {
+      MLDS_RETURN_IF_ERROR(AddFunctionSets(entity.name, entity.functions));
+    }
+    for (const auto& sub : fun_.subtypes()) {
+      MLDS_RETURN_IF_ERROR(AddFunctionSets(sub.name, sub.functions));
+    }
+
+    // Pass 4: uniqueness constraints -> DUPLICATES ARE NOT ALLOWED.
+    for (const auto& uc : fun_.uniqueness()) {
+      MLDS_RETURN_IF_ERROR(ApplyUniqueness(uc));
+    }
+
+    // Pass 5: the Overlap Table.
+    mapping_.overlap_table = fun_.overlaps();
+
+    MLDS_RETURN_IF_ERROR(mapping_.schema.Validate());
+    return std::move(mapping_);
+  }
+
+ private:
+  /// Declares the record type for an entity type or subtype: scalar and
+  /// scalar multi-valued functions become attributes (Ch. V.A).
+  Status DeclareRecord(const std::string& type_name,
+                       const std::vector<daplex::Function>& functions) {
+    RecordType record;
+    record.name = type_name;
+    for (const auto& fn : functions) {
+      const FunctionClass cls = fun_.Classify(fn);
+      if (cls != FunctionClass::kScalar &&
+          cls != FunctionClass::kScalarMultiValued) {
+        continue;
+      }
+      auto kind = fun_.ResolveScalarKind(fn);
+      if (!kind.has_value()) {
+        return Status::Internal("scalar function '" + type_name + "." +
+                                fn.name + "' has no resolvable kind");
+      }
+      Attribute attr;
+      attr.name = fn.name;
+      attr.type = MapScalarKind(*kind);
+      attr.length = fun_.ResolveMaxLength(fn);
+      if (cls == FunctionClass::kScalarMultiValued) {
+        // Only one occurrence of the scalar multi-valued function's value
+        // may be stored per record, so the attribute cannot have
+        // duplicates within a record occurrence (Ch. V.A).
+        attr.duplicates_allowed = false;
+        mapping_.scalar_multi_valued[type_name].push_back(fn.name);
+      }
+      record.attributes.push_back(std::move(attr));
+    }
+    return mapping_.schema.AddRecord(std::move(record));
+  }
+
+  Status AddSystemSet(const std::string& entity) {
+    // A set type owned by SYSTEM can never allow its member record types
+    // to change owners: retention fixed, insertion automatic (Ch. V.F).
+    std::string name = SystemSetName(entity);
+    MLDS_RETURN_IF_ERROR(mapping_.schema.AddSet(
+        MakeSet(name, std::string(network::kSystemOwner), entity,
+                InsertionMode::kAutomatic, RetentionMode::kFixed)));
+    mapping_.set_info[name] = SetInfo{SetOrigin::kSystem, "", "", false, ""};
+    return Status::OK();
+  }
+
+  Status AddIsaSet(const std::string& super, const std::string& sub) {
+    // A member record transformed from an entity subtype always belongs
+    // to the same owner: retention fixed, insertion automatic (Ch. V.F).
+    std::string name = IsaSetName(super, sub);
+    MLDS_RETURN_IF_ERROR(mapping_.schema.AddSet(
+        MakeSet(name, super, sub, InsertionMode::kAutomatic,
+                RetentionMode::kFixed)));
+    mapping_.set_info[name] = SetInfo{SetOrigin::kIsa, "", "", false, ""};
+    return Status::OK();
+  }
+
+  Status AddFunctionSets(const std::string& domain,
+                         const std::vector<daplex::Function>& functions) {
+    for (const auto& fn : functions) {
+      const FunctionClass cls = fun_.Classify(fn);
+      if (cls == FunctionClass::kSingleValued) {
+        MLDS_RETURN_IF_ERROR(AddSingleValuedSet(domain, fn));
+      } else if (cls == FunctionClass::kMultiValued) {
+        MLDS_RETURN_IF_ERROR(AddMultiValuedSet(domain, fn));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Single-valued function f: domain -> range. The owner and ancestor of
+  /// the set is the record type of the *range* entity; the member is the
+  /// record type of the *domain* entity (Ch. V.A).
+  Status AddSingleValuedSet(const std::string& domain,
+                            const daplex::Function& fn) {
+    MLDS_RETURN_IF_ERROR(mapping_.schema.AddSet(
+        MakeSet(fn.name, fn.target, domain, InsertionMode::kManual,
+                RetentionMode::kOptional)));
+    mapping_.set_info[fn.name] =
+        SetInfo{SetOrigin::kSingleValuedFunction, fn.name, domain,
+                /*function_on_owner_side=*/false, ""};
+    return Status::OK();
+  }
+
+  /// Multi-valued function f: domain -> SET OF range. Many-to-many when
+  /// the range type has a distinct multi-valued function back to the
+  /// domain type (Ch. V.A); otherwise one-to-many.
+  Status AddMultiValuedSet(const std::string& domain,
+                           const daplex::Function& fn) {
+    if (consumed_many_to_many_.count(domain + "." + fn.name) > 0) {
+      return Status::OK();  // already emitted as a pair partner.
+    }
+    const daplex::Function* inverse = FindInverse(domain, fn);
+    if (inverse != nullptr) {
+      // Many-to-many: a new link_X record type, plus one set per side,
+      // each owned by the respective entity with link_X as member.
+      const std::string link =
+          "link_" + std::to_string(mapping_.link_records.size() + 1);
+      MLDS_RETURN_IF_ERROR(
+          mapping_.schema.AddRecord(RecordType{link, {}}));
+      mapping_.link_records.push_back(link);
+
+      MLDS_RETURN_IF_ERROR(mapping_.schema.AddSet(
+          MakeSet(fn.name, domain, link, InsertionMode::kManual,
+                  RetentionMode::kOptional)));
+      mapping_.set_info[fn.name] =
+          SetInfo{SetOrigin::kManyToManyFunction, fn.name, domain,
+                  /*function_on_owner_side=*/true, link};
+
+      MLDS_RETURN_IF_ERROR(mapping_.schema.AddSet(
+          MakeSet(inverse->name, fn.target, link, InsertionMode::kManual,
+                  RetentionMode::kOptional)));
+      mapping_.set_info[inverse->name] =
+          SetInfo{SetOrigin::kManyToManyFunction, inverse->name, fn.target,
+                  /*function_on_owner_side=*/true, link};
+      consumed_many_to_many_.insert(fn.target + "." + inverse->name);
+      return Status::OK();
+    }
+    // One-to-many: owner = domain record type, member = range record type.
+    MLDS_RETURN_IF_ERROR(mapping_.schema.AddSet(
+        MakeSet(fn.name, domain, fn.target, InsertionMode::kManual,
+                RetentionMode::kOptional)));
+    mapping_.set_info[fn.name] =
+        SetInfo{SetOrigin::kOneToManyFunction, fn.name, domain,
+                /*function_on_owner_side=*/true, ""};
+    return Status::OK();
+  }
+
+  /// Finds a distinct multi-valued function on `fn.target` whose range is
+  /// `domain` and that has not already been paired.
+  const daplex::Function* FindInverse(const std::string& domain,
+                                      const daplex::Function& fn) const {
+    const std::vector<daplex::Function>* candidates =
+        fun_.FunctionsOf(fn.target);
+    if (candidates == nullptr) return nullptr;
+    for (const auto& g : *candidates) {
+      if (&g == &fn) continue;  // self-inverse single function: one-to-many.
+      if (fun_.Classify(g) != FunctionClass::kMultiValued) continue;
+      if (g.target != domain) continue;
+      if (consumed_many_to_many_.count(fn.target + "." + g.name) > 0) continue;
+      return &g;
+    }
+    return nullptr;
+  }
+
+  /// Ch. V.D: locate the record transformed from the constrained type,
+  /// then clear the duplicates flag on each named attribute.
+  Status ApplyUniqueness(const daplex::UniquenessConstraint& uc) {
+    RecordType* record = mapping_.schema.FindRecord(uc.within);
+    if (record == nullptr) {
+      return Status::Internal("uniqueness constraint names unknown record '" +
+                              uc.within + "'");
+    }
+    for (const auto& fname : uc.functions) {
+      Attribute* attr = record->FindAttribute(fname);
+      if (attr == nullptr) {
+        // Entity-valued unique functions have no attribute counterpart;
+        // their uniqueness rides on the set representation.
+        continue;
+      }
+      attr->duplicates_allowed = false;
+    }
+    return Status::OK();
+  }
+
+  const FunctionalSchema& fun_;
+  FunNetMapping mapping_;
+  std::set<std::string> consumed_many_to_many_;
+};
+
+}  // namespace
+
+std::string_view SetOriginToString(SetOrigin origin) {
+  switch (origin) {
+    case SetOrigin::kSystem:
+      return "system";
+    case SetOrigin::kIsa:
+      return "ISA";
+    case SetOrigin::kSingleValuedFunction:
+      return "single-valued function";
+    case SetOrigin::kOneToManyFunction:
+      return "one-to-many function";
+    case SetOrigin::kManyToManyFunction:
+      return "many-to-many function";
+  }
+  return "?";
+}
+
+bool FunNetMapping::IsScalarMultiValued(std::string_view record,
+                                        std::string_view attribute) const {
+  auto it = scalar_multi_valued.find(record);
+  if (it == scalar_multi_valued.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), attribute) !=
+         it->second.end();
+}
+
+std::string SystemSetName(std::string_view entity) {
+  return "system_" + std::string(entity);
+}
+
+std::string IsaSetName(std::string_view supertype, std::string_view subtype) {
+  return std::string(supertype) + "_" + std::string(subtype);
+}
+
+Result<FunNetMapping> TransformFunctionalToNetwork(
+    const daplex::FunctionalSchema& schema) {
+  MLDS_RETURN_IF_ERROR(schema.Validate());
+  Transformer transformer(schema);
+  return transformer.Run();
+}
+
+}  // namespace mlds::transform

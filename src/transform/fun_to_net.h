@@ -1,0 +1,95 @@
+#ifndef MLDS_TRANSFORM_FUN_TO_NET_H_
+#define MLDS_TRANSFORM_FUN_TO_NET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "daplex/schema.h"
+#include "network/schema.h"
+
+namespace mlds::transform {
+
+/// Why a set type exists in a transformed schema. KMS consults this when
+/// translating CONNECT / DISCONNECT / FIND statements, because the thesis
+/// distinguishes sets reflecting ISA relationships from sets representing
+/// Daplex functions (Ch. VI.D).
+enum class SetOrigin {
+  /// The SYSTEM-owned set every entity record type belongs to.
+  kSystem,
+  /// An ISA set linking a subtype record to its supertype record.
+  kIsa,
+  /// A single-valued entity function: owner = range type, member = domain.
+  kSingleValuedFunction,
+  /// A one-to-many multi-valued function: owner = domain, member = range.
+  kOneToManyFunction,
+  /// One side of a many-to-many pair: owner = domain, member = link record.
+  kManyToManyFunction,
+};
+
+std::string_view SetOriginToString(SetOrigin origin);
+
+/// Everything KMS needs to know about one transformed set type.
+struct SetInfo {
+  SetOrigin origin = SetOrigin::kSystem;
+  /// For function sets: the Daplex function this set represents.
+  std::string function_name;
+  /// For function sets: the entity/subtype the function is declared on.
+  std::string function_domain;
+  /// True when the Daplex function belongs to the set's *owner* record
+  /// type (one-to-many and many-to-many); false when it belongs to the
+  /// member (single-valued). Drives the owner/member CONNECT cases.
+  bool function_on_owner_side = false;
+  /// For many-to-many sets: the link record type that is the set member.
+  std::string link_record;
+};
+
+/// The product of the functional-to-network transformation: the network
+/// schema plus the metadata that records where each construct came from.
+struct FunNetMapping {
+  network::Schema schema;
+  /// Per-set provenance, keyed by set name.
+  std::map<std::string, SetInfo, std::less<>> set_info;
+  /// Record types created for many-to-many relationships (link_1, ...).
+  std::vector<std::string> link_records;
+  /// Attributes per record that represent scalar multi-valued functions
+  /// (record name -> attribute names). These need the duplicated-record
+  /// treatment in the AB representation (Ch. VI.D.2.a cases 2 and 4).
+  std::map<std::string, std::vector<std::string>, std::less<>>
+      scalar_multi_valued;
+  /// The Overlap Table (Ch. V.E): overlap constraints carried over from
+  /// the functional schema, verified before STOREs add subtype records.
+  std::vector<daplex::OverlapConstraint> overlap_table;
+
+  const SetInfo* FindSetInfo(std::string_view set_name) const {
+    auto it = set_info.find(set_name);
+    return it == set_info.end() ? nullptr : &it->second;
+  }
+  bool IsScalarMultiValued(std::string_view record,
+                           std::string_view attribute) const;
+};
+
+/// Name of the SYSTEM-owned set an entity record type belongs to.
+std::string SystemSetName(std::string_view entity);
+
+/// Name of the ISA set linking `supertype` to `subtype`: the concatenation
+/// of the supertype, an underscore, and the subtype name (Ch. V.B).
+std::string IsaSetName(std::string_view supertype, std::string_view subtype);
+
+/// Transforms a functional schema into a network schema per Ch. V:
+///  - entity types -> record types + SYSTEM-owned sets;
+///  - entity subtypes -> record types + supertype-owned ISA sets;
+///  - scalar / scalar multi-valued functions -> record attributes;
+///  - single-valued functions -> sets owned by the range type;
+///  - multi-valued functions -> sets owned by the domain type, with
+///    many-to-many pairs factored through link_X record types;
+///  - non-entity types -> network attribute types (Ch. V.C);
+///  - uniqueness constraints -> DUPLICATES ARE NOT ALLOWED (Ch. V.D);
+///  - overlap constraints -> the Overlap Table (Ch. V.E).
+Result<FunNetMapping> TransformFunctionalToNetwork(
+    const daplex::FunctionalSchema& schema);
+
+}  // namespace mlds::transform
+
+#endif  // MLDS_TRANSFORM_FUN_TO_NET_H_

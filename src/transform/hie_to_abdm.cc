@@ -1,0 +1,49 @@
+#include "transform/hie_to_abdm.h"
+
+#include "abdm/record.h"
+#include "transform/abdm_mapping.h"
+
+namespace mlds::transform {
+
+namespace {
+
+abdm::ValueKind MapFieldType(hierarchical::FieldType type) {
+  switch (type) {
+    case hierarchical::FieldType::kInteger:
+      return abdm::ValueKind::kInteger;
+    case hierarchical::FieldType::kFloat:
+      return abdm::ValueKind::kFloat;
+    case hierarchical::FieldType::kChar:
+      return abdm::ValueKind::kString;
+  }
+  return abdm::ValueKind::kString;
+}
+
+}  // namespace
+
+Result<abdm::DatabaseDescriptor> MapHierarchicalToAbdm(
+    const hierarchical::Schema& schema) {
+  MLDS_RETURN_IF_ERROR(schema.Validate());
+  abdm::DatabaseDescriptor db;
+  db.name = schema.name();
+  for (const auto& segment : schema.segments()) {
+    abdm::FileDescriptor file;
+    file.name = segment.name;
+    file.attributes.push_back(abdm::AttributeDescriptor{
+        std::string(abdm::kFileAttribute), abdm::ValueKind::kString, 0, true});
+    file.attributes.push_back(abdm::AttributeDescriptor{
+        KeyAttribute(segment.name), abdm::ValueKind::kString, 0, true});
+    for (const auto& field : segment.fields) {
+      file.attributes.push_back(abdm::AttributeDescriptor{
+          field.name, MapFieldType(field.type), field.length, true});
+    }
+    if (!segment.is_root()) {
+      file.attributes.push_back(abdm::AttributeDescriptor{
+          segment.parent, abdm::ValueKind::kString, 0, true});
+    }
+    db.files.push_back(std::move(file));
+  }
+  return db;
+}
+
+}  // namespace mlds::transform

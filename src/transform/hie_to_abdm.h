@@ -1,0 +1,22 @@
+#ifndef MLDS_TRANSFORM_HIE_TO_ABDM_H_
+#define MLDS_TRANSFORM_HIE_TO_ABDM_H_
+
+#include "abdm/schema.h"
+#include "common/result.h"
+#include "hierarchical/schema.h"
+
+namespace mlds::transform {
+
+/// Maps a hierarchical schema to its attribute-based database definition
+/// (AB(hierarchical)): one kernel file per segment type. Each record
+/// leads with <FILE, segment> and a <segment, key> keyword, then one
+/// keyword per field; non-root segments additionally carry a keyword
+/// named after their parent segment whose value is the parent's key —
+/// the hierarchical edge flattened into the same member-side convention
+/// the other model mappings use.
+Result<abdm::DatabaseDescriptor> MapHierarchicalToAbdm(
+    const hierarchical::Schema& schema);
+
+}  // namespace mlds::transform
+
+#endif  // MLDS_TRANSFORM_HIE_TO_ABDM_H_

@@ -1,0 +1,20 @@
+#ifndef MLDS_TRANSFORM_REL_TO_ABDM_H_
+#define MLDS_TRANSFORM_REL_TO_ABDM_H_
+
+#include "abdm/schema.h"
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace mlds::transform {
+
+/// Maps a relational schema to its attribute-based database definition
+/// (AB(relational)): one kernel file per table, each record leading with
+/// <FILE, table> and a <table, tuple-key> keyword, then one keyword per
+/// column — the same layout conventions the network and functional
+/// mappings use, so all language interfaces share the kernel.
+Result<abdm::DatabaseDescriptor> MapRelationalToAbdm(
+    const relational::Schema& schema);
+
+}  // namespace mlds::transform
+
+#endif  // MLDS_TRANSFORM_REL_TO_ABDM_H_

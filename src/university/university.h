@@ -1,0 +1,75 @@
+#ifndef MLDS_UNIVERSITY_UNIVERSITY_H_
+#define MLDS_UNIVERSITY_UNIVERSITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "daplex/schema.h"
+#include "kc/executor.h"
+#include "transform/fun_to_net.h"
+
+namespace mlds::university {
+
+/// Shipman's University database schema (thesis Figure 2.1) in this
+/// library's Daplex DDL: four entity types (person, employee, department,
+/// course), three subtypes (student ISA person, faculty ISA employee,
+/// support_staff ISA employee), one scalar multi-valued function
+/// (employee.degrees), three single-valued functions (student.advisor,
+/// faculty.dept, support_staff.supervisor), a many-to-many pair
+/// (faculty.teaching / course.taught_by), a uniqueness constraint
+/// (UNIQUE title, semester WITHIN course), and an overlap constraint
+/// (OVERLAP student WITH support_staff).
+extern const char kUniversityDaplexDdl[];
+
+/// Parses kUniversityDaplexDdl.
+Result<daplex::FunctionalSchema> UniversitySchema();
+
+/// Sizing of a generated University database instance. Counts scale the
+/// same shape the thesis's examples use; generation is deterministic in
+/// `seed`.
+struct UniversityConfig {
+  int departments = 4;
+  int employees = 20;
+  int faculty = 8;        ///< drawn from the first `faculty` employees.
+  int support_staff = 6;  ///< drawn from the employees after the faculty.
+  int persons = 40;
+  int students = 30;      ///< drawn from the first `students` persons.
+  int courses = 12;
+  int teaching_links = 24;  ///< faculty-course many-to-many instances.
+  uint32_t seed = 1987;
+};
+
+/// What a load produced: total records and per-file counts.
+struct LoadSummary {
+  size_t records = 0;
+  std::map<std::string, size_t> per_file;
+};
+
+/// A fully prepared AB(functional) University database: the functional
+/// schema, its network transformation, and the loaded kernel data.
+struct UniversityDatabase {
+  daplex::FunctionalSchema functional;
+  transform::FunNetMapping mapping;
+  abdm::DatabaseDescriptor descriptor;
+  LoadSummary summary;
+};
+
+/// Transforms the University functional schema to a network schema, maps
+/// it to AB(functional) kernel files, defines them on `executor`, and
+/// loads a generated instance. This is the standard workload substrate
+/// for the library's examples, tests, and benchmarks.
+Result<UniversityDatabase> BuildUniversityDatabase(
+    const UniversityConfig& config, kc::KernelExecutor* executor);
+
+/// Loads a generated University instance into kernel files that are
+/// already defined (e.g. by MldsSystem::LoadFunctionalDatabase). Only the
+/// data-insertion phase of BuildUniversityDatabase runs.
+Result<LoadSummary> BuildUniversityDatabaseOnLoaded(
+    const UniversityConfig& config, kc::KernelExecutor* executor);
+
+}  // namespace mlds::university
+
+#endif  // MLDS_UNIVERSITY_UNIVERSITY_H_

@@ -1,0 +1,46 @@
+#include "abdm/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mlds::abdm {
+namespace {
+
+FileDescriptor CourseFile() {
+  FileDescriptor f;
+  f.name = "course";
+  f.attributes = {{"FILE", ValueKind::kString, 0, true},
+                  {"course", ValueKind::kString, 0, true},
+                  {"title", ValueKind::kString, 20, true},
+                  {"notes", ValueKind::kString, 0, false}};
+  return f;
+}
+
+TEST(AbdmSchemaTest, FindAttribute) {
+  FileDescriptor f = CourseFile();
+  ASSERT_NE(f.FindAttribute("title"), nullptr);
+  EXPECT_EQ(f.FindAttribute("title")->max_length, 20);
+  EXPECT_TRUE(f.FindAttribute("course")->directory);
+  EXPECT_FALSE(f.FindAttribute("notes")->directory);
+  EXPECT_EQ(f.FindAttribute("absent"), nullptr);
+}
+
+TEST(AbdmSchemaTest, DatabaseDescriptorLookup) {
+  DatabaseDescriptor db;
+  db.name = "univ";
+  db.files = {CourseFile()};
+  ASSERT_NE(db.FindFile("course"), nullptr);
+  EXPECT_EQ(db.FindFile("course")->attributes.size(), 4u);
+  EXPECT_EQ(db.FindFile("absent"), nullptr);
+}
+
+TEST(AbdmSchemaTest, DescriptorEquality) {
+  DatabaseDescriptor a, b;
+  a.files = {CourseFile()};
+  b.files = {CourseFile()};
+  EXPECT_EQ(a, b);
+  b.files[0].attributes[2].max_length = 99;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace mlds::abdm

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace mlds {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::CurrencyError("x").code(), StatusCode::kCurrencyError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, PredicatesAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::ParseError("bad token");
+  EXPECT_EQ(os.str(), "ParseError: bad token");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  MLDS_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = Doubled(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(ParsePositive(5).value_or(-1), 5);
+  EXPECT_EQ(ParsePositive(0).value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("CoDaSyL"), "codasyl");
+  EXPECT_EQ(ToUpper("daplex"), "DAPLEX");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a, b ,c", ',');
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join(parts, "-"), "a-b-c");
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("FIND", "find"));
+  EXPECT_FALSE(EqualsIgnoreCase("FIND", "FINDS"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringsTest, StartsWithIgnoreCase) {
+  EXPECT_TRUE(StartsWithIgnoreCase("FOR EACH student", "for "));
+  EXPECT_FALSE(StartsWithIgnoreCase("FOR", "FOR EACH"));
+}
+
+}  // namespace
+}  // namespace mlds

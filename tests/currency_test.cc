@@ -1,0 +1,143 @@
+// Direct unit tests for the currency machinery: the User Work Area, the
+// Currency Indicator Table, and the Request Buffers (thesis Ch. IV data
+// structures), plus ABDL printer round-trips not covered elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "abdl/parser.h"
+#include "abdl/request.h"
+#include "codasyl/cit.h"
+#include "codasyl/uwa.h"
+
+namespace mlds {
+namespace {
+
+using abdm::Record;
+using abdm::Value;
+
+TEST(UserWorkAreaTest, MoveAndGet) {
+  codasyl::UserWorkArea uwa;
+  uwa.Move("course", "title", Value::String("DB"));
+  auto v = uwa.Get("course", "title");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->AsString(), "DB");
+  EXPECT_FALSE(uwa.Get("course", "credits").has_value());
+  EXPECT_FALSE(uwa.Get("student", "title").has_value());
+}
+
+TEST(UserWorkAreaTest, TemplatesAreIndependentPerRecordType) {
+  codasyl::UserWorkArea uwa;
+  uwa.Move("a", "x", Value::Integer(1));
+  uwa.Move("b", "x", Value::Integer(2));
+  EXPECT_EQ(uwa.Get("a", "x")->AsInteger(), 1);
+  EXPECT_EQ(uwa.Get("b", "x")->AsInteger(), 2);
+}
+
+TEST(UserWorkAreaTest, DeliverMergesRetrievedRecord) {
+  codasyl::UserWorkArea uwa;
+  uwa.Move("course", "title", Value::String("kept"));
+  Record r;
+  r.Set("credits", Value::Integer(4));
+  r.Set("title", Value::String("overwritten"));
+  uwa.Deliver("course", r);
+  EXPECT_EQ(uwa.Get("course", "title")->AsString(), "overwritten");
+  EXPECT_EQ(uwa.Get("course", "credits")->AsInteger(), 4);
+}
+
+TEST(UserWorkAreaTest, ClearRemovesTemplate) {
+  codasyl::UserWorkArea uwa;
+  uwa.Move("course", "title", Value::String("x"));
+  uwa.Clear("course");
+  EXPECT_EQ(uwa.Template("course"), nullptr);
+}
+
+TEST(CurrencyIndicatorTableTest, RunUnitLifecycle) {
+  codasyl::CurrencyIndicatorTable cit;
+  EXPECT_FALSE(cit.run_unit().has_value());
+  Record r;
+  r.Set("course", Value::String("course_1"));
+  cit.SetRunUnit("course", "course_1", r);
+  ASSERT_TRUE(cit.run_unit().has_value());
+  EXPECT_EQ(cit.run_unit()->record_type, "course");
+  EXPECT_EQ(cit.run_unit()->dbkey, "course_1");
+  cit.ClearRunUnit();
+  EXPECT_FALSE(cit.run_unit().has_value());
+}
+
+TEST(CurrencyIndicatorTableTest, RecordAndSetCurrency) {
+  codasyl::CurrencyIndicatorTable cit;
+  EXPECT_FALSE(cit.CurrentOfRecord("course").has_value());
+  cit.SetCurrentOfRecord("course", "course_2");
+  EXPECT_EQ(*cit.CurrentOfRecord("course"), "course_2");
+
+  EXPECT_EQ(cit.CurrentOfSet("advisor"), nullptr);
+  cit.SetCurrentOfSet("advisor", {"faculty_1", "student_3"});
+  const codasyl::SetCurrency* c = cit.CurrentOfSet("advisor");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->owner_dbkey, "faculty_1");
+  EXPECT_EQ(c->member_dbkey, "student_3");
+  cit.SetSetMember("advisor", "");
+  EXPECT_EQ(cit.CurrentOfSet("advisor")->member_dbkey, "");
+  cit.SetSetOwner("advisor", "faculty_9");
+  EXPECT_EQ(cit.CurrentOfSet("advisor")->owner_dbkey, "faculty_9");
+}
+
+TEST(CurrencyIndicatorTableTest, ClearResetsEverything) {
+  codasyl::CurrencyIndicatorTable cit;
+  Record r;
+  cit.SetRunUnit("a", "a_1", r);
+  cit.SetCurrentOfRecord("a", "a_1");
+  cit.SetCurrentOfSet("s", {"o", "m"});
+  cit.Clear();
+  EXPECT_FALSE(cit.run_unit().has_value());
+  EXPECT_FALSE(cit.CurrentOfRecord("a").has_value());
+  EXPECT_EQ(cit.CurrentOfSet("s"), nullptr);
+}
+
+TEST(RequestBufferTest, LoadFindAndCursor) {
+  codasyl::RequestBuffer rb;
+  EXPECT_EQ(rb.Find("advisor"), nullptr);
+  std::vector<Record> records(3);
+  auto& buffer = rb.Load("advisor", std::move(records));
+  EXPECT_EQ(buffer.cursor, -1);
+  EXPECT_EQ(buffer.records.size(), 3u);
+  buffer.cursor = 2;
+  EXPECT_EQ(rb.Find("advisor")->cursor, 2);
+  // Reloading resets the cursor.
+  rb.Load("advisor", std::vector<Record>(1));
+  EXPECT_EQ(rb.Find("advisor")->cursor, -1);
+  rb.Clear();
+  EXPECT_EQ(rb.Find("advisor"), nullptr);
+}
+
+TEST(AbdlPrinterTest, RetrieveCommonRoundTrips) {
+  const char* text =
+      "RETRIEVE-COMMON ((FILE = 'faculty') and (dept = 'CS')) (dept) AND "
+      "((FILE = 'course')) (dept) (name, title)";
+  auto first = abdl::ParseRequest(text);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto printed = abdl::ToString(*first);
+  auto second = abdl::ParseRequest(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(abdl::RequestOperation(*first), "RETRIEVE-COMMON");
+}
+
+TEST(AbdlPrinterTest, ModifierFormats) {
+  abdl::Modifier set{"credits", abdl::ModifierKind::kSet,
+                     Value::Integer(4)};
+  EXPECT_EQ(set.ToString(), "(credits = 4)");
+  abdl::Modifier add{"salary", abdl::ModifierKind::kAdd,
+                     Value::Float(100.0)};
+  EXPECT_EQ(add.ToString(), "(salary = salary + 100)");
+}
+
+TEST(AbdlPrinterTest, AggregateTargetFormats) {
+  abdl::TargetItem plain{"credits", abdl::AggregateOp::kNone};
+  EXPECT_EQ(plain.ToString(), "credits");
+  abdl::TargetItem avg{"credits", abdl::AggregateOp::kAvg};
+  EXPECT_EQ(avg.ToString(), "AVG(credits)");
+}
+
+}  // namespace
+}  // namespace mlds

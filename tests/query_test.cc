@@ -1,0 +1,114 @@
+#include "abdm/query.h"
+
+#include <gtest/gtest.h>
+
+#include "abdm/record.h"
+
+namespace mlds::abdm {
+namespace {
+
+Record CourseRecord() {
+  Record r;
+  r.Set(std::string(kFileAttribute), Value::String("course"));
+  r.Set("title", Value::String("Advanced Database"));
+  r.Set("credits", Value::Integer(4));
+  r.Set("rating", Value::Float(4.5));
+  return r;
+}
+
+TEST(PredicateTest, EqualityMatch) {
+  Predicate p{"title", RelOp::kEq, Value::String("Advanced Database")};
+  EXPECT_TRUE(p.Matches(CourseRecord()));
+  p.value = Value::String("Intro");
+  EXPECT_FALSE(p.Matches(CourseRecord()));
+}
+
+TEST(PredicateTest, MissingAttributeNeverMatches) {
+  Predicate p{"nonexistent", RelOp::kNe, Value::Integer(0)};
+  EXPECT_FALSE(p.Matches(CourseRecord()));
+}
+
+TEST(PredicateTest, OrderingOperators) {
+  Record r = CourseRecord();
+  EXPECT_TRUE((Predicate{"credits", RelOp::kGt, Value::Integer(3)}).Matches(r));
+  EXPECT_TRUE((Predicate{"credits", RelOp::kGe, Value::Integer(4)}).Matches(r));
+  EXPECT_FALSE((Predicate{"credits", RelOp::kLt, Value::Integer(4)}).Matches(r));
+  EXPECT_TRUE((Predicate{"credits", RelOp::kLe, Value::Integer(4)}).Matches(r));
+  EXPECT_TRUE((Predicate{"credits", RelOp::kNe, Value::Integer(3)}).Matches(r));
+}
+
+TEST(PredicateTest, NumericCrossKindComparison) {
+  Record r = CourseRecord();
+  EXPECT_TRUE(
+      (Predicate{"rating", RelOp::kGt, Value::Integer(4)}).Matches(r));
+}
+
+TEST(PredicateTest, NullSemantics) {
+  Record r;
+  r.Set("f", Value::Null());
+  EXPECT_TRUE((Predicate{"f", RelOp::kEq, Value::Null()}).Matches(r));
+  EXPECT_FALSE((Predicate{"f", RelOp::kNe, Value::Null()}).Matches(r));
+  EXPECT_FALSE((Predicate{"f", RelOp::kLt, Value::Integer(1)}).Matches(r));
+  r.Set("f", Value::Integer(1));
+  EXPECT_FALSE((Predicate{"f", RelOp::kEq, Value::Null()}).Matches(r));
+  EXPECT_TRUE((Predicate{"f", RelOp::kNe, Value::Null()}).Matches(r));
+}
+
+TEST(QueryTest, EmptyQueryMatchesNothing) {
+  Query q;
+  EXPECT_FALSE(q.Matches(CourseRecord()));
+}
+
+TEST(QueryTest, EmptyConjunctionMatchesEverything) {
+  Query q({Conjunction{}});
+  EXPECT_TRUE(q.Matches(CourseRecord()));
+}
+
+TEST(QueryTest, ConjunctionRequiresAllPredicates) {
+  Query q = Query::And({{"title", RelOp::kEq, Value::String("Advanced Database")},
+                        {"credits", RelOp::kEq, Value::Integer(4)}});
+  EXPECT_TRUE(q.Matches(CourseRecord()));
+  Query q2 = Query::And({{"title", RelOp::kEq, Value::String("Advanced Database")},
+                         {"credits", RelOp::kEq, Value::Integer(3)}});
+  EXPECT_FALSE(q2.Matches(CourseRecord()));
+}
+
+TEST(QueryTest, DisjunctionRequiresAnyConjunction) {
+  Query q({Conjunction{{{"credits", RelOp::kEq, Value::Integer(9)}}},
+           Conjunction{{{"credits", RelOp::kEq, Value::Integer(4)}}}});
+  EXPECT_TRUE(q.Matches(CourseRecord()));
+}
+
+TEST(QueryTest, ForFileLeadsWithFilePredicate) {
+  Query q = Query::ForFile("course",
+                           {{"credits", RelOp::kGt, Value::Integer(2)}});
+  ASSERT_EQ(q.disjuncts().size(), 1u);
+  ASSERT_EQ(q.disjuncts()[0].predicates.size(), 2u);
+  EXPECT_EQ(q.disjuncts()[0].predicates[0].attribute, kFileAttribute);
+  EXPECT_TRUE(q.Matches(CourseRecord()));
+}
+
+TEST(QueryTest, SingleFileDetectsCommonFile) {
+  Query q = Query::ForFile("course");
+  EXPECT_EQ(q.SingleFile(), "course");
+}
+
+TEST(QueryTest, SingleFileEmptyWhenFilesDiffer) {
+  Query q({Conjunction{{{"FILE", RelOp::kEq, Value::String("a")}}},
+           Conjunction{{{"FILE", RelOp::kEq, Value::String("b")}}}});
+  EXPECT_EQ(q.SingleFile(), "");
+}
+
+TEST(QueryTest, SingleFileEmptyWhenUnqualified) {
+  Query q = Query::And({{"credits", RelOp::kGt, Value::Integer(2)}});
+  EXPECT_EQ(q.SingleFile(), "");
+}
+
+TEST(QueryTest, ToStringNotation) {
+  Query q = Query::ForFile("course",
+                           {{"title", RelOp::kEq, Value::String("DB")}});
+  EXPECT_EQ(q.ToString(), "((FILE = 'course') and (title = 'DB'))");
+}
+
+}  // namespace
+}  // namespace mlds::abdm

@@ -1,0 +1,193 @@
+// Tests for the RECONNECT statement and the RETAINING clause: moving a
+// member record between set occurrences across the retention modes and
+// both set representations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abdl/parser.h"
+#include "daplex/ddl_parser.h"
+#include "kds/engine.h"
+#include "kms/dml_machine.h"
+#include "network/ddl_parser.h"
+#include "transform/abdm_mapping.h"
+#include "university/university.h"
+
+namespace mlds::kms {
+namespace {
+
+class ReconnectUniversityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    executor_ = std::make_unique<kc::EngineExecutor>(&engine_);
+    university::UniversityConfig config;
+    auto db = university::BuildUniversityDatabase(config, executor_.get());
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::make_unique<university::UniversityDatabase>(std::move(*db));
+    machine_ = std::make_unique<kms::DmlMachine>(&db_->mapping.schema,
+                                                 &db_->mapping,
+                                                 executor_.get());
+  }
+
+  DmlResult Must(std::string_view dml) {
+    auto result = machine_->ExecuteText(dml);
+    EXPECT_TRUE(result.ok()) << dml << ": " << result.status();
+    return result.ok() ? std::move(*result) : DmlResult{};
+  }
+
+  kds::Engine engine_;
+  std::unique_ptr<kc::EngineExecutor> executor_;
+  std::unique_ptr<university::UniversityDatabase> db_;
+  std::unique_ptr<DmlMachine> machine_;
+};
+
+TEST_F(ReconnectUniversityTest, ReconnectMovesStudentToNewAdvisor) {
+  // Pin faculty_7 as the current owner of advisor, then locate the
+  // student RETAINING the advisor currency (its own keyword would
+  // otherwise reposition the set), and reconnect in one statement.
+  Must("MOVE 'faculty_7' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  Must("MOVE 'student_4' TO student IN student");
+  Must("FIND ANY student USING student IN student RETAINING advisor");
+  EXPECT_EQ(machine_->cit().CurrentOfSet("advisor")->owner_dbkey,
+            "faculty_7");
+  Must("RECONNECT student IN advisor");
+
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = student) and (student = 'student_4')) (advisor)");
+  ASSERT_TRUE(req.ok());
+  auto check = engine_.Execute(*req);
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->records[0].GetOrNull("advisor").AsString(), "faculty_7");
+}
+
+TEST_F(ReconnectUniversityTest, RetainingPreservesSetCurrency) {
+  Must("MOVE 'faculty_2' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  // Without RETAINING, the student FIND repositions the advisor set.
+  Must("MOVE 'student_9' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  const std::string repositioned =
+      machine_->cit().CurrentOfSet("advisor")->owner_dbkey;
+  // With RETAINING, it does not.
+  Must("MOVE 'faculty_2' TO faculty IN faculty");
+  Must("FIND ANY faculty USING faculty IN faculty");
+  Must("FIND ANY student USING student IN student RETAINING advisor");
+  EXPECT_EQ(machine_->cit().CurrentOfSet("advisor")->owner_dbkey,
+            "faculty_2");
+  // (The unretained FIND had moved it to the student's own advisor.)
+  EXPECT_EQ(repositioned, machine_->cit()
+                              .run_unit()
+                              ->record.GetOrNull("advisor")
+                              .AsString());
+}
+
+TEST_F(ReconnectUniversityTest, RetainingUnknownSetRejected) {
+  Must("MOVE 'student_1' TO student IN student");
+  auto result = machine_->ExecuteText(
+      "FIND ANY student USING student IN student RETAINING no_such_set");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(ReconnectUniversityTest, ReconnectRejectedOnFixedRetention) {
+  Must("MOVE 'student_1' TO student IN student");
+  Must("FIND ANY student USING student IN student");
+  auto result = machine_->ExecuteText("RECONNECT student IN person_student");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(ReconnectMandatoryTest, MandatoryRetentionAllowsReconnectNotDisconnect) {
+  auto schema = network::ParseSchema(
+      "SCHEMA NAME IS depot;"
+      "RECORD NAME IS site; ITEM sname TYPE IS CHARACTER 8;"
+      "RECORD NAME IS crate; ITEM tag TYPE IS INTEGER;"
+      "SET NAME IS stores;"
+      "  OWNER IS site; MEMBER IS crate;"
+      "  INSERTION IS MANUAL; RETENTION IS MANDATORY;"
+      "  SET SELECTION IS BY APPLICATION;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto db = transform::MapNetworkToAbdm(*schema);
+  ASSERT_TRUE(db.ok());
+  kds::Engine engine;
+  kc::EngineExecutor executor(&engine);
+  ASSERT_TRUE(executor.DefineDatabase(*db).ok());
+  DmlMachine machine(&*schema, nullptr, &executor);
+
+  auto setup = machine.RunProgram(
+      "MOVE 'east' TO sname IN site\nSTORE site\n"
+      "MOVE 1 TO tag IN crate\nSTORE crate\nCONNECT crate TO stores\n"
+      "MOVE 'west' TO sname IN site\nSTORE site\n");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  // DISCONNECT is forbidden under MANDATORY retention...
+  auto find = machine.RunProgram(
+      "MOVE 1 TO tag IN crate\nFIND ANY crate USING tag IN crate\n");
+  ASSERT_TRUE(find.ok()) << find.status();
+  auto disconnect = machine.ExecuteText("DISCONNECT crate FROM stores");
+  ASSERT_FALSE(disconnect.ok());
+  EXPECT_EQ(disconnect.status().code(), StatusCode::kConstraintViolation);
+
+  // ...but RECONNECT to a new owner is allowed: pin 'west' as current of
+  // stores, find the crate retaining that currency, reconnect.
+  auto move = machine.RunProgram(
+      "MOVE 'west' TO sname IN site\nFIND ANY site USING sname IN site\n"
+      "MOVE 1 TO tag IN crate\n"
+      "FIND ANY crate USING tag IN crate RETAINING stores\n"
+      "RECONNECT crate IN stores\n");
+  ASSERT_TRUE(move.ok()) << move.status();
+
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = crate) and (tag = 1)) (stores)");
+  ASSERT_TRUE(req.ok());
+  auto check = engine.Execute(*req);
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->records.size(), 1u);
+  EXPECT_EQ(check->records[0].GetOrNull("stores").AsString(), "site_2");
+}
+
+TEST(ReconnectOwnerSideTest, ReconnectMovesChildBetweenParents) {
+  // Owner-side one-to-many: moving a child between parents rewrites the
+  // duplicated owner records on both sides.
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE parent IS ENTITY pname : STRING(8); kids : SET OF child; "
+      "END ENTITY;"
+      "TYPE child IS ENTITY cname : STRING(8); END ENTITY;");
+  ASSERT_TRUE(schema.ok());
+  auto mapping = transform::TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok());
+  auto db = transform::MapNetworkToAbdm(mapping->schema, &*mapping);
+  ASSERT_TRUE(db.ok());
+  kds::Engine engine;
+  kc::EngineExecutor executor(&engine);
+  ASSERT_TRUE(executor.DefineDatabase(*db).ok());
+  DmlMachine machine(&mapping->schema, &*mapping, &executor);
+
+  auto setup = machine.RunProgram(
+      "MOVE 'p1' TO pname IN parent\nSTORE parent\n"
+      "MOVE 'c1' TO cname IN child\nSTORE child\nCONNECT child TO kids\n"
+      "MOVE 'p2' TO pname IN parent\nSTORE parent\n");
+  ASSERT_TRUE(setup.ok()) << setup.status();
+
+  auto move = machine.RunProgram(
+      "MOVE 'p2' TO pname IN parent\nFIND ANY parent USING pname IN parent\n"
+      "MOVE 'c1' TO cname IN child\n"
+      "FIND ANY child USING cname IN child RETAINING kids\n"
+      "RECONNECT child IN kids\n");
+  ASSERT_TRUE(move.ok()) << move.status();
+
+  auto req = abdl::ParseRequest(
+      "RETRIEVE ((FILE = parent)) (all attributes) BY parent");
+  ASSERT_TRUE(req.ok());
+  auto check = engine.Execute(*req);
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->records.size(), 2u);
+  // p1 lost the child (nulled singleton); p2 gained it.
+  EXPECT_TRUE(check->records[0].GetOrNull("kids").is_null());
+  EXPECT_EQ(check->records[1].GetOrNull("kids").AsString(), "child_1");
+}
+
+}  // namespace
+}  // namespace mlds::kms

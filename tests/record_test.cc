@@ -1,0 +1,73 @@
+#include "abdm/record.h"
+
+#include <gtest/gtest.h>
+
+namespace mlds::abdm {
+namespace {
+
+TEST(RecordTest, SetAndGet) {
+  Record r;
+  r.Set("title", Value::String("Database"));
+  r.Set("credits", Value::Integer(4));
+  ASSERT_TRUE(r.Get("title").has_value());
+  EXPECT_EQ(r.Get("title")->AsString(), "Database");
+  EXPECT_EQ(r.Get("credits")->AsInteger(), 4);
+  EXPECT_FALSE(r.Get("absent").has_value());
+}
+
+TEST(RecordTest, SetOverwritesExistingKeyword) {
+  Record r;
+  r.Set("credits", Value::Integer(3));
+  r.Set("credits", Value::Integer(4));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.Get("credits")->AsInteger(), 4);
+}
+
+TEST(RecordTest, AtMostOneKeywordPerAttribute) {
+  // The constructor drops later duplicates, preserving the ABDM record
+  // invariant (at most one keyword per attribute).
+  Record r({{"a", Value::Integer(1)}, {"a", Value::Integer(2)},
+            {"b", Value::Integer(3)}});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Get("a")->AsInteger(), 1);
+}
+
+TEST(RecordTest, GetOrNull) {
+  Record r;
+  EXPECT_TRUE(r.GetOrNull("missing").is_null());
+  r.Set("x", Value::Integer(9));
+  EXPECT_EQ(r.GetOrNull("x").AsInteger(), 9);
+}
+
+TEST(RecordTest, EraseKeyword) {
+  Record r;
+  r.Set("a", Value::Integer(1));
+  EXPECT_TRUE(r.Erase("a"));
+  EXPECT_FALSE(r.Has("a"));
+  EXPECT_FALSE(r.Erase("a"));
+}
+
+TEST(RecordTest, TextualPortion) {
+  Record r;
+  r.set_text("a verbal description of the concept");
+  EXPECT_EQ(r.text(), "a verbal description of the concept");
+}
+
+TEST(RecordTest, ToStringKeywordList) {
+  Record r;
+  r.Set(std::string(kFileAttribute), Value::String("course"));
+  r.Set("credits", Value::Integer(4));
+  EXPECT_EQ(r.ToString(), "(<FILE, 'course'>, <credits, 4>)");
+}
+
+TEST(RecordTest, Equality) {
+  Record a, b;
+  a.Set("x", Value::Integer(1));
+  b.Set("x", Value::Integer(1));
+  EXPECT_EQ(a, b);
+  b.Set("x", Value::Integer(2));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace mlds::abdm

@@ -1,0 +1,112 @@
+// Tests for the ORDER IS SORTED BY clause: set members sequence by a
+// data item's value for the FIND FIRST/LAST/NEXT/PRIOR family.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kds/engine.h"
+#include "kms/dml_machine.h"
+#include "network/ddl_parser.h"
+#include "transform/abdm_mapping.h"
+
+namespace mlds::kms {
+namespace {
+
+constexpr char kOrderedDdl[] =
+    "SCHEMA NAME IS warehouse;"
+    "RECORD NAME IS bin;"
+    "  ITEM label TYPE IS CHARACTER 8;"
+    "RECORD NAME IS box;"
+    "  ITEM weight TYPE IS INTEGER;"
+    "SET NAME IS system_bin;"
+    "  OWNER IS SYSTEM; MEMBER IS bin;"
+    "  INSERTION IS AUTOMATIC; RETENTION IS FIXED;"
+    "  SET SELECTION IS BY APPLICATION;"
+    "SET NAME IS holds;"
+    "  OWNER IS bin; MEMBER IS box;"
+    "  INSERTION IS MANUAL; RETENTION IS OPTIONAL;"
+    "  ORDER IS SORTED BY weight;"
+    "  SET SELECTION IS BY APPLICATION;";
+
+class SetOrderingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = network::ParseSchema(kOrderedDdl);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    schema_ = std::move(*schema);
+    auto db = transform::MapNetworkToAbdm(schema_);
+    ASSERT_TRUE(db.ok());
+    executor_ = std::make_unique<kc::EngineExecutor>(&engine_);
+    ASSERT_TRUE(executor_->DefineDatabase(*db).ok());
+    machine_ =
+        std::make_unique<DmlMachine>(&schema_, nullptr, executor_.get());
+
+    // One bin; boxes stored out of weight order.
+    Must("MOVE 'bin-A' TO label IN bin");
+    Must("STORE bin");
+    for (int weight : {30, 10, 20, 40}) {
+      Must("MOVE " + std::to_string(weight) + " TO weight IN box");
+      Must("STORE box");
+      Must("CONNECT box TO holds");
+    }
+  }
+
+  DmlResult Must(std::string_view dml) {
+    auto result = machine_->ExecuteText(dml);
+    EXPECT_TRUE(result.ok()) << dml << ": " << result.status();
+    return result.ok() ? std::move(*result) : DmlResult{};
+  }
+
+  network::Schema schema_;
+  kds::Engine engine_;
+  std::unique_ptr<kc::EngineExecutor> executor_;
+  std::unique_ptr<DmlMachine> machine_;
+};
+
+TEST_F(SetOrderingTest, DdlParsesOrderClause) {
+  const network::SetType* holds = schema_.FindSet("holds");
+  ASSERT_NE(holds, nullptr);
+  EXPECT_EQ(holds->order, network::OrderMode::kSortedBy);
+  EXPECT_EQ(holds->order_item, "weight");
+  // And round-trips through the printer.
+  auto reparsed = network::ParseSchema(schema_.ToDdl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, schema_);
+}
+
+TEST_F(SetOrderingTest, FindFirstReturnsLightestBox) {
+  DmlResult first = Must("FIND FIRST box WITHIN holds");
+  EXPECT_EQ(first.records[0].GetOrNull("weight").AsInteger(), 10);
+}
+
+TEST_F(SetOrderingTest, FindNextWalksInWeightOrder) {
+  Must("FIND FIRST box WITHIN holds");
+  std::vector<int64_t> weights = {10};
+  while (true) {
+    auto next = machine_->ExecuteText("FIND NEXT box WITHIN holds");
+    if (!next.ok()) break;
+    weights.push_back(next->records[0].GetOrNull("weight").AsInteger());
+  }
+  EXPECT_EQ(weights, (std::vector<int64_t>{10, 20, 30, 40}));
+}
+
+TEST_F(SetOrderingTest, FindLastReturnsHeaviestBox) {
+  DmlResult last = Must("FIND LAST box WITHIN holds");
+  EXPECT_EQ(last.records[0].GetOrNull("weight").AsInteger(), 40);
+}
+
+TEST_F(SetOrderingTest, UnorderedSystemSetStaysInKeyOrder) {
+  DmlResult first = Must("FIND FIRST bin WITHIN system_bin");
+  EXPECT_EQ(first.records[0].GetOrNull("bin").AsString(), "bin_1");
+}
+
+TEST_F(SetOrderingTest, RejectsMalformedOrderClause) {
+  auto bad = network::ParseSchema(
+      "RECORD NAME IS r; ITEM x TYPE IS INTEGER;"
+      "SET NAME IS s; OWNER IS r; MEMBER IS r; ORDER IS RANDOM;");
+  ASSERT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace mlds::kms

@@ -1,0 +1,203 @@
+// Property tests over randomly generated functional schemas: the Ch. V
+// transformation invariants must hold for every valid schema, not just
+// the University example.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "daplex/ddl_parser.h"
+#include "network/ddl_parser.h"
+#include "daplex/schema.h"
+#include "transform/abdm_mapping.h"
+#include "transform/fun_to_net.h"
+
+namespace mlds::transform {
+namespace {
+
+using daplex::Function;
+using daplex::FunctionClass;
+using daplex::FunctionalSchema;
+
+/// Generates a random valid functional schema: `entities` entity types,
+/// up to `subtypes` subtypes hanging off random earlier types, and random
+/// functions of every class.
+FunctionalSchema RandomSchema(std::mt19937* rng, int entities, int subtypes) {
+  FunctionalSchema schema("random");
+  std::vector<std::string> type_names;
+  std::uniform_int_distribution<int> fn_count(1, 4);
+  std::uniform_int_distribution<int> fn_kind(0, 5);
+
+  auto make_functions = [&](const std::string& owner) {
+    std::vector<Function> functions;
+    const int n = fn_count(*rng);
+    for (int i = 0; i < n; ++i) {
+      Function fn;
+      fn.name = owner + "_f" + std::to_string(i);
+      switch (fn_kind(*rng)) {
+        case 0:
+          fn.result = daplex::FunctionResult::kInteger;
+          break;
+        case 1:
+          fn.result = daplex::FunctionResult::kString;
+          fn.max_length = 10;
+          break;
+        case 2:
+          fn.result = daplex::FunctionResult::kFloat;
+          break;
+        case 3:
+          fn.result = daplex::FunctionResult::kString;
+          fn.set_valued = true;  // scalar multi-valued
+          break;
+        case 4:
+        case 5: {
+          if (type_names.empty()) {
+            fn.result = daplex::FunctionResult::kInteger;
+            break;
+          }
+          std::uniform_int_distribution<size_t> pick(0, type_names.size() - 1);
+          fn.result = daplex::FunctionResult::kEntity;
+          fn.target = type_names[pick(*rng)];
+          fn.set_valued = fn_kind(*rng) >= 3;  // mv or sv at random
+          break;
+        }
+      }
+      functions.push_back(std::move(fn));
+    }
+    return functions;
+  };
+
+  for (int e = 0; e < entities; ++e) {
+    daplex::EntityType entity;
+    entity.name = "e" + std::to_string(e);
+    entity.functions = make_functions(entity.name);
+    EXPECT_TRUE(schema.AddEntity(std::move(entity)).ok());
+    type_names.push_back("e" + std::to_string(e));
+  }
+  for (int s = 0; s < subtypes; ++s) {
+    daplex::Subtype sub;
+    sub.name = "s" + std::to_string(s);
+    std::uniform_int_distribution<size_t> pick(0, type_names.size() - 1);
+    sub.supertypes = {type_names[pick(*rng)]};
+    sub.functions = make_functions(sub.name);
+    EXPECT_TRUE(schema.AddSubtype(std::move(sub)).ok());
+    type_names.push_back("s" + std::to_string(s));
+  }
+  return schema;
+}
+
+class TransformPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformPropertyTest, ChapterFiveInvariantsHold) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> entity_count(1, 6);
+  std::uniform_int_distribution<int> subtype_count(0, 4);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    FunctionalSchema schema =
+        RandomSchema(&rng, entity_count(rng), subtype_count(rng));
+    ASSERT_TRUE(schema.Validate().ok());
+    auto mapping = TransformFunctionalToNetwork(schema);
+    ASSERT_TRUE(mapping.ok()) << mapping.status();
+
+    // Invariant 1: every entity type and subtype has a record type.
+    for (const auto& e : schema.entities()) {
+      EXPECT_NE(mapping->schema.FindRecord(e.name), nullptr) << e.name;
+    }
+    for (const auto& s : schema.subtypes()) {
+      EXPECT_NE(mapping->schema.FindRecord(s.name), nullptr) << s.name;
+    }
+
+    // Invariant 2: entities have SYSTEM sets; subtypes have ISA sets per
+    // supertype instead.
+    for (const auto& e : schema.entities()) {
+      const network::SetType* sys =
+          mapping->schema.FindSet(SystemSetName(e.name));
+      ASSERT_NE(sys, nullptr) << e.name;
+      EXPECT_TRUE(sys->IsSystemOwned());
+    }
+    for (const auto& s : schema.subtypes()) {
+      EXPECT_EQ(mapping->schema.FindSet(SystemSetName(s.name)), nullptr);
+      for (const auto& super : s.supertypes) {
+        const network::SetType* isa =
+            mapping->schema.FindSet(IsaSetName(super, s.name));
+        ASSERT_NE(isa, nullptr);
+        EXPECT_EQ(isa->owner, super);
+        EXPECT_EQ(isa->insertion, network::InsertionMode::kAutomatic);
+        EXPECT_EQ(isa->retention, network::RetentionMode::kFixed);
+      }
+    }
+
+    // Invariant 3: record/set counts follow the Ch. V formulas.
+    size_t sv = 0, mv = 0, scalar_attrs = 0;
+    size_t isa_sets = 0;
+    auto count_functions = [&](const std::string& type) {
+      for (const auto& fn : *schema.FunctionsOf(type)) {
+        switch (schema.Classify(fn)) {
+          case FunctionClass::kSingleValued:
+            ++sv;
+            break;
+          case FunctionClass::kMultiValued:
+            ++mv;
+            break;
+          default:
+            ++scalar_attrs;
+        }
+      }
+    };
+    for (const auto& e : schema.entities()) count_functions(e.name);
+    for (const auto& s : schema.subtypes()) {
+      count_functions(s.name);
+      isa_sets += s.supertypes.size();
+    }
+    const size_t links = mapping->link_records.size();
+    // Every multi-valued function yields exactly one set; a many-to-many
+    // pair consumes two of them and adds one link record.
+    EXPECT_EQ(mapping->schema.sets().size(),
+              schema.entities().size() + isa_sets + sv + mv);
+    EXPECT_EQ(mapping->schema.records().size(),
+              schema.entities().size() + schema.subtypes().size() + links);
+
+    // Invariant 4: scalar functions landed as attributes of their type's
+    // record; entity-valued ones did not.
+    auto check_attrs = [&](const std::string& type) {
+      const network::RecordType* record = mapping->schema.FindRecord(type);
+      size_t expected = 0;
+      for (const auto& fn : *schema.FunctionsOf(type)) {
+        const FunctionClass cls = schema.Classify(fn);
+        if (cls == FunctionClass::kScalar ||
+            cls == FunctionClass::kScalarMultiValued) {
+          ++expected;
+          EXPECT_NE(record->FindAttribute(fn.name), nullptr) << fn.name;
+        } else {
+          EXPECT_EQ(record->FindAttribute(fn.name), nullptr) << fn.name;
+        }
+      }
+      EXPECT_EQ(record->attributes.size(), expected) << type;
+    };
+    for (const auto& e : schema.entities()) check_attrs(e.name);
+    for (const auto& s : schema.subtypes()) check_attrs(s.name);
+
+    // Invariant 5: the AB mapping yields one file per record type, each
+    // leading with FILE + key, and it defines cleanly.
+    auto db = MapNetworkToAbdm(mapping->schema, &*mapping);
+    ASSERT_TRUE(db.ok()) << db.status();
+    EXPECT_EQ(db->files.size(), mapping->schema.records().size());
+    for (const auto& file : db->files) {
+      ASSERT_GE(file.attributes.size(), 2u);
+      EXPECT_EQ(file.attributes[0].name, "FILE");
+      EXPECT_EQ(file.attributes[1].name, file.name);
+    }
+
+    // Invariant 6: the transformed schema's DDL round-trips.
+    auto reparsed = network::ParseSchema(mapping->schema.ToDdl());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(*reparsed, mapping->schema);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformPropertyTest,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17, 19));
+
+}  // namespace
+}  // namespace mlds::transform

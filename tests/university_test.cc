@@ -1,0 +1,178 @@
+// Tests reproducing Figures 2.1/2.2: the University Daplex schema, plus
+// the generated database instance used by examples and benchmarks.
+
+#include "university/university.h"
+
+#include <gtest/gtest.h>
+
+#include "abdl/parser.h"
+#include "kds/engine.h"
+
+namespace mlds::university {
+namespace {
+
+TEST(UniversitySchemaTest, ParsesWithExpectedShape) {
+  auto schema = UniversitySchema();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->name(), "university");
+  EXPECT_EQ(schema->entities().size(), 4u);
+  EXPECT_EQ(schema->subtypes().size(), 3u);
+  EXPECT_EQ(schema->nonentities().size(), 3u);
+  EXPECT_EQ(schema->uniqueness().size(), 1u);
+  EXPECT_EQ(schema->overlaps().size(), 1u);
+}
+
+TEST(UniversitySchemaTest, IsaGraphMatchesFigure22) {
+  auto schema = UniversitySchema();
+  ASSERT_TRUE(schema.ok());
+  const daplex::Subtype* student = schema->FindSubtype("student");
+  ASSERT_NE(student, nullptr);
+  EXPECT_EQ(student->supertypes, std::vector<std::string>{"person"});
+  const daplex::Subtype* faculty = schema->FindSubtype("faculty");
+  ASSERT_NE(faculty, nullptr);
+  EXPECT_EQ(faculty->supertypes, std::vector<std::string>{"employee"});
+  const daplex::Subtype* staff = schema->FindSubtype("support_staff");
+  ASSERT_NE(staff, nullptr);
+  EXPECT_EQ(staff->supertypes, std::vector<std::string>{"employee"});
+}
+
+TEST(UniversitySchemaTest, FunctionClassesMatchThesis) {
+  auto schema = UniversitySchema();
+  ASSERT_TRUE(schema.ok());
+  auto classify = [&](const char* type, const char* fn) {
+    const auto* functions = schema->FunctionsOf(type);
+    EXPECT_NE(functions, nullptr) << type;
+    for (const auto& f : *functions) {
+      if (f.name == fn) return schema->Classify(f);
+    }
+    ADD_FAILURE() << type << "." << fn << " not found";
+    return daplex::FunctionClass::kScalar;
+  };
+  EXPECT_EQ(classify("employee", "degrees"),
+            daplex::FunctionClass::kScalarMultiValued);
+  EXPECT_EQ(classify("student", "advisor"),
+            daplex::FunctionClass::kSingleValued);
+  EXPECT_EQ(classify("faculty", "teaching"),
+            daplex::FunctionClass::kMultiValued);
+  EXPECT_EQ(classify("course", "title"), daplex::FunctionClass::kScalar);
+}
+
+class UniversityDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    executor_ = std::make_unique<kc::EngineExecutor>(&engine_);
+    auto db = BuildUniversityDatabase(config_, executor_.get());
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::make_unique<UniversityDatabase>(std::move(*db));
+  }
+
+  kds::Response MustExecute(std::string_view text) {
+    auto req = abdl::ParseRequest(text);
+    EXPECT_TRUE(req.ok()) << req.status();
+    auto resp = engine_.Execute(*req);
+    EXPECT_TRUE(resp.ok()) << resp.status();
+    return std::move(*resp);
+  }
+
+  UniversityConfig config_;
+  kds::Engine engine_;
+  std::unique_ptr<kc::EngineExecutor> executor_;
+  std::unique_ptr<UniversityDatabase> db_;
+};
+
+TEST_F(UniversityDataTest, LoadCountsMatchConfig) {
+  EXPECT_EQ(engine_.FileSize("department"),
+            static_cast<size_t>(config_.departments));
+  EXPECT_EQ(engine_.FileSize("person"), static_cast<size_t>(config_.persons));
+  EXPECT_EQ(engine_.FileSize("student"),
+            static_cast<size_t>(config_.students));
+  EXPECT_EQ(engine_.FileSize("faculty"), static_cast<size_t>(config_.faculty));
+  EXPECT_EQ(engine_.FileSize("course"), static_cast<size_t>(config_.courses));
+  EXPECT_EQ(engine_.FileSize("link_1"),
+            static_cast<size_t>(config_.teaching_links));
+  // Employees: one record each plus a duplicate for every third (the
+  // scalar multi-valued degrees representation).
+  EXPECT_EQ(engine_.FileSize("employee"),
+            static_cast<size_t>(config_.employees + config_.employees / 3));
+}
+
+TEST_F(UniversityDataTest, EveryStudentLinksToAPerson) {
+  auto students = MustExecute("RETRIEVE ((FILE = student)) (all attributes)");
+  ASSERT_EQ(students.records.size(), static_cast<size_t>(config_.students));
+  for (const auto& s : students.records) {
+    auto person_key = s.GetOrNull("person_student");
+    ASSERT_TRUE(person_key.is_string());
+    auto person = MustExecute(
+        "RETRIEVE ((FILE = person) and (person = '" + person_key.AsString() +
+        "')) (all attributes)");
+    EXPECT_EQ(person.records.size(), 1u) << person_key.AsString();
+  }
+}
+
+TEST_F(UniversityDataTest, AdvisorsReferenceExistingFaculty) {
+  auto students = MustExecute("RETRIEVE ((FILE = student)) (advisor)");
+  for (const auto& s : students.records) {
+    auto fac = MustExecute("RETRIEVE ((FILE = faculty) and (faculty = '" +
+                           s.GetOrNull("advisor").AsString() +
+                           "')) (faculty)");
+    EXPECT_EQ(fac.records.size(), 1u);
+  }
+}
+
+TEST_F(UniversityDataTest, TeachingLinksReferenceBothSides) {
+  auto links = MustExecute("RETRIEVE ((FILE = link_1)) (all attributes)");
+  ASSERT_EQ(links.records.size(),
+            static_cast<size_t>(config_.teaching_links));
+  for (const auto& link : links.records) {
+    EXPECT_TRUE(link.GetOrNull("teaching").AsString().starts_with("faculty_"));
+    EXPECT_TRUE(
+        link.GetOrNull("taught_by").AsString().starts_with("course_"));
+  }
+}
+
+TEST_F(UniversityDataTest, DuplicatedEmployeeRecordsShareDbKeyDifferInDegrees) {
+  // Every third employee has two AB records with the same dbkey and
+  // different 'degrees' values (scalar multi-valued representation).
+  auto dups = MustExecute(
+      "RETRIEVE ((FILE = employee) and (employee = 'employee_3')) "
+      "(all attributes)");
+  ASSERT_EQ(dups.records.size(), 2u);
+  EXPECT_EQ(dups.records[0].GetOrNull("ename"),
+            dups.records[1].GetOrNull("ename"));
+  EXPECT_NE(dups.records[0].GetOrNull("degrees"),
+            dups.records[1].GetOrNull("degrees"));
+}
+
+TEST_F(UniversityDataTest, GenerationIsDeterministicInSeed) {
+  kds::Engine other_engine;
+  kc::EngineExecutor other_exec(&other_engine);
+  auto other = BuildUniversityDatabase(config_, &other_exec);
+  ASSERT_TRUE(other.ok());
+  auto a = MustExecute("RETRIEVE ((FILE = student)) (major) BY student");
+  auto req = abdl::ParseRequest("RETRIEVE ((FILE = student)) (major) BY student");
+  ASSERT_TRUE(req.ok());
+  auto b = other_engine.Execute(*req);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.records, b->records);
+}
+
+TEST_F(UniversityDataTest, SummaryTalliesAllFiles) {
+  size_t total = 0;
+  for (const auto& [file, count] : db_->summary.per_file) {
+    total += count;
+    EXPECT_EQ(engine_.FileSize(file), count) << file;
+  }
+  EXPECT_EQ(total, db_->summary.records);
+}
+
+TEST_F(UniversityDataTest, ThesisExampleAdvancedDatabaseCourseExists) {
+  // The thesis's running FIND ANY example: a course titled
+  // 'Advanced Database'.
+  auto resp = MustExecute(
+      "RETRIEVE ((FILE = course) and (title = 'Advanced Database')) "
+      "(title, semester, credits)");
+  EXPECT_GE(resp.records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlds::university

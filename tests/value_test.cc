@@ -1,0 +1,110 @@
+#include "abdm/value.h"
+
+#include <gtest/gtest.h>
+
+namespace mlds::abdm {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+}
+
+TEST(ValueTest, IntegerRoundTrip) {
+  Value v = Value::Integer(42);
+  EXPECT_TRUE(v.is_integer());
+  EXPECT_EQ(v.AsInteger(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, FloatRoundTrip) {
+  Value v = Value::Float(2.5);
+  EXPECT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.AsFloat(), 2.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v = Value::String("Advanced Database");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "Advanced Database");
+  EXPECT_EQ(v.ToString(), "'Advanced Database'");
+  EXPECT_EQ(v.ToDisplayString(), "Advanced Database");
+}
+
+TEST(ValueTest, ParseQuotedString) {
+  Value v = Value::Parse("'Computer Science'");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "Computer Science");
+}
+
+TEST(ValueTest, ParseDoubleQuotedString) {
+  Value v = Value::Parse("\"hello\"");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hello");
+}
+
+TEST(ValueTest, ParseInteger) {
+  Value v = Value::Parse("123");
+  ASSERT_TRUE(v.is_integer());
+  EXPECT_EQ(v.AsInteger(), 123);
+}
+
+TEST(ValueTest, ParseNegativeInteger) {
+  Value v = Value::Parse("-7");
+  ASSERT_TRUE(v.is_integer());
+  EXPECT_EQ(v.AsInteger(), -7);
+}
+
+TEST(ValueTest, ParseFloat) {
+  Value v = Value::Parse("3.75");
+  ASSERT_TRUE(v.is_float());
+  EXPECT_DOUBLE_EQ(v.AsFloat(), 3.75);
+}
+
+TEST(ValueTest, ParseNull) {
+  EXPECT_TRUE(Value::Parse("NULL").is_null());
+  EXPECT_TRUE(Value::Parse("null").is_null());
+}
+
+TEST(ValueTest, ParseBareWordIsString) {
+  Value v = Value::Parse("course");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "course");
+}
+
+TEST(ValueTest, IntegerFloatCompareNumerically) {
+  EXPECT_EQ(Value::Integer(2).Compare(Value::Float(2.0)), 0);
+  EXPECT_LT(Value::Integer(2).Compare(Value::Float(2.5)), 0);
+  EXPECT_GT(Value::Float(3.0).Compare(Value::Integer(2)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, NullComparesOnlyToNull) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Integer(0)), 0);
+  EXPECT_GT(Value::Integer(0).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, MixedKindOrdering) {
+  // Numeric sorts before string, deterministically.
+  EXPECT_LT(Value::Integer(5).Compare(Value::String("5")), 0);
+  EXPECT_GT(Value::String("a").Compare(Value::Float(9.0)), 0);
+}
+
+TEST(ValueTest, EqualityOperators) {
+  EXPECT_TRUE(Value::Integer(1) == Value::Integer(1));
+  EXPECT_TRUE(Value::Integer(1) != Value::Integer(2));
+  EXPECT_TRUE(Value::Integer(1) < Value::Integer(2));
+}
+
+TEST(ValueTest, NullToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+}  // namespace
+}  // namespace mlds::abdm
