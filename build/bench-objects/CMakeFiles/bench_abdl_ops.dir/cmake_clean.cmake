@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abdl_ops"
+  "../bench/bench_abdl_ops.pdb"
+  "CMakeFiles/bench_abdl_ops.dir/bench_abdl_ops.cc.o"
+  "CMakeFiles/bench_abdl_ops.dir/bench_abdl_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abdl_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_daplex"
+  "../bench/bench_daplex.pdb"
+  "CMakeFiles/bench_daplex.dir/bench_daplex.cc.o"
+  "CMakeFiles/bench_daplex.dir/bench_daplex.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

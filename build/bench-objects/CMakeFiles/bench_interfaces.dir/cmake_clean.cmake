@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interfaces"
+  "../bench/bench_interfaces.pdb"
+  "CMakeFiles/bench_interfaces.dir/bench_interfaces.cc.o"
+  "CMakeFiles/bench_interfaces.dir/bench_interfaces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

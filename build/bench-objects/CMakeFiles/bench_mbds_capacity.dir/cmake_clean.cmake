@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mbds_capacity"
+  "../bench/bench_mbds_capacity.pdb"
+  "CMakeFiles/bench_mbds_capacity.dir/bench_mbds_capacity.cc.o"
+  "CMakeFiles/bench_mbds_capacity.dir/bench_mbds_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbds_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_schema_transform"
+  "../bench/bench_schema_transform.pdb"
+  "CMakeFiles/bench_schema_transform.dir/bench_schema_transform.cc.o"
+  "CMakeFiles/bench_schema_transform.dir/bench_schema_transform.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_model_access.dir/cross_model_access.cpp.o"
+  "CMakeFiles/cross_model_access.dir/cross_model_access.cpp.o.d"
+  "cross_model_access"
+  "cross_model_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_model_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/five_languages.dir/five_languages.cpp.o"
+  "CMakeFiles/five_languages.dir/five_languages.cpp.o.d"
+  "five_languages"
+  "five_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/five_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbds_scaling.dir/mbds_scaling.cpp.o"
+  "CMakeFiles/mbds_scaling.dir/mbds_scaling.cpp.o.d"
+  "mbds_scaling"
+  "mbds_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbds_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlds_shell.dir/mlds_shell.cpp.o"
+  "CMakeFiles/mlds_shell.dir/mlds_shell.cpp.o.d"
+  "mlds_shell"
+  "mlds_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlds_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_lingual.dir/multi_lingual.cpp.o"
+  "CMakeFiles/multi_lingual.dir/multi_lingual.cpp.o.d"
+  "multi_lingual"
+  "multi_lingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_lingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_codasyl.dir/university_codasyl.cpp.o"
+  "CMakeFiles/university_codasyl.dir/university_codasyl.cpp.o.d"
+  "university_codasyl"
+  "university_codasyl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_codasyl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

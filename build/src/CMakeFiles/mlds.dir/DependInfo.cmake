@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abdl/parser.cc" "src/CMakeFiles/mlds.dir/abdl/parser.cc.o" "gcc" "src/CMakeFiles/mlds.dir/abdl/parser.cc.o.d"
+  "/root/repo/src/abdl/request.cc" "src/CMakeFiles/mlds.dir/abdl/request.cc.o" "gcc" "src/CMakeFiles/mlds.dir/abdl/request.cc.o.d"
+  "/root/repo/src/abdm/query.cc" "src/CMakeFiles/mlds.dir/abdm/query.cc.o" "gcc" "src/CMakeFiles/mlds.dir/abdm/query.cc.o.d"
+  "/root/repo/src/abdm/record.cc" "src/CMakeFiles/mlds.dir/abdm/record.cc.o" "gcc" "src/CMakeFiles/mlds.dir/abdm/record.cc.o.d"
+  "/root/repo/src/abdm/value.cc" "src/CMakeFiles/mlds.dir/abdm/value.cc.o" "gcc" "src/CMakeFiles/mlds.dir/abdm/value.cc.o.d"
+  "/root/repo/src/codasyl/ast.cc" "src/CMakeFiles/mlds.dir/codasyl/ast.cc.o" "gcc" "src/CMakeFiles/mlds.dir/codasyl/ast.cc.o.d"
+  "/root/repo/src/codasyl/parser.cc" "src/CMakeFiles/mlds.dir/codasyl/parser.cc.o" "gcc" "src/CMakeFiles/mlds.dir/codasyl/parser.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mlds.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mlds.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/mlds.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/mlds.dir/common/strings.cc.o.d"
+  "/root/repo/src/daplex/ddl_parser.cc" "src/CMakeFiles/mlds.dir/daplex/ddl_parser.cc.o" "gcc" "src/CMakeFiles/mlds.dir/daplex/ddl_parser.cc.o.d"
+  "/root/repo/src/daplex/query.cc" "src/CMakeFiles/mlds.dir/daplex/query.cc.o" "gcc" "src/CMakeFiles/mlds.dir/daplex/query.cc.o.d"
+  "/root/repo/src/daplex/schema.cc" "src/CMakeFiles/mlds.dir/daplex/schema.cc.o" "gcc" "src/CMakeFiles/mlds.dir/daplex/schema.cc.o.d"
+  "/root/repo/src/hierarchical/schema.cc" "src/CMakeFiles/mlds.dir/hierarchical/schema.cc.o" "gcc" "src/CMakeFiles/mlds.dir/hierarchical/schema.cc.o.d"
+  "/root/repo/src/kds/engine.cc" "src/CMakeFiles/mlds.dir/kds/engine.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kds/engine.cc.o.d"
+  "/root/repo/src/kds/file_store.cc" "src/CMakeFiles/mlds.dir/kds/file_store.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kds/file_store.cc.o.d"
+  "/root/repo/src/kds/io_stats.cc" "src/CMakeFiles/mlds.dir/kds/io_stats.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kds/io_stats.cc.o.d"
+  "/root/repo/src/kds/snapshot.cc" "src/CMakeFiles/mlds.dir/kds/snapshot.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kds/snapshot.cc.o.d"
+  "/root/repo/src/kfs/formatter.cc" "src/CMakeFiles/mlds.dir/kfs/formatter.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kfs/formatter.cc.o.d"
+  "/root/repo/src/kms/daplex_machine.cc" "src/CMakeFiles/mlds.dir/kms/daplex_machine.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kms/daplex_machine.cc.o.d"
+  "/root/repo/src/kms/dli_machine.cc" "src/CMakeFiles/mlds.dir/kms/dli_machine.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kms/dli_machine.cc.o.d"
+  "/root/repo/src/kms/dml_machine.cc" "src/CMakeFiles/mlds.dir/kms/dml_machine.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kms/dml_machine.cc.o.d"
+  "/root/repo/src/kms/sql_machine.cc" "src/CMakeFiles/mlds.dir/kms/sql_machine.cc.o" "gcc" "src/CMakeFiles/mlds.dir/kms/sql_machine.cc.o.d"
+  "/root/repo/src/mbds/controller.cc" "src/CMakeFiles/mlds.dir/mbds/controller.cc.o" "gcc" "src/CMakeFiles/mlds.dir/mbds/controller.cc.o.d"
+  "/root/repo/src/mlds/mlds.cc" "src/CMakeFiles/mlds.dir/mlds/mlds.cc.o" "gcc" "src/CMakeFiles/mlds.dir/mlds/mlds.cc.o.d"
+  "/root/repo/src/network/ddl_parser.cc" "src/CMakeFiles/mlds.dir/network/ddl_parser.cc.o" "gcc" "src/CMakeFiles/mlds.dir/network/ddl_parser.cc.o.d"
+  "/root/repo/src/network/schema.cc" "src/CMakeFiles/mlds.dir/network/schema.cc.o" "gcc" "src/CMakeFiles/mlds.dir/network/schema.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/mlds.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/mlds.dir/relational/schema.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/mlds.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/mlds.dir/sql/parser.cc.o.d"
+  "/root/repo/src/transform/abdm_mapping.cc" "src/CMakeFiles/mlds.dir/transform/abdm_mapping.cc.o" "gcc" "src/CMakeFiles/mlds.dir/transform/abdm_mapping.cc.o.d"
+  "/root/repo/src/transform/fun_to_net.cc" "src/CMakeFiles/mlds.dir/transform/fun_to_net.cc.o" "gcc" "src/CMakeFiles/mlds.dir/transform/fun_to_net.cc.o.d"
+  "/root/repo/src/transform/hie_to_abdm.cc" "src/CMakeFiles/mlds.dir/transform/hie_to_abdm.cc.o" "gcc" "src/CMakeFiles/mlds.dir/transform/hie_to_abdm.cc.o.d"
+  "/root/repo/src/transform/rel_to_abdm.cc" "src/CMakeFiles/mlds.dir/transform/rel_to_abdm.cc.o" "gcc" "src/CMakeFiles/mlds.dir/transform/rel_to_abdm.cc.o.d"
+  "/root/repo/src/university/university.cc" "src/CMakeFiles/mlds.dir/university/university.cc.o" "gcc" "src/CMakeFiles/mlds.dir/university/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

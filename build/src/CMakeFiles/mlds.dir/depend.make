@@ -1,0 +1,2 @@
+# Empty dependencies file for mlds.
+# This may be replaced when dependencies are built.

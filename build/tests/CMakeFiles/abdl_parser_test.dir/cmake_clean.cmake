@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdl_parser_test.dir/abdl_parser_test.cc.o"
+  "CMakeFiles/abdl_parser_test.dir/abdl_parser_test.cc.o.d"
+  "abdl_parser_test"
+  "abdl_parser_test.pdb"
+  "abdl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

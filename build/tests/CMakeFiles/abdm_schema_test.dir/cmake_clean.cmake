@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdm_schema_test.dir/abdm_schema_test.cc.o"
+  "CMakeFiles/abdm_schema_test.dir/abdm_schema_test.cc.o.d"
+  "abdm_schema_test"
+  "abdm_schema_test.pdb"
+  "abdm_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdm_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

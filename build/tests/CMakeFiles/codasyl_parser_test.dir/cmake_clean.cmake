@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codasyl_parser_test.dir/codasyl_parser_test.cc.o"
+  "CMakeFiles/codasyl_parser_test.dir/codasyl_parser_test.cc.o.d"
+  "codasyl_parser_test"
+  "codasyl_parser_test.pdb"
+  "codasyl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codasyl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

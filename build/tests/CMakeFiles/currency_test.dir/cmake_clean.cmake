@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/currency_test.dir/currency_test.cc.o"
+  "CMakeFiles/currency_test.dir/currency_test.cc.o.d"
+  "currency_test"
+  "currency_test.pdb"
+  "currency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/currency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daplex_machine_test.dir/daplex_machine_test.cc.o"
+  "CMakeFiles/daplex_machine_test.dir/daplex_machine_test.cc.o.d"
+  "daplex_machine_test"
+  "daplex_machine_test.pdb"
+  "daplex_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daplex_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

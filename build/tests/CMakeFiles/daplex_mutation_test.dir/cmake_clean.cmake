@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daplex_mutation_test.dir/daplex_mutation_test.cc.o"
+  "CMakeFiles/daplex_mutation_test.dir/daplex_mutation_test.cc.o.d"
+  "daplex_mutation_test"
+  "daplex_mutation_test.pdb"
+  "daplex_mutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daplex_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

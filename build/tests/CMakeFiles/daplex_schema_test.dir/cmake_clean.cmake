@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daplex_schema_test.dir/daplex_schema_test.cc.o"
+  "CMakeFiles/daplex_schema_test.dir/daplex_schema_test.cc.o.d"
+  "daplex_schema_test"
+  "daplex_schema_test.pdb"
+  "daplex_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daplex_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dli_machine_test.dir/dli_machine_test.cc.o"
+  "CMakeFiles/dli_machine_test.dir/dli_machine_test.cc.o.d"
+  "dli_machine_test"
+  "dli_machine_test.pdb"
+  "dli_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dli_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_edge_test.dir/dml_edge_test.cc.o"
+  "CMakeFiles/dml_edge_test.dir/dml_edge_test.cc.o.d"
+  "dml_edge_test"
+  "dml_edge_test.pdb"
+  "dml_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

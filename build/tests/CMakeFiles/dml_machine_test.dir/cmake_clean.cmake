@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_machine_test.dir/dml_machine_test.cc.o"
+  "CMakeFiles/dml_machine_test.dir/dml_machine_test.cc.o.d"
+  "dml_machine_test"
+  "dml_machine_test.pdb"
+  "dml_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

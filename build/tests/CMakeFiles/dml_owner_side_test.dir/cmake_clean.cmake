@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_owner_side_test.dir/dml_owner_side_test.cc.o"
+  "CMakeFiles/dml_owner_side_test.dir/dml_owner_side_test.cc.o.d"
+  "dml_owner_side_test"
+  "dml_owner_side_test.pdb"
+  "dml_owner_side_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_owner_side_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

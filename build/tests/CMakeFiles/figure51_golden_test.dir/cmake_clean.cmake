@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure51_golden_test.dir/figure51_golden_test.cc.o"
+  "CMakeFiles/figure51_golden_test.dir/figure51_golden_test.cc.o.d"
+  "figure51_golden_test"
+  "figure51_golden_test.pdb"
+  "figure51_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure51_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun_to_net_test.dir/fun_to_net_test.cc.o"
+  "CMakeFiles/fun_to_net_test.dir/fun_to_net_test.cc.o.d"
+  "fun_to_net_test"
+  "fun_to_net_test.pdb"
+  "fun_to_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun_to_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kds_engine_test.dir/kds_engine_test.cc.o"
+  "CMakeFiles/kds_engine_test.dir/kds_engine_test.cc.o.d"
+  "kds_engine_test"
+  "kds_engine_test.pdb"
+  "kds_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kds_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

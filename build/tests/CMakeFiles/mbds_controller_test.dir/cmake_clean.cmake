@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbds_controller_test.dir/mbds_controller_test.cc.o"
+  "CMakeFiles/mbds_controller_test.dir/mbds_controller_test.cc.o.d"
+  "mbds_controller_test"
+  "mbds_controller_test.pdb"
+  "mbds_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbds_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlds_system_test.dir/mlds_system_test.cc.o"
+  "CMakeFiles/mlds_system_test.dir/mlds_system_test.cc.o.d"
+  "mlds_system_test"
+  "mlds_system_test.pdb"
+  "mlds_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlds_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

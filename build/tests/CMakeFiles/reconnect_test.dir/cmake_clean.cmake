@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconnect_test.dir/reconnect_test.cc.o"
+  "CMakeFiles/reconnect_test.dir/reconnect_test.cc.o.d"
+  "reconnect_test"
+  "reconnect_test.pdb"
+  "reconnect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconnect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

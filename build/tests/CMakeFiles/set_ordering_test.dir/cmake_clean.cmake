@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_ordering_test.dir/set_ordering_test.cc.o"
+  "CMakeFiles/set_ordering_test.dir/set_ordering_test.cc.o.d"
+  "set_ordering_test"
+  "set_ordering_test.pdb"
+  "set_ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

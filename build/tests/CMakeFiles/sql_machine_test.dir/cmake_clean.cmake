@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_machine_test.dir/sql_machine_test.cc.o"
+  "CMakeFiles/sql_machine_test.dir/sql_machine_test.cc.o.d"
+  "sql_machine_test"
+  "sql_machine_test.pdb"
+  "sql_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_property_test.dir/transform_property_test.cc.o"
+  "CMakeFiles/transform_property_test.dir/transform_property_test.cc.o.d"
+  "transform_property_test"
+  "transform_property_test.pdb"
+  "transform_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

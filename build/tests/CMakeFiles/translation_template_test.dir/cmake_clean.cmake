@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_template_test.dir/translation_template_test.cc.o"
+  "CMakeFiles/translation_template_test.dir/translation_template_test.cc.o.d"
+  "translation_template_test"
+  "translation_template_test.pdb"
+  "translation_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Figure51GoldenTest.TransformedUniversityDdlMatchesGolden]=]  /root/repo/build/tests/figure51_golden_test [==[--gtest_filter=Figure51GoldenTest.TransformedUniversityDdlMatchesGolden]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Figure51GoldenTest.TransformedUniversityDdlMatchesGolden]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  figure51_golden_test_TESTS Figure51GoldenTest.TransformedUniversityDdlMatchesGolden)
