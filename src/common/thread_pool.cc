@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace mlds::common {
+
+/// Shared bookkeeping of one ParallelFor call. Tasks enqueued on the pool
+/// and the calling thread all claim indices from `next` until exhausted;
+/// the last finisher signals `done`.
+struct ThreadPool::ForState {
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(num_threads > 0 ? num_threads : 0);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunIterations(ForState* state) {
+  for (;;) {
+    const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) break;
+    try {
+      (*state->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->error_mutex);
+      if (!state->first_error) state->first_error = std::current_exception();
+    }
+    if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->n) {
+      // Wake the caller; the lock orders the notify against its wait.
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // The state lives on the caller's stack: the caller cannot return until
+  // every iteration has completed, and helper tasks that find no index
+  // left exit without touching it... except they do read `next`/`n`. To
+  // keep stragglers safe after the caller unblocks, helpers hold a
+  // shared_ptr.
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  // n-1 helpers at most: the caller claims work too, so a helper for
+  // every iteration would leave one task with nothing to do.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { RunIterations(state.get()); });
+    }
+  }
+  wake_.notify_all();
+  RunIterations(state.get());
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == n;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace mlds::common

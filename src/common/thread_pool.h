@@ -1,0 +1,62 @@
+#ifndef MLDS_COMMON_THREAD_POOL_H_
+#define MLDS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlds::common {
+
+/// A small fixed-size worker pool for fan-out/fan-in parallelism.
+///
+/// The pool exists so the MBDS controller can drive its backends truly
+/// concurrently (each backend is an independent kds::Engine with its own
+/// lock), instead of looping over them on the calling thread. It is
+/// deliberately minimal: a task queue, N workers, and a blocking
+/// ParallelFor whose *caller participates* in the work. Caller
+/// participation guarantees forward progress even when every worker is
+/// busy serving another caller (many client threads may share one
+/// controller, and therefore one pool), and makes a zero-worker pool a
+/// correct serial fallback.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is valid: all work runs on callers).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(0) .. fn(n-1), returning once all have completed. Iterations
+  /// may run on any mix of worker threads and the calling thread; no
+  /// ordering between iterations is guaranteed, so `fn` must only touch
+  /// disjoint or synchronized state. If an iteration throws, the first
+  /// exception is rethrown on the caller after all iterations finish.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct ForState;
+
+  /// Claims and runs iterations of `state` until none remain.
+  static void RunIterations(ForState* state);
+
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mlds::common
+
+#endif  // MLDS_COMMON_THREAD_POOL_H_

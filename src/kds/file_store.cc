@@ -1,6 +1,8 @@
 #include "kds/file_store.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 namespace mlds::kds {
 
@@ -54,92 +56,135 @@ RecordId FileStore::Insert(abdm::Record record, IoStats* io) {
 
 std::optional<std::vector<RecordId>> FileStore::IndexLookup(
     const abdm::Predicate& pred, IoStats* io) const {
+  if (pred.op == abdm::RelOp::kNe) {
+    // Not index-assisted: nearly the whole file qualifies.
+    return std::nullopt;
+  }
   if (!IsDirectoryAttribute(pred.attribute)) return std::nullopt;
   auto attr_it = index_.find(pred.attribute);
   if (attr_it == index_.end()) {
-    // Attribute never seen: equality can be answered (empty) from the
-    // directory alone; range predicates fall back to a scan of nothing too.
+    // Attribute never seen: the directory alone proves nothing matches.
     if (io != nullptr) io->index_probes += 1;
     return std::vector<RecordId>{};
   }
   const auto& by_value = attr_it->second;
   if (io != nullptr) io->index_probes += 1;
   std::vector<RecordId> out;
-  switch (pred.op) {
-    case abdm::RelOp::kEq: {
-      auto it = by_value.find(pred.value);
-      if (it != by_value.end()) out.assign(it->second.begin(), it->second.end());
-      break;
+  if (pred.op == abdm::RelOp::kEq) {
+    auto it = by_value.find(pred.value);
+    if (it != by_value.end()) out.assign(it->second.begin(), it->second.end());
+  } else {
+    // The directory is an ordered map, so a range predicate is one
+    // lower/upper-bound seek plus iteration over the qualifying buckets —
+    // buckets outside the bound are never visited.
+    auto first = by_value.begin();
+    auto last = by_value.end();
+    switch (pred.op) {
+      case abdm::RelOp::kLt:
+        last = by_value.lower_bound(pred.value);
+        break;
+      case abdm::RelOp::kLe:
+        last = by_value.upper_bound(pred.value);
+        break;
+      case abdm::RelOp::kGt:
+        first = by_value.upper_bound(pred.value);
+        break;
+      case abdm::RelOp::kGe:
+        first = by_value.lower_bound(pred.value);
+        break;
+      default:
+        break;
     }
-    case abdm::RelOp::kLt:
-    case abdm::RelOp::kLe: {
-      for (auto it = by_value.begin(); it != by_value.end(); ++it) {
-        const int cmp = it->first.Compare(pred.value);
-        if (cmp > 0 || (cmp == 0 && pred.op == abdm::RelOp::kLt)) break;
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-      break;
+    for (auto it = first; it != last; ++it) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
     }
-    case abdm::RelOp::kGt:
-    case abdm::RelOp::kGe: {
-      for (auto it = by_value.rbegin(); it != by_value.rend(); ++it) {
-        const int cmp = it->first.Compare(pred.value);
-        if (cmp < 0 || (cmp == 0 && pred.op == abdm::RelOp::kGt)) break;
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-      break;
-    }
-    case abdm::RelOp::kNe:
-      // Not index-assisted: nearly the whole file qualifies.
-      return std::nullopt;
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
+std::optional<size_t> FileStore::EstimateCandidates(
+    const abdm::Predicate& pred) const {
+  if (pred.value.is_null()) return std::nullopt;  // null predicates scan.
+  if (pred.op == abdm::RelOp::kNe) return std::nullopt;
+  if (!IsDirectoryAttribute(pred.attribute)) return std::nullopt;
+  auto attr_it = index_.find(pred.attribute);
+  if (attr_it == index_.end()) return 0;
+  const auto& by_value = attr_it->second;
+  if (pred.op == abdm::RelOp::kEq) {
+    auto it = by_value.find(pred.value);
+    return it == by_value.end() ? 0 : it->second.size();
+  }
+  auto first = by_value.begin();
+  auto last = by_value.end();
+  switch (pred.op) {
+    case abdm::RelOp::kLt:
+      last = by_value.lower_bound(pred.value);
+      break;
+    case abdm::RelOp::kLe:
+      last = by_value.upper_bound(pred.value);
+      break;
+    case abdm::RelOp::kGt:
+      first = by_value.upper_bound(pred.value);
+      break;
+    case abdm::RelOp::kGe:
+      first = by_value.lower_bound(pred.value);
+      break;
+    default:
+      break;
+  }
+  size_t total = 0;
+  for (auto it = first; it != last; ++it) total += it->second.size();
+  return total;
+}
+
 void FileStore::SelectConjunction(const abdm::Conjunction& conj,
                                   std::set<RecordId>* out, IoStats* io) const {
-  // Pick the most selective index-assisted predicate as the access path.
-  // Equality predicates are estimated without materializing their
-  // candidate lists (the FILE keyword's bucket holds every record of the
-  // file, and copying it per query would make point lookups O(n)); a
-  // range predicate is only materialized when no equality bucket beats a
-  // full scan.
-  const abdm::Predicate* best_eq = nullptr;
-  size_t best_eq_size = 0;
-  const abdm::Predicate* range_candidate = nullptr;
-  bool empty_eq = false;
+  // Cost-based access path: every index-assisted predicate — equality or
+  // range — is estimated from the directory's bucket sizes without
+  // materializing its candidate list (the FILE keyword's bucket holds
+  // every record of the file, and copying it per query would make point
+  // lookups O(n)). The cheapest estimate drives the fetch, so a tight
+  // range beats a broad equality like FILE = f; further candidate sets
+  // are then intersected cheapest-bucket-first while they stay small
+  // relative to the survivors, shrinking the set of blocks fetched before
+  // any record is examined.
+  std::vector<std::pair<const abdm::Predicate*, size_t>> indexed;
+  bool proven_empty = false;
   for (const auto& pred : conj.predicates) {
-    if (pred.value.is_null()) continue;  // null predicates need a scan.
-    if (!IsDirectoryAttribute(pred.attribute)) continue;
-    if (pred.op == abdm::RelOp::kEq) {
-      auto attr_it = index_.find(pred.attribute);
-      size_t size = 0;
-      if (attr_it != index_.end()) {
-        auto val_it = attr_it->second.find(pred.value);
-        if (val_it != attr_it->second.end()) size = val_it->second.size();
-      }
-      if (size == 0) {
-        empty_eq = true;  // directory proves no record matches.
-        if (io != nullptr) io->index_probes += 1;
-        break;
-      }
-      if (best_eq == nullptr || size < best_eq_size) {
-        best_eq = &pred;
-        best_eq_size = size;
-      }
-    } else if (pred.op != abdm::RelOp::kNe && range_candidate == nullptr) {
-      range_candidate = &pred;
+    std::optional<size_t> estimate = EstimateCandidates(pred);
+    if (!estimate.has_value()) continue;
+    if (*estimate == 0) {
+      proven_empty = true;  // directory proves no record matches.
+      if (io != nullptr) io->index_probes += 1;
+      break;
     }
+    indexed.emplace_back(&pred, *estimate);
   }
+  std::stable_sort(indexed.begin(), indexed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second < b.second;
+                   });
 
   std::optional<std::vector<RecordId>> best;
-  if (empty_eq) {
+  if (proven_empty) {
     best = std::vector<RecordId>{};
-  } else if (best_eq != nullptr) {
-    best = IndexLookup(*best_eq, io);
-  } else if (range_candidate != nullptr) {
-    best = IndexLookup(*range_candidate, io);
+  } else if (!indexed.empty()) {
+    best = IndexLookup(*indexed.front().first, io);
+    for (size_t k = 1; k < indexed.size() && !best->empty(); ++k) {
+      // Materializing a set costs O(its estimate); only worth it while
+      // that stays within a small factor of the current survivor count
+      // (beyond that, per-record verification is cheaper).
+      if (indexed[k].second > 4 * best->size() + 16) break;
+      std::optional<std::vector<RecordId>> next =
+          IndexLookup(*indexed[k].first, io);
+      if (!next.has_value()) continue;
+      std::vector<RecordId> intersection;
+      intersection.reserve(std::min(best->size(), next->size()));
+      std::set_intersection(best->begin(), best->end(), next->begin(),
+                            next->end(), std::back_inserter(intersection));
+      *best = std::move(intersection);
+    }
   }
 
   std::set<uint64_t> blocks_touched;

@@ -82,10 +82,16 @@ class FileStore {
   void SelectConjunction(const abdm::Conjunction& conj,
                          std::set<RecordId>* out, IoStats* io) const;
 
-  /// Candidate ids from the directory for an indexed equality predicate;
+  /// Candidate ids from the directory for an index-assisted predicate
+  /// (equality, or a range served by ordered lower/upper-bound iteration);
   /// nullopt if the predicate is not index-assisted.
   std::optional<std::vector<RecordId>> IndexLookup(
       const abdm::Predicate& pred, IoStats* io) const;
+
+  /// Number of candidate ids IndexLookup would return for `pred`, read off
+  /// the directory's bucket sizes without materializing anything; nullopt
+  /// if the predicate is not index-assisted.
+  std::optional<size_t> EstimateCandidates(const abdm::Predicate& pred) const;
 
   bool IsDirectoryAttribute(std::string_view attr) const;
 

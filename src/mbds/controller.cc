@@ -1,10 +1,31 @@
 #include "mbds/controller.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <functional>
 #include <map>
+#include <thread>
 
 namespace mlds::mbds {
+
+namespace {
+
+/// Outcome of one backend's share of a broadcast. Each slot is written by
+/// exactly one ParallelFor iteration, so the vector needs no lock.
+struct BackendRun {
+  Status status;
+  kds::Response response;
+  double ms = 0.0;
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 Controller::Controller(MbdsOptions options) : options_(options) {
   const int n = std::max(1, options_.num_backends);
@@ -12,18 +33,31 @@ Controller::Controller(MbdsOptions options) : options_(options) {
   for (int i = 0; i < n; ++i) {
     backends_.push_back(std::make_unique<Backend>(i, options_.engine));
   }
+  pool_ = std::make_unique<common::ThreadPool>(n - 1);
+  latency_scale_.store(options_.latency_scale, std::memory_order_relaxed);
 }
 
 Status Controller::DefineDatabase(const abdm::DatabaseDescriptor& db) {
-  for (auto& backend : backends_) {
-    MLDS_RETURN_IF_ERROR(backend->engine().DefineDatabase(db));
+  // Definitions broadcast like any other request: all backends create the
+  // files concurrently. Errors are reported in backend-id order so the
+  // result is deterministic.
+  std::vector<Status> statuses(backends_.size());
+  pool_->ParallelFor(backends_.size(), [&](size_t i) {
+    statuses[i] = backends_[i]->engine().DefineDatabase(db);
+  });
+  for (const Status& status : statuses) {
+    MLDS_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }
 
 Status Controller::DefineFile(const abdm::FileDescriptor& descriptor) {
-  for (auto& backend : backends_) {
-    MLDS_RETURN_IF_ERROR(backend->engine().DefineFile(descriptor));
+  std::vector<Status> statuses(backends_.size());
+  pool_->ParallelFor(backends_.size(), [&](size_t i) {
+    statuses[i] = backends_[i]->engine().DefineFile(descriptor);
+  });
+  for (const Status& status : statuses) {
+    MLDS_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }
@@ -37,8 +71,29 @@ Result<ExecutionReport> Controller::Execute(const abdl::Request& request) {
       std::holds_alternative<abdl::InsertRequest>(request)
           ? ExecuteInsert(std::get<abdl::InsertRequest>(request))
           : ExecuteBroadcast(request);
-  if (result.ok()) total_response_ms_ += result->response_time_ms;
+  if (result.ok()) {
+    total_response_ms_.fetch_add(result->response_time_ms,
+                                 std::memory_order_relaxed);
+  }
   return result;
+}
+
+Result<std::pair<kds::Response, double>> Controller::RunOnBackend(
+    size_t i, const abdl::Request& request) {
+  Backend& backend = *backends_[i];
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, backend.engine().Execute(request));
+  const double ms = options_.disk.CostMs(resp.io);
+  backend.AddBusyMs(ms);
+  const double scale = latency_scale_.load(std::memory_order_relaxed);
+  if (scale > 0.0 && ms > 0.0) {
+    // Emulate the dedicated disk: the backend is not done until its disk
+    // would be. Backends sleep concurrently on the pool, so a broadcast's
+    // wall-clock cost is the slowest backend's latency, not the sum —
+    // the physical behaviour behind the paper's response-time curves.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms * scale));
+  }
+  return std::make_pair(std::move(resp), ms);
 }
 
 Result<ExecutionReport> Controller::ExecuteInsert(
@@ -46,7 +101,9 @@ Result<ExecutionReport> Controller::ExecuteInsert(
   // Record distribution: round-robin spreads every file evenly over the
   // disks; hash placement derives the backend from the record's database
   // key so placement is order-independent.
-  size_t target_index = insert_cursor_ % backends_.size();
+  size_t target_index =
+      insert_cursor_.fetch_add(1, std::memory_order_relaxed) %
+      backends_.size();
   if (options_.placement == PlacementPolicy::kHashKey &&
       request.record.keywords().size() >= 2) {
     const abdm::Keyword& key = request.record.keywords()[1];
@@ -54,19 +111,18 @@ Result<ExecutionReport> Controller::ExecuteInsert(
                                             key.value.ToString()) %
                    backends_.size();
   }
-  Backend& target = *backends_[target_index];
-  ++insert_cursor_;
 
+  const auto start = std::chrono::steady_clock::now();
   ExecutionReport report;
   report.backend_times_ms.assign(backends_.size(), 0.0);
-  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
-                        target.engine().Execute(abdl::Request(request)));
-  const double ms = options_.disk.CostMs(resp.io);
-  target.AddBusyMs(ms);
-  report.backend_times_ms[target.id()] = ms;
+  MLDS_ASSIGN_OR_RETURN(auto outcome,
+                        RunOnBackend(target_index, abdl::Request(request)));
+  auto& [resp, ms] = outcome;
+  report.backend_times_ms[target_index] = ms;
   report.response.affected = resp.affected;
   report.response.io = resp.io;
   report.response_time_ms = options_.bus.RoundTripMs() + ms;
+  report.wall_time_ms = ElapsedMs(start);
   return report;
 }
 
@@ -92,22 +148,34 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
     broadcast = raw;
   }
 
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<BackendRun> runs(backends_.size());
+  pool_->ParallelFor(backends_.size(), [&](size_t i) {
+    auto outcome = RunOnBackend(i, broadcast);
+    if (!outcome.ok()) {
+      runs[i].status = outcome.status();
+      return;
+    }
+    runs[i].response = std::move(outcome->first);
+    runs[i].ms = outcome->second;
+  });
+  const double wall_ms = ElapsedMs(start);
+
+  // Merge in backend-id order: deterministic results and error reporting
+  // no matter which backend finished first.
   ExecutionReport report;
   report.backend_times_ms.reserve(backends_.size());
   std::vector<abdm::Record> merged;
   double max_ms = 0.0;
-  for (auto& backend : backends_) {
-    MLDS_ASSIGN_OR_RETURN(kds::Response resp,
-                          backend->engine().Execute(broadcast));
-    const double ms = options_.disk.CostMs(resp.io);
-    backend->AddBusyMs(ms);
-    report.backend_times_ms.push_back(ms);
-    max_ms = std::max(max_ms, ms);
-    report.response.affected += resp.affected;
-    report.response.io += resp.io;
+  for (BackendRun& run : runs) {
+    MLDS_RETURN_IF_ERROR(run.status);
+    report.backend_times_ms.push_back(run.ms);
+    max_ms = std::max(max_ms, run.ms);
+    report.response.affected += run.response.affected;
+    report.response.io += run.response.io;
     merged.insert(merged.end(),
-                  std::make_move_iterator(resp.records.begin()),
-                  std::make_move_iterator(resp.records.end()));
+                  std::make_move_iterator(run.response.records.begin()),
+                  std::make_move_iterator(run.response.records.end()));
   }
   if (retrieve != nullptr) {
     report.response.records = kds::PostProcessRetrieve(*retrieve,
@@ -116,42 +184,56 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
     report.response.records = std::move(merged);
   }
   report.response_time_ms = options_.bus.RoundTripMs() + max_ms;
+  report.wall_time_ms = wall_ms;
   return report;
 }
 
 Result<ExecutionReport> Controller::ExecuteDistributedJoin(
     const abdl::RetrieveCommonRequest& request) {
-  auto fetch_side = [&](const abdm::Query& query, ExecutionReport* report,
-                        double* max_ms) -> Result<std::vector<abdm::Record>> {
+  const size_t n = backends_.size();
+
+  // Both sides fan out as one batch of 2n concurrent single-backend
+  // retrieves. Simulated time still charges the sides as consecutive
+  // parallel phases (each costs its slowest backend), matching the
+  // paper's two-message exchange; wall-clock overlaps everything.
+  std::array<abdl::Request, 2> sides;
+  {
     abdl::RetrieveRequest raw;
-    raw.query = query;
+    raw.query = request.left_query;
     raw.all_attributes = true;
-    std::vector<abdm::Record> merged;
-    for (size_t i = 0; i < backends_.size(); ++i) {
-      MLDS_ASSIGN_OR_RETURN(kds::Response resp,
-                            backends_[i]->engine().Execute(abdl::Request(raw)));
-      const double ms = options_.disk.CostMs(resp.io);
-      backends_[i]->AddBusyMs(ms);
-      report->backend_times_ms[i] += ms;
-      *max_ms = std::max(*max_ms, ms);
-      report->response.io += resp.io;
-      merged.insert(merged.end(),
-                    std::make_move_iterator(resp.records.begin()),
-                    std::make_move_iterator(resp.records.end()));
+    sides[0] = raw;
+    raw.query = request.right_query;
+    sides[1] = raw;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<BackendRun> runs(2 * n);
+  pool_->ParallelFor(2 * n, [&](size_t task) {
+    auto outcome = RunOnBackend(task % n, sides[task / n]);
+    if (!outcome.ok()) {
+      runs[task].status = outcome.status();
+      return;
     }
-    return merged;
-  };
+    runs[task].response = std::move(outcome->first);
+    runs[task].ms = outcome->second;
+  });
+  const double wall_ms = ElapsedMs(start);
 
   ExecutionReport report;
-  report.backend_times_ms.assign(backends_.size(), 0.0);
-  // The two sides execute as consecutive parallel phases: each phase
-  // costs its slowest backend.
-  double left_max = 0.0;
-  double right_max = 0.0;
-  MLDS_ASSIGN_OR_RETURN(std::vector<abdm::Record> left,
-                        fetch_side(request.left_query, &report, &left_max));
-  MLDS_ASSIGN_OR_RETURN(std::vector<abdm::Record> right,
-                        fetch_side(request.right_query, &report, &right_max));
+  report.backend_times_ms.assign(n, 0.0);
+  double side_max[2] = {0.0, 0.0};
+  std::vector<abdm::Record> left, right;
+  for (size_t task = 0; task < runs.size(); ++task) {
+    BackendRun& run = runs[task];
+    MLDS_RETURN_IF_ERROR(run.status);
+    report.backend_times_ms[task % n] += run.ms;
+    side_max[task / n] = std::max(side_max[task / n], run.ms);
+    report.response.io += run.response.io;
+    std::vector<abdm::Record>& side = task < n ? left : right;
+    side.insert(side.end(),
+                std::make_move_iterator(run.response.records.begin()),
+                std::make_move_iterator(run.response.records.end()));
+  }
 
   // Hash join at the controller, mirroring the kernel engine's local
   // RETRIEVE-COMMON semantics.
@@ -181,7 +263,8 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
     }
   }
   report.response_time_ms =
-      2 * options_.bus.RoundTripMs() + left_max + right_max;
+      2 * options_.bus.RoundTripMs() + side_max[0] + side_max[1];
+  report.wall_time_ms = wall_ms;
   return report;
 }
 
@@ -192,6 +275,7 @@ Result<ExecutionReport> Controller::ExecuteTransaction(
   for (const auto& request : txn) {
     MLDS_ASSIGN_OR_RETURN(ExecutionReport report, Execute(request));
     total.response_time_ms += report.response_time_ms;
+    total.wall_time_ms += report.wall_time_ms;
     total.response.affected += report.response.affected;
     total.response.io += report.response.io;
     for (size_t i = 0; i < report.backend_times_ms.size(); ++i) {
@@ -222,7 +306,7 @@ uint64_t Controller::TotalBlocks() const {
 }
 
 void Controller::ResetTiming() {
-  total_response_ms_ = 0.0;
+  total_response_ms_.store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace mlds::mbds

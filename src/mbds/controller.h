@@ -1,6 +1,7 @@
 #ifndef MLDS_MBDS_CONTROLLER_H_
 #define MLDS_MBDS_CONTROLLER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "abdl/request.h"
 #include "abdm/schema.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "kds/engine.h"
 #include "mbds/disk_model.h"
 
@@ -24,13 +26,17 @@ class Backend {
   const kds::Engine& engine() const { return engine_; }
 
   /// Total simulated milliseconds this backend's disk has been busy.
-  double busy_ms() const { return busy_ms_; }
-  void AddBusyMs(double ms) { busy_ms_ += ms; }
+  /// Atomic: broadcast fan-out executes backends on pool threads, and
+  /// several client threads may drive the controller at once.
+  double busy_ms() const { return busy_ms_.load(std::memory_order_relaxed); }
+  void AddBusyMs(double ms) {
+    busy_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
  private:
   int id_;
   kds::Engine engine_;
-  double busy_ms_ = 0.0;
+  std::atomic<double> busy_ms_{0.0};
 };
 
 /// Execution outcome of one request through the backend controller.
@@ -40,6 +46,11 @@ struct ExecutionReport {
   /// Simulated response time: bus round trip + the slowest participating
   /// backend (backends execute in parallel).
   double response_time_ms = 0.0;
+  /// Measured wall-clock time of the fan-out/merge, in milliseconds. With
+  /// more than one backend this is the time of the slowest concurrent
+  /// backend, not the sum — the real-hardware counterpart of
+  /// `response_time_ms`'s simulated claim.
+  double wall_time_ms = 0.0;
   /// Per-backend execution times for this request.
   std::vector<double> backend_times_ms;
 };
@@ -61,6 +72,13 @@ struct MbdsOptions {
   DiskModel disk;
   BusModel bus;
   PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  /// When > 0, each backend *actually waits* `CostMs(io) * latency_scale`
+  /// wall-clock milliseconds after executing a request, emulating its
+  /// dedicated disk's latency. Backends wait concurrently, so this turns
+  /// the simulated-time model into observable wall-clock behaviour (the
+  /// paper's response times were dominated by exactly this disk latency).
+  /// 0 disables injection; see also Controller::set_latency_scale.
+  double latency_scale = 0.0;
 };
 
 /// The MBDS backend controller (master): supervises execution of database
@@ -68,12 +86,22 @@ struct MbdsOptions {
 ///
 /// Record distribution: INSERTs are routed round-robin so every file's
 /// records spread evenly over the backends' disks. All other requests are
-/// broadcast; each backend executes against its partition, and the
-/// controller merges replies. The simulated response time of a broadcast
-/// is the *maximum* backend time (they run in parallel) plus the bus round
-/// trip — which is exactly what yields the paper's two results: reciprocal
-/// response-time decrease as backends are added at fixed database size,
-/// and response-time invariance when backends grow with the database.
+/// broadcast; each backend executes against its partition *concurrently*
+/// (on the controller's thread pool), and the controller merges replies in
+/// backend-id order so results are deterministic regardless of completion
+/// order. The simulated response time of a broadcast is the *maximum*
+/// backend time (they run in parallel) plus the bus round trip — which is
+/// exactly what yields the paper's two results: reciprocal response-time
+/// decrease as backends are added at fixed database size, and
+/// response-time invariance when backends grow with the database.
+///
+/// Thread safety: the controller may be driven by many client threads at
+/// once. `backends_` is immutable after construction (backends are never
+/// added or removed), each kds::Engine serializes internally, and the
+/// controller's own mutable state (`insert_cursor_`, `total_response_ms_`,
+/// per-backend `busy_ms_`) is atomic. Const accessors (FileSize,
+/// TotalBlocks, backend(), HasFile) therefore need no controller-level
+/// lock: they read the immutable vector and locked/atomic state only.
 class Controller {
  public:
   explicit Controller(MbdsOptions options);
@@ -104,8 +132,17 @@ class Controller {
   uint64_t TotalBlocks() const;
 
   /// Cumulative simulated response time of every executed request.
-  double total_response_time_ms() const { return total_response_ms_; }
+  double total_response_time_ms() const {
+    return total_response_ms_.load(std::memory_order_relaxed);
+  }
   void ResetTiming();
+
+  /// Adjusts disk-latency injection at runtime (see
+  /// MbdsOptions::latency_scale). Benchmarks load data with injection off
+  /// and enable it only for the measured phase.
+  void set_latency_scale(double scale) {
+    latency_scale_.store(scale, std::memory_order_relaxed);
+  }
 
   const Backend& backend(int i) const { return *backends_[i]; }
 
@@ -117,10 +154,21 @@ class Controller {
   Result<ExecutionReport> ExecuteDistributedJoin(
       const abdl::RetrieveCommonRequest& request);
 
+  /// Executes `request` on backend `i`, charging its busy time and
+  /// sleeping the injected latency. Returns the engine response and the
+  /// simulated milliseconds spent.
+  Result<std::pair<kds::Response, double>> RunOnBackend(
+      size_t i, const abdl::Request& request);
+
   MbdsOptions options_;
+  /// Immutable after the constructor; see the class comment.
   std::vector<std::unique_ptr<Backend>> backends_;
-  uint64_t insert_cursor_ = 0;
-  double total_response_ms_ = 0.0;
+  /// Fan-out workers: backends-1 threads, the calling thread covers the
+  /// last backend. A single-backend controller runs purely serially.
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::atomic<uint64_t> insert_cursor_{0};
+  std::atomic<double> total_response_ms_{0.0};
+  std::atomic<double> latency_scale_{0.0};
 };
 
 }  // namespace mlds::mbds

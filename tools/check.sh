@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the repo twice — once plain, once under
+# ThreadSanitizer — so the controller's parallel broadcast path is
+# race-checked on every PR.
+#
+# Usage:
+#   tools/check.sh                 # plain + TSan, full suite
+#   MLDS_TSAN_FILTER=Parallel tools/check.sh   # restrict the TSan ctest run
+#   MLDS_SKIP_TSAN=1 tools/check.sh            # plain build only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSan run skipped (MLDS_SKIP_TSAN=1) =="
+  exit 0
+fi
+
+echo "== ThreadSanitizer build =="
+cmake -B build-tsan -S . -DMLDS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+# TSan aborts the test on the first data race (halt_on_error) so races
+# fail the suite loudly rather than scrolling past.
+(cd build-tsan && \
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --output-on-failure -j "${JOBS}" ${MLDS_TSAN_FILTER:+-R "${MLDS_TSAN_FILTER}"})
+
+echo "== all checks passed =="
