@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "abdl/parser.h"
+#include "bench_json.h"
 #include "mbds/controller.h"
 
 namespace {
@@ -149,31 +150,23 @@ void WriteScalingJson(const char* path) {
     runs.push_back(run);
   }
 
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  bench::BenchReport report("mbds_scaling");
+  report.root()
+      .Set("workload", "broadcast full-scan retrieve")
+      .Set("records", kRecords)
+      .Set("latency_scale", kLatencyScale);
+  for (const ScalingRun& r : runs) {
+    report.AddRow("runs")
+        .Set("backends", r.backends)
+        .Set("sim_ms", r.sim_ms)
+        .Set("wall_ms", r.wall_ms)
+        .Set("sim_speedup_vs_1", runs[0].sim_ms / r.sim_ms)
+        .Set("wall_speedup_vs_1", runs[0].wall_ms / r.wall_ms);
   }
-  std::fprintf(out,
-               "{\n  \"benchmark\": \"mbds_scaling\",\n"
-               "  \"workload\": \"broadcast full-scan retrieve\",\n"
-               "  \"records\": %d,\n  \"latency_scale\": %g,\n"
-               "  \"runs\": [\n",
-               kRecords, kLatencyScale);
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const ScalingRun& r = runs[i];
-    std::fprintf(out,
-                 "    {\"backends\": %d, \"sim_ms\": %.3f, "
-                 "\"wall_ms\": %.3f, \"sim_speedup_vs_1\": %.3f, "
-                 "\"wall_speedup_vs_1\": %.3f}%s\n",
-                 r.backends, r.sim_ms, r.wall_ms,
-                 runs[0].sim_ms / r.sim_ms, runs[0].wall_ms / r.wall_ms,
-                 i + 1 < runs.size() ? "," : "");
+  if (report.Write(path)) {
+    std::printf("wrote %s (wall speedup 4 backends vs 1: %.2fx)\n", path,
+                runs[0].wall_ms / runs[2].wall_ms);
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s (wall speedup 4 backends vs 1: %.2fx)\n", path,
-              runs[0].wall_ms / runs[2].wall_ms);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "abdl/parser.h"
+#include "bench_json.h"
 #include "kds/engine.h"
 
 namespace {
@@ -128,34 +129,22 @@ void WriteRangeJson(const char* path) {
     q.rows = resp.records.size();
   }
 
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  bench::BenchReport report("range_queries");
+  report.root().Set("records", kRecords).Set("full_scan_blocks",
+                                             full_scan_blocks);
+  for (const QueryStat& q : stats) {
+    report.AddRow("queries")
+        .Set("name", q.name)
+        .Set("blocks_read", q.blocks_read)
+        .Set("records_examined", q.records_examined)
+        .Set("rows", q.rows)
+        .Set("indexed_below_scan", q.blocks_read < full_scan_blocks);
   }
-  std::fprintf(out,
-               "{\n  \"benchmark\": \"range_queries\",\n"
-               "  \"records\": %d,\n  \"full_scan_blocks\": %llu,\n"
-               "  \"queries\": [\n",
-               kRecords, static_cast<unsigned long long>(full_scan_blocks));
-  const size_t n = sizeof(stats) / sizeof(stats[0]);
-  for (size_t i = 0; i < n; ++i) {
-    const QueryStat& q = stats[i];
-    std::fprintf(
-        out,
-        "    {\"name\": \"%s\", \"blocks_read\": %llu, "
-        "\"records_examined\": %llu, \"rows\": %zu, "
-        "\"indexed_below_scan\": %s}%s\n",
-        q.name, static_cast<unsigned long long>(q.blocks_read),
-        static_cast<unsigned long long>(q.records_examined), q.rows,
-        q.blocks_read < full_scan_blocks ? "true" : "false",
-        i + 1 < n ? "," : "");
+  if (report.Write(path)) {
+    std::printf("wrote %s (narrow range reads %llu of %llu blocks)\n", path,
+                static_cast<unsigned long long>(stats[1].blocks_read),
+                static_cast<unsigned long long>(full_scan_blocks));
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s (narrow range reads %llu of %llu blocks)\n", path,
-              static_cast<unsigned long long>(stats[1].blocks_read),
-              static_cast<unsigned long long>(full_scan_blocks));
 }
 
 }  // namespace

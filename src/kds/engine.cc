@@ -1,7 +1,11 @@
 #include "kds/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 namespace mlds::kds {
 
@@ -10,6 +14,49 @@ namespace {
 using abdl::AggregateOp;
 using abdm::Record;
 using abdm::Value;
+
+/// RAII holder of one FileStore lock in either mode — the second level of
+/// the engine's two-level locking scheme. Movable so a request can keep a
+/// vector of them, one per touched file, acquired in file-name order.
+class StoreLock {
+ public:
+  StoreLock(std::shared_mutex* mutex, bool exclusive)
+      : mutex_(mutex), exclusive_(exclusive) {
+    if (exclusive_) {
+      mutex_->lock();
+    } else {
+      mutex_->lock_shared();
+    }
+  }
+
+  StoreLock(StoreLock&& other) noexcept
+      : mutex_(std::exchange(other.mutex_, nullptr)),
+        exclusive_(other.exclusive_) {}
+  StoreLock& operator=(StoreLock&&) = delete;
+  StoreLock(const StoreLock&) = delete;
+  StoreLock& operator=(const StoreLock&) = delete;
+
+  ~StoreLock() {
+    if (mutex_ == nullptr) return;
+    if (exclusive_) {
+      mutex_->unlock();
+    } else {
+      mutex_->unlock_shared();
+    }
+  }
+
+ private:
+  std::shared_mutex* mutex_;
+  bool exclusive_;
+};
+
+/// True for the operations that mutate file contents and therefore need
+/// the file lock exclusive; retrievals share it.
+bool IsWriteRequest(const abdl::Request& request) {
+  return std::holds_alternative<abdl::InsertRequest>(request) ||
+         std::holds_alternative<abdl::DeleteRequest>(request) ||
+         std::holds_alternative<abdl::UpdateRequest>(request);
+}
 
 /// Computes one aggregate over the values of `attribute` across `records`.
 Value ComputeAggregate(const std::vector<const Record*>& records,
@@ -127,7 +174,7 @@ std::vector<Record> PostProcessRetrieve(const abdl::RetrieveRequest& req,
 Engine::Engine(EngineOptions options) : options_(options) {}
 
 Status Engine::DefineDatabase(const abdm::DatabaseDescriptor& db) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
   for (const auto& file : db.files) {
     if (files_.count(file.name) > 0) {
       return Status::AlreadyExists("kernel file '" + file.name +
@@ -142,7 +189,7 @@ Status Engine::DefineDatabase(const abdm::DatabaseDescriptor& db) {
 }
 
 Status Engine::DefineFile(const abdm::FileDescriptor& descriptor) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
   if (files_.count(descriptor.name) > 0) {
     return Status::AlreadyExists("kernel file '" + descriptor.name +
                                  "' already defined");
@@ -153,7 +200,7 @@ Status Engine::DefineFile(const abdm::FileDescriptor& descriptor) {
 }
 
 bool Engine::HasFile(std::string_view file) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
   return files_.find(file) != files_.end();
 }
 
@@ -163,34 +210,43 @@ FileStore* Engine::FindFile(std::string_view file) {
 }
 
 size_t Engine::FileSize(std::string_view file) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
   auto it = files_.find(file);
-  return it == files_.end() ? 0 : it->second->size();
+  if (it == files_.end()) return 0;
+  std::shared_lock<std::shared_mutex> file_lock(it->second->mutex());
+  return it->second->size();
 }
 
 uint64_t Engine::TotalBlocks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
   uint64_t total = 0;
-  for (const auto& [name, store] : files_) total += store->block_count();
+  // One file lock at a time: no hold-and-wait against multi-file writers.
+  for (const auto& [name, store] : files_) {
+    std::shared_lock<std::shared_mutex> file_lock(store->mutex());
+    total += store->block_count();
+  }
   return total;
 }
 
 uint64_t Engine::CompactAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
   uint64_t reclaimed = 0;
-  for (auto& [name, store] : files_) reclaimed += store->Compact();
+  for (auto& [name, store] : files_) {
+    std::unique_lock<std::shared_mutex> file_lock(store->mutex());
+    reclaimed += store->Compact();
+  }
   return reclaimed;
 }
 
 const abdm::FileDescriptor* Engine::FindDescriptor(
     std::string_view file) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
   auto it = files_.find(file);
   return it == files_.end() ? nullptr : &it->second->descriptor();
 }
 
 std::vector<std::string> Engine::FileNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, store] : files_) names.push_back(name);
@@ -210,8 +266,44 @@ std::vector<FileStore*> Engine::Route(const abdm::Query& query) {
   return all;
 }
 
-Result<Response> Engine::Execute(const abdl::Request& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::vector<FileStore*> Engine::TouchedStores(const abdl::Request& request) {
+  struct Visitor {
+    Engine* engine;
+    std::vector<FileStore*> operator()(const abdl::InsertRequest& r) {
+      Value file_value = r.record.GetOrNull(abdm::kFileAttribute);
+      if (!file_value.is_string()) return {};
+      FileStore* store = engine->FindFile(file_value.AsString());
+      if (store == nullptr) return {};
+      return {store};
+    }
+    std::vector<FileStore*> operator()(const abdl::DeleteRequest& r) {
+      return engine->Route(r.query);
+    }
+    std::vector<FileStore*> operator()(const abdl::UpdateRequest& r) {
+      return engine->Route(r.query);
+    }
+    std::vector<FileStore*> operator()(const abdl::RetrieveRequest& r) {
+      return engine->Route(r.query);
+    }
+    std::vector<FileStore*> operator()(const abdl::RetrieveCommonRequest& r) {
+      // Union of both sides. Route returns subsets of the map in name
+      // order, so a sorted merge preserves the lock-acquisition order.
+      std::vector<FileStore*> left = engine->Route(r.left_query);
+      std::vector<FileStore*> right = engine->Route(r.right_query);
+      std::vector<FileStore*> merged;
+      merged.reserve(left.size() + right.size());
+      std::set_union(left.begin(), left.end(), right.begin(), right.end(),
+                     std::back_inserter(merged),
+                     [](const FileStore* a, const FileStore* b) {
+                       return a->name() < b->name();
+                     });
+      return merged;
+    }
+  };
+  return std::visit(Visitor{this}, request);
+}
+
+Result<Response> Engine::ExecuteLocked(const abdl::Request& request) {
   struct Visitor {
     Engine* engine;
     Result<Response> operator()(const abdl::InsertRequest& r) {
@@ -230,40 +322,63 @@ Result<Response> Engine::Execute(const abdl::Request& request) {
       return engine->ExecuteRetrieveCommon(r);
     }
   };
-  auto result = std::visit(Visitor{this}, request);
-  if (result.ok()) cumulative_io_ += result->io;
+  return std::visit(Visitor{this}, request);
+}
+
+void Engine::InjectLatency(const IoStats& io) const {
+  const double per_block =
+      latency_ms_per_block_.load(std::memory_order_relaxed);
+  if (per_block <= 0.0) return;
+  const double ms = per_block * static_cast<double>(io.total_blocks());
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+Result<Response> Engine::Execute(const abdl::Request& request) {
+  // Level 1: the map lock, shared — DDL cannot reshape the files map
+  // while this request runs, so the routed FileStore pointers stay valid.
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  // Level 2: the touched files' locks, in name order; retrievals share.
+  const bool exclusive = IsWriteRequest(request);
+  std::vector<StoreLock> locks;
+  for (FileStore* store : TouchedStores(request)) {
+    locks.emplace_back(&store->mutex(), exclusive);
+  }
+  auto result = ExecuteLocked(request);
+  if (result.ok()) {
+    cumulative_io_.Add(result->io);
+    InjectLatency(result->io);
+  }
   return result;
 }
 
 Result<std::vector<Response>> Engine::ExecuteTransaction(
     const abdl::Transaction& txn) {
-  // Holds the engine lock across the whole transaction so its requests
-  // execute without interleaving.
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Locks the union of the statements' files for the whole transaction
+  // (a file written by any statement is locked exclusively throughout),
+  // so no other client's request interleaves with it — the counterpart
+  // of the old whole-engine lock, scoped to the files actually touched.
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  std::map<std::string_view, std::pair<FileStore*, bool>> plan;
+  for (const auto& request : txn) {
+    const bool write = IsWriteRequest(request);
+    for (FileStore* store : TouchedStores(request)) {
+      auto [it, inserted] = plan.try_emplace(store->name(), store, write);
+      if (!inserted) it->second.second |= write;
+    }
+  }
+  std::vector<StoreLock> locks;
+  for (auto& [name, entry] : plan) {
+    locks.emplace_back(&entry.first->mutex(), entry.second);
+  }
+
   std::vector<Response> responses;
   responses.reserve(txn.size());
   for (const auto& request : txn) {
-    struct Visitor {
-      Engine* engine;
-      Result<Response> operator()(const abdl::InsertRequest& r) {
-        return engine->ExecuteInsert(r);
-      }
-      Result<Response> operator()(const abdl::DeleteRequest& r) {
-        return engine->ExecuteDelete(r);
-      }
-      Result<Response> operator()(const abdl::UpdateRequest& r) {
-        return engine->ExecuteUpdate(r);
-      }
-      Result<Response> operator()(const abdl::RetrieveRequest& r) {
-        return engine->ExecuteRetrieve(r);
-      }
-      Result<Response> operator()(const abdl::RetrieveCommonRequest& r) {
-        return engine->ExecuteRetrieveCommon(r);
-      }
-    };
-    auto result = std::visit(Visitor{this}, request);
+    auto result = ExecuteLocked(request);
     if (!result.ok()) return result.status();
-    cumulative_io_ += result->io;
+    cumulative_io_.Add(result->io);
+    InjectLatency(result->io);
     responses.push_back(std::move(*result));
   }
   return responses;

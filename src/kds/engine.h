@@ -1,9 +1,10 @@
 #ifndef MLDS_KDS_ENGINE_H_
 #define MLDS_KDS_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ std::vector<abdm::Record> PostProcessRetrieve(
 struct EngineOptions {
   /// Records per storage block; block counts feed the MBDS cost model.
   int block_capacity = 16;
+  /// When > 0, every executed request *really sleeps* this many
+  /// milliseconds per block it read or wrote, while still holding its
+  /// file locks — emulating the time the backend's disk is busy serving
+  /// it. Concurrent retrievals hold the file lock shared, so their disk
+  /// waits overlap; mutations hold it exclusively and serialize. This is
+  /// the intra-backend counterpart of MbdsOptions::latency_scale, and it
+  /// makes the reader-concurrency claim observable as wall-clock speedup
+  /// on any core count. 0 disables injection.
+  double latency_ms_per_block = 0.0;
 };
 
 /// The kernel database system (KDS) execution engine for one backend: it
@@ -45,11 +55,24 @@ struct EngineOptions {
 /// requests against them (Ch. I.B.1). MBDS instantiates one Engine per
 /// backend over that backend's partition of the records.
 ///
-/// Thread safety: every public operation takes the engine's mutex, so
-/// concurrent sessions may share one engine; each ABDL request is atomic
-/// (the thesis's single-user interfaces "eventually modified to
-/// multi-user systems", Ch. IV.A). Multi-request DML translations are
-/// not transactional across requests.
+/// Thread safety — two-level locking (the thesis's single-user interfaces
+/// "eventually modified to multi-user systems", Ch. IV.A):
+///
+///  1. A `std::shared_mutex` over the files map, held shared by every
+///     request (the map's shape cannot change mid-request) and exclusive
+///     only by DDL (DefineDatabase / DefineFile).
+///  2. A `std::shared_mutex` per FileStore, held shared by RETRIEVE /
+///     RETRIEVE-COMMON and exclusive by INSERT / DELETE / UPDATE /
+///     Compact. Concurrent readers of the same file truly overlap;
+///     writers of *different* files also overlap.
+///
+/// Lock ordering: the map lock is always acquired before any file lock,
+/// and a request spanning several files acquires their locks in file-name
+/// order — so the hierarchy is acyclic and deadlock-free. Each ABDL
+/// request is atomic; ExecuteTransaction locks the union of its
+/// statements' files for the whole transaction, so a transaction is
+/// atomic with respect to concurrent requests. Cumulative I/O counters
+/// are lock-free atomics (AtomicIoStats).
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -70,12 +93,22 @@ class Engine {
   Result<Response> Execute(const abdl::Request& request);
 
   /// Executes the requests of `txn` in order, stopping at the first
-  /// failure; responses parallel the executed prefix.
+  /// failure; responses parallel the executed prefix. The union of the
+  /// statements' file locks is held for the whole transaction (writes
+  /// dominate), so no other client's request interleaves with it.
   Result<std::vector<Response>> ExecuteTransaction(const abdl::Transaction& txn);
 
-  /// Cumulative I/O across all executed requests.
-  const IoStats& cumulative_io() const { return cumulative_io_; }
+  /// Cumulative I/O across all executed requests, as a snapshot of the
+  /// atomic counters — safe to call from any thread while requests run.
+  IoStats cumulative_io() const { return cumulative_io_.Snapshot(); }
   void ResetStats() { cumulative_io_.Reset(); }
+
+  /// Adjusts disk-latency injection at runtime (see
+  /// EngineOptions::latency_ms_per_block). Benchmarks load data with
+  /// injection off and enable it only for the measured phase.
+  void set_latency_ms_per_block(double ms) {
+    latency_ms_per_block_.store(ms, std::memory_order_relaxed);
+  }
 
   /// Live record count in `file` (0 if absent).
   size_t FileSize(std::string_view file) const;
@@ -87,22 +120,25 @@ class Engine {
   /// Names of all defined files.
   std::vector<std::string> FileNames() const;
 
-  /// The descriptor of `file`, or nullptr.
+  /// The descriptor of `file`, or nullptr. Descriptors are immutable
+  /// after definition, so the pointer stays valid without a lock.
   const abdm::FileDescriptor* FindDescriptor(std::string_view file) const;
 
   /// Compacts every file, reclaiming blocks left by deletions. Returns
-  /// the total number of blocks reclaimed.
+  /// the total number of blocks reclaimed. Files are compacted one at a
+  /// time, each under its exclusive lock.
   uint64_t CompactAll();
 
   /// Calls `fn` for every live record of `file`, in slot order.
   template <typename Fn>
   Status VisitRecords(std::string_view file, Fn&& fn) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
     auto it = files_.find(file);
     if (it == files_.end()) {
       return Status::NotFound("kernel file '" + std::string(file) +
                               "' not defined");
     }
+    std::shared_lock<std::shared_mutex> file_lock(it->second->mutex());
     it->second->ForEach(
         [&](RecordId, const abdm::Record& record) { fn(record); });
     return Status::OK();
@@ -115,15 +151,32 @@ class Engine {
   Result<Response> ExecuteRetrieve(const abdl::RetrieveRequest& req);
   Result<Response> ExecuteRetrieveCommon(const abdl::RetrieveCommonRequest& req);
 
+  /// Dispatches to the ExecuteX handler. The caller must hold the map
+  /// lock shared and the touched files' locks in the request's mode.
+  Result<Response> ExecuteLocked(const abdl::Request& request);
+
   /// Files a query applies to: the single FILE-qualified store, or all.
+  /// Caller holds the map lock. Returned in map (file-name) order.
   std::vector<FileStore*> Route(const abdm::Query& query);
+
+  /// The stores `request` touches, in file-name order (the lock
+  /// acquisition order). Caller holds the map lock.
+  std::vector<FileStore*> TouchedStores(const abdl::Request& request);
+
+  /// Sleeps the injected per-block latency for `io`, if enabled. Called
+  /// while the request's file locks are still held, so readers overlap
+  /// their waits and writers serialize — see EngineOptions.
+  void InjectLatency(const IoStats& io) const;
 
   FileStore* FindFile(std::string_view file);
 
   EngineOptions options_;
-  mutable std::mutex mutex_;
+  /// First locking level: guards the files map's shape. Shared for every
+  /// request, exclusive for DDL.
+  mutable std::shared_mutex map_mutex_;
   std::map<std::string, std::unique_ptr<FileStore>, std::less<>> files_;
-  IoStats cumulative_io_;
+  AtomicIoStats cumulative_io_;
+  std::atomic<double> latency_ms_per_block_{0.0};
 };
 
 }  // namespace mlds::kds

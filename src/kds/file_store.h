@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,11 +35,18 @@ class FileStore {
 
   FileStore(const FileStore&) = delete;
   FileStore& operator=(const FileStore&) = delete;
-  FileStore(FileStore&&) = default;
-  FileStore& operator=(FileStore&&) = default;
+  FileStore(FileStore&&) = delete;
+  FileStore& operator=(FileStore&&) = delete;
 
   const abdm::FileDescriptor& descriptor() const { return descriptor_; }
   const std::string& name() const { return descriptor_.name; }
+
+  /// The file's lock — the second level of the engine's two-level locking
+  /// scheme. The store itself performs no locking: the engine acquires
+  /// this shared for RETRIEVE / RETRIEVE-COMMON and exclusive for INSERT /
+  /// DELETE / UPDATE / Compact, always after the engine's files-map lock
+  /// and always in file-name order when a request spans several files.
+  std::shared_mutex& mutex() const { return mutex_; }
 
   /// Number of live records.
   size_t size() const { return live_count_; }
@@ -100,6 +108,7 @@ class FileStore {
 
   uint64_t BlockOf(RecordId id) const { return id / block_capacity_; }
 
+  mutable std::shared_mutex mutex_;
   abdm::FileDescriptor descriptor_;
   int block_capacity_;
   std::vector<std::optional<abdm::Record>> slots_;

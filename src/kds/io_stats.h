@@ -1,6 +1,7 @@
 #ifndef MLDS_KDS_IO_STATS_H_
 #define MLDS_KDS_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -33,6 +34,46 @@ struct IoStats {
   uint64_t total_blocks() const { return blocks_read + blocks_written; }
 
   std::string ToString() const;
+};
+
+/// Lock-free accumulator of IoStats. The engine executes requests on many
+/// client threads at once under the two-level locking scheme, so the
+/// cumulative counters cannot live behind any single request's lock;
+/// accumulation and snapshotting are per-counter atomic instead. A
+/// snapshot is not a cross-counter atomic cut (two counters bumped by one
+/// request may straddle it), but every value read is a real, untorn
+/// count — which is all the statistics consumers need.
+class AtomicIoStats {
+ public:
+  void Add(const IoStats& io) {
+    blocks_read_.fetch_add(io.blocks_read, std::memory_order_relaxed);
+    blocks_written_.fetch_add(io.blocks_written, std::memory_order_relaxed);
+    index_probes_.fetch_add(io.index_probes, std::memory_order_relaxed);
+    records_examined_.fetch_add(io.records_examined,
+                                std::memory_order_relaxed);
+  }
+
+  IoStats Snapshot() const {
+    IoStats io;
+    io.blocks_read = blocks_read_.load(std::memory_order_relaxed);
+    io.blocks_written = blocks_written_.load(std::memory_order_relaxed);
+    io.index_probes = index_probes_.load(std::memory_order_relaxed);
+    io.records_examined = records_examined_.load(std::memory_order_relaxed);
+    return io;
+  }
+
+  void Reset() {
+    blocks_read_.store(0, std::memory_order_relaxed);
+    blocks_written_.store(0, std::memory_order_relaxed);
+    index_probes_.store(0, std::memory_order_relaxed);
+    records_examined_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> blocks_read_{0};
+  std::atomic<uint64_t> blocks_written_{0};
+  std::atomic<uint64_t> index_probes_{0};
+  std::atomic<uint64_t> records_examined_{0};
 };
 
 }  // namespace mlds::kds

@@ -434,6 +434,13 @@ Result<std::vector<Record>> DaplexMachine::Execute(const ForEachQuery& query) {
 }
 
 Result<std::vector<Record>> DaplexMachine::ExecuteText(std::string_view text) {
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const ForEachQuery> query,
+        cache_->GetOrCompile<ForEachQuery>(
+            "daplex", text, [&] { return daplex::ParseForEach(text); }));
+    return Execute(*query);
+  }
   MLDS_ASSIGN_OR_RETURN(ForEachQuery query, daplex::ParseForEach(text));
   return Execute(query);
 }

@@ -12,6 +12,7 @@
 #include "daplex/query.h"
 #include "daplex/schema.h"
 #include "kc/executor.h"
+#include "kms/translation_cache.h"
 #include "network/schema.h"
 #include "transform/fun_to_net.h"
 
@@ -75,6 +76,11 @@ class DaplexMachine {
 
   /// Parses and executes any Daplex statement.
   Result<Outcome> ExecuteStatement(std::string_view text);
+
+  /// Attaches the shared compiled-translation cache. Daplex queries
+  /// resolve against live entities (ISA chains, duplicated records), so
+  /// parsed query ASTs cache; translation re-runs per execution.
+  void set_translation_cache(TranslationCache* cache) { cache_ = cache; }
 
   /// ABDL requests issued by the most recent query, in issue order.
   const std::vector<std::string>& trace() const { return trace_; }
@@ -143,6 +149,7 @@ class DaplexMachine {
   const network::Schema* schema_;
   const transform::FunNetMapping* mapping_;
   kc::KernelExecutor* executor_;
+  TranslationCache* cache_ = nullptr;
   std::vector<std::string> trace_;
 };
 

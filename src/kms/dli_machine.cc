@@ -236,6 +236,12 @@ Result<DliMachine::Outcome> DliMachine::Execute(const DliCall& call) {
 }
 
 Result<DliMachine::Outcome> DliMachine::ExecuteText(std::string_view text) {
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(std::shared_ptr<const DliCall> call,
+                          cache_->GetOrCompile<DliCall>(
+                              "dli", text, [&] { return ParseDliCall(text); }));
+    return Execute(*call);
+  }
   MLDS_ASSIGN_OR_RETURN(DliCall call, ParseDliCall(text));
   return Execute(call);
 }

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "hierarchical/schema.h"
 #include "kc/executor.h"
+#include "kms/translation_cache.h"
 
 namespace mlds::kms {
 
@@ -77,6 +78,11 @@ class DliMachine {
   /// Runs newline/';'-separated calls, stopping at the first error.
   Result<std::vector<Outcome>> RunProgram(std::string_view text);
 
+  /// Attaches the shared compiled-translation cache. DL/I translation
+  /// depends on position state, so parsed calls cache; the call's ABDL
+  /// requests are re-derived against the live position each execution.
+  void set_translation_cache(TranslationCache* cache) { cache_ = cache; }
+
   /// ABDL requests issued by the most recent call.
   const std::vector<std::string>& trace() const { return trace_; }
 
@@ -120,6 +126,7 @@ class DliMachine {
 
   const hierarchical::Schema* schema_;
   kc::KernelExecutor* executor_;
+  TranslationCache* cache_ = nullptr;
   std::vector<std::string> trace_;
 
   std::optional<Position> position_;

@@ -151,17 +151,34 @@ Result<DmlResult> DmlMachine::Execute(const codasyl::Statement& statement) {
 }
 
 Result<DmlResult> DmlMachine::ExecuteText(std::string_view text) {
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const codasyl::Statement> stmt,
+        cache_->GetOrCompile<codasyl::Statement>(
+            "dml", text, [&] { return codasyl::ParseStatement(text); }));
+    return Execute(*stmt);
+  }
   MLDS_ASSIGN_OR_RETURN(codasyl::Statement stmt,
                         codasyl::ParseStatement(text));
   return Execute(stmt);
 }
 
 Result<std::vector<DmlResult>> DmlMachine::RunProgram(std::string_view text) {
-  MLDS_ASSIGN_OR_RETURN(std::vector<codasyl::Statement> program,
-                        codasyl::ParseProgram(text));
+  std::shared_ptr<const std::vector<codasyl::Statement>> program;
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(
+        program, cache_->GetOrCompile<std::vector<codasyl::Statement>>(
+                     "dml-program", text,
+                     [&] { return codasyl::ParseProgram(text); }));
+  } else {
+    MLDS_ASSIGN_OR_RETURN(std::vector<codasyl::Statement> parsed,
+                          codasyl::ParseProgram(text));
+    program = std::make_shared<const std::vector<codasyl::Statement>>(
+        std::move(parsed));
+  }
   std::vector<DmlResult> results;
-  results.reserve(program.size());
-  for (const auto& stmt : program) {
+  results.reserve(program->size());
+  for (const auto& stmt : *program) {
     MLDS_ASSIGN_OR_RETURN(DmlResult result, Execute(stmt));
     results.push_back(std::move(result));
   }

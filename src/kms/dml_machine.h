@@ -13,6 +13,7 @@
 #include "codasyl/uwa.h"
 #include "common/result.h"
 #include "kc/executor.h"
+#include "kms/translation_cache.h"
 #include "network/schema.h"
 #include "transform/fun_to_net.h"
 
@@ -83,6 +84,11 @@ class DmlMachine {
   /// Parses and executes a whole program (newline/';'-separated),
   /// stopping at the first error.
   Result<std::vector<DmlResult>> RunProgram(std::string_view text);
+
+  /// Attaches the shared compiled-translation cache. DML translation is
+  /// stateful (currency, UWA), so only parsed statement ASTs cache — the
+  /// Chapter VI algorithms still run against live session state.
+  void set_translation_cache(TranslationCache* cache) { cache_ = cache; }
 
   const codasyl::UserWorkArea& uwa() const { return uwa_; }
   const codasyl::CurrencyIndicatorTable& cit() const { return cit_; }
@@ -172,6 +178,7 @@ class DmlMachine {
   const network::Schema* schema_;
   const transform::FunNetMapping* mapping_;
   kc::KernelExecutor* executor_;
+  TranslationCache* cache_ = nullptr;
 
   codasyl::UserWorkArea uwa_;
   codasyl::CurrencyIndicatorTable cit_;

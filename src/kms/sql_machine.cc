@@ -78,8 +78,84 @@ Result<SqlMachine::Outcome> SqlMachine::Execute(
 }
 
 Result<SqlMachine::Outcome> SqlMachine::ExecuteText(std::string_view text) {
-  MLDS_ASSIGN_OR_RETURN(sql::SqlStatement statement, sql::ParseSql(text));
-  return Execute(statement);
+  if (cache_ == nullptr) {
+    MLDS_ASSIGN_OR_RETURN(sql::SqlStatement statement, sql::ParseSql(text));
+    return Execute(statement);
+  }
+  MLDS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Translation> translation,
+      cache_->GetOrCompile<Translation>(
+          "sql", text, [&]() -> Result<Translation> {
+            MLDS_ASSIGN_OR_RETURN(sql::SqlStatement statement,
+                                  sql::ParseSql(text));
+            Translation t;
+            if (std::holds_alternative<sql::InsertStatement>(statement)) {
+              t.ast = std::move(statement);
+            } else {
+              MLDS_ASSIGN_OR_RETURN(t.compiled, Compile(statement));
+            }
+            return t;
+          }));
+  if (translation->compiled.has_value()) {
+    trace_.clear();
+    return RunCompiled(*translation->compiled);
+  }
+  return Execute(*translation->ast);
+}
+
+Result<SqlMachine::CompiledSql> SqlMachine::Compile(
+    const sql::SqlStatement& statement) {
+  struct Visitor {
+    SqlMachine* self;
+    Result<CompiledSql> operator()(const sql::SelectStatement& s) {
+      return self->CompileSelect(s);
+    }
+    Result<CompiledSql> operator()(const sql::InsertStatement&) {
+      return Status::Internal("INSERT translations are not compiled");
+    }
+    Result<CompiledSql> operator()(const sql::UpdateStatement& s) {
+      return self->CompileUpdate(s);
+    }
+    Result<CompiledSql> operator()(const sql::DeleteStatement& s) {
+      return self->CompileDelete(s);
+    }
+  };
+  return std::visit(Visitor{this}, statement);
+}
+
+Result<SqlMachine::Outcome> SqlMachine::RunCompiled(
+    const CompiledSql& compiled) {
+  Outcome outcome;
+  switch (compiled.kind) {
+    case CompiledSql::Kind::kSelect: {
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(compiled.requests[0]));
+      outcome.rows = std::move(resp.records);
+      if (compiled.strip_file) {
+        for (auto& row : outcome.rows) {
+          row.Erase(std::string(abdm::kFileAttribute));
+        }
+      }
+      return outcome;
+    }
+    case CompiledSql::Kind::kUpdate: {
+      // One kernel UPDATE per SET assignment; every request matches the
+      // same rows, so the row count is the maximum, not the sum.
+      for (const abdl::Request& request : compiled.requests) {
+        MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(request));
+        outcome.affected = std::max(outcome.affected, resp.affected);
+      }
+      outcome.info =
+          "updated " + std::to_string(outcome.affected) + " row(s)";
+      return outcome;
+    }
+    case CompiledSql::Kind::kDelete: {
+      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(compiled.requests[0]));
+      outcome.affected = resp.affected;
+      outcome.info = "deleted " + std::to_string(resp.affected) + " row(s)";
+      return outcome;
+    }
+  }
+  return Status::Internal("unreachable compiled-SQL kind");
 }
 
 Result<const Table*> SqlMachine::ResolveColumn(
@@ -166,6 +242,12 @@ Result<std::string> SqlMachine::AllocateTupleKey(std::string_view table) {
 }
 
 Result<SqlMachine::Outcome> SqlMachine::Select(const SelectStatement& s) {
+  MLDS_ASSIGN_OR_RETURN(CompiledSql compiled, CompileSelect(s));
+  return RunCompiled(compiled);
+}
+
+Result<SqlMachine::CompiledSql> SqlMachine::CompileSelect(
+    const SelectStatement& s) {
   std::vector<const Table*> tables;
   for (const auto& name : s.from) {
     const Table* table = schema_->FindTable(name);
@@ -181,7 +263,8 @@ Result<SqlMachine::Outcome> SqlMachine::Select(const SelectStatement& s) {
     MLDS_RETURN_IF_ERROR(ResolveColumn(item.column, tables).status());
   }
 
-  Outcome outcome;
+  CompiledSql compiled;
+  compiled.kind = CompiledSql::Kind::kSelect;
   if (tables.size() == 1) {
     MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*tables[0], s.where));
     abdl::RetrieveRequest req;
@@ -206,15 +289,10 @@ Result<SqlMachine::Outcome> SqlMachine::Select(const SelectStatement& s) {
     } else if (s.order_by.has_value()) {
       req.by_attribute = *s.order_by;
     }
-    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(req));
-    outcome.rows = std::move(resp.records);
+    compiled.requests.push_back(std::move(req));
     // Hide the kernel FILE keyword from star results.
-    if (star) {
-      for (auto& row : outcome.rows) {
-        row.Erase(std::string(abdm::kFileAttribute));
-      }
-    }
-    return outcome;
+    compiled.strip_file = star;
+    return compiled;
   }
 
   // Two-table SELECT: find the single equi-join comparison and split the
@@ -283,14 +361,9 @@ Result<SqlMachine::Outcome> SqlMachine::Select(const SelectStatement& s) {
       join.targets.push_back(abdl::TargetItem{item.column.column});
     }
   }
-  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(join));
-  outcome.rows = std::move(resp.records);
-  if (star) {
-    for (auto& row : outcome.rows) {
-      row.Erase(std::string(abdm::kFileAttribute));
-    }
-  }
-  return outcome;
+  compiled.requests.push_back(std::move(join));
+  compiled.strip_file = star;
+  return compiled;
 }
 
 Result<SqlMachine::Outcome> SqlMachine::Insert(const sql::InsertStatement& s) {
@@ -349,6 +422,12 @@ Result<SqlMachine::Outcome> SqlMachine::Insert(const sql::InsertStatement& s) {
 }
 
 Result<SqlMachine::Outcome> SqlMachine::Update(const sql::UpdateStatement& s) {
+  MLDS_ASSIGN_OR_RETURN(CompiledSql compiled, CompileUpdate(s));
+  return RunCompiled(compiled);
+}
+
+Result<SqlMachine::CompiledSql> SqlMachine::CompileUpdate(
+    const sql::UpdateStatement& s) {
   const Table* table = schema_->FindTable(s.table);
   if (table == nullptr) {
     return Status::NotFound("table '" + s.table + "' does not exist");
@@ -365,20 +444,25 @@ Result<SqlMachine::Outcome> SqlMachine::Update(const sql::UpdateStatement& s) {
     }
   }
   MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*table, s.where));
-  Outcome outcome;
+  CompiledSql compiled;
+  compiled.kind = CompiledSql::Kind::kUpdate;
   for (const auto& [column, value] : s.assignments) {
     abdl::UpdateRequest update;
     update.query = query;
     update.modifier =
         abdl::Modifier{column, abdl::ModifierKind::kSet, value};
-    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(update));
-    outcome.affected = std::max(outcome.affected, resp.affected);
+    compiled.requests.push_back(std::move(update));
   }
-  outcome.info = "updated " + std::to_string(outcome.affected) + " row(s)";
-  return outcome;
+  return compiled;
 }
 
 Result<SqlMachine::Outcome> SqlMachine::Delete(const sql::DeleteStatement& s) {
+  MLDS_ASSIGN_OR_RETURN(CompiledSql compiled, CompileDelete(s));
+  return RunCompiled(compiled);
+}
+
+Result<SqlMachine::CompiledSql> SqlMachine::CompileDelete(
+    const sql::DeleteStatement& s) {
   const Table* table = schema_->FindTable(s.table);
   if (table == nullptr) {
     return Status::NotFound("table '" + s.table + "' does not exist");
@@ -386,11 +470,10 @@ Result<SqlMachine::Outcome> SqlMachine::Delete(const sql::DeleteStatement& s) {
   MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*table, s.where));
   abdl::DeleteRequest del;
   del.query = std::move(query);
-  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(del));
-  Outcome outcome;
-  outcome.affected = resp.affected;
-  outcome.info = "deleted " + std::to_string(resp.affected) + " row(s)";
-  return outcome;
+  CompiledSql compiled;
+  compiled.kind = CompiledSql::Kind::kDelete;
+  compiled.requests.push_back(std::move(del));
+  return compiled;
 }
 
 }  // namespace mlds::kms

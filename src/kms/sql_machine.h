@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "abdl/request.h"
 #include "common/result.h"
 #include "kc/executor.h"
+#include "kms/translation_cache.h"
 #include "relational/schema.h"
 #include "sql/ast.h"
 
@@ -45,14 +47,45 @@ class SqlMachine {
   Result<Outcome> Execute(const sql::SqlStatement& statement);
   Result<Outcome> ExecuteText(std::string_view text);
 
+  /// Attaches the shared compiled-translation cache. SELECT, UPDATE, and
+  /// DELETE are pure functions of (statement, schema), so their
+  /// translations cache as ready-to-issue ABDL requests; INSERT is impure
+  /// (tuple-key allocation, constraint probes against live data), so only
+  /// its parsed AST caches and the translation re-runs each time.
+  void set_translation_cache(TranslationCache* cache) { cache_ = cache; }
+
   /// ABDL requests issued by the most recent statement.
   const std::vector<std::string>& trace() const { return trace_; }
 
  private:
+  /// A pure SQL statement compiled down to its ABDL requests. Replaying
+  /// one skips parsing, name resolution, and query building — the cache
+  /// hit executes the kernel requests directly.
+  struct CompiledSql {
+    enum class Kind { kSelect, kUpdate, kDelete };
+    Kind kind = Kind::kSelect;
+    std::vector<abdl::Request> requests;
+    /// SELECT * hides the kernel FILE keyword from the returned rows.
+    bool strip_file = false;
+  };
+
+  /// What the cache stores per statement: the compiled requests for pure
+  /// statements, the bare AST for INSERT.
+  struct Translation {
+    std::optional<CompiledSql> compiled;
+    std::optional<sql::SqlStatement> ast;
+  };
+
   Result<Outcome> Select(const sql::SelectStatement& statement);
   Result<Outcome> Insert(const sql::InsertStatement& statement);
   Result<Outcome> Update(const sql::UpdateStatement& statement);
   Result<Outcome> Delete(const sql::DeleteStatement& statement);
+
+  Result<CompiledSql> Compile(const sql::SqlStatement& statement);
+  Result<CompiledSql> CompileSelect(const sql::SelectStatement& statement);
+  Result<CompiledSql> CompileUpdate(const sql::UpdateStatement& statement);
+  Result<CompiledSql> CompileDelete(const sql::DeleteStatement& statement);
+  Result<Outcome> RunCompiled(const CompiledSql& compiled);
 
   Result<kds::Response> Issue(abdl::Request request);
 
@@ -71,6 +104,7 @@ class SqlMachine {
 
   const relational::Schema* schema_;
   kc::KernelExecutor* executor_;
+  TranslationCache* cache_ = nullptr;
   std::vector<std::string> trace_;
   std::map<std::string, uint64_t> next_key_;
 };

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <functional>
 #include <map>
+#include <optional>
 #include <thread>
 
 namespace mlds::mbds {
@@ -14,7 +15,6 @@ namespace {
 /// Outcome of one backend's share of a broadcast. Each slot is written by
 /// exactly one ParallelFor iteration, so the vector needs no lock.
 struct BackendRun {
-  Status status;
   kds::Response response;
   double ms = 0.0;
 };
@@ -37,29 +37,31 @@ Controller::Controller(MbdsOptions options) : options_(options) {
   latency_scale_.store(options_.latency_scale, std::memory_order_relaxed);
 }
 
-Status Controller::DefineDatabase(const abdm::DatabaseDescriptor& db) {
-  // Definitions broadcast like any other request: all backends create the
-  // files concurrently. Errors are reported in backend-id order so the
-  // result is deterministic.
-  std::vector<Status> statuses(backends_.size());
-  pool_->ParallelFor(backends_.size(), [&](size_t i) {
-    statuses[i] = backends_[i]->engine().DefineDatabase(db);
-  });
+Status Controller::RunParallel(size_t tasks,
+                               const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(tasks);
+  pool_->ParallelFor(tasks, [&](size_t i) { statuses[i] = fn(i); });
   for (const Status& status : statuses) {
     MLDS_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }
 
+Status Controller::ForEachBackend(const std::function<Status(size_t)>& fn) {
+  return RunParallel(backends_.size(), fn);
+}
+
+Status Controller::DefineDatabase(const abdm::DatabaseDescriptor& db) {
+  // Definitions broadcast like any other request: all backends create the
+  // files concurrently. Errors are reported in backend-id order so the
+  // result is deterministic.
+  return ForEachBackend(
+      [&](size_t i) { return backends_[i]->engine().DefineDatabase(db); });
+}
+
 Status Controller::DefineFile(const abdm::FileDescriptor& descriptor) {
-  std::vector<Status> statuses(backends_.size());
-  pool_->ParallelFor(backends_.size(), [&](size_t i) {
-    statuses[i] = backends_[i]->engine().DefineFile(descriptor);
-  });
-  for (const Status& status : statuses) {
-    MLDS_RETURN_IF_ERROR(status);
-  }
-  return Status::OK();
+  return ForEachBackend(
+      [&](size_t i) { return backends_[i]->engine().DefineFile(descriptor); });
 }
 
 bool Controller::HasFile(std::string_view file) const {
@@ -150,25 +152,22 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<BackendRun> runs(backends_.size());
-  pool_->ParallelFor(backends_.size(), [&](size_t i) {
+  MLDS_RETURN_IF_ERROR(ForEachBackend([&](size_t i) -> Status {
     auto outcome = RunOnBackend(i, broadcast);
-    if (!outcome.ok()) {
-      runs[i].status = outcome.status();
-      return;
-    }
+    MLDS_RETURN_IF_ERROR(outcome.status());
     runs[i].response = std::move(outcome->first);
     runs[i].ms = outcome->second;
-  });
+    return Status::OK();
+  }));
   const double wall_ms = ElapsedMs(start);
 
-  // Merge in backend-id order: deterministic results and error reporting
-  // no matter which backend finished first.
+  // Merge in backend-id order: deterministic results no matter which
+  // backend finished first.
   ExecutionReport report;
   report.backend_times_ms.reserve(backends_.size());
   std::vector<abdm::Record> merged;
   double max_ms = 0.0;
   for (BackendRun& run : runs) {
-    MLDS_RETURN_IF_ERROR(run.status);
     report.backend_times_ms.push_back(run.ms);
     max_ms = std::max(max_ms, run.ms);
     report.response.affected += run.response.affected;
@@ -208,15 +207,13 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<BackendRun> runs(2 * n);
-  pool_->ParallelFor(2 * n, [&](size_t task) {
+  MLDS_RETURN_IF_ERROR(RunParallel(2 * n, [&](size_t task) -> Status {
     auto outcome = RunOnBackend(task % n, sides[task / n]);
-    if (!outcome.ok()) {
-      runs[task].status = outcome.status();
-      return;
-    }
+    MLDS_RETURN_IF_ERROR(outcome.status());
     runs[task].response = std::move(outcome->first);
     runs[task].ms = outcome->second;
-  });
+    return Status::OK();
+  }));
   const double wall_ms = ElapsedMs(start);
 
   ExecutionReport report;
@@ -225,7 +222,6 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
   std::vector<abdm::Record> left, right;
   for (size_t task = 0; task < runs.size(); ++task) {
     BackendRun& run = runs[task];
-    MLDS_RETURN_IF_ERROR(run.status);
     report.backend_times_ms[task % n] += run.ms;
     side_max[task / n] = std::max(side_max[task / n], run.ms);
     report.response.io += run.response.io;
@@ -270,22 +266,71 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
 
 Result<ExecutionReport> Controller::ExecuteTransaction(
     const abdl::Transaction& txn) {
+  // Stage assignment: a statement lands one stage after the latest earlier
+  // statement whose file footprint conflicts with it (write-write,
+  // write-read, or read-write overlap). Statements sharing a stage are
+  // mutually independent, so executing them concurrently cannot change any
+  // statement's outcome; conflicting statements stay in program order.
+  const size_t count = txn.size();
+  std::vector<abdl::FileFootprint> footprints;
+  footprints.reserve(count);
+  for (const auto& request : txn) {
+    footprints.push_back(abdl::FootprintOf(request));
+  }
+  std::vector<size_t> stage_of(count, 0);
+  size_t num_stages = count == 0 ? 0 : 1;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (footprints[j].ConflictsWith(footprints[i])) {
+        stage_of[i] = std::max(stage_of[i], stage_of[j] + 1);
+      }
+    }
+    num_stages = std::max(num_stages, stage_of[i] + 1);
+  }
+  std::vector<std::vector<size_t>> stages(num_stages);
+  for (size_t i = 0; i < count; ++i) {
+    stages[stage_of[i]].push_back(i);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::optional<Result<ExecutionReport>>> reports(count);
+  double simulated_ms = 0.0;
+  for (const std::vector<size_t>& members : stages) {
+    pool_->ParallelFor(members.size(), [&](size_t k) {
+      reports[members[k]] = Execute(txn[members[k]]);
+    });
+    // Lowest-index error wins: deterministic regardless of which pool
+    // thread hit its error first.
+    double stage_ms = 0.0;
+    for (size_t idx : members) {
+      const Result<ExecutionReport>& report = *reports[idx];
+      MLDS_RETURN_IF_ERROR(report.status());
+      stage_ms = std::max(stage_ms, report->response_time_ms);
+    }
+    // Each stage's statements run in parallel, so the stage costs its
+    // slowest member; stages are consecutive, so the transaction sums
+    // stage costs.
+    simulated_ms += stage_ms;
+  }
+
+  // Merge in statement order: records, io, and per-backend charges come
+  // out identical no matter how the pool interleaved the stages.
   ExecutionReport total;
   total.backend_times_ms.assign(backends_.size(), 0.0);
-  for (const auto& request : txn) {
-    MLDS_ASSIGN_OR_RETURN(ExecutionReport report, Execute(request));
-    total.response_time_ms += report.response_time_ms;
-    total.wall_time_ms += report.wall_time_ms;
+  for (size_t i = 0; i < count; ++i) {
+    ExecutionReport& report = **reports[i];
     total.response.affected += report.response.affected;
     total.response.io += report.response.io;
-    for (size_t i = 0; i < report.backend_times_ms.size(); ++i) {
-      total.backend_times_ms[i] += report.backend_times_ms[i];
+    for (size_t b = 0; b < report.backend_times_ms.size(); ++b) {
+      total.backend_times_ms[b] += report.backend_times_ms[b];
     }
     total.response.records.insert(
         total.response.records.end(),
         std::make_move_iterator(report.response.records.begin()),
         std::make_move_iterator(report.response.records.end()));
   }
+  total.response_time_ms = simulated_ms;
+  total.wall_time_ms = ElapsedMs(start);
   return total;
 }
 

@@ -2,6 +2,7 @@
 #define MLDS_MBDS_CONTROLLER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -122,7 +123,14 @@ class Controller {
   /// Executes one ABDL request across the backends.
   Result<ExecutionReport> Execute(const abdl::Request& request);
 
-  /// Executes a transaction sequentially; the report times sum.
+  /// Executes a transaction through the dependency-aware pipeline:
+  /// statements whose file footprints are disjoint (no write-write,
+  /// write-read, or read-write overlap) run concurrently on the thread
+  /// pool; a statement conflicting with an earlier one starts only after
+  /// that statement's stage completes, so conflicting statements always
+  /// observe program order. Reports merge in statement order and the
+  /// simulated time sums the stages (each stage costs its slowest
+  /// statement), so results and times are deterministic.
   Result<ExecutionReport> ExecuteTransaction(const abdl::Transaction& txn);
 
   /// Total live records of `file` across all backends.
@@ -147,6 +155,15 @@ class Controller {
   const Backend& backend(int i) const { return *backends_[i]; }
 
  private:
+  /// Runs fn(0) .. fn(tasks-1) concurrently on the pool and returns the
+  /// lowest-index error (OK when all succeed), so error reporting is
+  /// deterministic regardless of completion order.
+  Status RunParallel(size_t tasks, const std::function<Status(size_t)>& fn);
+
+  /// RunParallel over the backends: the single fan-out/join path shared
+  /// by definitions and broadcasts.
+  Status ForEachBackend(const std::function<Status(size_t)>& fn);
+
   Result<ExecutionReport> ExecuteInsert(const abdl::InsertRequest& request);
   Result<ExecutionReport> ExecuteBroadcast(const abdl::Request& request);
   /// RETRIEVE-COMMON: both sides broadcast as plain retrieves, with the

@@ -44,6 +44,8 @@ Status MldsSystem::LoadNetworkDatabase(std::string_view ddl) {
   auto db = std::make_unique<NetworkDb>();
   db->schema = std::move(schema);
   network_dbs_.push_back(std::move(db));
+  // DDL: every cached translation may now name stale files/columns.
+  translation_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -66,6 +68,8 @@ Status MldsSystem::LoadRelationalDatabase(std::string_view ddl) {
   auto db = std::make_unique<RelationalDb>();
   db->schema = std::move(schema);
   relational_dbs_.push_back(std::move(db));
+  // DDL: every cached translation may now name stale files/columns.
+  translation_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -89,6 +93,8 @@ Status MldsSystem::LoadHierarchicalDatabase(std::string_view ddl) {
   auto db = std::make_unique<HierarchicalDb>();
   db->schema = std::move(schema);
   hierarchical_dbs_.push_back(std::move(db));
+  // DDL: every cached translation may now name stale files/columns.
+  translation_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -113,6 +119,8 @@ Status MldsSystem::LoadFunctionalDatabase(std::string_view ddl) {
   db->schema = std::move(schema);
   db->mapping = std::move(mapping);
   functional_dbs_.push_back(std::move(db));
+  // DDL: every cached translation may now name stale files/columns.
+  translation_cache_.InvalidateAll();
   return Status::OK();
 }
 
@@ -125,6 +133,7 @@ Result<kms::DmlMachine*> MldsSystem::OpenCodasylSession(
     if (db->schema.name() == db_name) {
       sessions_.push_back(std::make_unique<kms::DmlMachine>(
           &db->schema, nullptr, executor_.get()));
+      sessions_.back()->set_translation_cache(&translation_cache_);
       return sessions_.back().get();
     }
   }
@@ -132,6 +141,7 @@ Result<kms::DmlMachine*> MldsSystem::OpenCodasylSession(
     if (db->schema.name() == db_name) {
       sessions_.push_back(std::make_unique<kms::DmlMachine>(
           &db->mapping.schema, &db->mapping, executor_.get()));
+      sessions_.back()->set_translation_cache(&translation_cache_);
       return sessions_.back().get();
     }
   }
@@ -146,6 +156,7 @@ Result<kms::SqlMachine*> MldsSystem::OpenSqlSession(
     if (db->schema.name() == db_name) {
       sql_sessions_.push_back(
           std::make_unique<kms::SqlMachine>(&db->schema, executor_.get()));
+      sql_sessions_.back()->set_translation_cache(&translation_cache_);
       return sql_sessions_.back().get();
     }
   }
@@ -159,6 +170,7 @@ Result<kms::DliMachine*> MldsSystem::OpenDliSession(
     if (db->schema.name() == db_name) {
       dli_sessions_.push_back(
           std::make_unique<kms::DliMachine>(&db->schema, executor_.get()));
+      dli_sessions_.back()->set_translation_cache(&translation_cache_);
       return dli_sessions_.back().get();
     }
   }
@@ -172,6 +184,7 @@ Result<kms::DaplexMachine*> MldsSystem::OpenDaplexSession(
     if (db->schema.name() == db_name) {
       daplex_sessions_.push_back(std::make_unique<kms::DaplexMachine>(
           &db->schema, &db->mapping.schema, &db->mapping, executor_.get()));
+      daplex_sessions_.back()->set_translation_cache(&translation_cache_);
       return daplex_sessions_.back().get();
     }
   }

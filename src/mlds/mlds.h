@@ -15,6 +15,7 @@
 #include "kms/dli_machine.h"
 #include "kms/dml_machine.h"
 #include "kms/sql_machine.h"
+#include "kms/translation_cache.h"
 #include "mbds/controller.h"
 #include "network/schema.h"
 #include "relational/schema.h"
@@ -118,6 +119,11 @@ class MldsSystem {
   /// Direct access to the kernel for loaders and benchmarks.
   kc::KernelExecutor* executor() { return executor_.get(); }
 
+  /// The compiled-translation cache shared by all sessions of every
+  /// language. Loading any database bumps its schema epoch, invalidating
+  /// every cached translation.
+  kms::TranslationCache& translation_cache() { return translation_cache_; }
+
   /// The MBDS controller when `use_mbds`, else nullptr.
   mbds::Controller* controller() { return controller_.get(); }
 
@@ -137,6 +143,7 @@ class MldsSystem {
   };
 
   Options options_;
+  kms::TranslationCache translation_cache_;
   std::unique_ptr<kds::Engine> engine_;
   std::unique_ptr<mbds::Controller> controller_;
   std::unique_ptr<kc::KernelExecutor> executor_;

@@ -234,7 +234,7 @@ TEST(MbdsControllerTest, DistributedJoinFindsCrossPartitionPairs) {
   EXPECT_EQ(normalize(report->response.records), normalize(single->records));
 }
 
-TEST(MbdsControllerTest, TransactionSumsResponseTimes) {
+TEST(MbdsControllerTest, TransactionPipelinesIndependentReads) {
   Controller c = MakeController(2);
   Load(&c, 8);
   auto txn = abdl::ParseTransaction(
@@ -243,6 +243,31 @@ TEST(MbdsControllerTest, TransactionSumsResponseTimes) {
   auto report = c.ExecuteTransaction(*txn);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->response.records.size(), 16u);
+  // Read-read footprints never conflict, so both statements share one
+  // pipeline stage: the transaction costs one bus round trip plus its
+  // slowest statement — strictly less than executing the two serially.
+  auto first = c.Execute((*txn)[0]);
+  auto second = c.Execute((*txn)[1]);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  MbdsOptions defaults;
+  EXPECT_GE(report->response_time_ms, defaults.bus.RoundTripMs());
+  EXPECT_LT(report->response_time_ms,
+            first->response_time_ms + second->response_time_ms);
+}
+
+TEST(MbdsControllerTest, TransactionSumsConflictingStages) {
+  Controller c = MakeController(2);
+  Load(&c, 8);
+  // UPDATE then RETRIEVE of the same file conflict (write-read), so the
+  // pipeline serializes them into two stages whose simulated times sum.
+  auto txn = abdl::ParseTransaction(
+      "UPDATE ((FILE = item)) (payload = 'y'); "
+      "RETRIEVE ((FILE = item)) (key)");
+  ASSERT_TRUE(txn.ok());
+  auto report = c.ExecuteTransaction(*txn);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->response.records.size(), 8u);
   MbdsOptions defaults;
   EXPECT_GE(report->response_time_ms, 2 * defaults.bus.RoundTripMs());
 }

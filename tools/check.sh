@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo twice — once plain, once under
-# ThreadSanitizer — so the controller's parallel broadcast path is
-# race-checked on every PR.
+# CI entry point: build + test the repo three times — plain, under
+# ThreadSanitizer (the controller's parallel broadcast and the engine's
+# two-level locking are race-checked on every PR), and under
+# AddressSanitizer.
 #
 # Usage:
-#   tools/check.sh                 # plain + TSan, full suite
+#   tools/check.sh                 # plain + TSan + ASan, full suite
 #   MLDS_TSAN_FILTER=Parallel tools/check.sh   # restrict the TSan ctest run
-#   MLDS_SKIP_TSAN=1 tools/check.sh            # plain build only
+#   MLDS_SKIP_TSAN=1 tools/check.sh            # skip the TSan stage
+#   MLDS_SKIP_ASAN=1 tools/check.sh            # skip the ASan stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,16 +21,26 @@ cmake --build build -j "${JOBS}"
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan run skipped (MLDS_SKIP_TSAN=1) =="
-  exit 0
+else
+  echo "== ThreadSanitizer build =="
+  cmake -B build-tsan -S . -DMLDS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}"
+  # TSan aborts the test on the first data race (halt_on_error) so races
+  # fail the suite loudly rather than scrolling past.
+  (cd build-tsan && \
+    TSAN_OPTIONS="halt_on_error=1" \
+    ctest --output-on-failure -j "${JOBS}" ${MLDS_TSAN_FILTER:+-R "${MLDS_TSAN_FILTER}"})
 fi
 
-echo "== ThreadSanitizer build =="
-cmake -B build-tsan -S . -DMLDS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}"
-# TSan aborts the test on the first data race (halt_on_error) so races
-# fail the suite loudly rather than scrolling past.
-(cd build-tsan && \
-  TSAN_OPTIONS="halt_on_error=1" \
-  ctest --output-on-failure -j "${JOBS}" ${MLDS_TSAN_FILTER:+-R "${MLDS_TSAN_FILTER}"})
+if [[ "${MLDS_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== ASan run skipped (MLDS_SKIP_ASAN=1) =="
+else
+  echo "== AddressSanitizer build =="
+  cmake -B build-asan -S . -DMLDS_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}"
+  (cd build-asan && \
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ctest --output-on-failure -j "${JOBS}")
+fi
 
 echo "== all checks passed =="
