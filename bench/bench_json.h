@@ -3,8 +3,9 @@
 
 // Shared emitter for the BENCH_*.json reports the bench binaries write
 // beside their google-benchmark output. Each report is one top-level
-// object of scalar fields plus a single array of row objects; fields
-// render in insertion order so reports diff stably run to run.
+// object of scalar fields plus one or more named arrays of row objects;
+// fields and arrays render in insertion order so reports diff stably
+// run to run.
 
 #include <cstdint>
 #include <cstdio>
@@ -71,8 +72,8 @@ class JsonObject {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// One BENCH_*.json report: top-level fields, then one named array of
-/// row objects (rendered inline, one row per line).
+/// One BENCH_*.json report: top-level fields, then named arrays of row
+/// objects (rendered inline, one row per line).
 class BenchReport {
  public:
   explicit BenchReport(std::string_view benchmark_name) {
@@ -81,11 +82,18 @@ class BenchReport {
 
   JsonObject& root() { return root_; }
 
-  /// Appends a row to the report's array (named on first use).
+  /// Appends a row to the named array; arrays render in first-use order
+  /// after the top-level fields.
   JsonObject& AddRow(std::string_view array_name) {
-    array_name_ = std::string(array_name);
-    rows_.emplace_back();
-    return rows_.back();
+    for (auto& [name, rows] : arrays_) {
+      if (name == array_name) {
+        rows.emplace_back();
+        return rows.back();
+      }
+    }
+    arrays_.emplace_back(std::string(array_name), std::vector<JsonObject>{});
+    arrays_.back().second.emplace_back();
+    return arrays_.back().second.back();
   }
 
   /// Writes the report; returns false (with a note on stderr) on failure.
@@ -96,19 +104,20 @@ class BenchReport {
       return false;
     }
     std::string body = "{\n" + root_.Render(2);
-    if (!rows_.empty()) {
-      // Rewrite the last top-level field's line ending to carry a comma.
+    for (size_t a = 0; a < arrays_.size(); ++a) {
+      // Rewrite the previous line ending to carry a comma.
       body.insert(body.size() - 1, ",");
-      body += "  \"" + array_name_ + "\": [\n";
-      for (size_t i = 0; i < rows_.size(); ++i) {
-        std::string row = rows_[i].Render(0);
+      const auto& [name, rows] = arrays_[a];
+      body += "  \"" + name + "\": [\n";
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::string row = rows[i].Render(0);
         // Inline the row: one "{...}" per line.
         for (char& c : row) {
           if (c == '\n') c = ' ';
         }
         if (!row.empty()) row.pop_back();
         body += "    {" + row + "}";
-        if (i + 1 < rows_.size()) body += ",";
+        if (i + 1 < rows.size()) body += ",";
         body += "\n";
       }
       body += "  ]\n";
@@ -121,8 +130,7 @@ class BenchReport {
 
  private:
   JsonObject root_;
-  std::string array_name_;
-  std::vector<JsonObject> rows_;
+  std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
 };
 
 }  // namespace mlds::bench

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -102,6 +104,20 @@ void BM_Range_FullScan(benchmark::State& state) {
 }
 BENCHMARK(BM_Range_FullScan);
 
+// EXPLAIN variants: the request executes normally and additionally
+// materializes the annotated plan tree, so the delta against the plain
+// benchmarks above is the cost of carrying estimates and actuals.
+
+void BM_Range_PointLookupExplain(benchmark::State& state) {
+  BenchQuery(state, "EXPLAIN RETRIEVE ((FILE = item) and (key = 4242)) (key)");
+}
+BENCHMARK(BM_Range_PointLookupExplain);
+
+void BM_Range_BroadRangeExplain(benchmark::State& state) {
+  BenchQuery(state, "EXPLAIN RETRIEVE ((key < 4096)) (key)");
+}
+BENCHMARK(BM_Range_BroadRangeExplain);
+
 struct QueryStat {
   const char* name;
   const char* text;
@@ -139,6 +155,56 @@ void WriteRangeJson(const char* path) {
         .Set("records_examined", q.records_examined)
         .Set("rows", q.rows)
         .Set("indexed_below_scan", q.blocks_read < full_scan_blocks);
+  }
+
+  // E-explain: same request with and without the EXPLAIN prefix, timed
+  // back to back. The ratio is the plan-annotation overhead — the request
+  // still executes; EXPLAIN only adds tree construction and counters.
+  struct ExplainPair {
+    const char* name;
+    const char* plain;
+    const char* explained;
+  };
+  const ExplainPair pairs[] = {
+      {"point_lookup", "RETRIEVE ((FILE = item) and (key = 4242)) (key)",
+       "EXPLAIN RETRIEVE ((FILE = item) and (key = 4242)) (key)"},
+      {"range_broad", "RETRIEVE ((key < 4096)) (key)",
+       "EXPLAIN RETRIEVE ((key < 4096)) (key)"},
+  };
+  constexpr int kTimingIters = 100;
+  constexpr int kRepetitions = 7;
+  auto time_ns = [&](const char* text) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTimingIters; ++i) {
+      kds::Response resp = MustRun(engine, text);
+      benchmark::DoNotOptimize(resp.records.size());
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count() /
+        kTimingIters);
+  };
+  for (const ExplainPair& p : pairs) {
+    // Interleave the two variants and keep each one's fastest repetition:
+    // the minimum discards scheduler and allocator noise that would
+    // otherwise swamp the small annotation overhead.
+    uint64_t plain_ns = ~0ull;
+    uint64_t explain_ns = ~0ull;
+    MustRun(engine, p.plain);      // warm the translation paths
+    MustRun(engine, p.explained);
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      plain_ns = std::min(plain_ns, time_ns(p.plain));
+      explain_ns = std::min(explain_ns, time_ns(p.explained));
+    }
+    report.AddRow("explain_overhead")
+        .Set("name", p.name)
+        .Set("plain_ns_per_op", plain_ns)
+        .Set("explain_ns_per_op", explain_ns)
+        .Set("overhead_ratio",
+             plain_ns == 0 ? 0.0
+                           : static_cast<double>(explain_ns) /
+                                 static_cast<double>(plain_ns));
   }
   if (report.Write(path)) {
     std::printf("wrote %s (narrow range reads %llu of %llu blocks)\n", path,

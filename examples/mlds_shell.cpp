@@ -11,10 +11,14 @@
 //   DL/I         (clinic, hierarchical):  GU / GN / GNP / ISRT / REPL /
 //       DLET
 //
+// An EXPLAIN prefix on a SQL or CODASYL-DML statement executes it
+// normally and additionally prints the annotated physical plan
+// (estimated vs. actual rows and blocks per node).
+//
 // Meta commands: .help  .trace  .schema  .stats  .quit
 //
 //   echo "MOVE 'Advanced Database' TO title IN course
-//   FIND ANY course USING title IN course
+//   EXPLAIN FIND ANY course USING title IN course
 //   GET" | ./mlds_shell
 
 #include <cstdio>
@@ -38,6 +42,8 @@ void PrintHelp() {
       "  Daplex        FOR EACH student SUCH THAT major = 'CS' PRINT pname\n"
       "  SQL           SELECT name, wage FROM staff ORDER BY name\n"
       "  DL/I          GU patient (pname = 'smith')\n"
+      "Prefix a SQL or CODASYL-DML statement with EXPLAIN to also print\n"
+      "its annotated plan (estimated vs. actual rows and blocks).\n"
       "Meta: .trace (last CODASYL translations), .schema (transformed\n"
       "network schema), .stats (session statistics), .help, .quit\n");
 }
@@ -116,10 +122,17 @@ int main() {
       continue;
     }
 
+    // An EXPLAIN prefix routes by the statement underneath it; the full
+    // text (prefix included) is what the language machine executes.
+    std::string_view routed = trimmed;
+    if (StartsWithWord(routed, "EXPLAIN")) {
+      routed = Trim(routed.substr(7));
+    }
+
     // --- DL/I ---
-    if (StartsWithWord(trimmed, "GU") || StartsWithWord(trimmed, "GN") ||
-        StartsWithWord(trimmed, "GNP") || StartsWithWord(trimmed, "ISRT") ||
-        StartsWithWord(trimmed, "REPL") || StartsWithWord(trimmed, "DLET")) {
+    if (StartsWithWord(routed, "GU") || StartsWithWord(routed, "GN") ||
+        StartsWithWord(routed, "GNP") || StartsWithWord(routed, "ISRT") ||
+        StartsWithWord(routed, "REPL") || StartsWithWord(routed, "DLET")) {
       auto outcome = (*dli)->ExecuteText(trimmed);
       if (!outcome.ok()) {
         std::printf("error: %s\n", outcome.status().ToString().c_str());
@@ -133,28 +146,33 @@ int main() {
 
     // --- SQL ---
     const bool sql_update =
-        StartsWithWord(trimmed, "UPDATE") &&
+        StartsWithWord(routed, "UPDATE") &&
         system.FindRelationalSchema("payroll")->FindTable(
-            std::string(Trim(trimmed.substr(6))).substr(
-                0, std::string(Trim(trimmed.substr(6))).find(' '))) != nullptr;
-    if (StartsWithWord(trimmed, "SELECT") ||
-        StartsWithWord(trimmed, "INSERT") ||
-        StartsWithWord(trimmed, "DELETE") || sql_update) {
+            std::string(Trim(routed.substr(6))).substr(
+                0, std::string(Trim(routed.substr(6))).find(' '))) != nullptr;
+    if (StartsWithWord(routed, "SELECT") ||
+        StartsWithWord(routed, "INSERT") ||
+        StartsWithWord(routed, "DELETE") || sql_update) {
       auto outcome = (*sql)->ExecuteText(trimmed);
       if (!outcome.ok()) {
         std::printf("error: %s\n", outcome.status().ToString().c_str());
-      } else if (!outcome->rows.empty()) {
+        continue;
+      }
+      if (!outcome->rows.empty()) {
         std::printf("%s", kfs::FormatTable(outcome->rows).c_str());
       } else {
         std::printf("%s\n", outcome->info.c_str());
+      }
+      if (outcome->plan != nullptr) {
+        std::printf("%s", kfs::FormatPlan(*outcome->plan).c_str());
       }
       continue;
     }
 
     // --- Daplex ---
-    if (StartsWithWord(trimmed, "FOR") || StartsWithWord(trimmed, "CREATE") ||
-        StartsWithWord(trimmed, "DESTROY") ||
-        StartsWithWord(trimmed, "UPDATE")) {
+    if (StartsWithWord(routed, "FOR") || StartsWithWord(routed, "CREATE") ||
+        StartsWithWord(routed, "DESTROY") ||
+        StartsWithWord(routed, "UPDATE")) {
       auto outcome = (*daplex)->ExecuteStatement(trimmed);
       if (!outcome.ok()) {
         std::printf("error: %s\n", outcome.status().ToString().c_str());
@@ -177,6 +195,11 @@ int main() {
     }
     if (!result->info.empty()) {
       std::printf("%s\n", result->info.c_str());
+    }
+    if (result->plan != nullptr) {
+      kfs::PlanFormatOptions plan_options;
+      plan_options.header = "ABDL REQUEST PLAN";
+      std::printf("%s", kfs::FormatPlan(*result->plan, plan_options).c_str());
     }
   }
   std::printf("\nbye.\n");

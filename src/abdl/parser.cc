@@ -253,13 +253,36 @@ class Parser {
     if (Peek().kind != TokKind::kIdent) {
       return Status::ParseError("expected ABDL operation keyword");
     }
+    // EXPLAIN prefixes a query-bearing request: the request executes
+    // normally and additionally returns its annotated physical plan.
+    bool explain = false;
+    if (EqualsIgnoreCase(Peek().text, "EXPLAIN")) {
+      Advance();
+      explain = true;
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("expected ABDL operation after EXPLAIN");
+      }
+    }
     const std::string op = ToUpper(Advance().text);
-    if (op == "INSERT") return ParseInsert();
-    if (op == "DELETE") return ParseDelete();
-    if (op == "UPDATE") return ParseUpdate();
-    if (op == "RETRIEVE") return ParseRetrieve();
-    if (op == "RETRIEVE-COMMON") return ParseRetrieveCommon();
-    return Status::ParseError("unknown ABDL operation '" + op + "'");
+    if (op == "EXPLAIN") {
+      return Status::ParseError("EXPLAIN may appear only once");
+    }
+    if (op == "INSERT") {
+      if (explain) {
+        // INSERT chooses no access path; there is no plan to show.
+        return Status::ParseError("EXPLAIN does not apply to INSERT");
+      }
+      return ParseInsert();
+    }
+    Result<Request> req = [&]() -> Result<Request> {
+      if (op == "DELETE") return ParseDelete();
+      if (op == "UPDATE") return ParseUpdate();
+      if (op == "RETRIEVE") return ParseRetrieve();
+      if (op == "RETRIEVE-COMMON") return ParseRetrieveCommon();
+      return Status::ParseError("unknown ABDL operation '" + op + "'");
+    }();
+    if (req.ok() && explain) SetExplain(*req, true);
+    return req;
   }
 
   Result<Value> ParseLiteral() {

@@ -57,19 +57,44 @@ std::string_view RequestOperation(const Request& request) {
   return std::visit(Visitor{}, request);
 }
 
+bool IsExplain(const Request& request) {
+  struct Visitor {
+    bool operator()(const InsertRequest&) { return false; }
+    bool operator()(const DeleteRequest& r) { return r.explain; }
+    bool operator()(const UpdateRequest& r) { return r.explain; }
+    bool operator()(const RetrieveRequest& r) { return r.explain; }
+    bool operator()(const RetrieveCommonRequest& r) { return r.explain; }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+void SetExplain(Request& request, bool explain) {
+  struct Visitor {
+    bool explain;
+    void operator()(InsertRequest&) {}
+    void operator()(DeleteRequest& r) { r.explain = explain; }
+    void operator()(UpdateRequest& r) { r.explain = explain; }
+    void operator()(RetrieveRequest& r) { r.explain = explain; }
+    void operator()(RetrieveCommonRequest& r) { r.explain = explain; }
+  };
+  std::visit(Visitor{explain}, request);
+}
+
 std::string ToString(const Request& request) {
   struct Visitor {
     std::string operator()(const InsertRequest& r) {
       return "INSERT " + r.record.ToString();
     }
     std::string operator()(const DeleteRequest& r) {
-      return "DELETE " + r.query.ToString();
+      return Prefix(r.explain) + "DELETE " + r.query.ToString();
     }
     std::string operator()(const UpdateRequest& r) {
-      return "UPDATE " + r.query.ToString() + " " + r.modifier.ToString();
+      return Prefix(r.explain) + "UPDATE " + r.query.ToString() + " " +
+             r.modifier.ToString();
     }
     std::string operator()(const RetrieveRequest& r) {
-      std::string out = "RETRIEVE " + r.query.ToString() + " (";
+      std::string out = Prefix(r.explain) + "RETRIEVE " + r.query.ToString() +
+                        " (";
       if (r.all_attributes) {
         out += "all attributes";
       } else {
@@ -85,9 +110,10 @@ std::string ToString(const Request& request) {
       return out;
     }
     std::string operator()(const RetrieveCommonRequest& r) {
-      std::string out = "RETRIEVE-COMMON " + r.left_query.ToString() + " (" +
-                        r.left_attribute + ") AND " + r.right_query.ToString() +
-                        " (" + r.right_attribute + ") (";
+      std::string out = Prefix(r.explain) + "RETRIEVE-COMMON " +
+                        r.left_query.ToString() + " (" + r.left_attribute +
+                        ") AND " + r.right_query.ToString() + " (" +
+                        r.right_attribute + ") (";
       if (r.targets.empty()) {
         out += "all attributes";
       } else {
@@ -98,6 +124,10 @@ std::string ToString(const Request& request) {
       }
       out += ")";
       return out;
+    }
+
+    static std::string Prefix(bool explain) {
+      return explain ? "EXPLAIN " : "";
     }
   };
   return std::visit(Visitor{}, request);

@@ -22,6 +22,9 @@ struct InsertRequest {
 /// DELETE removes the records identified by the query.
 struct DeleteRequest {
   abdm::Query query;
+  /// Explain mode: execute normally, but return the annotated physical
+  /// plan of the retrieval phase alongside the result (see kds::PlanNode).
+  bool explain = false;
 
   friend bool operator==(const DeleteRequest&, const DeleteRequest&) = default;
 };
@@ -48,6 +51,8 @@ struct Modifier {
 struct UpdateRequest {
   abdm::Query query;
   Modifier modifier;
+  /// Explain mode — see DeleteRequest::explain.
+  bool explain = false;
 
   friend bool operator==(const UpdateRequest&, const UpdateRequest&) = default;
 };
@@ -83,6 +88,8 @@ struct RetrieveRequest {
   std::vector<TargetItem> targets;
   /// BY attribute: groups results (and orders them) by this attribute.
   std::optional<std::string> by_attribute;
+  /// Explain mode — see DeleteRequest::explain.
+  bool explain = false;
 
   friend bool operator==(const RetrieveRequest&,
                          const RetrieveRequest&) = default;
@@ -98,6 +105,8 @@ struct RetrieveCommonRequest {
   abdm::Query right_query;
   std::string right_attribute;
   std::vector<TargetItem> targets;  ///< empty => all attributes of both.
+  /// Explain mode — see DeleteRequest::explain.
+  bool explain = false;
 
   friend bool operator==(const RetrieveCommonRequest&,
                          const RetrieveCommonRequest&) = default;
@@ -136,6 +145,13 @@ FileFootprint FootprintOf(const Request& request);
 
 /// Returns the operation keyword of `request` ("INSERT", "RETRIEVE", ...).
 std::string_view RequestOperation(const Request& request);
+
+/// True when `request` carries the explain flag. INSERT never does: it
+/// chooses no access path, so there is nothing to explain.
+bool IsExplain(const Request& request);
+
+/// Sets the explain flag on `request`. A no-op for INSERT.
+void SetExplain(Request& request, bool explain);
 
 /// Renders `request` in the thesis's ABDL notation.
 std::string ToString(const Request& request);

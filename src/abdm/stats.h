@@ -1,0 +1,45 @@
+#ifndef MLDS_ABDM_STATS_H_
+#define MLDS_ABDM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "abdm/query.h"
+
+namespace mlds::abdm {
+
+/// Read-only statistics a keyword directory exposes to the query planner.
+///
+/// The attribute-based directory (Ch. II.C) clusters record ids under
+/// (attribute, value) keywords, so the number of candidates an
+/// index-assisted predicate would yield can be read off the bucket sizes
+/// without materializing any id list. The KDS planner consumes only this
+/// interface — not the FileStore itself — which keeps plan construction
+/// unit-testable against synthetic statistics.
+class DirectoryStats {
+ public:
+  virtual ~DirectoryStats() = default;
+
+  /// Number of candidate ids the directory would yield for `pred`, or
+  /// nullopt when the predicate is not index-assisted (a != comparison, a
+  /// null operand, or a non-directory attribute). A value of 0 means the
+  /// directory alone proves no record matches.
+  virtual std::optional<size_t> EstimateMatches(
+      const Predicate& pred) const = 0;
+
+  /// Number of live records in the file.
+  virtual size_t live_records() const = 0;
+
+  /// Number of blocks currently allocated (including partially dead ones);
+  /// the cost of a full scan.
+  virtual uint64_t allocated_blocks() const = 0;
+
+  /// Record slots per block; bounds how few blocks `n` candidate records
+  /// can occupy (ceil(n / records_per_block)).
+  virtual int records_per_block() const = 0;
+};
+
+}  // namespace mlds::abdm
+
+#endif  // MLDS_ABDM_STATS_H_

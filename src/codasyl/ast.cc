@@ -140,4 +140,9 @@ std::string ToString(const Statement& statement) {
   return std::visit(Visitor{}, statement);
 }
 
+std::string ToString(const ParsedStatement& statement) {
+  std::string out = ToString(statement.statement);
+  return statement.explain ? "EXPLAIN " + out : out;
+}
+
 }  // namespace mlds::codasyl

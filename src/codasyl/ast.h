@@ -136,6 +136,19 @@ std::string_view StatementKind(const Statement& statement);
 /// Renders the statement back to DML text.
 std::string ToString(const Statement& statement);
 
+/// A statement with its EXPLAIN prefix. EXPLAIN executes the statement
+/// normally and additionally surfaces the annotated physical plans of
+/// the ABDL requests the Chapter VI translation issued. EXPLAIN MOVE is
+/// rejected at parse time: MOVE only writes the UWA and issues no kernel
+/// request, so there is no access path to show.
+struct ParsedStatement {
+  Statement statement;
+  bool explain = false;
+};
+
+/// Renders the statement back to DML text, with its EXPLAIN prefix.
+std::string ToString(const ParsedStatement& statement);
+
 }  // namespace mlds::codasyl
 
 #endif  // MLDS_CODASYL_AST_H_

@@ -80,6 +80,25 @@ class Parser {
     return stmt;
   }
 
+  Result<ParsedStatement> ParseExplainable() {
+    ParsedStatement out;
+    if (ConsumeKeyword("EXPLAIN")) {
+      out.explain = true;
+      if (PeekKeyword("EXPLAIN")) {
+        return Status::ParseError("EXPLAIN may appear only once");
+      }
+      if (PeekKeyword("MOVE")) {
+        return Status::ParseError(
+            "EXPLAIN does not apply to MOVE: it issues no kernel request");
+      }
+      if (AtEnd()) {
+        return Status::ParseError("expected DML statement after EXPLAIN");
+      }
+    }
+    MLDS_ASSIGN_OR_RETURN(out.statement, Parse());
+    return out;
+  }
+
  private:
   const Token& Peek(size_t ahead = 0) const {
     const size_t i = pos_ + ahead;
@@ -309,21 +328,42 @@ Result<Statement> ParseStatement(std::string_view text) {
   return parser.Parse();
 }
 
-Result<std::vector<Statement>> ParseProgram(std::string_view text) {
-  std::vector<Statement> out;
+Result<ParsedStatement> ParseDmlStatement(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExplainable();
+}
+
+Result<std::vector<ParsedStatement>> ParseDmlProgram(std::string_view text) {
+  std::vector<ParsedStatement> out;
   size_t start = 0;
   while (start <= text.size()) {
     size_t end = text.find_first_of(";\n", start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = Trim(text.substr(start, end - start));
     if (!line.empty() && !line.starts_with("--")) {
-      MLDS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(line));
+      MLDS_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseDmlStatement(line));
       out.push_back(std::move(stmt));
     }
     if (end >= text.size()) break;
     start = end + 1;
   }
   if (out.empty()) return Status::ParseError("empty DML program");
+  return out;
+}
+
+Result<std::vector<Statement>> ParseProgram(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<ParsedStatement> parsed,
+                        ParseDmlProgram(text));
+  std::vector<Statement> out;
+  out.reserve(parsed.size());
+  for (ParsedStatement& stmt : parsed) {
+    if (stmt.explain) {
+      return Status::ParseError(
+          "EXPLAIN is not supported here; use ParseDmlProgram");
+    }
+    out.push_back(std::move(stmt.statement));
+  }
   return out;
 }
 

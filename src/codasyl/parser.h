@@ -25,12 +25,26 @@ namespace mlds::codasyl {
 ///   MODIFY credits IN course  |  MODIFY course
 ///   ERASE course  |  ERASE ALL course
 ///
-/// Keywords are case-insensitive; identifiers preserve case.
+/// Keywords are case-insensitive; identifiers preserve case. Rejects an
+/// EXPLAIN prefix — use ParseDmlStatement for the explain-aware entry.
 Result<Statement> ParseStatement(std::string_view text);
+
+/// Parses one statement with an optional EXPLAIN prefix:
+///
+///   EXPLAIN FIND ANY course USING title IN course
+///
+/// EXPLAIN executes the statement and additionally returns the annotated
+/// physical plans of the ABDL requests its translation issued. EXPLAIN
+/// MOVE is rejected (MOVE issues no kernel request), as is a repeated
+/// EXPLAIN.
+Result<ParsedStatement> ParseDmlStatement(std::string_view text);
 
 /// Parses a transaction: statements separated by newlines or semicolons.
 /// Blank lines and '--' comments are skipped.
 Result<std::vector<Statement>> ParseProgram(std::string_view text);
+
+/// ParseProgram with per-statement EXPLAIN prefixes allowed.
+Result<std::vector<ParsedStatement>> ParseDmlProgram(std::string_view text);
 
 }  // namespace mlds::codasyl
 

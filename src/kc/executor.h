@@ -16,6 +16,11 @@ namespace mlds::kc {
 /// realizations exist — a single KDS engine (one backend) and the full
 /// multi-backend MBDS — so every language-interface component runs
 /// unchanged against either.
+///
+/// The controller executes-or-explains: a request carrying the abdl
+/// explain flag runs normally, and its Response::plan additionally holds
+/// the annotated physical plan — per-file trees from the single engine,
+/// or the per-backend merge the MBDS controller assembled.
 class KernelExecutor {
  public:
   virtual ~KernelExecutor() = default;
@@ -24,6 +29,14 @@ class KernelExecutor {
   virtual bool HasFile(std::string_view file) const = 0;
   virtual Result<kds::Response> Execute(const abdl::Request& request) = 0;
   virtual size_t FileSize(std::string_view file) const = 0;
+
+  /// Executes `request` in explain mode regardless of how its flag was
+  /// set: the result carries the annotated plan (null for INSERT, which
+  /// chooses no access path).
+  Result<kds::Response> ExecuteExplain(abdl::Request request) {
+    abdl::SetExplain(request, true);
+    return Execute(request);
+  }
 };
 
 /// KernelExecutor over a single kds::Engine (does not own it).

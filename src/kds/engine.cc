@@ -107,7 +107,57 @@ Value ComputeAggregate(const std::vector<const Record*>& records,
   }
 }
 
+/// Folds per-file plans into one node: the single file's plan as-is, or a
+/// union root labelled "all files" when the query was not FILE-confined.
+PlanNode MergeFilePlans(std::vector<PlanNode> plans) {
+  if (plans.size() == 1) return std::move(plans.front());
+  PlanNode root;
+  root.kind = PlanNodeKind::kUnionOfConjunctions;
+  root.label = "all files";
+  root.executed = true;
+  root.children = std::move(plans);
+  root.est_rows = root.SumChildren(&PlanNode::est_rows);
+  root.est_blocks = root.SumChildren(&PlanNode::est_blocks);
+  root.actual_rows = root.SumChildren(&PlanNode::actual_rows);
+  root.actual_blocks = root.SumChildren(&PlanNode::actual_blocks);
+  return root;
+}
+
 }  // namespace
+
+PlanNode WrapRetrievePlan(const abdl::RetrieveRequest& req, PlanNode base,
+                          size_t output_rows) {
+  const bool has_aggregate =
+      std::any_of(req.targets.begin(), req.targets.end(), [](const auto& t) {
+        return t.aggregate != AggregateOp::kNone;
+      });
+  const bool has_projection = !req.all_attributes && !req.targets.empty();
+  if (!has_aggregate && !has_projection && !req.by_attribute.has_value()) {
+    return base;
+  }
+  PlanNode node;
+  node.kind =
+      has_aggregate ? PlanNodeKind::kAggregate : PlanNodeKind::kProject;
+  std::string label = "(";
+  if (req.all_attributes || req.targets.empty()) {
+    label += "all attributes";
+  } else {
+    for (size_t i = 0; i < req.targets.size(); ++i) {
+      if (i > 0) label += ", ";
+      label += req.targets[i].ToString();
+    }
+  }
+  label += ")";
+  if (req.by_attribute.has_value()) label += " BY " + *req.by_attribute;
+  node.label = std::move(label);
+  node.est_rows = base.est_rows;
+  node.est_blocks = base.est_blocks;
+  node.executed = true;
+  node.actual_rows = output_rows;
+  node.actual_blocks = base.actual_blocks;
+  node.children.push_back(std::move(base));
+  return node;
+}
 
 std::vector<Record> PostProcessRetrieve(const abdl::RetrieveRequest& req,
                                         std::vector<Record> matched) {
@@ -231,10 +281,12 @@ uint64_t Engine::TotalBlocks() const {
 uint64_t Engine::CompactAll() {
   std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
   uint64_t reclaimed = 0;
+  IoStats io;
   for (auto& [name, store] : files_) {
     std::unique_lock<std::shared_mutex> file_lock(store->mutex());
-    reclaimed += store->Compact();
+    reclaimed += store->Compact(&io);
   }
+  cumulative_io_.Add(io);
   return reclaimed;
 }
 
@@ -403,17 +455,28 @@ Result<Response> Engine::ExecuteInsert(const abdl::InsertRequest& req) {
 
 Result<Response> Engine::ExecuteDelete(const abdl::DeleteRequest& req) {
   Response resp;
+  std::vector<PlanNode> plans;
   for (FileStore* store : Route(req.query)) {
-    resp.affected += store->Delete(req.query, &resp.io);
+    PlanNode plan;
+    resp.affected +=
+        store->Delete(req.query, &resp.io, req.explain ? &plan : nullptr);
+    if (req.explain) plans.push_back(std::move(plan));
+  }
+  if (req.explain) {
+    resp.plan = std::make_shared<PlanNode>(MergeFilePlans(std::move(plans)));
   }
   return resp;
 }
 
 Result<Response> Engine::ExecuteUpdate(const abdl::UpdateRequest& req) {
   Response resp;
+  std::vector<PlanNode> plans;
   const abdl::Modifier& mod = req.modifier;
   for (FileStore* store : Route(req.query)) {
-    std::vector<RecordId> ids = store->Select(req.query, &resp.io);
+    PlanNode plan;
+    std::vector<RecordId> ids =
+        store->Select(req.query, &resp.io, req.explain ? &plan : nullptr);
+    if (req.explain) plans.push_back(std::move(plan));
     for (RecordId id : ids) {
       const Record* old = store->Get(id);
       Record updated = *old;
@@ -439,18 +502,29 @@ Result<Response> Engine::ExecuteUpdate(const abdl::UpdateRequest& req) {
       ++resp.affected;
     }
   }
+  if (req.explain) {
+    resp.plan = std::make_shared<PlanNode>(MergeFilePlans(std::move(plans)));
+  }
   return resp;
 }
 
 Result<Response> Engine::ExecuteRetrieve(const abdl::RetrieveRequest& req) {
   Response resp;
   std::vector<Record> matched;
+  std::vector<PlanNode> plans;
   for (FileStore* store : Route(req.query)) {
-    for (RecordId id : store->Select(req.query, &resp.io)) {
+    PlanNode plan;
+    for (RecordId id :
+         store->Select(req.query, &resp.io, req.explain ? &plan : nullptr)) {
       matched.push_back(*store->Get(id));
     }
+    if (req.explain) plans.push_back(std::move(plan));
   }
   resp.records = PostProcessRetrieve(req, std::move(matched));
+  if (req.explain) {
+    resp.plan = std::make_shared<PlanNode>(WrapRetrievePlan(
+        req, MergeFilePlans(std::move(plans)), resp.records.size()));
+  }
   return resp;
 }
 
@@ -458,15 +532,22 @@ Result<Response> Engine::ExecuteRetrieveCommon(
     const abdl::RetrieveCommonRequest& req) {
   Response resp;
   std::vector<const Record*> left, right;
+  std::vector<PlanNode> left_plans, right_plans;
   for (FileStore* store : Route(req.left_query)) {
-    for (RecordId id : store->Select(req.left_query, &resp.io)) {
+    PlanNode plan;
+    for (RecordId id : store->Select(req.left_query, &resp.io,
+                                     req.explain ? &plan : nullptr)) {
       left.push_back(store->Get(id));
     }
+    if (req.explain) left_plans.push_back(std::move(plan));
   }
   for (FileStore* store : Route(req.right_query)) {
-    for (RecordId id : store->Select(req.right_query, &resp.io)) {
+    PlanNode plan;
+    for (RecordId id : store->Select(req.right_query, &resp.io,
+                                     req.explain ? &plan : nullptr)) {
       right.push_back(store->Get(id));
     }
+    if (req.explain) right_plans.push_back(std::move(plan));
   }
   // Hash the right side by join value, then probe with the left.
   std::map<Value, std::vector<const Record*>> right_by_value;
@@ -493,6 +574,19 @@ Result<Response> Engine::ExecuteRetrieveCommon(
       }
       resp.records.push_back(std::move(merged));
     }
+  }
+  if (req.explain) {
+    PlanNode join;
+    join.kind = PlanNodeKind::kJoin;
+    join.label = "(" + req.left_attribute + " = " + req.right_attribute + ")";
+    join.executed = true;
+    join.children.push_back(MergeFilePlans(std::move(left_plans)));
+    join.children.push_back(MergeFilePlans(std::move(right_plans)));
+    join.est_rows = join.SumChildren(&PlanNode::est_rows);
+    join.est_blocks = join.SumChildren(&PlanNode::est_blocks);
+    join.actual_rows = resp.records.size();
+    join.actual_blocks = join.SumChildren(&PlanNode::actual_blocks);
+    resp.plan = std::make_shared<PlanNode>(std::move(join));
   }
   return resp;
 }

@@ -26,6 +26,12 @@ struct Response {
   size_t affected = 0;
   /// Physical work performed by this request.
   IoStats io;
+  /// The annotated physical plan, present when the request carried the
+  /// explain flag (abdl::IsExplain): the request executed normally and
+  /// the tree holds estimated next to actual per-node counters. Shared
+  /// so the MBDS controller can graft per-backend plans into one merged
+  /// tree without copying.
+  std::shared_ptr<const PlanNode> plan;
 };
 
 /// Applies the projection / BY-ordering / aggregation phase of a RETRIEVE
@@ -34,6 +40,13 @@ struct Response {
 /// many backends (partial per-backend aggregates would be wrong for AVG).
 std::vector<abdm::Record> PostProcessRetrieve(
     const abdl::RetrieveRequest& request, std::vector<abdm::Record> matched);
+
+/// Grafts the projection / BY / aggregation phase of a RETRIEVE onto its
+/// selection plan — the plan-tree mirror of PostProcessRetrieve, used by
+/// whichever layer ran the post-processing (engine or MBDS controller).
+/// Returns `base` unchanged when the request has no such phase.
+PlanNode WrapRetrievePlan(const abdl::RetrieveRequest& request, PlanNode base,
+                          size_t output_rows);
 
 /// Options controlling the kernel engine's storage geometry.
 struct EngineOptions {
@@ -126,10 +139,14 @@ class Engine {
 
   /// Compacts every file, reclaiming blocks left by deletions. Returns
   /// the total number of blocks reclaimed. Files are compacted one at a
-  /// time, each under its exclusive lock.
+  /// time, each under its exclusive lock. The rewrite's block reads and
+  /// writes are charged to the cumulative counters.
   uint64_t CompactAll();
 
-  /// Calls `fn` for every live record of `file`, in slot order.
+  /// Calls `fn` for every live record of `file`, in slot order. The
+  /// traversal reads every allocated block; that full scan is charged to
+  /// the cumulative counters so snapshot/export I/O stays visible next
+  /// to request I/O.
   template <typename Fn>
   Status VisitRecords(std::string_view file, Fn&& fn) const {
     std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
@@ -139,8 +156,10 @@ class Engine {
                               "' not defined");
     }
     std::shared_lock<std::shared_mutex> file_lock(it->second->mutex());
+    IoStats io;
     it->second->ForEach(
-        [&](RecordId, const abdm::Record& record) { fn(record); });
+        [&](RecordId, const abdm::Record& record) { fn(record); }, &io);
+    cumulative_io_.Add(io);
     return Status::OK();
   }
 
@@ -175,7 +194,8 @@ class Engine {
   /// request, exclusive for DDL.
   mutable std::shared_mutex map_mutex_;
   std::map<std::string, std::unique_ptr<FileStore>, std::less<>> files_;
-  AtomicIoStats cumulative_io_;
+  /// Mutable: const traversals (VisitRecords) still charge their reads.
+  mutable AtomicIoStats cumulative_io_;
   std::atomic<double> latency_ms_per_block_{0.0};
 };
 

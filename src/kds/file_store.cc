@@ -4,6 +4,8 @@
 #include <iterator>
 #include <utility>
 
+#include "kds/planner.h"
+
 namespace mlds::kds {
 
 FileStore::FileStore(abdm::FileDescriptor descriptor, int block_capacity)
@@ -103,7 +105,7 @@ std::optional<std::vector<RecordId>> FileStore::IndexLookup(
   return out;
 }
 
-std::optional<size_t> FileStore::EstimateCandidates(
+std::optional<size_t> FileStore::EstimateMatches(
     const abdm::Predicate& pred) const {
   if (pred.value.is_null()) return std::nullopt;  // null predicates scan.
   if (pred.op == abdm::RelOp::kNe) return std::nullopt;
@@ -138,62 +140,63 @@ std::optional<size_t> FileStore::EstimateCandidates(
   return total;
 }
 
-void FileStore::SelectConjunction(const abdm::Conjunction& conj,
-                                  std::set<RecordId>* out, IoStats* io) const {
-  // Cost-based access path: every index-assisted predicate — equality or
-  // range — is estimated from the directory's bucket sizes without
-  // materializing its candidate list (the FILE keyword's bucket holds
-  // every record of the file, and copying it per query would make point
-  // lookups O(n)). The cheapest estimate drives the fetch, so a tight
-  // range beats a broad equality like FILE = f; further candidate sets
-  // are then intersected cheapest-bucket-first while they stay small
-  // relative to the survivors, shrinking the set of blocks fetched before
-  // any record is examined.
-  std::vector<std::pair<const abdm::Predicate*, size_t>> indexed;
-  bool proven_empty = false;
-  for (const auto& pred : conj.predicates) {
-    std::optional<size_t> estimate = EstimateCandidates(pred);
-    if (!estimate.has_value()) continue;
-    if (*estimate == 0) {
-      proven_empty = true;  // directory proves no record matches.
-      if (io != nullptr) io->index_probes += 1;
+void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
+                                   PlanNode* node, std::set<RecordId>* out,
+                                   IoStats* io) const {
+  // Materialize the candidate set the plan prescribes; nullopt means the
+  // plan is a full scan. Access-path choice happened at plan time (see
+  // PlanConjunction): the cheapest directory estimate drives the fetch,
+  // so a tight range beats a broad equality like FILE = f, and further
+  // candidate sets are intersected cheapest-bucket-first while they stay
+  // small relative to the survivors.
+  node->executed = true;
+  std::optional<std::vector<RecordId>> best;
+  switch (node->kind) {
+    case PlanNodeKind::kFullScan:
+      break;
+    case PlanNodeKind::kIntersect: {
+      PlanNode& driver = node->children.front();
+      best = IndexLookup(*driver.predicate, io);
+      driver.executed = true;
+      driver.actual_rows = best->size();
+      for (size_t k = 1; k < node->children.size() && !best->empty(); ++k) {
+        PlanNode& child = node->children[k];
+        // The planner kept this child against the driver's estimate; the
+        // survivor set may have shrunk below that since, so re-apply the
+        // rule dynamically. The first skipped child ends the intersection
+        // (children are cost-ordered — later ones are no cheaper).
+        if (!WorthIntersecting(child.est_rows, best->size())) break;
+        std::optional<std::vector<RecordId>> next =
+            IndexLookup(*child.predicate, io);
+        child.executed = true;
+        child.actual_rows = next->size();
+        std::vector<RecordId> intersection;
+        intersection.reserve(std::min(best->size(), next->size()));
+        std::set_intersection(best->begin(), best->end(), next->begin(),
+                              next->end(), std::back_inserter(intersection));
+        *best = std::move(intersection);
+      }
       break;
     }
-    indexed.emplace_back(&pred, *estimate);
-  }
-  std::stable_sort(indexed.begin(), indexed.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second < b.second;
-                   });
-
-  std::optional<std::vector<RecordId>> best;
-  if (proven_empty) {
-    best = std::vector<RecordId>{};
-  } else if (!indexed.empty()) {
-    best = IndexLookup(*indexed.front().first, io);
-    for (size_t k = 1; k < indexed.size() && !best->empty(); ++k) {
-      // Materializing a set costs O(its estimate); only worth it while
-      // that stays within a small factor of the current survivor count
-      // (beyond that, per-record verification is cheaper).
-      if (indexed[k].second > 4 * best->size() + 16) break;
-      std::optional<std::vector<RecordId>> next =
-          IndexLookup(*indexed[k].first, io);
-      if (!next.has_value()) continue;
-      std::vector<RecordId> intersection;
-      intersection.reserve(std::min(best->size(), next->size()));
-      std::set_intersection(best->begin(), best->end(), next->begin(),
-                            next->end(), std::back_inserter(intersection));
-      *best = std::move(intersection);
-    }
+    default:
+      // A lone index node — including one whose zero estimate proved the
+      // conjunction empty: probing it costs the same single directory
+      // lookup the planner's estimate did.
+      best = IndexLookup(*node->predicate, io);
+      break;
   }
 
   std::set<uint64_t> blocks_touched;
+  uint64_t matched = 0;
   auto examine = [&](RecordId id) {
     const auto& slot = slots_[id];
     if (!slot.has_value()) return;
     if (io != nullptr) io->records_examined += 1;
     blocks_touched.insert(BlockOf(id));
-    if (conj.Matches(*slot)) out->insert(id);
+    if (conj.Matches(*slot)) {
+      out->insert(id);
+      ++matched;
+    }
   };
 
   if (best.has_value()) {
@@ -205,20 +208,40 @@ void FileStore::SelectConjunction(const abdm::Conjunction& conj,
     // A full scan touches every allocated block even if records are dead.
     for (uint64_t b = 0; b < block_count(); ++b) blocks_touched.insert(b);
   }
+  node->actual_rows = matched;
+  node->actual_blocks = blocks_touched.size();
   if (io != nullptr) io->blocks_read += blocks_touched.size();
 }
 
-std::vector<RecordId> FileStore::Select(const abdm::Query& query,
-                                        IoStats* io) const {
+PlanNode FileStore::Plan(const abdm::Query& query) const {
+  return PlanQuery(query, *this, name());
+}
+
+std::vector<RecordId> FileStore::Execute(const abdm::Query& query,
+                                         PlanNode* plan, IoStats* io) const {
   std::set<RecordId> matched;
-  for (const auto& conj : query.disjuncts()) {
-    SelectConjunction(conj, &matched, io);
+  const auto& disjuncts = query.disjuncts();
+  const size_t n = std::min(disjuncts.size(), plan->children.size());
+  for (size_t i = 0; i < n; ++i) {
+    ExecuteConjunction(disjuncts[i], &plan->children[i], &matched, io);
   }
+  plan->executed = true;
+  plan->actual_rows = matched.size();
+  plan->actual_blocks = plan->SumChildren(&PlanNode::actual_blocks);
   return std::vector<RecordId>(matched.begin(), matched.end());
 }
 
-size_t FileStore::Delete(const abdm::Query& query, IoStats* io) {
-  std::vector<RecordId> victims = Select(query, io);
+std::vector<RecordId> FileStore::Select(const abdm::Query& query, IoStats* io,
+                                        PlanNode* plan_out) const {
+  PlanNode local;
+  PlanNode* plan = plan_out != nullptr ? plan_out : &local;
+  *plan = Plan(query);
+  return Execute(query, plan, io);
+}
+
+size_t FileStore::Delete(const abdm::Query& query, IoStats* io,
+                         PlanNode* plan_out) {
+  std::vector<RecordId> victims = Select(query, io, plan_out);
   std::set<uint64_t> blocks;
   for (RecordId id : victims) {
     IndexErase(id, *slots_[id]);
@@ -230,7 +253,7 @@ size_t FileStore::Delete(const abdm::Query& query, IoStats* io) {
   return victims.size();
 }
 
-uint64_t FileStore::Compact() {
+uint64_t FileStore::Compact(IoStats* io) {
   const uint64_t before = block_count();
   std::vector<std::optional<abdm::Record>> live;
   live.reserve(live_count_);
@@ -241,6 +264,12 @@ uint64_t FileStore::Compact() {
   index_.clear();
   for (RecordId id = 0; id < slots_.size(); ++id) {
     IndexInsert(id, *slots_[id]);
+  }
+  if (io != nullptr) {
+    // The rewrite reads every allocated block and writes back the
+    // surviving ones.
+    io->blocks_read += before;
+    io->blocks_written += block_count();
   }
   return before - block_count();
 }

@@ -12,8 +12,10 @@
 #include "abdm/query.h"
 #include "abdm/record.h"
 #include "abdm/schema.h"
+#include "abdm/stats.h"
 #include "common/result.h"
 #include "kds/io_stats.h"
+#include "kds/plan.h"
 
 namespace mlds::kds {
 
@@ -29,7 +31,14 @@ using RecordId = uint64_t;
 /// non-indexable conjunction scans every live block. This mirrors the
 /// attribute-based directory design of MBDS, where keyword predicates are
 /// resolved against the directory before record blocks are fetched.
-class FileStore {
+///
+/// Query evaluation is split planner/executor: `Plan()` builds an
+/// explicit physical plan from the directory statistics (the store is its
+/// own abdm::DirectoryStats), and `Execute()` runs the plan, writing
+/// actual per-node row/block counts next to the planner's estimates.
+/// `Select()` is plan-then-execute with the plan discarded; pass
+/// `plan_out` to keep the annotated tree (EXPLAIN).
+class FileStore : public abdm::DirectoryStats {
  public:
   FileStore(abdm::FileDescriptor descriptor, int block_capacity);
 
@@ -54,15 +63,36 @@ class FileStore {
   /// Number of blocks currently allocated (including partially dead ones).
   uint64_t block_count() const;
 
+  /// abdm::DirectoryStats — the planner's view of this store's directory.
+  std::optional<size_t> EstimateMatches(
+      const abdm::Predicate& pred) const override;
+  size_t live_records() const override { return live_count_; }
+  uint64_t allocated_blocks() const override { return block_count(); }
+  int records_per_block() const override { return block_capacity_; }
+
   /// Appends a record. The record is stored as given; the caller (engine)
   /// is responsible for ensuring the FILE keyword is present.
   RecordId Insert(abdm::Record record, IoStats* io);
 
-  /// Returns ids of live records satisfying `query`, in slot order.
-  std::vector<RecordId> Select(const abdm::Query& query, IoStats* io) const;
+  /// Builds the physical plan for `query` against this store's directory
+  /// statistics (estimates filled, actuals zero).
+  PlanNode Plan(const abdm::Query& query) const;
 
-  /// Deletes all records satisfying `query`; returns how many.
-  size_t Delete(const abdm::Query& query, IoStats* io);
+  /// Executes `plan` — which must have been built by `Plan(query)` under
+  /// the same lock — returning ids of live records satisfying `query` in
+  /// slot order, charging `io`, and filling the plan's actual counters.
+  std::vector<RecordId> Execute(const abdm::Query& query, PlanNode* plan,
+                                IoStats* io) const;
+
+  /// Returns ids of live records satisfying `query`, in slot order. When
+  /// `plan_out` is non-null the annotated plan is stored there.
+  std::vector<RecordId> Select(const abdm::Query& query, IoStats* io,
+                               PlanNode* plan_out = nullptr) const;
+
+  /// Deletes all records satisfying `query`; returns how many. When
+  /// `plan_out` is non-null the annotated retrieval plan is stored there.
+  size_t Delete(const abdm::Query& query, IoStats* io,
+                PlanNode* plan_out = nullptr);
 
   /// Returns the live record at `id`, or nullptr.
   const abdm::Record* Get(RecordId id) const;
@@ -73,33 +103,38 @@ class FileStore {
   /// Rebuilds the store without dead slots, renumbering records and
   /// rebuilding the directory. Returns how many blocks were reclaimed.
   /// Record ids are invalidated; callers must not hold RecordIds across a
-  /// compaction.
-  uint64_t Compact();
+  /// compaction. When `io` is non-null the rewrite is charged: every
+  /// allocated block is read and every surviving block written.
+  uint64_t Compact(IoStats* io = nullptr);
 
-  /// Calls `fn` for every live record id (slot order).
+  /// Calls `fn` for every live record id (slot order). Iterating every
+  /// slot reads every allocated block; when `io` is non-null that full
+  /// scan is charged (`blocks_read += block_count()`, one
+  /// `records_examined` per live record). Callers passing nullptr must
+  /// document why their traversal is exempt from I/O accounting.
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  void ForEach(Fn&& fn, IoStats* io = nullptr) const {
+    if (io != nullptr) {
+      io->blocks_read += block_count();
+      io->records_examined += live_count_;
+    }
     for (RecordId id = 0; id < slots_.size(); ++id) {
       if (slots_[id].has_value()) fn(id, *slots_[id]);
     }
   }
 
  private:
-  /// Evaluates one conjunction, appending matching live ids to `out` and
-  /// charging `io` for index probes / block reads.
-  void SelectConjunction(const abdm::Conjunction& conj,
-                         std::set<RecordId>* out, IoStats* io) const;
+  /// Executes one conjunction's plan node, appending matching live ids to
+  /// `out`, charging `io` for index probes / block reads, and filling the
+  /// node's actual counters.
+  void ExecuteConjunction(const abdm::Conjunction& conj, PlanNode* node,
+                          std::set<RecordId>* out, IoStats* io) const;
 
   /// Candidate ids from the directory for an index-assisted predicate
   /// (equality, or a range served by ordered lower/upper-bound iteration);
   /// nullopt if the predicate is not index-assisted.
   std::optional<std::vector<RecordId>> IndexLookup(
       const abdm::Predicate& pred, IoStats* io) const;
-
-  /// Number of candidate ids IndexLookup would return for `pred`, read off
-  /// the directory's bucket sizes without materializing anything; nullopt
-  /// if the predicate is not index-assisted.
-  std::optional<size_t> EstimateCandidates(const abdm::Predicate& pred) const;
 
   bool IsDirectoryAttribute(std::string_view attr) const;
 

@@ -1,0 +1,109 @@
+#include "kds/plan.h"
+
+#include <string>
+
+namespace mlds::kds {
+
+std::string_view PlanNodeKindName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kIndexEquality:
+      return "INDEX EQUALITY";
+    case PlanNodeKind::kIndexRange:
+      return "INDEX RANGE";
+    case PlanNodeKind::kFullScan:
+      return "FULL SCAN";
+    case PlanNodeKind::kIntersect:
+      return "INTERSECT";
+    case PlanNodeKind::kUnionOfConjunctions:
+      return "UNION";
+    case PlanNodeKind::kProject:
+      return "PROJECT";
+    case PlanNodeKind::kAggregate:
+      return "AGGREGATE";
+    case PlanNodeKind::kJoin:
+      return "JOIN";
+    case PlanNodeKind::kSequence:
+      return "SEQUENCE";
+    case PlanNodeKind::kBackendMerge:
+      return "BACKEND MERGE";
+  }
+  return "?";
+}
+
+std::string PlanNode::Describe() const {
+  std::string out(PlanNodeKindName(kind));
+  if (predicate.has_value()) {
+    out += ' ';
+    out += predicate->ToString();
+  } else if (!label.empty()) {
+    out += ' ';
+    if (label.front() == '(') {
+      out += label;
+    } else {
+      out += '(';
+      out += label;
+      out += ')';
+    }
+  }
+  return out;
+}
+
+uint64_t PlanNode::SumChildren(uint64_t PlanNode::* counter) const {
+  uint64_t total = 0;
+  for (const PlanNode& child : children) total += child.*counter;
+  return total;
+}
+
+namespace {
+
+void AppendCount(std::string* out, uint64_t rows, uint64_t blocks) {
+  *out += std::to_string(rows);
+  *out += " rows, ";
+  *out += std::to_string(blocks);
+  *out += " blocks";
+}
+
+void AppendTree(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.Describe();
+  *out += "  est: ";
+  AppendCount(out, node.est_rows, node.est_blocks);
+  if (node.executed) {
+    *out += "  actual: ";
+    AppendCount(out, node.actual_rows, node.actual_blocks);
+  } else {
+    *out += "  (not executed)";
+  }
+  *out += '\n';
+  for (const PlanNode& child : node.children) {
+    AppendTree(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  AppendTree(*this, 0, &out);
+  return out;
+}
+
+std::shared_ptr<const PlanNode> SequencePlans(
+    std::vector<std::shared_ptr<const PlanNode>> plans) {
+  std::erase(plans, nullptr);
+  if (plans.empty()) return nullptr;
+  if (plans.size() == 1) return std::move(plans[0]);
+  PlanNode root;
+  root.kind = PlanNodeKind::kSequence;
+  root.label = std::to_string(plans.size()) + " requests";
+  root.executed = true;
+  root.children.reserve(plans.size());
+  for (const auto& plan : plans) root.children.push_back(*plan);
+  root.est_rows = root.SumChildren(&PlanNode::est_rows);
+  root.est_blocks = root.SumChildren(&PlanNode::est_blocks);
+  root.actual_rows = root.SumChildren(&PlanNode::actual_rows);
+  root.actual_blocks = root.SumChildren(&PlanNode::actual_blocks);
+  return std::make_shared<const PlanNode>(std::move(root));
+}
+
+}  // namespace mlds::kds

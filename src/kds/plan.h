@@ -1,0 +1,112 @@
+#ifndef MLDS_KDS_PLAN_H_
+#define MLDS_KDS_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abdm/query.h"
+
+namespace mlds::kds {
+
+/// Physical plan node kinds. The kernel planner emits the access-path
+/// kinds (index equality/range, full scan, intersect, union); the layers
+/// above graft their own nodes onto the tree: the engine adds
+/// project/aggregate, RETRIEVE-COMMON adds a join, the KMS front ends add
+/// a per-statement sequence, and the MBDS controller adds a per-backend
+/// merge root.
+enum class PlanNodeKind {
+  /// Directory bucket lookup for an equality predicate.
+  kIndexEquality,
+  /// Ordered-directory lower/upper-bound seek for a range predicate.
+  kIndexRange,
+  /// Scan of every allocated block of the file.
+  kFullScan,
+  /// Candidate-set intersection, children ordered cheapest-estimate
+  /// first; the executor may skip trailing children when the adaptive
+  /// cutoff says per-record verification is cheaper (they stay
+  /// `executed == false`).
+  kIntersect,
+  /// One child per conjunction of the DNF query.
+  kUnionOfConjunctions,
+  /// Target-list projection (with optional BY grouping).
+  kProject,
+  /// Aggregate evaluation (AVG/MIN/MAX/SUM/COUNT).
+  kAggregate,
+  /// RETRIEVE-COMMON: children are the two sides' plans.
+  kJoin,
+  /// One front-end statement that issued several kernel requests; one
+  /// child per request, in issue order.
+  kSequence,
+  /// MBDS controller gather: one child per backend, in backend-id order.
+  kBackendMerge,
+};
+
+std::string_view PlanNodeKindName(PlanNodeKind kind);
+
+/// One node of an annotated physical plan.
+///
+/// Estimates are filled by the planner from directory statistics before
+/// execution; actuals are filled by the executor as the node runs.
+/// Counter semantics: a node "produces" rows for its parent — an index
+/// leaf under an intersect produces its candidate id list, a
+/// conjunction-root node produces verified matches, a union produces the
+/// distinct matches of the file, project/aggregate produce output rows.
+///
+/// Documented estimate bound for index-driven conjunctions: the planner's
+/// `est_blocks` is `min(est_rows, allocated_blocks)` — the worst case of
+/// every candidate living in its own block — so after execution
+/// `actual_blocks <= est_blocks`, and when every candidate is live (the
+/// directory only lists live records) at least
+/// `ceil(actual_rows / records_per_block)` blocks are touched. A full
+/// scan's estimate is exact: `actual_blocks == est_blocks`.
+struct PlanNode {
+  PlanNodeKind kind = PlanNodeKind::kFullScan;
+
+  /// Context string: the file name on a union root, the backend label on
+  /// a merge child, the target list on a project node, …
+  std::string label;
+
+  /// The predicate an index node resolves against the directory.
+  std::optional<abdm::Predicate> predicate;
+
+  /// Planner estimates.
+  uint64_t est_rows = 0;
+  uint64_t est_blocks = 0;
+
+  /// Executor actuals (stay 0 until the node runs).
+  uint64_t actual_rows = 0;
+  uint64_t actual_blocks = 0;
+
+  /// True once the executor ran the node. Intersect children behind the
+  /// adaptive cutoff — and conjunctions behind an empty survivor set —
+  /// are planned but never executed.
+  bool executed = false;
+
+  std::vector<PlanNode> children;
+
+  /// One-line description without counters, e.g.
+  /// "INDEX RANGE (key >= 8128)".
+  std::string Describe() const;
+
+  /// Indented tree rendering with estimated-vs-actual counters; the byte
+  /// format the KFS formatters and the plan golden tests pin down.
+  std::string ToString() const;
+
+  /// Sum of a counter over the immediate children.
+  uint64_t SumChildren(uint64_t PlanNode::* counter) const;
+};
+
+/// Combines the plans the kernel requests of one front-end statement
+/// produced: no plans -> null, one -> passed through, several -> nested
+/// under an executed SEQUENCE root with one child per request in issue
+/// order and counters summed. Null entries (requests that produced no
+/// plan, e.g. INSERT) are dropped first.
+std::shared_ptr<const PlanNode> SequencePlans(
+    std::vector<std::shared_ptr<const PlanNode>> plans);
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_PLAN_H_

@@ -1,0 +1,108 @@
+#include "kds/planner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace mlds::kds {
+
+namespace {
+
+PlanNodeKind IndexKindFor(const abdm::Predicate& pred) {
+  return pred.op == abdm::RelOp::kEq ? PlanNodeKind::kIndexEquality
+                                     : PlanNodeKind::kIndexRange;
+}
+
+/// Worst-case block budget for fetching `candidates` records: each
+/// candidate on its own block, capped at the whole file.
+uint64_t BlockBudget(size_t candidates, const abdm::DirectoryStats& stats) {
+  return std::min<uint64_t>(candidates, stats.allocated_blocks());
+}
+
+PlanNode IndexNode(const abdm::Predicate& pred, size_t estimate,
+                   const abdm::DirectoryStats& stats) {
+  PlanNode node;
+  node.kind = IndexKindFor(pred);
+  node.predicate = pred;
+  node.est_rows = estimate;
+  node.est_blocks = BlockBudget(estimate, stats);
+  return node;
+}
+
+}  // namespace
+
+bool WorthIntersecting(size_t next_estimate, size_t current_size) {
+  return next_estimate <= 4 * current_size + 16;
+}
+
+PlanNode PlanConjunction(const abdm::Conjunction& conj,
+                         const abdm::DirectoryStats& stats) {
+  // Estimate every index-assisted predicate from the directory's bucket
+  // sizes without materializing any candidate list (the FILE keyword's
+  // bucket holds every record of the file, and copying it per query
+  // would make point lookups O(n)).
+  std::vector<std::pair<const abdm::Predicate*, size_t>> indexed;
+  for (const abdm::Predicate& pred : conj.predicates) {
+    std::optional<size_t> estimate = stats.EstimateMatches(pred);
+    if (!estimate.has_value()) continue;
+    if (*estimate == 0) {
+      // The directory alone proves no record matches; the plan is a lone
+      // probe of the proving predicate.
+      return IndexNode(pred, 0, stats);
+    }
+    indexed.emplace_back(&pred, *estimate);
+  }
+
+  if (indexed.empty()) {
+    PlanNode scan;
+    scan.kind = PlanNodeKind::kFullScan;
+    scan.est_rows = stats.live_records();
+    scan.est_blocks = stats.allocated_blocks();
+    return scan;
+  }
+
+  std::stable_sort(
+      indexed.begin(), indexed.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  // The cheapest estimate drives the fetch; later sets are intersected
+  // cheapest-first. The survivor set only shrinks from the driver's
+  // estimate, so a child failing the rule against the driver estimate
+  // can never pass it at run time — prune it and (because the executor
+  // stops at the first skip) everything after it.
+  const size_t driver_estimate = indexed.front().second;
+  size_t kept = 1;
+  while (kept < indexed.size() &&
+         WorthIntersecting(indexed[kept].second, driver_estimate)) {
+    ++kept;
+  }
+
+  if (kept == 1) return IndexNode(*indexed.front().first, driver_estimate, stats);
+
+  PlanNode intersect;
+  intersect.kind = PlanNodeKind::kIntersect;
+  intersect.est_rows = driver_estimate;
+  intersect.est_blocks = BlockBudget(driver_estimate, stats);
+  intersect.children.reserve(kept);
+  for (size_t k = 0; k < kept; ++k) {
+    intersect.children.push_back(
+        IndexNode(*indexed[k].first, indexed[k].second, stats));
+  }
+  return intersect;
+}
+
+PlanNode PlanQuery(const abdm::Query& query, const abdm::DirectoryStats& stats,
+                   std::string_view file) {
+  PlanNode root;
+  root.kind = PlanNodeKind::kUnionOfConjunctions;
+  root.label = file;
+  root.children.reserve(query.disjuncts().size());
+  for (const abdm::Conjunction& conj : query.disjuncts()) {
+    root.children.push_back(PlanConjunction(conj, stats));
+  }
+  root.est_rows = root.SumChildren(&PlanNode::est_rows);
+  root.est_blocks = root.SumChildren(&PlanNode::est_blocks);
+  return root;
+}
+
+}  // namespace mlds::kds

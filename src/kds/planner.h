@@ -1,0 +1,40 @@
+#ifndef MLDS_KDS_PLANNER_H_
+#define MLDS_KDS_PLANNER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "abdm/query.h"
+#include "abdm/stats.h"
+#include "kds/plan.h"
+
+namespace mlds::kds {
+
+/// The adaptive intersection rule: materializing another candidate set
+/// costs O(its estimate), which is only worth paying while the estimate
+/// stays within a small factor of the current survivor count — beyond
+/// that, per-record verification of the survivors is cheaper. The planner
+/// applies it statically against the driver's estimate (children that can
+/// never pass are not planned); the executor re-applies it dynamically
+/// against the shrinking survivor set and may skip trailing children the
+/// planner kept.
+bool WorthIntersecting(size_t next_estimate, size_t current_size);
+
+/// Builds the physical plan for one conjunction against the directory
+/// statistics: the cheapest index-assisted predicate drives the fetch,
+/// further candidate sets are intersected cheapest-first, a conjunction
+/// with no index-assisted predicate falls back to a full scan, and a
+/// predicate the directory proves empty becomes a lone index node with a
+/// zero estimate.
+PlanNode PlanConjunction(const abdm::Conjunction& conj,
+                         const abdm::DirectoryStats& stats);
+
+/// Builds the plan for a DNF query over one file: a UNION root (labelled
+/// with `file`) with one child per conjunction, in disjunct order. The
+/// executor relies on that child ordering to pair nodes with disjuncts.
+PlanNode PlanQuery(const abdm::Query& query, const abdm::DirectoryStats& stats,
+                   std::string_view file);
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_PLANNER_H_

@@ -102,4 +102,51 @@ std::string FormatRecord(const abdm::Record& record,
   return out;
 }
 
+namespace {
+
+void AppendPlanCounters(const kds::PlanNode& node,
+                        const PlanFormatOptions& options, std::string* out) {
+  *out += "  est: ";
+  *out += std::to_string(node.est_rows);
+  *out += " rows, ";
+  *out += std::to_string(node.est_blocks);
+  *out += " blocks";
+  if (!options.show_actuals) return;
+  if (!node.executed) {
+    *out += "  (not executed)";
+    return;
+  }
+  *out += "  actual: ";
+  *out += std::to_string(node.actual_rows);
+  *out += " rows, ";
+  *out += std::to_string(node.actual_blocks);
+  *out += " blocks";
+}
+
+void AppendPlanTree(const kds::PlanNode& node, int depth,
+                    const PlanFormatOptions& options, std::string* out) {
+  for (int i = 0; i < depth; ++i) *out += options.indent;
+  *out += node.Describe();
+  AppendPlanCounters(node, options, out);
+  *out += '\n';
+  for (const kds::PlanNode& child : node.children) {
+    AppendPlanTree(child, depth + 1, options, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatPlan(const kds::PlanNode& plan,
+                       const PlanFormatOptions& options) {
+  std::string out;
+  if (!options.header.empty()) {
+    out += options.header;
+    out += '\n';
+    out.append(options.header.size(), '-');
+    out += '\n';
+  }
+  AppendPlanTree(plan, 0, options, &out);
+  return out;
+}
+
 }  // namespace mlds::kfs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "abdm/record.h"
+#include "kds/plan.h"
 #include "network/schema.h"
 
 namespace mlds::kfs {
@@ -35,6 +36,27 @@ std::string FormatTable(const std::vector<abdm::Record>& records,
 /// Formats one record as "attr: value" lines.
 std::string FormatRecord(const abdm::Record& record,
                          const FormatOptions& options = {});
+
+/// Options for rendering an annotated physical plan (EXPLAIN output).
+/// Each language interface picks its own header so the plan tree appears
+/// in that language's display conventions; the tree body is shared.
+struct PlanFormatOptions {
+  /// Title line above the tree, e.g. "QUERY PLAN" (SQL) or
+  /// "ABDL REQUEST PLAN" (CODASYL-DML).
+  std::string header = "QUERY PLAN";
+  /// Indentation unit per tree level.
+  std::string indent = "  ";
+  /// Show the executor's actual counters next to the planner's
+  /// estimates. All explains execute (EXPLAIN-and-run), so this is on by
+  /// default; off renders estimates only.
+  bool show_actuals = true;
+};
+
+/// Pretty-prints an annotated plan tree: a header, a dashed rule, then
+/// one line per node with estimated (and optionally actual) row/block
+/// counts. Children indent one unit under their parent.
+std::string FormatPlan(const kds::PlanNode& plan,
+                       const PlanFormatOptions& options = {});
 
 }  // namespace mlds::kfs
 

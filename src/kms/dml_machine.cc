@@ -94,7 +94,8 @@ DmlMachine::DmlMachine(const network::Schema* schema,
     : schema_(schema), mapping_(mapping), executor_(executor) {}
 
 Result<DmlResult> DmlMachine::Execute(const codasyl::Statement& statement) {
-  trace_.push_back(TraceEntry{codasyl::ToString(statement), {}});
+  trace_.push_back(TraceEntry{
+      (explain_ ? "EXPLAIN " : "") + codasyl::ToString(statement), {}});
   struct Visitor {
     DmlMachine* self;
     Result<DmlResult> operator()(const codasyl::MoveStatement& s) {
@@ -150,30 +151,44 @@ Result<DmlResult> DmlMachine::Execute(const codasyl::Statement& statement) {
   return result;
 }
 
+Result<DmlResult> DmlMachine::Execute(
+    const codasyl::ParsedStatement& statement) {
+  if (!statement.explain) return Execute(statement.statement);
+  explain_ = true;
+  explain_plans_.clear();
+  auto result = Execute(statement.statement);
+  explain_ = false;
+  if (result.ok()) {
+    result->plan = kds::SequencePlans(std::move(explain_plans_));
+  }
+  explain_plans_.clear();
+  return result;
+}
+
 Result<DmlResult> DmlMachine::ExecuteText(std::string_view text) {
   if (cache_ != nullptr) {
     MLDS_ASSIGN_OR_RETURN(
-        std::shared_ptr<const codasyl::Statement> stmt,
-        cache_->GetOrCompile<codasyl::Statement>(
-            "dml", text, [&] { return codasyl::ParseStatement(text); }));
+        std::shared_ptr<const codasyl::ParsedStatement> stmt,
+        cache_->GetOrCompile<codasyl::ParsedStatement>(
+            "dml", text, [&] { return codasyl::ParseDmlStatement(text); }));
     return Execute(*stmt);
   }
-  MLDS_ASSIGN_OR_RETURN(codasyl::Statement stmt,
-                        codasyl::ParseStatement(text));
+  MLDS_ASSIGN_OR_RETURN(codasyl::ParsedStatement stmt,
+                        codasyl::ParseDmlStatement(text));
   return Execute(stmt);
 }
 
 Result<std::vector<DmlResult>> DmlMachine::RunProgram(std::string_view text) {
-  std::shared_ptr<const std::vector<codasyl::Statement>> program;
+  std::shared_ptr<const std::vector<codasyl::ParsedStatement>> program;
   if (cache_ != nullptr) {
     MLDS_ASSIGN_OR_RETURN(
-        program, cache_->GetOrCompile<std::vector<codasyl::Statement>>(
+        program, cache_->GetOrCompile<std::vector<codasyl::ParsedStatement>>(
                      "dml-program", text,
-                     [&] { return codasyl::ParseProgram(text); }));
+                     [&] { return codasyl::ParseDmlProgram(text); }));
   } else {
-    MLDS_ASSIGN_OR_RETURN(std::vector<codasyl::Statement> parsed,
-                          codasyl::ParseProgram(text));
-    program = std::make_shared<const std::vector<codasyl::Statement>>(
+    MLDS_ASSIGN_OR_RETURN(std::vector<codasyl::ParsedStatement> parsed,
+                          codasyl::ParseDmlProgram(text));
+    program = std::make_shared<const std::vector<codasyl::ParsedStatement>>(
         std::move(parsed));
   }
   std::vector<DmlResult> results;
@@ -188,10 +203,15 @@ Result<std::vector<DmlResult>> DmlMachine::RunProgram(std::string_view text) {
 // --- Shared machinery ---
 
 Result<kds::Response> DmlMachine::Issue(abdl::Request request) {
+  if (explain_) abdl::SetExplain(request, true);
   trace_.back().abdl.push_back(abdl::ToString(request));
   stats_.abdl_requests[std::string(abdl::RequestOperation(request))] += 1;
   stats_.total_requests += 1;
-  return executor_->Execute(request);
+  auto response = executor_->Execute(request);
+  if (explain_ && response.ok() && response->plan != nullptr) {
+    explain_plans_.push_back(response->plan);
+  }
+  return response;
 }
 
 Result<const SetType*> DmlMachine::RequireSet(std::string_view set) const {

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "abdl/request.h"
 #include "codasyl/ast.h"
+#include "kds/plan.h"
 #include "codasyl/cit.h"
 #include "codasyl/uwa.h"
 #include "common/result.h"
@@ -28,6 +30,11 @@ struct DmlResult {
   size_t abdl_requests = 0;
   /// Human-readable note ("2 records connected", ...).
   std::string info;
+  /// For EXPLAIN statements: the annotated physical plans of the issued
+  /// ABDL requests — one request's plan directly, several nested under a
+  /// SEQUENCE root in issue order. Null when the translation issued no
+  /// plannable request (e.g. a FIND resolved purely from currency).
+  std::shared_ptr<const kds::PlanNode> plan;
 };
 
 /// One entry of the translation trace: the DML statement and the ABDL
@@ -78,7 +85,12 @@ class DmlMachine {
   /// Executes one statement, updating currency and buffers.
   Result<DmlResult> Execute(const codasyl::Statement& statement);
 
-  /// Parses and executes one statement of DML text.
+  /// Executes one statement with its EXPLAIN prefix honored: in explain
+  /// mode every issued ABDL request carries the explain flag and the
+  /// result's `plan` holds the collected annotated plans.
+  Result<DmlResult> Execute(const codasyl::ParsedStatement& statement);
+
+  /// Parses and executes one statement of DML text (EXPLAIN allowed).
   Result<DmlResult> ExecuteText(std::string_view text);
 
   /// Parses and executes a whole program (newline/';'-separated),
@@ -186,6 +198,11 @@ class DmlMachine {
   std::vector<TraceEntry> trace_;
   SessionStats stats_;
   std::map<std::string, uint64_t> next_key_;
+
+  /// Explain mode for the statement currently executing: Issue() flags
+  /// every outgoing request and collects the plans its responses carry.
+  bool explain_ = false;
+  std::vector<std::shared_ptr<const kds::PlanNode>> explain_plans_;
 };
 
 }  // namespace mlds::kms

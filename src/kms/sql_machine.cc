@@ -1,6 +1,8 @@
 #include "kms/sql_machine.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/strings.h"
 #include "transform/abdm_mapping.h"
@@ -130,6 +132,7 @@ Result<SqlMachine::Outcome> SqlMachine::RunCompiled(
     case CompiledSql::Kind::kSelect: {
       MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(compiled.requests[0]));
       outcome.rows = std::move(resp.records);
+      outcome.plan = std::move(resp.plan);
       if (compiled.strip_file) {
         for (auto& row : outcome.rows) {
           row.Erase(std::string(abdm::kFileAttribute));
@@ -140,10 +143,13 @@ Result<SqlMachine::Outcome> SqlMachine::RunCompiled(
     case CompiledSql::Kind::kUpdate: {
       // One kernel UPDATE per SET assignment; every request matches the
       // same rows, so the row count is the maximum, not the sum.
+      std::vector<std::shared_ptr<const kds::PlanNode>> plans;
       for (const abdl::Request& request : compiled.requests) {
         MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(request));
         outcome.affected = std::max(outcome.affected, resp.affected);
+        if (resp.plan != nullptr) plans.push_back(std::move(resp.plan));
       }
+      outcome.plan = kds::SequencePlans(std::move(plans));
       outcome.info =
           "updated " + std::to_string(outcome.affected) + " row(s)";
       return outcome;
@@ -151,6 +157,7 @@ Result<SqlMachine::Outcome> SqlMachine::RunCompiled(
     case CompiledSql::Kind::kDelete: {
       MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(compiled.requests[0]));
       outcome.affected = resp.affected;
+      outcome.plan = std::move(resp.plan);
       outcome.info = "deleted " + std::to_string(resp.affected) + " row(s)";
       return outcome;
     }
@@ -269,6 +276,7 @@ Result<SqlMachine::CompiledSql> SqlMachine::CompileSelect(
     MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*tables[0], s.where));
     abdl::RetrieveRequest req;
     req.query = std::move(query);
+    req.explain = s.explain;
     const bool star =
         std::any_of(s.items.begin(), s.items.end(),
                     [](const auto& i) { return i.star && i.aggregate ==
@@ -345,6 +353,7 @@ Result<SqlMachine::CompiledSql> SqlMachine::CompileSelect(
   }
 
   abdl::RetrieveCommonRequest join;
+  join.explain = s.explain;
   join.left_query = Query::And(std::move(left_preds));
   join.left_attribute = left_col;
   join.right_query = Query::And(std::move(right_preds));
@@ -449,6 +458,7 @@ Result<SqlMachine::CompiledSql> SqlMachine::CompileUpdate(
   for (const auto& [column, value] : s.assignments) {
     abdl::UpdateRequest update;
     update.query = query;
+    update.explain = s.explain;
     update.modifier =
         abdl::Modifier{column, abdl::ModifierKind::kSet, value};
     compiled.requests.push_back(std::move(update));
@@ -470,6 +480,7 @@ Result<SqlMachine::CompiledSql> SqlMachine::CompileDelete(
   MLDS_ASSIGN_OR_RETURN(Query query, BuildQuery(*table, s.where));
   abdl::DeleteRequest del;
   del.query = std::move(query);
+  del.explain = s.explain;
   CompiledSql compiled;
   compiled.kind = CompiledSql::Kind::kDelete;
   compiled.requests.push_back(std::move(del));

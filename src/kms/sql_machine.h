@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,6 +12,7 @@
 #include "abdl/request.h"
 #include "common/result.h"
 #include "kc/executor.h"
+#include "kds/plan.h"
 #include "kms/translation_cache.h"
 #include "relational/schema.h"
 #include "sql/ast.h"
@@ -29,6 +31,12 @@ namespace mlds::kms {
 ///
 /// Constraints enforced: NOT NULL on INSERT, UNIQUE(cols) on INSERT,
 /// column existence everywhere.
+///
+/// EXPLAIN statements compile to the same kernel requests with the abdl
+/// explain flag set: they execute normally and additionally surface the
+/// annotated physical plan in Outcome::plan. The translation cache keys
+/// on the statement text, so "EXPLAIN SELECT ..." caches separately from
+/// the plain statement.
 class SqlMachine {
  public:
   /// `schema` and `executor` must outlive the machine.
@@ -42,6 +50,11 @@ class SqlMachine {
     std::vector<abdm::Record> rows;  ///< SELECT results.
     size_t affected = 0;             ///< INSERT/UPDATE/DELETE row count.
     std::string info;
+    /// For EXPLAIN statements: the annotated physical plan. A statement
+    /// that issued one kernel request carries that request's plan
+    /// directly; a multi-assignment UPDATE wraps its per-request plans
+    /// under a SEQUENCE root.
+    std::shared_ptr<const kds::PlanNode> plan;
   };
 
   Result<Outcome> Execute(const sql::SqlStatement& statement);

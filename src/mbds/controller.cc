@@ -25,6 +25,33 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Merges the per-backend plans of `runs[first, first + count)` into one
+/// BACKEND MERGE node, children in backend-id order, each labelled with
+/// its backend id so per-backend estimated vs. actual block counts stay
+/// visible side by side in the merged tree.
+kds::PlanNode MergeBackendPlans(std::vector<BackendRun>& runs, size_t first,
+                                size_t count) {
+  kds::PlanNode root;
+  root.kind = kds::PlanNodeKind::kBackendMerge;
+  root.label = std::to_string(count) + " backends";
+  root.executed = true;
+  root.children.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    const kds::Response& response = runs[first + k].response;
+    if (response.plan == nullptr) continue;
+    kds::PlanNode child = *response.plan;
+    std::string prefix = "backend " + std::to_string(k);
+    child.label =
+        child.label.empty() ? prefix : prefix + ": " + child.label;
+    root.children.push_back(std::move(child));
+  }
+  root.est_rows = root.SumChildren(&kds::PlanNode::est_rows);
+  root.est_blocks = root.SumChildren(&kds::PlanNode::est_blocks);
+  root.actual_rows = root.SumChildren(&kds::PlanNode::actual_rows);
+  root.actual_blocks = root.SumChildren(&kds::PlanNode::actual_blocks);
+  return root;
+}
+
 }  // namespace
 
 Controller::Controller(MbdsOptions options) : options_(options) {
@@ -147,6 +174,9 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
     abdl::RetrieveRequest raw;
     raw.query = retrieve->query;
     raw.all_attributes = true;
+    // The explain flag rides the rewritten request so every backend
+    // returns its annotated plan for the controller to merge.
+    raw.explain = retrieve->explain;
     broadcast = raw;
   }
 
@@ -182,6 +212,17 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
   } else {
     report.response.records = std::move(merged);
   }
+  if (abdl::IsExplain(request)) {
+    kds::PlanNode plan = MergeBackendPlans(runs, 0, runs.size());
+    if (retrieve != nullptr) {
+      // Projection / BY / aggregation happened here at the controller
+      // over the merged set, so its plan node sits above the merge.
+      plan = kds::WrapRetrievePlan(*retrieve, std::move(plan),
+                                   report.response.records.size());
+    }
+    report.response.plan =
+        std::make_shared<kds::PlanNode>(std::move(plan));
+  }
   report.response_time_ms = options_.bus.RoundTripMs() + max_ms;
   report.wall_time_ms = wall_ms;
   return report;
@@ -198,8 +239,9 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
   std::array<abdl::Request, 2> sides;
   {
     abdl::RetrieveRequest raw;
-    raw.query = request.left_query;
     raw.all_attributes = true;
+    raw.explain = request.explain;
+    raw.query = request.left_query;
     sides[0] = raw;
     raw.query = request.right_query;
     sides[1] = raw;
@@ -257,6 +299,20 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
       }
       report.response.records.push_back(std::move(merged));
     }
+  }
+  if (request.explain) {
+    kds::PlanNode join;
+    join.kind = kds::PlanNodeKind::kJoin;
+    join.label =
+        "(" + request.left_attribute + " = " + request.right_attribute + ")";
+    join.executed = true;
+    join.children.push_back(MergeBackendPlans(runs, 0, n));
+    join.children.push_back(MergeBackendPlans(runs, n, n));
+    join.est_rows = join.SumChildren(&kds::PlanNode::est_rows);
+    join.est_blocks = join.SumChildren(&kds::PlanNode::est_blocks);
+    join.actual_rows = report.response.records.size();
+    join.actual_blocks = join.SumChildren(&kds::PlanNode::actual_blocks);
+    report.response.plan = std::make_shared<kds::PlanNode>(std::move(join));
   }
   report.response_time_ms =
       2 * options_.bus.RoundTripMs() + side_max[0] + side_max[1];
@@ -317,6 +373,7 @@ Result<ExecutionReport> Controller::ExecuteTransaction(
   // out identical no matter how the pool interleaved the stages.
   ExecutionReport total;
   total.backend_times_ms.assign(backends_.size(), 0.0);
+  std::vector<kds::PlanNode> statement_plans;
   for (size_t i = 0; i < count; ++i) {
     ExecutionReport& report = **reports[i];
     total.response.affected += report.response.affected;
@@ -328,6 +385,23 @@ Result<ExecutionReport> Controller::ExecuteTransaction(
         total.response.records.end(),
         std::make_move_iterator(report.response.records.begin()),
         std::make_move_iterator(report.response.records.end()));
+    if (report.response.plan != nullptr) {
+      statement_plans.push_back(*report.response.plan);
+    }
+  }
+  if (!statement_plans.empty()) {
+    // Explained statements of the transaction line up, in statement
+    // order, under one SEQUENCE root.
+    kds::PlanNode seq;
+    seq.kind = kds::PlanNodeKind::kSequence;
+    seq.label = std::to_string(statement_plans.size()) + " statements";
+    seq.executed = true;
+    seq.children = std::move(statement_plans);
+    seq.est_rows = seq.SumChildren(&kds::PlanNode::est_rows);
+    seq.est_blocks = seq.SumChildren(&kds::PlanNode::est_blocks);
+    seq.actual_rows = seq.SumChildren(&kds::PlanNode::actual_rows);
+    seq.actual_blocks = seq.SumChildren(&kds::PlanNode::actual_blocks);
+    total.response.plan = std::make_shared<kds::PlanNode>(std::move(seq));
   }
   total.response_time_ms = simulated_ms;
   total.wall_time_ms = ElapsedMs(start);

@@ -1,6 +1,8 @@
 #include "mlds/mlds.h"
 
+#include "abdl/parser.h"
 #include "daplex/ddl_parser.h"
+#include "kfs/formatter.h"
 #include "network/ddl_parser.h"
 #include "transform/abdm_mapping.h"
 #include "transform/hie_to_abdm.h"
@@ -199,6 +201,20 @@ std::vector<std::string> MldsSystem::DatabaseNames() const {
   for (const auto& db : relational_dbs_) names.push_back(db->schema.name());
   for (const auto& db : hierarchical_dbs_) names.push_back(db->schema.name());
   return names;
+}
+
+Result<std::string> MldsSystem::ExplainAbdl(std::string_view request_text) {
+  MLDS_ASSIGN_OR_RETURN(abdl::Request request,
+                        abdl::ParseRequest(request_text));
+  MLDS_ASSIGN_OR_RETURN(kds::Response response,
+                        executor_->ExecuteExplain(std::move(request)));
+  if (response.plan == nullptr) {
+    return Status::InvalidArgument(
+        "request produced no plan (INSERT chooses no access path)");
+  }
+  kfs::PlanFormatOptions options;
+  options.header = "ABDL PLAN";
+  return kfs::FormatPlan(*response.plan, options);
 }
 
 const hierarchical::Schema* MldsSystem::FindHierarchicalSchema(

@@ -119,6 +119,12 @@ class MldsSystem {
   /// Direct access to the kernel for loaders and benchmarks.
   kc::KernelExecutor* executor() { return executor_.get(); }
 
+  /// Parses one ABDL request, executes it in explain mode through the
+  /// kernel controller, and returns its annotated physical plan rendered
+  /// by KFS under an "ABDL PLAN" header. INSERT is rejected — it chooses
+  /// no access path, so there is no plan to show.
+  Result<std::string> ExplainAbdl(std::string_view request_text);
+
   /// The compiled-translation cache shared by all sessions of every
   /// language. Loading any database bumps its schema epoch, invalidating
   /// every cached translation.

@@ -75,6 +75,8 @@ struct SelectStatement {
   WhereClause where;
   std::optional<std::string> group_by;
   std::optional<std::string> order_by;
+  /// EXPLAIN SELECT ...: execute and return the annotated plan too.
+  bool explain = false;
 
   friend bool operator==(const SelectStatement&,
                          const SelectStatement&) = default;
@@ -95,6 +97,8 @@ struct UpdateStatement {
   std::string table;
   std::vector<std::pair<std::string, abdm::Value>> assignments;
   WhereClause where;
+  /// EXPLAIN UPDATE ... — see SelectStatement::explain.
+  bool explain = false;
 
   friend bool operator==(const UpdateStatement&,
                          const UpdateStatement&) = default;
@@ -104,6 +108,8 @@ struct UpdateStatement {
 struct DeleteStatement {
   std::string table;
   WhereClause where;
+  /// EXPLAIN DELETE ... — see SelectStatement::explain.
+  bool explain = false;
 
   friend bool operator==(const DeleteStatement&,
                          const DeleteStatement&) = default;
@@ -122,6 +128,10 @@ using SqlStatement = std::variant<SelectStatement, InsertStatement,
 ///   INSERT INTO t (c, ...) VALUES (v, ...)
 ///   UPDATE t SET c = v [, ...] [WHERE ...]
 ///   DELETE FROM t [WHERE ...]
+///   EXPLAIN <select | update | delete>
+///
+/// EXPLAIN executes the statement and additionally returns its annotated
+/// physical plan; EXPLAIN INSERT is rejected (no access path to show).
 ///
 /// Aggregates: COUNT/SUM/AVG/MIN/MAX(col). String literals in single
 /// quotes; AND binds tighter than OR; the WHERE tree is normalized to

@@ -224,6 +224,24 @@ class Parser {
   }
 
   Result<SqlStatement> ParseStatement() {
+    // EXPLAIN prefixes a statement with an access path: the statement
+    // executes normally and its annotated plan rides along.
+    if (Consume("EXPLAIN")) {
+      if (WordIs("EXPLAIN")) {
+        return Status::ParseError("EXPLAIN may appear only once");
+      }
+      if (Consume("INSERT")) {
+        return Status::ParseError("EXPLAIN does not apply to INSERT");
+      }
+      MLDS_ASSIGN_OR_RETURN(SqlStatement stmt, ParseStatement());
+      std::visit([](auto& s) {
+        if constexpr (!std::is_same_v<std::decay_t<decltype(s)>,
+                                      InsertStatement>) {
+          s.explain = true;
+        }
+      }, stmt);
+      return stmt;
+    }
     if (Consume("SELECT")) return ParseSelect();
     if (Consume("INSERT")) return ParseInsert();
     if (Consume("UPDATE")) return ParseUpdate();

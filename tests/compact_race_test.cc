@@ -1,0 +1,140 @@
+// Compaction-vs-retrieve race regression: CompactAll moves live records
+// into the holes deletions leave behind, remapping their RecordIds. The
+// two-level locking scheme (shared files-map lock + per-FileStore lock)
+// must guarantee no reader ever resolves a stale RecordId — every
+// retrieve sees either the pre- or post-compaction placement, never a
+// moved-out-from-under-it slot. tools/check.sh runs this suite under
+// ThreadSanitizer on every PR, so the lock discipline itself is
+// race-checked, not just the observable results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abdl/parser.h"
+#include "kds/engine.h"
+
+namespace mlds::kds {
+namespace {
+
+abdm::FileDescriptor ItemFile() {
+  abdm::FileDescriptor f;
+  f.name = "item";
+  f.attributes = {{"FILE", abdm::ValueKind::kString, 0, true},
+                  {"key", abdm::ValueKind::kInteger, 0, true},
+                  {"owner", abdm::ValueKind::kInteger, 0, true}};
+  return f;
+}
+
+void Insert(Engine* engine, int key, int owner) {
+  auto req = abdl::ParseRequest("INSERT (<FILE, item>, <key, " +
+                                std::to_string(key) + ">, <owner, " +
+                                std::to_string(owner) + ">)");
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(engine->Execute(*req).ok());
+}
+
+TEST(CompactRaceTest, CompactAllRacingRetrievesServesNoStaleRecords) {
+  Engine engine;
+  ASSERT_TRUE(engine.DefineFile(ItemFile()).ok());
+  constexpr int kKeys = 400;
+  for (int key = 0; key < kKeys; ++key) Insert(&engine, key, key % 5);
+
+  // Writer churn: each transaction deletes one owner-3 record and
+  // reinserts it atomically, so readers always see the key present while
+  // the delete keeps punching fresh holes for the compactor to squeeze.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int round = 0;
+    while (!stop.load()) {
+      const int key = 3 + (round++ % (kKeys / 5)) * 5;
+      auto txn = abdl::ParseTransaction(
+          "DELETE ((FILE = item) and (key = " + std::to_string(key) +
+          ")); INSERT (<FILE, item>, <key, " + std::to_string(key) +
+          ">, <owner, 3>)");
+      ASSERT_TRUE(txn.ok());
+      ASSERT_TRUE(engine.ExecuteTransaction(*txn).ok());
+    }
+  });
+
+  // Compactor: remaps RecordIds while readers and the writer run.
+  std::atomic<uint64_t> reclaimed{0};
+  std::thread compactor([&] {
+    while (!stop.load()) {
+      reclaimed.fetch_add(engine.CompactAll());
+    }
+  });
+
+  // Readers: point lookups on churned and quiet keys plus a full count.
+  // A stale RecordId would surface as a missing record, a duplicate, or
+  // a count off from the invariant kKeys.
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 120;
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      auto count_req =
+          abdl::ParseRequest("RETRIEVE ((FILE = item)) (COUNT(key))");
+      ASSERT_TRUE(count_req.ok());
+      for (int round = 0; round < kRounds; ++round) {
+        const int churned = 3 + ((t + round) % (kKeys / 5)) * 5;
+        const int quiet = 1 + ((t + round) % (kKeys / 5)) * 5;
+        for (int key : {churned, quiet}) {
+          auto req = abdl::ParseRequest(
+              "RETRIEVE ((FILE = item) and (key = " + std::to_string(key) +
+              ")) (owner)");
+          ASSERT_TRUE(req.ok());
+          auto resp = engine.Execute(*req);
+          if (!resp.ok() || resp->records.size() != 1 ||
+              resp->records[0].GetOrNull("owner").AsInteger() != key % 5) {
+            violations.fetch_add(1);
+          }
+        }
+        auto count = engine.Execute(*count_req);
+        if (!count.ok() ||
+            count->records[0].GetOrNull("COUNT(key)").AsInteger() != kKeys) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  writer.join();
+  compactor.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiesced state must replay exactly: every key once, owners intact.
+  auto all = abdl::ParseRequest("RETRIEVE ((FILE = item)) (key) BY key");
+  ASSERT_TRUE(all.ok());
+  auto resp = engine.Execute(*all);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->records.size(), static_cast<size_t>(kKeys));
+  for (int key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(resp->records[key].GetOrNull("key").AsInteger(), key);
+  }
+}
+
+TEST(CompactRaceTest, CompactionChargesCumulativeIo) {
+  Engine engine;
+  ASSERT_TRUE(engine.DefineFile(ItemFile()).ok());
+  for (int key = 0; key < 64; ++key) Insert(&engine, key, key % 3);
+  auto del = abdl::ParseRequest("DELETE ((FILE = item) and (owner = 1))");
+  ASSERT_TRUE(del.ok());
+  ASSERT_TRUE(engine.Execute(*del).ok());
+
+  engine.ResetStats();
+  const uint64_t reclaimed = engine.CompactAll();
+  EXPECT_GT(reclaimed, 0u);
+  const IoStats io = engine.cumulative_io();
+  // Compaction reads the old block layout and writes the squeezed one.
+  EXPECT_GT(io.blocks_read, 0u);
+  EXPECT_GT(io.blocks_written, 0u);
+}
+
+}  // namespace
+}  // namespace mlds::kds

@@ -67,8 +67,11 @@ TEST_P(ParserFuzzTest, AllParsersSurviveGarbage) {
   FuzzInputs inputs(GetParam());
   const std::string valid_samples[] = {
       "RETRIEVE ((FILE = course) and (title = 'DB')) (title) BY course",
+      "EXPLAIN RETRIEVE ((FILE = course) and (credits > 3)) (title)",
       "FIND ANY course USING title IN course",
+      "EXPLAIN FIND ANY course USING title IN course",
       "SELECT title FROM course WHERE credits > 3 ORDER BY title",
+      "EXPLAIN SELECT title FROM course WHERE credits > 3",
       "FOR EACH student SUCH THAT major = 'CS' PRINT pname",
       "GU patient (pname = 'Smith') visit (cost > 100)",
       "TYPE a IS ENTITY x : INTEGER; END ENTITY;",
@@ -77,17 +80,20 @@ TEST_P(ParserFuzzTest, AllParsersSurviveGarbage) {
       "SEGMENT s; FIELD f CHAR(4);",
   };
   for (int trial = 0; trial < 60; ++trial) {
+    constexpr size_t kSamples = std::size(valid_samples);
     std::string candidates[] = {
         inputs.Garbage(5 + trial % 60),
-        inputs.Spliced(valid_samples[trial % 9]),
-        inputs.Truncated(valid_samples[trial % 9]),
+        inputs.Spliced(valid_samples[trial % kSamples]),
+        inputs.Truncated(valid_samples[trial % kSamples]),
         "RETRIEVE " + inputs.Nested(40) + " (x)",
+        "EXPLAIN " + inputs.Garbage(12),
     };
     for (const auto& text : candidates) {
       // Each call must return (no crash/hang); outcome itself is free.
       (void)abdl::ParseRequest(text);
       (void)abdl::ParseQuery(text);
       (void)codasyl::ParseStatement(text);
+      (void)codasyl::ParseDmlStatement(text);
       (void)daplex::ParseFunctionalSchema(text);
       (void)daplex::ParseDaplexStatement(text);
       (void)network::ParseSchema(text);
@@ -112,6 +118,57 @@ TEST(ParserFuzzTest, EmptyAndWhitespaceInputsRejectCleanly) {
         << "'" << text << "'";
     EXPECT_FALSE(kms::ParseDliCall(text).ok()) << "'" << text << "'";
   }
+}
+
+TEST(ParserFuzzTest, MalformedExplainCombosRejectCleanly) {
+  // The EXPLAIN prefix composes with every operation that has an access
+  // path and nothing else: doubled prefixes, bare prefixes, INSERT (no
+  // access path), and MOVE (no kernel request) must all fail to parse.
+  const char* abdl_bad[] = {
+      "EXPLAIN",
+      "EXPLAIN EXPLAIN RETRIEVE ((FILE = course)) (title)",
+      "EXPLAIN INSERT (<FILE, course>, <title, 'DB'>)",
+      "EXPLAIN garbage",
+  };
+  for (const char* text : abdl_bad) {
+    EXPECT_FALSE(abdl::ParseRequest(text).ok()) << "'" << text << "'";
+  }
+  const char* sql_bad[] = {
+      "EXPLAIN",
+      "EXPLAIN EXPLAIN SELECT title FROM course",
+      "EXPLAIN INSERT INTO course (title) VALUES ('DB')",
+      "EXPLAIN CREATE TABLE t (a INTEGER)",
+  };
+  for (const char* text : sql_bad) {
+    EXPECT_FALSE(sql::ParseSql(text).ok()) << "'" << text << "'";
+  }
+  const char* dml_bad[] = {
+      "EXPLAIN",
+      "EXPLAIN EXPLAIN GET",
+      "EXPLAIN MOVE 'DB' TO title IN course",
+      "EXPLAIN FROB course",
+  };
+  for (const char* text : dml_bad) {
+    EXPECT_FALSE(codasyl::ParseDmlStatement(text).ok()) << "'" << text << "'";
+  }
+  // The explain-unaware DML entry point never accepts the prefix.
+  EXPECT_FALSE(codasyl::ParseStatement("EXPLAIN GET").ok());
+}
+
+TEST(ParserFuzzTest, WellFormedExplainPrefixesParse) {
+  auto abdl = abdl::ParseRequest(
+      "EXPLAIN RETRIEVE ((FILE = course) and (credits > 3)) (title)");
+  ASSERT_TRUE(abdl.ok()) << abdl.status();
+  EXPECT_TRUE(abdl::IsExplain(*abdl));
+
+  auto sql = sql::ParseSql("EXPLAIN DELETE FROM course WHERE credits = 0");
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_TRUE(std::get<sql::DeleteStatement>(*sql).explain);
+
+  auto dml =
+      codasyl::ParseDmlStatement("EXPLAIN FIND ANY course USING title IN course");
+  ASSERT_TRUE(dml.ok()) << dml.status();
+  EXPECT_TRUE(dml->explain);
 }
 
 TEST(ParserFuzzTest, DeeplyNestedQueriesParseWithoutBlowup) {

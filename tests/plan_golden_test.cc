@@ -1,0 +1,229 @@
+// EXPLAIN plan-rendering goldens: the annotated physical plan travels
+// from the KDS planner through KC and the KMS front ends to the KFS
+// formatter, and these tests byte-pin the rendered tree for two language
+// interfaces (SQL and CODASYL-DML) plus the MBDS per-backend merge
+// structure end to end.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kfs/formatter.h"
+#include "kms/dml_machine.h"
+#include "kms/sql_machine.h"
+#include "mlds/mlds.h"
+#include "university/university.h"
+
+namespace mlds {
+namespace {
+
+constexpr char kRegistrarDdl[] = R"(
+SCHEMA registrar;
+
+CREATE TABLE course (
+  title CHAR(20) NOT NULL,
+  dept CHAR(10),
+  credits INTEGER,
+  UNIQUE (title)
+);
+)";
+
+class SqlPlanGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_.LoadRelationalDatabase(kRegistrarDdl).ok());
+    auto session = system_.OpenSqlSession("registrar");
+    ASSERT_TRUE(session.ok()) << session.status();
+    machine_ = *session;
+    Must("INSERT INTO course (title, dept, credits) "
+         "VALUES ('Databases', 'CS', 4)");
+    Must("INSERT INTO course (title, dept, credits) "
+         "VALUES ('Networks', 'CS', 3)");
+    Must("INSERT INTO course (title, dept, credits) "
+         "VALUES ('Thermo', 'ME', 3)");
+  }
+
+  kms::SqlMachine::Outcome Must(std::string_view text) {
+    auto outcome = machine_->ExecuteText(text);
+    EXPECT_TRUE(outcome.ok()) << text << ": " << outcome.status();
+    return outcome.ok() ? std::move(*outcome) : kms::SqlMachine::Outcome{};
+  }
+
+  MldsSystem system_;
+  kms::SqlMachine* machine_ = nullptr;
+};
+
+TEST_F(SqlPlanGoldenTest, ExplainSelectRendersAnnotatedTree) {
+  auto outcome = Must("EXPLAIN SELECT title FROM course WHERE dept = 'CS'");
+  ASSERT_EQ(outcome.rows.size(), 2u);
+  ASSERT_NE(outcome.plan, nullptr);
+  EXPECT_EQ(
+      kfs::FormatPlan(*outcome.plan),
+      "QUERY PLAN\n"
+      "----------\n"
+      "PROJECT (title)  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
+      "  UNION (course)  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
+      "    INTERSECT  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
+      "      INDEX EQUALITY (dept = 'CS')  est: 2 rows, 1 blocks"
+      "  actual: 2 rows, 0 blocks\n"
+      "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
+      "  actual: 3 rows, 0 blocks\n");
+}
+
+TEST_F(SqlPlanGoldenTest, PlainSelectCarriesNoPlan) {
+  auto outcome = Must("SELECT title FROM course WHERE dept = 'CS'");
+  EXPECT_EQ(outcome.plan, nullptr);
+}
+
+TEST_F(SqlPlanGoldenTest, ExplainUpdateSequencesPerAssignmentPlans) {
+  auto outcome = Must(
+      "EXPLAIN UPDATE course SET dept = 'EE', credits = 2 "
+      "WHERE title = 'Thermo'");
+  EXPECT_EQ(outcome.affected, 1u);
+  ASSERT_NE(outcome.plan, nullptr);
+  // One kernel UPDATE per SET assignment, sequenced in issue order.
+  EXPECT_EQ(
+      kfs::FormatPlan(*outcome.plan),
+      "QUERY PLAN\n"
+      "----------\n"
+      "SEQUENCE (2 requests)  est: 2 rows, 2 blocks"
+      "  actual: 2 rows, 2 blocks\n"
+      "  UNION (course)  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
+      "    INTERSECT  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
+      "      INDEX EQUALITY (title = 'Thermo')  est: 1 rows, 1 blocks"
+      "  actual: 1 rows, 0 blocks\n"
+      "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
+      "  actual: 3 rows, 0 blocks\n"
+      "  UNION (course)  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
+      "    INTERSECT  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
+      "      INDEX EQUALITY (title = 'Thermo')  est: 1 rows, 1 blocks"
+      "  actual: 1 rows, 0 blocks\n"
+      "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
+      "  actual: 3 rows, 0 blocks\n");
+}
+
+class DmlPlanGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        system_.LoadFunctionalDatabase(university::kUniversityDaplexDdl)
+            .ok());
+    university::UniversityConfig config;
+    ASSERT_TRUE(university::BuildUniversityDatabaseOnLoaded(
+                    config, system_.executor())
+                    .ok());
+    auto session = system_.OpenCodasylSession("university");
+    ASSERT_TRUE(session.ok()) << session.status();
+    machine_ = *session;
+  }
+
+  kms::DmlResult Must(std::string_view dml) {
+    auto result = machine_->ExecuteText(dml);
+    EXPECT_TRUE(result.ok()) << dml << ": " << result.status();
+    return result.ok() ? std::move(*result) : kms::DmlResult{};
+  }
+
+  MldsSystem system_;
+  kms::DmlMachine* machine_ = nullptr;
+};
+
+TEST_F(DmlPlanGoldenTest, ExplainFindAnyRendersAnnotatedTree) {
+  Must("MOVE 'Computer Science' TO major IN student");
+  auto result = Must("EXPLAIN FIND ANY student USING major IN student");
+  ASSERT_NE(result.plan, nullptr);
+  kfs::PlanFormatOptions options;
+  options.header = "ABDL REQUEST PLAN";
+  EXPECT_EQ(
+      kfs::FormatPlan(*result.plan, options),
+      "ABDL REQUEST PLAN\n"
+      "-----------------\n"
+      "PROJECT (all attributes) BY student  est: 4 rows, 2 blocks"
+      "  actual: 4 rows, 2 blocks\n"
+      "  UNION (student)  est: 4 rows, 2 blocks  actual: 4 rows, 2 blocks\n"
+      "    INTERSECT  est: 4 rows, 2 blocks  actual: 4 rows, 2 blocks\n"
+      "      INDEX EQUALITY (major = 'Computer Science')  est: 4 rows,"
+      " 2 blocks  actual: 4 rows, 0 blocks\n"
+      "      INDEX EQUALITY (FILE = 'student')  est: 30 rows, 2 blocks"
+      "  actual: 30 rows, 0 blocks\n");
+}
+
+TEST_F(DmlPlanGoldenTest, PlainFindCarriesNoPlan) {
+  Must("MOVE 'Computer Science' TO major IN student");
+  auto result = Must("FIND ANY student USING major IN student");
+  EXPECT_EQ(result.plan, nullptr);
+}
+
+TEST(MbdsPlanTest, ExplainMergesPerBackendPlans) {
+  MldsSystem::Options options;
+  options.use_mbds = true;
+  options.backends = 2;
+  MldsSystem system(options);
+  ASSERT_TRUE(system.LoadRelationalDatabase(kRegistrarDdl).ok());
+  auto session = system.OpenSqlSession("registrar");
+  ASSERT_TRUE(session.ok());
+  kms::SqlMachine* machine = *session;
+  for (int i = 0; i < 8; ++i) {
+    auto insert = machine->ExecuteText(
+        "INSERT INTO course (title, dept, credits) VALUES ('C" +
+        std::to_string(i) + "', 'CS', " + std::to_string(i % 5) + ")");
+    ASSERT_TRUE(insert.ok()) << insert.status();
+  }
+
+  auto outcome =
+      machine->ExecuteText("EXPLAIN SELECT title FROM course WHERE dept = 'CS'");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->rows.size(), 8u);
+  ASSERT_NE(outcome->plan, nullptr);
+
+  // Controller-side post-processing sits on top; underneath, one child
+  // per backend in backend-id order, counters summed into the merge root.
+  const kds::PlanNode& root = *outcome->plan;
+  ASSERT_EQ(root.kind, kds::PlanNodeKind::kProject);
+  ASSERT_EQ(root.children.size(), 1u);
+  const kds::PlanNode& merge = root.children[0];
+  ASSERT_EQ(merge.kind, kds::PlanNodeKind::kBackendMerge);
+  EXPECT_EQ(merge.label, "2 backends");
+  ASSERT_EQ(merge.children.size(), 2u);
+  EXPECT_TRUE(merge.executed);
+  uint64_t backend_rows = 0;
+  for (size_t b = 0; b < merge.children.size(); ++b) {
+    EXPECT_TRUE(merge.children[b].label.starts_with(
+        "backend " + std::to_string(b)))
+        << merge.children[b].label;
+    backend_rows += merge.children[b].actual_rows;
+  }
+  EXPECT_EQ(backend_rows, 8u);
+  EXPECT_EQ(merge.actual_rows, 8u);
+  // Every backend holds a share of a round-robin-distributed file.
+  for (const kds::PlanNode& child : merge.children) {
+    EXPECT_TRUE(child.executed);
+  }
+}
+
+TEST(MbdsPlanTest, FacadeExplainsRawAbdl) {
+  MldsSystem::Options options;
+  options.use_mbds = true;
+  options.backends = 2;
+  MldsSystem system(options);
+  ASSERT_TRUE(system.LoadRelationalDatabase(kRegistrarDdl).ok());
+  auto session = system.OpenSqlSession("registrar");
+  ASSERT_TRUE(session.ok());
+  for (int i = 0; i < 4; ++i) {
+    auto insert = (*session)->ExecuteText(
+        "INSERT INTO course (title, dept, credits) VALUES ('C" +
+        std::to_string(i) + "', 'CS', 3)");
+    ASSERT_TRUE(insert.ok()) << insert.status();
+  }
+  auto rendered =
+      system.ExplainAbdl("RETRIEVE ((FILE = course) and (dept = 'CS')) (title)");
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+  EXPECT_TRUE(rendered->starts_with("ABDL PLAN\n---------\n")) << *rendered;
+  EXPECT_NE(rendered->find("BACKEND MERGE (2 backends)"), std::string::npos)
+      << *rendered;
+  // INSERT has no access path: the facade refuses to explain it.
+  EXPECT_FALSE(
+      system.ExplainAbdl("INSERT (<FILE, course>, <title, 'X'>)").ok());
+}
+
+}  // namespace
+}  // namespace mlds

@@ -1,0 +1,278 @@
+// Standalone planner tests: the KDS planner consumes only the
+// abdm::DirectoryStats interface, so plan shapes are pinned here against
+// synthetic statistics — no FileStore, no records. The estimate-vs-actual
+// bound tests at the bottom run real queries through a FileStore and
+// check the documented relationships between the planner's estimates and
+// the executor's actuals.
+
+#include "kds/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "abdm/stats.h"
+#include "kds/file_store.h"
+#include "kds/plan.h"
+
+namespace mlds::kds {
+namespace {
+
+using abdm::Conjunction;
+using abdm::Predicate;
+using abdm::Query;
+using abdm::Record;
+using abdm::RelOp;
+using abdm::Value;
+using abdm::ValueKind;
+
+/// Synthetic directory statistics: a fixed per-attribute bucket size.
+/// Attributes absent from the map are not index-assisted, matching a
+/// non-directory attribute in a real FileStore.
+class FakeStats : public abdm::DirectoryStats {
+ public:
+  FakeStats(size_t live, uint64_t blocks, int per_block)
+      : live_(live), blocks_(blocks), per_block_(per_block) {}
+
+  FakeStats& Bucket(std::string attribute, size_t size) {
+    buckets_[std::move(attribute)] = size;
+    return *this;
+  }
+
+  std::optional<size_t> EstimateMatches(
+      const Predicate& pred) const override {
+    if (pred.op == RelOp::kNe || pred.value.is_null()) return std::nullopt;
+    auto it = buckets_.find(pred.attribute);
+    if (it == buckets_.end()) return std::nullopt;
+    return it->second;
+  }
+  size_t live_records() const override { return live_; }
+  uint64_t allocated_blocks() const override { return blocks_; }
+  int records_per_block() const override { return per_block_; }
+
+ private:
+  size_t live_;
+  uint64_t blocks_;
+  int per_block_;
+  std::map<std::string, size_t> buckets_;
+};
+
+Predicate Eq(std::string attribute, int64_t value) {
+  return Predicate{std::move(attribute), RelOp::kEq, Value::Integer(value)};
+}
+
+TEST(PlannerTest, WorthIntersectingRule) {
+  // next <= 4 * current + 16, the executor's adaptive cutoff.
+  EXPECT_TRUE(WorthIntersecting(16, 0));
+  EXPECT_FALSE(WorthIntersecting(17, 0));
+  EXPECT_TRUE(WorthIntersecting(56, 10));
+  EXPECT_FALSE(WorthIntersecting(57, 10));
+}
+
+TEST(PlannerTest, CheapestIndexAloneCollapsesToLoneIndexNode) {
+  // The FILE keyword's bucket covers the whole file; against a 1-row key
+  // bucket it fails the cutoff, so the plan is the bare key probe.
+  FakeStats stats(8192, 1024, 8);
+  stats.Bucket("FILE", 8192).Bucket("key", 1);
+  Conjunction conj{{Eq("FILE", 0), Eq("key", 4242)}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  EXPECT_EQ(plan.kind, PlanNodeKind::kIndexEquality);
+  EXPECT_TRUE(plan.children.empty());
+  ASSERT_TRUE(plan.predicate.has_value());
+  EXPECT_EQ(plan.predicate->attribute, "key");
+  EXPECT_EQ(plan.est_rows, 1u);
+  EXPECT_EQ(plan.est_blocks, 1u);
+}
+
+TEST(PlannerTest, CloseEstimatesKeepTheIntersection) {
+  FakeStats stats(1000, 125, 8);
+  stats.Bucket("a", 30).Bucket("b", 10);
+  Conjunction conj{{Eq("a", 1), Eq("b", 2)}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  ASSERT_EQ(plan.kind, PlanNodeKind::kIntersect);
+  ASSERT_EQ(plan.children.size(), 2u);
+  // Children come cheapest-estimate first: b drives.
+  EXPECT_EQ(plan.children[0].predicate->attribute, "b");
+  EXPECT_EQ(plan.children[1].predicate->attribute, "a");
+  EXPECT_EQ(plan.est_rows, 10u);  // the driver's estimate
+  EXPECT_EQ(plan.est_blocks, 10u);
+}
+
+TEST(PlannerTest, AdaptiveCutoffPrunesExpensiveTail) {
+  // driver = 2; 4*2+16 = 24 admits the 20-row set but not the 1000-row
+  // one — and everything after the first failure is pruned with it.
+  FakeStats stats(4000, 500, 8);
+  stats.Bucket("a", 1000).Bucket("b", 2).Bucket("c", 20);
+  Conjunction conj{{Eq("a", 1), Eq("b", 2), Eq("c", 3)}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  ASSERT_EQ(plan.kind, PlanNodeKind::kIntersect);
+  ASSERT_EQ(plan.children.size(), 2u);
+  EXPECT_EQ(plan.children[0].predicate->attribute, "b");
+  EXPECT_EQ(plan.children[1].predicate->attribute, "c");
+}
+
+TEST(PlannerTest, NoIndexedPredicateFallsBackToFullScan) {
+  FakeStats stats(320, 40, 8);
+  Conjunction conj{{Eq("payload", 7),
+                    Predicate{"key", RelOp::kNe, Value::Integer(1)}}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  EXPECT_EQ(plan.kind, PlanNodeKind::kFullScan);
+  EXPECT_EQ(plan.est_rows, 320u);
+  EXPECT_EQ(plan.est_blocks, 40u);
+}
+
+TEST(PlannerTest, ProvenEmptyConjunctionIsALoneZeroProbe) {
+  FakeStats stats(320, 40, 8);
+  stats.Bucket("a", 50).Bucket("key", 0);
+  Conjunction conj{{Eq("a", 1), Eq("key", 999)}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  EXPECT_EQ(plan.kind, PlanNodeKind::kIndexEquality);
+  EXPECT_EQ(plan.predicate->attribute, "key");
+  EXPECT_EQ(plan.est_rows, 0u);
+  EXPECT_EQ(plan.est_blocks, 0u);
+}
+
+TEST(PlannerTest, RangePredicatePlansAsIndexRange) {
+  FakeStats stats(320, 40, 8);
+  stats.Bucket("key", 12);
+  Conjunction conj{
+      {Predicate{"key", RelOp::kGe, Value::Integer(100)}}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  EXPECT_EQ(plan.kind, PlanNodeKind::kIndexRange);
+  EXPECT_EQ(plan.est_rows, 12u);
+}
+
+TEST(PlannerTest, BlockBudgetIsCappedByAllocatedBlocks) {
+  // 500 candidates can't need more blocks than the file has.
+  FakeStats stats(4000, 32, 128);
+  stats.Bucket("a", 500);
+  Conjunction conj{{Eq("a", 1)}};
+  PlanNode plan = PlanConjunction(conj, stats);
+  EXPECT_EQ(plan.est_rows, 500u);
+  EXPECT_EQ(plan.est_blocks, 32u);
+}
+
+TEST(PlannerTest, QueryPlanShapeGolden) {
+  // The full DNF shape, byte-pinned: a UNION root labeled with the file,
+  // one child per disjunct — here a lone index probe and a full scan.
+  FakeStats stats(64, 8, 8);
+  stats.Bucket("FILE", 64).Bucket("key", 1);
+  Query query({Conjunction{{Eq("FILE", 0), Eq("key", 42)}},
+               Conjunction{{Eq("payload", 7)}}});
+  PlanNode plan = PlanQuery(query, stats, "item");
+  EXPECT_EQ(plan.ToString(),
+            "UNION (item)  est: 65 rows, 9 blocks  (not executed)\n"
+            "  INDEX EQUALITY (key = 42)  est: 1 rows, 1 blocks"
+            "  (not executed)\n"
+            "  FULL SCAN  est: 64 rows, 8 blocks  (not executed)\n");
+}
+
+// --- Estimate-vs-actual bounds against a real FileStore ---
+
+abdm::FileDescriptor Descriptor() {
+  abdm::FileDescriptor f;
+  f.name = "item";
+  f.attributes = {
+      {"FILE", ValueKind::kString, 0, true},
+      {"key", ValueKind::kInteger, 0, true},
+      {"owner", ValueKind::kInteger, 0, true},
+      {"payload", ValueKind::kString, 0, false},
+  };
+  return f;
+}
+
+Record MakeRecord(int key) {
+  Record r;
+  r.Set("FILE", Value::String("item"));
+  r.Set("key", Value::Integer(key));
+  r.Set("owner", Value::Integer(key % 7));
+  r.Set("payload", Value::String("p" + std::to_string(key % 3)));
+  return r;
+}
+
+/// Asserts the documented planner/executor relationships on every
+/// executed node of the tree.
+void CheckBounds(const PlanNode& node, int records_per_block) {
+  if (node.executed) {
+    switch (node.kind) {
+      case PlanNodeKind::kFullScan:
+        // A full scan's block estimate is exact.
+        EXPECT_EQ(node.actual_blocks, node.est_blocks) << node.Describe();
+        break;
+      case PlanNodeKind::kIndexEquality:
+      case PlanNodeKind::kIndexRange:
+        // Directory buckets only list live records, so the candidate
+        // estimate is exact for an executed index leaf.
+        EXPECT_EQ(node.actual_rows, node.est_rows) << node.Describe();
+        break;
+      case PlanNodeKind::kIntersect: {
+        // Verified matches never exceed the driver's candidate estimate;
+        // block fetches respect both the worst-case budget and the
+        // packing lower bound.
+        EXPECT_LE(node.actual_rows, node.est_rows) << node.Describe();
+        EXPECT_LE(node.actual_blocks, node.est_blocks) << node.Describe();
+        const uint64_t packed =
+            (node.actual_rows + records_per_block - 1) / records_per_block;
+        EXPECT_GE(node.actual_blocks, packed) << node.Describe();
+        break;
+      }
+      default:
+        EXPECT_LE(node.actual_blocks, node.est_blocks) << node.Describe();
+        break;
+    }
+  }
+  for (const PlanNode& child : node.children) {
+    CheckBounds(child, records_per_block);
+  }
+}
+
+TEST(PlannerBoundsTest, ActualsStayWithinDocumentedBounds) {
+  constexpr int kPerBlock = 4;
+  FileStore store(Descriptor(), kPerBlock);
+  IoStats io;
+  for (int i = 0; i < 256; ++i) store.Insert(MakeRecord(i), &io);
+
+  const Query queries[] = {
+      // Lone index probe.
+      Query::And({Eq("key", 42)}),
+      // Intersection of two close buckets.
+      Query::And({Eq("owner", 3), Eq("key", 3)}),
+      // Full scan (non-directory attribute).
+      Query::And({Predicate{"payload", RelOp::kEq, Value::String("p1")}}),
+      // Range + equality.
+      Query::And({Predicate{"key", RelOp::kLt, Value::Integer(40)},
+                  Eq("owner", 2)}),
+      // Union of disjuncts.
+      Query({Conjunction{{Eq("key", 7)}}, Conjunction{{Eq("key", 9)}}}),
+  };
+  for (const Query& query : queries) {
+    io.Reset();
+    PlanNode plan;
+    auto ids = store.Select(query, &io, &plan);
+    EXPECT_TRUE(plan.executed) << plan.ToString();
+    EXPECT_EQ(plan.actual_rows, ids.size()) << plan.ToString();
+    CheckBounds(plan, kPerBlock);
+    // The root's actual block count is what the executor charged to io.
+    EXPECT_EQ(plan.actual_blocks, io.blocks_read) << plan.ToString();
+  }
+}
+
+TEST(PlannerBoundsTest, SkippedIntersectChildStaysUnexecuted) {
+  FileStore store(Descriptor(), 4);
+  IoStats io;
+  for (int i = 0; i < 256; ++i) store.Insert(MakeRecord(i), &io);
+  // key = 42 estimates 1 row; FILE = item estimates 256 — planned out by
+  // the static cutoff, so the plan is the bare key probe.
+  Query query = Query::And(
+      {Predicate{"FILE", RelOp::kEq, Value::String("item")}, Eq("key", 42)});
+  PlanNode plan = store.Plan(query);
+  ASSERT_EQ(plan.kind, PlanNodeKind::kUnionOfConjunctions);
+  ASSERT_EQ(plan.children.size(), 1u);
+  EXPECT_EQ(plan.children[0].kind, PlanNodeKind::kIndexEquality);
+  EXPECT_EQ(plan.children[0].predicate->attribute, "key");
+}
+
+}  // namespace
+}  // namespace mlds::kds

@@ -9,6 +9,7 @@
 #   MLDS_TSAN_FILTER=Parallel tools/check.sh   # restrict the TSan ctest run
 #   MLDS_SKIP_TSAN=1 tools/check.sh            # skip the TSan stage
 #   MLDS_SKIP_ASAN=1 tools/check.sh            # skip the ASan stage
+#   MLDS_SKIP_BENCH=1 tools/check.sh           # skip the bench smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +19,21 @@ echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${MLDS_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "== bench smoke skipped (MLDS_SKIP_BENCH=1) =="
+else
+  # Smoke the bench binaries at tiny cost: a benchmark filter that matches
+  # nothing skips the timed loops, but each main() still loads its data
+  # set and writes its BENCH_*.json report — so the measurement paths run
+  # on every PR and CI uploads the fresh JSON artifacts.
+  echo "== bench smoke (JSON reports only) =="
+  mkdir -p build/bench-smoke
+  for bench in bench_range_queries bench_intra_backend; do
+    (cd build/bench-smoke && "../bench/${bench}" --benchmark_filter='^$')
+  done
+  ls build/bench-smoke/BENCH_*.json
+fi
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan run skipped (MLDS_SKIP_TSAN=1) =="
