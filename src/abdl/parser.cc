@@ -96,15 +96,31 @@ class Lexer {
           ++pos_;
         }
       } else if (c == '\'' || c == '"') {
+        // A doubled delimiter inside the literal is an escaped quote (the
+        // SQL convention, mirrored by Value::ToString) — required so
+        // printed requests replayed from snapshots and WAL entries parse
+        // back to the original value.
         const char quote = c;
+        std::string text;
         size_t end = pos_ + 1;
-        while (end < text_.size() && text_[end] != quote) ++end;
-        if (end >= text_.size()) {
+        bool terminated = false;
+        while (end < text_.size()) {
+          if (text_[end] == quote) {
+            if (end + 1 < text_.size() && text_[end + 1] == quote) {
+              text.push_back(quote);
+              end += 2;
+              continue;
+            }
+            terminated = true;
+            break;
+          }
+          text.push_back(text_[end]);
+          ++end;
+        }
+        if (!terminated) {
           return Status::ParseError("unterminated string literal");
         }
-        out.push_back({TokKind::kString,
-                       std::string(text_.substr(pos_ + 1, end - pos_ - 1)),
-                       RelOp::kEq});
+        out.push_back({TokKind::kString, std::move(text), RelOp::kEq});
         pos_ = end + 1;
       } else if (std::isdigit(static_cast<unsigned char>(c)) ||
                  (c == '-' && pos_ + 1 < text_.size() &&

@@ -27,7 +27,19 @@ Value Value::Parse(std::string_view text) {
   if (s.empty()) return Value::String("");
   if (s.size() >= 2 && (s.front() == '\'' || s.front() == '"') &&
       s.back() == s.front()) {
-    return Value::String(std::string(s.substr(1, s.size() - 2)));
+    // Collapse doubled quotes of the delimiter kind: the inverse of
+    // ToString's escaping, so quoted text round-trips.
+    const char quote = s.front();
+    std::string_view body = s.substr(1, s.size() - 2);
+    std::string text;
+    text.reserve(body.size());
+    for (size_t i = 0; i < body.size(); ++i) {
+      text.push_back(body[i]);
+      if (body[i] == quote && i + 1 < body.size() && body[i + 1] == quote) {
+        ++i;
+      }
+    }
+    return Value::String(std::move(text));
   }
   if (EqualsIgnoreCase(s, "NULL")) return Value::Null();
 
@@ -84,8 +96,19 @@ std::string Value::ToString() const {
       std::snprintf(buf, sizeof(buf), "%g", std::get<double>(rep_));
       return buf;
     }
-    case ValueKind::kString:
-      return "'" + std::get<std::string>(rep_) + "'";
+    case ValueKind::kString: {
+      // Escape embedded quotes by doubling them (the SQL convention), so
+      // printed values parse back losslessly — snapshot and WAL entries
+      // are replayed through the parser and must round-trip.
+      const std::string& text = std::get<std::string>(rep_);
+      std::string out = "'";
+      for (char c : text) {
+        if (c == '\'') out.push_back('\'');
+        out.push_back(c);
+      }
+      out.push_back('\'');
+      return out;
+    }
   }
   return "NULL";
 }

@@ -1,0 +1,38 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+namespace mlds::common {
+
+Backoff::Backoff(BackoffPolicy policy, uint32_t seed)
+    : policy_(policy),
+      // splitmix64 seeding: distinct small seeds yield well-spread states.
+      rng_state_(static_cast<uint64_t>(seed) * 0x9E3779B97F4A7C15ull + 1) {}
+
+double Backoff::UnjitteredDelayMs(int k) const {
+  double delay = policy_.base_ms;
+  for (int i = 0; i < k; ++i) {
+    delay *= policy_.multiplier;
+    if (delay >= policy_.max_ms) break;  // saturated; avoid overflow
+  }
+  return std::min(delay, policy_.max_ms);
+}
+
+double Backoff::NextDelayMs() {
+  double delay = UnjitteredDelayMs(attempts_);
+  ++attempts_;
+  if (policy_.jitter > 0.0) {
+    // xorshift64*: cheap, deterministic, and good enough to spread
+    // retriers; [0, 1) from the top 53 bits.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    const double u =
+        static_cast<double>((rng_state_ * 0x2545F4914F6CDD1Dull) >> 11) /
+        static_cast<double>(1ull << 53);
+    delay *= 1.0 - policy_.jitter * u;
+  }
+  return delay;
+}
+
+}  // namespace mlds::common

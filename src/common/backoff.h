@@ -1,0 +1,48 @@
+#ifndef MLDS_COMMON_BACKOFF_H_
+#define MLDS_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+namespace mlds::common {
+
+/// Exponential-backoff schedule for retrying transient faults: attempt k
+/// waits base * multiplier^k milliseconds, capped at max_ms, with an
+/// optional deterministic jitter that shortens each delay by up to
+/// `jitter` of itself. All parameters are plain data so a policy can sit
+/// in an options struct and be compared in tests.
+struct BackoffPolicy {
+  double base_ms = 1.0;
+  double multiplier = 2.0;
+  double max_ms = 64.0;
+  /// Fraction in [0, 1): each delay becomes delay * (1 - jitter * u) with
+  /// u drawn uniformly from [0, 1) by a seeded generator — deterministic
+  /// for a given seed, spread across retriers with different seeds.
+  double jitter = 0.0;
+};
+
+/// One retry sequence under a policy. Purely computational (no clock, no
+/// sleeping): callers ask for the next delay and wait however they like,
+/// which is what makes the schedule unit-testable without real time.
+class Backoff {
+ public:
+  Backoff(BackoffPolicy policy, uint32_t seed);
+
+  /// Delay before the next retry, in milliseconds; advances the attempt
+  /// counter. The first call returns the base delay (jittered).
+  double NextDelayMs();
+
+  /// Delay attempt `k` (0-based) would wait before jitter: the exact
+  /// exponential schedule, exposed so tests can pin the sequence.
+  double UnjitteredDelayMs(int k) const;
+
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t rng_state_;
+  int attempts_ = 0;
+};
+
+}  // namespace mlds::common
+
+#endif  // MLDS_COMMON_BACKOFF_H_

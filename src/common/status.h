@@ -23,6 +23,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kAborted,
+  /// A backend (or other component) is temporarily unable to serve: an
+  /// injected fault, an exceeded deadline, or a quarantined partition.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -75,6 +78,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -42,6 +42,15 @@ class ThreadPool {
   /// exception is rethrown on the caller after all iterations finish.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Enqueues one task for a worker and returns immediately. Unlike
+  /// ParallelFor, the caller never participates — which is exactly what a
+  /// deadline-bounded fan-out needs: the caller stays free to give up
+  /// waiting while a stalled task is still occupying a worker. The task
+  /// must own (or share ownership of) everything it touches, because the
+  /// submitter may have moved on by the time it runs; tasks must not
+  /// throw. With zero workers the task runs inline on the caller.
+  void Submit(std::function<void()> task);
+
  private:
   struct ForState;
 

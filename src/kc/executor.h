@@ -1,7 +1,10 @@
 #ifndef MLDS_KC_EXECUTOR_H_
 #define MLDS_KC_EXECUTOR_H_
 
+#include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "abdl/request.h"
 #include "abdm/schema.h"
@@ -10,6 +13,29 @@
 #include "mbds/controller.h"
 
 namespace mlds::kc {
+
+/// One backend's health as seen through the kernel-controller interface.
+/// States are the MBDS health machine's names ("healthy", "suspect",
+/// "quarantined", "reintegrating") rendered as strings so the language
+/// interfaces need no MBDS types to display them.
+struct BackendHealthStatus {
+  int id = 0;
+  std::string state;
+  std::string last_fault;
+  uint64_t wal_entries = 0;
+  uint64_t quarantine_count = 0;
+};
+
+/// Degraded-mode status of the kernel database system, surfaced through
+/// every language interface (each KMS machine exposes Health(), and the
+/// facade renders it via kfs::FormatHealth).
+struct KernelHealth {
+  /// True when any backend is not healthy: results may be partial, and
+  /// responses carry kds::PartialResultWarning entries naming the
+  /// affected backends.
+  bool degraded = false;
+  std::vector<BackendHealthStatus> backends;
+};
 
 /// The kernel controller's view of the kernel database system: the
 /// interface through which translated ABDL requests are executed. Two
@@ -36,6 +62,14 @@ class KernelExecutor {
   Result<kds::Response> ExecuteExplain(abdl::Request request) {
     abdl::SetExplain(request, true);
     return Execute(request);
+  }
+
+  /// Degraded-mode status of the kernel. A single engine is always one
+  /// healthy backend; MBDS reports its per-backend health machine.
+  virtual KernelHealth Health() const {
+    KernelHealth health;
+    health.backends.push_back(BackendHealthStatus{0, "healthy", "", 0, 0});
+    return health;
   }
 };
 
@@ -80,6 +114,20 @@ class MbdsExecutor : public KernelExecutor {
   }
   size_t FileSize(std::string_view file) const override {
     return controller_->FileSize(file);
+  }
+
+  KernelHealth Health() const override {
+    mbds::ControllerHealth mbds_health = controller_->Health();
+    KernelHealth health;
+    health.degraded = mbds_health.degraded;
+    health.backends.reserve(mbds_health.backends.size());
+    for (mbds::BackendStatus& backend : mbds_health.backends) {
+      health.backends.push_back(BackendHealthStatus{
+          backend.id, std::string(mbds::BackendHealthName(backend.state)),
+          std::move(backend.last_fault), backend.wal_entries,
+          backend.quarantine_count});
+    }
+    return health;
   }
 
  private:

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "kds/wal.h"
+
 namespace mlds::kds {
 
 namespace {
@@ -231,6 +233,11 @@ Status Engine::DefineDatabase(const abdm::DatabaseDescriptor& db) {
                                    "' already defined");
     }
   }
+  if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
+    for (const auto& file : db.files) {
+      MLDS_RETURN_IF_ERROR(wal->Append(EncodeDefineFile(file)));
+    }
+  }
   for (const auto& file : db.files) {
     files_.emplace(file.name,
                    std::make_unique<FileStore>(file, options_.block_capacity));
@@ -244,8 +251,24 @@ Status Engine::DefineFile(const abdm::FileDescriptor& descriptor) {
     return Status::AlreadyExists("kernel file '" + descriptor.name +
                                  "' already defined");
   }
+  if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
+    MLDS_RETURN_IF_ERROR(wal->Append(EncodeDefineFile(descriptor)));
+  }
   files_.emplace(descriptor.name, std::make_unique<FileStore>(
                                       descriptor, options_.block_capacity));
+  return Status::OK();
+}
+
+Status Engine::RemoveFile(std::string_view file) {
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("kernel file '" + std::string(file) +
+                            "' not defined");
+  }
+  // Exclusive map lock: no request can be holding (or acquiring) this
+  // store's lock, so erasing it is safe.
+  files_.erase(it);
   return Status::OK();
 }
 
@@ -396,6 +419,14 @@ Result<Response> Engine::Execute(const abdl::Request& request) {
   for (FileStore* store : TouchedStores(request)) {
     locks.emplace_back(&store->mutex(), exclusive);
   }
+  // Write-ahead: the mutation is durable before it is applied. Logging
+  // under the file locks keeps the log's per-file order equal to the
+  // apply order, which replay depends on.
+  if (exclusive) {
+    if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
+      MLDS_RETURN_IF_ERROR(wal->Append("REQUEST " + abdl::ToString(request)));
+    }
+  }
   auto result = ExecuteLocked(request);
   if (result.ok()) {
     cumulative_io_.Add(result->io);
@@ -424,15 +455,44 @@ Result<std::vector<Response>> Engine::ExecuteTransaction(
     locks.emplace_back(&entry.first->mutex(), entry.second);
   }
 
+  // WAL framing: BEGIN, each write statement before it applies, COMMIT.
+  // Entries of an uncommitted transaction are discarded on recovery, so
+  // a crash mid-transaction loses the whole transaction — never a torn
+  // prefix of it. COMMIT is also logged when a statement fails: the
+  // logged prefix was processed, and replay re-fails the failed statement
+  // deterministically, reproducing the engine's no-rollback semantics.
+  WalWriter* wal = wal_.load(std::memory_order_acquire);
+  const bool log_txn =
+      wal != nullptr &&
+      std::any_of(txn.begin(), txn.end(),
+                  [](const abdl::Request& r) { return IsWriteRequest(r); });
+  uint64_t txn_id = 0;
+  if (log_txn) {
+    txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+    MLDS_RETURN_IF_ERROR(wal->Append("BEGIN " + std::to_string(txn_id)));
+  }
+  auto commit = [&]() -> Status {
+    if (!log_txn) return Status::OK();
+    return wal->Append("COMMIT " + std::to_string(txn_id));
+  };
+
   std::vector<Response> responses;
   responses.reserve(txn.size());
   for (const auto& request : txn) {
+    if (log_txn && IsWriteRequest(request)) {
+      MLDS_RETURN_IF_ERROR(wal->Append("TREQUEST " + std::to_string(txn_id) +
+                                       " " + abdl::ToString(request)));
+    }
     auto result = ExecuteLocked(request);
-    if (!result.ok()) return result.status();
+    if (!result.ok()) {
+      MLDS_RETURN_IF_ERROR(commit());
+      return result.status();
+    }
     cumulative_io_.Add(result->io);
     InjectLatency(result->io);
     responses.push_back(std::move(*result));
   }
+  MLDS_RETURN_IF_ERROR(commit());
   return responses;
 }
 

@@ -16,6 +16,23 @@
 
 namespace mlds::kds {
 
+class WalWriter;
+
+/// A structured partial-result warning: a degraded multi-backend kernel
+/// answered without one of its backends, and this names which backend and
+/// why. Produced by the MBDS controller, carried on the Response so every
+/// language interface sees the degraded-mode status of its results.
+struct PartialResultWarning {
+  int backend_id = -1;
+  /// Health state of the backend ("quarantined", "timeout", ...).
+  std::string state;
+  /// Human-readable cause ("injected crash on request 7", ...).
+  std::string detail;
+
+  friend bool operator==(const PartialResultWarning&,
+                         const PartialResultWarning&) = default;
+};
+
 /// Result of executing one ABDL request against the kernel engine.
 struct Response {
   /// Records returned by RETRIEVE / RETRIEVE-COMMON. For target-list
@@ -32,6 +49,9 @@ struct Response {
   /// so the MBDS controller can graft per-backend plans into one merged
   /// tree without copying.
   std::shared_ptr<const PlanNode> plan;
+  /// Degraded-mode warnings (empty for a healthy kernel): one entry per
+  /// backend whose share of this result is missing or delayed.
+  std::vector<PartialResultWarning> warnings;
 };
 
 /// Applies the projection / BY-ordering / aggregation phase of a RETRIEVE
@@ -100,7 +120,22 @@ class Engine {
   /// Creates one file. Rejects duplicates.
   Status DefineFile(const abdm::FileDescriptor& descriptor);
 
+  /// Removes one file and its records. Used to roll back a partially
+  /// applied snapshot load and to rebuild a backend during reintegration;
+  /// ordinary ABDL has no DROP.
+  Status RemoveFile(std::string_view file);
+
   bool HasFile(std::string_view file) const;
+
+  /// Attaches a write-ahead log (not owned; nullptr detaches): every
+  /// mutating request and file definition is appended — framed and
+  /// checksummed — *before* it is applied, so a crash loses at most
+  /// in-flight work and RecoverEngine can replay the committed prefix.
+  /// The disabled path costs one relaxed atomic load per request.
+  void AttachWal(WalWriter* wal) {
+    wal_.store(wal, std::memory_order_release);
+  }
+  WalWriter* wal() const { return wal_.load(std::memory_order_acquire); }
 
   /// Executes one ABDL request.
   Result<Response> Execute(const abdl::Request& request);
@@ -197,6 +232,11 @@ class Engine {
   /// Mutable: const traversals (VisitRecords) still charge their reads.
   mutable AtomicIoStats cumulative_io_;
   std::atomic<double> latency_ms_per_block_{0.0};
+  std::atomic<WalWriter*> wal_{nullptr};
+  /// Ids for the WAL's BEGIN/TREQUEST/COMMIT framing: transactions on
+  /// disjoint files log concurrently, so their entries interleave and
+  /// must be distinguishable on replay.
+  std::atomic<uint64_t> next_txn_id_{1};
 };
 
 }  // namespace mlds::kds

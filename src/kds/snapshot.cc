@@ -1,38 +1,19 @@
 #include "kds/snapshot.h"
 
+#include <algorithm>
+#include <charconv>
 #include <string>
+#include <vector>
 
 #include "abdl/parser.h"
 #include "common/strings.h"
+#include "kds/wal.h"
 
 namespace mlds::kds {
 
 namespace {
 
 constexpr char kHeader[] = "MLDS-SNAPSHOT 1";
-
-std::string_view KindName(abdm::ValueKind kind) {
-  switch (kind) {
-    case abdm::ValueKind::kNull:
-      return "null";
-    case abdm::ValueKind::kInteger:
-      return "integer";
-    case abdm::ValueKind::kFloat:
-      return "float";
-    case abdm::ValueKind::kString:
-      return "string";
-  }
-  return "string";
-}
-
-Result<abdm::ValueKind> ParseKind(std::string_view name) {
-  if (name == "integer") return abdm::ValueKind::kInteger;
-  if (name == "float") return abdm::ValueKind::kFloat;
-  if (name == "string") return abdm::ValueKind::kString;
-  if (name == "null") return abdm::ValueKind::kNull;
-  return Status::ParseError("unknown attribute kind '" + std::string(name) +
-                            "' in snapshot");
-}
 
 }  // namespace
 
@@ -42,8 +23,8 @@ Status SaveSnapshot(const Engine& engine, std::ostream& out) {
     const abdm::FileDescriptor* desc = engine.FindDescriptor(name);
     out << "FILE " << name << "\n";
     for (const auto& attr : desc->attributes) {
-      out << "ATTR " << attr.name << " " << KindName(attr.kind) << " "
-          << attr.max_length << " " << (attr.directory ? 1 : 0) << "\n";
+      out << "ATTR " << attr.name << " " << abdm::ValueKindToString(attr.kind)
+          << " " << attr.max_length << " " << (attr.directory ? 1 : 0) << "\n";
     }
   }
   for (const auto& name : engine.FileNames()) {
@@ -62,66 +43,108 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
     return Status::ParseError("missing snapshot header '" +
                               std::string(kHeader) + "'");
   }
-  abdm::FileDescriptor current;
-  bool have_file = false;
-  auto flush = [&]() -> Status {
-    if (!have_file) return Status::OK();
-    Status defined = engine->DefineFile(current);
-    current = abdm::FileDescriptor{};
-    have_file = false;
-    return defined;
-  };
 
+  // Phase 1 — parse everything before touching the engine. Snapshot
+  // inputs are untrusted (truncated files, corrupted bytes), so a
+  // malformed line must reject the whole snapshot without leaving the
+  // engine partially defined.
+  std::vector<abdm::FileDescriptor> files;
+  std::vector<abdl::Request> inserts;
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
     std::string_view text = Trim(line);
+    auto parse_error = [&](std::string_view what) {
+      return Status::ParseError("snapshot line " + std::to_string(line_number) +
+                                ": " + std::string(what));
+    };
     if (text.empty()) continue;
     if (text.starts_with("FILE ")) {
-      MLDS_RETURN_IF_ERROR(flush());
-      current.name = std::string(Trim(text.substr(5)));
-      if (current.name.empty()) {
-        return Status::ParseError("snapshot line " +
-                                  std::to_string(line_number) +
-                                  ": FILE without a name");
-      }
-      have_file = true;
+      abdm::FileDescriptor descriptor;
+      descriptor.name = std::string(Trim(text.substr(5)));
+      if (descriptor.name.empty()) return parse_error("FILE without a name");
+      files.push_back(std::move(descriptor));
     } else if (text.starts_with("ATTR ")) {
-      if (!have_file) {
-        return Status::ParseError("snapshot line " +
-                                  std::to_string(line_number) +
-                                  ": ATTR outside FILE");
-      }
+      if (files.empty()) return parse_error("ATTR outside FILE");
       // ATTR <name> <kind> <max_length> <directory>
       std::vector<std::string> parts;
-      for (std::string_view piece = text.substr(5); !piece.empty();) {
+      for (std::string_view piece = Trim(text.substr(5)); !piece.empty();) {
         size_t space = piece.find(' ');
         parts.emplace_back(Trim(piece.substr(0, space)));
         if (space == std::string_view::npos) break;
         piece = Trim(piece.substr(space + 1));
       }
-      if (parts.size() != 4) {
-        return Status::ParseError("snapshot line " +
-                                  std::to_string(line_number) +
-                                  ": malformed ATTR");
-      }
+      if (parts.size() != 4) return parse_error("malformed ATTR");
       abdm::AttributeDescriptor attr;
       attr.name = parts[0];
-      MLDS_ASSIGN_OR_RETURN(attr.kind, ParseKind(parts[1]));
-      attr.max_length = std::stoi(parts[2]);
+      MLDS_ASSIGN_OR_RETURN(attr.kind, ParseAttributeKind(parts[1]));
+      int max_length = 0;
+      auto [ptr, ec] = std::from_chars(
+          parts[2].data(), parts[2].data() + parts[2].size(), max_length);
+      if (ec != std::errc() || ptr != parts[2].data() + parts[2].size() ||
+          max_length < 0) {
+        return parse_error("malformed ATTR max_length '" + parts[2] + "'");
+      }
+      attr.max_length = max_length;
+      if (parts[3] != "0" && parts[3] != "1") {
+        return parse_error("malformed ATTR directory flag '" + parts[3] + "'");
+      }
       attr.directory = parts[3] == "1";
-      current.attributes.push_back(std::move(attr));
+      files.back().attributes.push_back(std::move(attr));
     } else if (text.starts_with("INSERT ")) {
-      MLDS_RETURN_IF_ERROR(flush());
-      MLDS_ASSIGN_OR_RETURN(abdl::Request request, abdl::ParseRequest(text));
-      MLDS_ASSIGN_OR_RETURN(Response resp, engine->Execute(request));
-      (void)resp;
+      auto request = abdl::ParseRequest(text);
+      if (!request.ok()) {
+        return parse_error("bad INSERT: " + request.status().message());
+      }
+      if (!std::holds_alternative<abdl::InsertRequest>(*request)) {
+        return parse_error("data section must contain only INSERTs");
+      }
+      inserts.push_back(std::move(*request));
     } else {
-      return Status::ParseError("snapshot line " + std::to_string(line_number) +
-                                ": unrecognized '" + std::string(text) + "'");
+      return parse_error("unrecognized '" + std::string(text) + "'");
     }
   }
-  return flush();
+
+  // Cross-checks: every INSERT must target a file this snapshot defines,
+  // so the apply phase below cannot fail halfway through the data.
+  for (const auto& request : inserts) {
+    const auto& record = std::get<abdl::InsertRequest>(request).record;
+    abdm::Value file_value = record.GetOrNull(abdm::kFileAttribute);
+    const bool known =
+        file_value.is_string() &&
+        std::any_of(files.begin(), files.end(),
+                    [&](const abdm::FileDescriptor& f) {
+                      return f.name == file_value.AsString();
+                    });
+    if (!known) {
+      return Status::ParseError("snapshot INSERT targets undefined file: " +
+                                record.ToString());
+    }
+  }
+
+  // Phase 2 — apply. Any failure (e.g. a file that already exists in the
+  // engine) rolls back every file this load defined, so a rejected
+  // snapshot never leaves files partially defined.
+  std::vector<std::string> defined;
+  auto rollback = [&]() {
+    for (const std::string& name : defined) (void)engine->RemoveFile(name);
+  };
+  for (const auto& descriptor : files) {
+    Status status = engine->DefineFile(descriptor);
+    if (!status.ok()) {
+      rollback();
+      return status;
+    }
+    defined.push_back(descriptor.name);
+  }
+  for (const auto& request : inserts) {
+    auto response = engine->Execute(request);
+    if (!response.ok()) {
+      rollback();
+      return response.status();
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace mlds::kds

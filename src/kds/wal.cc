@@ -1,0 +1,342 @@
+#include "kds/wal.h"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "abdl/parser.h"
+#include "common/strings.h"
+#include "kds/engine.h"
+#include "kds/snapshot.h"
+
+namespace mlds::kds {
+
+namespace {
+
+constexpr std::string_view kAttrSeparator = " :: ";
+
+/// Parses a non-negative integer; npos on failure. Snapshot and WAL
+/// inputs are untrusted (torn, corrupted), so no throwing conversions.
+size_t ParseSize(std::string_view text) {
+  size_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::string_view::npos;
+  }
+  return value;
+}
+
+std::string FrameEntry(std::string_view payload) {
+  char header[48];
+  std::snprintf(header, sizeof(header), "E %zu %016llx ", payload.size(),
+                static_cast<unsigned long long>(WalChecksum(payload)));
+  std::string frame = header;
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+}  // namespace
+
+uint64_t WalChecksum(std::string_view payload) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : payload) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Result<abdm::ValueKind> ParseAttributeKind(std::string_view name) {
+  if (name == "integer") return abdm::ValueKind::kInteger;
+  if (name == "float") return abdm::ValueKind::kFloat;
+  if (name == "string") return abdm::ValueKind::kString;
+  if (name == "null") return abdm::ValueKind::kNull;
+  return Status::ParseError("unknown attribute kind '" + std::string(name) +
+                            "'");
+}
+
+std::string EncodeDefineFile(const abdm::FileDescriptor& descriptor) {
+  std::string out = "DEFINE " + descriptor.name;
+  for (const auto& attr : descriptor.attributes) {
+    out += kAttrSeparator;
+    out += attr.name;
+    out += ' ';
+    out += abdm::ValueKindToString(attr.kind);
+    out += ' ';
+    out += std::to_string(attr.max_length);
+    out += ' ';
+    out += attr.directory ? '1' : '0';
+  }
+  return out;
+}
+
+Result<abdm::FileDescriptor> DecodeDefineFile(std::string_view body) {
+  abdm::FileDescriptor descriptor;
+  size_t piece_end = body.find(kAttrSeparator);
+  descriptor.name = std::string(Trim(body.substr(0, piece_end)));
+  if (descriptor.name.empty()) {
+    return Status::ParseError("DEFINE entry without a file name");
+  }
+  while (piece_end != std::string_view::npos) {
+    body.remove_prefix(piece_end + kAttrSeparator.size());
+    piece_end = body.find(kAttrSeparator);
+    std::string_view piece = Trim(body.substr(0, piece_end));
+    // <name> <kind> <max_length> <directory>; the name is everything
+    // before the last three fields.
+    std::vector<std::string_view> fields;
+    for (size_t cut = piece.rfind(' ');
+         fields.size() < 3 && cut != std::string_view::npos;
+         cut = piece.rfind(' ')) {
+      fields.push_back(piece.substr(cut + 1));
+      piece = Trim(piece.substr(0, cut));
+    }
+    if (fields.size() != 3 || piece.empty()) {
+      return Status::ParseError("malformed DEFINE attribute '" +
+                                std::string(piece) + "'");
+    }
+    abdm::AttributeDescriptor attr;
+    attr.name = std::string(piece);
+    MLDS_ASSIGN_OR_RETURN(attr.kind, ParseAttributeKind(fields[2]));
+    const size_t max_length = ParseSize(fields[1]);
+    if (max_length == std::string_view::npos) {
+      return Status::ParseError("malformed DEFINE attribute length '" +
+                                std::string(fields[1]) + "'");
+    }
+    attr.max_length = static_cast<int>(max_length);
+    if (fields[0] != "0" && fields[0] != "1") {
+      return Status::ParseError("malformed DEFINE directory flag '" +
+                                std::string(fields[0]) + "'");
+    }
+    attr.directory = fields[0] == "1";
+    descriptor.attributes.push_back(std::move(attr));
+  }
+  return descriptor;
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string frame = FrameEntry(payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return Status::Aborted("wal: engine crashed, log closed");
+  }
+  if (crash_armed_ && crash_plan_.entries_until_crash <= 0) {
+    // The simulated crash: a prefix of the frame reaches the durable
+    // medium, then the engine dies. The torn tail is what recovery's
+    // checksum framing must detect and discard.
+    buffer_ += frame.substr(0, std::min(crash_plan_.torn_bytes, frame.size()));
+    crashed_ = true;
+    return Status::Aborted("wal: simulated crash at entry boundary");
+  }
+  buffer_ += frame;
+  ++entries_;
+  if (crash_armed_) --crash_plan_.entries_until_crash;
+  return Status::OK();
+}
+
+void WalWriter::ArmCrash(WalCrashPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_armed_ = true;
+  crashed_ = false;
+  crash_plan_ = plan;
+}
+
+bool WalWriter::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+size_t WalWriter::RepairTail() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalScan scan = ScanWal(buffer_);
+  const size_t torn = scan.torn_bytes;
+  buffer_.resize(buffer_.size() - torn);
+  entries_ = scan.entries.size();
+  crashed_ = false;
+  crash_armed_ = false;
+  return torn;
+}
+
+void WalWriter::Truncate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.clear();
+  entries_ = 0;
+}
+
+std::string WalWriter::contents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_;
+}
+
+uint64_t WalWriter::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+WalScan ScanWal(std::string_view log) {
+  WalScan scan;
+  size_t pos = 0;
+  while (pos < log.size()) {
+    const size_t entry_start = pos;
+    auto torn = [&]() {
+      scan.torn = true;
+      scan.torn_bytes = log.size() - entry_start;
+    };
+    if (log[pos] != 'E' || pos + 1 >= log.size() || log[pos + 1] != ' ') {
+      torn();
+      break;
+    }
+    pos += 2;
+    const size_t len_end = log.find(' ', pos);
+    if (len_end == std::string_view::npos) {
+      torn();
+      break;
+    }
+    const size_t length = ParseSize(log.substr(pos, len_end - pos));
+    if (length == std::string_view::npos) {
+      torn();
+      break;
+    }
+    pos = len_end + 1;
+    const size_t sum_end = log.find(' ', pos);
+    if (sum_end == std::string_view::npos) {
+      torn();
+      break;
+    }
+    uint64_t checksum = 0;
+    {
+      std::string_view hex = log.substr(pos, sum_end - pos);
+      auto [ptr, ec] = std::from_chars(hex.data(), hex.data() + hex.size(),
+                                       checksum, 16);
+      if (ec != std::errc() || ptr != hex.data() + hex.size()) {
+        torn();
+        break;
+      }
+    }
+    pos = sum_end + 1;
+    if (pos + length >= log.size() || log[pos + length] != '\n') {
+      // Payload (or its terminator) did not fully reach the medium.
+      torn();
+      break;
+    }
+    std::string_view payload = log.substr(pos, length);
+    if (WalChecksum(payload) != checksum) {
+      torn();
+      break;
+    }
+    scan.entries.push_back({scan.entries.size(), std::string(payload)});
+    pos += length + 1;
+  }
+  return scan;
+}
+
+Result<RecoveryReport> RecoverEngine(std::istream& snapshot,
+                                     std::string_view log, Engine* engine) {
+  RecoveryReport report;
+
+  // Phase 1: the checkpoint snapshot, if one exists.
+  std::ostringstream snapshot_text;
+  snapshot_text << snapshot.rdbuf();
+  if (!Trim(snapshot_text.str()).empty()) {
+    std::istringstream in(snapshot_text.str());
+    MLDS_RETURN_IF_ERROR(LoadSnapshot(in, engine));
+  }
+
+  // Phase 2: replay the log's committed entries in commit order. The
+  // engine's lock discipline guarantees conflicting units appear in the
+  // log in their serialization order, so sequential replay reproduces it.
+  WalScan scan = ScanWal(log);
+  report.entries_scanned = scan.entries.size();
+  report.torn_tail = scan.torn;
+  report.torn_bytes = scan.torn_bytes;
+
+  auto apply = [&](std::string_view request_text) -> Status {
+    auto request = abdl::ParseRequest(request_text);
+    if (!request.ok()) {
+      // The checksum matched, so the entry is as written: an unparseable
+      // request means the log was not produced by the ABDL printer.
+      return Status::ParseError("wal: unreplayable entry '" +
+                                std::string(request_text) +
+                                "': " + request.status().message());
+    }
+    ++report.replayed;
+    if (!engine->Execute(*request).ok()) {
+      // Deterministic engines fail replays exactly where the original
+      // execution failed; the state change (none) matches the original.
+      ++report.failed_replays;
+    }
+    return Status::OK();
+  };
+
+  std::map<uint64_t, std::vector<std::string>> open_txns;
+  for (const WalEntry& entry : scan.entries) {
+    std::string_view payload = entry.payload;
+    if (payload.starts_with("DEFINE ")) {
+      MLDS_ASSIGN_OR_RETURN(abdm::FileDescriptor descriptor,
+                            DecodeDefineFile(payload.substr(7)));
+      ++report.replayed;
+      if (!engine->DefineFile(descriptor).ok()) ++report.failed_replays;
+    } else if (payload.starts_with("REQUEST ")) {
+      MLDS_RETURN_IF_ERROR(apply(payload.substr(8)));
+    } else if (payload.starts_with("BEGIN ")) {
+      const size_t id = ParseSize(Trim(payload.substr(6)));
+      if (id == std::string_view::npos) {
+        return Status::ParseError("wal: malformed BEGIN entry");
+      }
+      open_txns[id];
+    } else if (payload.starts_with("TREQUEST ")) {
+      std::string_view body = payload.substr(9);
+      const size_t space = body.find(' ');
+      const size_t id = space == std::string_view::npos
+                            ? std::string_view::npos
+                            : ParseSize(body.substr(0, space));
+      if (id == std::string_view::npos) {
+        return Status::ParseError("wal: malformed TREQUEST entry");
+      }
+      auto it = open_txns.find(id);
+      if (it == open_txns.end()) {
+        return Status::ParseError("wal: TREQUEST outside its transaction");
+      }
+      it->second.emplace_back(body.substr(space + 1));
+    } else if (payload.starts_with("COMMIT ")) {
+      const size_t id = ParseSize(Trim(payload.substr(7)));
+      auto it = id == std::string_view::npos ? open_txns.end()
+                                             : open_txns.find(id);
+      if (it == open_txns.end()) {
+        return Status::ParseError("wal: COMMIT without matching BEGIN");
+      }
+      for (const std::string& request_text : it->second) {
+        MLDS_RETURN_IF_ERROR(apply(request_text));
+      }
+      open_txns.erase(it);
+    } else {
+      return Status::ParseError("wal: unrecognized entry '" +
+                                std::string(payload) + "'");
+    }
+  }
+
+  // In-flight transactions (BEGIN without COMMIT at the crash point) are
+  // discarded: recovery yields exactly the committed prefix.
+  for (const auto& [id, requests] : open_txns) {
+    report.discarded_uncommitted += requests.size();
+  }
+  return report;
+}
+
+Status Checkpoint(const Engine& engine, std::ostream& snapshot_out,
+                  WalWriter* wal) {
+  MLDS_RETURN_IF_ERROR(SaveSnapshot(engine, snapshot_out));
+  // The snapshot now captures every logged mutation, so the log restarts
+  // empty; recovery is (snapshot, suffix since this point).
+  wal->Truncate();
+  return Status::OK();
+}
+
+}  // namespace mlds::kds

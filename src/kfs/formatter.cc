@@ -149,4 +149,33 @@ std::string FormatPlan(const kds::PlanNode& plan,
   return out;
 }
 
+std::string FormatHealth(const kc::KernelHealth& health) {
+  std::string out = "KERNEL HEALTH\n-------------\n";
+  for (const kc::BackendHealthStatus& backend : health.backends) {
+    out += "backend " + std::to_string(backend.id) + ": " + backend.state;
+    out += " (wal entries: " + std::to_string(backend.wal_entries);
+    out += ", quarantines: " + std::to_string(backend.quarantine_count) + ")";
+    if (!backend.last_fault.empty()) {
+      out += " last fault: " + backend.last_fault;
+    }
+    out += '\n';
+  }
+  out += health.degraded
+             ? "status: DEGRADED — results may be partial\n"
+             : "status: healthy\n";
+  return out;
+}
+
+std::string FormatWarnings(
+    const std::vector<kds::PartialResultWarning>& warnings) {
+  std::string out;
+  for (const kds::PartialResultWarning& warning : warnings) {
+    out += "warning: backend " + std::to_string(warning.backend_id) + " " +
+           warning.state;
+    if (!warning.detail.empty()) out += " — " + warning.detail;
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace mlds::kfs

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "abdm/record.h"
+#include "kc/executor.h"
+#include "kds/engine.h"
 #include "kds/plan.h"
 #include "network/schema.h"
 
@@ -57,6 +59,17 @@ struct PlanFormatOptions {
 /// counts. Children indent one unit under their parent.
 std::string FormatPlan(const kds::PlanNode& plan,
                        const PlanFormatOptions& options = {});
+
+/// Renders the kernel's degraded-mode status: a KERNEL HEALTH header, one
+/// line per backend (state, logged entries, quarantine history, last
+/// fault), and a trailing partial-results notice when degraded.
+std::string FormatHealth(const kc::KernelHealth& health);
+
+/// Renders a response's partial-result warnings, one line per affected
+/// backend ("warning: backend 2 quarantined — ..."). Empty string when
+/// there are none, so callers can append it unconditionally.
+std::string FormatWarnings(
+    const std::vector<kds::PartialResultWarning>& warnings);
 
 }  // namespace mlds::kfs
 

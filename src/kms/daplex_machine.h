@@ -44,6 +44,9 @@ class DaplexMachine {
   DaplexMachine(const DaplexMachine&) = delete;
   DaplexMachine& operator=(const DaplexMachine&) = delete;
 
+  /// Degraded-mode status of the kernel this session executes against.
+  kc::KernelHealth Health() const { return executor_->Health(); }
+
   /// Outcome of a Daplex DML statement (CREATE / DESTROY / FOR EACH).
   struct Outcome {
     std::vector<abdm::Record> records;  ///< FOR EACH results.

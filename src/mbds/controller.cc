@@ -3,21 +3,20 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <thread>
+#include <utility>
+
+#include "abdl/parser.h"
+#include "kds/snapshot.h"
 
 namespace mlds::mbds {
 
 namespace {
-
-/// Outcome of one backend's share of a broadcast. Each slot is written by
-/// exactly one ParallelFor iteration, so the vector needs no lock.
-struct BackendRun {
-  kds::Response response;
-  double ms = 0.0;
-};
 
 double ElapsedMs(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -25,24 +24,40 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Merges the per-backend plans of `runs[first, first + count)` into one
+/// Mutations are what the per-backend write-ahead logs record: a
+/// quarantined backend must replay them before it can rejoin.
+bool IsMutationRequest(const abdl::Request& request) {
+  return std::holds_alternative<abdl::InsertRequest>(request) ||
+         std::holds_alternative<abdl::DeleteRequest>(request) ||
+         std::holds_alternative<abdl::UpdateRequest>(request);
+}
+
+/// Appends `warning` unless an identical one is already present (a
+/// transaction can hit the same quarantined backend once per statement).
+void AppendWarning(std::vector<kds::PartialResultWarning>* warnings,
+                   kds::PartialResultWarning warning) {
+  for (const auto& existing : *warnings) {
+    if (existing == warning) return;
+  }
+  warnings->push_back(std::move(warning));
+}
+
+/// Merges the per-backend plans of `parts` (backend id, response) into one
 /// BACKEND MERGE node, children in backend-id order, each labelled with
 /// its backend id so per-backend estimated vs. actual block counts stay
 /// visible side by side in the merged tree.
-kds::PlanNode MergeBackendPlans(std::vector<BackendRun>& runs, size_t first,
-                                size_t count) {
+kds::PlanNode MergeBackendPlans(
+    const std::vector<std::pair<int, const kds::Response*>>& parts) {
   kds::PlanNode root;
   root.kind = kds::PlanNodeKind::kBackendMerge;
-  root.label = std::to_string(count) + " backends";
+  root.label = std::to_string(parts.size()) + " backends";
   root.executed = true;
-  root.children.reserve(count);
-  for (size_t k = 0; k < count; ++k) {
-    const kds::Response& response = runs[first + k].response;
-    if (response.plan == nullptr) continue;
-    kds::PlanNode child = *response.plan;
-    std::string prefix = "backend " + std::to_string(k);
-    child.label =
-        child.label.empty() ? prefix : prefix + ": " + child.label;
+  root.children.reserve(parts.size());
+  for (const auto& [id, response] : parts) {
+    if (response->plan == nullptr) continue;
+    kds::PlanNode child = *response->plan;
+    std::string prefix = "backend " + std::to_string(id);
+    child.label = child.label.empty() ? prefix : prefix + ": " + child.label;
     root.children.push_back(std::move(child));
   }
   root.est_rows = root.SumChildren(&kds::PlanNode::est_rows);
@@ -52,15 +67,45 @@ kds::PlanNode MergeBackendPlans(std::vector<BackendRun>& runs, size_t first,
   return root;
 }
 
+/// Replays one controller-written WAL payload (REQUEST or DEFINE) into
+/// `engine`. Failures are ignored: the engine is deterministic, so a
+/// request that failed when first executed fails identically on replay.
+void ReplayCatchupPayload(std::string_view payload, kds::Engine* engine) {
+  constexpr std::string_view kRequest = "REQUEST ";
+  constexpr std::string_view kDefine = "DEFINE ";
+  if (payload.starts_with(kRequest)) {
+    auto request = abdl::ParseRequest(payload.substr(kRequest.size()));
+    if (request.ok()) (void)engine->Execute(*request);
+  } else if (payload.starts_with(kDefine)) {
+    auto descriptor = kds::DecodeDefineFile(payload.substr(kDefine.size()));
+    if (descriptor.ok()) (void)engine->DefineFile(*descriptor);
+  }
+}
+
 }  // namespace
+
+/// Shared state of one fault-tolerant fan-out. Pool tasks write their own
+/// slot under `mutex`; the dispatching thread waits on `cv` up to the
+/// deadline. Held by shared_ptr so a task abandoned at the deadline can
+/// still complete (and be ignored) after the dispatcher moved on.
+struct Controller::FanoutState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t completed = 0;
+  std::vector<FanoutSlot> slots;
+  std::vector<std::shared_ptr<Cancellation>> tokens;
+  std::vector<FanoutJob> jobs;
+};
 
 Controller::Controller(MbdsOptions options) : options_(options) {
   const int n = std::max(1, options_.num_backends);
   backends_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    backends_.push_back(std::make_unique<Backend>(i, options_.engine));
+    backends_.push_back(std::make_unique<Backend>(
+        i, options_.engine, options_.fault_tolerance.health));
   }
-  pool_ = std::make_unique<common::ThreadPool>(n - 1);
+  pool_ = std::make_unique<common::ThreadPool>(n);
+  txn_pool_ = std::make_unique<common::ThreadPool>(n - 1);
   latency_scale_.store(options_.latency_scale, std::memory_order_relaxed);
 }
 
@@ -74,28 +119,131 @@ Status Controller::RunParallel(size_t tasks,
   return Status::OK();
 }
 
-Status Controller::ForEachBackend(const std::function<Status(size_t)>& fn) {
-  return RunParallel(backends_.size(), fn);
+bool Controller::AdmitBackend(size_t i,
+                              const std::vector<std::string>& wal_payloads,
+                              std::vector<kds::PartialResultWarning>* warnings) {
+  Backend& backend = *backends_[i];
+  if (backend.available()) return true;
+  // Recheck under the catch-up mutex: the skip decision and the catch-up
+  // append must be atomic against a reintegration hand-off, or a mutation
+  // could land in the log after the replay's final drain and be lost to
+  // the rebuilt engine.
+  std::lock_guard<std::mutex> lock(backend.catchup_mutex());
+  if (backend.available()) return true;
+  for (const std::string& payload : wal_payloads) {
+    (void)backend.wal().Append(payload);
+  }
+  backend.health().OnQuarantinedRequest();
+  if (warnings != nullptr) {
+    AppendWarning(warnings,
+                  kds::PartialResultWarning{
+                      backend.id(),
+                      std::string(BackendHealthName(backend.health().state())),
+                      backend.health().last_fault()});
+  }
+  return false;
+}
+
+void Controller::MaybeReintegrate() {
+  for (auto& backend : backends_) {
+    if (backend->health().due_reintegration() &&
+        backend->health().BeginReintegration()) {
+      (void)ReintegrateBackend(*backend);
+    }
+  }
+}
+
+bool Controller::ReintegrateBackend(Backend& backend) {
+  kds::WalWriter& wal = backend.wal();
+  // The simulated crash may have left a torn frame at the tail; repair
+  // also clears the crashed flag so catch-up appends are accepted again.
+  wal.RepairTail();
+  auto fresh = std::make_shared<kds::Engine>(options_.engine);
+  std::string log = wal.contents();
+  std::istringstream snapshot(backend.checkpoint());
+  auto recovered = kds::RecoverEngine(snapshot, log, fresh.get());
+  if (!recovered.ok()) {
+    backend.health().FinishReintegration(false);
+    return false;
+  }
+  size_t replayed = log.size();
+  // Catch-up entries may race in while the replay runs. Drain them until
+  // the log is fully applied, with the final check under the catch-up
+  // mutex: the healthy transition then happens-after every append whose
+  // skip decision saw this backend as unavailable.
+  for (;;) {
+    std::string delta;
+    {
+      std::lock_guard<std::mutex> lock(backend.catchup_mutex());
+      if (wal.bytes() == replayed) {
+        backend.ReplaceEngine(std::move(fresh));
+        backend.health().FinishReintegration(true);
+        return true;
+      }
+      delta = wal.contents().substr(replayed);
+    }
+    for (const kds::WalEntry& entry : kds::ScanWal(delta).entries) {
+      ReplayCatchupPayload(entry.payload, fresh.get());
+    }
+    replayed += delta.size();
+  }
 }
 
 Status Controller::DefineDatabase(const abdm::DatabaseDescriptor& db) {
-  // Definitions broadcast like any other request: all backends create the
-  // files concurrently. Errors are reported in backend-id order so the
-  // result is deterministic.
-  return ForEachBackend(
-      [&](size_t i) { return backends_[i]->engine().DefineDatabase(db); });
+  MaybeReintegrate();
+  std::vector<std::string> payloads;
+  payloads.reserve(db.files.size());
+  for (const auto& file : db.files) {
+    payloads.push_back(kds::EncodeDefineFile(file));
+  }
+  std::vector<size_t> participants;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!AdmitBackend(i, payloads, nullptr)) continue;
+    for (const std::string& payload : payloads) {
+      (void)backends_[i]->wal().Append(payload);
+    }
+    participants.push_back(i);
+  }
+  if (participants.empty()) {
+    return Status::Unavailable("no available backends to define database '" +
+                               db.name + "'");
+  }
+  // Definitions broadcast like any other request: the available backends
+  // create the files concurrently. Errors are reported in backend-id
+  // order so the result is deterministic.
+  return RunParallel(participants.size(), [&](size_t k) {
+    return backends_[participants[k]]->engine().DefineDatabase(db);
+  });
 }
 
 Status Controller::DefineFile(const abdm::FileDescriptor& descriptor) {
-  return ForEachBackend(
-      [&](size_t i) { return backends_[i]->engine().DefineFile(descriptor); });
+  MaybeReintegrate();
+  const std::vector<std::string> payloads = {
+      kds::EncodeDefineFile(descriptor)};
+  std::vector<size_t> participants;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!AdmitBackend(i, payloads, nullptr)) continue;
+    (void)backends_[i]->wal().Append(payloads.front());
+    participants.push_back(i);
+  }
+  if (participants.empty()) {
+    return Status::Unavailable("no available backends to define file '" +
+                               descriptor.name + "'");
+  }
+  return RunParallel(participants.size(), [&](size_t k) {
+    return backends_[participants[k]]->engine().DefineFile(descriptor);
+  });
 }
 
 bool Controller::HasFile(std::string_view file) const {
+  for (const auto& backend : backends_) {
+    if (backend->available()) return backend->engine().HasFile(file);
+  }
   return backends_.front()->engine().HasFile(file);
 }
 
 Result<ExecutionReport> Controller::Execute(const abdl::Request& request) {
+  MaybeReintegrate();
   Result<ExecutionReport> result =
       std::holds_alternative<abdl::InsertRequest>(request)
           ? ExecuteInsert(std::get<abdl::InsertRequest>(request))
@@ -110,7 +258,10 @@ Result<ExecutionReport> Controller::Execute(const abdl::Request& request) {
 Result<std::pair<kds::Response, double>> Controller::RunOnBackend(
     size_t i, const abdl::Request& request) {
   Backend& backend = *backends_[i];
-  MLDS_ASSIGN_OR_RETURN(kds::Response resp, backend.engine().Execute(request));
+  // Hold the engine for the duration: a concurrent reintegration swapping
+  // in a rebuilt engine must not free the one this request runs against.
+  std::shared_ptr<kds::Engine> engine = backend.SnapshotEngine();
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, engine->Execute(request));
   const double ms = options_.disk.CostMs(resp.io);
   backend.AddBusyMs(ms);
   const double scale = latency_scale_.load(std::memory_order_relaxed);
@@ -125,34 +276,218 @@ Result<std::pair<kds::Response, double>> Controller::RunOnBackend(
   return std::make_pair(std::move(resp), ms);
 }
 
+Controller::FanoutSlot Controller::AttemptOnBackend(
+    size_t i, const abdl::Request& request, Cancellation* cancel) {
+  Backend& backend = *backends_[i];
+  const FaultToleranceOptions& ft = options_.fault_tolerance;
+  common::Backoff backoff(
+      ft.backoff,
+      request_seq_.fetch_add(1, std::memory_order_relaxed) * 1000003ull + i);
+  const std::string who = "backend " + std::to_string(backend.id());
+
+  FanoutSlot slot;
+  for (int attempt = 0;; ++attempt) {
+    slot.attempts = attempt + 1;
+    if (cancel->cancelled()) {
+      // The deadline passed while this job sat in the pool queue; do not
+      // touch the engine (an abandoned mutation must not apply late).
+      slot.timed_out = true;
+      slot.status =
+          Status::Unavailable("deadline exceeded before " + who + " started");
+      return slot;
+    }
+    switch (backend.injector().OnAttempt()) {
+      case FaultKind::kStall:
+        // A hung backend: park on the cancellation token until the
+        // dispatcher's deadline abandons us. The request never executes.
+        cancel->WaitMs(0);
+        slot.fault = FaultKind::kStall;
+        slot.timed_out = true;
+        slot.status = Status::Unavailable(who + " stalled past the deadline");
+        return slot;
+      case FaultKind::kCrash:
+        slot.fault = FaultKind::kCrash;
+        slot.status = Status::Unavailable("injected crash on " + who);
+        return slot;
+      case FaultKind::kError: {
+        if (attempt < ft.max_retries) {
+          const double delay = backoff.NextDelayMs();
+          slot.backoff_ms += delay;
+          // Delays are charged to simulated time; sleeping them is opt-in
+          // so fault-tolerance tests stay deterministic and sleep-free.
+          if (ft.backoff_sleep && cancel->WaitMs(delay)) {
+            slot.timed_out = true;
+            slot.status =
+                Status::Unavailable("deadline exceeded while retrying " + who);
+            return slot;
+          }
+          continue;
+        }
+        slot.fault = FaultKind::kError;
+        slot.status = Status::Unavailable(
+            "transient fault on " + who + " persisted through " +
+            std::to_string(slot.attempts) + " attempts");
+        return slot;
+      }
+      case FaultKind::kNone:
+        break;
+    }
+    auto outcome = RunOnBackend(i, request);
+    if (outcome.ok()) {
+      slot.response = std::move(outcome->first);
+      slot.ms = outcome->second;
+    } else {
+      // Genuine engine outcome (e.g. NotFound): a property of the
+      // request, reported as-is, never retried.
+      slot.status = outcome.status();
+    }
+    return slot;
+  }
+}
+
+std::vector<Controller::FanoutSlot> Controller::FanOutWithFaults(
+    std::vector<FanoutJob> jobs) {
+  const size_t n = jobs.size();
+  auto state = std::make_shared<FanoutState>();
+  state->slots.resize(n);
+  state->tokens.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    state->tokens.push_back(std::make_shared<Cancellation>());
+  }
+  state->jobs = std::move(jobs);
+  for (size_t k = 0; k < n; ++k) {
+    pool_->Submit([this, state, k] {
+      FanoutSlot slot = AttemptOnBackend(state->jobs[k].backend,
+                                         *state->jobs[k].request,
+                                         state->tokens[k].get());
+      std::lock_guard<std::mutex> lock(state->mutex);
+      slot.done = true;
+      state->slots[k] = std::move(slot);
+      ++state->completed;
+      state->cv.notify_all();
+    });
+  }
+
+  const double deadline = options_.fault_tolerance.request_deadline_ms;
+  std::unique_lock<std::mutex> lock(state->mutex);
+  if (deadline > 0) {
+    state->cv.wait_for(lock,
+                       std::chrono::duration<double, std::milli>(deadline),
+                       [&] { return state->completed == n; });
+  } else {
+    state->cv.wait(lock, [&] { return state->completed == n; });
+  }
+  std::vector<FanoutSlot> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    if (state->slots[k].done) {
+      out[k] = std::move(state->slots[k]);
+    } else {
+      out[k].timed_out = true;
+      out[k].status = Status::Unavailable(
+          "backend " + std::to_string(state->jobs[k].backend) +
+          " missed the " + std::to_string(deadline) + " ms deadline");
+    }
+  }
+  lock.unlock();
+  // Release stragglers (stalled or still queued); they will observe the
+  // cancellation, skip the engine, and write into the abandoned state.
+  for (const auto& token : state->tokens) token->Cancel();
+  return out;
+}
+
+void Controller::ApplySlotHealth(
+    size_t i, const FanoutSlot& slot, bool mutation,
+    std::vector<kds::PartialResultWarning>* warnings) {
+  Backend& backend = *backends_[i];
+  const bool faulted = slot.fault != FaultKind::kNone || slot.timed_out;
+  if (!faulted) {
+    // A genuine engine error is a property of the request (it fails
+    // identically on every backend), not of the backend's health.
+    if (slot.status.ok()) backend.health().OnSuccess();
+    return;
+  }
+  // A crash loses the engine outright. A failed mutation leaves the
+  // backend behind its own log (the entry was appended before dispatch),
+  // so only a rebuild can realign it — fatal either way.
+  const bool fatal = mutation || slot.fault == FaultKind::kCrash;
+  backend.health().OnFailure(slot.status.message(), fatal);
+  if (warnings != nullptr) {
+    AppendWarning(warnings,
+                  kds::PartialResultWarning{
+                      backend.id(),
+                      std::string(BackendHealthName(backend.health().state())),
+                      slot.status.message()});
+  }
+}
+
 Result<ExecutionReport> Controller::ExecuteInsert(
     const abdl::InsertRequest& request) {
+  const size_t n = backends_.size();
   // Record distribution: round-robin spreads every file evenly over the
   // disks; hash placement derives the backend from the record's database
   // key so placement is order-independent.
-  size_t target_index =
-      insert_cursor_.fetch_add(1, std::memory_order_relaxed) %
-      backends_.size();
+  size_t target =
+      insert_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
   if (options_.placement == PlacementPolicy::kHashKey &&
       request.record.keywords().size() >= 2) {
     const abdm::Keyword& key = request.record.keywords()[1];
-    target_index = std::hash<std::string>{}(key.attribute + "=" +
-                                            key.value.ToString()) %
-                   backends_.size();
+    target = std::hash<std::string>{}(key.attribute + "=" +
+                                      key.value.ToString()) %
+             n;
   }
 
   const auto start = std::chrono::steady_clock::now();
-  ExecutionReport report;
-  report.backend_times_ms.assign(backends_.size(), 0.0);
-  MLDS_ASSIGN_OR_RETURN(auto outcome,
-                        RunOnBackend(target_index, abdl::Request(request)));
-  auto& [resp, ms] = outcome;
-  report.backend_times_ms[target_index] = ms;
-  report.response.affected = resp.affected;
-  report.response.io = resp.io;
-  report.response_time_ms = options_.bus.RoundTripMs() + ms;
-  report.wall_time_ms = ElapsedMs(start);
-  return report;
+  auto shared_req =
+      std::make_shared<const abdl::Request>(abdl::Request(request));
+  const std::string payload = "REQUEST " + abdl::ToString(*shared_req);
+
+  std::vector<kds::PartialResultWarning> warnings;
+  Status last_failure = Status::Unavailable("no available backends");
+  // Failover: if the placed backend faults, the record goes to the next
+  // available one (the broadcast read path finds it wherever it lives).
+  for (size_t tried = 0; tried < n; ++tried) {
+    const size_t i = (target + tried) % n;
+    Backend& backend = *backends_[i];
+    if (!backend.available()) {
+      backend.health().OnQuarantinedRequest();
+      continue;
+    }
+    std::vector<FanoutSlot> slots = FanOutWithFaults({{i, shared_req}});
+    FanoutSlot& slot = slots.front();
+    if (slot.fault == FaultKind::kNone && !slot.timed_out) {
+      if (!slot.status.ok()) return slot.status;  // genuine engine error
+      // Success: the record now belongs to backend i's partition, so its
+      // log — the partition's source of truth for rebuilds — records it.
+      // (Logging after the apply, unlike broadcasts, so a failed-over
+      // insert never lingers in a dead backend's log as a duplicate.)
+      (void)backend.wal().Append(payload);
+      backend.health().OnSuccess();
+      const double total_ms = slot.ms + slot.backoff_ms;
+      ExecutionReport report;
+      report.backend_times_ms.assign(n, 0.0);
+      report.backend_times_ms[i] = total_ms;
+      report.response.affected = slot.response.affected;
+      report.response.io = slot.response.io;
+      report.response.warnings = std::move(warnings);
+      report.response_time_ms = options_.bus.RoundTripMs() + total_ms;
+      report.wall_time_ms = ElapsedMs(start);
+      return report;
+    }
+    ApplySlotHealth(i, slot, /*mutation=*/true, &warnings);
+    last_failure = slot.status;
+    if (slot.timed_out && slot.fault == FaultKind::kNone) {
+      // A genuine timeout (not an injected stall) is ambiguous: the
+      // engine may have applied the record after we gave up. Re-placing
+      // it could duplicate, so report the unknown outcome instead. The
+      // backend is quarantined; its rebuild resolves the ambiguity
+      // toward "not inserted", matching this error.
+      return Status::Unavailable(
+          "insert outcome unknown: " + slot.status.message());
+    }
+    // Injected error/stall/crash all fire before the engine touches the
+    // record, so failing over cannot duplicate it.
+  }
+  return last_failure;
 }
 
 Result<ExecutionReport> Controller::ExecuteBroadcast(
@@ -180,49 +515,95 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
     broadcast = raw;
   }
 
+  const bool mutation = IsMutationRequest(request);
+  std::vector<std::string> payloads;
+  if (mutation) payloads.push_back("REQUEST " + abdl::ToString(request));
+
+  std::vector<kds::PartialResultWarning> warnings;
+  std::vector<size_t> participants;
+  std::vector<FanoutJob> jobs;
+  auto shared_req =
+      std::make_shared<const abdl::Request>(std::move(broadcast));
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!AdmitBackend(i, payloads, &warnings)) continue;
+    // Write-ahead: the mutation enters the backend's log before dispatch,
+    // so the log always holds exactly what the partition should contain —
+    // whether this backend applies it now or replays it after a rebuild.
+    if (mutation) (void)backends_[i]->wal().Append(payloads.front());
+    participants.push_back(i);
+    jobs.push_back({i, shared_req});
+  }
+  if (participants.empty()) {
+    return Status::Unavailable("no available backends (all " +
+                               std::to_string(backends_.size()) +
+                               " quarantined)");
+  }
+
   const auto start = std::chrono::steady_clock::now();
-  std::vector<BackendRun> runs(backends_.size());
-  MLDS_RETURN_IF_ERROR(ForEachBackend([&](size_t i) -> Status {
-    auto outcome = RunOnBackend(i, broadcast);
-    MLDS_RETURN_IF_ERROR(outcome.status());
-    runs[i].response = std::move(outcome->first);
-    runs[i].ms = outcome->second;
-    return Status::OK();
-  }));
+  std::vector<FanoutSlot> slots = FanOutWithFaults(std::move(jobs));
   const double wall_ms = ElapsedMs(start);
 
+  for (size_t k = 0; k < slots.size(); ++k) {
+    ApplySlotHealth(participants[k], slots[k], mutation, &warnings);
+  }
+  // Genuine engine errors propagate in backend-id order, exactly as
+  // before fault tolerance existed.
+  for (const FanoutSlot& slot : slots) {
+    if (slot.fault == FaultKind::kNone && !slot.timed_out &&
+        !slot.status.ok()) {
+      return slot.status;
+    }
+  }
+
   // Merge in backend-id order: deterministic results no matter which
-  // backend finished first.
+  // backend finished first. Faulted backends contribute a warning, not
+  // records — a partial result, never a silent truncation.
+  const double deadline = options_.fault_tolerance.request_deadline_ms;
   ExecutionReport report;
-  report.backend_times_ms.reserve(backends_.size());
+  report.backend_times_ms.assign(backends_.size(), 0.0);
   std::vector<abdm::Record> merged;
+  std::vector<std::pair<int, const kds::Response*>> plan_parts;
   double max_ms = 0.0;
-  for (BackendRun& run : runs) {
-    report.backend_times_ms.push_back(run.ms);
-    max_ms = std::max(max_ms, run.ms);
-    report.response.affected += run.response.affected;
-    report.response.io += run.response.io;
+  bool any_success = false;
+  for (size_t k = 0; k < slots.size(); ++k) {
+    FanoutSlot& slot = slots[k];
+    const size_t i = participants[k];
+    if (slot.timed_out || slot.fault != FaultKind::kNone) {
+      max_ms = std::max(
+          max_ms, slot.timed_out && deadline > 0 ? deadline : slot.backoff_ms);
+      continue;
+    }
+    any_success = true;
+    const double total_ms = slot.ms + slot.backoff_ms;
+    report.backend_times_ms[i] = total_ms;
+    max_ms = std::max(max_ms, total_ms);
+    report.response.affected += slot.response.affected;
+    report.response.io += slot.response.io;
+    plan_parts.emplace_back(backends_[i]->id(), &slot.response);
     merged.insert(merged.end(),
-                  std::make_move_iterator(run.response.records.begin()),
-                  std::make_move_iterator(run.response.records.end()));
+                  std::make_move_iterator(slot.response.records.begin()),
+                  std::make_move_iterator(slot.response.records.end()));
+  }
+  if (!any_success) {
+    return slots.front().status;
   }
   if (retrieve != nullptr) {
-    report.response.records = kds::PostProcessRetrieve(*retrieve,
-                                                       std::move(merged));
+    report.response.records =
+        kds::PostProcessRetrieve(*retrieve, std::move(merged));
   } else {
     report.response.records = std::move(merged);
   }
   if (abdl::IsExplain(request)) {
-    kds::PlanNode plan = MergeBackendPlans(runs, 0, runs.size());
+    kds::PlanNode plan = MergeBackendPlans(plan_parts);
     if (retrieve != nullptr) {
       // Projection / BY / aggregation happened here at the controller
       // over the merged set, so its plan node sits above the merge.
       plan = kds::WrapRetrievePlan(*retrieve, std::move(plan),
                                    report.response.records.size());
     }
-    report.response.plan =
-        std::make_shared<kds::PlanNode>(std::move(plan));
+    report.response.plan = std::make_shared<kds::PlanNode>(std::move(plan));
   }
+  report.response.warnings = std::move(warnings);
   report.response_time_ms = options_.bus.RoundTripMs() + max_ms;
   report.wall_time_ms = wall_ms;
   return report;
@@ -230,47 +611,83 @@ Result<ExecutionReport> Controller::ExecuteBroadcast(
 
 Result<ExecutionReport> Controller::ExecuteDistributedJoin(
     const abdl::RetrieveCommonRequest& request) {
-  const size_t n = backends_.size();
+  std::vector<kds::PartialResultWarning> warnings;
+  std::vector<size_t> participants;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (AdmitBackend(i, {}, &warnings)) participants.push_back(i);
+  }
+  if (participants.empty()) {
+    return Status::Unavailable("no available backends for distributed join");
+  }
+  const size_t p = participants.size();
 
-  // Both sides fan out as one batch of 2n concurrent single-backend
+  // Both sides fan out as one batch of 2p concurrent single-backend
   // retrieves. Simulated time still charges the sides as consecutive
   // parallel phases (each costs its slowest backend), matching the
   // paper's two-message exchange; wall-clock overlaps everything.
-  std::array<abdl::Request, 2> sides;
+  std::array<std::shared_ptr<const abdl::Request>, 2> sides;
   {
     abdl::RetrieveRequest raw;
     raw.all_attributes = true;
     raw.explain = request.explain;
     raw.query = request.left_query;
-    sides[0] = raw;
+    sides[0] = std::make_shared<const abdl::Request>(raw);
     raw.query = request.right_query;
-    sides[1] = raw;
+    sides[1] = std::make_shared<const abdl::Request>(raw);
+  }
+  std::vector<FanoutJob> jobs;
+  jobs.reserve(2 * p);
+  for (size_t side = 0; side < 2; ++side) {
+    for (size_t k = 0; k < p; ++k) {
+      jobs.push_back({participants[k], sides[side]});
+    }
   }
 
   const auto start = std::chrono::steady_clock::now();
-  std::vector<BackendRun> runs(2 * n);
-  MLDS_RETURN_IF_ERROR(RunParallel(2 * n, [&](size_t task) -> Status {
-    auto outcome = RunOnBackend(task % n, sides[task / n]);
-    MLDS_RETURN_IF_ERROR(outcome.status());
-    runs[task].response = std::move(outcome->first);
-    runs[task].ms = outcome->second;
-    return Status::OK();
-  }));
+  std::vector<FanoutSlot> slots = FanOutWithFaults(std::move(jobs));
   const double wall_ms = ElapsedMs(start);
 
+  for (size_t task = 0; task < slots.size(); ++task) {
+    ApplySlotHealth(participants[task % p], slots[task], /*mutation=*/false,
+                    &warnings);
+  }
+  for (const FanoutSlot& slot : slots) {
+    if (slot.fault == FaultKind::kNone && !slot.timed_out &&
+        !slot.status.ok()) {
+      return slot.status;
+    }
+  }
+
+  const double deadline = options_.fault_tolerance.request_deadline_ms;
   ExecutionReport report;
-  report.backend_times_ms.assign(n, 0.0);
+  report.backend_times_ms.assign(backends_.size(), 0.0);
   double side_max[2] = {0.0, 0.0};
   std::vector<abdm::Record> left, right;
-  for (size_t task = 0; task < runs.size(); ++task) {
-    BackendRun& run = runs[task];
-    report.backend_times_ms[task % n] += run.ms;
-    side_max[task / n] = std::max(side_max[task / n], run.ms);
-    report.response.io += run.response.io;
-    std::vector<abdm::Record>& side = task < n ? left : right;
-    side.insert(side.end(),
-                std::make_move_iterator(run.response.records.begin()),
-                std::make_move_iterator(run.response.records.end()));
+  std::array<std::vector<std::pair<int, const kds::Response*>>, 2> plan_parts;
+  bool any_success = false;
+  for (size_t task = 0; task < slots.size(); ++task) {
+    FanoutSlot& slot = slots[task];
+    const size_t i = participants[task % p];
+    const size_t side = task / p;
+    if (slot.timed_out || slot.fault != FaultKind::kNone) {
+      side_max[side] = std::max(
+          side_max[side],
+          slot.timed_out && deadline > 0 ? deadline : slot.backoff_ms);
+      continue;
+    }
+    any_success = true;
+    const double total_ms = slot.ms + slot.backoff_ms;
+    report.backend_times_ms[i] += total_ms;
+    side_max[side] = std::max(side_max[side], total_ms);
+    report.response.io += slot.response.io;
+    plan_parts[side].emplace_back(backends_[i]->id(), &slot.response);
+    std::vector<abdm::Record>& bucket = side == 0 ? left : right;
+    bucket.insert(bucket.end(),
+                  std::make_move_iterator(slot.response.records.begin()),
+                  std::make_move_iterator(slot.response.records.end()));
+  }
+  if (!any_success) {
+    return slots.front().status;
   }
 
   // Hash join at the controller, mirroring the kernel engine's local
@@ -286,18 +703,18 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
     auto it = right_by_value.find(v);
     if (it == right_by_value.end()) continue;
     for (const abdm::Record* r : it->second) {
-      abdm::Record merged = l;
+      abdm::Record joined = l;
       for (const auto& kw : r->keywords()) {
-        if (!merged.Has(kw.attribute)) merged.Set(kw.attribute, kw.value);
+        if (!joined.Has(kw.attribute)) joined.Set(kw.attribute, kw.value);
       }
       if (!request.targets.empty()) {
         abdm::Record projected;
         for (const auto& target : request.targets) {
-          projected.Set(target.attribute, merged.GetOrNull(target.attribute));
+          projected.Set(target.attribute, joined.GetOrNull(target.attribute));
         }
-        merged = std::move(projected);
+        joined = std::move(projected);
       }
-      report.response.records.push_back(std::move(merged));
+      report.response.records.push_back(std::move(joined));
     }
   }
   if (request.explain) {
@@ -306,14 +723,15 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
     join.label =
         "(" + request.left_attribute + " = " + request.right_attribute + ")";
     join.executed = true;
-    join.children.push_back(MergeBackendPlans(runs, 0, n));
-    join.children.push_back(MergeBackendPlans(runs, n, n));
+    join.children.push_back(MergeBackendPlans(plan_parts[0]));
+    join.children.push_back(MergeBackendPlans(plan_parts[1]));
     join.est_rows = join.SumChildren(&kds::PlanNode::est_rows);
     join.est_blocks = join.SumChildren(&kds::PlanNode::est_blocks);
     join.actual_rows = report.response.records.size();
     join.actual_blocks = join.SumChildren(&kds::PlanNode::actual_blocks);
     report.response.plan = std::make_shared<kds::PlanNode>(std::move(join));
   }
+  report.response.warnings = std::move(warnings);
   report.response_time_ms =
       2 * options_.bus.RoundTripMs() + side_max[0] + side_max[1];
   report.wall_time_ms = wall_ms;
@@ -352,7 +770,9 @@ Result<ExecutionReport> Controller::ExecuteTransaction(
   std::vector<std::optional<Result<ExecutionReport>>> reports(count);
   double simulated_ms = 0.0;
   for (const std::vector<size_t>& members : stages) {
-    pool_->ParallelFor(members.size(), [&](size_t k) {
+    // Statement tasks block on backend fan-outs, so they run on the
+    // dedicated statement pool (see txn_pool_).
+    txn_pool_->ParallelFor(members.size(), [&](size_t k) {
       reports[members[k]] = Execute(txn[members[k]]);
     });
     // Lowest-index error wins: deterministic regardless of which pool
@@ -385,6 +805,9 @@ Result<ExecutionReport> Controller::ExecuteTransaction(
         total.response.records.end(),
         std::make_move_iterator(report.response.records.begin()),
         std::make_move_iterator(report.response.records.end()));
+    for (kds::PartialResultWarning& warning : report.response.warnings) {
+      AppendWarning(&total.response.warnings, std::move(warning));
+    }
     if (report.response.plan != nullptr) {
       statement_plans.push_back(*report.response.plan);
     }
@@ -411,6 +834,7 @@ Result<ExecutionReport> Controller::ExecuteTransaction(
 size_t Controller::FileSize(std::string_view file) const {
   size_t total = 0;
   for (const auto& backend : backends_) {
+    if (!backend->available()) continue;
     total += backend->engine().FileSize(file);
   }
   return total;
@@ -419,9 +843,42 @@ size_t Controller::FileSize(std::string_view file) const {
 uint64_t Controller::TotalBlocks() const {
   uint64_t total = 0;
   for (const auto& backend : backends_) {
+    if (!backend->available()) continue;
     total += backend->engine().TotalBlocks();
   }
   return total;
+}
+
+Status Controller::CheckpointAll() {
+  for (auto& backend : backends_) {
+    // A quarantined backend's engine is stale: checkpointing it (and
+    // truncating its log) would lose the catch-up entries its rebuild
+    // depends on. It is checkpointed after it rejoins.
+    if (!backend->available()) continue;
+    std::ostringstream snapshot;
+    MLDS_RETURN_IF_ERROR(kds::SaveSnapshot(backend->engine(), snapshot));
+    backend->SetCheckpoint(std::move(snapshot).str());
+    backend->wal().Truncate();
+  }
+  return Status::OK();
+}
+
+ControllerHealth Controller::Health() const {
+  ControllerHealth health;
+  health.backends.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    BackendStatus status;
+    status.id = backend->id();
+    status.state = backend->health().state();
+    status.last_fault = backend->health().last_fault();
+    status.wal_entries = backend->wal().entry_count();
+    status.missed_requests = backend->health().missed_requests();
+    status.quarantine_count = backend->health().quarantine_count();
+    status.faults_injected = backend->injector().faults_served();
+    if (status.state != BackendHealth::kHealthy) health.degraded = true;
+    health.backends.push_back(std::move(status));
+  }
+  return health;
 }
 
 void Controller::ResetTiming() {

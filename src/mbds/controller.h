@@ -4,27 +4,81 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "abdl/request.h"
 #include "abdm/schema.h"
+#include "common/backoff.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "kds/engine.h"
+#include "kds/wal.h"
 #include "mbds/disk_model.h"
+#include "mbds/fault_injector.h"
+#include "mbds/health.h"
 
 namespace mlds::mbds {
 
 /// One backend (slave) of MBDS: identical software (a KDS engine) over its
-/// own dedicated disk, holding a partition of every file's records.
+/// own dedicated disk, holding a partition of every file's records. The
+/// controller additionally keeps, per backend, a write-ahead log of every
+/// mutation routed to its partition, a fault injector (for tests and fault
+/// benchmarks), and a health state machine — together these let a backend
+/// die and later rejoin by replaying its log (see Controller).
 class Backend {
  public:
-  Backend(int id, kds::EngineOptions options) : id_(id), engine_(options) {}
+  Backend(int id, kds::EngineOptions options, HealthPolicy health = {})
+      : id_(id),
+        engine_(std::make_shared<kds::Engine>(options)),
+        health_(health) {}
 
   int id() const { return id_; }
-  kds::Engine& engine() { return engine_; }
-  const kds::Engine& engine() const { return engine_; }
+  kds::Engine& engine() { return *engine_; }
+  const kds::Engine& engine() const { return *engine_; }
+
+  /// Owning handle to the current engine: fan-out tasks hold one for the
+  /// duration of a request, so a concurrent reintegration swapping in a
+  /// rebuilt engine can never free the one they are executing against.
+  std::shared_ptr<kds::Engine> SnapshotEngine() const {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    return engine_;
+  }
+  void ReplaceEngine(std::shared_ptr<kds::Engine> fresh) {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    engine_ = std::move(fresh);
+  }
+
+  kds::WalWriter& wal() { return wal_; }
+  const kds::WalWriter& wal() const { return wal_; }
+  FaultInjector& injector() { return injector_; }
+  const FaultInjector& injector() const { return injector_; }
+  HealthTracker& health() { return health_; }
+  const HealthTracker& health() const { return health_; }
+
+  /// Serializes the quarantine-skip decision (which appends missed
+  /// mutations to the log) against the final hand-off of a reintegration,
+  /// so a mutation is never lost in the quarantined -> healthy window.
+  std::mutex& catchup_mutex() const { return catchup_mutex_; }
+
+  /// Last checkpoint of this backend's partition (empty: none yet).
+  std::string checkpoint() const {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    return checkpoint_;
+  }
+  void SetCheckpoint(std::string snapshot) {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    checkpoint_ = std::move(snapshot);
+  }
+
+  /// Whether this backend currently serves requests (not quarantined or
+  /// mid-reintegration).
+  bool available() const {
+    BackendHealth state = health_.state();
+    return state != BackendHealth::kQuarantined &&
+           state != BackendHealth::kReintegrating;
+  }
 
   /// Total simulated milliseconds this backend's disk has been busy.
   /// Atomic: broadcast fan-out executes backends on pool threads, and
@@ -36,13 +90,21 @@ class Backend {
 
  private:
   int id_;
-  kds::Engine engine_;
+  mutable std::mutex engine_mutex_;
+  std::shared_ptr<kds::Engine> engine_;
+  std::string checkpoint_;
+  kds::WalWriter wal_;
+  FaultInjector injector_;
+  HealthTracker health_;
+  mutable std::mutex catchup_mutex_;
   std::atomic<double> busy_ms_{0.0};
 };
 
 /// Execution outcome of one request through the backend controller.
 struct ExecutionReport {
   /// Merged response (records from all backends, total affected count).
+  /// `response.warnings` lists backends whose share is missing or
+  /// degraded — a partial result is reported, never silently truncated.
   kds::Response response;
   /// Simulated response time: bus round trip + the slowest participating
   /// backend (backends execute in parallel).
@@ -66,6 +128,28 @@ enum class PlacementPolicy {
   kHashKey,
 };
 
+/// Availability knobs of the controller. All thresholds are counted in
+/// requests and all backoff delays are *simulated* unless `backoff_sleep`
+/// is set, so fault-tolerance tests run deterministically with no sleeps.
+struct FaultToleranceOptions {
+  /// Per-request deadline on the backend fan-out, in wall-clock
+  /// milliseconds. A backend that has not answered by the deadline is
+  /// abandoned (its task is cancelled) and reported as a warning.
+  /// <= 0 disables the deadline. Stall faults require a deadline: an
+  /// abandoned stall is how they resolve.
+  double request_deadline_ms = 0.0;
+  /// Retries (after the first attempt) for transient injected faults.
+  int max_retries = 2;
+  /// Exponential-backoff schedule between retries.
+  common::BackoffPolicy backoff;
+  /// When true, retry delays are actually slept (cancellably). Off by
+  /// default: delays are charged to simulated time only, keeping tests
+  /// sleep-free.
+  bool backoff_sleep = false;
+  /// Quarantine / reintegration thresholds.
+  HealthPolicy health;
+};
+
 /// Options for constructing the multi-backend system.
 struct MbdsOptions {
   int num_backends = 1;
@@ -80,6 +164,25 @@ struct MbdsOptions {
   /// paper's response times were dominated by exactly this disk latency).
   /// 0 disables injection; see also Controller::set_latency_scale.
   double latency_scale = 0.0;
+  FaultToleranceOptions fault_tolerance;
+};
+
+/// Health summary of one backend, as reported by Controller::Health().
+struct BackendStatus {
+  int id = 0;
+  BackendHealth state = BackendHealth::kHealthy;
+  std::string last_fault;
+  uint64_t wal_entries = 0;
+  uint64_t missed_requests = 0;
+  uint64_t quarantine_count = 0;
+  uint64_t faults_injected = 0;
+};
+
+/// Controller-wide health summary.
+struct ControllerHealth {
+  /// True when any backend is not healthy (results may be partial).
+  bool degraded = false;
+  std::vector<BackendStatus> backends;
 };
 
 /// The MBDS backend controller (master): supervises execution of database
@@ -96,6 +199,21 @@ struct MbdsOptions {
 /// decrease as backends are added at fixed database size, and
 /// response-time invariance when backends grow with the database.
 ///
+/// Fault tolerance. The controller write-ahead logs every mutation it
+/// routes to a backend into that backend's log *before* dispatching it, so
+/// each backend's log always holds exactly the mutations its partition
+/// should contain. When a backend fails — an injected crash, a transient
+/// fault that outlives its retry budget, or a missed deadline — it is
+/// quarantined: excluded from fan-out, its share of every retrieve
+/// reported as a structured PartialResultWarning, and mutations it misses
+/// still appended to its log as catch-up. After it has sat out
+/// `reintegrate_after` requests the controller reintegrates it: repairs
+/// any torn log tail, rebuilds a fresh engine from the backend's last
+/// checkpoint plus a full log replay, and swaps it in — the rebuilt
+/// partition is exactly what an always-healthy backend would hold
+/// (rebuilding from scratch also makes an ambiguous "did the timed-out
+/// mutation apply?" harmless: replay applies it exactly once).
+///
 /// Thread safety: the controller may be driven by many client threads at
 /// once. `backends_` is immutable after construction (backends are never
 /// added or removed), each kds::Engine serializes internally, and the
@@ -103,6 +221,9 @@ struct MbdsOptions {
 /// per-backend `busy_ms_`) is atomic. Const accessors (FileSize,
 /// TotalBlocks, backend(), HasFile) therefore need no controller-level
 /// lock: they read the immutable vector and locked/atomic state only.
+/// Reintegration assumes no client thread is mid-fan-out on the rejoining
+/// backend — guaranteed in practice because a backend only becomes due
+/// after sitting out `reintegrate_after` whole requests.
 class Controller {
  public:
   explicit Controller(MbdsOptions options);
@@ -112,10 +233,10 @@ class Controller {
 
   int num_backends() const { return static_cast<int>(backends_.size()); }
 
-  /// Broadcasts the database definition to every backend.
+  /// Broadcasts the database definition to every available backend.
   Status DefineDatabase(const abdm::DatabaseDescriptor& db);
 
-  /// Broadcasts one file definition to every backend.
+  /// Broadcasts one file definition to every available backend.
   Status DefineFile(const abdm::FileDescriptor& descriptor);
 
   bool HasFile(std::string_view file) const;
@@ -133,10 +254,11 @@ class Controller {
   /// statement), so results and times are deterministic.
   Result<ExecutionReport> ExecuteTransaction(const abdl::Transaction& txn);
 
-  /// Total live records of `file` across all backends.
+  /// Total live records of `file` across all available backends (a
+  /// quarantined backend's partition is unavailable until it rejoins).
   size_t FileSize(std::string_view file) const;
 
-  /// Total allocated blocks across all backends.
+  /// Total allocated blocks across all available backends.
   uint64_t TotalBlocks() const;
 
   /// Cumulative simulated response time of every executed request.
@@ -153,16 +275,86 @@ class Controller {
   }
 
   const Backend& backend(int i) const { return *backends_[i]; }
+  Backend& mutable_backend(int i) { return *backends_[i]; }
+
+  /// Arms backend `i`'s fault injector. Convenience for tests and the
+  /// fault benchmarks; equivalent to mutable_backend(i).injector().Arm().
+  void InjectFault(int i, FaultPlan plan) { backends_[i]->injector().Arm(plan); }
+
+  /// Checkpoints every backend: snapshots each partition and truncates its
+  /// log, bounding replay time on the next reintegration. The caller must
+  /// quiesce the controller (no concurrent mutations).
+  Status CheckpointAll();
+
+  /// Current health of every backend.
+  ControllerHealth Health() const;
 
  private:
+  /// One backend's share of a fault-tolerant fan-out.
+  struct FanoutSlot {
+    kds::Response response;
+    double ms = 0.0;
+    /// Simulated backoff delay spent on retries for this request.
+    double backoff_ms = 0.0;
+    Status status = Status::OK();
+    /// The injected fault that ended the attempt chain (kNone: the
+    /// request reached the engine and `status` is its genuine outcome).
+    FaultKind fault = FaultKind::kNone;
+    bool timed_out = false;
+    int attempts = 0;
+    bool done = false;
+  };
+
+  /// One unit of a fault-tolerant fan-out: run `*request` on backend
+  /// `backend`.
+  struct FanoutJob {
+    size_t backend = 0;
+    std::shared_ptr<const abdl::Request> request;
+  };
+
+  /// Shared state of one fan-out: written by pool tasks, read by the
+  /// dispatching thread. Held by shared_ptr so a task abandoned at the
+  /// deadline can still complete harmlessly after the dispatcher moved on.
+  struct FanoutState;
+
+  /// Runs every job concurrently on the pool, waiting at most the
+  /// configured deadline. Jobs that miss the deadline are cancelled and
+  /// returned with `timed_out` set. Slot k corresponds to jobs[k].
+  std::vector<FanoutSlot> FanOutWithFaults(std::vector<FanoutJob> jobs);
+
+  /// One backend's attempt chain: consult the fault injector, retry
+  /// transient faults with exponential backoff, then execute on the
+  /// engine. Runs on a pool thread; `cancel` is the deadline hand-brake.
+  FanoutSlot AttemptOnBackend(size_t i, const abdl::Request& request,
+                              Cancellation* cancel);
+
+  /// Applies one slot's outcome to backend `i`'s health tracker and, on
+  /// failure, appends a warning naming the backend to `warnings`.
+  /// `mutation` marks failures fatal (the backend missed a write its log
+  /// already holds, so only a rebuild can realign it).
+  void ApplySlotHealth(size_t i, const FanoutSlot& slot, bool mutation,
+                       std::vector<kds::PartialResultWarning>* warnings);
+
+  /// Decides participation of backend `i` in one request. An unavailable
+  /// backend is skipped: its missed-request counter advances and, for
+  /// mutations, `wal_payloads` are appended to its log as catch-up (under
+  /// the catch-up mutex, so the entries are never lost to a concurrent
+  /// reintegration hand-off). Returns true when the backend participates.
+  bool AdmitBackend(size_t i, const std::vector<std::string>& wal_payloads,
+                    std::vector<kds::PartialResultWarning>* warnings);
+
+  /// Reintegrates every quarantined backend that has sat out enough
+  /// requests (see FaultToleranceOptions::health).
+  void MaybeReintegrate();
+
+  /// Rebuilds `backend`'s engine from its checkpoint + log and swaps it
+  /// in. Returns true when the backend rejoined.
+  bool ReintegrateBackend(Backend& backend);
+
   /// Runs fn(0) .. fn(tasks-1) concurrently on the pool and returns the
   /// lowest-index error (OK when all succeed), so error reporting is
   /// deterministic regardless of completion order.
   Status RunParallel(size_t tasks, const std::function<Status(size_t)>& fn);
-
-  /// RunParallel over the backends: the single fan-out/join path shared
-  /// by definitions and broadcasts.
-  Status ForEachBackend(const std::function<Status(size_t)>& fn);
 
   Result<ExecutionReport> ExecuteInsert(const abdl::InsertRequest& request);
   Result<ExecutionReport> ExecuteBroadcast(const abdl::Request& request);
@@ -171,19 +363,28 @@ class Controller {
   Result<ExecutionReport> ExecuteDistributedJoin(
       const abdl::RetrieveCommonRequest& request);
 
-  /// Executes `request` on backend `i`, charging its busy time and
-  /// sleeping the injected latency. Returns the engine response and the
-  /// simulated milliseconds spent.
+  /// Executes `request` on backend `i`'s engine, charging its busy time
+  /// and sleeping the injected latency. Returns the engine response and
+  /// the simulated milliseconds spent.
   Result<std::pair<kds::Response, double>> RunOnBackend(
       size_t i, const abdl::Request& request);
 
   MbdsOptions options_;
   /// Immutable after the constructor; see the class comment.
   std::vector<std::unique_ptr<Backend>> backends_;
-  /// Fan-out workers: backends-1 threads, the calling thread covers the
-  /// last backend. A single-backend controller runs purely serially.
+  /// Fan-out workers: one thread per backend. The dispatching thread does
+  /// not participate in fault-tolerant fan-outs (it must stay free to
+  /// enforce the deadline), so the pool alone must cover every backend.
+  /// Fan-out tasks never submit further work to this pool, so its wait
+  /// graph is acyclic.
   std::unique_ptr<common::ThreadPool> pool_;
+  /// Statement-level workers for the transaction pipeline. Separate from
+  /// `pool_` because statement tasks block on fan-outs: running both
+  /// layers on one pool could park every worker in a dispatcher and
+  /// deadlock the fan-out jobs they are waiting for.
+  std::unique_ptr<common::ThreadPool> txn_pool_;
   std::atomic<uint64_t> insert_cursor_{0};
+  std::atomic<uint64_t> request_seq_{0};
   std::atomic<double> total_response_ms_{0.0};
   std::atomic<double> latency_scale_{0.0};
 };

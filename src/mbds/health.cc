@@ -1,0 +1,71 @@
+#include "mbds/health.h"
+
+namespace mlds::mbds {
+
+std::string_view BackendHealthName(BackendHealth state) {
+  switch (state) {
+    case BackendHealth::kHealthy:
+      return "healthy";
+    case BackendHealth::kSuspect:
+      return "suspect";
+    case BackendHealth::kQuarantined:
+      return "quarantined";
+    case BackendHealth::kReintegrating:
+      return "reintegrating";
+  }
+  return "unknown";
+}
+
+void HealthTracker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BackendHealth::kSuspect ||
+      state_ == BackendHealth::kReintegrating) {
+    state_ = BackendHealth::kHealthy;
+  }
+}
+
+BackendHealth HealthTracker::OnFailure(std::string detail, bool fatal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_fault_ = std::move(detail);
+  ++consecutive_failures_;
+  if (fatal || consecutive_failures_ >= policy_.quarantine_after) {
+    if (state_ != BackendHealth::kQuarantined) {
+      state_ = BackendHealth::kQuarantined;
+      ++quarantines_;
+      missed_requests_ = 0;
+    }
+  } else if (state_ == BackendHealth::kHealthy) {
+    state_ = BackendHealth::kSuspect;
+  }
+  return state_;
+}
+
+bool HealthTracker::OnQuarantinedRequest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BackendHealth::kQuarantined) return false;
+  ++missed_requests_;
+  return missed_requests_ >=
+         static_cast<uint64_t>(policy_.reintegrate_after);
+}
+
+bool HealthTracker::BeginReintegration() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BackendHealth::kQuarantined) return false;
+  state_ = BackendHealth::kReintegrating;
+  return true;
+}
+
+void HealthTracker::FinishReintegration(bool success) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BackendHealth::kReintegrating) return;
+  if (success) {
+    state_ = BackendHealth::kHealthy;
+    consecutive_failures_ = 0;
+  } else {
+    state_ = BackendHealth::kQuarantined;
+    missed_requests_ = 0;
+  }
+}
+
+}  // namespace mlds::mbds

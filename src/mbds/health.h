@@ -1,0 +1,118 @@
+#ifndef MLDS_MBDS_HEALTH_H_
+#define MLDS_MBDS_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mlds::mbds {
+
+/// Health of one MBDS backend, as tracked by the controller.
+///
+///   healthy --failure--> suspect --more failures--> quarantined
+///      ^                    |                            |
+///      |<----success--------+      (misses requests)     |
+///      |                                                 v
+///      +<--replay succeeds-- reintegrating <--due--------+
+///
+/// A fatal failure (crash, or a mutation the backend missed — its
+/// partition is now stale) quarantines immediately: a stale backend must
+/// not serve reads, and only a WAL replay can make it whole again.
+enum class BackendHealth {
+  kHealthy,
+  kSuspect,
+  kQuarantined,
+  kReintegrating,
+};
+
+std::string_view BackendHealthName(BackendHealth state);
+
+/// Thresholds of the health state machine. Counted in requests, not wall
+/// time, so fault-tolerance tests are deterministic (no sleeps).
+struct HealthPolicy {
+  /// Consecutive non-fatal failures before suspect escalates to
+  /// quarantined.
+  int quarantine_after = 3;
+  /// Requests a quarantined backend must sit out before the controller
+  /// attempts reintegration (WAL replay + rejoin).
+  int reintegrate_after = 2;
+};
+
+/// Per-backend health state machine. Thread-safe; every transition is a
+/// short critical section.
+class HealthTracker {
+ public:
+  explicit HealthTracker(HealthPolicy policy = {}) : policy_(policy) {}
+
+  BackendHealth state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+
+  /// Cause of the most recent failure ("injected crash", "deadline
+  /// exceeded", ...), for warnings and health reports.
+  std::string last_fault() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_fault_;
+  }
+
+  int consecutive_failures() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return consecutive_failures_;
+  }
+
+  uint64_t quarantine_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantines_;
+  }
+
+  uint64_t missed_requests() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return missed_requests_;
+  }
+
+  /// A request completed on the backend: clears suspicion; a
+  /// reintegrating backend that answers successfully is healthy again.
+  void OnSuccess();
+
+  /// A request failed on the backend. `fatal` (crash or missed mutation)
+  /// quarantines immediately; otherwise failures accumulate through
+  /// suspect until the quarantine threshold. Returns the new state.
+  BackendHealth OnFailure(std::string detail, bool fatal);
+
+  /// Counts one request the quarantined backend sat out. Returns true
+  /// when the backend has missed enough to be due a reintegration
+  /// attempt.
+  bool OnQuarantinedRequest();
+
+  /// Whether the backend is quarantined and has missed enough requests
+  /// to be due a reintegration attempt.
+  bool due_reintegration() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_ == BackendHealth::kQuarantined &&
+           missed_requests_ >=
+               static_cast<uint64_t>(policy_.reintegrate_after);
+  }
+
+  /// Attempts quarantined -> reintegrating. Returns false if another
+  /// thread already claimed the reintegration (or the state moved on).
+  bool BeginReintegration();
+
+  /// Reintegration outcome: success -> healthy, failure -> quarantined
+  /// (a later attempt will retry).
+  void FinishReintegration(bool success);
+
+ private:
+  HealthPolicy policy_;
+  mutable std::mutex mutex_;
+  BackendHealth state_ = BackendHealth::kHealthy;
+  int consecutive_failures_ = 0;
+  uint64_t missed_requests_ = 0;   // while quarantined, since quarantine
+  uint64_t quarantines_ = 0;
+  std::string last_fault_;
+};
+
+}  // namespace mlds::mbds
+
+#endif  // MLDS_MBDS_HEALTH_H_

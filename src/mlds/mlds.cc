@@ -217,6 +217,10 @@ Result<std::string> MldsSystem::ExplainAbdl(std::string_view request_text) {
   return kfs::FormatPlan(*response.plan, options);
 }
 
+std::string MldsSystem::HealthReport() const {
+  return kfs::FormatHealth(executor_->Health());
+}
+
 const hierarchical::Schema* MldsSystem::FindHierarchicalSchema(
     std::string_view name) const {
   for (const auto& db : hierarchical_dbs_) {

@@ -125,6 +125,12 @@ class MldsSystem {
   /// no access path, so there is no plan to show.
   Result<std::string> ExplainAbdl(std::string_view request_text);
 
+  /// Degraded-mode status of the kernel, rendered by KFS under a
+  /// "KERNEL HEALTH" header: per-backend state, WAL depth, quarantine
+  /// history, and whether results may currently be partial. The same
+  /// status is reachable programmatically through any session's Health().
+  std::string HealthReport() const;
+
   /// The compiled-translation cache shared by all sessions of every
   /// language. Loading any database bumps its schema epoch, invalidating
   /// every cached translation.

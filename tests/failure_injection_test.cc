@@ -1,11 +1,13 @@
-// Failure injection: a kernel executor that fails on command, verifying
-// that the language interfaces propagate kernel failures as clean Status
-// values, never crash, and remain usable after the fault clears.
+// Failure injection: a kernel executor that fails on command (the shared
+// kc::FaultyExecutor), verifying that the language interfaces propagate
+// kernel failures as clean Status values, never crash, and remain usable
+// after the fault clears.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "kc/faulty_executor.h"
 #include "kds/engine.h"
 #include "kms/daplex_machine.h"
 #include "kms/dml_machine.h"
@@ -14,37 +16,7 @@
 namespace mlds {
 namespace {
 
-/// Wraps a real executor; fails every Execute while `failing` is set, and
-/// can be armed to fail only after N more successful requests (to break
-/// multi-request translations mid-flight).
-class FaultyExecutor : public kc::KernelExecutor {
- public:
-  explicit FaultyExecutor(kc::KernelExecutor* inner) : inner_(inner) {}
-
-  Status DefineDatabase(const abdm::DatabaseDescriptor& db) override {
-    return inner_->DefineDatabase(db);
-  }
-  bool HasFile(std::string_view file) const override {
-    return inner_->HasFile(file);
-  }
-  Result<kds::Response> Execute(const abdl::Request& request) override {
-    if (fail_after_ == 0) {
-      return Status::Internal("injected kernel fault");
-    }
-    if (fail_after_ > 0) --fail_after_;
-    return inner_->Execute(request);
-  }
-  size_t FileSize(std::string_view file) const override {
-    return inner_->FileSize(file);
-  }
-
-  /// -1 = healthy; 0 = fail immediately; N>0 = fail after N requests.
-  void set_fail_after(int n) { fail_after_ = n; }
-
- private:
-  kc::KernelExecutor* inner_;
-  int fail_after_ = -1;
-};
+using kc::FaultyExecutor;
 
 class FailureInjectionTest : public ::testing::Test {
  protected:
@@ -130,6 +102,22 @@ TEST_F(FailureInjectionTest, DaplexQueryPropagatesFault) {
   EXPECT_EQ(rows.status().code(), StatusCode::kInternal);
   faulty_->set_fail_after(-1);
   EXPECT_TRUE(daplex.ExecuteText("FOR EACH course PRINT title").ok());
+}
+
+TEST_F(FailureInjectionTest, HealthReportsDegradedWhileFailing) {
+  kc::KernelHealth healthy = faulty_->Health();
+  EXPECT_FALSE(healthy.degraded);
+  ASSERT_FALSE(healthy.backends.empty());
+  EXPECT_EQ(healthy.backends.front().state, "healthy");
+
+  faulty_->set_fail_after(0);
+  kc::KernelHealth degraded = faulty_->Health();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.backends.front().state, "suspect");
+  EXPECT_EQ(degraded.backends.front().last_fault, "injected kernel fault");
+
+  faulty_->set_fail_after(-1);
+  EXPECT_FALSE(faulty_->Health().degraded);
 }
 
 TEST_F(FailureInjectionTest, InheritedJoinFaultMidQuery) {

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo three times — plain, under
+# CI entry point: build + test the repo four times — plain, under
 # ThreadSanitizer (the controller's parallel broadcast and the engine's
-# two-level locking are race-checked on every PR), and under
-# AddressSanitizer.
+# two-level locking are race-checked on every PR), under
+# AddressSanitizer, and under UndefinedBehaviorSanitizer (the WAL's
+# frame/checksum arithmetic and the recovery scanners).
 #
 # Usage:
-#   tools/check.sh                 # plain + TSan + ASan, full suite
+#   tools/check.sh                 # plain + TSan + ASan + UBSan, full suite
 #   MLDS_TSAN_FILTER=Parallel tools/check.sh   # restrict the TSan ctest run
 #   MLDS_SKIP_TSAN=1 tools/check.sh            # skip the TSan stage
 #   MLDS_SKIP_ASAN=1 tools/check.sh            # skip the ASan stage
+#   MLDS_SKIP_UBSAN=1 tools/check.sh           # skip the UBSan stage
 #   MLDS_SKIP_BENCH=1 tools/check.sh           # skip the bench smoke stage
 set -euo pipefail
 
@@ -29,7 +31,7 @@ else
   # on every PR and CI uploads the fresh JSON artifacts.
   echo "== bench smoke (JSON reports only) =="
   mkdir -p build/bench-smoke
-  for bench in bench_range_queries bench_intra_backend; do
+  for bench in bench_range_queries bench_intra_backend bench_fault_recovery; do
     (cd build/bench-smoke && "../bench/${bench}" --benchmark_filter='^$')
   done
   ls build/bench-smoke/BENCH_*.json
@@ -46,6 +48,16 @@ else
   (cd build-tsan && \
     TSAN_OPTIONS="halt_on_error=1" \
     ctest --output-on-failure -j "${JOBS}" ${MLDS_TSAN_FILTER:+-R "${MLDS_TSAN_FILTER}"})
+  # Fault-matrix smoke: the failover and crash-recovery suites rerun
+  # race-checked with every injected-fault path (error/stall/crash,
+  # deadline abandonment, quarantine catch-up, reintegration hand-off)
+  # exercised — the fan-out/cancellation machinery is exactly where a
+  # data race would hide.
+  echo "== TSan fault matrix =="
+  (cd build-tsan && \
+    TSAN_OPTIONS="halt_on_error=1" \
+    ctest --output-on-failure -j "${JOBS}" \
+      -R 'BackendFailover|WalRecovery|FailureInjection')
 fi
 
 if [[ "${MLDS_SKIP_ASAN:-0}" == "1" ]]; then
@@ -57,6 +69,17 @@ else
   (cd build-asan && \
     ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ctest --output-on-failure -j "${JOBS}")
+fi
+
+if [[ "${MLDS_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "== UBSan run skipped (MLDS_SKIP_UBSAN=1) =="
+else
+  echo "== UndefinedBehaviorSanitizer build =="
+  cmake -B build-ubsan -S . -DMLDS_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "${JOBS}"
+  # -fno-sanitize-recover=all makes any UB hit abort the test, so the
+  # fuzzers' mangled snapshots/logs fail loudly instead of printing.
+  (cd build-ubsan && ctest --output-on-failure -j "${JOBS}")
 fi
 
 echo "== all checks passed =="
