@@ -1,0 +1,297 @@
+// E-server — the wire protocol's cost and its admission control.
+//
+// This PR put MLDS behind a TCP session server: binary frames, one
+// session per connection, a reader/worker pair per session, and
+// admission control that rejects (never queues) past the session cap.
+// The bench prices that design:
+//
+//  - throughput_vs_clients: requests/sec of a fixed SQL read as client
+//    threads grow; sessions execute concurrently against the shared
+//    kernel, so throughput should scale past one client before the
+//    kernel's locks flatten it.
+//  - wire_overhead: the same statement through an in-process session vs
+//    over the loopback wire — the frame + socket tax per request.
+//  - admission_control: 2x the session cap connecting at once; the
+//    overflow half receives structured BUSY rejections immediately
+//    (rejection latency is bounded by the accept loop, not by running
+//    sessions), and the admitted half completes its workload.
+//
+// main() writes BENCH_server.json, then runs the registered
+// google-benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "client/client.h"
+#include "mlds/mlds.h"
+#include "server/demo.h"
+#include "server/server.h"
+#include "server/session.h"
+
+namespace {
+
+using namespace mlds;
+
+constexpr const char* kStatement = "SELECT name FROM staff WHERE wage > 80";
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// A demo-loaded system plus a running server.
+struct Harness {
+  explicit Harness(server::ServerOptions options = {}) {
+    ok = server::LoadDemoDatabases(&system).ok();
+    if (!ok) return;
+    server = std::make_unique<server::MldsServer>(&system, options);
+    ok = server->Start().ok();
+  }
+  ~Harness() {
+    if (server != nullptr) server->Shutdown();
+  }
+  MldsSystem system;
+  std::unique_ptr<server::MldsServer> server;
+  bool ok = false;
+};
+
+struct ThroughputPoint {
+  int clients = 0;
+  int total_requests = 0;
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+};
+
+/// `clients` threads, each its own session, each issuing
+/// `requests_per_client` reads; wall time spans first byte to last.
+ThroughputPoint MeasureThroughput(int clients, int requests_per_client) {
+  ThroughputPoint out;
+  out.clients = clients;
+  out.total_requests = clients * requests_per_client;
+  server::ServerOptions options;
+  options.max_sessions = clients + 2;
+  Harness harness(options);
+  if (!harness.ok) return out;
+
+  // Connect everyone and bind SQL before the clock starts.
+  std::vector<client::MldsClient> sessions(clients);
+  for (client::MldsClient& session : sessions) {
+    if (!session.Connect("127.0.0.1", harness.server->port()).ok()) return out;
+    if (!session.Use("sql", "payroll").ok()) return out;
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        if (!sessions[c].Execute(kStatement).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  out.wall_ms = ElapsedMs(start);
+  if (failures.load() == 0 && out.wall_ms > 0.0) {
+    out.requests_per_sec = out.total_requests / (out.wall_ms / 1000.0);
+  }
+  for (client::MldsClient& session : sessions) (void)session.Close();
+  return out;
+}
+
+/// The same statement through an in-process session: no frames, no
+/// sockets, same formatters — the baseline the wire tax is measured
+/// against.
+double MeasureInProcessMs(int requests) {
+  MldsSystem system;
+  if (!server::LoadDemoDatabases(&system).ok()) return -1.0;
+  server::Session session(1, &system);
+  if (!session.Use({"sql", "payroll"}).ok()) return -1.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    auto result = session.Execute(kStatement, /*explain=*/false);
+    if (!result.ok()) return -1.0;
+    benchmark::DoNotOptimize(result->body.size());
+  }
+  return ElapsedMs(start);
+}
+
+struct AdmissionOutcome {
+  int attempted = 0;
+  int admitted = 0;
+  int busy_rejected = 0;
+  int other_failures = 0;
+  double max_rejection_ms = 0.0;
+  bool admitted_all_completed = false;
+  uint64_t server_counted_rejections = 0;
+};
+
+/// 2x the cap connects at once; the overflow must be rejected with BUSY
+/// (kUnavailable), immediately, while admitted sessions finish real work.
+AdmissionOutcome MeasureAdmission(int cap, int requests_per_client) {
+  AdmissionOutcome out;
+  out.attempted = cap * 2;
+  server::ServerOptions options;
+  options.max_sessions = cap;
+  Harness harness(options);
+  if (!harness.ok) return out;
+
+  std::atomic<int> admitted{0}, busy{0}, other{0}, completed{0};
+  std::atomic<int64_t> worst_reject_us{0};
+  std::vector<std::thread> threads;
+  threads.reserve(out.attempted);
+  for (int c = 0; c < out.attempted; ++c) {
+    threads.emplace_back([&] {
+      client::MldsClient session;
+      const auto start = std::chrono::steady_clock::now();
+      const Status connected =
+          session.Connect("127.0.0.1", harness.server->port());
+      if (!connected.ok()) {
+        if (connected.code() == StatusCode::kUnavailable) {
+          busy.fetch_add(1);
+          const auto us = static_cast<int64_t>(ElapsedMs(start) * 1000.0);
+          int64_t seen = worst_reject_us.load();
+          while (us > seen &&
+                 !worst_reject_us.compare_exchange_weak(seen, us)) {
+          }
+        } else {
+          other.fetch_add(1);
+        }
+        return;
+      }
+      admitted.fetch_add(1);
+      if (!session.Use("sql", "payroll").ok()) return;
+      for (int i = 0; i < requests_per_client; ++i) {
+        if (!session.Execute(kStatement).ok()) return;
+      }
+      completed.fetch_add(1);
+      (void)session.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  out.admitted = admitted.load();
+  out.busy_rejected = busy.load();
+  out.other_failures = other.load();
+  out.max_rejection_ms = worst_reject_us.load() / 1000.0;
+  out.admitted_all_completed = completed.load() == out.admitted;
+  out.server_counted_rejections =
+      harness.server->stats().sessions_rejected;
+  return out;
+}
+
+void WriteServerJson(const char* path) {
+  bench::BenchReport report("server");
+
+  constexpr int kRequestsPerClient = 300;
+  double one_client_rps = 0.0, best_rps = 0.0;
+  for (int clients : {1, 2, 4, 8}) {
+    const ThroughputPoint p =
+        MeasureThroughput(clients, kRequestsPerClient);
+    if (clients == 1) one_client_rps = p.requests_per_sec;
+    best_rps = std::max(best_rps, p.requests_per_sec);
+    report.AddRow("throughput_vs_clients")
+        .Set("clients", p.clients)
+        .Set("total_requests", p.total_requests)
+        .Set("wall_ms", p.wall_ms)
+        .Set("requests_per_sec", p.requests_per_sec);
+  }
+  report.root().Set("scales_past_one_client", best_rps > one_client_rps);
+
+  constexpr int kOverheadRequests = 500;
+  const double in_process_ms = MeasureInProcessMs(kOverheadRequests);
+  const ThroughputPoint wire = MeasureThroughput(1, kOverheadRequests);
+  const double per_request_us =
+      (wire.wall_ms - in_process_ms) / kOverheadRequests * 1000.0;
+  report.root()
+      .Set("overhead_requests", kOverheadRequests)
+      .Set("in_process_wall_ms", in_process_ms)
+      .Set("wire_wall_ms", wire.wall_ms)
+      .Set("wire_tax_us_per_request", per_request_us);
+
+  constexpr int kCap = 4;
+  const AdmissionOutcome admission = MeasureAdmission(kCap, 50);
+  report.root()
+      .Set("admission_cap", kCap)
+      .Set("admission_attempted", admission.attempted)
+      .Set("admission_admitted", admission.admitted)
+      .Set("admission_busy_rejected", admission.busy_rejected)
+      .Set("admission_other_failures", admission.other_failures)
+      .Set("admission_max_rejection_ms", admission.max_rejection_ms)
+      .Set("admission_admitted_all_completed",
+           admission.admitted_all_completed)
+      .Set("admission_server_counted_rejections",
+           admission.server_counted_rejections);
+
+  if (report.Write(path)) {
+    std::printf(
+        "wrote %s (1 client %.0f req/s, best %.0f req/s, wire tax "
+        "%.1f us/req, admission %d admitted / %d busy of %d)\n",
+        path, one_client_rps, best_rps, per_request_us,
+        admission.admitted, admission.busy_rejected, admission.attempted);
+  }
+}
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  Harness harness;
+  client::MldsClient session;
+  if (!harness.ok ||
+      !session.Connect("127.0.0.1", harness.server->port()).ok() ||
+      !session.Use("sql", "payroll").ok()) {
+    state.SkipWithError("server setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = session.Execute(kStatement);
+    if (!result.ok()) {
+      state.SkipWithError("execute failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->body.size());
+  }
+}
+BENCHMARK(BM_WireRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_InProcessSession(benchmark::State& state) {
+  MldsSystem system;
+  if (!server::LoadDemoDatabases(&system).ok()) {
+    state.SkipWithError("demo load failed");
+    return;
+  }
+  server::Session session(1, &system);
+  if (!session.Use({"sql", "payroll"}).ok()) {
+    state.SkipWithError("use failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = session.Execute(kStatement, false);
+    if (!result.ok()) {
+      state.SkipWithError("execute failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->body.size());
+  }
+}
+BENCHMARK(BM_InProcessSession)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WriteServerJson("BENCH_server.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

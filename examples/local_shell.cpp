@@ -1,5 +1,7 @@
-// An interactive MLDS shell over all four user data models. Statements
-// route to a language interface by their leading keyword:
+// An interactive in-process MLDS shell over all four user data models
+// (the networked equivalent is tools/mlds_shell, which talks to
+// tools/mlds_server over the wire protocol). Statements route to a
+// language interface by their leading keyword:
 //
 //   CODASYL-DML  (university, functional database accessed cross-model):
 //       MOVE / FIND / GET / STORE / CONNECT / DISCONNECT / RECONNECT /
@@ -19,7 +21,7 @@
 //
 //   echo "MOVE 'Advanced Database' TO title IN course
 //   EXPLAIN FIND ANY course USING title IN course
-//   GET" | ./mlds_shell
+//   GET" | ./local_shell
 
 #include <cstdio>
 #include <iostream>

@@ -1,0 +1,173 @@
+#include "client/client.h"
+
+#include <utility>
+
+#include "common/socket.h"
+#include "kfs/formatter.h"
+
+namespace mlds::client {
+
+namespace {
+
+/// Turns a BUSY payload into the kUnavailable the caller backs off on.
+Status BusyToStatus(std::string_view payload) {
+  Result<wire::BusyReply> busy = wire::DecodeBusyReply(payload);
+  if (!busy.ok()) return Status::Unavailable("server busy");
+  return Status::Unavailable("server busy: " + busy->scope + " limit " +
+                             std::to_string(busy->limit) + " reached (" +
+                             std::to_string(busy->active) + " active)");
+}
+
+}  // namespace
+
+MldsClient::~MldsClient() { Drop(); }
+
+MldsClient::MldsClient(MldsClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      session_id_(std::exchange(other.session_id_, 0)),
+      decoder_(std::move(other.decoder_)) {}
+
+MldsClient& MldsClient::operator=(MldsClient&& other) noexcept {
+  if (this != &other) {
+    Drop();
+    fd_ = std::exchange(other.fd_, -1);
+    session_id_ = std::exchange(other.session_id_, 0);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+void MldsClient::Drop() {
+  if (fd_ >= 0) {
+    common::CloseSocket(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+}
+
+Status MldsClient::Connect(const std::string& host, uint16_t port,
+                           std::string_view client_name) {
+  if (connected()) return Status::InvalidArgument("already connected");
+  MLDS_ASSIGN_OR_RETURN(fd_, common::ConnectTcp(host, port));
+  decoder_ = common::FrameDecoder();
+  Result<common::Frame> reply =
+      RoundTrip(wire::FrameType::kHello, std::string(client_name));
+  if (!reply.ok()) {
+    Drop();
+    return reply.status();
+  }
+  session_id_ = reply->session_id;
+  return Status::OK();
+}
+
+Status MldsClient::Use(std::string_view language,
+                       std::string_view database) {
+  wire::UseRequest request{std::string(language), std::string(database)};
+  MLDS_ASSIGN_OR_RETURN(
+      common::Frame reply,
+      RoundTrip(wire::FrameType::kUse, wire::EncodeUseRequest(request)));
+  (void)reply;
+  return Status::OK();
+}
+
+Result<wire::ExecuteResult> MldsClient::Execute(std::string_view statement) {
+  MLDS_ASSIGN_OR_RETURN(
+      common::Frame reply,
+      RoundTrip(wire::FrameType::kExecute, std::string(statement)));
+  return wire::DecodeExecuteResult(reply.payload);
+}
+
+Result<wire::ExecuteResult> MldsClient::Explain(std::string_view statement) {
+  MLDS_ASSIGN_OR_RETURN(
+      common::Frame reply,
+      RoundTrip(wire::FrameType::kExplain, std::string(statement)));
+  return wire::DecodeExecuteResult(reply.payload);
+}
+
+Result<std::string> MldsClient::HealthText() {
+  MLDS_ASSIGN_OR_RETURN(common::Frame reply,
+                        RoundTrip(wire::FrameType::kHealth, std::string()));
+  return std::move(reply.payload);
+}
+
+Result<kc::KernelHealth> MldsClient::Health() {
+  MLDS_ASSIGN_OR_RETURN(std::string text, HealthText());
+  return kfs::ParseHealth(text);
+}
+
+Result<wire::StatsReply> MldsClient::Stats() {
+  MLDS_ASSIGN_OR_RETURN(common::Frame reply,
+                        RoundTrip(wire::FrameType::kStats, std::string()));
+  return wire::DecodeStatsReply(reply.payload);
+}
+
+Status MldsClient::RequestShutdown() {
+  MLDS_ASSIGN_OR_RETURN(
+      common::Frame reply,
+      RoundTrip(wire::FrameType::kShutdown, std::string()));
+  (void)reply;
+  return Status::OK();
+}
+
+Status MldsClient::Close() {
+  if (!connected()) return Status::OK();
+  Result<common::Frame> reply =
+      RoundTrip(wire::FrameType::kBye, std::string());
+  Drop();
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+Result<common::Frame> MldsClient::RoundTrip(wire::FrameType type,
+                                            std::string payload) {
+  if (!connected()) return Status::InvalidArgument("not connected");
+  common::Frame request;
+  request.type = static_cast<uint8_t>(type);
+  request.session_id = session_id_;
+  request.payload = std::move(payload);
+  Status sent = common::SendAll(fd_, common::EncodeFrame(request));
+  if (!sent.ok()) {
+    Drop();
+    return sent;
+  }
+  MLDS_ASSIGN_OR_RETURN(common::Frame reply, ReadFrame());
+  switch (static_cast<wire::FrameType>(reply.type)) {
+    case wire::FrameType::kError:
+      return wire::DecodeStatus(reply.payload);
+    case wire::FrameType::kBusy: {
+      const Status busy = BusyToStatus(reply.payload);
+      // A session-scope BUSY precedes a server-side close: drop now so
+      // callers see a clean "not connected" rather than a recv error.
+      if (reply.session_id == 0) Drop();
+      return busy;
+    }
+    default:
+      return reply;
+  }
+}
+
+Result<common::Frame> MldsClient::ReadFrame() {
+  char buffer[4096];
+  while (true) {
+    common::FrameDecoder::Decoded decoded = decoder_.Next();
+    if (decoded.event == common::FrameDecoder::Event::kFrame) {
+      return std::move(decoded.frame);
+    }
+    if (decoded.event == common::FrameDecoder::Event::kError) {
+      const std::string error = decoder_.error();
+      Drop();
+      return Status::Internal("response stream corrupt: " + error);
+    }
+    Result<size_t> received = common::RecvSome(fd_, buffer, sizeof(buffer));
+    if (!received.ok()) {
+      Drop();
+      return received.status();
+    }
+    if (*received == 0) {
+      Drop();
+      return Status::Unavailable("server closed the connection");
+    }
+    decoder_.Feed(std::string_view(buffer, *received));
+  }
+}
+
+}  // namespace mlds::client

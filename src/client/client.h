@@ -1,0 +1,82 @@
+#ifndef MLDS_CLIENT_CLIENT_H_
+#define MLDS_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/frame.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "kc/executor.h"
+#include "server/wire.h"
+
+namespace mlds::client {
+
+/// Synchronous client for the MLDS wire protocol: one TCP connection,
+/// one session, one request in flight at a time. Every call sends a
+/// frame and blocks until the matching response frame arrives; server
+/// errors come back as the Status in-process execution would have
+/// returned, and admission-control BUSY rejections surface as
+/// kUnavailable with the structured scope/active/limit in the message.
+///
+/// Not thread-safe: one client per thread, or external locking.
+class MldsClient {
+ public:
+  MldsClient() = default;
+  ~MldsClient();
+
+  MldsClient(const MldsClient&) = delete;
+  MldsClient& operator=(const MldsClient&) = delete;
+  MldsClient(MldsClient&& other) noexcept;
+  MldsClient& operator=(MldsClient&& other) noexcept;
+
+  /// Connects and performs the HELLO handshake, capturing the session id
+  /// the server assigned. A server at its session cap answers BUSY; that
+  /// surfaces here as kUnavailable.
+  Status Connect(const std::string& host, uint16_t port,
+                 std::string_view client_name = "mlds-client");
+
+  bool connected() const { return fd_ >= 0; }
+  uint32_t session_id() const { return session_id_; }
+
+  /// Binds the session to a language interface over a loaded database.
+  /// Languages: codasyl (alias dml) | daplex | sql | dli | abdl.
+  Status Use(std::string_view language, std::string_view database);
+
+  /// Executes one statement in the bound language. The result body is
+  /// byte-identical to in-process execution of the same statement.
+  Result<wire::ExecuteResult> Execute(std::string_view statement);
+
+  /// Executes with plan annotation (SQL / CODASYL-DML / ABDL only).
+  Result<wire::ExecuteResult> Explain(std::string_view statement);
+
+  /// Kernel health, parsed back into the in-process structure.
+  Result<kc::KernelHealth> Health();
+  /// Kernel health as the serialized wire text.
+  Result<std::string> HealthText();
+
+  /// Admin: translation-cache and server counters.
+  Result<wire::StatsReply> Stats();
+
+  /// Admin: asks the server to drain and stop.
+  Status RequestShutdown();
+
+  /// Graceful goodbye: sends BYE, waits for the ack, closes the socket.
+  /// The destructor closes without the handshake.
+  Status Close();
+
+ private:
+  Result<common::Frame> RoundTrip(wire::FrameType type,
+                                  std::string payload);
+  Result<common::Frame> ReadFrame();
+  void Drop();
+
+  int fd_ = -1;
+  uint32_t session_id_ = 0;
+  common::FrameDecoder decoder_;
+};
+
+}  // namespace mlds::client
+
+#endif  // MLDS_CLIENT_CLIENT_H_

@@ -1,0 +1,17 @@
+#include "common/checksum.h"
+
+namespace mlds::common {
+
+uint64_t Fnv1a64Continue(uint64_t state, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    state ^= c;
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64Continue(0xcbf29ce484222325ull, bytes);
+}
+
+}  // namespace mlds::common

@@ -1,0 +1,23 @@
+#ifndef MLDS_COMMON_CHECKSUM_H_
+#define MLDS_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mlds::common {
+
+/// FNV-1a 64-bit hash of `bytes`. The system's one integrity checksum:
+/// the WAL frames every log entry with it (kds::WalChecksum) and the wire
+/// protocol frames every network payload with it (common::EncodeFrame),
+/// so a torn log tail and a corrupted TCP frame are caught by the same
+/// arithmetic.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Continues an FNV-1a hash from `state` (a prior Fnv1a64 result) over
+/// more bytes — lets the wire framing checksum header and payload
+/// without concatenating them.
+uint64_t Fnv1a64Continue(uint64_t state, std::string_view bytes);
+
+}  // namespace mlds::common
+
+#endif  // MLDS_COMMON_CHECKSUM_H_

@@ -1,0 +1,178 @@
+#include "common/frame.h"
+
+#include "common/checksum.h"
+
+namespace mlds::common {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffffull));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t ReadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t ReadU64(const char* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         (static_cast<uint64_t>(ReadU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(0);  // flags low byte
+  out.push_back(0);  // flags high byte
+  AppendU32(&out, frame.session_id);
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  // The checksum covers the header prefix and the payload, so a flipped
+  // type or session_id byte is caught, not just payload corruption.
+  const uint64_t prefix = Fnv1a64(std::string_view(out.data(), 16));
+  AppendU64(&out, Fnv1a64Continue(prefix, frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) return;
+  // Compact once the consumed prefix dominates, keeping the buffer
+  // proportional to the unconsumed tail.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Decoded FrameDecoder::Fail(std::string message) {
+  poisoned_ = true;
+  error_ = std::move(message);
+  buffer_.clear();
+  consumed_ = 0;
+  Decoded out;
+  out.event = Event::kError;
+  return out;
+}
+
+FrameDecoder::Decoded FrameDecoder::Next() {
+  Decoded out;
+  if (poisoned_) {
+    out.event = Event::kError;
+    return out;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) {
+    out.event = Event::kNeedMore;
+    return out;
+  }
+  const char* header = buffer_.data() + consumed_;
+  if (ReadU32(header) != kFrameMagic) {
+    return Fail("bad frame magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(header[4]);
+  if (version != kFrameVersion) {
+    return Fail("unsupported frame version " + std::to_string(version));
+  }
+  if (header[6] != 0 || header[7] != 0) {
+    return Fail("nonzero reserved frame flags");
+  }
+  const uint32_t payload_len = ReadU32(header + 12);
+  if (payload_len > max_payload_) {
+    // Rejected from the header alone: the attacker's claimed length is
+    // never allocated or waited for.
+    return Fail("frame payload of " + std::to_string(payload_len) +
+                " bytes exceeds the " + std::to_string(max_payload_) +
+                "-byte limit");
+  }
+  if (available < kFrameHeaderBytes + payload_len) {
+    out.event = Event::kNeedMore;
+    return out;
+  }
+  std::string_view payload(buffer_.data() + consumed_ + kFrameHeaderBytes,
+                           payload_len);
+  const uint64_t prefix = Fnv1a64(std::string_view(header, 16));
+  if (Fnv1a64Continue(prefix, payload) != ReadU64(header + 16)) {
+    return Fail("frame checksum mismatch");
+  }
+  out.event = Event::kFrame;
+  out.frame.type = static_cast<uint8_t>(header[5]);
+  out.frame.session_id = ReadU32(header + 8);
+  out.frame.payload.assign(payload.data(), payload.size());
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return out;
+}
+
+void PayloadWriter::PutU32(uint32_t v) { AppendU32(&buffer_, v); }
+
+void PayloadWriter::PutU64(uint64_t v) { AppendU64(&buffer_, v); }
+
+void PayloadWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(&buffer_, bits);
+}
+
+void PayloadWriter::PutString(std::string_view s) {
+  AppendU32(&buffer_, static_cast<uint32_t>(s.size()));
+  buffer_.append(s.data(), s.size());
+}
+
+bool PayloadReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return true;
+}
+
+bool PayloadReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = ReadU32(data_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool PayloadReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = ReadU64(data_.data() + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool PayloadReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool PayloadReader::GetString(std::string* s) {
+  if (remaining() < 4) return false;
+  const uint32_t length = ReadU32(data_.data() + pos_);
+  if (remaining() - 4 < length) return false;
+  pos_ += 4;
+  s->assign(data_.data() + pos_, length);
+  pos_ += length;
+  return true;
+}
+
+}  // namespace mlds::common

@@ -1,0 +1,142 @@
+#ifndef MLDS_COMMON_FRAME_H_
+#define MLDS_COMMON_FRAME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mlds::common {
+
+/// The MLDS wire frame: the length-prefixed, checksummed envelope every
+/// client/server message travels in. Layout (all integers little-endian,
+/// 24-byte header followed by the payload):
+///
+///   offset  size  field
+///        0     4  magic       0x4D4C4453 ("MLDS")
+///        4     1  version     kFrameVersion
+///        5     1  type        message type (see server/wire.h)
+///        6     2  flags       reserved, must be zero
+///        8     4  session_id  0 before a session is assigned
+///       12     4  payload_len bytes of payload following the header
+///       16     8  checksum    Fnv1a64 of header bytes [0,16) + payload
+///       24     n  payload
+///
+/// The length prefix makes the stream self-delimiting, the checksum
+/// catches corruption the same way the WAL's entry framing does, and the
+/// fixed header lets the decoder reject oversized or garbage frames
+/// before buffering a single payload byte.
+
+inline constexpr uint32_t kFrameMagic = 0x4D4C4453;  // "MLDS"
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Default ceiling on one frame's payload. Statements and formatted
+/// result tables are small; anything near this is hostile or broken.
+inline constexpr size_t kDefaultMaxPayload = 1 << 20;
+
+struct Frame {
+  uint8_t type = 0;
+  uint32_t session_id = 0;
+  std::string payload;
+};
+
+/// Renders `frame` as header + payload bytes, computing the checksum.
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental, hostile-input-safe frame decoder. Feed() appends raw
+/// bytes from the transport; Next() yields decoded frames one at a time.
+/// Any malformed header (bad magic, unknown version, nonzero reserved
+/// flags, payload length above the limit) or checksum mismatch poisons
+/// the decoder — the stream has lost framing and the connection must be
+/// dropped — but never crashes, hangs, or allocates the attacker's
+/// claimed payload length.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends transport bytes. Bytes beyond a poisoned stream are
+  /// discarded (the connection is dead anyway).
+  void Feed(std::string_view bytes);
+
+  enum class Event {
+    kFrame,     ///< one complete frame decoded.
+    kNeedMore,  ///< no complete frame buffered yet.
+    kError,     ///< stream corrupt; decoder poisoned. See error().
+  };
+
+  struct Decoded {
+    Event event = Event::kNeedMore;
+    Frame frame;  ///< valid only when event == kFrame.
+  };
+
+  /// Decodes the next frame out of the buffer.
+  Decoded Next();
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered; bounded by one header + max_payload plus
+  /// whatever one Feed() call handed over in excess of a frame boundary.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  size_t max_payload() const { return max_payload_; }
+
+ private:
+  Decoded Fail(std::string message);
+
+  size_t max_payload_;
+  std::string buffer_;
+  /// Prefix of `buffer_` already decoded; compacted lazily so Feed() is
+  /// amortized O(bytes).
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+/// Builder for frame payloads: fixed-width little-endian integers and
+/// length-prefixed strings, mirrored by PayloadReader.
+class PayloadWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern in a u64.
+  void PutDouble(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a frame payload. Every getter returns
+/// false (without advancing) once the payload is exhausted or a length
+/// prefix overruns the remaining bytes, so malformed payloads decode to
+/// clean errors rather than out-of-bounds reads.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetDouble(double* v);
+  bool GetString(std::string* s);
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mlds::common
+
+#endif  // MLDS_COMMON_FRAME_H_

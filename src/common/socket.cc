@@ -1,0 +1,125 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mlds::common {
+
+namespace {
+
+Status ErrnoStatus(std::string_view what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+Result<sockaddr_in> ResolveLoopbackOrIp(const std::string& host,
+                                        uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' as an IPv4 address");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  MLDS_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveLoopbackOrIp(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = ErrnoStatus("bind " + host + ":" +
+                                      std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = ErrnoStatus("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  MLDS_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveLoopbackOrIp(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("connect " + host + ":" +
+                                      std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptConnection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return ErrnoStatus("accept");
+  }
+}
+
+Status SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, char* buffer, size_t capacity) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv");
+  }
+}
+
+void ShutdownRead(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void ShutdownBoth(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace mlds::common

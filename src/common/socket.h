@@ -1,0 +1,45 @@
+#ifndef MLDS_COMMON_SOCKET_H_
+#define MLDS_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mlds::common {
+
+/// Thin POSIX TCP helpers shared by the wire server and the client
+/// library. All functions return Status/Result instead of errno and
+/// never raise SIGPIPE.
+
+/// Creates a listening socket bound to `host:port` (port 0 picks an
+/// ephemeral port; read it back with BoundPort). Returns the fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+/// Connects to `host:port` and returns the fd (TCP_NODELAY set: frames
+/// are small request/response units).
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// The local port `fd` is bound to.
+Result<uint16_t> BoundPort(int fd);
+
+/// Blocks until one connection arrives on `listen_fd`. An error usually
+/// means the listener was shut down.
+Result<int> AcceptConnection(int listen_fd);
+
+/// Sends all of `bytes`, looping over partial writes.
+Status SendAll(int fd, std::string_view bytes);
+
+/// Receives up to `capacity` bytes into `buffer`. Returns 0 on orderly
+/// peer shutdown; an error Status on connection failure.
+Result<size_t> RecvSome(int fd, char* buffer, size_t capacity);
+
+/// Half-close helpers; safe on already-closed fds (< 0 ignored).
+void ShutdownRead(int fd);
+void ShutdownBoth(int fd);
+void CloseSocket(int fd);
+
+}  // namespace mlds::common
+
+#endif  // MLDS_COMMON_SOCKET_H_

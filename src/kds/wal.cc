@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "abdl/parser.h"
+#include "common/checksum.h"
 #include "common/strings.h"
 #include "kds/engine.h"
 #include "kds/snapshot.h"
@@ -41,12 +42,9 @@ std::string FrameEntry(std::string_view payload) {
 }  // namespace
 
 uint64_t WalChecksum(std::string_view payload) {
-  uint64_t hash = 0xcbf29ce484222325ull;
-  for (unsigned char c : payload) {
-    hash ^= c;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
+  // The shared integrity primitive: the wire protocol's frame checksum
+  // (common/frame.h) is this same hash over network payloads.
+  return common::Fnv1a64(payload);
 }
 
 Result<abdm::ValueKind> ParseAttributeKind(std::string_view name) {

@@ -1,8 +1,10 @@
 #include "kfs/formatter.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "abdm/value.h"
+#include "common/strings.h"
 
 namespace mlds::kfs {
 
@@ -174,6 +176,133 @@ std::string FormatWarnings(
            warning.state;
     if (!warning.detail.empty()) out += " — " + warning.detail;
     out += '\n';
+  }
+  return out;
+}
+
+std::string SerializeHealth(const kc::KernelHealth& health) {
+  std::string out = "degraded ";
+  out += health.degraded ? '1' : '0';
+  out += '\n';
+  for (const kc::BackendHealthStatus& backend : health.backends) {
+    out += "backend " + std::to_string(backend.id) + " " + backend.state +
+           " " + std::to_string(backend.wal_entries) + " " +
+           std::to_string(backend.quarantine_count);
+    if (!backend.last_fault.empty()) out += " " + backend.last_fault;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits on runs of spaces. Health text is machine-generated, but it
+/// arrives over the network, so parsing stays allocation-bounded and
+/// exception-free like the WAL/snapshot scanners.
+std::vector<std::string_view> WordsOf(std::string_view line) {
+  std::vector<std::string_view> words;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) words.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return words;
+}
+
+bool ParseUint(std::string_view text, uint64_t* value) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+Result<kc::KernelHealth> ParseHealth(std::string_view text) {
+  kc::KernelHealth health;
+  bool saw_degraded = false;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string_view> words = WordsOf(line);
+    if (words.empty()) continue;
+    if (words[0] == "degraded") {
+      if (words.size() != 2 || (words[1] != "0" && words[1] != "1")) {
+        return Status::ParseError("malformed degraded line in health text");
+      }
+      health.degraded = words[1] == "1";
+      saw_degraded = true;
+      continue;
+    }
+    if (words[0] == "backend") {
+      if (words.size() < 5) {
+        return Status::ParseError("malformed backend line in health text");
+      }
+      kc::BackendHealthStatus backend;
+      uint64_t id = 0;
+      if (!ParseUint(words[1], &id) ||
+          !ParseUint(words[3], &backend.wal_entries) ||
+          !ParseUint(words[4], &backend.quarantine_count)) {
+        return Status::ParseError("non-numeric field in health backend line");
+      }
+      backend.id = static_cast<int>(id);
+      backend.state = std::string(words[2]);
+      for (size_t i = 5; i < words.size(); ++i) {
+        if (!backend.last_fault.empty()) backend.last_fault += ' ';
+        backend.last_fault += std::string(words[i]);
+      }
+      health.backends.push_back(std::move(backend));
+      continue;
+    }
+    return Status::ParseError("unknown line '" + std::string(words[0]) +
+                              "' in health text");
+  }
+  if (!saw_degraded) {
+    return Status::ParseError("health text carries no degraded line");
+  }
+  return health;
+}
+
+std::string FormatDmlResult(const kms::DmlResult& result) {
+  std::string out;
+  if (!result.records.empty()) out += FormatTable(result.records);
+  if (!result.info.empty()) out += result.info + "\n";
+  if (result.plan != nullptr) {
+    PlanFormatOptions plan_options;
+    plan_options.header = "ABDL REQUEST PLAN";
+    out += FormatPlan(*result.plan, plan_options);
+  }
+  return out;
+}
+
+std::string FormatSqlOutcome(const kms::SqlMachine::Outcome& outcome) {
+  std::string out;
+  if (!outcome.rows.empty()) {
+    out += FormatTable(outcome.rows);
+  } else if (!outcome.info.empty()) {
+    out += outcome.info + "\n";
+  }
+  if (outcome.plan != nullptr) out += FormatPlan(*outcome.plan);
+  return out;
+}
+
+std::string FormatDaplexOutcome(const kms::DaplexMachine::Outcome& outcome) {
+  std::string out;
+  if (!outcome.records.empty()) {
+    out += FormatTable(outcome.records);
+  } else if (!outcome.info.empty()) {
+    out += outcome.info + "\n";
+  }
+  return out;
+}
+
+std::string FormatDliOutcome(const kms::DliMachine::Outcome& outcome) {
+  std::string out;
+  if (!outcome.segments.empty()) {
+    out += FormatTable(outcome.segments);
+  } else if (!outcome.info.empty()) {
+    out += outcome.info + "\n";
   }
   return out;
 }

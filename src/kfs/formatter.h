@@ -5,9 +5,14 @@
 #include <vector>
 
 #include "abdm/record.h"
+#include "common/result.h"
 #include "kc/executor.h"
 #include "kds/engine.h"
 #include "kds/plan.h"
+#include "kms/daplex_machine.h"
+#include "kms/dli_machine.h"
+#include "kms/dml_machine.h"
+#include "kms/sql_machine.h"
 #include "network/schema.h"
 
 namespace mlds::kfs {
@@ -70,6 +75,27 @@ std::string FormatHealth(const kc::KernelHealth& health);
 /// there are none, so callers can append it unconditionally.
 std::string FormatWarnings(
     const std::vector<kds::PartialResultWarning>& warnings);
+
+/// Serializes a KernelHealth to the line-oriented wire form the server's
+/// HEALTH reply carries:
+///
+///   degraded 0|1
+///   backend <id> <state> <wal_entries> <quarantine_count>[ <last fault>]
+///
+/// ParseHealth inverts it, so a remote client reconstructs the exact
+/// structure an in-process caller gets from executor()->Health() and can
+/// render it with FormatHealth to identical bytes.
+std::string SerializeHealth(const kc::KernelHealth& health);
+Result<kc::KernelHealth> ParseHealth(std::string_view text);
+
+/// Canonical renderings of the four language machines' outcomes — the
+/// exact bytes a language user sees. Both the interactive shells and the
+/// wire server reply with these, which is what makes a remote result
+/// byte-identical to in-process execution.
+std::string FormatDmlResult(const kms::DmlResult& result);
+std::string FormatSqlOutcome(const kms::SqlMachine::Outcome& outcome);
+std::string FormatDaplexOutcome(const kms::DaplexMachine::Outcome& outcome);
+std::string FormatDliOutcome(const kms::DliMachine::Outcome& outcome);
 
 }  // namespace mlds::kfs
 

@@ -131,6 +131,10 @@ class MldsSystem {
   /// status is reachable programmatically through any session's Health().
   std::string HealthReport() const;
 
+  /// The structured form of HealthReport: what the wire server serializes
+  /// for remote HEALTH requests (kfs::SerializeHealth / ParseHealth).
+  kc::KernelHealth Health() const { return executor_->Health(); }
+
   /// The compiled-translation cache shared by all sessions of every
   /// language. Loading any database bumps its schema epoch, invalidating
   /// every cached translation.

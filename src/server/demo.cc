@@ -1,0 +1,67 @@
+#include "server/demo.h"
+
+#include <string>
+#include <vector>
+
+#include "kms/dli_machine.h"
+#include "kms/sql_machine.h"
+#include "university/university.h"
+
+namespace mlds::server {
+
+Status LoadDemoDatabases(MldsSystem* system) {
+  MLDS_RETURN_IF_ERROR(
+      system->LoadFunctionalDatabase(university::kUniversityDaplexDdl));
+  university::UniversityConfig config;
+  MLDS_ASSIGN_OR_RETURN(
+      university::LoadSummary summary,
+      university::BuildUniversityDatabaseOnLoaded(config, system->executor()));
+  (void)summary;
+
+  MLDS_RETURN_IF_ERROR(system->LoadRelationalDatabase(
+      "SCHEMA payroll;"
+      "CREATE TABLE staff (name CHAR(12) NOT NULL, wage FLOAT, "
+      "UNIQUE (name));"));
+  {
+    const relational::Schema* schema = system->FindRelationalSchema("payroll");
+    kms::SqlMachine sql(schema, system->executor());
+    const std::vector<std::string> rows = {
+        "INSERT INTO staff (name, wage) VALUES ('ada', 91.5)",
+        "INSERT INTO staff (name, wage) VALUES ('grace', 87.0)",
+        "INSERT INTO staff (name, wage) VALUES ('edsger', 72.25)",
+    };
+    for (const std::string& row : rows) {
+      MLDS_ASSIGN_OR_RETURN(kms::SqlMachine::Outcome outcome,
+                            sql.ExecuteText(row));
+      (void)outcome;
+    }
+  }
+
+  MLDS_RETURN_IF_ERROR(system->LoadHierarchicalDatabase(
+      "SCHEMA clinic;"
+      "SEGMENT patient; FIELD pname CHAR(12);"
+      "SEGMENT visit PARENT patient; FIELD vdate CHAR(8); FIELD "
+      "cost FLOAT;"));
+  {
+    const hierarchical::Schema* schema =
+        system->FindHierarchicalSchema("clinic");
+    kms::DliMachine dli(schema, system->executor());
+    const std::vector<std::string> calls = {
+        "ISRT patient (pname = 'smith')",
+        "GU patient (pname = 'smith')",
+        "ISRT visit (vdate = '870601', cost = 12.5)",
+        "ISRT visit (vdate = '870714', cost = 40.0)",
+        "ISRT patient (pname = 'jones')",
+        "GU patient (pname = 'jones')",
+        "ISRT visit (vdate = '870802', cost = 99.0)",
+    };
+    for (const std::string& call : calls) {
+      MLDS_ASSIGN_OR_RETURN(kms::DliMachine::Outcome outcome,
+                            dli.ExecuteText(call));
+      (void)outcome;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mlds::server

@@ -1,0 +1,25 @@
+#ifndef MLDS_SERVER_DEMO_H_
+#define MLDS_SERVER_DEMO_H_
+
+#include "common/status.h"
+#include "mlds/mlds.h"
+
+namespace mlds::server {
+
+/// Loads the standard four-model demo workload into `system`:
+///
+///   university (functional, Shipman's schema + generated instance) —
+///       served to Daplex sessions natively and to CODASYL-DML sessions
+///       through the functional->network transformation;
+///   payroll (relational: staff(name, wage)) with a few rows;
+///   clinic (hierarchical: patient / visit) with a few segments.
+///
+/// Deterministic: two systems loaded by this function hold byte-identical
+/// kernel states, which is what the wire tests lean on to prove remote
+/// results match in-process execution. Shared by tools/mlds_server,
+/// tools/mlds_shell --demo, the server tests, and bench_server.
+Status LoadDemoDatabases(MldsSystem* system);
+
+}  // namespace mlds::server
+
+#endif  // MLDS_SERVER_DEMO_H_

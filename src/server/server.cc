@@ -1,0 +1,363 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/socket.h"
+#include "kfs/formatter.h"
+
+namespace mlds::server {
+
+namespace {
+
+/// Request types a session worker executes (everything but the
+/// connection-control frames the loops handle themselves).
+bool IsExecutableType(uint8_t type) {
+  return wire::IsRequestType(type);
+}
+
+}  // namespace
+
+MldsServer::MldsServer(MldsSystem* system, ServerOptions options)
+    : system_(system), options_(std::move(options)) {}
+
+MldsServer::~MldsServer() { Shutdown(); }
+
+Status MldsServer::Start() {
+  if (started_.load()) return Status::InvalidArgument("server already started");
+  MLDS_ASSIGN_OR_RETURN(
+      int fd, common::ListenTcp(options_.host, options_.port,
+                                options_.max_sessions + 16));
+  listen_fd_ = fd;
+  MLDS_ASSIGN_OR_RETURN(port_, common::BoundPort(listen_fd_));
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MldsServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<int> accepted = common::AcceptConnection(listen_fd_);
+    if (!accepted.ok()) break;  // listener shut down
+    const int fd = *accepted;
+    if (stopping_.load()) {
+      common::CloseSocket(fd);
+      break;
+    }
+    Reap(/*all=*/false);
+
+    // Admission control: beyond the session cap the client gets a
+    // structured BUSY — a rejection it can act on — not a silent queue.
+    const uint32_t active = sessions_active_.load();
+    if (active >= static_cast<uint32_t>(options_.max_sessions)) {
+      sessions_rejected_.fetch_add(1);
+      common::Frame busy;
+      busy.type = static_cast<uint8_t>(wire::FrameType::kBusy);
+      busy.payload = wire::EncodeBusyReply(wire::BusyReply{
+          "session", active, static_cast<uint32_t>(options_.max_sessions)});
+      (void)common::SendAll(fd, common::EncodeFrame(busy));
+      common::ShutdownBoth(fd);
+      common::CloseSocket(fd);
+      continue;
+    }
+
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connection->session =
+          std::make_unique<Session>(next_session_id_++, system_);
+    }
+    sessions_accepted_.fetch_add(1);
+    sessions_active_.fetch_add(1);
+    Connection* raw = connection.get();
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->worker = std::thread([this, raw] { WorkerLoop(raw); });
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void MldsServer::ReaderLoop(Connection* connection) {
+  common::FrameDecoder decoder(options_.max_payload_bytes);
+  char buffer[4096];
+  bool open = true;
+  while (open) {
+    Result<size_t> received =
+        common::RecvSome(connection->fd, buffer, sizeof(buffer));
+    if (!received.ok() || *received == 0) break;
+    decoder.Feed(std::string_view(buffer, *received));
+    while (true) {
+      common::FrameDecoder::Decoded decoded = decoder.Next();
+      if (decoded.event == common::FrameDecoder::Event::kNeedMore) break;
+      if (decoded.event == common::FrameDecoder::Event::kError) {
+        // Hostile or corrupt stream: answer with a structured error and
+        // drop this connection; the server (and every other session)
+        // carries on.
+        bad_frames_.fetch_add(1);
+        SendFrame(connection, wire::FrameType::kError,
+                  connection->session->id(),
+                  wire::EncodeWireError(wire::WireError{
+                      StatusCode::kParseError, decoder.error()}));
+        open = false;
+        break;
+      }
+      common::Frame frame = std::move(decoded.frame);
+      if (!IsExecutableType(frame.type)) {
+        bad_frames_.fetch_add(1);
+        SendFrame(connection, wire::FrameType::kError,
+                  connection->session->id(),
+                  wire::EncodeWireError(wire::WireError{
+                      StatusCode::kInvalidArgument,
+                      "unknown request type " + std::to_string(frame.type)}));
+        continue;
+      }
+      if (frame.session_id != 0 &&
+          frame.session_id != connection->session->id()) {
+        SendFrame(connection, wire::FrameType::kError,
+                  connection->session->id(),
+                  wire::EncodeWireError(wire::WireError{
+                      StatusCode::kInvalidArgument,
+                      "frame addressed to session " +
+                          std::to_string(frame.session_id) +
+                          " on session " +
+                          std::to_string(connection->session->id())}));
+        continue;
+      }
+      const bool is_bye =
+          frame.type == static_cast<uint8_t>(wire::FrameType::kBye);
+      {
+        std::unique_lock<std::mutex> lock(connection->queue_mutex);
+        if (connection->queue.size() >= options_.max_queue_depth) {
+          lock.unlock();
+          // Admission control, request dimension: reject instead of
+          // buffering an unbounded pipeline.
+          requests_rejected_.fetch_add(1);
+          SendFrame(connection, wire::FrameType::kBusy,
+                    connection->session->id(),
+                    wire::EncodeBusyReply(wire::BusyReply{
+                        "request",
+                        static_cast<uint32_t>(options_.max_queue_depth),
+                        static_cast<uint32_t>(options_.max_queue_depth)}));
+          continue;
+        }
+        connection->queue.push_back(std::move(frame));
+      }
+      connection->queue_cv.notify_one();
+      if (is_bye) {
+        open = false;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(connection->queue_mutex);
+    connection->reader_done = true;
+  }
+  connection->queue_cv.notify_all();
+}
+
+void MldsServer::WorkerLoop(Connection* connection) {
+  while (true) {
+    common::Frame frame;
+    {
+      std::unique_lock<std::mutex> lock(connection->queue_mutex);
+      connection->queue_cv.wait(lock, [connection] {
+        return !connection->queue.empty() || connection->reader_done;
+      });
+      if (connection->queue.empty()) break;  // reader done and drained
+      frame = std::move(connection->queue.front());
+      connection->queue.pop_front();
+    }
+    common::Frame response = HandleFrame(connection, frame);
+    SendFrame(connection, static_cast<wire::FrameType>(response.type),
+              response.session_id, std::move(response.payload));
+    if (frame.type == static_cast<uint8_t>(wire::FrameType::kBye)) break;
+  }
+  // Half-close the write side so the peer sees a clean EOF after the
+  // last response; the fd itself is closed at reap time, after both
+  // threads are joined.
+  common::ShutdownBoth(connection->fd);
+  connection->finished.store(true);
+  sessions_active_.fetch_sub(1);
+}
+
+common::Frame MldsServer::HandleFrame(Connection* connection,
+                                      const common::Frame& frame) {
+  const uint32_t session_id = connection->session->id();
+  common::Frame response;
+  response.session_id = session_id;
+
+  auto error_frame = [&](const Status& status) {
+    response.type = static_cast<uint8_t>(wire::FrameType::kError);
+    response.payload = wire::EncodeWireError(
+        wire::WireError{status.code(), status.message()});
+  };
+  auto ok_frame = [&](std::string message) {
+    response.type = static_cast<uint8_t>(wire::FrameType::kOk);
+    common::PayloadWriter writer;
+    writer.PutString(message);
+    response.payload = writer.Take();
+  };
+
+  requests_served_.fetch_add(1);
+  switch (static_cast<wire::FrameType>(frame.type)) {
+    case wire::FrameType::kHello: {
+      ok_frame("mlds server ready");
+      break;
+    }
+    case wire::FrameType::kUse: {
+      Result<wire::UseRequest> request = wire::DecodeUseRequest(frame.payload);
+      if (!request.ok()) {
+        error_frame(request.status());
+        break;
+      }
+      const Status status = connection->session->Use(*request);
+      if (!status.ok()) {
+        error_frame(status);
+        break;
+      }
+      ok_frame("using " + std::string(LanguageName(
+                   connection->session->language())) +
+               " over '" + request->database + "'");
+      break;
+    }
+    case wire::FrameType::kExecute:
+    case wire::FrameType::kExplain: {
+      const bool explain =
+          frame.type == static_cast<uint8_t>(wire::FrameType::kExplain);
+      Result<wire::ExecuteResult> result =
+          connection->session->Execute(frame.payload, explain);
+      if (!result.ok()) {
+        error_frame(result.status());
+        break;
+      }
+      response.type = static_cast<uint8_t>(wire::FrameType::kResult);
+      response.payload = wire::EncodeExecuteResult(*result);
+      break;
+    }
+    case wire::FrameType::kHealth: {
+      response.type = static_cast<uint8_t>(wire::FrameType::kHealthReport);
+      response.payload = kfs::SerializeHealth(connection->session->Health());
+      break;
+    }
+    case wire::FrameType::kStats: {
+      response.type = static_cast<uint8_t>(wire::FrameType::kStatsReport);
+      response.payload = wire::EncodeStatsReply(BuildStats());
+      break;
+    }
+    case wire::FrameType::kBye: {
+      ok_frame("bye");
+      break;
+    }
+    case wire::FrameType::kShutdown: {
+      ok_frame("draining");
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_requested_.store(true);
+      }
+      shutdown_cv_.notify_all();
+      break;
+    }
+    default: {
+      error_frame(Status::InvalidArgument("unknown request type " +
+                                          std::to_string(frame.type)));
+      break;
+    }
+  }
+  return response;
+}
+
+wire::StatsReply MldsServer::BuildStats() const {
+  const kms::TranslationCache::Stats cache = system_->translation_cache().stats();
+  wire::StatsReply stats;
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_epoch = cache.epoch;
+  stats.cache_size = cache.size;
+  stats.sessions_accepted = sessions_accepted_.load();
+  stats.sessions_rejected = sessions_rejected_.load();
+  stats.requests_served = requests_served_.load();
+  stats.requests_rejected = requests_rejected_.load();
+  stats.bad_frames = bad_frames_.load();
+  stats.sessions_active = sessions_active_.load();
+  stats.health = kfs::SerializeHealth(system_->Health());
+  return stats;
+}
+
+void MldsServer::SendFrame(Connection* connection, wire::FrameType type,
+                           uint32_t session_id, std::string payload) {
+  common::Frame frame;
+  frame.type = static_cast<uint8_t>(type);
+  frame.session_id = session_id;
+  frame.payload = std::move(payload);
+  const std::string bytes = common::EncodeFrame(frame);
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  // A failed send means the client is gone; the reader will observe the
+  // closed socket and the connection will drain.
+  (void)common::SendAll(connection->fd, bytes);
+}
+
+void MldsServer::Reap(bool all) {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->finished.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::unique_ptr<Connection>& connection : finished) {
+    if (all) {
+      // Graceful drain: stop reading new requests; the worker finishes
+      // everything already queued and flushes its responses.
+      common::ShutdownRead(connection->fd);
+    }
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->worker.joinable()) connection->worker.join();
+    common::CloseSocket(connection->fd);
+  }
+}
+
+void MldsServer::Shutdown() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // Unblock the accept loop.
+  common::ShutdownBoth(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  common::CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  // Drain every live session.
+  Reap(/*all=*/true);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_.store(true);
+  }
+  shutdown_cv_.notify_all();
+}
+
+void MldsServer::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  // Timed wait so NoteShutdownRequested() — an atomic store with no
+  // notify, callable from a signal handler — is still observed promptly.
+  while (!shutdown_requested_.load()) {
+    shutdown_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+ServerStats MldsServer::stats() const {
+  ServerStats stats;
+  stats.sessions_accepted = sessions_accepted_.load();
+  stats.sessions_rejected = sessions_rejected_.load();
+  stats.requests_served = requests_served_.load();
+  stats.requests_rejected = requests_rejected_.load();
+  stats.bad_frames = bad_frames_.load();
+  stats.sessions_active = sessions_active_.load();
+  return stats;
+}
+
+}  // namespace mlds::server

@@ -1,0 +1,162 @@
+#ifndef MLDS_SERVER_SERVER_H_
+#define MLDS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/frame.h"
+#include "common/status.h"
+#include "mlds/mlds.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace mlds::server {
+
+/// Knobs of the wire server.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port().
+  uint16_t port = 0;
+  /// Admission control: connections beyond this cap receive a structured
+  /// BUSY frame and are closed, never queued.
+  int max_sessions = 8;
+  /// Admission control: frames a client may have pending per session. A
+  /// frame arriving on a full queue is answered BUSY immediately.
+  size_t max_queue_depth = 8;
+  /// Frame decoder payload ceiling (oversized frames are rejected from
+  /// the header alone).
+  size_t max_payload_bytes = common::kDefaultMaxPayload;
+};
+
+/// Monotonic counters of the server's life, served remotely by STATS.
+struct ServerStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_rejected = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t bad_frames = 0;
+  uint32_t sessions_active = 0;
+};
+
+/// The MLDS session server: the network front-end that turns the
+/// library into a system. One process-wide MldsSystem sits behind a
+/// multi-threaded TCP accept loop; each connection is one session with
+/// its own language binding and run-unit state (server/session.h), a
+/// reader thread that decodes frames incrementally, and a worker thread
+/// that executes requests in arrival order — so sessions execute
+/// concurrently against the kernel while each session stays serial, the
+/// same discipline the MBDS controller already expects of its clients.
+///
+/// Admission control bounds both dimensions of load: concurrent sessions
+/// (connections past `max_sessions` get a BUSY frame naming the cap and
+/// are closed) and per-session pipelining (frames past `max_queue_depth`
+/// get BUSY instead of unbounded buffering). Hostile bytes never take
+/// the server down: the frame decoder rejects oversized or garbage
+/// frames from the header alone, the offending connection is answered
+/// with an ERROR frame and dropped, and every other session continues.
+///
+/// Shutdown() drains gracefully: the listener closes, queued requests of
+/// every live session finish and their responses flush, then sockets
+/// close and threads join. A remote admin SHUTDOWN frame makes
+/// WaitForShutdownRequest() return so a hosting process can call
+/// Shutdown() itself.
+class MldsServer {
+ public:
+  /// `system` must outlive the server and have its databases loaded;
+  /// sessions only open language machines over already-loaded schemas.
+  MldsServer(MldsSystem* system, ServerOptions options = {});
+  ~MldsServer();
+
+  MldsServer(const MldsServer&) = delete;
+  MldsServer& operator=(const MldsServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop.
+  Status Start();
+
+  /// The bound TCP port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish in-flight requests, flush
+  /// responses, close. Idempotent.
+  void Shutdown();
+
+  /// Blocks until a remote SHUTDOWN frame arrives or Shutdown() runs.
+  void WaitForShutdownRequest();
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+  /// Flags a shutdown request without taking locks or notifying — a
+  /// plain atomic store, safe to call from a signal handler. Observed by
+  /// WaitForShutdownRequest() within its poll interval.
+  void NoteShutdownRequested() { shutdown_requested_.store(true); }
+
+  ServerStats stats() const;
+
+ private:
+  /// One live connection: fd, session, reader + worker threads, and the
+  /// bounded request queue between them.
+  struct Connection {
+    int fd = -1;
+    std::unique_ptr<Session> session;
+    std::thread reader;
+    std::thread worker;
+    std::mutex write_mutex;   ///< serializes frame writes to the socket.
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<common::Frame> queue;
+    bool reader_done = false;  ///< no further frames will be enqueued.
+    bool saw_bye = false;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* connection);
+  void WorkerLoop(Connection* connection);
+
+  /// Executes one request frame and returns the response frame.
+  common::Frame HandleFrame(Connection* connection,
+                            const common::Frame& frame);
+  wire::StatsReply BuildStats() const;
+
+  /// Encodes and writes one frame under the connection's write mutex.
+  void SendFrame(Connection* connection, wire::FrameType type,
+                 uint32_t session_id, std::string payload);
+
+  /// Joins and frees finished connections; with `all`, drains every
+  /// connection first (graceful shutdown).
+  void Reap(bool all);
+
+  MldsSystem* system_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  uint32_t next_session_id_ = 1;
+
+  std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint32_t> sessions_active_{0};
+};
+
+}  // namespace mlds::server
+
+#endif  // MLDS_SERVER_SERVER_H_

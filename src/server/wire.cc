@@ -1,0 +1,182 @@
+#include "server/wire.h"
+
+namespace mlds::wire {
+
+namespace {
+
+constexpr std::string_view kMalformed = "malformed wire payload";
+
+Status Malformed(std::string_view what) {
+  return Status::ParseError(std::string(kMalformed) + " (" +
+                            std::string(what) + ")");
+}
+
+}  // namespace
+
+bool IsRequestType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kShutdown);
+}
+
+std::string EncodeUseRequest(const UseRequest& request) {
+  common::PayloadWriter writer;
+  writer.PutString(request.language);
+  writer.PutString(request.database);
+  return writer.Take();
+}
+
+Result<UseRequest> DecodeUseRequest(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  UseRequest request;
+  if (!reader.GetString(&request.language) ||
+      !reader.GetString(&request.database) || !reader.exhausted()) {
+    return Malformed("USE");
+  }
+  return request;
+}
+
+std::string EncodeExecuteResult(const ExecuteResult& result) {
+  common::PayloadWriter writer;
+  writer.PutString(result.body);
+  writer.PutDouble(result.elapsed_ms);
+  writer.PutU32(static_cast<uint32_t>(result.warnings.size()));
+  for (const kds::PartialResultWarning& warning : result.warnings) {
+    writer.PutU32(static_cast<uint32_t>(warning.backend_id));
+    writer.PutString(warning.state);
+    writer.PutString(warning.detail);
+  }
+  return writer.Take();
+}
+
+Result<ExecuteResult> DecodeExecuteResult(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  ExecuteResult result;
+  uint32_t warning_count = 0;
+  if (!reader.GetString(&result.body) || !reader.GetDouble(&result.elapsed_ms) ||
+      !reader.GetU32(&warning_count)) {
+    return Malformed("RESULT");
+  }
+  // Each warning needs >= 12 bytes; checked before reserving so a hostile
+  // count cannot force a huge allocation.
+  if (static_cast<uint64_t>(warning_count) * 12 > reader.remaining()) {
+    return Malformed("RESULT warning count");
+  }
+  result.warnings.reserve(warning_count);
+  for (uint32_t i = 0; i < warning_count; ++i) {
+    kds::PartialResultWarning warning;
+    uint32_t backend_id = 0;
+    if (!reader.GetU32(&backend_id) || !reader.GetString(&warning.state) ||
+        !reader.GetString(&warning.detail)) {
+      return Malformed("RESULT warning");
+    }
+    warning.backend_id = static_cast<int>(backend_id);
+    result.warnings.push_back(std::move(warning));
+  }
+  if (!reader.exhausted()) return Malformed("RESULT trailer");
+  return result;
+}
+
+std::string EncodeWireError(const WireError& error) {
+  common::PayloadWriter writer;
+  writer.PutU8(static_cast<uint8_t>(error.code));
+  writer.PutString(error.message);
+  return writer.Take();
+}
+
+Result<WireError> DecodeWireError(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  WireError error;
+  uint8_t code = 0;
+  if (!reader.GetU8(&code) || !reader.GetString(&error.message) ||
+      !reader.exhausted()) {
+    return Malformed("ERROR");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable) ||
+      code == static_cast<uint8_t>(StatusCode::kOk)) {
+    // An unknown or OK code in an error frame: keep the message but
+    // classify it as internal rather than inventing a category.
+    error.code = StatusCode::kInternal;
+  } else {
+    error.code = static_cast<StatusCode>(code);
+  }
+  return error;
+}
+
+Status DecodeStatus(std::string_view payload) {
+  Result<WireError> error = DecodeWireError(payload);
+  if (!error.ok()) return error.status();
+  return Status(error->code, std::move(error->message));
+}
+
+std::string EncodeBusyReply(const BusyReply& busy) {
+  common::PayloadWriter writer;
+  writer.PutString(busy.scope);
+  writer.PutU32(busy.active);
+  writer.PutU32(busy.limit);
+  return writer.Take();
+}
+
+Result<BusyReply> DecodeBusyReply(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  BusyReply busy;
+  if (!reader.GetString(&busy.scope) || !reader.GetU32(&busy.active) ||
+      !reader.GetU32(&busy.limit) || !reader.exhausted()) {
+    return Malformed("BUSY");
+  }
+  return busy;
+}
+
+std::string EncodeStatsReply(const StatsReply& stats) {
+  common::PayloadWriter writer;
+  writer.PutU64(stats.cache_hits);
+  writer.PutU64(stats.cache_misses);
+  writer.PutU64(stats.cache_evictions);
+  writer.PutU64(stats.cache_epoch);
+  writer.PutU64(stats.cache_size);
+  writer.PutU64(stats.sessions_accepted);
+  writer.PutU64(stats.sessions_rejected);
+  writer.PutU64(stats.requests_served);
+  writer.PutU64(stats.requests_rejected);
+  writer.PutU64(stats.bad_frames);
+  writer.PutU32(stats.sessions_active);
+  writer.PutString(stats.health);
+  return writer.Take();
+}
+
+Result<StatsReply> DecodeStatsReply(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  StatsReply stats;
+  if (!reader.GetU64(&stats.cache_hits) ||
+      !reader.GetU64(&stats.cache_misses) ||
+      !reader.GetU64(&stats.cache_evictions) ||
+      !reader.GetU64(&stats.cache_epoch) ||
+      !reader.GetU64(&stats.cache_size) ||
+      !reader.GetU64(&stats.sessions_accepted) ||
+      !reader.GetU64(&stats.sessions_rejected) ||
+      !reader.GetU64(&stats.requests_served) ||
+      !reader.GetU64(&stats.requests_rejected) ||
+      !reader.GetU64(&stats.bad_frames) ||
+      !reader.GetU32(&stats.sessions_active) ||
+      !reader.GetString(&stats.health) || !reader.exhausted()) {
+    return Malformed("STATS");
+  }
+  return stats;
+}
+
+std::string StatsReply::ToText() const {
+  std::string out;
+  out += "cache.hits " + std::to_string(cache_hits) + "\n";
+  out += "cache.misses " + std::to_string(cache_misses) + "\n";
+  out += "cache.evictions " + std::to_string(cache_evictions) + "\n";
+  out += "cache.epoch " + std::to_string(cache_epoch) + "\n";
+  out += "cache.size " + std::to_string(cache_size) + "\n";
+  out += "server.sessions_accepted " + std::to_string(sessions_accepted) + "\n";
+  out += "server.sessions_rejected " + std::to_string(sessions_rejected) + "\n";
+  out += "server.requests_served " + std::to_string(requests_served) + "\n";
+  out += "server.requests_rejected " + std::to_string(requests_rejected) + "\n";
+  out += "server.bad_frames " + std::to_string(bad_frames) + "\n";
+  out += "server.sessions_active " + std::to_string(sessions_active) + "\n";
+  return out;
+}
+
+}  // namespace mlds::wire

@@ -1,0 +1,119 @@
+#ifndef MLDS_SERVER_WIRE_H_
+#define MLDS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/frame.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "kds/engine.h"
+
+namespace mlds::wire {
+
+/// Message types carried in the frame header's `type` byte. Requests
+/// occupy the low half, responses the high half; a synchronous client
+/// sends one request and reads exactly one response.
+enum class FrameType : uint8_t {
+  // --- requests ---
+  kHello = 0x01,     ///< open a session; payload: client name.
+  kUse = 0x02,       ///< bind a language + database; payload: UseRequest.
+  kExecute = 0x03,   ///< run one statement; payload: statement text.
+  kExplain = 0x04,   ///< run one statement in explain mode; same payload.
+  kHealth = 0x05,    ///< kernel health; empty payload.
+  kStats = 0x06,     ///< admin: cache/server stats; empty payload.
+  kBye = 0x07,       ///< close the session after draining; empty payload.
+  kShutdown = 0x08,  ///< admin: drain and stop the whole server.
+
+  // --- responses ---
+  kOk = 0x81,           ///< payload: informational message.
+  kResult = 0x82,       ///< payload: ExecuteResult.
+  kError = 0x83,        ///< payload: WireError.
+  kBusy = 0x84,         ///< payload: BusyReply (admission-control reject).
+  kHealthReport = 0x85, ///< payload: kfs::SerializeHealth text.
+  kStatsReport = 0x86,  ///< payload: StatsReply.
+};
+
+/// True for types a client may send.
+bool IsRequestType(uint8_t type);
+
+/// A USE request: binds the session to one language interface over one
+/// loaded database ("sql" over "payroll", "codasyl" over "university",
+/// ...). Languages: codasyl | daplex | sql | dli | abdl.
+struct UseRequest {
+  std::string language;
+  std::string database;
+};
+
+/// A successful EXECUTE / EXPLAIN outcome. `body` carries the result
+/// rendered by the kfs formatters — byte-identical to what the same
+/// statement produces in-process — so the client needs no knowledge of
+/// the language's display conventions. The counters mirror the
+/// availability layer's ExecutionReport: elapsed wall time plus one
+/// partial-result warning per degraded backend.
+struct ExecuteResult {
+  std::string body;
+  double elapsed_ms = 0.0;
+  std::vector<kds::PartialResultWarning> warnings;
+};
+
+/// A failed request: the Status that in-process execution would return,
+/// code preserved across the wire.
+struct WireError {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+/// A structured admission-control rejection: the server is at its session
+/// cap (`scope == "session"`) or the session's request queue is full
+/// (`scope == "request"`). Clients back off instead of queueing
+/// invisibly.
+struct BusyReply {
+  std::string scope;
+  uint32_t active = 0;
+  uint32_t limit = 0;
+};
+
+/// The admin STATS reply: translation-cache counters, server counters,
+/// and the serialized kernel health, so a remote operator needs no
+/// in-process access.
+struct StatsReply {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_epoch = 0;
+  uint64_t cache_size = 0;
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_rejected = 0;
+  uint64_t requests_served = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t bad_frames = 0;
+  uint32_t sessions_active = 0;
+  std::string health;  ///< kfs::SerializeHealth text.
+
+  /// Human-readable rendering ("cache.hits 12\n...") for shells.
+  std::string ToText() const;
+};
+
+std::string EncodeUseRequest(const UseRequest& request);
+Result<UseRequest> DecodeUseRequest(std::string_view payload);
+
+std::string EncodeExecuteResult(const ExecuteResult& result);
+Result<ExecuteResult> DecodeExecuteResult(std::string_view payload);
+
+std::string EncodeWireError(const WireError& error);
+Result<WireError> DecodeWireError(std::string_view payload);
+/// Rebuilds the in-process Status from a kError payload.
+Status DecodeStatus(std::string_view payload);
+
+std::string EncodeBusyReply(const BusyReply& busy);
+Result<BusyReply> DecodeBusyReply(std::string_view payload);
+
+std::string EncodeStatsReply(const StatsReply& stats);
+Result<StatsReply> DecodeStatsReply(std::string_view payload);
+
+}  // namespace mlds::wire
+
+#endif  // MLDS_SERVER_WIRE_H_

@@ -9,8 +9,11 @@
 #include <string>
 
 #include "abdl/parser.h"
+#include "common/frame.h"
 #include "kds/snapshot.h"
 #include "kds/wal.h"
+#include "kfs/formatter.h"
+#include "server/wire.h"
 #include "codasyl/parser.h"
 #include "daplex/ddl_parser.h"
 #include "daplex/query.h"
@@ -294,6 +297,244 @@ TEST(ParserFuzzTest, DeeplyNestedQueriesParseWithoutBlowup) {
   auto q = abdl::ParseQuery(inputs.Nested(200));
   ASSERT_TRUE(q.ok()) << q.status();
   EXPECT_EQ(q->disjuncts().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Wire-frame decoder fuzzing: the network-facing parser. Hostile bytes
+// must never crash, hang, over-allocate, or produce a frame that was not
+// sent — the decoder poisons itself on lost framing and stays poisoned.
+// ---------------------------------------------------------------------
+
+/// A canonical valid stream of three frames of varying payload sizes.
+std::vector<common::Frame> ReferenceFrames() {
+  std::vector<common::Frame> frames;
+  common::Frame hello;
+  hello.type = 0x01;
+  hello.session_id = 0;
+  hello.payload = "fuzz-client";
+  frames.push_back(hello);
+  common::Frame execute;
+  execute.type = 0x03;
+  execute.session_id = 7;
+  execute.payload = "SELECT name FROM staff WHERE wage > 90";
+  frames.push_back(execute);
+  common::Frame empty;
+  empty.type = 0x05;
+  empty.session_id = 7;
+  frames.push_back(empty);
+  return frames;
+}
+
+std::string EncodeAll(const std::vector<common::Frame>& frames) {
+  std::string stream;
+  for (const common::Frame& frame : frames) {
+    stream += common::EncodeFrame(frame);
+  }
+  return stream;
+}
+
+/// Feeds `bytes` in random-size chunks and counts clean frames; the
+/// decoder must terminate for every input (no hang) and never crash.
+size_t DrainAll(common::FrameDecoder& decoder, std::string_view bytes,
+                std::mt19937& rng) {
+  size_t frames = 0;
+  size_t offset = 0;
+  std::uniform_int_distribution<size_t> chunk(1, 17);
+  while (offset < bytes.size()) {
+    const size_t n = std::min(chunk(rng), bytes.size() - offset);
+    decoder.Feed(bytes.substr(offset, n));
+    offset += n;
+    while (true) {
+      auto decoded = decoder.Next();
+      if (decoded.event == common::FrameDecoder::Event::kFrame) {
+        ++frames;
+        continue;
+      }
+      break;
+    }
+  }
+  return frames;
+}
+
+TEST_P(ParserFuzzTest, FrameDecoderSurvivesGarbageStreams) {
+  FuzzInputs inputs(static_cast<uint32_t>(GetParam()) + 9000);
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) + 9001);
+  const std::string valid = EncodeAll(ReferenceFrames());
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string candidates[] = {
+        inputs.Garbage(1 + trial * 11),
+        inputs.Spliced(valid),
+        inputs.Truncated(valid),
+        std::string(trial, '\0'),
+    };
+    for (const std::string& bytes : candidates) {
+      common::FrameDecoder decoder;
+      (void)DrainAll(decoder, bytes, rng);
+      // Poisoned decoders stay poisoned and report a cause.
+      if (decoder.poisoned()) EXPECT_FALSE(decoder.error().empty());
+    }
+  }
+}
+
+/// Truncation at every byte boundary of a valid stream: whole frames
+/// before the cut decode, nothing after it does, and the decoder simply
+/// waits for more bytes (kNeedMore, not a crash or a bogus frame).
+TEST(ParserFuzzTest, FrameDecoderTruncationAtEveryBoundary) {
+  const std::vector<common::Frame> frames = ReferenceFrames();
+  std::string valid;
+  std::vector<size_t> boundaries;  // stream offset after each frame.
+  for (const common::Frame& frame : frames) {
+    valid += common::EncodeFrame(frame);
+    boundaries.push_back(valid.size());
+  }
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    common::FrameDecoder decoder;
+    decoder.Feed(std::string_view(valid).substr(0, cut));
+    size_t decoded = 0;
+    while (decoder.Next().event == common::FrameDecoder::Event::kFrame) {
+      ++decoded;
+    }
+    size_t expected = 0;
+    for (size_t boundary : boundaries) {
+      if (boundary <= cut) ++expected;
+    }
+    EXPECT_FALSE(decoder.poisoned()) << "cut at " << cut;
+    EXPECT_EQ(decoded, expected) << "cut at " << cut;
+  }
+}
+
+/// Single-byte flips across a valid two-frame stream: flips in a payload
+/// or checksum must never yield that frame (the checksum catches them),
+/// and no flip anywhere may crash or hang the decoder.
+TEST(ParserFuzzTest, FrameDecoderBitFlipsNeverForgeFrames) {
+  std::vector<common::Frame> frames = ReferenceFrames();
+  const std::string valid = EncodeAll(frames);
+  std::mt19937 rng(4242);
+  for (size_t at = 0; at < valid.size(); ++at) {
+    for (int bit : {0, 3, 7}) {
+      std::string mangled = valid;
+      mangled[at] = static_cast<char>(mangled[at] ^ (1 << bit));
+      common::FrameDecoder decoder;
+      size_t offset = 0;
+      std::vector<common::Frame> decoded_frames;
+      while (offset < mangled.size() && !decoder.poisoned()) {
+        const size_t n = std::min<size_t>(13, mangled.size() - offset);
+        decoder.Feed(std::string_view(mangled).substr(offset, n));
+        offset += n;
+        while (true) {
+          auto decoded = decoder.Next();
+          if (decoded.event != common::FrameDecoder::Event::kFrame) break;
+          decoded_frames.push_back(std::move(decoded.frame));
+        }
+      }
+      // Every frame that decoded must be byte-identical to one that was
+      // sent: a flipped payload byte cannot survive the checksum.
+      for (const common::Frame& got : decoded_frames) {
+        bool genuine = false;
+        for (const common::Frame& sent : frames) {
+          if (got.type == sent.type && got.session_id == sent.session_id &&
+              got.payload == sent.payload) {
+            genuine = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(genuine)
+            << "byte " << at << " bit " << bit << " forged a frame";
+      }
+      EXPECT_LT(decoded_frames.size(), 3u)
+          << "byte " << at << " bit " << bit << " left all frames intact";
+    }
+  }
+}
+
+/// N concatenated frames decode to exactly N, regardless of how the
+/// bytes are chunked across Feed() calls.
+TEST(ParserFuzzTest, FrameDecoderConcatenatedFramesDecodeExactly) {
+  std::mt19937 rng(99);
+  std::vector<common::Frame> frames;
+  std::string stream;
+  for (int i = 0; i < 23; ++i) {
+    common::Frame frame;
+    frame.type = static_cast<uint8_t>(1 + i % 8);
+    frame.session_id = static_cast<uint32_t>(i);
+    frame.payload = std::string(static_cast<size_t>(i * 31 % 257), 'x');
+    stream += common::EncodeFrame(frame);
+    frames.push_back(std::move(frame));
+  }
+  for (int round = 0; round < 10; ++round) {
+    common::FrameDecoder decoder;
+    EXPECT_EQ(DrainAll(decoder, stream, rng), frames.size());
+    EXPECT_FALSE(decoder.poisoned());
+  }
+}
+
+/// An oversized length field is rejected from the header alone — the
+/// decoder never buffers toward the attacker's claimed length.
+TEST(ParserFuzzTest, FrameDecoderRejectsOversizedLengthWithoutBuffering) {
+  common::Frame frame;
+  frame.type = 0x03;
+  std::string encoded = common::EncodeFrame(frame);
+  const uint32_t evil = 0x7fffffffu;
+  encoded[12] = static_cast<char>(evil & 0xff);
+  encoded[13] = static_cast<char>((evil >> 8) & 0xff);
+  encoded[14] = static_cast<char>((evil >> 16) & 0xff);
+  encoded[15] = static_cast<char>((evil >> 24) & 0xff);
+  common::FrameDecoder decoder;
+  decoder.Feed(encoded);
+  auto decoded = decoder.Next();
+  EXPECT_EQ(decoded.event, common::FrameDecoder::Event::kError);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_LE(decoder.buffered_bytes(), encoded.size());
+  // Later bytes are discarded, not accumulated.
+  decoder.Feed(std::string(1 << 16, 'y'));
+  EXPECT_LE(decoder.buffered_bytes(), encoded.size());
+}
+
+/// The wire payload decoders (one per message) are parsers too: byte
+/// salad must come back as a clean error Status, never a crash or an
+/// out-of-bounds read. kfs::ParseHealth shares the property.
+TEST_P(ParserFuzzTest, WirePayloadDecodersSurviveGarbage) {
+  FuzzInputs inputs(static_cast<uint32_t>(GetParam()) + 11000);
+  wire::ExecuteResult result;
+  result.body = "name\n----\nada\n";
+  result.elapsed_ms = 1.25;
+  result.warnings.push_back({2, "quarantined", "injected crash"});
+  const std::string valid_results[] = {
+      wire::EncodeExecuteResult(result),
+      wire::EncodeUseRequest({"sql", "payroll"}),
+      wire::EncodeBusyReply({"session", 8, 8}),
+      wire::EncodeStatsReply({}),
+      "degraded 1\nbackend 0 healthy 3 0\nbackend 1 quarantined 0 2 hit\n",
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    for (const std::string& valid : valid_results) {
+      const std::string candidates[] = {
+          inputs.Garbage(trial % 23),
+          inputs.Truncated(valid),
+          inputs.Spliced(valid),
+      };
+      for (const std::string& bytes : candidates) {
+        (void)wire::DecodeExecuteResult(bytes);
+        (void)wire::DecodeUseRequest(bytes);
+        (void)wire::DecodeBusyReply(bytes);
+        (void)wire::DecodeStatsReply(bytes);
+        (void)wire::DecodeWireError(bytes);
+        (void)wire::DecodeStatus(bytes);
+        (void)kfs::ParseHealth(bytes);
+      }
+    }
+  }
+  // The unmangled encodings still round-trip after all that.
+  auto round = wire::DecodeExecuteResult(valid_results[0]);
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->body, result.body);
+  ASSERT_EQ(round->warnings.size(), 1u);
+  EXPECT_EQ(round->warnings[0].backend_id, 2);
+  auto health = kfs::ParseHealth(valid_results[4]);
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->degraded);
+  ASSERT_EQ(health->backends.size(), 2u);
+  EXPECT_EQ(health->backends[1].state, "quarantined");
 }
 
 }  // namespace

@@ -1,0 +1,323 @@
+// Round-trip tests for the wire subsystem: a real TCP server over the
+// demo databases, driven by the client library. The core property is
+// byte-identity — a statement executed over the wire renders exactly the
+// bytes in-process execution produces, because the server formats with
+// the same kfs formatters — plus the protocol behaviors: structured
+// BUSY rejections at the session cap, hostile frames dropping only the
+// offending connection, session teardown, remote HEALTH/STATS, and
+// graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "common/frame.h"
+#include "common/socket.h"
+#include "kc/executor.h"
+#include "mlds/mlds.h"
+#include "server/demo.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace mlds {
+namespace {
+
+/// One demo-loaded system + server, shared by the tests in a fixture.
+class ServerRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server::LoadDemoDatabases(&system_).ok());
+    server_ = std::make_unique<server::MldsServer>(&system_, options_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  client::MldsClient Connected() {
+    client::MldsClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    return client;
+  }
+
+  server::ServerOptions options_;
+  MldsSystem system_;
+  std::unique_ptr<server::MldsServer> server_;
+};
+
+struct LanguageCase {
+  const char* language;
+  const char* database;
+  std::vector<const char*> statements;
+};
+
+/// The core guarantee: for every language, the wire result body is
+/// byte-identical to what an in-process session produces against an
+/// identically loaded system.
+TEST_F(ServerRoundTripTest, AllLanguagesByteIdenticalToInProcess) {
+  // A second, identically loaded system executes the same statements
+  // in-process through the same session layer (no sockets involved).
+  MldsSystem local_system;
+  ASSERT_TRUE(server::LoadDemoDatabases(&local_system).ok());
+
+  const std::vector<LanguageCase> cases = {
+      {"codasyl",
+       "university",
+       {"MOVE 'Advanced Database' TO title IN course",
+        "FIND ANY course USING title IN course", "GET"}},
+      {"daplex", "university", {"FOR EACH course PRINT title"}},
+      {"sql",
+       "payroll",
+       {"SELECT name, wage FROM staff",
+        "INSERT INTO staff (name, wage) VALUES ('barbara', 95.0)",
+        "SELECT name FROM staff WHERE wage > 90"}},
+      {"dli",
+       "clinic",
+       {"GU patient (pname = 'smith')", "GNP visit", "GNP visit"}},
+      {"abdl",
+       "university",
+       {"RETRIEVE ((FILE = course)) (title) BY course"}},
+  };
+
+  client::MldsClient client = Connected();
+  for (const LanguageCase& c : cases) {
+    SCOPED_TRACE(c.language);
+    ASSERT_TRUE(client.Use(c.language, c.database).ok());
+    server::Session local(99, &local_system);
+    ASSERT_TRUE(
+        local.Use(wire::UseRequest{c.language, c.database}).ok());
+    for (const char* statement : c.statements) {
+      SCOPED_TRACE(statement);
+      Result<wire::ExecuteResult> remote = client.Execute(statement);
+      Result<wire::ExecuteResult> in_process =
+          local.Execute(statement, /*explain=*/false);
+      ASSERT_TRUE(remote.ok()) << remote.status();
+      ASSERT_TRUE(in_process.ok()) << in_process.status();
+      EXPECT_EQ(remote->body, in_process->body);
+      EXPECT_FALSE(remote->body.empty());
+    }
+  }
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(ServerRoundTripTest, ExplainTravelsTheWire) {
+  client::MldsClient client = Connected();
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  Result<wire::ExecuteResult> explained =
+      client.Explain("SELECT name FROM staff WHERE wage > 80");
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  EXPECT_NE(explained->body.find("PLAN"), std::string::npos);
+  // Daplex has no explain mode; the rejection crosses the wire as the
+  // same Status code in-process execution returns.
+  ASSERT_TRUE(client.Use("daplex", "university").ok());
+  Result<wire::ExecuteResult> rejected =
+      client.Explain("FOR EACH course PRINT title");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ServerRoundTripTest, ErrorsPreserveStatusCode) {
+  client::MldsClient client = Connected();
+  // No language bound yet.
+  Result<wire::ExecuteResult> unbound = client.Execute("SELECT 1");
+  ASSERT_FALSE(unbound.ok());
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  Result<wire::ExecuteResult> bad = client.Execute("SELECT FROM WHERE");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  Result<wire::ExecuteResult> missing =
+      client.Execute("SELECT nope FROM staff");
+  ASSERT_FALSE(missing.ok());
+  // Unknown language / database are rejected on USE.
+  EXPECT_FALSE(client.Use("cobol", "payroll").ok());
+  EXPECT_FALSE(client.Use("sql", "no-such-db").ok());
+  // The connection survives all of the above.
+  Result<wire::ExecuteResult> alive =
+      client.Execute("SELECT name FROM staff");
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  alive = client.Execute("SELECT name FROM staff");
+  EXPECT_TRUE(alive.ok());
+}
+
+TEST_F(ServerRoundTripTest, AbdlTransactionBufferedUntilCommit) {
+  client::MldsClient client = Connected();
+  ASSERT_TRUE(client.Use("abdl", "payroll").ok());
+  ASSERT_TRUE(client.Execute("BEGIN").ok());
+  ASSERT_TRUE(
+      client
+          .Execute("INSERT (<FILE, staff>, <name, 'hopper'>, <wage, 55.5>)")
+          .ok());
+  // Uncommitted: a second session does not see the insert.
+  client::MldsClient other = Connected();
+  ASSERT_TRUE(other.Use("sql", "payroll").ok());
+  Result<wire::ExecuteResult> before =
+      other.Execute("SELECT name FROM staff WHERE name = 'hopper'");
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(before->body.find("hopper"), std::string::npos);
+  ASSERT_TRUE(client.Execute("COMMIT").ok());
+  Result<wire::ExecuteResult> after =
+      other.Execute("SELECT name FROM staff WHERE name = 'hopper'");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NE(after->body.find("hopper"), std::string::npos);
+  // ABORT discards.
+  ASSERT_TRUE(client.Execute("BEGIN").ok());
+  ASSERT_TRUE(
+      client
+          .Execute("INSERT (<FILE, staff>, <name, 'lovelace'>, <wage, 1.0>)")
+          .ok());
+  ASSERT_TRUE(client.Execute("ABORT").ok());
+  Result<wire::ExecuteResult> aborted =
+      other.Execute("SELECT name FROM staff WHERE name = 'lovelace'");
+  ASSERT_TRUE(aborted.ok());
+  EXPECT_EQ(aborted->body.find("lovelace"), std::string::npos);
+}
+
+TEST_F(ServerRoundTripTest, HealthRoundTripsThroughParser) {
+  client::MldsClient client = Connected();
+  Result<kc::KernelHealth> health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_FALSE(health->degraded);
+  const kc::KernelHealth local = system_.Health();
+  ASSERT_EQ(health->backends.size(), local.backends.size());
+  for (size_t i = 0; i < local.backends.size(); ++i) {
+    EXPECT_EQ(health->backends[i].id, local.backends[i].id);
+    EXPECT_EQ(health->backends[i].state, local.backends[i].state);
+  }
+}
+
+TEST_F(ServerRoundTripTest, StatsReportCacheAndServerCounters) {
+  client::MldsClient client = Connected();
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  // Same statement twice: the second translation hits the cache.
+  ASSERT_TRUE(client.Execute("SELECT name FROM staff").ok());
+  ASSERT_TRUE(client.Execute("SELECT name FROM staff").ok());
+  Result<wire::StatsReply> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->cache_hits, 1u);
+  EXPECT_GE(stats->cache_misses, 1u);
+  EXPECT_GE(stats->requests_served, 4u);
+  EXPECT_EQ(stats->sessions_active, 1u);
+  EXPECT_GE(stats->sessions_accepted, 1u);
+  EXPECT_FALSE(stats->health.empty());
+  const std::string text = stats->ToText();
+  EXPECT_NE(text.find("cache.hits"), std::string::npos);
+  EXPECT_NE(text.find("server.sessions_active"), std::string::npos);
+}
+
+/// Admission control: connections beyond the cap receive a structured
+/// BUSY (kUnavailable), and are not silently queued.
+TEST_F(ServerRoundTripTest, SessionCapRejectsWithBusy) {
+  server::ServerOptions small;
+  small.max_sessions = 2;
+  MldsSystem system;
+  ASSERT_TRUE(server::LoadDemoDatabases(&system).ok());
+  server::MldsServer server(&system, small);
+  ASSERT_TRUE(server.Start().ok());
+
+  client::MldsClient a, b, c;
+  ASSERT_TRUE(a.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", server.port()).ok());
+  const Status rejected = c.Connect("127.0.0.1", server.port());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable) << rejected;
+  EXPECT_NE(rejected.message().find("session"), std::string::npos);
+  EXPECT_FALSE(c.connected());
+
+  // Admitted sessions keep working while the third is rejected…
+  ASSERT_TRUE(a.Use("sql", "payroll").ok());
+  EXPECT_TRUE(a.Execute("SELECT name FROM staff").ok());
+  // …and closing one frees a slot.
+  EXPECT_TRUE(b.Close().ok());
+  Status retry = c.Connect("127.0.0.1", server.port());
+  for (int i = 0; i < 100 && !retry.ok(); ++i) {
+    // The server reaps the closed session asynchronously.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    retry = c.Connect("127.0.0.1", server.port());
+  }
+  EXPECT_TRUE(retry.ok()) << retry;
+  EXPECT_EQ(server.stats().sessions_rejected, 1u);
+  server.Shutdown();
+}
+
+/// Hostile bytes: garbage on one connection kills only that connection.
+TEST_F(ServerRoundTripTest, GarbageFramesDropOnlyThatConnection) {
+  client::MldsClient healthy = Connected();
+  ASSERT_TRUE(healthy.Use("sql", "payroll").ok());
+
+  // Raw socket sends garbage that cannot be a frame header.
+  Result<int> raw = common::ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(
+      common::SendAll(*raw, "this is definitely not a frame header!")
+          .ok());
+  // The server answers with an ERROR frame, then closes.
+  char buffer[1024];
+  size_t total = 0;
+  while (true) {
+    Result<size_t> n =
+        common::RecvSome(*raw, buffer + total, sizeof(buffer) - total);
+    if (!n.ok() || *n == 0) break;
+    total += *n;
+  }
+  common::CloseSocket(*raw);
+  common::FrameDecoder decoder;
+  decoder.Feed(std::string_view(buffer, total));
+  auto decoded = decoder.Next();
+  ASSERT_EQ(decoded.event, common::FrameDecoder::Event::kFrame);
+  EXPECT_EQ(decoded.frame.type,
+            static_cast<uint8_t>(wire::FrameType::kError));
+
+  // An oversized length in a valid-looking header is rejected too.
+  Result<int> big = common::ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(big.ok());
+  common::Frame huge;
+  huge.type = static_cast<uint8_t>(wire::FrameType::kExecute);
+  std::string encoded = common::EncodeFrame(huge);
+  // Patch payload_len to 256 MiB, far past the ceiling.
+  const uint32_t evil = 256u << 20;
+  encoded[12] = static_cast<char>(evil & 0xff);
+  encoded[13] = static_cast<char>((evil >> 8) & 0xff);
+  encoded[14] = static_cast<char>((evil >> 16) & 0xff);
+  encoded[15] = static_cast<char>((evil >> 24) & 0xff);
+  ASSERT_TRUE(common::SendAll(*big, encoded).ok());
+  while (true) {
+    Result<size_t> n = common::RecvSome(*big, buffer, sizeof(buffer));
+    if (!n.ok() || *n == 0) break;
+  }
+  common::CloseSocket(*big);
+
+  // The healthy session never noticed.
+  Result<wire::ExecuteResult> still =
+      healthy.Execute("SELECT name FROM staff");
+  EXPECT_TRUE(still.ok()) << still.status();
+  EXPECT_GE(server_->stats().bad_frames, 2u);
+}
+
+/// Graceful drain: Shutdown() lets the in-flight request finish and the
+/// response flush before the socket closes.
+TEST_F(ServerRoundTripTest, ShutdownDrainsInFlightRequests) {
+  client::MldsClient client = Connected();
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  ASSERT_TRUE(client.Execute("SELECT name FROM staff").ok());
+  server_->Shutdown();
+  // After the drain the connection is gone; the client sees a clean
+  // transport error, not a hang.
+  Result<wire::ExecuteResult> after =
+      client.Execute("SELECT name FROM staff");
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_F(ServerRoundTripTest, RemoteShutdownRequestWakesWaiter) {
+  client::MldsClient client = Connected();
+  EXPECT_FALSE(server_->shutdown_requested());
+  ASSERT_TRUE(client.RequestShutdown().ok());
+  server_->WaitForShutdownRequest();  // returns promptly, no hang
+  EXPECT_TRUE(server_->shutdown_requested());
+}
+
+}  // namespace
+}  // namespace mlds

@@ -12,6 +12,7 @@
 #   MLDS_SKIP_ASAN=1 tools/check.sh            # skip the ASan stage
 #   MLDS_SKIP_UBSAN=1 tools/check.sh           # skip the UBSan stage
 #   MLDS_SKIP_BENCH=1 tools/check.sh           # skip the bench smoke stage
+#   MLDS_SKIP_SERVER=1 tools/check.sh          # skip the server smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,10 +32,50 @@ else
   # on every PR and CI uploads the fresh JSON artifacts.
   echo "== bench smoke (JSON reports only) =="
   mkdir -p build/bench-smoke
-  for bench in bench_range_queries bench_intra_backend bench_fault_recovery; do
+  for bench in bench_range_queries bench_intra_backend bench_fault_recovery \
+               bench_server; do
     (cd build/bench-smoke && "../bench/${bench}" --benchmark_filter='^$')
   done
   ls build/bench-smoke/BENCH_*.json
+fi
+
+if [[ "${MLDS_SKIP_SERVER:-0}" == "1" ]]; then
+  echo "== server smoke skipped (MLDS_SKIP_SERVER=1) =="
+else
+  # Server round-trip smoke: start mlds_server on an ephemeral port,
+  # drive one statement per language interface through the wire shell,
+  # then stop the server with a remote SHUTDOWN and check it drained.
+  echo "== server round-trip smoke =="
+  build/tools/mlds_server --port 0 > build/mlds_server_smoke.log &
+  SERVER_PID=$!
+  trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 50); do
+    PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+            build/mlds_server_smoke.log)"
+    [[ -n "${PORT}" ]] && break
+    sleep 0.1
+  done
+  [[ -n "${PORT}" ]] || { echo "server never reported its port"; exit 1; }
+  printf '%s\n' \
+    ".use sql payroll" \
+    "SELECT name, wage FROM staff" \
+    ".use daplex university" \
+    "FOR EACH course SUCH THAT title = 'Networks' PRINT title" \
+    ".use codasyl university" \
+    "MOVE 'Networks' TO title IN course" \
+    "FIND ANY course USING title IN course" \
+    "GET" \
+    ".use dli clinic" \
+    "GU patient (pname = 'smith')" \
+    ".health" \
+    ".stats" \
+    ".shutdown" \
+    | build/tools/mlds_shell 127.0.0.1 "${PORT}" --strict
+  wait "${SERVER_PID}"
+  trap - EXIT
+  grep -q "stopped" build/mlds_server_smoke.log \
+    || { echo "server did not drain cleanly"; exit 1; }
+  echo "server round-trip smoke passed (port ${PORT})"
 fi
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then

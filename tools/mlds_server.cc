@@ -1,0 +1,109 @@
+// The MLDS session server binary: loads the demo databases (university
+// functional, payroll relational, clinic hierarchical) into one
+// MldsSystem, serves the wire protocol on a TCP port, and drains
+// gracefully on a remote SHUTDOWN frame or SIGINT/SIGTERM.
+//
+//   mlds_server [--port N] [--host A.B.C.D] [--max-sessions N]
+//               [--queue-depth N] [--backends N]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// printed as "listening on HOST:PORT" so scripts can parse it.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <charconv>
+#include <string>
+#include <string_view>
+
+#include "mlds/mlds.h"
+#include "server/demo.h"
+#include "server/server.h"
+
+namespace {
+
+std::atomic<mlds::server::MldsServer*> g_server{nullptr};
+
+void HandleSignal(int) {
+  // Async-signal-safe: just flag the server; the main thread's
+  // WaitForShutdownRequest() is woken by Shutdown() at exit. We cannot
+  // take locks here, so poke the process to exit its wait via a second
+  // signal-safe path: write a note and rely on the wait predicate.
+  mlds::server::MldsServer* server = g_server.load();
+  if (server != nullptr) server->NoteShutdownRequested();
+}
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mlds::server::ServerOptions options;
+  int backends = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    uint64_t value = 0;
+    if (arg == "--port" && has_value && ParseUint(argv[++i], &value)) {
+      options.port = static_cast<uint16_t>(value);
+    } else if (arg == "--host" && has_value) {
+      options.host = argv[++i];
+    } else if (arg == "--max-sessions" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      options.max_sessions = static_cast<int>(value);
+    } else if (arg == "--queue-depth" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      options.max_queue_depth = static_cast<size_t>(value);
+    } else if (arg == "--backends" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      backends = static_cast<int>(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: mlds_server [--port N] [--host A.B.C.D] "
+                   "[--max-sessions N] [--queue-depth N] [--backends N]\n");
+      return 2;
+    }
+  }
+
+  mlds::MldsSystem::Options system_options;
+  if (backends > 0) {
+    system_options.use_mbds = true;
+    system_options.backends = backends;
+  }
+  mlds::MldsSystem system(system_options);
+  const mlds::Status loaded = mlds::server::LoadDemoDatabases(&system);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "demo database load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+
+  mlds::server::MldsServer server(&system, options);
+  const mlds::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  g_server.store(&server);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("listening on %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.WaitForShutdownRequest();
+  std::printf("draining\n");
+  std::fflush(stdout);
+  g_server.store(nullptr);
+  server.Shutdown();
+  std::printf("stopped\n");
+  return 0;
+}

@@ -1,0 +1,216 @@
+// The networked MLDS shell: a line-oriented REPL over the wire-protocol
+// client library. Connects to a running mlds_server (or self-hosts one
+// with --demo), binds a language interface with `.use`, and executes
+// statements remotely — results arrive byte-identical to in-process
+// execution because the server renders them with the same kfs
+// formatters.
+//
+//   mlds_shell [host port] [--demo] [--strict]
+//
+//   --demo    start an in-process demo server and connect to it
+//   --strict  exit nonzero on the first failed statement (for scripts)
+//
+// Meta commands:
+//   .use <language> <database>   codasyl|daplex|sql|dli|abdl
+//   .explain <statement>         execute with plan annotation
+//   .health                      kernel health over the wire
+//   .stats                       translation-cache + server counters
+//   .shutdown                    ask the server to drain and stop
+//   .help  .quit
+//
+//   printf '.use sql payroll\nSELECT name FROM staff\n' | mlds_shell --demo
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "client/client.h"
+#include "common/strings.h"
+#include "mlds/mlds.h"
+#include "server/demo.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace mlds;
+
+void PrintHelp() {
+  std::printf(
+      "Meta commands:\n"
+      "  .use <language> <database>   bind a language interface\n"
+      "                               (codasyl|daplex|sql|dli|abdl)\n"
+      "  .explain <statement>         execute with plan annotation\n"
+      "  .health                      kernel health over the wire\n"
+      "  .stats                       cache + server counters\n"
+      "  .shutdown                    drain and stop the server\n"
+      "  .help  .quit\n"
+      "Anything else executes in the bound language.\n"
+      "Demo databases: university (daplex/codasyl), payroll (sql), "
+      "clinic (dli)\n");
+}
+
+/// Executes one statement (or explain) and prints the outcome. Returns
+/// false when the statement failed.
+bool RunStatement(client::MldsClient& client, const std::string& statement,
+                  bool explain) {
+  Result<wire::ExecuteResult> result =
+      explain ? client.Explain(statement) : client.Execute(statement);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  std::fputs(result->body.c_str(), stdout);
+  for (const kds::PartialResultWarning& warning : result->warnings) {
+    std::printf("warning: backend %d %s: %s\n", warning.backend_id,
+                warning.state.c_str(), warning.detail.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool demo = false;
+  bool strict = false;
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (!have_port && i + 1 < argc && arg[0] != '-') {
+      host = std::string(arg);
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+      have_port = true;
+    } else {
+      std::fprintf(stderr, "usage: mlds_shell [host port] [--demo] "
+                           "[--strict]\n");
+      return 2;
+    }
+  }
+  if (!demo && !have_port) {
+    std::fprintf(stderr,
+                 "mlds_shell: need a server (host port) or --demo\n");
+    return 2;
+  }
+
+  // --demo: self-host a server over the demo databases, then talk to it
+  // over the real wire like any other client.
+  std::unique_ptr<MldsSystem> demo_system;
+  std::unique_ptr<server::MldsServer> demo_server;
+  if (demo) {
+    demo_system = std::make_unique<MldsSystem>();
+    const Status loaded = server::LoadDemoDatabases(demo_system.get());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "demo load failed: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+    demo_server = std::make_unique<server::MldsServer>(demo_system.get());
+    const Status started = demo_server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "demo server failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    port = demo_server->port();
+  }
+
+  client::MldsClient client;
+  const Status connected = client.Connect(host, port, "mlds-shell");
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(),
+                 static_cast<unsigned>(port),
+                 connected.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u (session %u); .help for help\n",
+              host.c_str(), static_cast<unsigned>(port),
+              client.session_id());
+
+  const bool interactive = isatty(fileno(stdin));
+  std::string line;
+  int exit_code = 0;
+  bool server_stopping = false;
+  while (true) {
+    if (interactive) {
+      std::printf("mlds> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    const std::string statement = std::string(Trim(line));
+    if (statement.empty()) continue;
+
+    bool ok = true;
+    if (statement == ".quit" || statement == ".exit") {
+      break;
+    } else if (statement == ".help") {
+      PrintHelp();
+    } else if (statement.rfind(".use ", 0) == 0) {
+      const std::string rest = statement.substr(5);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        std::printf("usage: .use <language> <database>\n");
+        ok = false;
+      } else {
+        const std::string language(Trim(rest.substr(0, space)));
+        const std::string database(Trim(rest.substr(space + 1)));
+        const Status used = client.Use(language, database);
+        if (used.ok()) {
+          std::printf("using %s over '%s'\n", language.c_str(),
+                      database.c_str());
+        } else {
+          std::printf("error: %s\n", used.ToString().c_str());
+          ok = false;
+        }
+      }
+    } else if (statement.rfind(".explain ", 0) == 0) {
+      ok = RunStatement(client, statement.substr(9), /*explain=*/true);
+    } else if (statement == ".health") {
+      Result<std::string> health = client.HealthText();
+      if (health.ok()) {
+        std::fputs(health->c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", health.status().ToString().c_str());
+        ok = false;
+      }
+    } else if (statement == ".stats") {
+      Result<wire::StatsReply> stats = client.Stats();
+      if (stats.ok()) {
+        std::fputs(stats->ToText().c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        ok = false;
+      }
+    } else if (statement == ".shutdown") {
+      const Status requested = client.RequestShutdown();
+      if (requested.ok()) {
+        std::printf("server draining\n");
+        server_stopping = true;
+        break;
+      }
+      std::printf("error: %s\n", requested.ToString().c_str());
+      ok = false;
+    } else if (statement[0] == '.') {
+      std::printf("unknown meta command; .help for help\n");
+      ok = false;
+    } else {
+      ok = RunStatement(client, statement, /*explain=*/false);
+    }
+    if (!ok && strict) {
+      exit_code = 1;
+      break;
+    }
+  }
+
+  if (!server_stopping) (void)client.Close();
+  if (demo_server != nullptr) demo_server->Shutdown();
+  return exit_code;
+}
