@@ -1,29 +1,34 @@
-// E-server — the wire protocol's cost and its admission control.
+// E-server — the event-loop wire server: pipelining and the cost of the
+// wire.
 //
-// This PR put MLDS behind a TCP session server: binary frames, one
-// session per connection, a reader/worker pair per session, and
-// admission control that rejects (never queues) past the session cap.
-// The bench prices that design:
+// The server multiplexes every connection onto one epoll loop and a
+// small worker pool; clients tag requests with request_ids and pipeline
+// many of them per socket, so "64 clients" is 64 logical sessions over a
+// handful of connections driven by one thread. The bench prices that
+// design:
 //
-//  - throughput_vs_clients: requests/sec of a fixed SQL read as client
-//    threads grow; sessions execute concurrently against the shared
-//    kernel, so throughput should scale past one client before the
-//    kernel's locks flatten it.
+//  - throughput_vs_clients (sync): one request in flight per session,
+//    sessions spread over pooled connections — the pre-pipelining
+//    baseline shape, which plateaus on per-request wire round-trips.
+//  - throughput_vs_clients (pipelined): depth-8 pipelining per session;
+//    submits and responses batch on the sockets, so throughput scales
+//    past the sync plateau even on one core.
 //  - wire_overhead: the same statement through an in-process session vs
 //    over the loopback wire — the frame + socket tax per request.
 //  - admission_control: 2x the session cap connecting at once; the
-//    overflow half receives structured BUSY rejections immediately
-//    (rejection latency is bounded by the accept loop, not by running
-//    sessions), and the admitted half completes its workload.
+//    overflow half receives structured BUSY rejections immediately, and
+//    the admitted half completes its workload.
 //
 // main() writes BENCH_server.json, then runs the registered
 // google-benchmarks.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,6 +36,7 @@
 
 #include "bench_json.h"
 #include "client/client.h"
+#include "client/pool.h"
 #include "mlds/mlds.h"
 #include "server/demo.h"
 #include "server/server.h"
@@ -66,48 +72,81 @@ struct Harness {
 
 struct ThroughputPoint {
   int clients = 0;
+  int depth = 0;
   int total_requests = 0;
   double wall_ms = 0.0;
   double requests_per_sec = 0.0;
 };
 
-/// `clients` threads, each its own session, each issuing
-/// `requests_per_client` reads; wall time spans first byte to last.
-ThroughputPoint MeasureThroughput(int clients, int requests_per_client) {
+/// `clients` logical sessions over pooled connections, each keeping up
+/// to `depth` requests in flight, driven by one thread. depth == 1 is
+/// the synchronous baseline: every request waits out its own wire round
+/// trip before the next is sent.
+ThroughputPoint MeasureThroughput(int clients, int requests_per_client,
+                                  int depth) {
   ThroughputPoint out;
   out.clients = clients;
+  out.depth = depth;
   out.total_requests = clients * requests_per_client;
   server::ServerOptions options;
   options.max_sessions = clients + 2;
+  options.max_queue_depth = static_cast<size_t>(depth) + 2;
   Harness harness(options);
   if (!harness.ok) return out;
 
-  // Connect everyone and bind SQL before the clock starts.
-  std::vector<client::MldsClient> sessions(clients);
-  for (client::MldsClient& session : sessions) {
-    if (!session.Connect("127.0.0.1", harness.server->port()).ok()) return out;
-    if (!session.Use("sql", "payroll").ok()) return out;
+  // 64 sessions ride on at most 8 sockets; the server still runs each
+  // session's requests serially and different sessions' concurrently.
+  const size_t connections = std::min(clients, 8);
+  client::ClientPool pool;
+  if (!pool.Connect("127.0.0.1", harness.server->port(),
+                    static_cast<size_t>(clients), connections)
+           .ok()) {
+    return out;
   }
-  std::atomic<int> failures{0};
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
-  const auto start = std::chrono::steady_clock::now();
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      for (int i = 0; i < requests_per_client; ++i) {
-        if (!sessions[c].Execute(kStatement).ok()) {
-          failures.fetch_add(1);
-          return;
-        }
-      }
-    });
+    if (!pool.session(c).Use("sql", "payroll").ok()) return out;
   }
-  for (std::thread& thread : threads) thread.join();
+
+  std::vector<std::deque<uint32_t>> in_flight(clients);
+  std::vector<int> submitted(clients, 0);
+  bool failed = false;
+  const auto start = std::chrono::steady_clock::now();
+  // Round-robin driver: top every session up to `depth`, then await the
+  // oldest response of each session that is full or finished submitting.
+  int done = 0;
+  while (done < clients && !failed) {
+    done = 0;
+    for (int c = 0; c < clients; ++c) {
+      while (submitted[c] < requests_per_client &&
+             in_flight[c].size() < static_cast<size_t>(depth)) {
+        Result<uint32_t> id = pool.session(c).SubmitExecute(kStatement);
+        if (!id.ok()) {
+          failed = true;
+          break;
+        }
+        in_flight[c].push_back(*id);
+        ++submitted[c];
+      }
+      if (!in_flight[c].empty()) {
+        Result<wire::ExecuteResult> result =
+            pool.session(c).Await(in_flight[c].front());
+        in_flight[c].pop_front();
+        if (!result.ok()) {
+          failed = true;
+          break;
+        }
+        benchmark::DoNotOptimize(result->body.size());
+      }
+      if (submitted[c] == requests_per_client && in_flight[c].empty()) {
+        ++done;
+      }
+    }
+  }
   out.wall_ms = ElapsedMs(start);
-  if (failures.load() == 0 && out.wall_ms > 0.0) {
+  if (!failed && out.wall_ms > 0.0) {
     out.requests_per_sec = out.total_requests / (out.wall_ms / 1000.0);
   }
-  for (client::MldsClient& session : sessions) (void)session.Close();
+  (void)pool.Close();
   return out;
 }
 
@@ -194,24 +233,42 @@ AdmissionOutcome MeasureAdmission(int cap, int requests_per_client) {
 void WriteServerJson(const char* path) {
   bench::BenchReport report("server");
 
-  constexpr int kRequestsPerClient = 300;
-  double one_client_rps = 0.0, best_rps = 0.0;
-  for (int clients : {1, 2, 4, 8}) {
-    const ThroughputPoint p =
-        MeasureThroughput(clients, kRequestsPerClient);
-    if (clients == 1) one_client_rps = p.requests_per_sec;
-    best_rps = std::max(best_rps, p.requests_per_sec);
-    report.AddRow("throughput_vs_clients")
-        .Set("clients", p.clients)
-        .Set("total_requests", p.total_requests)
-        .Set("wall_ms", p.wall_ms)
-        .Set("requests_per_sec", p.requests_per_sec);
+  constexpr int kRequestsPerClient = 200;
+  constexpr int kPipelineDepth = 8;
+  double sync_one_client_rps = 0.0, sync_best_rps = 0.0;
+  double pipelined_best_rps = 0.0;
+  for (int clients : {1, 2, 4, 8, 16, 32, 64}) {
+    for (int depth : {1, kPipelineDepth}) {
+      const ThroughputPoint p =
+          MeasureThroughput(clients, kRequestsPerClient, depth);
+      if (depth == 1) {
+        if (clients == 1) sync_one_client_rps = p.requests_per_sec;
+        sync_best_rps = std::max(sync_best_rps, p.requests_per_sec);
+      } else {
+        pipelined_best_rps =
+            std::max(pipelined_best_rps, p.requests_per_sec);
+      }
+      report.AddRow("throughput_vs_clients")
+          .Set("clients", p.clients)
+          .Set("depth", p.depth)
+          .Set("mode", depth == 1 ? "sync" : "pipelined")
+          .Set("total_requests", p.total_requests)
+          .Set("wall_ms", p.wall_ms)
+          .Set("requests_per_sec", p.requests_per_sec);
+    }
   }
-  report.root().Set("scales_past_one_client", best_rps > one_client_rps);
+  report.root()
+      .Set("sync_one_client_rps", sync_one_client_rps)
+      .Set("sync_best_rps", sync_best_rps)
+      .Set("pipelined_best_rps", pipelined_best_rps)
+      .Set("scales_past_one_client", sync_best_rps > sync_one_client_rps)
+      .Set("pipelining_beats_sync_plateau",
+           pipelined_best_rps > sync_best_rps);
 
   constexpr int kOverheadRequests = 500;
   const double in_process_ms = MeasureInProcessMs(kOverheadRequests);
-  const ThroughputPoint wire = MeasureThroughput(1, kOverheadRequests);
+  const ThroughputPoint wire =
+      MeasureThroughput(1, kOverheadRequests, /*depth=*/1);
   const double per_request_us =
       (wire.wall_ms - in_process_ms) / kOverheadRequests * 1000.0;
   report.root()
@@ -236,10 +293,12 @@ void WriteServerJson(const char* path) {
 
   if (report.Write(path)) {
     std::printf(
-        "wrote %s (1 client %.0f req/s, best %.0f req/s, wire tax "
-        "%.1f us/req, admission %d admitted / %d busy of %d)\n",
-        path, one_client_rps, best_rps, per_request_us,
-        admission.admitted, admission.busy_rejected, admission.attempted);
+        "wrote %s (sync 1 client %.0f req/s, sync best %.0f req/s, "
+        "pipelined best %.0f req/s, wire tax %.1f us/req, admission %d "
+        "admitted / %d busy of %d)\n",
+        path, sync_one_client_rps, sync_best_rps, pipelined_best_rps,
+        per_request_us, admission.admitted, admission.busy_rejected,
+        admission.attempted);
   }
 }
 
@@ -262,6 +321,43 @@ void BM_WireRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WireRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_PipelinedWire(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  server::ServerOptions options;
+  options.max_queue_depth = static_cast<size_t>(depth) + 2;
+  Harness harness(options);
+  client::MldsClient session;
+  if (!harness.ok ||
+      !session.Connect("127.0.0.1", harness.server->port()).ok() ||
+      !session.Use("sql", "payroll").ok()) {
+    state.SkipWithError("server setup failed");
+    return;
+  }
+  std::deque<uint32_t> in_flight;
+  for (auto _ : state) {
+    while (in_flight.size() < static_cast<size_t>(depth)) {
+      auto id = session.SubmitExecute(kStatement);
+      if (!id.ok()) {
+        state.SkipWithError("submit failed");
+        return;
+      }
+      in_flight.push_back(*id);
+    }
+    auto result = session.AwaitResult(in_flight.front());
+    in_flight.pop_front();
+    if (!result.ok()) {
+      state.SkipWithError("await failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->body.size());
+  }
+  while (!in_flight.empty()) {
+    (void)session.AwaitResult(in_flight.front());
+    in_flight.pop_front();
+  }
+}
+BENCHMARK(BM_PipelinedWire)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
 void BM_InProcessSession(benchmark::State& state) {
   MldsSystem system;

@@ -20,19 +20,50 @@ Status BusyToStatus(std::string_view payload) {
 
 }  // namespace
 
+Status ChunkAssembler::OnChunk(uint32_t request_id,
+                               const wire::ResultChunk& chunk) {
+  Partial& partial = streams_[request_id];
+  if (chunk.seq != partial.next_seq) {
+    return Status::ParseError(
+        "result chunk out of sequence for request " +
+        std::to_string(request_id) + ": got seq " +
+        std::to_string(chunk.seq) + ", expected " +
+        std::to_string(partial.next_seq));
+  }
+  ++partial.next_seq;
+  partial.body += chunk.body;
+  return Status::OK();
+}
+
+std::string ChunkAssembler::Take(uint32_t request_id) {
+  auto it = streams_.find(request_id);
+  if (it == streams_.end()) return std::string();
+  std::string body = std::move(it->second.body);
+  streams_.erase(it);
+  return body;
+}
+
 MldsClient::~MldsClient() { Drop(); }
 
 MldsClient::MldsClient(MldsClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       session_id_(std::exchange(other.session_id_, 0)),
-      decoder_(std::move(other.decoder_)) {}
+      next_request_id_(std::exchange(other.next_request_id_, 1)),
+      decoder_(std::move(other.decoder_)),
+      assembler_(std::move(other.assembler_)),
+      completed_(std::move(other.completed_)),
+      chunk_observer_(std::move(other.chunk_observer_)) {}
 
 MldsClient& MldsClient::operator=(MldsClient&& other) noexcept {
   if (this != &other) {
     Drop();
     fd_ = std::exchange(other.fd_, -1);
     session_id_ = std::exchange(other.session_id_, 0);
+    next_request_id_ = std::exchange(other.next_request_id_, 1);
     decoder_ = std::move(other.decoder_);
+    assembler_ = std::move(other.assembler_);
+    completed_ = std::move(other.completed_);
+    chunk_observer_ = std::move(other.chunk_observer_);
   }
   return *this;
 }
@@ -43,6 +74,9 @@ void MldsClient::Drop() {
     fd_ = -1;
   }
   session_id_ = 0;
+  next_request_id_ = 1;
+  assembler_ = ChunkAssembler();
+  completed_.clear();
 }
 
 Status MldsClient::Connect(const std::string& host, uint16_t port,
@@ -60,28 +94,27 @@ Status MldsClient::Connect(const std::string& host, uint16_t port,
   return Status::OK();
 }
 
-Status MldsClient::Use(std::string_view language,
-                       std::string_view database) {
+Status MldsClient::Use(std::string_view language, std::string_view database,
+                       uint32_t session_id) {
   wire::UseRequest request{std::string(language), std::string(database)};
   MLDS_ASSIGN_OR_RETURN(
       common::Frame reply,
-      RoundTrip(wire::FrameType::kUse, wire::EncodeUseRequest(request)));
+      RoundTrip(wire::FrameType::kUse, wire::EncodeUseRequest(request),
+                session_id));
   (void)reply;
   return Status::OK();
 }
 
-Result<wire::ExecuteResult> MldsClient::Execute(std::string_view statement) {
-  MLDS_ASSIGN_OR_RETURN(
-      common::Frame reply,
-      RoundTrip(wire::FrameType::kExecute, std::string(statement)));
-  return wire::DecodeExecuteResult(reply.payload);
+Result<wire::ExecuteResult> MldsClient::Execute(std::string_view statement,
+                                                uint32_t session_id) {
+  MLDS_ASSIGN_OR_RETURN(uint32_t id, SubmitExecute(statement, session_id));
+  return AwaitResult(id);
 }
 
-Result<wire::ExecuteResult> MldsClient::Explain(std::string_view statement) {
-  MLDS_ASSIGN_OR_RETURN(
-      common::Frame reply,
-      RoundTrip(wire::FrameType::kExplain, std::string(statement)));
-  return wire::DecodeExecuteResult(reply.payload);
+Result<wire::ExecuteResult> MldsClient::Explain(std::string_view statement,
+                                                uint32_t session_id) {
+  MLDS_ASSIGN_OR_RETURN(uint32_t id, SubmitExplain(statement, session_id));
+  return AwaitResult(id);
 }
 
 Result<std::string> MldsClient::HealthText() {
@@ -111,38 +144,149 @@ Status MldsClient::RequestShutdown() {
 
 Status MldsClient::Close() {
   if (!connected()) return Status::OK();
+  // BYE drains: the server answers every in-flight request first, and
+  // ReadUntil parks those responses while waiting for the goodbye.
   Result<common::Frame> reply =
       RoundTrip(wire::FrameType::kBye, std::string());
   Drop();
   return reply.ok() ? Status::OK() : reply.status();
 }
 
-Result<common::Frame> MldsClient::RoundTrip(wire::FrameType type,
-                                            std::string payload) {
+Result<uint32_t> MldsClient::Submit(wire::FrameType type, std::string payload,
+                                    uint32_t session_id) {
   if (!connected()) return Status::InvalidArgument("not connected");
   common::Frame request;
   request.type = static_cast<uint8_t>(type);
-  request.session_id = session_id_;
+  request.session_id = session_id == 0 ? session_id_ : session_id;
+  request.request_id = next_request_id_++;
   request.payload = std::move(payload);
   Status sent = common::SendAll(fd_, common::EncodeFrame(request));
   if (!sent.ok()) {
     Drop();
     return sent;
   }
-  MLDS_ASSIGN_OR_RETURN(common::Frame reply, ReadFrame());
-  switch (static_cast<wire::FrameType>(reply.type)) {
+  return request.request_id;
+}
+
+Result<uint32_t> MldsClient::SubmitExecute(std::string_view statement,
+                                           uint32_t session_id) {
+  return Submit(wire::FrameType::kExecute, std::string(statement),
+                session_id);
+}
+
+Result<uint32_t> MldsClient::SubmitExplain(std::string_view statement,
+                                           uint32_t session_id) {
+  return Submit(wire::FrameType::kExplain, std::string(statement),
+                session_id);
+}
+
+Result<common::Frame> MldsClient::Await(uint32_t request_id) {
+  MLDS_ASSIGN_OR_RETURN(StoredReply reply, TakeReply(request_id));
+  switch (static_cast<wire::FrameType>(reply.frame.type)) {
     case wire::FrameType::kError:
-      return wire::DecodeStatus(reply.payload);
+      return wire::DecodeStatus(reply.frame.payload);
     case wire::FrameType::kBusy: {
-      const Status busy = BusyToStatus(reply.payload);
+      const Status busy = BusyToStatus(reply.frame.payload);
       // A session-scope BUSY precedes a server-side close: drop now so
       // callers see a clean "not connected" rather than a recv error.
-      if (reply.session_id == 0) Drop();
+      if (reply.frame.session_id == 0) Drop();
       return busy;
     }
     default:
-      return reply;
+      return std::move(reply.frame);
   }
+}
+
+Result<wire::ExecuteResult> MldsClient::AwaitResult(uint32_t request_id) {
+  MLDS_ASSIGN_OR_RETURN(StoredReply reply, TakeReply(request_id));
+  switch (static_cast<wire::FrameType>(reply.frame.type)) {
+    case wire::FrameType::kError:
+      return wire::DecodeStatus(reply.frame.payload);
+    case wire::FrameType::kBusy: {
+      const Status busy = BusyToStatus(reply.frame.payload);
+      if (reply.frame.session_id == 0) Drop();
+      return busy;
+    }
+    default: {
+      MLDS_ASSIGN_OR_RETURN(wire::ExecuteResult result,
+                            wire::DecodeExecuteResult(reply.frame.payload));
+      if (reply.streamed) result.body = std::move(reply.streamed_body);
+      return result;
+    }
+  }
+}
+
+Result<uint32_t> MldsClient::OpenSession() {
+  if (!connected()) return Status::InvalidArgument("not connected");
+  MLDS_ASSIGN_OR_RETURN(
+      uint32_t id, Submit(wire::FrameType::kOpenSession, std::string(),
+                          session_id_));
+  MLDS_ASSIGN_OR_RETURN(common::Frame reply, Await(id));
+  if (reply.session_id == 0) {
+    return Status::Internal("OPEN_SESSION reply carried no session id");
+  }
+  return reply.session_id;
+}
+
+Status MldsClient::CloseSession(uint32_t session_id) {
+  MLDS_ASSIGN_OR_RETURN(
+      common::Frame reply,
+      RoundTrip(wire::FrameType::kCloseSession, std::string(), session_id));
+  (void)reply;
+  return Status::OK();
+}
+
+Result<common::Frame> MldsClient::RoundTrip(wire::FrameType type,
+                                            std::string payload,
+                                            uint32_t session_id) {
+  MLDS_ASSIGN_OR_RETURN(uint32_t id,
+                        Submit(type, std::move(payload), session_id));
+  return Await(id);
+}
+
+Status MldsClient::ReadUntil(uint32_t request_id) {
+  while (completed_.find(request_id) == completed_.end()) {
+    MLDS_ASSIGN_OR_RETURN(common::Frame frame, ReadFrame());
+    if (frame.type == static_cast<uint8_t>(wire::FrameType::kResultChunk)) {
+      Result<wire::ResultChunk> chunk =
+          wire::DecodeResultChunk(frame.payload);
+      if (!chunk.ok()) {
+        Drop();
+        return chunk.status();
+      }
+      const Status folded = assembler_.OnChunk(frame.request_id, *chunk);
+      if (!folded.ok()) {
+        Drop();
+        return folded;
+      }
+      if (chunk_observer_) chunk_observer_(frame.request_id, *chunk);
+      continue;
+    }
+    StoredReply reply;
+    reply.frame = std::move(frame);
+    if (assembler_.streaming(reply.frame.request_id)) {
+      reply.streamed = true;
+      reply.streamed_body = assembler_.Take(reply.frame.request_id);
+    }
+    // An untagged response (request_id 0, e.g. a connection-scope BUSY
+    // sent before any request decoded) answers whatever we are waiting
+    // for.
+    const uint32_t key =
+        reply.frame.request_id != 0 ? reply.frame.request_id : request_id;
+    completed_[key] = std::move(reply);
+  }
+  return Status::OK();
+}
+
+Result<MldsClient::StoredReply> MldsClient::TakeReply(uint32_t request_id) {
+  if (!connected() && completed_.find(request_id) == completed_.end()) {
+    return Status::InvalidArgument("not connected");
+  }
+  MLDS_RETURN_IF_ERROR(ReadUntil(request_id));
+  auto it = completed_.find(request_id);
+  StoredReply reply = std::move(it->second);
+  completed_.erase(it);
+  return reply;
 }
 
 Result<common::Frame> MldsClient::ReadFrame() {

@@ -1,0 +1,80 @@
+#include "client/pool.h"
+
+#include <utility>
+
+namespace mlds::client {
+
+Status PooledSession::Use(std::string_view language,
+                          std::string_view database) {
+  return connection_->Use(language, database, session_id_);
+}
+
+Result<uint32_t> PooledSession::SubmitExecute(std::string_view statement) {
+  return connection_->SubmitExecute(statement, session_id_);
+}
+
+Result<uint32_t> PooledSession::SubmitExplain(std::string_view statement) {
+  return connection_->SubmitExplain(statement, session_id_);
+}
+
+Result<wire::ExecuteResult> PooledSession::Await(uint32_t request_id) {
+  return connection_->AwaitResult(request_id);
+}
+
+Result<wire::ExecuteResult> PooledSession::Execute(
+    std::string_view statement) {
+  return connection_->Execute(statement, session_id_);
+}
+
+Status ClientPool::Connect(const std::string& host, uint16_t port,
+                           size_t sessions, size_t connections,
+                           std::string_view client_name) {
+  if (!connections_.empty()) {
+    return Status::InvalidArgument("pool already connected");
+  }
+  if (connections == 0 || sessions < connections) {
+    return Status::InvalidArgument(
+        "need connections >= 1 and sessions >= connections (got " +
+        std::to_string(sessions) + " sessions over " +
+        std::to_string(connections) + " connections)");
+  }
+  for (size_t i = 0; i < connections; ++i) {
+    auto connection = std::make_unique<MldsClient>();
+    const Status status = connection->Connect(
+        host, port,
+        std::string(client_name) + "#" + std::to_string(i));
+    if (!status.ok()) {
+      connections_.clear();
+      sessions_.clear();
+      return status;
+    }
+    // HELLO opened the connection's first session.
+    sessions_.push_back(
+        PooledSession(connection.get(), connection->session_id()));
+    connections_.push_back(std::move(connection));
+  }
+  // Remaining sessions round-robin across the connections.
+  for (size_t i = connections; i < sessions; ++i) {
+    MldsClient* connection = connections_[i % connections].get();
+    Result<uint32_t> id = connection->OpenSession();
+    if (!id.ok()) {
+      (void)Close();
+      return id.status();
+    }
+    sessions_.push_back(PooledSession(connection, *id));
+  }
+  return Status::OK();
+}
+
+Status ClientPool::Close() {
+  Status first = Status::OK();
+  for (std::unique_ptr<MldsClient>& connection : connections_) {
+    const Status status = connection->Close();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  connections_.clear();
+  sessions_.clear();
+  return first;
+}
+
+}  // namespace mlds::client

@@ -1,0 +1,88 @@
+#ifndef MLDS_CLIENT_POOL_H_
+#define MLDS_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/client.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mlds::client {
+
+class ClientPool;
+
+/// One logical session multiplexed over a pooled connection. Thin
+/// handle: submissions go out on the shared connection tagged with this
+/// session's id; Await demultiplexes by request_id. Several sessions on
+/// one connection pipeline independently — the server runs each
+/// session's requests serially, different sessions' concurrently.
+class PooledSession {
+ public:
+  uint32_t session_id() const { return session_id_; }
+
+  Status Use(std::string_view language, std::string_view database);
+
+  /// Pipelined: send now, collect with Await.
+  Result<uint32_t> SubmitExecute(std::string_view statement);
+  Result<uint32_t> SubmitExplain(std::string_view statement);
+  Result<wire::ExecuteResult> Await(uint32_t request_id);
+
+  /// Synchronous convenience.
+  Result<wire::ExecuteResult> Execute(std::string_view statement);
+
+ private:
+  friend class ClientPool;
+  PooledSession(MldsClient* connection, uint32_t session_id)
+      : connection_(connection), session_id_(session_id) {}
+
+  MldsClient* connection_;
+  uint32_t session_id_;
+};
+
+/// N logical sessions multiplexed over M TCP connections (protocol v2).
+///
+/// Each connection's HELLO opens its first session; the rest are opened
+/// with OPEN_SESSION, spread round-robin, so 64 benchmark "clients" can
+/// ride on a handful of sockets while the server still sees 64
+/// independent run units. One driver thread pipelines across every
+/// session (Submit on many, then Await each); the pool is NOT
+/// thread-safe — partition sessions across pools for multi-threaded
+/// drivers.
+class ClientPool {
+ public:
+  ClientPool() = default;
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Opens `connections` sockets carrying `sessions` logical sessions
+  /// (sessions >= connections; each connection carries at least its
+  /// HELLO session).
+  Status Connect(const std::string& host, uint16_t port, size_t sessions,
+                 size_t connections,
+                 std::string_view client_name = "mlds-pool");
+
+  size_t session_count() const { return sessions_.size(); }
+  size_t connection_count() const { return connections_.size(); }
+  PooledSession& session(size_t index) { return sessions_[index]; }
+
+  /// The underlying connection of session `index` (for admin frames).
+  MldsClient& connection_of(size_t index) {
+    return *sessions_[index].connection_;
+  }
+
+  /// Graceful goodbye on every connection.
+  Status Close();
+
+ private:
+  std::vector<std::unique_ptr<MldsClient>> connections_;
+  std::vector<PooledSession> sessions_;
+};
+
+}  // namespace mlds::client
+
+#endif  // MLDS_CLIENT_POOL_H_

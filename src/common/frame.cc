@@ -43,9 +43,27 @@ std::string EncodeFrame(const Frame& frame) {
   out.push_back(0);  // flags low byte
   out.push_back(0);  // flags high byte
   AppendU32(&out, frame.session_id);
+  AppendU32(&out, frame.request_id);
   AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
   // The checksum covers the header prefix and the payload, so a flipped
-  // type or session_id byte is caught, not just payload corruption.
+  // type, session_id, or request_id byte is caught, not just payload
+  // corruption.
+  const uint64_t prefix = Fnv1a64(std::string_view(out.data(), 20));
+  AppendU64(&out, Fnv1a64Continue(prefix, frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+std::string EncodeLegacyV1Frame(const Frame& frame) {
+  std::string out;
+  out.reserve(kLegacyFrameHeaderBytes + frame.payload.size());
+  AppendU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kLegacyFrameVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(0);
+  out.push_back(0);
+  AppendU32(&out, frame.session_id);
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
   const uint64_t prefix = Fnv1a64(std::string_view(out.data(), 16));
   AppendU64(&out, Fnv1a64Continue(prefix, frame.payload));
   out += frame.payload;
@@ -80,22 +98,31 @@ FrameDecoder::Decoded FrameDecoder::Next() {
     return out;
   }
   const size_t available = buffer_.size() - consumed_;
+  // The magic and version occupy the same offsets in every protocol
+  // version, so a version mismatch is reported as soon as five bytes
+  // arrive — before the (version-specific) rest of the header is parsed.
+  if (available >= 5) {
+    const char* head = buffer_.data() + consumed_;
+    if (ReadU32(head) != kFrameMagic) {
+      return Fail("bad frame magic");
+    }
+    const uint8_t version = static_cast<uint8_t>(head[4]);
+    if (version != kFrameVersion) {
+      rejected_version_ = version;
+      return Fail("unsupported frame version " + std::to_string(version) +
+                  " (this end speaks version " +
+                  std::to_string(kFrameVersion) + ")");
+    }
+  }
   if (available < kFrameHeaderBytes) {
     out.event = Event::kNeedMore;
     return out;
   }
   const char* header = buffer_.data() + consumed_;
-  if (ReadU32(header) != kFrameMagic) {
-    return Fail("bad frame magic");
-  }
-  const uint8_t version = static_cast<uint8_t>(header[4]);
-  if (version != kFrameVersion) {
-    return Fail("unsupported frame version " + std::to_string(version));
-  }
   if (header[6] != 0 || header[7] != 0) {
     return Fail("nonzero reserved frame flags");
   }
-  const uint32_t payload_len = ReadU32(header + 12);
+  const uint32_t payload_len = ReadU32(header + 16);
   if (payload_len > max_payload_) {
     // Rejected from the header alone: the attacker's claimed length is
     // never allocated or waited for.
@@ -109,13 +136,14 @@ FrameDecoder::Decoded FrameDecoder::Next() {
   }
   std::string_view payload(buffer_.data() + consumed_ + kFrameHeaderBytes,
                            payload_len);
-  const uint64_t prefix = Fnv1a64(std::string_view(header, 16));
-  if (Fnv1a64Continue(prefix, payload) != ReadU64(header + 16)) {
+  const uint64_t prefix = Fnv1a64(std::string_view(header, 20));
+  if (Fnv1a64Continue(prefix, payload) != ReadU64(header + 20)) {
     return Fail("frame checksum mismatch");
   }
   out.event = Event::kFrame;
   out.frame.type = static_cast<uint8_t>(header[5]);
   out.frame.session_id = ReadU32(header + 8);
+  out.frame.request_id = ReadU32(header + 12);
   out.frame.payload.assign(payload.data(), payload.size());
   consumed_ += kFrameHeaderBytes + payload_len;
   return out;

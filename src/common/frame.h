@@ -13,7 +13,7 @@ namespace mlds::common {
 
 /// The MLDS wire frame: the length-prefixed, checksummed envelope every
 /// client/server message travels in. Layout (all integers little-endian,
-/// 24-byte header followed by the payload):
+/// 28-byte header followed by the payload):
 ///
 ///   offset  size  field
 ///        0     4  magic       0x4D4C4453 ("MLDS")
@@ -21,9 +21,15 @@ namespace mlds::common {
 ///        5     1  type        message type (see server/wire.h)
 ///        6     2  flags       reserved, must be zero
 ///        8     4  session_id  0 before a session is assigned
-///       12     4  payload_len bytes of payload following the header
-///       16     8  checksum    Fnv1a64 of header bytes [0,16) + payload
-///       24     n  payload
+///       12     4  request_id  client-chosen tag echoed in responses
+///       16     4  payload_len bytes of payload following the header
+///       20     8  checksum    Fnv1a64 of header bytes [0,20) + payload
+///       28     n  payload
+///
+/// Version 2 added the request_id field: clients may pipeline several
+/// requests on one connection, and responses — which may complete out of
+/// order across sessions — carry the id of the request they answer.
+/// Streamed results reuse the id to tag every chunk of one result.
 ///
 /// The length prefix makes the stream self-delimiting, the checksum
 /// catches corruption the same way the WAL's entry framing does, and the
@@ -31,20 +37,34 @@ namespace mlds::common {
 /// before buffering a single payload byte.
 
 inline constexpr uint32_t kFrameMagic = 0x4D4C4453;  // "MLDS"
-inline constexpr uint8_t kFrameVersion = 1;
-inline constexpr size_t kFrameHeaderBytes = 24;
-/// Default ceiling on one frame's payload. Statements and formatted
-/// result tables are small; anything near this is hostile or broken.
+inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 28;
+/// The retired protocol version 1 header (no request_id) was 24 bytes;
+/// kept for the one legacy reply the server still speaks (see
+/// EncodeLegacyV1Frame).
+inline constexpr uint8_t kLegacyFrameVersion = 1;
+inline constexpr size_t kLegacyFrameHeaderBytes = 24;
+/// Default ceiling on one frame's payload. Statements are small and
+/// large results stream as bounded chunks; anything near this is hostile
+/// or broken.
 inline constexpr size_t kDefaultMaxPayload = 1 << 20;
 
 struct Frame {
   uint8_t type = 0;
   uint32_t session_id = 0;
+  uint32_t request_id = 0;
   std::string payload;
 };
 
 /// Renders `frame` as header + payload bytes, computing the checksum.
 std::string EncodeFrame(const Frame& frame);
+
+/// Renders `frame` in the retired version-1 layout (24-byte header, no
+/// request_id). The server uses this exactly once per legacy connection:
+/// to answer a version-1 client with a structured ERROR naming the
+/// supported version, in framing the old client can still decode, before
+/// dropping the connection.
+std::string EncodeLegacyV1Frame(const Frame& frame);
 
 /// Incremental, hostile-input-safe frame decoder. Feed() appends raw
 /// bytes from the transport; Next() yields decoded frames one at a time.
@@ -79,6 +99,12 @@ class FrameDecoder {
   bool poisoned() const { return poisoned_; }
   const std::string& error() const { return error_; }
 
+  /// When the decoder poisoned on a well-formed header carrying a
+  /// different protocol version, the version the peer spoke (0
+  /// otherwise). Lets the server answer a version-1 client with a
+  /// structured version error instead of a silent drop.
+  uint8_t rejected_version() const { return rejected_version_; }
+
   /// Bytes currently buffered; bounded by one header + max_payload plus
   /// whatever one Feed() call handed over in excess of a frame boundary.
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
@@ -94,6 +120,7 @@ class FrameDecoder {
   /// amortized O(bytes).
   size_t consumed_ = 0;
   bool poisoned_ = false;
+  uint8_t rejected_version_ = 0;
   std::string error_;
 };
 

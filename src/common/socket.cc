@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -87,6 +88,29 @@ Result<int> AcceptConnection(int listen_fd) {
   }
 }
 
+Result<int> AcceptConnectionNonBlocking(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return ErrnoStatus("accept");
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl F_GETFL");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl F_SETFL O_NONBLOCK");
+  }
+  return Status::OK();
+}
+
 Status SendAll(int fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -108,6 +132,46 @@ Result<size_t> RecvSome(int fd, char* buffer, size_t capacity) {
     if (errno == EINTR) continue;
     return ErrnoStatus("recv");
   }
+}
+
+Result<IoChunk> RecvChunk(int fd, char* buffer, size_t capacity) {
+  IoChunk out;
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n > 0) {
+      out.bytes = static_cast<size_t>(n);
+      return out;
+    }
+    if (n == 0) {
+      out.closed = true;
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.would_block = true;
+      return out;
+    }
+    return ErrnoStatus("recv");
+  }
+}
+
+Result<IoChunk> SendChunk(int fd, std::string_view bytes) {
+  IoChunk out;
+  while (out.bytes < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + out.bytes,
+                             bytes.size() - out.bytes, MSG_NOSIGNAL);
+    if (n > 0) {
+      out.bytes += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      out.would_block = true;
+      return out;
+    }
+    return ErrnoStatus("send");
+  }
+  return out;
 }
 
 void ShutdownRead(int fd) {

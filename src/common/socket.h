@@ -28,12 +28,35 @@ Result<uint16_t> BoundPort(int fd);
 /// means the listener was shut down.
 Result<int> AcceptConnection(int listen_fd);
 
+/// Accepts one pending connection without blocking: returns the fd, or
+/// -1 when no connection is waiting. The accepted socket has TCP_NODELAY
+/// set; the caller decides its blocking mode.
+Result<int> AcceptConnectionNonBlocking(int listen_fd);
+
+/// Switches `fd` to non-blocking mode (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
 /// Sends all of `bytes`, looping over partial writes.
 Status SendAll(int fd, std::string_view bytes);
 
 /// Receives up to `capacity` bytes into `buffer`. Returns 0 on orderly
 /// peer shutdown; an error Status on connection failure.
 Result<size_t> RecvSome(int fd, char* buffer, size_t capacity);
+
+/// One non-blocking transfer attempt. `bytes` counts what moved;
+/// `would_block` is true when the socket had no room / no data (EAGAIN);
+/// `closed` is true on orderly peer shutdown (recv only).
+struct IoChunk {
+  size_t bytes = 0;
+  bool would_block = false;
+  bool closed = false;
+};
+
+/// Non-blocking recv: fills `buffer` with whatever is available.
+Result<IoChunk> RecvChunk(int fd, char* buffer, size_t capacity);
+
+/// Non-blocking send: writes as much of `bytes` as the socket accepts.
+Result<IoChunk> SendChunk(int fd, std::string_view bytes);
 
 /// Half-close helpers; safe on already-closed fds (< 0 ignored).
 void ShutdownRead(int fd);

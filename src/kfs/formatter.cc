@@ -47,47 +47,120 @@ std::vector<std::string> CollectColumns(
 
 }  // namespace
 
+std::string StringChunkSource::Next(size_t max_bytes) {
+  const size_t n = std::min(max_bytes, body_.size() - pos_);
+  std::string chunk = body_.substr(pos_, n);
+  pos_ += n;
+  return chunk;
+}
+
+TableChunkSource::TableChunkSource(std::vector<abdm::Record> records,
+                                   const network::RecordType* record_type,
+                                   const network::Schema* schema,
+                                   FormatOptions options)
+    : owned_(std::move(records)),
+      records_(&owned_),
+      record_type_(record_type),
+      schema_(schema),
+      options_(std::move(options)) {
+  ComputeLayout();
+}
+
+TableChunkSource::TableChunkSource(const std::vector<abdm::Record>* records,
+                                   const network::RecordType* record_type,
+                                   const network::Schema* schema,
+                                   FormatOptions options)
+    : records_(records),
+      record_type_(record_type),
+      schema_(schema),
+      options_(std::move(options)) {
+  ComputeLayout();
+}
+
+void TableChunkSource::ComputeLayout() {
+  columns_ = CollectColumns(*records_, record_type_, schema_, options_);
+  if (columns_.empty()) {
+    // Rendered as the single literal "(no records)\n".
+    total_bytes_ = 13;
+    return;
+  }
+  widths_.assign(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) widths_[c] = columns_[c].size();
+  // Width pass: cells are rendered, measured, and discarded — the layout
+  // costs one extra conversion pass, never a buffered copy of the table.
+  for (const auto& record : *records_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      abdm::Value v = record.GetOrNull(columns_[c]);
+      const std::string cell = v.is_null() ? "-" : v.ToDisplayString();
+      widths_[c] = std::max(widths_[c], cell.size());
+    }
+  }
+  line_bytes_ = 1;  // trailing newline
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    line_bytes_ += widths_[c] + (c > 0 ? options_.separator.size() : 0);
+  }
+  // Header + rule + one line per record, all the same length.
+  total_bytes_ = line_bytes_ * (records_->size() + 2);
+}
+
+bool TableChunkSource::done() const {
+  if (columns_.empty()) return phase_ > 0;
+  return phase_ == 2 && row_ == records_->size();
+}
+
+void TableChunkSource::AppendRowLine(const abdm::Record& record,
+                                     std::string* out) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) *out += options_.separator;
+    abdm::Value v = record.GetOrNull(columns_[c]);
+    const std::string cell = v.is_null() ? "-" : v.ToDisplayString();
+    *out += cell;
+    out->append(widths_[c] - cell.size(), ' ');
+  }
+  *out += "\n";
+}
+
+std::string TableChunkSource::Next(size_t max_bytes) {
+  std::string out;
+  if (columns_.empty()) {
+    if (phase_ == 0) {
+      out = "(no records)\n";
+      phase_ = 1;
+    }
+    return out;
+  }
+  // Whole lines only, at least one per call so progress is guaranteed:
+  // chunk boundaries never split a line, and concatenation reproduces
+  // the buffered rendering exactly.
+  while (!done() && (out.empty() || out.size() + line_bytes_ <= max_bytes)) {
+    if (phase_ == 0) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        if (c > 0) out += options_.separator;
+        out += columns_[c];
+        out.append(widths_[c] - columns_[c].size(), ' ');
+      }
+      out += "\n";
+      phase_ = 1;
+    } else if (phase_ == 1) {
+      out.append(line_bytes_ - 1, '-');
+      out += "\n";
+      phase_ = 2;
+    } else {
+      AppendRowLine((*records_)[row_], &out);
+      ++row_;
+    }
+  }
+  return out;
+}
+
 std::string FormatTable(const std::vector<abdm::Record>& records,
                         const network::RecordType* record_type,
                         const network::Schema* schema,
                         const FormatOptions& options) {
-  std::vector<std::string> columns =
-      CollectColumns(records, record_type, schema, options);
-  if (columns.empty()) return "(no records)\n";
-
-  std::vector<size_t> widths(columns.size());
-  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
-  std::vector<std::vector<std::string>> rows;
-  rows.reserve(records.size());
-  for (const auto& record : records) {
-    std::vector<std::string> row;
-    row.reserve(columns.size());
-    for (size_t c = 0; c < columns.size(); ++c) {
-      abdm::Value v = record.GetOrNull(columns[c]);
-      std::string cell = v.is_null() ? "-" : v.ToDisplayString();
-      widths[c] = std::max(widths[c], cell.size());
-      row.push_back(std::move(cell));
-    }
-    rows.push_back(std::move(row));
-  }
-
+  TableChunkSource source(&records, record_type, schema, options);
   std::string out;
-  auto append_row = [&](const std::vector<std::string>& cells) {
-    for (size_t c = 0; c < cells.size(); ++c) {
-      if (c > 0) out += options.separator;
-      out += cells[c];
-      out.append(widths[c] - cells[c].size(), ' ');
-    }
-    out += "\n";
-  };
-  append_row(columns);
-  size_t total = 0;
-  for (size_t c = 0; c < columns.size(); ++c) {
-    total += widths[c] + (c > 0 ? options.separator.size() : 0);
-  }
-  out.append(total, '-');
-  out += "\n";
-  for (const auto& row : rows) append_row(row);
+  out.reserve(source.total_bytes());
+  while (!source.done()) out += source.Next(1 << 20);
   return out;
 }
 

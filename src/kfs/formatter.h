@@ -40,6 +40,85 @@ std::string FormatTable(const std::vector<abdm::Record>& records,
                         const network::Schema* schema = nullptr,
                         const FormatOptions& options = {});
 
+/// Incremental producer of one rendered result body. The wire server
+/// pulls chunks as its write buffer drains, so a million-row RETRIEVE
+/// renders O(chunk) bytes at a time instead of one giant string.
+/// Concatenating every chunk yields exactly the bytes the buffered
+/// formatter produces — byte-identity is the contract streaming is
+/// tested against.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// True once every byte has been produced.
+  virtual bool done() const = 0;
+
+  /// Produces the next chunk, at most ~`max_bytes` long (one line may
+  /// overshoot so progress is always made). Empty only when done().
+  virtual std::string Next(size_t max_bytes) = 0;
+
+  /// Exact size of the full rendering, known up front.
+  virtual size_t total_bytes() const = 0;
+};
+
+/// ChunkSource over an already-rendered body: bounds the *receiver's*
+/// frame sizes (and the sender's write buffer) when a formatter has no
+/// incremental form.
+class StringChunkSource : public ChunkSource {
+ public:
+  explicit StringChunkSource(std::string body) : body_(std::move(body)) {}
+
+  bool done() const override { return pos_ == body_.size(); }
+  std::string Next(size_t max_bytes) override;
+  size_t total_bytes() const override { return body_.size(); }
+
+ private:
+  std::string body_;
+  size_t pos_ = 0;
+};
+
+/// Incremental form of FormatTable: one pass over the records computes
+/// the column layout (widths only — no cell strings are kept), then
+/// rows render on demand, whole lines at a time. Every line of an
+/// aligned table has the same length, so total_bytes() is exact.
+/// FormatTable itself drains one of these, which is what makes the
+/// streamed and buffered renderings byte-identical by construction.
+class TableChunkSource : public ChunkSource {
+ public:
+  /// Owns the records (the streaming path: the response's record set is
+  /// moved in and freed as rendering completes).
+  TableChunkSource(std::vector<abdm::Record> records,
+                   const network::RecordType* record_type = nullptr,
+                   const network::Schema* schema = nullptr,
+                   FormatOptions options = {});
+  /// Borrows the records (the buffered FormatTable path).
+  TableChunkSource(const std::vector<abdm::Record>* records,
+                   const network::RecordType* record_type,
+                   const network::Schema* schema, FormatOptions options);
+
+  bool done() const override;
+  std::string Next(size_t max_bytes) override;
+  size_t total_bytes() const override { return total_bytes_; }
+
+ private:
+  void ComputeLayout();
+  void AppendRowLine(const abdm::Record& record, std::string* out) const;
+
+  std::vector<abdm::Record> owned_;
+  const std::vector<abdm::Record>* records_;
+  const network::RecordType* record_type_;
+  const network::Schema* schema_;
+  FormatOptions options_;
+
+  std::vector<std::string> columns_;
+  std::vector<size_t> widths_;
+  size_t line_bytes_ = 0;   ///< every table line has this length.
+  size_t total_bytes_ = 0;
+  /// 0 = header pending, 1 = rule pending, 2 = emitting rows.
+  int phase_ = 0;
+  size_t row_ = 0;
+};
+
 /// Formats one record as "attr: value" lines.
 std::string FormatRecord(const abdm::Record& record,
                          const FormatOptions& options = {});

@@ -5,14 +5,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/frame.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "mlds/mlds.h"
 #include "server/session.h"
 #include "server/wire.h"
@@ -24,15 +28,31 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 picks an ephemeral port; read it back with port().
   uint16_t port = 0;
-  /// Admission control: connections beyond this cap receive a structured
-  /// BUSY frame and are closed, never queued.
+  /// Admission control: sessions beyond this cap receive a structured
+  /// BUSY frame (at accept time for a connection's first session, as a
+  /// tagged response for OPEN_SESSION), never a silent queue.
   int max_sessions = 8;
-  /// Admission control: frames a client may have pending per session. A
-  /// frame arriving on a full queue is answered BUSY immediately.
+  /// Admission control: requests a client may have in flight per session
+  /// (queued + executing). A frame arriving on a full session is answered
+  /// BUSY immediately.
   size_t max_queue_depth = 8;
   /// Frame decoder payload ceiling (oversized frames are rejected from
   /// the header alone).
   size_t max_payload_bytes = common::kDefaultMaxPayload;
+  /// Statement-execution workers behind the event loop (0 is valid:
+  /// requests then execute inline on the loop thread, fully serial).
+  int worker_threads = 2;
+  /// Result bodies larger than this stream as kResultChunk frames
+  /// instead of traveling inline in the kResult payload. Must stay under
+  /// the peer's max_payload_bytes or large results would be undecodable.
+  size_t stream_threshold = 256 * 1024;
+  /// Bytes per kResultChunk frame.
+  size_t chunk_bytes = 64 * 1024;
+  /// Write-buffer high-water mark: the loop stops pulling chunks from
+  /// result streams while a connection's outbox holds at least this many
+  /// unsent bytes, so a slow consumer bounds the server's memory at
+  /// O(high_water + chunk) instead of O(result).
+  size_t write_high_water = 256 * 1024;
 };
 
 /// Monotonic counters of the server's life, served remotely by STATS.
@@ -43,28 +63,56 @@ struct ServerStats {
   uint64_t requests_rejected = 0;
   uint64_t bad_frames = 0;
   uint32_t sessions_active = 0;
+  uint64_t inflight_highwater = 0;
+  uint64_t write_buffer_highwater = 0;
+  uint64_t results_streamed = 0;
+  uint64_t chunks_streamed = 0;
+  uint64_t backpressure_stalls = 0;
 };
 
 /// The MLDS session server: the network front-end that turns the
-/// library into a system. One process-wide MldsSystem sits behind a
-/// multi-threaded TCP accept loop; each connection is one session with
-/// its own language binding and run-unit state (server/session.h), a
-/// reader thread that decodes frames incrementally, and a worker thread
-/// that executes requests in arrival order — so sessions execute
-/// concurrently against the kernel while each session stays serial, the
-/// same discipline the MBDS controller already expects of its clients.
+/// library into a system.
 ///
-/// Admission control bounds both dimensions of load: concurrent sessions
-/// (connections past `max_sessions` get a BUSY frame naming the cap and
-/// are closed) and per-session pipelining (frames past `max_queue_depth`
-/// get BUSY instead of unbounded buffering). Hostile bytes never take
-/// the server down: the frame decoder rejects oversized or garbage
-/// frames from the header alone, the offending connection is answered
-/// with an ERROR frame and dropped, and every other session continues.
+/// One event-loop thread owns every socket: an epoll set with the
+/// listener, an eventfd for cross-thread wakeups, and all client
+/// connections in non-blocking mode. The loop decodes frames
+/// incrementally (per-connection FrameDecoder state survives partial
+/// reads), buffers partial writes per connection, and dispatches decoded
+/// requests onto a shared ThreadPool — so idle connections cost a few
+/// hundred bytes instead of two parked threads, and request execution
+/// never blocks I/O progress on other connections.
 ///
-/// Shutdown() drains gracefully: the listener closes, queued requests of
-/// every live session finish and their responses flush, then sockets
-/// close and threads join. A remote admin SHUTDOWN frame makes
+/// Protocol v2 pipelining: a connection may carry several sessions
+/// (HELLO opens the first, OPEN_SESSION more), and each session may have
+/// several tagged requests in flight. Execution stays strictly serial
+/// *per session* — each session is a "lane" whose queued requests run
+/// one at a time in arrival order, preserving the run-unit state
+/// (CODASYL currency, DL/I position, ABDL transactions) exactly as the
+/// thesis's one-run-unit-at-a-time discipline requires — while different
+/// sessions' requests execute concurrently and their responses complete
+/// out of order, matched to requests by the request_id in the frame
+/// header.
+///
+/// Large results stream: a body over `stream_threshold` leaves the
+/// worker as a kfs::ChunkSource and the loop emits it as kResultChunk
+/// frames, pulling the next chunk only while the connection's write
+/// buffer sits under `write_high_water` (backpressure), with concurrent
+/// streams on one connection served round-robin. A million-row RETRIEVE
+/// therefore holds O(chunk) formatted bytes on the server regardless of
+/// how slowly the client reads. A session's next request starts only
+/// after its predecessor's stream has fully drained, keeping per-session
+/// response order exact.
+///
+/// Hostile bytes never take the server down: the decoder rejects
+/// garbage from the header alone, the offending connection is answered
+/// with a structured ERROR and dropped, and every other connection
+/// continues. A client speaking frame version 1 gets that ERROR in
+/// version-1 framing (naming the supported version) so it can decode
+/// the rejection instead of seeing a dropped connection.
+///
+/// Shutdown() drains gracefully: the listener closes, every session's
+/// queued requests finish, streams and outboxes flush, then sockets
+/// close and the loop joins. A remote admin SHUTDOWN frame makes
 /// WaitForShutdownRequest() return so a hosting process can call
 /// Shutdown() itself.
 class MldsServer {
@@ -77,14 +125,14 @@ class MldsServer {
   MldsServer(const MldsServer&) = delete;
   MldsServer& operator=(const MldsServer&) = delete;
 
-  /// Binds, listens, and starts the accept loop.
+  /// Binds, listens, and starts the event loop.
   Status Start();
 
   /// The bound TCP port (valid after Start()).
   uint16_t port() const { return port_; }
 
   /// Graceful drain: stop accepting, finish in-flight requests, flush
-  /// responses, close. Idempotent.
+  /// responses and streams, close. Idempotent.
   void Shutdown();
 
   /// Blocks until a remote SHUTDOWN frame arrives or Shutdown() runs.
@@ -99,45 +147,118 @@ class MldsServer {
   ServerStats stats() const;
 
  private:
-  /// One live connection: fd, session, reader + worker threads, and the
-  /// bounded request queue between them.
-  struct Connection {
-    int fd = -1;
-    std::unique_ptr<Session> session;
-    std::thread reader;
-    std::thread worker;
-    std::mutex write_mutex;   ///< serializes frame writes to the socket.
-    std::mutex queue_mutex;
-    std::condition_variable queue_cv;
+  /// One session's serialized execution lane: the Session itself plus
+  /// the queue of decoded requests awaiting it. All lane state except
+  /// the Session's interior is owned by the loop thread; the Session is
+  /// touched by exactly one worker at a time (while `running`).
+  struct Lane {
+    Lane(uint32_t id, MldsSystem* system) : session(id, system) {}
+    Session session;
     std::deque<common::Frame> queue;
-    bool reader_done = false;  ///< no further frames will be enqueued.
-    bool saw_bye = false;
-    std::atomic<bool> finished{false};
+    /// A worker is executing this lane's head request.
+    bool running = false;
+    /// The previous request's result stream has not finished draining;
+    /// the next request must wait so per-session response order holds.
+    bool streaming = false;
+  };
+  using LanePtr = std::shared_ptr<Lane>;
+
+  /// What a worker hands back to the loop for one executed request:
+  /// either a complete response frame, or (stream set) a chunk run whose
+  /// closing kResult frame carries `payload`.
+  struct PendingReply {
+    uint8_t type = 0;
+    uint32_t session_id = 0;
+    uint32_t request_id = 0;
+    std::string payload;
+    std::unique_ptr<kfs::ChunkSource> stream;
   };
 
-  void AcceptLoop();
-  void ReaderLoop(Connection* connection);
-  void WorkerLoop(Connection* connection);
+  /// One in-progress chunk run on a connection.
+  struct StreamState {
+    uint32_t session_id = 0;
+    uint32_t request_id = 0;
+    uint32_t seq = 0;
+    std::unique_ptr<kfs::ChunkSource> source;
+    std::string final_payload;  ///< kResult payload sent after the run.
+    LanePtr lane;               ///< unblocked when the run completes.
+  };
 
-  /// Executes one request frame and returns the response frame.
-  common::Frame HandleFrame(Connection* connection,
-                            const common::Frame& frame);
-  wire::StatsReply BuildStats() const;
+  /// One live connection, owned by the loop thread. Workers hold a
+  /// shared_ptr only to keep it alive across a completion post; they
+  /// never touch its fields.
+  struct Connection {
+    explicit Connection(size_t max_payload) : decoder(max_payload) {}
+    int fd = -1;
+    uint32_t generation = 0;  ///< guards against same-batch fd reuse.
+    common::FrameDecoder decoder;
+    std::string outbox;       ///< encoded-but-unsent response bytes.
+    bool want_write = false;  ///< EPOLLOUT currently requested.
+    bool greeted = false;     ///< HELLO seen (first session open).
+    bool draining = false;    ///< BYE or shutdown: ignore new frames.
+    bool bye_pending = false; ///< owe the client an OK("bye") when idle.
+    uint32_t bye_session_id = 0;
+    uint32_t bye_request_id = 0;
+    bool finishing = false;   ///< close once the outbox flushes.
+    bool closed = false;      ///< socket gone; discard completions.
+    bool read_open = true;    ///< still polling for EPOLLIN.
+    std::map<uint32_t, LanePtr> lanes;  ///< session_id -> lane.
+    std::deque<StreamState> streams;    ///< round-robin chunk runs.
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
 
-  /// Encodes and writes one frame under the connection's write mutex.
-  void SendFrame(Connection* connection, wire::FrameType type,
-                 uint32_t session_id, std::string payload);
+  // --- event loop (all private methods below run on the loop thread
+  // unless noted) ---
+  void LoopMain();
+  void HandleAccept();
+  void HandleReadable(const ConnectionPtr& conn);
+  void HandleIncomingFrame(const ConnectionPtr& conn, common::Frame frame);
+  void HandleDecodeError(const ConnectionPtr& conn);
 
-  /// Joins and frees finished connections; with `all`, drains every
-  /// connection first (graceful shutdown).
-  void Reap(bool all);
+  /// The lane `session_id` names; id 0 falls back to the connection's
+  /// first lane (v1-style clients never learn their id before HELLO's
+  /// reply).
+  LanePtr ResolveLane(Connection* conn, uint32_t session_id);
+  /// Creates a lane under the session cap; null when at capacity.
+  LanePtr TryOpenLane(Connection* conn);
+  void EnqueueOnLane(const ConnectionPtr& conn, const LanePtr& lane,
+                     common::Frame frame);
+  void DispatchNext(const ConnectionPtr& conn, const LanePtr& lane);
+  /// Runs on a worker thread.
+  PendingReply ExecuteOnWorker(Lane* lane, const common::Frame& frame);
+  void OnRequestDone(const ConnectionPtr& conn, const LanePtr& lane,
+                     uint8_t request_type, PendingReply reply);
+  void EraseLane(Connection* conn, uint32_t session_id);
+
+  void AppendFrame(Connection* conn, wire::FrameType type,
+                   uint32_t session_id, uint32_t request_id,
+                   std::string payload);
+  /// Pulls chunks from the connection's streams (round-robin) while the
+  /// outbox sits under the high-water mark.
+  void PumpStreams(const ConnectionPtr& conn);
+  /// Pump + flush until the socket would block or everything is sent.
+  void ServiceWrites(const ConnectionPtr& conn);
+  /// During drain: once every lane is idle and streams are done, send
+  /// the BYE reply (if owed) and arrange to close after the flush.
+  void MaybeFinishDrain(const ConnectionPtr& conn);
+  void CloseConnection(const ConnectionPtr& conn);
+  void UpdateInterest(Connection* conn);
+
+  /// Thread-safe: queues `fn` for the loop and wakes it.
+  void Post(std::function<void()> fn);
+  void DrainPosts();
+
+  wire::StatsReply BuildStats() const;  ///< any thread.
+  void NoteShutdownFromWire();          ///< any thread.
 
   MldsSystem* system_;
   ServerOptions options_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
 
@@ -145,9 +266,16 @@ class MldsServer {
   std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;
 
-  mutable std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  common::ThreadPool pool_;
+  std::atomic<int> active_workers_{0};
+
+  std::mutex posts_mutex_;
+  std::vector<std::function<void()>> posts_;
+
+  // Loop-thread state.
+  std::unordered_map<int, ConnectionPtr> connections_;
   uint32_t next_session_id_ = 1;
+  uint32_t next_generation_ = 1;
 
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
@@ -155,6 +283,11 @@ class MldsServer {
   std::atomic<uint64_t> requests_rejected_{0};
   std::atomic<uint64_t> bad_frames_{0};
   std::atomic<uint32_t> sessions_active_{0};
+  std::atomic<uint64_t> inflight_highwater_{0};
+  std::atomic<uint64_t> write_buffer_highwater_{0};
+  std::atomic<uint64_t> results_streamed_{0};
+  std::atomic<uint64_t> chunks_streamed_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
 };
 
 }  // namespace mlds::server

@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "abdl/parser.h"
@@ -21,13 +22,6 @@ double MsSince(Clock::time_point start) {
 bool HasExplainPrefix(std::string_view text) {
   if (!StartsWithIgnoreCase(text, "EXPLAIN")) return false;
   return text.size() == 7 || text[7] == ' ' || text[7] == '\t';
-}
-
-/// Canonical rendering of a raw kernel response for ABDL sessions:
-/// retrieved records as a table, otherwise the affected count.
-std::string FormatAbdlResponse(const kds::Response& response) {
-  if (!response.records.empty()) return kfs::FormatTable(response.records);
-  return std::to_string(response.affected) + " records affected\n";
 }
 
 }  // namespace
@@ -154,12 +148,31 @@ std::vector<kds::PartialResultWarning> Session::DegradedWarnings() const {
 
 Result<wire::ExecuteResult> Session::Execute(std::string_view statement,
                                              bool explain) {
+  // An unstreamable threshold keeps every body inline; the drain below is
+  // belt-and-braces and also documents how a stream collapses to a body.
+  MLDS_ASSIGN_OR_RETURN(
+      ExecuteOutcome outcome,
+      ExecuteStreamed(statement, explain,
+                      std::numeric_limits<size_t>::max()));
+  if (outcome.stream) {
+    outcome.meta.body.reserve(outcome.stream->total_bytes());
+    while (!outcome.stream->done()) {
+      outcome.meta.body += outcome.stream->Next(size_t{1} << 20);
+    }
+  }
+  return std::move(outcome.meta);
+}
+
+Result<ExecuteOutcome> Session::ExecuteStreamed(std::string_view statement,
+                                                bool explain,
+                                                size_t stream_threshold) {
   const std::string_view trimmed = Trim(statement);
   if (trimmed.empty()) {
     return Status::InvalidArgument("empty statement");
   }
   const Clock::time_point start = Clock::now();
-  wire::ExecuteResult result;
+  ExecuteOutcome outcome;
+  wire::ExecuteResult& result = outcome.meta;
 
   switch (language_) {
     case Language::kNone:
@@ -201,18 +214,28 @@ Result<wire::ExecuteResult> Session::Execute(std::string_view statement,
       break;
     }
     case Language::kAbdl:
-      return ExecuteAbdl(trimmed, explain);
+      return ExecuteAbdl(trimmed, explain, stream_threshold);
   }
 
   result.elapsed_ms = MsSince(start);
   result.warnings = DegradedWarnings();
-  return result;
+  // The language machines render whole bodies; oversized ones stream
+  // from the rendered buffer so frames (and the peer's decoder) stay
+  // bounded even though formatting was not incremental.
+  if (result.body.size() > stream_threshold) {
+    outcome.stream =
+        std::make_unique<kfs::StringChunkSource>(std::move(result.body));
+    result.body.clear();
+  }
+  return outcome;
 }
 
-Result<wire::ExecuteResult> Session::ExecuteAbdl(std::string_view statement,
-                                                 bool explain) {
+Result<ExecuteOutcome> Session::ExecuteAbdl(std::string_view statement,
+                                            bool explain,
+                                            size_t stream_threshold) {
   const Clock::time_point start = Clock::now();
-  wire::ExecuteResult result;
+  ExecuteOutcome outcome;
+  wire::ExecuteResult& result = outcome.meta;
 
   // Transaction control: BEGIN buffers, COMMIT executes atomically,
   // ABORT discards — the session's in-flight transaction state.
@@ -224,7 +247,7 @@ Result<wire::ExecuteResult> Session::ExecuteAbdl(std::string_view statement,
     pending_txn_.clear();
     result.body = "transaction started\n";
     result.elapsed_ms = MsSince(start);
-    return result;
+    return outcome;
   }
   if (EqualsIgnoreCase(statement, "ABORT")) {
     if (!in_transaction_) {
@@ -236,7 +259,7 @@ Result<wire::ExecuteResult> Session::ExecuteAbdl(std::string_view statement,
     result.body =
         "transaction aborted (" + std::to_string(dropped) + " buffered)\n";
     result.elapsed_ms = MsSince(start);
-    return result;
+    return outcome;
   }
   if (EqualsIgnoreCase(statement, "COMMIT")) {
     if (!in_transaction_) {
@@ -264,7 +287,7 @@ Result<wire::ExecuteResult> Session::ExecuteAbdl(std::string_view statement,
                   " requests, " + std::to_string(affected) +
                   " records affected\n";
     result.elapsed_ms = MsSince(start);
-    return result;
+    return outcome;
   }
 
   if (explain) {
@@ -272,7 +295,7 @@ Result<wire::ExecuteResult> Session::ExecuteAbdl(std::string_view statement,
     result.body = std::move(plan);
     result.elapsed_ms = MsSince(start);
     result.warnings = DegradedWarnings();
-    return result;
+    return outcome;
   }
 
   MLDS_ASSIGN_OR_RETURN(abdl::Request request, abdl::ParseRequest(statement));
@@ -281,15 +304,29 @@ Result<wire::ExecuteResult> Session::ExecuteAbdl(std::string_view statement,
     result.body = "buffered (" + std::to_string(pending_txn_.size()) +
                   " in transaction)\n";
     result.elapsed_ms = MsSince(start);
-    return result;
+    return outcome;
   }
   MLDS_ASSIGN_OR_RETURN(kds::Response response,
                         system_->executor()->Execute(request));
-  result.body = FormatAbdlResponse(response);
   result.warnings = response.warnings.empty() ? DegradedWarnings()
                                               : response.warnings;
+  if (response.records.empty()) {
+    result.body = std::to_string(response.affected) + " records affected\n";
+  } else {
+    // The kernel's own RETRIEVE renders incrementally: the record set
+    // moves into a TableChunkSource, which computes the exact rendered
+    // size up front. Small tables drain inline; large ones stream.
+    auto table =
+        std::make_unique<kfs::TableChunkSource>(std::move(response.records));
+    if (table->total_bytes() > stream_threshold) {
+      outcome.stream = std::move(table);
+    } else {
+      result.body.reserve(table->total_bytes());
+      while (!table->done()) result.body += table->Next(size_t{1} << 20);
+    }
+  }
   result.elapsed_ms = MsSince(start);
-  return result;
+  return outcome;
 }
 
 }  // namespace mlds::server

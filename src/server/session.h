@@ -9,6 +9,7 @@
 
 #include "abdl/request.h"
 #include "common/result.h"
+#include "kfs/formatter.h"
 #include "kms/daplex_machine.h"
 #include "kms/dli_machine.h"
 #include "kms/dml_machine.h"
@@ -25,6 +26,17 @@ enum class Language { kNone, kCodasyl, kDaplex, kSql, kDli, kAbdl };
 /// dli | abdl, case-insensitively.
 Result<Language> ParseLanguage(std::string_view name);
 std::string_view LanguageName(Language language);
+
+/// One EXECUTE outcome in streamable form. `meta` always carries the
+/// timing and warnings; small results travel inline in `meta.body`
+/// (stream == nullptr), large ones leave `meta.body` empty and produce
+/// their bytes through `stream`. Draining the stream and concatenating
+/// yields exactly the inline body — the byte-identity contract the
+/// round-trip tests pin.
+struct ExecuteOutcome {
+  wire::ExecuteResult meta;
+  std::unique_ptr<kfs::ChunkSource> stream;
+};
 
 /// One remote session's state: the chosen language, the bound database,
 /// and the language machine executing its statements — which itself holds
@@ -65,12 +77,24 @@ class Session {
   Result<wire::ExecuteResult> Execute(std::string_view statement,
                                       bool explain);
 
+  /// Streamable form of Execute: when the rendered body would exceed
+  /// `stream_threshold` bytes, the outcome carries a ChunkSource instead
+  /// of an inline body, so the server can emit it as kResultChunk frames
+  /// under write-buffer backpressure. ABDL RETRIEVEs render incrementally
+  /// from the record set (O(chunk) formatting memory); the other
+  /// languages' formatters are not incremental, so their oversized bodies
+  /// stream from an already-rendered buffer (bounding the receiver's
+  /// frame sizes and the sender's write buffer, not formatter memory).
+  Result<ExecuteOutcome> ExecuteStreamed(std::string_view statement,
+                                         bool explain,
+                                         size_t stream_threshold);
+
   /// Kernel health as this session's language interface reports it.
   kc::KernelHealth Health() const { return system_->Health(); }
 
  private:
-  Result<wire::ExecuteResult> ExecuteAbdl(std::string_view statement,
-                                          bool explain);
+  Result<ExecuteOutcome> ExecuteAbdl(std::string_view statement, bool explain,
+                                     size_t stream_threshold);
 
   /// Partial-result warnings for a degraded kernel: one entry per
   /// backend that is not currently healthy. Language-machine responses

@@ -15,7 +15,7 @@ Status Malformed(std::string_view what) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kShutdown);
+         type <= static_cast<uint8_t>(FrameType::kCloseSession);
 }
 
 std::string EncodeUseRequest(const UseRequest& request) {
@@ -139,6 +139,11 @@ std::string EncodeStatsReply(const StatsReply& stats) {
   writer.PutU64(stats.requests_rejected);
   writer.PutU64(stats.bad_frames);
   writer.PutU32(stats.sessions_active);
+  writer.PutU64(stats.inflight_highwater);
+  writer.PutU64(stats.write_buffer_highwater);
+  writer.PutU64(stats.results_streamed);
+  writer.PutU64(stats.chunks_streamed);
+  writer.PutU64(stats.backpressure_stalls);
   writer.PutString(stats.health);
   return writer.Take();
 }
@@ -157,6 +162,11 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
       !reader.GetU64(&stats.requests_rejected) ||
       !reader.GetU64(&stats.bad_frames) ||
       !reader.GetU32(&stats.sessions_active) ||
+      !reader.GetU64(&stats.inflight_highwater) ||
+      !reader.GetU64(&stats.write_buffer_highwater) ||
+      !reader.GetU64(&stats.results_streamed) ||
+      !reader.GetU64(&stats.chunks_streamed) ||
+      !reader.GetU64(&stats.backpressure_stalls) ||
       !reader.GetString(&stats.health) || !reader.exhausted()) {
     return Malformed("STATS");
   }
@@ -176,7 +186,32 @@ std::string StatsReply::ToText() const {
   out += "server.requests_rejected " + std::to_string(requests_rejected) + "\n";
   out += "server.bad_frames " + std::to_string(bad_frames) + "\n";
   out += "server.sessions_active " + std::to_string(sessions_active) + "\n";
+  out += "server.inflight_highwater " + std::to_string(inflight_highwater) +
+         "\n";
+  out += "server.write_buffer_highwater_bytes " +
+         std::to_string(write_buffer_highwater) + "\n";
+  out += "server.results_streamed " + std::to_string(results_streamed) + "\n";
+  out += "server.chunks_streamed " + std::to_string(chunks_streamed) + "\n";
+  out += "server.backpressure_stalls " + std::to_string(backpressure_stalls) +
+         "\n";
   return out;
+}
+
+std::string EncodeResultChunk(const ResultChunk& chunk) {
+  common::PayloadWriter writer;
+  writer.PutU32(chunk.seq);
+  writer.PutString(chunk.body);
+  return writer.Take();
+}
+
+Result<ResultChunk> DecodeResultChunk(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  ResultChunk chunk;
+  if (!reader.GetU32(&chunk.seq) || !reader.GetString(&chunk.body) ||
+      !reader.exhausted()) {
+    return Malformed("RESULT_CHUNK");
+  }
+  return chunk;
 }
 
 }  // namespace mlds::wire

@@ -14,26 +14,33 @@
 namespace mlds::wire {
 
 /// Message types carried in the frame header's `type` byte. Requests
-/// occupy the low half, responses the high half; a synchronous client
-/// sends one request and reads exactly one response.
+/// occupy the low half, responses the high half. Since protocol v2
+/// clients may pipeline: several requests can be in flight on one
+/// connection, responses carry the request_id they answer and may
+/// arrive out of order across sessions (never within one session's
+/// execution order), and a large result travels as a run of kResultChunk
+/// frames closed by the kResult frame.
 enum class FrameType : uint8_t {
   // --- requests ---
-  kHello = 0x01,     ///< open a session; payload: client name.
+  kHello = 0x01,     ///< open connection + first session; payload: name.
   kUse = 0x02,       ///< bind a language + database; payload: UseRequest.
   kExecute = 0x03,   ///< run one statement; payload: statement text.
   kExplain = 0x04,   ///< run one statement in explain mode; same payload.
   kHealth = 0x05,    ///< kernel health; empty payload.
   kStats = 0x06,     ///< admin: cache/server stats; empty payload.
-  kBye = 0x07,       ///< close the session after draining; empty payload.
+  kBye = 0x07,       ///< close the connection after draining; empty.
   kShutdown = 0x08,  ///< admin: drain and stop the whole server.
+  kOpenSession = 0x09,   ///< open another session on this connection.
+  kCloseSession = 0x0A,  ///< close the session named in the header.
 
   // --- responses ---
   kOk = 0x81,           ///< payload: informational message.
-  kResult = 0x82,       ///< payload: ExecuteResult.
+  kResult = 0x82,       ///< payload: ExecuteResult (closes a chunk run).
   kError = 0x83,        ///< payload: WireError.
   kBusy = 0x84,         ///< payload: BusyReply (admission-control reject).
   kHealthReport = 0x85, ///< payload: kfs::SerializeHealth text.
   kStatsReport = 0x86,  ///< payload: StatsReply.
+  kResultChunk = 0x87,  ///< payload: ResultChunk (one slice of a body).
 };
 
 /// True for types a client may send.
@@ -76,6 +83,17 @@ struct BusyReply {
   uint32_t limit = 0;
 };
 
+/// One slice of a streamed result body. A large EXECUTE reply arrives as
+/// kResultChunk frames with consecutive `seq` (0, 1, ...) followed by a
+/// kResult frame whose ExecuteResult carries the timing/warnings and an
+/// empty body; the concatenated chunk bodies are byte-identical to the
+/// buffered body. Chunk runs for different request_ids may interleave on
+/// one connection — the request_id in the frame header keys reassembly.
+struct ResultChunk {
+  uint32_t seq = 0;
+  std::string body;
+};
+
 /// The admin STATS reply: translation-cache counters, server counters,
 /// and the serialized kernel health, so a remote operator needs no
 /// in-process access.
@@ -91,6 +109,12 @@ struct StatsReply {
   uint64_t requests_rejected = 0;
   uint64_t bad_frames = 0;
   uint32_t sessions_active = 0;
+  // --- event-loop / pipelining counters (protocol v2) ---
+  uint64_t inflight_highwater = 0;   ///< max queued+running per session.
+  uint64_t write_buffer_highwater = 0;  ///< max outbox bytes, any conn.
+  uint64_t results_streamed = 0;     ///< bodies sent as chunk runs.
+  uint64_t chunks_streamed = 0;      ///< kResultChunk frames sent.
+  uint64_t backpressure_stalls = 0;  ///< times streaming paused on high-water.
   std::string health;  ///< kfs::SerializeHealth text.
 
   /// Human-readable rendering ("cache.hits 12\n...") for shells.
@@ -113,6 +137,9 @@ Result<BusyReply> DecodeBusyReply(std::string_view payload);
 
 std::string EncodeStatsReply(const StatsReply& stats);
 Result<StatsReply> DecodeStatsReply(std::string_view payload);
+
+std::string EncodeResultChunk(const ResultChunk& chunk);
+Result<ResultChunk> DecodeResultChunk(std::string_view payload);
 
 }  // namespace mlds::wire
 

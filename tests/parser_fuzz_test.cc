@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
 
 #include "abdl/parser.h"
+#include "client/client.h"
 #include "common/frame.h"
 #include "kds/snapshot.h"
 #include "kds/wal.h"
@@ -311,16 +314,19 @@ std::vector<common::Frame> ReferenceFrames() {
   common::Frame hello;
   hello.type = 0x01;
   hello.session_id = 0;
+  hello.request_id = 1;
   hello.payload = "fuzz-client";
   frames.push_back(hello);
   common::Frame execute;
   execute.type = 0x03;
   execute.session_id = 7;
+  execute.request_id = 0xDEADBEEF;
   execute.payload = "SELECT name FROM staff WHERE wage > 90";
   frames.push_back(execute);
   common::Frame empty;
   empty.type = 0x05;
   empty.session_id = 7;
+  empty.request_id = 3;
   frames.push_back(empty);
   return frames;
 }
@@ -433,6 +439,7 @@ TEST(ParserFuzzTest, FrameDecoderBitFlipsNeverForgeFrames) {
         bool genuine = false;
         for (const common::Frame& sent : frames) {
           if (got.type == sent.type && got.session_id == sent.session_id &&
+              got.request_id == sent.request_id &&
               got.payload == sent.payload) {
             genuine = true;
             break;
@@ -474,11 +481,12 @@ TEST(ParserFuzzTest, FrameDecoderRejectsOversizedLengthWithoutBuffering) {
   common::Frame frame;
   frame.type = 0x03;
   std::string encoded = common::EncodeFrame(frame);
+  // Patch payload_len (v2 header offset 16) to 2 GiB.
   const uint32_t evil = 0x7fffffffu;
-  encoded[12] = static_cast<char>(evil & 0xff);
-  encoded[13] = static_cast<char>((evil >> 8) & 0xff);
-  encoded[14] = static_cast<char>((evil >> 16) & 0xff);
-  encoded[15] = static_cast<char>((evil >> 24) & 0xff);
+  encoded[16] = static_cast<char>(evil & 0xff);
+  encoded[17] = static_cast<char>((evil >> 8) & 0xff);
+  encoded[18] = static_cast<char>((evil >> 16) & 0xff);
+  encoded[19] = static_cast<char>((evil >> 24) & 0xff);
   common::FrameDecoder decoder;
   decoder.Feed(encoded);
   auto decoded = decoder.Next();
@@ -488,6 +496,110 @@ TEST(ParserFuzzTest, FrameDecoderRejectsOversizedLengthWithoutBuffering) {
   // Later bytes are discarded, not accumulated.
   decoder.Feed(std::string(1 << 16, 'y'));
   EXPECT_LE(decoder.buffered_bytes(), encoded.size());
+}
+
+/// A streamed result — kResultChunk frames closed by a kResult — cut at
+/// every byte boundary: whole frames before the cut decode and their
+/// chunk payloads parse back exactly; the cut frame never appears.
+TEST(ParserFuzzTest, ChunkStreamTruncationAtEveryBoundary) {
+  std::vector<common::Frame> frames;
+  std::string valid;
+  std::vector<size_t> boundaries;
+  for (uint32_t seq = 0; seq < 4; ++seq) {
+    common::Frame frame;
+    frame.type = 0x87;  // kResultChunk
+    frame.session_id = 5;
+    frame.request_id = 11;
+    frame.payload = wire::EncodeResultChunk(
+        {seq, std::string(17 + seq * 31, static_cast<char>('a' + seq))});
+    valid += common::EncodeFrame(frame);
+    boundaries.push_back(valid.size());
+    frames.push_back(std::move(frame));
+  }
+  common::Frame fin;
+  fin.type = 0x82;  // kResult carrying the meta payload closes the stream
+  fin.session_id = 5;
+  fin.request_id = 11;
+  fin.payload = wire::EncodeExecuteResult({});
+  valid += common::EncodeFrame(fin);
+  boundaries.push_back(valid.size());
+  frames.push_back(std::move(fin));
+
+  for (size_t cut = 0; cut <= valid.size(); ++cut) {
+    common::FrameDecoder decoder;
+    decoder.Feed(std::string_view(valid).substr(0, cut));
+    size_t decoded = 0;
+    while (true) {
+      auto event = decoder.Next();
+      if (event.event != common::FrameDecoder::Event::kFrame) break;
+      ASSERT_LT(decoded, frames.size());
+      EXPECT_EQ(event.frame.payload, frames[decoded].payload)
+          << "cut at " << cut;
+      if (event.frame.type == 0x87) {
+        auto chunk = wire::DecodeResultChunk(event.frame.payload);
+        ASSERT_TRUE(chunk.ok()) << chunk.status() << " cut at " << cut;
+        EXPECT_EQ(chunk->seq, decoded);
+      }
+      ++decoded;
+    }
+    size_t expected = 0;
+    for (size_t boundary : boundaries) {
+      if (boundary <= cut) ++expected;
+    }
+    EXPECT_FALSE(decoder.poisoned()) << "cut at " << cut;
+    EXPECT_EQ(decoded, expected) << "cut at " << cut;
+  }
+}
+
+/// Chunk streams for several requests interleaved in random order on one
+/// connection: the assembler reassembles each request's body exactly, in
+/// any interleaving, and rejects any out-of-sequence chunk (a dropped,
+/// duplicated, or reordered frame can never splice bytes silently).
+TEST_P(ParserFuzzTest, ChunkAssemblerSurvivesHostileInterleavings) {
+  std::mt19937 rng(static_cast<uint32_t>(GetParam()) + 13000);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Three concurrent streams with distinct request ids and bodies.
+    std::map<uint32_t, std::string> want;
+    std::map<uint32_t, std::deque<wire::ResultChunk>> pending;
+    for (uint32_t stream = 0; stream < 3; ++stream) {
+      const uint32_t request_id = 100 + stream;
+      std::string body;
+      const size_t chunks = 1 + (trial + stream) % 5;
+      for (uint32_t seq = 0; seq < chunks; ++seq) {
+        std::string piece(1 + (seq * 7 + stream * 3) % 41,
+                          static_cast<char>('A' + stream));
+        body += piece;
+        pending[request_id].push_back({seq, std::move(piece)});
+      }
+      want[request_id] = std::move(body);
+    }
+    // Random merge: pick a stream with chunks left, deliver its next
+    // chunk — any cross-stream interleaving, in-order within a stream.
+    client::ChunkAssembler assembler;
+    while (!pending.empty()) {
+      auto it = pending.begin();
+      std::uniform_int_distribution<size_t> pick(0, pending.size() - 1);
+      std::advance(it, pick(rng));
+      const Status status = assembler.OnChunk(it->first, it->second.front());
+      ASSERT_TRUE(status.ok()) << status;
+      it->second.pop_front();
+      if (it->second.empty()) pending.erase(it);
+    }
+    for (auto& [request_id, body] : want) {
+      EXPECT_TRUE(assembler.streaming(request_id));
+      EXPECT_EQ(assembler.Take(request_id), body);
+      EXPECT_FALSE(assembler.streaming(request_id));
+    }
+    EXPECT_EQ(assembler.active_streams(), 0u);
+
+    // Out-of-sequence chunks are rejected, never silently spliced.
+    client::ChunkAssembler strict;
+    ASSERT_TRUE(strict.OnChunk(9, {0, "first"}).ok());
+    EXPECT_FALSE(strict.OnChunk(9, {0, "dup"}).ok());     // duplicate
+    EXPECT_FALSE(strict.OnChunk(9, {2, "skipped"}).ok()); // gap
+    ASSERT_TRUE(strict.OnChunk(9, {1, "second"}).ok());   // in order
+    EXPECT_EQ(strict.Take(9), "firstsecond");
+  }
 }
 
 /// The wire payload decoders (one per message) are parsers too: byte
@@ -504,6 +616,7 @@ TEST_P(ParserFuzzTest, WirePayloadDecodersSurviveGarbage) {
       wire::EncodeUseRequest({"sql", "payroll"}),
       wire::EncodeBusyReply({"session", 8, 8}),
       wire::EncodeStatsReply({}),
+      wire::EncodeResultChunk({3, "name\n----\nada\n"}),
       "degraded 1\nbackend 0 healthy 3 0\nbackend 1 quarantined 0 2 hit\n",
   };
   for (int trial = 0; trial < 30; ++trial) {
@@ -518,6 +631,7 @@ TEST_P(ParserFuzzTest, WirePayloadDecodersSurviveGarbage) {
         (void)wire::DecodeUseRequest(bytes);
         (void)wire::DecodeBusyReply(bytes);
         (void)wire::DecodeStatsReply(bytes);
+        (void)wire::DecodeResultChunk(bytes);
         (void)wire::DecodeWireError(bytes);
         (void)wire::DecodeStatus(bytes);
         (void)kfs::ParseHealth(bytes);
@@ -530,7 +644,7 @@ TEST_P(ParserFuzzTest, WirePayloadDecodersSurviveGarbage) {
   EXPECT_EQ(round->body, result.body);
   ASSERT_EQ(round->warnings.size(), 1u);
   EXPECT_EQ(round->warnings[0].backend_id, 2);
-  auto health = kfs::ParseHealth(valid_results[4]);
+  auto health = kfs::ParseHealth(valid_results[5]);
   ASSERT_TRUE(health.ok()) << health.status();
   EXPECT_TRUE(health->degraded);
   ASSERT_EQ(health->backends.size(), 2u);

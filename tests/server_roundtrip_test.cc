@@ -277,12 +277,13 @@ TEST_F(ServerRoundTripTest, GarbageFramesDropOnlyThatConnection) {
   common::Frame huge;
   huge.type = static_cast<uint8_t>(wire::FrameType::kExecute);
   std::string encoded = common::EncodeFrame(huge);
-  // Patch payload_len to 256 MiB, far past the ceiling.
+  // Patch payload_len (v2 header offset 16) to 256 MiB, far past the
+  // ceiling.
   const uint32_t evil = 256u << 20;
-  encoded[12] = static_cast<char>(evil & 0xff);
-  encoded[13] = static_cast<char>((evil >> 8) & 0xff);
-  encoded[14] = static_cast<char>((evil >> 16) & 0xff);
-  encoded[15] = static_cast<char>((evil >> 24) & 0xff);
+  encoded[16] = static_cast<char>(evil & 0xff);
+  encoded[17] = static_cast<char>((evil >> 8) & 0xff);
+  encoded[18] = static_cast<char>((evil >> 16) & 0xff);
+  encoded[19] = static_cast<char>((evil >> 24) & 0xff);
   ASSERT_TRUE(common::SendAll(*big, encoded).ok());
   while (true) {
     Result<size_t> n = common::RecvSome(*big, buffer, sizeof(buffer));
@@ -295,6 +296,105 @@ TEST_F(ServerRoundTripTest, GarbageFramesDropOnlyThatConnection) {
       healthy.Execute("SELECT name FROM staff");
   EXPECT_TRUE(still.ok()) << still.status();
   EXPECT_GE(server_->stats().bad_frames, 2u);
+}
+
+/// Version negotiation: a client speaking the retired version-1 framing
+/// gets a structured ERROR naming the supported version — in v1 framing,
+/// the one framing it can decode — not a silent connection drop.
+TEST_F(ServerRoundTripTest, LegacyV1ClientGetsStructuredVersionError) {
+  Result<int> raw = common::ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.ok());
+  common::Frame hello;
+  hello.type = static_cast<uint8_t>(wire::FrameType::kHello);
+  hello.payload = "museum-piece";
+  ASSERT_TRUE(
+      common::SendAll(*raw, common::EncodeLegacyV1Frame(hello)).ok());
+  std::string reply;
+  char buffer[1024];
+  while (true) {
+    Result<size_t> n = common::RecvSome(*raw, buffer, sizeof(buffer));
+    if (!n.ok() || *n == 0) break;  // server closes after the reply
+    reply.append(buffer, *n);
+  }
+  common::CloseSocket(*raw);
+
+  // Parse the 24-byte v1 header by hand — the v2 decoder no longer can.
+  ASSERT_GE(reply.size(), common::kLegacyFrameHeaderBytes);
+  auto u32_at = [&reply](size_t at) {
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(reply[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  EXPECT_EQ(u32_at(0), common::kFrameMagic);
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), common::kLegacyFrameVersion);
+  EXPECT_EQ(static_cast<uint8_t>(reply[5]),
+            static_cast<uint8_t>(wire::FrameType::kError));
+  const uint32_t payload_len = u32_at(12);  // v1: payload_len at 12
+  ASSERT_EQ(reply.size(), common::kLegacyFrameHeaderBytes + payload_len);
+  Result<wire::WireError> error = wire::DecodeWireError(
+      std::string_view(reply).substr(common::kLegacyFrameHeaderBytes));
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error->code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(error->message,
+            "unsupported frame version 1 (server speaks version 2)");
+  EXPECT_GE(server_->stats().bad_frames, 1u);
+}
+
+/// Results above the streaming threshold travel as chunk runs and are
+/// reassembled to the exact bytes in-process execution renders; the
+/// event-loop counters record the streams.
+TEST_F(ServerRoundTripTest, LargeResultsStreamByteIdentical) {
+  server::ServerOptions tiny;
+  tiny.stream_threshold = 64;  // every demo table crosses this
+  tiny.chunk_bytes = 48;
+  MldsSystem remote_system, local_system;
+  ASSERT_TRUE(server::LoadDemoDatabases(&remote_system).ok());
+  ASSERT_TRUE(server::LoadDemoDatabases(&local_system).ok());
+  server::MldsServer server(&remote_system, tiny);
+  ASSERT_TRUE(server.Start().ok());
+
+  client::MldsClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  size_t chunks_seen = 0;
+  uint32_t first_chunk_seq = 1;
+  client.set_chunk_observer(
+      [&](uint32_t, const wire::ResultChunk& chunk) {
+        if (chunks_seen == 0) first_chunk_seq = chunk.seq;
+        ++chunks_seen;
+      });
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  server::Session local(99, &local_system);
+  ASSERT_TRUE(local.Use(wire::UseRequest{"sql", "payroll"}).ok());
+
+  Result<wire::ExecuteResult> remote =
+      client.Execute("SELECT name, wage FROM staff");
+  Result<wire::ExecuteResult> in_process =
+      local.Execute("SELECT name, wage FROM staff", /*explain=*/false);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  ASSERT_TRUE(in_process.ok()) << in_process.status();
+  EXPECT_EQ(remote->body, in_process->body);
+  EXPECT_GT(remote->body.size(), tiny.stream_threshold);
+
+  // The body arrived as >= 2 chunks starting at seq 0.
+  EXPECT_GE(chunks_seen, 2u);
+  EXPECT_EQ(first_chunk_seq, 0u);
+  Result<wire::StatsReply> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->results_streamed, 1u);
+  EXPECT_GE(stats->chunks_streamed, 2u);
+  EXPECT_GT(stats->write_buffer_highwater, 0u);
+  const std::string text = stats->ToText();
+  EXPECT_NE(text.find("server.results_streamed"), std::string::npos);
+  EXPECT_NE(text.find("server.chunks_streamed"), std::string::npos);
+  EXPECT_NE(text.find("server.inflight_highwater"), std::string::npos);
+  EXPECT_NE(text.find("server.backpressure_stalls"), std::string::npos);
+
+  EXPECT_TRUE(client.Close().ok());
+  server.Shutdown();
+  EXPECT_EQ(server.stats().results_streamed, 1u);
 }
 
 /// Graceful drain: Shutdown() lets the in-flight request finish and the

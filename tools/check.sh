@@ -32,12 +32,50 @@ else
   # on every PR and CI uploads the fresh JSON artifacts.
   echo "== bench smoke (JSON reports only) =="
   mkdir -p build/bench-smoke
+  # The streaming bench bulk-loads its row count from the environment:
+  # 8k rows keeps the smoke cheap while still exercising chunked
+  # transfer end to end (the full 120k-row run happens off-CI).
   for bench in bench_range_queries bench_intra_backend bench_fault_recovery \
-               bench_server; do
-    (cd build/bench-smoke && "../bench/${bench}" --benchmark_filter='^$')
+               bench_server bench_streaming; do
+    (cd build/bench-smoke && MLDS_STREAM_BENCH_ROWS=8000 \
+      "../bench/${bench}" --benchmark_filter='^$')
   done
   ls build/bench-smoke/BENCH_*.json
 fi
+
+# Streaming smoke against a given build tree: a server with a tiny
+# stream threshold so even the demo tables travel as chunked results,
+# driven through the shell; .stats must report streamed results.
+run_streaming_smoke() {
+  local build_dir="$1" log="$2"
+  "${build_dir}/tools/mlds_server" --port 0 \
+    --stream-threshold 64 --chunk-bytes 48 > "${log}" &
+  local server_pid=$!
+  trap 'kill "'"${server_pid}"'" 2>/dev/null || true' EXIT
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "${log}")"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  [[ -n "${port}" ]] || { echo "streaming server never reported its port"; exit 1; }
+  printf '%s\n' \
+    ".use sql payroll" \
+    "SELECT name, wage FROM staff" \
+    ".use abdl university" \
+    "RETRIEVE ((FILE = course)) (title) BY course" \
+    ".stats" \
+    ".shutdown" \
+    | "${build_dir}/tools/mlds_shell" 127.0.0.1 "${port}" --strict \
+    > "${log}.shell"
+  wait "${server_pid}"
+  trap - EXIT
+  grep -Eq 'server\.results_streamed [1-9]' "${log}.shell" \
+    || { echo "no results streamed in streaming smoke"; exit 1; }
+  grep -Eq 'server\.chunks_streamed [1-9]' "${log}.shell" \
+    || { echo "no chunks streamed in streaming smoke"; exit 1; }
+  echo "streaming smoke passed (port ${port})"
+}
 
 if [[ "${MLDS_SKIP_SERVER:-0}" == "1" ]]; then
   echo "== server smoke skipped (MLDS_SKIP_SERVER=1) =="
@@ -76,6 +114,9 @@ else
   grep -q "stopped" build/mlds_server_smoke.log \
     || { echo "server did not drain cleanly"; exit 1; }
   echo "server round-trip smoke passed (port ${PORT})"
+
+  echo "== streaming smoke =="
+  run_streaming_smoke build build/mlds_streaming_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
@@ -99,6 +140,11 @@ else
     TSAN_OPTIONS="halt_on_error=1" \
     ctest --output-on-failure -j "${JOBS}" \
       -R 'BackendFailover|WalRecovery|FailureInjection')
+  # Streaming smoke under TSan: the epoll loop thread, the worker pool,
+  # and the per-session stream state all touch the write path — race-check
+  # the chunked transfer end to end, not just in unit tests.
+  echo "== TSan streaming smoke =="
+  run_streaming_smoke build-tsan build-tsan/mlds_streaming_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_ASAN:-0}" == "1" ]]; then

@@ -4,7 +4,9 @@
 // gracefully on a remote SHUTDOWN frame or SIGINT/SIGTERM.
 //
 //   mlds_server [--port N] [--host A.B.C.D] [--max-sessions N]
-//               [--queue-depth N] [--backends N]
+//               [--queue-depth N] [--backends N] [--workers N]
+//               [--stream-threshold BYTES] [--chunk-bytes BYTES]
+//               [--write-high-water BYTES]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed as "listening on HOST:PORT" so scripts can parse it.
@@ -63,10 +65,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--backends" && has_value &&
                ParseUint(argv[++i], &value)) {
       backends = static_cast<int>(value);
+    } else if (arg == "--workers" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      options.worker_threads = static_cast<int>(value);
+    } else if (arg == "--stream-threshold" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      options.stream_threshold = static_cast<size_t>(value);
+    } else if (arg == "--chunk-bytes" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      options.chunk_bytes = static_cast<size_t>(value);
+    } else if (arg == "--write-high-water" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      options.write_high_water = static_cast<size_t>(value);
     } else {
       std::fprintf(stderr,
                    "usage: mlds_server [--port N] [--host A.B.C.D] "
-                   "[--max-sessions N] [--queue-depth N] [--backends N]\n");
+                   "[--max-sessions N] [--queue-depth N] [--backends N] "
+                   "[--workers N] [--stream-threshold BYTES] "
+                   "[--chunk-bytes BYTES] [--write-high-water BYTES]\n");
       return 2;
     }
   }
