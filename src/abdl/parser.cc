@@ -1,5 +1,7 @@
 #include "abdl/parser.h"
 
+#include "abdl/prepared.h"
+
 #include <cctype>
 #include <memory>
 #include <string>
@@ -29,6 +31,7 @@ enum class TokKind {
   kComma,
   kSemicolon,
   kPlus,
+  kQuestion,  // '?' — parameter marker in prepared templates
   kRelOp,  // = != < <= > >=  (angle brackets resolved by context)
 };
 
@@ -69,6 +72,9 @@ class Lexer {
         ++pos_;
       } else if (c == '+') {
         out.push_back({TokKind::kPlus, "+", RelOp::kEq});
+        ++pos_;
+      } else if (c == '?') {
+        out.push_back({TokKind::kQuestion, "?", RelOp::kEq});
         ++pos_;
       } else if (c == '=') {
         out.push_back({TokKind::kRelOp, "=", RelOp::kEq});
@@ -321,7 +327,11 @@ class Parser {
     return Status::ParseError("expected literal, got '" + t.text + "'");
   }
 
-  Result<Request> ParseInsert() {
+  /// Parses one '(' <attr, value> ... ')' keyword group. When `params`
+  /// is non-null, a keyword value may be the '?' parameter marker; the
+  /// attribute is then recorded as a parameter slot instead of a
+  /// constant.
+  Result<abdm::Record> ParseInsertGroup(std::vector<std::string>* params) {
     MLDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' after INSERT"));
     abdm::Record record;
     while (true) {
@@ -331,9 +341,19 @@ class Parser {
       }
       std::string attr = Advance().text;
       MLDS_RETURN_IF_ERROR(Expect(TokKind::kComma, "',' in keyword"));
-      MLDS_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      if (Peek().kind == TokKind::kQuestion) {
+        if (params == nullptr) {
+          return Status::ParseError(
+              "parameter marker '?' is only valid in a prepared INSERT "
+              "template");
+        }
+        Advance();
+        params->push_back(attr);
+      } else {
+        MLDS_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        record.Set(attr, std::move(v));
+      }
       MLDS_RETURN_IF_ERROR(Expect(TokKind::kRAngle, "'>' closing keyword"));
-      record.Set(attr, std::move(v));
       if (Peek().kind == TokKind::kComma) {
         Advance();
         continue;
@@ -341,9 +361,44 @@ class Parser {
       break;
     }
     MLDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')' after keyword list"));
-    return Request(InsertRequest{std::move(record)});
+    return record;
   }
 
+  Result<Request> ParseInsert() {
+    MLDS_ASSIGN_OR_RETURN(abdm::Record first, ParseInsertGroup(nullptr));
+    if (Peek().kind != TokKind::kLParen) {
+      return Request(InsertRequest{std::move(first)});
+    }
+    // Further keyword groups: the multi-record batch form.
+    BatchInsertRequest batch;
+    batch.records.push_back(std::move(first));
+    while (Peek().kind == TokKind::kLParen) {
+      MLDS_ASSIGN_OR_RETURN(abdm::Record next, ParseInsertGroup(nullptr));
+      batch.records.push_back(std::move(next));
+    }
+    return Request(std::move(batch));
+  }
+
+ public:
+  Result<PreparedRequest> ParsePrepared() {
+    if (Peek().kind != TokKind::kIdent ||
+        !EqualsIgnoreCase(Peek().text, "INSERT")) {
+      return Status::ParseError(
+          "prepared templates support INSERT only");
+    }
+    Advance();
+    PreparedRequest prepared;
+    MLDS_ASSIGN_OR_RETURN(prepared.constants,
+                          ParseInsertGroup(&prepared.parameters));
+    if (!AtEnd()) {
+      return Status::ParseError(
+          "trailing input after prepared INSERT template: '" + Peek().text +
+          "'");
+    }
+    return prepared;
+  }
+
+ private:
   Result<Request> ParseDelete() {
     MLDS_ASSIGN_OR_RETURN(Query q, ParseQueryExpr());
     return Request(DeleteRequest{std::move(q)});
@@ -559,6 +614,11 @@ Result<Transaction> ParseTransaction(std::string_view text) {
 Result<abdm::Query> ParseQuery(std::string_view text) {
   MLDS_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
   return parser.ParseBareQuery();
+}
+
+Result<PreparedRequest> ParsePreparedInsert(std::string_view text) {
+  MLDS_ASSIGN_OR_RETURN(Parser parser, MakeParser(text));
+  return parser.ParsePrepared();
 }
 
 }  // namespace mlds::abdl

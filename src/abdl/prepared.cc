@@ -1,0 +1,50 @@
+#include "abdl/prepared.h"
+
+#include <algorithm>
+
+namespace mlds::abdl {
+
+Result<InsertRequest> PreparedRequest::Bind(
+    const std::vector<abdm::Value>& row) const {
+  if (row.size() != parameters.size()) {
+    return Status::InvalidArgument(
+        "prepared INSERT takes " + std::to_string(parameters.size()) +
+        " parameters, got " + std::to_string(row.size()));
+  }
+  InsertRequest request{constants};
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    request.record.Set(parameters[i], row[i]);
+  }
+  return request;
+}
+
+Result<BatchInsertRequest> PreparedRequest::BindBatch(
+    const std::vector<std::vector<abdm::Value>>& rows) const {
+  return BindBatch(rows, 0, rows.size());
+}
+
+Result<BatchInsertRequest> PreparedRequest::BindBatch(
+    const std::vector<std::vector<abdm::Value>>& rows, size_t begin,
+    size_t end) const {
+  end = std::min(end, rows.size());
+  if (begin >= end) {
+    return Status::InvalidArgument("prepared INSERT batch carries no rows");
+  }
+  BatchInsertRequest batch;
+  batch.records.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    MLDS_ASSIGN_OR_RETURN(InsertRequest one, Bind(rows[i]));
+    batch.records.push_back(std::move(one.record));
+  }
+  return batch;
+}
+
+size_t EffectiveBatchSize(const BatchLimits& limits, size_t params_per_row) {
+  const size_t batch = std::max<size_t>(limits.batch_size, 1);
+  if (params_per_row == 0) return batch;
+  const size_t by_params =
+      std::max<size_t>(limits.max_parameters / params_per_row, 1);
+  return std::min(batch, by_params);
+}
+
+}  // namespace mlds::abdl

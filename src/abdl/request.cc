@@ -47,6 +47,7 @@ std::string TargetItem::ToString() const {
 std::string_view RequestOperation(const Request& request) {
   struct Visitor {
     std::string_view operator()(const InsertRequest&) { return "INSERT"; }
+    std::string_view operator()(const BatchInsertRequest&) { return "INSERT"; }
     std::string_view operator()(const DeleteRequest&) { return "DELETE"; }
     std::string_view operator()(const UpdateRequest&) { return "UPDATE"; }
     std::string_view operator()(const RetrieveRequest&) { return "RETRIEVE"; }
@@ -60,6 +61,7 @@ std::string_view RequestOperation(const Request& request) {
 bool IsExplain(const Request& request) {
   struct Visitor {
     bool operator()(const InsertRequest&) { return false; }
+    bool operator()(const BatchInsertRequest&) { return false; }
     bool operator()(const DeleteRequest& r) { return r.explain; }
     bool operator()(const UpdateRequest& r) { return r.explain; }
     bool operator()(const RetrieveRequest& r) { return r.explain; }
@@ -72,6 +74,7 @@ void SetExplain(Request& request, bool explain) {
   struct Visitor {
     bool explain;
     void operator()(InsertRequest&) {}
+    void operator()(BatchInsertRequest&) {}
     void operator()(DeleteRequest& r) { r.explain = explain; }
     void operator()(UpdateRequest& r) { r.explain = explain; }
     void operator()(RetrieveRequest& r) { r.explain = explain; }
@@ -81,56 +84,81 @@ void SetExplain(Request& request, bool explain) {
 }
 
 std::string ToString(const Request& request) {
+  std::string out;
+  AppendToString(request, out);
+  return out;
+}
+
+void AppendToString(const Request& request, std::string& out) {
   struct Visitor {
-    std::string operator()(const InsertRequest& r) {
-      return "INSERT " + r.record.ToString();
+    std::string& out;
+    void Done(std::string rendered) { out += rendered; }
+    void operator()(const InsertRequest& r) {
+      out += "INSERT ";
+      r.record.AppendTo(out);
     }
-    std::string operator()(const DeleteRequest& r) {
-      return Prefix(r.explain) + "DELETE " + r.query.ToString();
+    void operator()(const BatchInsertRequest& r) {
+      out += "INSERT";
+      if (!r.records.empty()) {
+        // Size the buffer off the first record so a thousand-row batch
+        // renders without reallocation churn.
+        const size_t before = out.size();
+        out.push_back(' ');
+        r.records[0].AppendTo(out);
+        const size_t per_record = out.size() - before;
+        out.reserve(out.size() + per_record * (r.records.size() - 1));
+        for (size_t i = 1; i < r.records.size(); ++i) {
+          out.push_back(' ');
+          r.records[i].AppendTo(out);
+        }
+      }
     }
-    std::string operator()(const UpdateRequest& r) {
-      return Prefix(r.explain) + "UPDATE " + r.query.ToString() + " " +
-             r.modifier.ToString();
+    void operator()(const DeleteRequest& r) {
+      Done(Prefix(r.explain) + "DELETE " + r.query.ToString());
     }
-    std::string operator()(const RetrieveRequest& r) {
-      std::string out = Prefix(r.explain) + "RETRIEVE " + r.query.ToString() +
-                        " (";
+    void operator()(const UpdateRequest& r) {
+      Done(Prefix(r.explain) + "UPDATE " + r.query.ToString() + " " +
+           r.modifier.ToString());
+    }
+    void operator()(const RetrieveRequest& r) {
+      std::string text = Prefix(r.explain) + "RETRIEVE " +
+                         r.query.ToString() + " (";
       if (r.all_attributes) {
-        out += "all attributes";
+        text += "all attributes";
       } else {
         for (size_t i = 0; i < r.targets.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += r.targets[i].ToString();
+          if (i > 0) text += ", ";
+          text += r.targets[i].ToString();
         }
       }
-      out += ")";
+      text += ")";
       if (r.by_attribute) {
-        out += " BY " + *r.by_attribute;
+        text += " BY " + *r.by_attribute;
       }
-      return out;
+      Done(std::move(text));
     }
-    std::string operator()(const RetrieveCommonRequest& r) {
-      std::string out = Prefix(r.explain) + "RETRIEVE-COMMON " +
-                        r.left_query.ToString() + " (" + r.left_attribute +
-                        ") AND " + r.right_query.ToString() + " (" +
-                        r.right_attribute + ") (";
+    void operator()(const RetrieveCommonRequest& r) {
+      std::string text = Prefix(r.explain) + "RETRIEVE-COMMON " +
+                         r.left_query.ToString() + " (" + r.left_attribute +
+                         ") AND " + r.right_query.ToString() + " (" +
+                         r.right_attribute + ") (";
       if (r.targets.empty()) {
-        out += "all attributes";
+        text += "all attributes";
       } else {
         for (size_t i = 0; i < r.targets.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += r.targets[i].ToString();
+          if (i > 0) text += ", ";
+          text += r.targets[i].ToString();
         }
       }
-      out += ")";
-      return out;
+      text += ")";
+      Done(std::move(text));
     }
 
     static std::string Prefix(bool explain) {
       return explain ? "EXPLAIN " : "";
     }
   };
-  return std::visit(Visitor{}, request);
+  std::visit(Visitor{out}, request);
 }
 
 namespace {
@@ -180,6 +208,28 @@ FileFootprint FootprintOf(const Request& request) {
         // surfaces at the deterministic program-order position.
         fp.writes_all = true;
       }
+      return fp;
+    }
+    FileFootprint operator()(const BatchInsertRequest& r) {
+      FileFootprint fp;
+      for (const abdm::Record& record : r.records) {
+        abdm::Value file = record.GetOrNull(abdm::kFileAttribute);
+        if (!file.is_string()) {
+          fp.writes.clear();
+          fp.writes_all = true;
+          return fp;
+        }
+        const std::string& name = file.AsString();
+        bool seen = false;
+        for (const auto& existing : fp.writes) {
+          if (existing == name) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) fp.writes.push_back(name);
+      }
+      if (fp.writes.empty()) fp.writes_all = true;  // empty batch: conservative.
       return fp;
     }
     FileFootprint operator()(const DeleteRequest& r) { return Write(r.query); }

@@ -19,6 +19,22 @@ struct InsertRequest {
   friend bool operator==(const InsertRequest&, const InsertRequest&) = default;
 };
 
+/// INSERT of several records in one kernel round trip — the bulk-ingest
+/// fast path. Each record carries its own FILE keyword (records of one
+/// batch may target different files); the batch executes atomically per
+/// engine: all records are placed and the whole batch logs as one WAL
+/// entry, so recovery replays it all-or-nothing. Text form:
+///
+///   INSERT (<FILE, f>, <a, 1>) (<FILE, f>, <a, 2>) ...
+///
+/// A single record group parses as a plain InsertRequest.
+struct BatchInsertRequest {
+  std::vector<abdm::Record> records;
+
+  friend bool operator==(const BatchInsertRequest&,
+                         const BatchInsertRequest&) = default;
+};
+
 /// DELETE removes the records identified by the query.
 struct DeleteRequest {
   abdm::Query query;
@@ -112,9 +128,11 @@ struct RetrieveCommonRequest {
                          const RetrieveCommonRequest&) = default;
 };
 
-/// A single ABDL request: one of the five basic operations.
-using Request = std::variant<InsertRequest, DeleteRequest, UpdateRequest,
-                             RetrieveRequest, RetrieveCommonRequest>;
+/// A single ABDL request: one of the five basic operations, or the
+/// multi-record batch form of INSERT.
+using Request =
+    std::variant<InsertRequest, BatchInsertRequest, DeleteRequest,
+                 UpdateRequest, RetrieveRequest, RetrieveCommonRequest>;
 
 /// A transaction groups two or more sequentially executed requests.
 using Transaction = std::vector<Request>;
@@ -155,6 +173,12 @@ void SetExplain(Request& request, bool explain);
 
 /// Renders `request` in the thesis's ABDL notation.
 std::string ToString(const Request& request);
+
+/// ToString appended to `out` in place. The WAL logs every mutation in
+/// this notation; for batch INSERTs the entry runs to megabytes, so the
+/// logging path renders straight into the (prefixed) log string instead
+/// of concatenating temporaries.
+void AppendToString(const Request& request, std::string& out);
 
 }  // namespace mlds::abdl
 

@@ -48,17 +48,27 @@ bool Record::Erase(std::string_view attribute) {
 }
 
 std::string Record::ToString() const {
-  std::string out = "(";
+  std::string out;
+  AppendTo(out);
+  return out;
+}
+
+void Record::AppendTo(std::string& out) const {
+  out.push_back('(');
   for (size_t i = 0; i < keywords_.size(); ++i) {
     if (i > 0) out += ", ";
-    out += "<" + keywords_[i].attribute + ", " + keywords_[i].value.ToString() +
-           ">";
+    out.push_back('<');
+    out += keywords_[i].attribute;
+    out += ", ";
+    keywords_[i].value.AppendTo(out);
+    out.push_back('>');
   }
-  out += ")";
+  out.push_back(')');
   if (!text_.empty()) {
-    out += " {" + text_ + "}";
+    out += " {";
+    out += text_;
+    out.push_back('}');
   }
-  return out;
 }
 
 }  // namespace mlds::abdm

@@ -65,6 +65,10 @@ class Record {
   /// (<FILE, course>, <title, 'Database'>, ...).
   std::string ToString() const;
 
+  /// ToString appended in place; batch WAL entries render thousands of
+  /// records into one buffer, so no temporary string per record.
+  void AppendTo(std::string& out) const;
+
   friend bool operator==(const Record& a, const Record& b) {
     return a.keywords_ == b.keywords_ && a.text_ == b.text_;
   }

@@ -86,31 +86,45 @@ int Value::Compare(const Value& other) const {
 }
 
 std::string Value::ToString() const {
+  std::string out;
+  AppendTo(out);
+  return out;
+}
+
+void Value::AppendTo(std::string& out) const {
   switch (kind()) {
     case ValueKind::kNull:
-      return "NULL";
-    case ValueKind::kInteger:
-      return std::to_string(std::get<int64_t>(rep_));
+      out += "NULL";
+      return;
+    case ValueKind::kInteger: {
+      char buf[24];
+      auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof(buf), std::get<int64_t>(rep_));
+      out.append(buf, ptr);
+      return;
+    }
     case ValueKind::kFloat: {
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(rep_));
-      return buf;
+      const int n = std::snprintf(buf, sizeof(buf), "%g",
+                                  std::get<double>(rep_));
+      out.append(buf, buf + n);
+      return;
     }
     case ValueKind::kString: {
       // Escape embedded quotes by doubling them (the SQL convention), so
       // printed values parse back losslessly — snapshot and WAL entries
       // are replayed through the parser and must round-trip.
       const std::string& text = std::get<std::string>(rep_);
-      std::string out = "'";
+      out.push_back('\'');
       for (char c : text) {
         if (c == '\'') out.push_back('\'');
         out.push_back(c);
       }
       out.push_back('\'');
-      return out;
+      return;
     }
   }
-  return "NULL";
+  out += "NULL";
 }
 
 std::string Value::ToDisplayString() const {

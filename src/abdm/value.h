@@ -77,6 +77,10 @@ class Value {
   /// Renders the value in ABDL literal form (strings quoted).
   std::string ToString() const;
 
+  /// ToString appended in place — the bulk-logging path renders whole
+  /// batch entries into one buffer without a temporary per value.
+  void AppendTo(std::string& out) const;
+
   /// Renders the bare value (strings unquoted) for display output.
   std::string ToDisplayString() const;
 

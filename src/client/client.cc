@@ -117,6 +117,13 @@ Result<wire::ExecuteResult> MldsClient::Explain(std::string_view statement,
   return AwaitResult(id);
 }
 
+Result<wire::ExecuteResult> MldsClient::ExecuteBatch(
+    std::string_view statement, const std::vector<std::vector<abdm::Value>>& rows,
+    uint32_t session_id) {
+  MLDS_ASSIGN_OR_RETURN(uint32_t id, SubmitBatch(statement, rows, session_id));
+  return AwaitResult(id);
+}
+
 Result<std::string> MldsClient::HealthText() {
   MLDS_ASSIGN_OR_RETURN(common::Frame reply,
                         RoundTrip(wire::FrameType::kHealth, std::string()));
@@ -177,6 +184,16 @@ Result<uint32_t> MldsClient::SubmitExecute(std::string_view statement,
 Result<uint32_t> MldsClient::SubmitExplain(std::string_view statement,
                                            uint32_t session_id) {
   return Submit(wire::FrameType::kExplain, std::string(statement),
+                session_id);
+}
+
+Result<uint32_t> MldsClient::SubmitBatch(
+    std::string_view statement, const std::vector<std::vector<abdm::Value>>& rows,
+    uint32_t session_id) {
+  wire::BatchRequest request;
+  request.statement = std::string(statement);
+  request.rows = rows;
+  return Submit(wire::FrameType::kBatch, wire::EncodeBatchRequest(request),
                 session_id);
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/frame.h"
 #include "common/result.h"
@@ -105,6 +106,14 @@ class MldsClient {
   Result<wire::ExecuteResult> Explain(std::string_view statement,
                                       uint32_t session_id = 0);
 
+  /// Executes a parameterized DML template once per parameter row through
+  /// the bound language's batch interface — the whole batch travels as
+  /// one kBatch frame and one round trip.
+  Result<wire::ExecuteResult> ExecuteBatch(
+      std::string_view statement,
+      const std::vector<std::vector<abdm::Value>>& rows,
+      uint32_t session_id = 0);
+
   /// Kernel health, parsed back into the in-process structure.
   Result<kc::KernelHealth> Health();
   /// Kernel health as the serialized wire text.
@@ -132,6 +141,9 @@ class MldsClient {
                                  uint32_t session_id = 0);
   Result<uint32_t> SubmitExplain(std::string_view statement,
                                  uint32_t session_id = 0);
+  Result<uint32_t> SubmitBatch(std::string_view statement,
+                               const std::vector<std::vector<abdm::Value>>& rows,
+                               uint32_t session_id = 0);
 
   /// Blocks until the response for `request_id` arrives and returns the
   /// raw frame (kOk / kHealthReport / ...), mapping kError and kBusy to

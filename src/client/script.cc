@@ -1,0 +1,72 @@
+#include "client/script.h"
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/strings.h"
+#include "server/wire.h"
+
+namespace mlds::client {
+
+Result<ScriptSummary> RunScript(MldsClient& client, const std::string& path,
+                                bool stop_on_error, std::FILE* out) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open script '" + path + "'");
+  }
+
+  ScriptSummary summary;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    const std::string statement = std::string(Trim(line));
+    if (statement.empty() || statement[0] == '#' ||
+        statement.rfind("--", 0) == 0) {
+      continue;
+    }
+    ++summary.statements;
+
+    Status status = Status::OK();
+    if (statement.rfind(".use ", 0) == 0) {
+      const std::string rest = statement.substr(5);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        status = Status::InvalidArgument(
+            "usage: .use <language> <database>");
+      } else {
+        status = client.Use(std::string(Trim(rest.substr(0, space))),
+                            std::string(Trim(rest.substr(space + 1))));
+      }
+    } else if (statement[0] == '.') {
+      status = Status::InvalidArgument(
+          "meta command '" + statement +
+          "' is not allowed in a script (only .use)");
+    } else {
+      Result<wire::ExecuteResult> result = client.Execute(statement);
+      if (result.ok()) {
+        if (out != nullptr) {
+          std::fputs(result->body.c_str(), out);
+          for (const kds::PartialResultWarning& warning : result->warnings) {
+            std::fprintf(out, "warning: backend %d %s: %s\n",
+                         warning.backend_id, warning.state.c_str(),
+                         warning.detail.c_str());
+          }
+        }
+      } else {
+        status = result.status();
+      }
+    }
+
+    if (!status.ok()) {
+      ++summary.failed;
+      std::fprintf(stderr, "%s:%zu: error: %s\n", path.c_str(), line_number,
+                   status.ToString().c_str());
+      if (stop_on_error) break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace mlds::client

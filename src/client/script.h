@@ -1,0 +1,40 @@
+#ifndef MLDS_CLIENT_SCRIPT_H_
+#define MLDS_CLIENT_SCRIPT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "client/client.h"
+#include "common/result.h"
+
+namespace mlds::client {
+
+/// Outcome of replaying one script file.
+struct ScriptSummary {
+  size_t statements = 0;  ///< statements attempted (meta lines included)
+  size_t failed = 0;      ///< statements that returned an error
+};
+
+/// Replays a bulk-load script through `client`, one statement per line.
+///
+/// Line grammar:
+///   - blank lines and lines starting with '#' or "--" are skipped;
+///   - `.use <language> <database>` rebinds the session, so one script
+///     can load several interfaces in sequence;
+///   - every other line executes in the currently bound language.
+/// Other meta commands are rejected — a script that asks the server to
+/// shut down or prints interactive stats is a bug, not a load.
+///
+/// Result bodies and warnings are echoed to `out` when non-null; a bulk
+/// seeder passes nullptr to swallow the per-statement "affected" noise.
+/// Statement failures always print to stderr and are counted; with
+/// `stop_on_error` the replay stops at the first one. Only an
+/// unreadable file is a Status error — a script whose statements fail
+/// still returns its summary so the caller can decide what a partial
+/// load means.
+Result<ScriptSummary> RunScript(MldsClient& client, const std::string& path,
+                                bool stop_on_error, std::FILE* out);
+
+}  // namespace mlds::client
+
+#endif  // MLDS_CLIENT_SCRIPT_H_

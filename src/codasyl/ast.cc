@@ -118,7 +118,17 @@ std::string ToString(const Statement& statement) {
       return "GET";
     }
     std::string operator()(const StoreStatement& s) {
-      return "STORE " + s.record;
+      std::string out = "STORE " + s.record;
+      if (!s.assignments.empty()) {
+        out += " (";
+        for (size_t i = 0; i < s.assignments.size(); ++i) {
+          if (i > 0) out += ", ";
+          const StoreStatement::Assignment& a = s.assignments[i];
+          out += a.item + " = " + (a.is_param ? "?" : a.value.ToString());
+        }
+        out += ")";
+      }
+      return out;
     }
     std::string operator()(const ConnectStatement& s) {
       return "CONNECT " + s.record + " TO " + JoinItems(s.sets);

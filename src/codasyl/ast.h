@@ -82,9 +82,28 @@ struct GetStatement {
   std::vector<std::string> items;
 };
 
-/// STORE record (Ch. VI.G).
+/// STORE record [(item = value, ...)] (Ch. VI.G).
+///
+/// The optional inline assignment list writes the named UWA template
+/// items before the store — the one-statement equivalent of a MOVE per
+/// item followed by a bare STORE. An assignment value of `?` marks a
+/// prepared-template parameter: the statement then executes only through
+/// the batch interface, which binds one value per `?` per row.
 struct StoreStatement {
+  struct Assignment {
+    std::string item;
+    abdm::Value value;     ///< null placeholder when `is_param`.
+    bool is_param = false; ///< the value was written as `?`.
+  };
   std::string record;
+  std::vector<Assignment> assignments;
+
+  bool parameterized() const {
+    for (const Assignment& a : assignments) {
+      if (a.is_param) return true;
+    }
+    return false;
+  }
 };
 
 /// CONNECT record TO set_1, ..., set_n (Ch. VI.D).

@@ -9,9 +9,19 @@ namespace mlds::codasyl {
 namespace {
 
 /// DML statements are single-line and word-oriented; the lexer produces
-/// words, quoted literals, numbers, and commas.
+/// words, quoted literals, numbers, commas, and the STORE assignment
+/// punctuation '(' ')' '=' '?'.
 struct Token {
-  enum class Kind { kWord, kLiteral, kComma, kEnd } kind = Kind::kEnd;
+  enum class Kind {
+    kWord,
+    kLiteral,
+    kComma,
+    kLParen,
+    kRParen,
+    kEq,
+    kParam,
+    kEnd
+  } kind = Kind::kEnd;
   std::string text;        // word text (case preserved)
   abdm::Value literal;     // for kLiteral
 };
@@ -25,6 +35,18 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       ++pos;
     } else if (c == ',') {
       out.push_back({Token::Kind::kComma, ",", {}});
+      ++pos;
+    } else if (c == '(') {
+      out.push_back({Token::Kind::kLParen, "(", {}});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({Token::Kind::kRParen, ")", {}});
+      ++pos;
+    } else if (c == '=') {
+      out.push_back({Token::Kind::kEq, "=", {}});
+      ++pos;
+    } else if (c == '?') {
+      out.push_back({Token::Kind::kParam, "?", {}});
       ++pos;
     } else if (c == '\'' || c == '"') {
       size_t end = pos + 1;
@@ -152,8 +174,42 @@ class Parser {
     if (ConsumeKeyword("FIND")) return ParseFind();
     if (ConsumeKeyword("GET")) return ParseGet();
     if (ConsumeKeyword("STORE")) {
-      MLDS_ASSIGN_OR_RETURN(std::string record, ExpectName("record type"));
-      return Statement(StoreStatement{std::move(record)});
+      StoreStatement s;
+      MLDS_ASSIGN_OR_RETURN(s.record, ExpectName("record type"));
+      // Optional inline assignment list: STORE rec (item = value | ?, ...)
+      if (Peek().kind == Token::Kind::kLParen) {
+        Advance();
+        while (true) {
+          StoreStatement::Assignment a;
+          MLDS_ASSIGN_OR_RETURN(a.item, ExpectName("item name"));
+          if (Peek().kind != Token::Kind::kEq) {
+            return Status::ParseError("expected '=' in STORE assignment");
+          }
+          Advance();
+          if (Peek().kind == Token::Kind::kLiteral) {
+            a.value = Advance().literal;
+          } else if (Peek().kind == Token::Kind::kParam) {
+            Advance();
+            a.is_param = true;
+          } else if (ConsumeKeyword("NULL")) {
+            // a.value stays null
+          } else {
+            return Status::ParseError(
+                "expected literal, NULL, or '?' in STORE assignment");
+          }
+          s.assignments.push_back(std::move(a));
+          if (Peek().kind == Token::Kind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        if (Peek().kind != Token::Kind::kRParen) {
+          return Status::ParseError("expected ')' after STORE assignments");
+        }
+        Advance();
+      }
+      return Statement(std::move(s));
     }
     if (ConsumeKeyword("CONNECT")) {
       ConnectStatement s;

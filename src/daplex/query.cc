@@ -9,7 +9,16 @@ namespace mlds::daplex {
 namespace {
 
 struct Token {
-  enum class Kind { kWord, kLiteral, kComma, kLParen, kRParen, kRelOp, kEnd };
+  enum class Kind {
+    kWord,
+    kLiteral,
+    kComma,
+    kLParen,
+    kRParen,
+    kRelOp,
+    kParam,
+    kEnd,
+  };
   Kind kind = Kind::kEnd;
   std::string text;
   abdm::Value literal;
@@ -34,6 +43,9 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       ++pos;
     } else if (c == '=') {
       out.push_back({Token::Kind::kRelOp, "=", {}, abdm::RelOp::kEq});
+      ++pos;
+    } else if (c == '?') {
+      out.push_back({Token::Kind::kParam, "?", {}, {}});
       ++pos;
     } else if (c == '!' && pos + 1 < text.size() && text[pos + 1] == '=') {
       out.push_back({Token::Kind::kRelOp, "!=", {}, abdm::RelOp::kNe});
@@ -260,8 +272,15 @@ Result<DaplexStatement> ParseDaplexStatement(std::string_view text) {
         return Status::ParseError("expected '=' after '" + fn + "'");
       }
       ++pos;
-      MLDS_ASSIGN_OR_RETURN(abdm::Value value, parse_literal());
-      create.assignments.emplace_back(std::move(fn), std::move(value));
+      if (peek().kind == Token::Kind::kParam) {
+        ++pos;
+        create.assignments.emplace_back(std::move(fn), abdm::Value::Null());
+        create.param_mask.push_back(1);
+      } else {
+        MLDS_ASSIGN_OR_RETURN(abdm::Value value, parse_literal());
+        create.assignments.emplace_back(std::move(fn), std::move(value));
+        create.param_mask.push_back(0);
+      }
       if (peek().kind == Token::Kind::kComma) {
         ++pos;
         continue;

@@ -1,6 +1,7 @@
 #ifndef MLDS_DAPLEX_QUERY_H_
 #define MLDS_DAPLEX_QUERY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -65,9 +66,22 @@ Result<ForEachQuery> ParseForEach(std::string_view text);
 /// creation names the supertype entity through the supertype's key
 /// pseudo-function, e.g. CREATE student (person = 'person_40',
 /// major = 'CS').
+///
+/// An assignment value of `?` marks a prepared-template parameter
+/// (`param_mask[i]` is non-zero and the stored value is a null
+/// placeholder): the statement then executes only through the batch
+/// interface, which binds one value per `?` per row.
 struct CreateStatement {
   std::string type;
   std::vector<std::pair<std::string, abdm::Value>> assignments;
+  std::vector<uint8_t> param_mask;  ///< parallel to `assignments`.
+
+  bool parameterized() const {
+    for (uint8_t m : param_mask) {
+      if (m != 0) return true;
+    }
+    return false;
+  }
 
   friend bool operator==(const CreateStatement&,
                          const CreateStatement&) = default;

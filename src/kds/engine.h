@@ -200,6 +200,7 @@ class Engine {
 
  private:
   Result<Response> ExecuteInsert(const abdl::InsertRequest& req);
+  Result<Response> ExecuteBatchInsert(const abdl::BatchInsertRequest& req);
   Result<Response> ExecuteDelete(const abdl::DeleteRequest& req);
   Result<Response> ExecuteUpdate(const abdl::UpdateRequest& req);
   Result<Response> ExecuteRetrieve(const abdl::RetrieveRequest& req);

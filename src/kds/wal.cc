@@ -1,8 +1,10 @@
 #include "kds/wal.h"
 
 #include <charconv>
+#include <chrono>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "abdl/parser.h"
@@ -29,14 +31,13 @@ size_t ParseSize(std::string_view text) {
   return value;
 }
 
-std::string FrameEntry(std::string_view payload) {
+/// Frame header for one entry; the checksum pass is the expensive part,
+/// so callers compute it outside the writer lock.
+std::string FrameHeader(std::string_view payload) {
   char header[48];
   std::snprintf(header, sizeof(header), "E %zu %016llx ", payload.size(),
                 static_cast<unsigned long long>(WalChecksum(payload)));
-  std::string frame = header;
-  frame += payload;
-  frame += '\n';
-  return frame;
+  return header;
 }
 
 }  // namespace
@@ -114,24 +115,115 @@ Result<abdm::FileDescriptor> DecodeDefineFile(std::string_view body) {
   return descriptor;
 }
 
-Status WalWriter::Append(std::string_view payload) {
-  std::string frame = FrameEntry(payload);
-  std::lock_guard<std::mutex> lock(mutex_);
+Status WalWriter::StageLocked(std::string_view header,
+                              std::string_view payload, uint64_t* lsn) {
   if (crashed_) {
     return Status::Aborted("wal: engine crashed, log closed");
   }
   if (crash_armed_ && crash_plan_.entries_until_crash <= 0) {
-    // The simulated crash: a prefix of the frame reaches the durable
-    // medium, then the engine dies. The torn tail is what recovery's
-    // checksum framing must detect and discard.
-    buffer_ += frame.substr(0, std::min(crash_plan_.torn_bytes, frame.size()));
+    // The simulated crash: the combined flush in progress reaches the
+    // durable medium — every frame staged ahead of this one, then a
+    // prefix of this frame — and the engine dies. The torn tail is what
+    // recovery's checksum framing must detect and discard; earlier
+    // members of the group are fully framed and therefore durable.
+    buffer_ += pending_;
+    pending_.clear();
+    size_t torn = std::min(crash_plan_.torn_bytes,
+                           header.size() + payload.size() + 1);
+    buffer_ += header.substr(0, torn);
+    torn -= std::min(torn, header.size());
+    buffer_ += payload.substr(0, torn);
+    if (torn > payload.size()) buffer_ += '\n';
     crashed_ = true;
+    durable_lsn_ = next_lsn_;
+    durable_cv_.notify_all();
     return Status::Aborted("wal: simulated crash at entry boundary");
   }
-  buffer_ += frame;
+  pending_ += header;
+  pending_ += payload;
+  pending_ += '\n';
+  *lsn = ++next_lsn_;
   ++entries_;
   if (crash_armed_) --crash_plan_.entries_until_crash;
   return Status::OK();
+}
+
+Status WalWriter::WaitDurableLocked(std::unique_lock<std::mutex>& lock,
+                                    uint64_t lsn) {
+  while (true) {
+    if (durable_lsn_ >= lsn) return Status::OK();
+    if (crashed_) {
+      // The crash fired after we staged but before our entry flushed: it
+      // never reached the medium (the crash path flushes everything
+      // staged ahead of the torn frame, and covered LSNs returned above).
+      return Status::Aborted("wal: engine crashed, log closed");
+    }
+    if (!flush_leader_active_) {
+      // Become the flush leader: optionally hold the flush open so
+      // concurrent appends can join the group, then write every staged
+      // frame as one combined flush and publish the new durable LSN.
+      flush_leader_active_ = true;
+      if (flush_latency_us_ > 0) {
+        lock.unlock();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(flush_latency_us_));
+        lock.lock();
+      }
+      if (!crashed_) {
+        const uint64_t batch_end = next_lsn_;
+        if (batch_end > durable_lsn_) {
+          buffer_ += pending_;
+          pending_.clear();
+          const uint64_t group = batch_end - durable_lsn_;
+          durable_lsn_ = batch_end;
+          ++stats_.flushes;
+          stats_.entries += group;
+          if (group > stats_.max_group) stats_.max_group = group;
+        }
+      }
+      flush_leader_active_ = false;
+      durable_cv_.notify_all();
+      continue;  // re-check: our entry is durable now unless we crashed.
+    }
+    durable_cv_.wait(lock, [&] {
+      return durable_lsn_ >= lsn || crashed_ || !flush_leader_active_;
+    });
+  }
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  const std::string header = FrameHeader(payload);
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t lsn = 0;
+  MLDS_RETURN_IF_ERROR(StageLocked(header, payload, &lsn));
+  return WaitDurableLocked(lock, lsn);
+}
+
+Status WalWriter::AppendBatch(const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return Status::OK();
+  // Checksum outside the lock: hashing the payloads is the expensive
+  // part; staging under the lock is three appends per entry.
+  std::vector<std::string> headers;
+  headers.reserve(payloads.size());
+  for (const std::string& payload : payloads) {
+    headers.push_back(FrameHeader(payload));
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t last_lsn = 0;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    MLDS_RETURN_IF_ERROR(StageLocked(headers[i], payloads[i], &last_lsn));
+  }
+  return WaitDurableLocked(lock, last_lsn);
+}
+
+WalWriter::GroupCommitStats WalWriter::group_commit_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WalWriter::set_flush_latency_us(uint32_t us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_latency_us_ = us;
 }
 
 void WalWriter::ArmCrash(WalCrashPlan plan) {
@@ -148,19 +240,30 @@ bool WalWriter::crashed() const {
 
 size_t WalWriter::RepairTail() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // The crash path flushes everything staged, so pending_ is empty here;
+  // clear defensively in case of repair without a crash.
+  pending_.clear();
   WalScan scan = ScanWal(buffer_);
   const size_t torn = scan.torn_bytes;
   buffer_.resize(buffer_.size() - torn);
   entries_ = scan.entries.size();
+  durable_lsn_ = next_lsn_;
   crashed_ = false;
   crash_armed_ = false;
+  durable_cv_.notify_all();
   return torn;
 }
 
 void WalWriter::Truncate() {
   std::lock_guard<std::mutex> lock(mutex_);
   buffer_.clear();
+  pending_.clear();
+  // LSNs stay monotonic so any in-flight waiter (the caller must quiesce,
+  // but be safe) observes its entry as durable rather than waiting on a
+  // counter that restarted.
+  durable_lsn_ = next_lsn_;
   entries_ = 0;
+  durable_cv_.notify_all();
 }
 
 std::string WalWriter::contents() const {

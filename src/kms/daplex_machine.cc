@@ -465,9 +465,23 @@ Result<bool> DaplexMachine::EntityExists(std::string_view file,
   return !resp.records.empty();
 }
 
-Result<DaplexMachine::Outcome> DaplexMachine::Create(
-    const daplex::CreateStatement& statement) {
-  trace_.clear();
+Result<std::vector<std::string>> DaplexMachine::AllocateDbKeys(
+    std::string_view type, size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  uint64_t next = executor_->FileSize(type) + 1;
+  while (keys.size() < count) {
+    std::string candidate = transform::MakeDbKey(type, next);
+    MLDS_ASSIGN_OR_RETURN(bool exists, EntityExists(type, candidate));
+    ++next;
+    if (!exists) keys.push_back(std::move(candidate));
+  }
+  return keys;
+}
+
+Result<Record> DaplexMachine::BuildCreateRecord(
+    const daplex::CreateStatement& statement,
+    const std::vector<abdm::Value>* row, const std::string& dbkey) {
   const std::string& type = statement.type;
   if (!functional_->IsEntityOrSubtype(type)) {
     return Status::NotFound("'" + type + "' is not an entity type or subtype");
@@ -475,13 +489,21 @@ Result<DaplexMachine::Outcome> DaplexMachine::Create(
   const std::vector<Function>* functions = functional_->FunctionsOf(type);
   const daplex::Subtype* subtype = functional_->FindSubtype(type);
 
-  MLDS_ASSIGN_OR_RETURN(std::string dbkey, AllocateDbKey(type));
   Record record;
   record.Set(std::string(abdm::kFileAttribute), Value::String(type));
   record.Set(KeyAttribute(type), Value::String(dbkey));
 
   std::set<std::string> assigned_supers;
-  for (const auto& [fn_name, value] : statement.assignments) {
+  size_t next_param = 0;
+  for (size_t i = 0; i < statement.assignments.size(); ++i) {
+    const std::string& fn_name = statement.assignments[i].first;
+    const bool is_param =
+        i < statement.param_mask.size() && statement.param_mask[i] != 0;
+    if (is_param && row == nullptr) {
+      return Status::Internal("CREATE parameter marker without a value row");
+    }
+    const Value& value =
+        is_param ? (*row)[next_param++] : statement.assignments[i].second;
     // Supertype key pseudo-function: CREATE student (person = 'person_4').
     const bool is_super =
         subtype != nullptr &&
@@ -628,7 +650,20 @@ Result<DaplexMachine::Outcome> DaplexMachine::Create(
       }
     }
   }
+  return record;
+}
 
+Result<DaplexMachine::Outcome> DaplexMachine::Create(
+    const daplex::CreateStatement& statement) {
+  trace_.clear();
+  if (statement.parameterized()) {
+    return Status::InvalidArgument(
+        "CREATE " + statement.type + ": parameter markers ('?') require the "
+        "batch interface, which binds one value per marker per row");
+  }
+  MLDS_ASSIGN_OR_RETURN(std::string dbkey, AllocateDbKey(statement.type));
+  MLDS_ASSIGN_OR_RETURN(Record record,
+                        BuildCreateRecord(statement, nullptr, dbkey));
   MLDS_ASSIGN_OR_RETURN(kds::Response resp,
                         Issue(abdl::InsertRequest{record}));
   (void)resp;
@@ -636,6 +671,62 @@ Result<DaplexMachine::Outcome> DaplexMachine::Create(
   outcome.affected = 1;
   outcome.info = "created " + dbkey;
   outcome.records = {std::move(record)};
+  return outcome;
+}
+
+Result<DaplexMachine::Outcome> DaplexMachine::ExecuteBatch(
+    std::string_view text, const std::vector<std::vector<abdm::Value>>& rows,
+    const abdl::BatchLimits& limits) {
+  trace_.clear();
+  if (rows.empty()) {
+    return Status::InvalidArgument("CREATE batch carries no rows");
+  }
+  std::shared_ptr<const daplex::DaplexStatement> stmt;
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(
+        stmt, cache_->GetOrCompile<daplex::DaplexStatement>(
+                  "daplex-stmt", text,
+                  [&] { return daplex::ParseDaplexStatement(text); }));
+  } else {
+    MLDS_ASSIGN_OR_RETURN(daplex::DaplexStatement parsed,
+                          daplex::ParseDaplexStatement(text));
+    stmt = std::make_shared<const daplex::DaplexStatement>(std::move(parsed));
+  }
+  const auto* create = std::get_if<daplex::CreateStatement>(stmt.get());
+  if (create == nullptr || !create->parameterized()) {
+    return Status::InvalidArgument(
+        "batch execution requires a parameterized CREATE template "
+        "(CREATE type (fn = ?, ...))");
+  }
+  size_t params_per_row = 0;
+  for (uint8_t m : create->param_mask) {
+    if (m != 0) ++params_per_row;
+  }
+  const size_t chunk = abdl::EffectiveBatchSize(limits, params_per_row);
+  Outcome outcome;
+  for (size_t begin = 0; begin < rows.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, rows.size());
+    MLDS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                          AllocateDbKeys(create->type, end - begin));
+    std::vector<Record> records;
+    records.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      if (rows[i].size() != params_per_row) {
+        return Status::InvalidArgument(
+            "CREATE batch row " + std::to_string(i) + " carries " +
+            std::to_string(rows[i].size()) + " value(s); the template has " +
+            std::to_string(params_per_row) + " parameter(s)");
+      }
+      MLDS_ASSIGN_OR_RETURN(
+          Record record, BuildCreateRecord(*create, &rows[i], keys[i - begin]));
+      records.push_back(std::move(record));
+    }
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                          Issue(abdl::BatchInsertRequest{std::move(records)}));
+    (void)resp;
+    outcome.affected += end - begin;
+  }
+  outcome.info = "created " + std::to_string(outcome.affected) + " entities";
   return outcome;
 }
 

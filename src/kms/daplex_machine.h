@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "abdl/prepared.h"
 #include "abdl/request.h"
 #include "common/result.h"
 #include "daplex/query.h"
@@ -80,6 +81,15 @@ class DaplexMachine {
   /// Parses and executes any Daplex statement.
   Result<Outcome> ExecuteStatement(std::string_view text);
 
+  /// Executes a parameterized CREATE template — `CREATE type (fn = ?,
+  /// ...)` — once per parameter row, chunked into kernel batch INSERTs of
+  /// at most EffectiveBatchSize(limits) records each. Literal assignments
+  /// in the template apply to every row; each `?` binds one row value in
+  /// assignment order.
+  Result<Outcome> ExecuteBatch(
+      std::string_view text, const std::vector<std::vector<abdm::Value>>& rows,
+      const abdl::BatchLimits& limits = {});
+
   /// Attaches the shared compiled-translation cache. Daplex queries
   /// resolve against live entities (ISA chains, duplicated records), so
   /// parsed query ASTs cache; translation re-runs per execution.
@@ -134,6 +144,21 @@ class DaplexMachine {
 
   /// Allocates a fresh database key for `type` by probing the kernel.
   Result<std::string> AllocateDbKey(std::string_view type);
+
+  /// Allocates `count` fresh database keys, probing each candidate so the
+  /// keys are free even before any of the batch's records insert.
+  Result<std::vector<std::string>> AllocateDbKeys(std::string_view type,
+                                                  size_t count);
+
+  /// The record-construction half of CREATE: validates every assignment
+  /// (supertype keys, referential integrity, function class), enforces
+  /// the overlap table and uniqueness constraints, and fills the
+  /// member-side set keywords. `row` supplies the values bound to the
+  /// statement's `?` markers, in assignment order (null for a literal
+  /// statement). Shared by Create and ExecuteBatch.
+  Result<abdm::Record> BuildCreateRecord(
+      const daplex::CreateStatement& statement,
+      const std::vector<abdm::Value>* row, const std::string& dbkey);
 
   /// True when a record of `file` with key `dbkey` exists.
   Result<bool> EntityExists(std::string_view file, std::string_view dbkey);

@@ -35,7 +35,16 @@ abdl::RetrieveRequest RetrieveAll(Query query) {
 // --- DL/I call parsing ---
 
 struct Token {
-  enum class Kind { kWord, kLiteral, kLParen, kRParen, kComma, kRelOp, kEnd };
+  enum class Kind {
+    kWord,
+    kLiteral,
+    kLParen,
+    kRParen,
+    kComma,
+    kRelOp,
+    kParam,
+    kEnd,
+  };
   Kind kind = Kind::kEnd;
   std::string text;
   Value literal;
@@ -60,6 +69,9 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       ++pos;
     } else if (c == '=') {
       out.push_back({Token::Kind::kRelOp, "=", {}, RelOp::kEq});
+      ++pos;
+    } else if (c == '?') {
+      out.push_back({Token::Kind::kParam, "?", {}, {}});
       ++pos;
     } else if (c == '!' && pos + 1 < text.size() && text[pos + 1] == '=') {
       out.push_back({Token::Kind::kRelOp, "!=", {}, RelOp::kNe});
@@ -174,8 +186,13 @@ Result<DliCall> ParseDliCall(std::string_view text) {
                                     qual.attribute + "'");
         }
         qual.op = tokens[pos++].rel;
+        bool is_param = false;
         if (peek().kind == Token::Kind::kLiteral) {
           qual.value = tokens[pos++].literal;
+        } else if (peek().kind == Token::Kind::kParam) {
+          ++pos;
+          qual.value = Value::Null();
+          is_param = true;
         } else if (peek().kind == Token::Kind::kWord &&
                    EqualsIgnoreCase(peek().text, "NULL")) {
           ++pos;
@@ -184,6 +201,7 @@ Result<DliCall> ParseDliCall(std::string_view text) {
           return Status::ParseError("expected literal in qualification");
         }
         ssa.qualifications.push_back(std::move(qual));
+        ssa.param_mask.push_back(is_param ? 1 : 0);
         if (peek().kind == Token::Kind::kComma) {
           ++pos;
           continue;
@@ -196,6 +214,10 @@ Result<DliCall> ParseDliCall(std::string_view text) {
       ++pos;
     }
     call.ssas.push_back(std::move(ssa));
+  }
+  if (call.parameterized() && call.function != DliCall::Function::kIsrt) {
+    return Status::ParseError(
+        "parameter markers ('?') are only allowed in ISRT field lists");
   }
   return call;
 }
@@ -462,51 +484,152 @@ Result<std::string> DliMachine::AllocateKey(std::string_view segment) {
   }
 }
 
+Result<std::vector<std::string>> DliMachine::AllocateKeys(
+    std::string_view segment, size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  uint64_t next = executor_->FileSize(segment) + 1;
+  while (keys.size() < count) {
+    std::string candidate = transform::MakeDbKey(segment, next);
+    abdl::RetrieveRequest probe;
+    probe.query = Query::And(
+        {FilePred(segment), Predicate{KeyAttribute(segment), RelOp::kEq,
+                                      Value::String(candidate)}});
+    probe.targets = {abdl::TargetItem{KeyAttribute(segment)}};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+    ++next;
+    if (resp.records.empty()) keys.push_back(std::move(candidate));
+  }
+  return keys;
+}
+
+Result<Record> DliMachine::BuildIsrtRecord(const Segment& segment,
+                                           const Ssa& ssa,
+                                           const std::vector<Value>* row,
+                                           const std::string& key) {
+  Record record;
+  record.Set(std::string(abdm::kFileAttribute), Value::String(segment.name));
+  size_t next_param = 0;
+  for (size_t i = 0; i < ssa.qualifications.size(); ++i) {
+    const Predicate& qual = ssa.qualifications[i];
+    if (qual.op != RelOp::kEq) {
+      return Status::InvalidArgument("ISRT field list uses '=' only");
+    }
+    if (segment.FindField(qual.attribute) == nullptr) {
+      return Status::NotFound("field '" + qual.attribute +
+                              "' does not exist in segment '" +
+                              segment.name + "'");
+    }
+    const bool is_param = i < ssa.param_mask.size() && ssa.param_mask[i] != 0;
+    if (is_param && row == nullptr) {
+      return Status::Internal("ISRT parameter marker without a value row");
+    }
+    record.Set(qual.attribute, is_param ? (*row)[next_param++] : qual.value);
+  }
+  if (!segment.is_root()) {
+    // The parent is the current position when it is of the parent type
+    // (the most recent establishment wins), else the anchored segment.
+    std::string parent_key;
+    if (position_.has_value() && position_->segment == segment.parent) {
+      parent_key = position_->key;
+    } else if (anchor_.has_value() && anchor_->segment == segment.parent) {
+      parent_key = anchor_->key;
+    } else {
+      return Status::CurrencyError("ISRT " + segment.name +
+                                   ": no current '" + segment.parent +
+                                   "' parent; GU it first");
+    }
+    record.Set(segment.parent, Value::String(parent_key));
+  }
+  record.Set(KeyAttribute(segment.name), Value::String(key));
+  return record;
+}
+
 Result<DliMachine::Outcome> DliMachine::Isrt(const DliCall& call) {
   if (call.ssas.size() != 1) {
     return Status::InvalidArgument("ISRT takes exactly one segment");
+  }
+  if (call.parameterized()) {
+    return Status::InvalidArgument(
+        "ISRT: parameter markers ('?') require the batch interface, which "
+        "binds one value per marker per row");
   }
   const Ssa& ssa = call.ssas[0];
   const Segment* segment = schema_->FindSegment(ssa.segment);
   if (segment == nullptr) {
     return Status::NotFound("segment '" + ssa.segment + "' is not declared");
   }
-  Record record;
-  record.Set(std::string(abdm::kFileAttribute), Value::String(segment->name));
-  for (const auto& qual : ssa.qualifications) {
-    if (qual.op != RelOp::kEq) {
-      return Status::InvalidArgument("ISRT field list uses '=' only");
-    }
-    if (segment->FindField(qual.attribute) == nullptr) {
-      return Status::NotFound("field '" + qual.attribute +
-                              "' does not exist in segment '" +
-                              segment->name + "'");
-    }
-    record.Set(qual.attribute, qual.value);
-  }
-  if (!segment->is_root()) {
-    // The parent is the current position when it is of the parent type
-    // (the most recent establishment wins), else the anchored segment.
-    std::string parent_key;
-    if (position_.has_value() && position_->segment == segment->parent) {
-      parent_key = position_->key;
-    } else if (anchor_.has_value() && anchor_->segment == segment->parent) {
-      parent_key = anchor_->key;
-    } else {
-      return Status::CurrencyError("ISRT " + segment->name +
-                                   ": no current '" + segment->parent +
-                                   "' parent; GU it first");
-    }
-    record.Set(segment->parent, Value::String(parent_key));
-  }
   MLDS_ASSIGN_OR_RETURN(std::string key, AllocateKey(segment->name));
-  record.Set(KeyAttribute(segment->name), Value::String(key));
+  MLDS_ASSIGN_OR_RETURN(Record record,
+                        BuildIsrtRecord(*segment, ssa, nullptr, key));
   MLDS_ASSIGN_OR_RETURN(kds::Response resp,
                         Issue(abdl::InsertRequest{record}));
   position_ = Position{segment->name, key, record};
   Outcome outcome;
   outcome.affected = resp.affected;
   outcome.info = "inserted " + key;
+  return outcome;
+}
+
+Result<DliMachine::Outcome> DliMachine::ExecuteBatch(
+    std::string_view text, const std::vector<std::vector<Value>>& rows,
+    const abdl::BatchLimits& limits) {
+  trace_.clear();
+  if (rows.empty()) {
+    return Status::InvalidArgument("ISRT batch carries no rows");
+  }
+  std::shared_ptr<const DliCall> call;
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(call, cache_->GetOrCompile<DliCall>(
+                                    "dli", text,
+                                    [&] { return ParseDliCall(text); }));
+  } else {
+    MLDS_ASSIGN_OR_RETURN(DliCall parsed, ParseDliCall(text));
+    call = std::make_shared<const DliCall>(std::move(parsed));
+  }
+  if (call->function != DliCall::Function::kIsrt || !call->parameterized()) {
+    return Status::InvalidArgument(
+        "batch execution requires a parameterized ISRT template "
+        "(ISRT seg (field = ?, ...))");
+  }
+  if (call->ssas.size() != 1) {
+    return Status::InvalidArgument("ISRT takes exactly one segment");
+  }
+  const Ssa& ssa = call->ssas[0];
+  const Segment* segment = schema_->FindSegment(ssa.segment);
+  if (segment == nullptr) {
+    return Status::NotFound("segment '" + ssa.segment + "' is not declared");
+  }
+  size_t params_per_row = 0;
+  for (uint8_t m : ssa.param_mask) {
+    if (m != 0) ++params_per_row;
+  }
+  const size_t chunk = abdl::EffectiveBatchSize(limits, params_per_row);
+  Outcome outcome;
+  for (size_t begin = 0; begin < rows.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, rows.size());
+    MLDS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                          AllocateKeys(segment->name, end - begin));
+    std::vector<Record> records;
+    records.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      if (rows[i].size() != params_per_row) {
+        return Status::InvalidArgument(
+            "ISRT batch row " + std::to_string(i) + " carries " +
+            std::to_string(rows[i].size()) + " value(s); the template has " +
+            std::to_string(params_per_row) + " parameter(s)");
+      }
+      MLDS_ASSIGN_OR_RETURN(
+          Record record,
+          BuildIsrtRecord(*segment, ssa, &rows[i], keys[i - begin]));
+      records.push_back(std::move(record));
+    }
+    position_ = Position{segment->name, keys.back(), records.back()};
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                          Issue(abdl::BatchInsertRequest{std::move(records)}));
+    outcome.affected += resp.affected;
+  }
+  outcome.info = "inserted " + std::to_string(outcome.affected) + " segment(s)";
   return outcome;
 }
 

@@ -1,11 +1,13 @@
 #ifndef MLDS_KMS_DLI_MACHINE_H_
 #define MLDS_KMS_DLI_MACHINE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "abdl/prepared.h"
 #include "abdl/request.h"
 #include "abdm/query.h"
 #include "common/result.h"
@@ -16,10 +18,13 @@
 namespace mlds::kms {
 
 /// One segment search argument of a DL/I call: a segment name plus
-/// optional field qualifications.
+/// optional field qualifications. A qualification value written as `?`
+/// marks a prepared-template parameter (`param_mask[i]` non-zero, value
+/// a null placeholder); only ISRT field lists accept markers.
 struct Ssa {
   std::string segment;
   std::vector<abdm::Predicate> qualifications;
+  std::vector<uint8_t> param_mask;  ///< parallel to `qualifications`.
 };
 
 /// A parsed DL/I call.
@@ -34,6 +39,15 @@ struct DliCall {
   };
   Function function = Function::kGu;
   std::vector<Ssa> ssas;
+
+  bool parameterized() const {
+    for (const Ssa& ssa : ssas) {
+      for (uint8_t m : ssa.param_mask) {
+        if (m != 0) return true;
+      }
+    }
+    return false;
+  }
 };
 
 /// Parses one DL/I call:
@@ -81,6 +95,15 @@ class DliMachine {
   /// Runs newline/';'-separated calls, stopping at the first error.
   Result<std::vector<Outcome>> RunProgram(std::string_view text);
 
+  /// Executes a parameterized ISRT template — `ISRT seg (field = ?, ...)`
+  /// — once per parameter row, chunked into kernel batch INSERTs of at
+  /// most EffectiveBatchSize(limits) records each. Every inserted segment
+  /// shares the parent established before the batch; the last one becomes
+  /// the current position.
+  Result<Outcome> ExecuteBatch(
+      std::string_view text, const std::vector<std::vector<abdm::Value>>& rows,
+      const abdl::BatchLimits& limits = {});
+
   /// Attaches the shared compiled-translation cache. DL/I translation
   /// depends on position state, so parsed calls cache; the call's ABDL
   /// requests are re-derived against the live position each execution.
@@ -126,6 +149,20 @@ class DliMachine {
                        const std::string& key, size_t* deleted);
 
   Result<std::string> AllocateKey(std::string_view segment);
+
+  /// Allocates `count` fresh segment keys, probing each candidate so the
+  /// keys are free even before any of the batch's records insert.
+  Result<std::vector<std::string>> AllocateKeys(std::string_view segment,
+                                                size_t count);
+
+  /// The record-construction half of ISRT: validates the field list,
+  /// resolves the parent key, and stamps `key`. `row` supplies the values
+  /// bound to `?` markers in qualification order (null for a literal
+  /// call). Shared by Isrt and ExecuteBatch.
+  Result<abdm::Record> BuildIsrtRecord(const hierarchical::Segment& segment,
+                                       const Ssa& ssa,
+                                       const std::vector<abdm::Value>* row,
+                                       const std::string& key);
 
   const hierarchical::Schema* schema_;
   kc::KernelExecutor* executor_;

@@ -200,6 +200,78 @@ Result<std::vector<DmlResult>> DmlMachine::RunProgram(std::string_view text) {
   return results;
 }
 
+Result<DmlResult> DmlMachine::ExecuteBatch(
+    std::string_view text, const std::vector<std::vector<abdm::Value>>& rows,
+    const abdl::BatchLimits& limits) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("STORE batch carries no rows");
+  }
+  std::shared_ptr<const codasyl::ParsedStatement> stmt;
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(
+        stmt, cache_->GetOrCompile<codasyl::ParsedStatement>(
+                  "dml", text,
+                  [&] { return codasyl::ParseDmlStatement(text); }));
+  } else {
+    MLDS_ASSIGN_OR_RETURN(codasyl::ParsedStatement parsed,
+                          codasyl::ParseDmlStatement(text));
+    stmt = std::make_shared<const codasyl::ParsedStatement>(std::move(parsed));
+  }
+  const auto* store = std::get_if<codasyl::StoreStatement>(&stmt->statement);
+  if (store == nullptr || !store->parameterized()) {
+    return Status::InvalidArgument(
+        "batch execution requires a parameterized STORE template "
+        "(STORE rec (item = ?, ...))");
+  }
+  MLDS_ASSIGN_OR_RETURN(const network::RecordType* rt,
+                        RequireRecord(store->record));
+  size_t params_per_row = 0;
+  for (const auto& a : store->assignments) {
+    if (a.is_param) ++params_per_row;
+  }
+  trace_.push_back(TraceEntry{codasyl::ToString(stmt->statement) + " [" +
+                                  std::to_string(rows.size()) + " rows]",
+                              {}});
+  const size_t chunk = abdl::EffectiveBatchSize(limits, params_per_row);
+  std::vector<BuiltStore> built;
+  for (size_t begin = 0; begin < rows.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, rows.size());
+    built.clear();
+    built.reserve(end - begin);
+    std::vector<Record> records;
+    records.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const std::vector<Value>& row = rows[i];
+      if (row.size() != params_per_row) {
+        return Status::InvalidArgument(
+            "STORE batch row " + std::to_string(i) + " carries " +
+            std::to_string(row.size()) + " value(s); the template has " +
+            std::to_string(params_per_row) + " parameter(s)");
+      }
+      size_t next_param = 0;
+      for (const auto& a : store->assignments) {
+        uwa_.Move(store->record, a.item,
+                  a.is_param ? row[next_param++] : a.value);
+      }
+      MLDS_ASSIGN_OR_RETURN(BuiltStore one, BuildStoreRecord(*rt));
+      records.push_back(one.record);
+      built.push_back(std::move(one));
+    }
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                          Issue(abdl::BatchInsertRequest{std::move(records)}));
+    (void)resp;
+    for (const BuiltStore& one : built) {
+      CommitStoreCurrencies(store->record, one);
+    }
+  }
+  DmlResult result;
+  result.abdl_requests = trace_.back().abdl.size();
+  stats_.statements["STORE"] += 1;
+  stats_.total_statements += 1;
+  result.info = "stored " + std::to_string(rows.size()) + " record(s)";
+  return result;
+}
+
 // --- Shared machinery ---
 
 Result<kds::Response> DmlMachine::Issue(abdl::Request request) {
@@ -734,29 +806,30 @@ Result<DmlResult> DmlMachine::Get(const codasyl::GetStatement& s) {
   return Status::Internal("unreachable GET kind");
 }
 
-Result<DmlResult> DmlMachine::Store(const codasyl::StoreStatement& s) {
-  MLDS_ASSIGN_OR_RETURN(const network::RecordType* rt, RequireRecord(s.record));
-  MLDS_ASSIGN_OR_RETURN(std::string dbkey, AllocateDbKey(s.record));
+Result<DmlMachine::BuiltStore> DmlMachine::BuildStoreRecord(
+    const network::RecordType& rt) {
+  const std::string& name = rt.name;
+  MLDS_ASSIGN_OR_RETURN(std::string dbkey, AllocateDbKey(name));
 
   Record record;
-  record.Set(std::string(abdm::kFileAttribute), Value::String(s.record));
-  record.Set(KeyAttribute(s.record), Value::String(dbkey));
-  for (const auto& attr : rt->attributes) {
-    auto value = uwa_.Get(s.record, attr.name);
+  record.Set(std::string(abdm::kFileAttribute), Value::String(name));
+  record.Set(KeyAttribute(name), Value::String(dbkey));
+  for (const auto& attr : rt.attributes) {
+    auto value = uwa_.Get(name, attr.name);
     if (value.has_value()) record.Set(attr.name, *value);
   }
 
   // Duplicates condition (Ch. VI.G factor 3).
-  MLDS_RETURN_IF_ERROR(CheckDuplicates(*rt, record));
+  MLDS_RETURN_IF_ERROR(CheckDuplicates(rt, record));
 
   // Set membership. Automatic sets connect now; manual member-side sets
   // start unattached (NULL). SYSTEM sets contribute nothing.
   std::vector<std::pair<std::string, std::string>> connected;  // set, owner.
-  for (const SetType* set : schema_->SetsWithMember(s.record)) {
+  for (const SetType* set : schema_->SetsWithMember(name)) {
     if (set->IsSystemOwned()) continue;
     if (IsOwnerSideOneToMany(set->name)) continue;  // lives on owner side.
     std::string owner_key;
-    auto uwa_value = uwa_.Get(s.record, SetAttribute(set->name));
+    auto uwa_value = uwa_.Get(name, SetAttribute(set->name));
     if (uwa_value.has_value() && uwa_value->is_string()) {
       owner_key = uwa_value->AsString();
     } else if (set->selection.mode == network::SelectionMode::kValue) {
@@ -778,7 +851,7 @@ Result<DmlResult> DmlMachine::Store(const codasyl::StoreStatement& s) {
                           .ToDisplayString();
         } else if (owners.records.size() > 1) {
           return Status::CurrencyError(
-              "STORE " + s.record + ": BY VALUE selection of set '" +
+              "STORE " + name + ": BY VALUE selection of set '" +
               set->name + "' is ambiguous (" +
               std::to_string(owners.records.size()) + " owners match)");
         }
@@ -793,12 +866,12 @@ Result<DmlResult> DmlMachine::Store(const codasyl::StoreStatement& s) {
       // occurrence (set selection is BY APPLICATION, Ch. VI.G).
       if (owner_key.empty()) {
         return Status::CurrencyError(
-            "STORE " + s.record + ": automatic set '" + set->name +
+            "STORE " + name + ": automatic set '" + set->name +
             "' has no current owner; FIND the owner or MOVE its key");
       }
       const SetInfo* info = SetInfoOf(set->name);
       if (info != nullptr && info->origin == SetOrigin::kIsa) {
-        MLDS_RETURN_IF_ERROR(CheckOverlap(s.record, set->name, owner_key));
+        MLDS_RETURN_IF_ERROR(CheckOverlap(name, set->name, owner_key));
       }
       record.Set(SetAttribute(set->name), Value::String(owner_key));
       connected.emplace_back(set->name, owner_key);
@@ -812,17 +885,37 @@ Result<DmlResult> DmlMachine::Store(const codasyl::StoreStatement& s) {
       }
     }
   }
+  return BuiltStore{std::move(record), std::move(dbkey), std::move(connected)};
+}
 
-  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
-                        Issue(InsertRequest{record}));
-  (void)resp;
-  UpdateCurrencies(s.record, record);
-  for (const auto& [set_name, owner_key] : connected) {
-    cit_.SetCurrentOfSet(set_name, codasyl::SetCurrency{owner_key, dbkey});
+void DmlMachine::CommitStoreCurrencies(std::string_view record_type,
+                                       const BuiltStore& built) {
+  UpdateCurrencies(record_type, built.record);
+  for (const auto& [set_name, owner_key] : built.connected) {
+    cit_.SetCurrentOfSet(set_name,
+                         codasyl::SetCurrency{owner_key, built.dbkey});
   }
+}
+
+Result<DmlResult> DmlMachine::Store(const codasyl::StoreStatement& s) {
+  if (s.parameterized()) {
+    return Status::InvalidArgument(
+        "STORE " + s.record + ": parameter markers ('?') require the batch "
+        "interface, which binds one value per marker per row");
+  }
+  MLDS_ASSIGN_OR_RETURN(const network::RecordType* rt, RequireRecord(s.record));
+  // Inline assignments are per-item MOVEs folded into the STORE.
+  for (const auto& a : s.assignments) {
+    uwa_.Move(s.record, a.item, a.value);
+  }
+  MLDS_ASSIGN_OR_RETURN(BuiltStore built, BuildStoreRecord(*rt));
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                        Issue(InsertRequest{built.record}));
+  (void)resp;
+  CommitStoreCurrencies(s.record, built);
   DmlResult result;
-  result.records = {std::move(record)};
-  result.info = "stored " + dbkey;
+  result.info = "stored " + built.dbkey;
+  result.records = {std::move(built.record)};
   return result;
 }
 

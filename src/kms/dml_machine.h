@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "abdl/prepared.h"
 #include "abdl/request.h"
 #include "codasyl/ast.h"
 #include "kds/plan.h"
@@ -102,6 +103,16 @@ class DmlMachine {
   /// stopping at the first error.
   Result<std::vector<DmlResult>> RunProgram(std::string_view text);
 
+  /// Executes a parameterized STORE template — `STORE rec (item = ?,
+  /// ...)` — once per parameter row, chunked into kernel batch INSERTs of
+  /// at most EffectiveBatchSize(limits) records each. Literal assignments
+  /// in the template apply to every row; each `?` binds one row value in
+  /// assignment order. Currencies update per stored record, so the batch
+  /// leaves the last row current.
+  Result<DmlResult> ExecuteBatch(
+      std::string_view text, const std::vector<std::vector<abdm::Value>>& rows,
+      const abdl::BatchLimits& limits = {});
+
   /// Attaches the shared compiled-translation cache. DML translation is
   /// stateful (currency, UWA), so only parsed statement ASTs cache — the
   /// Chapter VI algorithms still run against live session state.
@@ -181,6 +192,23 @@ class DmlMachine {
   /// Allocates a fresh database key for `record` (probing the kernel so
   /// generated keys never collide with loaded ones).
   Result<std::string> AllocateDbKey(std::string_view record);
+
+  /// One record built by the STORE translation, ready to insert: the AB
+  /// record, its database key, and the (set, owner) pairs it connects to.
+  struct BuiltStore {
+    abdm::Record record;
+    std::string dbkey;
+    std::vector<std::pair<std::string, std::string>> connected;
+  };
+
+  /// The record-construction half of STORE (Ch. VI.G): allocates the
+  /// database key, fills items from the UWA, checks duplicates, and
+  /// resolves set membership. Shared by Store and ExecuteBatch.
+  Result<BuiltStore> BuildStoreRecord(const network::RecordType& rt);
+
+  /// Post-insert currency maintenance for one stored record.
+  void CommitStoreCurrencies(std::string_view record_type,
+                             const BuiltStore& built);
 
   /// STORE support: duplicates check (DUPLICATES ARE NOT ALLOWED) and the
   /// Daplex overlap-table check.

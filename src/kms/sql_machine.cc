@@ -91,8 +91,14 @@ Result<SqlMachine::Outcome> SqlMachine::ExecuteText(std::string_view text) {
             MLDS_ASSIGN_OR_RETURN(sql::SqlStatement statement,
                                   sql::ParseSql(text));
             Translation t;
-            if (std::holds_alternative<sql::InsertStatement>(statement)) {
-              t.ast = std::move(statement);
+            if (const auto* insert =
+                    std::get_if<sql::InsertStatement>(&statement)) {
+              if (insert->parameterized()) {
+                MLDS_ASSIGN_OR_RETURN(t.prepared,
+                                      CompilePreparedInsert(*insert));
+              } else {
+                t.ast = std::move(statement);
+              }
             } else {
               MLDS_ASSIGN_OR_RETURN(t.compiled, Compile(statement));
             }
@@ -102,7 +108,46 @@ Result<SqlMachine::Outcome> SqlMachine::ExecuteText(std::string_view text) {
     trace_.clear();
     return RunCompiled(*translation->compiled);
   }
+  if (translation->prepared.has_value()) {
+    return Status::InvalidArgument(
+        "parameterized INSERT template requires a parameter batch; "
+        "execute it through the batch interface");
+  }
   return Execute(*translation->ast);
+}
+
+Result<SqlMachine::Outcome> SqlMachine::ExecuteBatch(
+    std::string_view statement,
+    const std::vector<std::vector<Value>>& rows,
+    const abdl::BatchLimits& limits) {
+  trace_.clear();
+  if (rows.empty()) {
+    return Status::InvalidArgument("prepared INSERT batch carries no rows");
+  }
+  auto compile = [&]() -> Result<Translation> {
+    MLDS_ASSIGN_OR_RETURN(sql::SqlStatement parsed, sql::ParseSql(statement));
+    const auto* insert = std::get_if<sql::InsertStatement>(&parsed);
+    if (insert == nullptr || !insert->parameterized()) {
+      return Status::InvalidArgument(
+          "batch execution requires a parameterized INSERT template "
+          "(INSERT ... VALUES with '?' markers)");
+    }
+    Translation t;
+    MLDS_ASSIGN_OR_RETURN(t.prepared, CompilePreparedInsert(*insert));
+    return t;
+  };
+  if (cache_ != nullptr) {
+    MLDS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const Translation> translation,
+        cache_->GetOrCompile<Translation>("sql", statement, compile));
+    if (!translation->prepared.has_value()) {
+      return Status::InvalidArgument(
+          "batch execution requires a parameterized INSERT template");
+    }
+    return RunPreparedBatch(*translation->prepared, rows, limits);
+  }
+  MLDS_ASSIGN_OR_RETURN(Translation translation, compile());
+  return RunPreparedBatch(*translation.prepared, rows, limits);
 }
 
 Result<SqlMachine::CompiledSql> SqlMachine::Compile(
@@ -230,8 +275,20 @@ Result<Query> SqlMachine::BuildQuery(const Table& table,
 }
 
 Result<std::string> SqlMachine::AllocateTupleKey(std::string_view table) {
+  MLDS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                        AllocateTupleKeys(table, 1));
+  return std::move(keys.front());
+}
+
+Result<std::vector<std::string>> SqlMachine::AllocateTupleKeys(
+    std::string_view table, size_t count) {
   uint64_t next = next_key_[std::string(table)];
   if (next == 0) next = executor_->FileSize(table) + 1;
+  // Probe forward to the first free key, then claim `count` consecutive
+  // keys from there: one probe per batch instead of one per record. The
+  // cursor never re-issues a claimed key, so repeated batches through
+  // this machine stay collision-free (see the header for the
+  // single-writer caveat).
   while (true) {
     std::string candidate = transform::MakeDbKey(table, next);
     abdl::RetrieveRequest probe;
@@ -240,12 +297,16 @@ Result<std::string> SqlMachine::AllocateTupleKey(std::string_view table) {
                                     Value::String(candidate)}});
     probe.targets = {abdl::TargetItem{KeyAttribute(table)}};
     MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+    if (resp.records.empty()) break;
     ++next;
-    if (resp.records.empty()) {
-      next_key_[std::string(table)] = next;
-      return candidate;
-    }
   }
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    keys.push_back(transform::MakeDbKey(table, next + i));
+  }
+  next_key_[std::string(table)] = next + count;
+  return keys;
 }
 
 Result<SqlMachine::Outcome> SqlMachine::Select(const SelectStatement& s) {
@@ -375,58 +436,156 @@ Result<SqlMachine::CompiledSql> SqlMachine::CompileSelect(
   return compiled;
 }
 
-Result<SqlMachine::Outcome> SqlMachine::Insert(const sql::InsertStatement& s) {
-  const Table* table = schema_->FindTable(s.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + s.table + "' does not exist");
-  }
-  Record record;
-  record.Set(std::string(abdm::kFileAttribute), Value::String(s.table));
-  for (size_t i = 0; i < s.columns.size(); ++i) {
-    if (table->FindColumn(s.columns[i]) == nullptr) {
-      return Status::NotFound("column '" + s.columns[i] +
-                              "' does not exist in '" + s.table + "'");
-    }
-    record.Set(s.columns[i], s.values[i]);
-  }
+Status SqlMachine::CheckInsertRecord(const Table& table, const Record& record,
+                                     std::set<std::string>* seen_unique) {
   // NOT NULL enforcement.
-  for (const auto& column : table->columns) {
+  for (const auto& column : table.columns) {
     if (column.not_null && record.GetOrNull(column.name).is_null()) {
       return Status::ConstraintViolation("column '" + column.name +
                                          "' is NOT NULL");
     }
   }
-  // UNIQUE enforcement (combination semantics, one probe).
-  if (!table->unique_columns.empty()) {
-    std::vector<Predicate> preds = {FilePred(s.table)};
-    bool all_present = true;
-    for (const auto& unique : table->unique_columns) {
-      Value v = record.GetOrNull(unique);
-      if (v.is_null()) {
-        all_present = false;
-        break;
-      }
-      preds.push_back(Predicate{unique, RelOp::kEq, std::move(v)});
+  // UNIQUE enforcement (combination semantics, one probe) — against the
+  // live data, and against earlier rows of the same batch (which the
+  // kernel probe cannot see yet).
+  if (table.unique_columns.empty()) return Status::OK();
+  std::vector<Predicate> preds = {FilePred(table.name)};
+  std::string combo;
+  bool all_present = true;
+  for (const auto& unique : table.unique_columns) {
+    Value v = record.GetOrNull(unique);
+    if (v.is_null()) {
+      all_present = false;
+      break;
     }
-    if (all_present) {
-      abdl::RetrieveRequest probe;
-      probe.query = Query::And(std::move(preds));
-      probe.targets = {abdl::TargetItem{KeyAttribute(s.table)}};
-      MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
-      if (!resp.records.empty()) {
-        return Status::ConstraintViolation(
-            "INSERT violates UNIQUE(" + Join(table->unique_columns, ", ") +
-            ") on '" + s.table + "'");
-      }
+    combo += v.ToString();
+    combo += '\x1f';
+    preds.push_back(Predicate{unique, RelOp::kEq, std::move(v)});
+  }
+  if (!all_present) return Status::OK();
+  const Status violation = Status::ConstraintViolation(
+      "INSERT violates UNIQUE(" + Join(table.unique_columns, ", ") +
+      ") on '" + table.name + "'");
+  if (seen_unique != nullptr && !seen_unique->insert(combo).second) {
+    return violation;
+  }
+  abdl::RetrieveRequest probe;
+  probe.query = Query::And(std::move(preds));
+  probe.targets = {abdl::TargetItem{KeyAttribute(table.name)}};
+  MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(probe));
+  if (!resp.records.empty()) return violation;
+  return Status::OK();
+}
+
+Result<SqlMachine::Outcome> SqlMachine::Insert(const sql::InsertStatement& s) {
+  if (s.parameterized()) {
+    return Status::InvalidArgument(
+        "parameterized INSERT template requires a parameter batch; "
+        "execute it through the batch interface");
+  }
+  const Table* table = schema_->FindTable(s.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + s.table + "' does not exist");
+  }
+  for (const auto& column : s.columns) {
+    if (table->FindColumn(column) == nullptr) {
+      return Status::NotFound("column '" + column + "' does not exist in '" +
+                              s.table + "'");
     }
   }
-  MLDS_ASSIGN_OR_RETURN(std::string key, AllocateTupleKey(s.table));
-  record.Set(KeyAttribute(s.table), Value::String(key));
-  MLDS_ASSIGN_OR_RETURN(kds::Response resp,
-                        Issue(abdl::InsertRequest{std::move(record)}));
+  std::vector<Record> records;
+  records.reserve(1 + s.more_rows.size());
+  std::set<std::string> seen_unique;
+  auto build = [&](const std::vector<Value>& row) -> Status {
+    Record record;
+    record.Set(std::string(abdm::kFileAttribute), Value::String(s.table));
+    for (size_t i = 0; i < s.columns.size(); ++i) {
+      record.Set(s.columns[i], row[i]);
+    }
+    MLDS_RETURN_IF_ERROR(CheckInsertRecord(*table, record, &seen_unique));
+    records.push_back(std::move(record));
+    return Status::OK();
+  };
+  MLDS_RETURN_IF_ERROR(build(s.values));
+  for (const auto& row : s.more_rows) {
+    MLDS_RETURN_IF_ERROR(build(row));
+  }
+  MLDS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                        AllocateTupleKeys(s.table, records.size()));
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].Set(KeyAttribute(s.table), Value::String(keys[i]));
+  }
   Outcome outcome;
+  if (records.size() == 1) {
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp,
+                          Issue(abdl::InsertRequest{std::move(records[0])}));
+    outcome.affected = resp.affected;
+    outcome.info = "inserted " + keys[0];
+    return outcome;
+  }
+  // Multi-row VALUES: one kernel batch INSERT, one WAL entry.
+  MLDS_ASSIGN_OR_RETURN(
+      kds::Response resp,
+      Issue(abdl::BatchInsertRequest{std::move(records)}));
   outcome.affected = resp.affected;
-  outcome.info = "inserted " + key;
+  outcome.info = "inserted " + std::to_string(resp.affected) + " row(s)";
+  return outcome;
+}
+
+Result<SqlMachine::PreparedInsert> SqlMachine::CompilePreparedInsert(
+    const sql::InsertStatement& s) {
+  const Table* table = schema_->FindTable(s.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + s.table + "' does not exist");
+  }
+  PreparedInsert prepared;
+  prepared.table = s.table;
+  prepared.request.constants.Set(std::string(abdm::kFileAttribute),
+                                 Value::String(s.table));
+  for (size_t i = 0; i < s.columns.size(); ++i) {
+    if (table->FindColumn(s.columns[i]) == nullptr) {
+      return Status::NotFound("column '" + s.columns[i] +
+                              "' does not exist in '" + s.table + "'");
+    }
+    if (i < s.param_mask.size() && s.param_mask[i] != 0) {
+      prepared.request.parameters.push_back(s.columns[i]);
+    } else {
+      prepared.request.constants.Set(s.columns[i], s.values[i]);
+    }
+  }
+  return prepared;
+}
+
+Result<SqlMachine::Outcome> SqlMachine::RunPreparedBatch(
+    const PreparedInsert& prepared,
+    const std::vector<std::vector<Value>>& rows,
+    const abdl::BatchLimits& limits) {
+  const Table* table = schema_->FindTable(prepared.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + prepared.table + "' does not exist");
+  }
+  const size_t chunk =
+      abdl::EffectiveBatchSize(limits, prepared.request.params_per_row());
+  Outcome outcome;
+  std::set<std::string> seen_unique;
+  for (size_t begin = 0; begin < rows.size(); begin += chunk) {
+    const size_t end = std::min(rows.size(), begin + chunk);
+    MLDS_ASSIGN_OR_RETURN(abdl::BatchInsertRequest batch,
+                          prepared.request.BindBatch(rows, begin, end));
+    for (const Record& record : batch.records) {
+      MLDS_RETURN_IF_ERROR(CheckInsertRecord(*table, record, &seen_unique));
+    }
+    MLDS_ASSIGN_OR_RETURN(
+        std::vector<std::string> keys,
+        AllocateTupleKeys(prepared.table, batch.records.size()));
+    for (size_t i = 0; i < batch.records.size(); ++i) {
+      batch.records[i].Set(KeyAttribute(prepared.table),
+                           Value::String(keys[i]));
+    }
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(std::move(batch)));
+    outcome.affected += resp.affected;
+  }
+  outcome.info = "inserted " + std::to_string(outcome.affected) + " row(s)";
   return outcome;
 }
 

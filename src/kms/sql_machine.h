@@ -5,10 +5,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "abdl/prepared.h"
 #include "abdl/request.h"
 #include "common/result.h"
 #include "kc/executor.h"
@@ -63,6 +65,16 @@ class SqlMachine {
   Result<Outcome> Execute(const sql::SqlStatement& statement);
   Result<Outcome> ExecuteText(std::string_view text);
 
+  /// Executes a prepared INSERT template — `INSERT INTO t (c, ...) VALUES
+  /// (?, ...)` — once per parameter row, chunked into kernel batch
+  /// INSERTs of at most EffectiveBatchSize(limits) records each. The
+  /// compiled template caches on the statement text, so a bulk load pays
+  /// parsing and name resolution once and the translation cache serves
+  /// every subsequent call as a warm hit.
+  Result<Outcome> ExecuteBatch(std::string_view statement,
+                               const std::vector<std::vector<abdm::Value>>& rows,
+                               const abdl::BatchLimits& limits = {});
+
   /// Attaches the shared compiled-translation cache. SELECT, UPDATE, and
   /// DELETE are pure functions of (statement, schema), so their
   /// translations cache as ready-to-issue ABDL requests; INSERT is impure
@@ -85,10 +97,22 @@ class SqlMachine {
     bool strip_file = false;
   };
 
+  /// A parameterized INSERT compiled to a bindable kernel template: the
+  /// table resolved, every column checked, constants (FILE + literal
+  /// columns) baked into the record, parameter slots ordered. A warm hit
+  /// skips straight to binding values.
+  struct PreparedInsert {
+    std::string table;
+    abdl::PreparedRequest request;
+  };
+
   /// What the cache stores per statement: the compiled requests for pure
-  /// statements, the bare AST for INSERT.
+  /// statements, the bindable template for a parameterized INSERT, and
+  /// the bare AST for a literal INSERT (impure: tuple-key allocation and
+  /// constraint probes run against live data each time).
   struct Translation {
     std::optional<CompiledSql> compiled;
+    std::optional<PreparedInsert> prepared;
     std::optional<sql::SqlStatement> ast;
   };
 
@@ -101,7 +125,20 @@ class SqlMachine {
   Result<CompiledSql> CompileSelect(const sql::SelectStatement& statement);
   Result<CompiledSql> CompileUpdate(const sql::UpdateStatement& statement);
   Result<CompiledSql> CompileDelete(const sql::DeleteStatement& statement);
+  Result<PreparedInsert> CompilePreparedInsert(
+      const sql::InsertStatement& statement);
   Result<Outcome> RunCompiled(const CompiledSql& compiled);
+  Result<Outcome> RunPreparedBatch(
+      const PreparedInsert& prepared,
+      const std::vector<std::vector<abdm::Value>>& rows,
+      const abdl::BatchLimits& limits);
+
+  /// NOT NULL + UNIQUE enforcement for one record about to insert into
+  /// `table`. `seen_unique` dedupes unique-column combinations *within*
+  /// a batch (the kernel probe only sees already-inserted data).
+  Status CheckInsertRecord(const relational::Table& table,
+                           const abdm::Record& record,
+                           std::set<std::string>* seen_unique);
 
   Result<kds::Response> Issue(abdl::Request request);
 
@@ -117,6 +154,14 @@ class SqlMachine {
 
   /// Allocates a fresh tuple key for `table`.
   Result<std::string> AllocateTupleKey(std::string_view table);
+
+  /// Allocates `count` consecutive tuple keys: probes the cursor forward
+  /// to the first free key, then claims the contiguous range. The range
+  /// claim assumes bulk loads are single-writer on the table (this
+  /// machine's cursor never re-issues a claimed key); concurrent inserts
+  /// through *another* session could collide with the tail of the range.
+  Result<std::vector<std::string>> AllocateTupleKeys(std::string_view table,
+                                                     size_t count);
 
   const relational::Schema* schema_;
   kc::KernelExecutor* executor_;

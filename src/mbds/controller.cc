@@ -28,6 +28,7 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
 /// quarantined backend must replay them before it can rejoin.
 bool IsMutationRequest(const abdl::Request& request) {
   return std::holds_alternative<abdl::InsertRequest>(request) ||
+         std::holds_alternative<abdl::BatchInsertRequest>(request) ||
          std::holds_alternative<abdl::DeleteRequest>(request) ||
          std::holds_alternative<abdl::UpdateRequest>(request);
 }
@@ -247,6 +248,8 @@ Result<ExecutionReport> Controller::Execute(const abdl::Request& request) {
   Result<ExecutionReport> result =
       std::holds_alternative<abdl::InsertRequest>(request)
           ? ExecuteInsert(std::get<abdl::InsertRequest>(request))
+      : std::holds_alternative<abdl::BatchInsertRequest>(request)
+          ? ExecuteBatchInsert(std::get<abdl::BatchInsertRequest>(request))
           : ExecuteBroadcast(request);
   if (result.ok()) {
     total_response_ms_.fetch_add(result->response_time_ms,
@@ -488,6 +491,123 @@ Result<ExecutionReport> Controller::ExecuteInsert(
     // record, so failing over cannot duplicate it.
   }
   return last_failure;
+}
+
+Result<ExecutionReport> Controller::ExecuteBatchInsert(
+    const abdl::BatchInsertRequest& request) {
+  const size_t n = backends_.size();
+  if (request.records.empty()) {
+    return Status::InvalidArgument("batch INSERT carries no records");
+  }
+  // Partition by the placement policy, one sub-batch per backend:
+  // consecutive records still land on consecutive backends (round-robin)
+  // or wherever their database key hashes — exactly the partitions the
+  // records would form inserted one by one, so the broadcast read path is
+  // oblivious to how they arrived. Each backend then pays one request and
+  // one WAL entry for its whole sub-batch instead of one per record.
+  std::vector<abdl::BatchInsertRequest> parts(n);
+  for (const abdm::Record& record : request.records) {
+    size_t target =
+        insert_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+    if (options_.placement == PlacementPolicy::kHashKey &&
+        record.keywords().size() >= 2) {
+      const abdm::Keyword& key = record.keywords()[1];
+      target = std::hash<std::string>{}(key.attribute + "=" +
+                                        key.value.ToString()) %
+               n;
+    }
+    parts[target].records.push_back(record);
+  }
+
+  struct PendingPart {
+    size_t target = 0;  ///< placed backend
+    size_t tried = 0;   ///< failover offset from the placed backend
+    std::shared_ptr<const abdl::Request> request;
+    std::string payload;
+  };
+  std::vector<PendingPart> pending;
+  for (size_t i = 0; i < n; ++i) {
+    if (parts[i].records.empty()) continue;
+    PendingPart part;
+    part.target = i;
+    part.request = std::make_shared<const abdl::Request>(
+        abdl::Request(std::move(parts[i])));
+    part.payload = "REQUEST " + abdl::ToString(*part.request);
+    pending.push_back(std::move(part));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<kds::PartialResultWarning> warnings;
+  ExecutionReport report;
+  report.backend_times_ms.assign(n, 0.0);
+  double max_ms = 0.0;
+  Status last_failure = Status::Unavailable("no available backends");
+
+  // Sub-batches fan out to their backends concurrently. A sub-batch whose
+  // backend faults (injected faults fire before the engine touches any
+  // record) fails over whole to the next available backend in the next
+  // round, mirroring the single-record failover loop.
+  while (!pending.empty()) {
+    std::vector<FanoutJob> jobs;
+    std::vector<size_t> job_part;
+    std::vector<size_t> job_backend;
+    for (size_t p = 0; p < pending.size(); ++p) {
+      PendingPart& part = pending[p];
+      size_t chosen = n;
+      while (part.tried < n) {
+        const size_t i = (part.target + part.tried) % n;
+        if (backends_[i]->available()) {
+          chosen = i;
+          break;
+        }
+        backends_[i]->health().OnQuarantinedRequest();
+        ++part.tried;
+      }
+      if (chosen == n) return last_failure;
+      jobs.push_back({chosen, part.request});
+      job_part.push_back(p);
+      job_backend.push_back(chosen);
+    }
+    std::vector<FanoutSlot> slots = FanOutWithFaults(std::move(jobs));
+    std::vector<PendingPart> next;
+    for (size_t k = 0; k < slots.size(); ++k) {
+      FanoutSlot& slot = slots[k];
+      const size_t i = job_backend[k];
+      PendingPart& part = pending[job_part[k]];
+      if (slot.fault == FaultKind::kNone && !slot.timed_out) {
+        if (!slot.status.ok()) return slot.status;  // genuine engine error
+        // The sub-batch now belongs to backend i's partition; its log —
+        // the partition's source of truth for rebuilds — records it as
+        // one entry. (After the apply, like single-record inserts, so a
+        // failed-over sub-batch never lingers in a dead backend's log.)
+        (void)backends_[i]->wal().Append(part.payload);
+        backends_[i]->health().OnSuccess();
+        const double total_ms = slot.ms + slot.backoff_ms;
+        report.backend_times_ms[i] += total_ms;
+        max_ms = std::max(max_ms, total_ms);
+        report.response.affected += slot.response.affected;
+        report.response.io += slot.response.io;
+        continue;
+      }
+      ApplySlotHealth(i, slot, /*mutation=*/true, &warnings);
+      last_failure = slot.status;
+      if (slot.timed_out && slot.fault == FaultKind::kNone) {
+        // Genuine timeout: the engine may have applied the sub-batch
+        // after we gave up; re-placing it could duplicate every record.
+        return Status::Unavailable("insert outcome unknown: " +
+                                   slot.status.message());
+      }
+      ++part.tried;
+      if (part.tried >= n) return last_failure;
+      next.push_back(std::move(part));
+    }
+    pending = std::move(next);
+  }
+
+  report.response.warnings = std::move(warnings);
+  report.response_time_ms = options_.bus.RoundTripMs() + max_ms;
+  report.wall_time_ms = ElapsedMs(start);
+  return report;
 }
 
 Result<ExecutionReport> Controller::ExecuteBroadcast(

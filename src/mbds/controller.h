@@ -357,6 +357,11 @@ class Controller {
   Status RunParallel(size_t tasks, const std::function<Status(size_t)>& fn);
 
   Result<ExecutionReport> ExecuteInsert(const abdl::InsertRequest& request);
+  /// Batch INSERT: partitions the records by the placement policy into one
+  /// sub-batch per backend, fans the sub-batches out concurrently, and
+  /// logs each applied sub-batch as one WAL entry on its backend.
+  Result<ExecutionReport> ExecuteBatchInsert(
+      const abdl::BatchInsertRequest& request);
   Result<ExecutionReport> ExecuteBroadcast(const abdl::Request& request);
   /// RETRIEVE-COMMON: both sides broadcast as plain retrieves, with the
   /// join performed at the controller so cross-partition pairs survive.

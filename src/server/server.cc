@@ -487,6 +487,22 @@ MldsServer::PendingReply MldsServer::ExecuteOnWorker(
       reply.stream = std::move(outcome->stream);
       break;
     }
+    case wire::FrameType::kBatch: {
+      Result<wire::BatchRequest> request =
+          wire::DecodeBatchRequest(frame.payload);
+      if (!request.ok()) {
+        error_reply(request.status());
+        break;
+      }
+      Result<wire::ExecuteResult> result = lane->session.ExecuteBatch(*request);
+      if (!result.ok()) {
+        error_reply(result.status());
+        break;
+      }
+      reply.type = static_cast<uint8_t>(wire::FrameType::kResult);
+      reply.payload = wire::EncodeExecuteResult(*result);
+      break;
+    }
     case wire::FrameType::kHealth: {
       reply.type = static_cast<uint8_t>(wire::FrameType::kHealthReport);
       reply.payload = kfs::SerializeHealth(lane->session.Health());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "abdl/parser.h"
+#include "abdl/prepared.h"
 #include "common/strings.h"
 #include "kfs/formatter.h"
 
@@ -228,6 +229,82 @@ Result<ExecuteOutcome> Session::ExecuteStreamed(std::string_view statement,
     result.body.clear();
   }
   return outcome;
+}
+
+Result<wire::ExecuteResult> Session::ExecuteBatch(
+    const wire::BatchRequest& request) {
+  const std::string_view trimmed = Trim(request.statement);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty batch statement");
+  }
+  const Clock::time_point start = Clock::now();
+  wire::ExecuteResult result;
+
+  switch (language_) {
+    case Language::kNone:
+      return Status::InvalidArgument(
+          "no language bound — send USE <language> <database> first");
+    case Language::kCodasyl: {
+      MLDS_ASSIGN_OR_RETURN(kms::DmlResult outcome,
+                            dml_->ExecuteBatch(trimmed, request.rows));
+      result.body = kfs::FormatDmlResult(outcome);
+      break;
+    }
+    case Language::kDaplex: {
+      MLDS_ASSIGN_OR_RETURN(kms::DaplexMachine::Outcome outcome,
+                            daplex_->ExecuteBatch(trimmed, request.rows));
+      result.body = kfs::FormatDaplexOutcome(outcome);
+      break;
+    }
+    case Language::kSql: {
+      MLDS_ASSIGN_OR_RETURN(kms::SqlMachine::Outcome outcome,
+                            sql_->ExecuteBatch(trimmed, request.rows));
+      result.body = kfs::FormatSqlOutcome(outcome);
+      break;
+    }
+    case Language::kDli: {
+      MLDS_ASSIGN_OR_RETURN(kms::DliMachine::Outcome outcome,
+                            dli_->ExecuteBatch(trimmed, request.rows));
+      result.body = kfs::FormatDliOutcome(outcome);
+      break;
+    }
+    case Language::kAbdl: {
+      if (request.rows.empty()) {
+        return Status::InvalidArgument("prepared INSERT batch carries no rows");
+      }
+      MLDS_ASSIGN_OR_RETURN(abdl::PreparedRequest prepared,
+                            abdl::ParsePreparedInsert(trimmed));
+      const abdl::BatchLimits limits;
+      const size_t chunk =
+          abdl::EffectiveBatchSize(limits, prepared.params_per_row());
+      size_t affected = 0;
+      for (size_t begin = 0; begin < request.rows.size(); begin += chunk) {
+        const size_t end = std::min(begin + chunk, request.rows.size());
+        MLDS_ASSIGN_OR_RETURN(abdl::BatchInsertRequest batch,
+                              prepared.BindBatch(request.rows, begin, end));
+        if (in_transaction_) {
+          affected += batch.records.size();
+          pending_txn_.push_back(std::move(batch));
+          continue;
+        }
+        MLDS_ASSIGN_OR_RETURN(
+            kds::Response response,
+            system_->executor()->Execute(abdl::Request(std::move(batch))));
+        affected += response.affected;
+      }
+      result.body = in_transaction_
+                        ? "buffered " + std::to_string(affected) +
+                              " records (" +
+                              std::to_string(pending_txn_.size()) +
+                              " in transaction)\n"
+                        : std::to_string(affected) + " records affected\n";
+      break;
+    }
+  }
+
+  result.elapsed_ms = MsSince(start);
+  result.warnings = DegradedWarnings();
+  return result;
 }
 
 Result<ExecuteOutcome> Session::ExecuteAbdl(std::string_view statement,

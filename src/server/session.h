@@ -89,6 +89,13 @@ class Session {
                                          bool explain,
                                          size_t stream_threshold);
 
+  /// Executes a BATCH request: the parameterized template runs through the
+  /// bound language's batch interface once per parameter row, chunked into
+  /// kernel batch INSERTs. For ABDL the template is a parameterized INSERT
+  /// (`<attr, ?>`); inside a transaction the bound batches buffer like any
+  /// other request and apply atomically at COMMIT.
+  Result<wire::ExecuteResult> ExecuteBatch(const wire::BatchRequest& request);
+
   /// Kernel health as this session's language interface reports it.
   kc::KernelHealth Health() const { return system_->Health(); }
 

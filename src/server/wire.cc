@@ -15,7 +15,7 @@ Status Malformed(std::string_view what) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kCloseSession);
+         type <= static_cast<uint8_t>(FrameType::kBatch);
 }
 
 std::string EncodeUseRequest(const UseRequest& request) {
@@ -32,6 +32,107 @@ Result<UseRequest> DecodeUseRequest(std::string_view payload) {
       !reader.GetString(&request.database) || !reader.exhausted()) {
     return Malformed("USE");
   }
+  return request;
+}
+
+namespace {
+
+// Value tag bytes of the BATCH row encoding.
+constexpr uint8_t kValueNull = 0;
+constexpr uint8_t kValueInteger = 1;
+constexpr uint8_t kValueFloat = 2;
+constexpr uint8_t kValueString = 3;
+
+void PutValue(common::PayloadWriter* writer, const abdm::Value& value) {
+  if (value.is_integer()) {
+    writer->PutU8(kValueInteger);
+    writer->PutU64(static_cast<uint64_t>(value.AsInteger()));
+  } else if (value.is_float()) {
+    writer->PutU8(kValueFloat);
+    writer->PutDouble(value.AsFloat());
+  } else if (value.is_string()) {
+    writer->PutU8(kValueString);
+    writer->PutString(value.AsString());
+  } else {
+    writer->PutU8(kValueNull);
+  }
+}
+
+bool GetValue(common::PayloadReader* reader, abdm::Value* value) {
+  uint8_t tag = 0;
+  if (!reader->GetU8(&tag)) return false;
+  switch (tag) {
+    case kValueNull:
+      *value = abdm::Value::Null();
+      return true;
+    case kValueInteger: {
+      uint64_t v = 0;
+      if (!reader->GetU64(&v)) return false;
+      *value = abdm::Value::Integer(static_cast<int64_t>(v));
+      return true;
+    }
+    case kValueFloat: {
+      double v = 0.0;
+      if (!reader->GetDouble(&v)) return false;
+      *value = abdm::Value::Float(v);
+      return true;
+    }
+    case kValueString: {
+      std::string v;
+      if (!reader->GetString(&v)) return false;
+      *value = abdm::Value::String(std::move(v));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string EncodeBatchRequest(const BatchRequest& request) {
+  common::PayloadWriter writer;
+  writer.PutString(request.statement);
+  writer.PutU32(static_cast<uint32_t>(request.rows.size()));
+  for (const std::vector<abdm::Value>& row : request.rows) {
+    writer.PutU32(static_cast<uint32_t>(row.size()));
+    for (const abdm::Value& value : row) {
+      PutValue(&writer, value);
+    }
+  }
+  return writer.Take();
+}
+
+Result<BatchRequest> DecodeBatchRequest(std::string_view payload) {
+  common::PayloadReader reader(payload);
+  BatchRequest request;
+  uint32_t row_count = 0;
+  if (!reader.GetString(&request.statement) || !reader.GetU32(&row_count)) {
+    return Malformed("BATCH");
+  }
+  // Each row needs >= 4 bytes (its value count); checked before reserving
+  // so a hostile count cannot force a huge allocation.
+  if (static_cast<uint64_t>(row_count) * 4 > reader.remaining()) {
+    return Malformed("BATCH row count");
+  }
+  request.rows.reserve(row_count);
+  for (uint32_t i = 0; i < row_count; ++i) {
+    uint32_t value_count = 0;
+    if (!reader.GetU32(&value_count)) return Malformed("BATCH row");
+    // Each value needs >= 1 byte (its tag).
+    if (static_cast<uint64_t>(value_count) > reader.remaining()) {
+      return Malformed("BATCH value count");
+    }
+    std::vector<abdm::Value> row;
+    row.reserve(value_count);
+    for (uint32_t j = 0; j < value_count; ++j) {
+      abdm::Value value;
+      if (!GetValue(&reader, &value)) return Malformed("BATCH value");
+      row.push_back(std::move(value));
+    }
+    request.rows.push_back(std::move(row));
+  }
+  if (!reader.exhausted()) return Malformed("BATCH trailer");
   return request;
 }
 

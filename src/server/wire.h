@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "abdm/value.h"
 #include "common/frame.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -32,6 +33,7 @@ enum class FrameType : uint8_t {
   kShutdown = 0x08,  ///< admin: drain and stop the whole server.
   kOpenSession = 0x09,   ///< open another session on this connection.
   kCloseSession = 0x0A,  ///< close the session named in the header.
+  kBatch = 0x0B,         ///< bulk DML; payload: BatchRequest.
 
   // --- responses ---
   kOk = 0x81,           ///< payload: informational message.
@@ -52,6 +54,15 @@ bool IsRequestType(uint8_t type);
 struct UseRequest {
   std::string language;
   std::string database;
+};
+
+/// A BATCH request: one parameterized DML template (`?` markers) plus N
+/// parameter rows, executed through the bound language's batch interface
+/// in one round trip. Every row carries the same number of values — one
+/// per `?` in the template.
+struct BatchRequest {
+  std::string statement;
+  std::vector<std::vector<abdm::Value>> rows;
 };
 
 /// A successful EXECUTE / EXPLAIN outcome. `body` carries the result
@@ -123,6 +134,9 @@ struct StatsReply {
 
 std::string EncodeUseRequest(const UseRequest& request);
 Result<UseRequest> DecodeUseRequest(std::string_view payload);
+
+std::string EncodeBatchRequest(const BatchRequest& request);
+Result<BatchRequest> DecodeBatchRequest(std::string_view payload);
 
 std::string EncodeExecuteResult(const ExecuteResult& result);
 Result<ExecuteResult> DecodeExecuteResult(std::string_view payload);

@@ -82,11 +82,32 @@ struct SelectStatement {
                          const SelectStatement&) = default;
 };
 
-/// INSERT INTO t (c1, ...) VALUES (v1, ...).
+/// INSERT INTO t (c1, ...) VALUES (v1, ...) [, (v1, ...) ...].
+///
+/// Two extended forms feed the bulk-ingest fast path:
+///  - multi-row VALUES: additional rows land in `more_rows`, and the
+///    whole statement executes as one kernel batch INSERT;
+///  - parameter markers: `?` in the (single) VALUES row marks a slot of
+///    a prepared template. `param_mask[i]` flags values[i] as a marker
+///    (its Value is a null placeholder); the template is compiled once
+///    and bound per parameter row by SqlMachine::ExecuteBatch.
 struct InsertStatement {
   std::string table;
   std::vector<std::string> columns;
-  std::vector<abdm::Value> values;
+  std::vector<abdm::Value> values;  ///< first VALUES row.
+  /// VALUES rows after the first; each matches `columns` in arity.
+  std::vector<std::vector<abdm::Value>> more_rows;
+  /// Parallel to `values`: 1 where the row held a `?` marker. Empty or
+  /// all-zero for an ordinary INSERT; a parameterized INSERT has exactly
+  /// one VALUES row.
+  std::vector<uint8_t> param_mask;
+
+  bool parameterized() const {
+    for (uint8_t m : param_mask) {
+      if (m != 0) return true;
+    }
+    return false;
+  }
 
   friend bool operator==(const InsertStatement&,
                          const InsertStatement&) = default;
@@ -125,7 +146,7 @@ using SqlStatement = std::variant<SelectStatement, InsertStatement,
 ///   SELECT * | item[, item...] FROM t [, t2]
 ///     [WHERE cond [AND|OR cond]... with parentheses]
 ///     [GROUP BY col] [ORDER BY col]
-///   INSERT INTO t (c, ...) VALUES (v, ...)
+///   INSERT INTO t (c, ...) VALUES (v | ?, ...) [, (v, ...) ...]
 ///   UPDATE t SET c = v [, ...] [WHERE ...]
 ///   DELETE FROM t [WHERE ...]
 ///   EXPLAIN <select | update | delete>

@@ -19,6 +19,7 @@ struct Token {
     kRParen,
     kRelOp,
     kSemi,
+    kParam,
     kEnd
   };
   Kind kind = Kind::kEnd;
@@ -45,6 +46,9 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       ++pos;
     } else if (c == ';') {
       out.push_back({Token::Kind::kSemi, ";", {}, {}});
+      ++pos;
+    } else if (c == '?') {
+      out.push_back({Token::Kind::kParam, "?", {}, {}});
       ++pos;
     } else if (c == '(') {
       out.push_back({Token::Kind::kLParen, "(", {}, {}});
@@ -394,13 +398,53 @@ class Parser {
     }
     MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
     MLDS_RETURN_IF_ERROR(ExpectWord("VALUES"));
+    // First VALUES row: literals, NULL, or `?` parameter markers.
+    MLDS_ASSIGN_OR_RETURN(auto first,
+                          ParseValuesRow(/*allow_params=*/true));
+    stmt.values = std::move(first.first);
+    stmt.param_mask = std::move(first.second);
+    if (stmt.columns.size() != stmt.values.size()) {
+      return Status::ParseError("INSERT column/value count mismatch");
+    }
+    // Additional rows: a multi-row INSERT executes as one kernel batch.
+    while (Peek().kind == Token::Kind::kComma) {
+      Advance();
+      MLDS_ASSIGN_OR_RETURN(auto row, ParseValuesRow(/*allow_params=*/false));
+      if (row.first.size() != stmt.columns.size()) {
+        return Status::ParseError("INSERT column/value count mismatch");
+      }
+      stmt.more_rows.push_back(std::move(row.first));
+    }
+    if (stmt.parameterized() && !stmt.more_rows.empty()) {
+      return Status::ParseError(
+          "parameter markers require a single VALUES row");
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  /// One parenthesized VALUES row. Returns (values, param mask); `?` is
+  /// only legal when `allow_params` is set (the first row of a template).
+  Result<std::pair<std::vector<abdm::Value>, std::vector<uint8_t>>>
+  ParseValuesRow(bool allow_params) {
     MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "'('"));
+    std::vector<abdm::Value> values;
+    std::vector<uint8_t> mask;
     while (true) {
       if (Peek().kind == Token::Kind::kLiteral) {
-        stmt.values.push_back(Advance().literal);
+        values.push_back(Advance().literal);
+        mask.push_back(0);
       } else if (WordIs("NULL")) {
         Advance();
-        stmt.values.push_back(abdm::Value::Null());
+        values.push_back(abdm::Value::Null());
+        mask.push_back(0);
+      } else if (Peek().kind == Token::Kind::kParam) {
+        if (!allow_params) {
+          return Status::ParseError(
+              "parameter markers require a single VALUES row");
+        }
+        Advance();
+        values.push_back(abdm::Value::Null());
+        mask.push_back(1);
       } else {
         return Status::ParseError("expected literal in VALUES list");
       }
@@ -411,10 +455,7 @@ class Parser {
       break;
     }
     MLDS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
-    if (stmt.columns.size() != stmt.values.size()) {
-      return Status::ParseError("INSERT column/value count mismatch");
-    }
-    return SqlStatement(std::move(stmt));
+    return std::make_pair(std::move(values), std::move(mask));
   }
 
   Result<SqlStatement> ParseUpdate() {

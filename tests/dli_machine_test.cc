@@ -214,5 +214,65 @@ TEST_F(DliMachineTest, HierarchyVisibleToKernel) {
   EXPECT_EQ(system_.executor()->FileSize("treatment"), 2u);
 }
 
+// --- batch ISRT (bulk ingest) ---
+
+TEST_F(DliMachineTest, BatchIsrtInsertsEveryRowUnderTheAnchoredParent) {
+  Must("GU patient (pname = 'jones')");
+  std::vector<std::vector<abdm::Value>> rows;
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back({abdm::Value::String("8712" + std::to_string(10 + i)),
+                    abdm::Value::Float(5.0 + i)});
+  }
+  auto outcome =
+      machine_->ExecuteBatch("ISRT visit (vdate = ?, cost = ?)", rows);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->affected, 4u);
+  EXPECT_EQ(system_.executor()->FileSize("visit"), 7u);
+  // Every inserted segment is a child of jones: GNP walks all five of
+  // jones's visits (the seed one plus the batch).
+  Must("GU patient (pname = 'jones') visit");
+  size_t jones_visits = 1;
+  while (machine_->ExecuteText("GN").ok()) ++jones_visits;
+  EXPECT_EQ(jones_visits, 5u);
+  // The last batch row is the current position: ISRT of a child segment
+  // hangs off it, exactly as after a sequence of single ISRTs.
+  Must("ISRT treatment (drug = 'salve', dose = 1)");
+  auto under_last = Must(
+      "GU patient (pname = 'jones') visit (vdate = '871213') treatment");
+  ASSERT_EQ(under_last.segments.size(), 1u);
+  EXPECT_EQ(under_last.segments[0].GetOrNull("drug").AsString(), "salve");
+}
+
+TEST_F(DliMachineTest, BatchIsrtRejectsHostileShapes) {
+  Must("GU patient (pname = 'smith')");
+  const std::vector<std::vector<abdm::Value>> one = {
+      {abdm::Value::String("880101"), abdm::Value::Float(1.0)}};
+  EXPECT_FALSE(
+      machine_->ExecuteBatch("ISRT visit (vdate = ?, cost = ?)", {}).ok());
+  EXPECT_FALSE(machine_
+                   ->ExecuteBatch("ISRT visit (vdate = ?, cost = ?)",
+                                  {{abdm::Value::String("only-one")}})
+                   .ok());
+  // Unparameterized templates, non-ISRT calls, and direct execution of a
+  // parameterized ISRT are all rejected.
+  EXPECT_FALSE(
+      machine_->ExecuteBatch("ISRT visit (vdate = 'x', cost = 1.0)", one)
+          .ok());
+  EXPECT_FALSE(machine_->ExecuteBatch("GU patient (pname = ?)", one).ok());
+  EXPECT_FALSE(
+      machine_->ExecuteText("ISRT visit (vdate = ?, cost = ?)").ok());
+}
+
+TEST_F(DliMachineTest, BatchIsrtWithoutParentIsCurrencyError) {
+  auto session = system_.OpenDliSession("clinic");
+  ASSERT_TRUE(session.ok());
+  const std::vector<std::vector<abdm::Value>> one = {
+      {abdm::Value::String("880101"), abdm::Value::Float(1.0)}};
+  Status status =
+      (*session)->ExecuteBatch("ISRT visit (vdate = ?, cost = ?)", one)
+          .status();
+  EXPECT_EQ(status.code(), StatusCode::kCurrencyError);
+}
+
 }  // namespace
 }  // namespace mlds::kms

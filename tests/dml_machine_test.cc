@@ -554,5 +554,73 @@ TEST_F(DmlUniversityTest, TraceRecordsOneToManyCorrespondence) {
   EXPECT_EQ(trace[1].abdl.size(), 1u);  // FIND ANY issues one RETRIEVE.
 }
 
+// --- batch STORE (bulk ingest) ---
+
+TEST_F(DmlUniversityTest, BatchStoreBindsRowsThroughOneTemplate) {
+  // Literal assignments apply to every row; each '?' binds one row value
+  // in assignment order. UNIQUE (title, semester) holds because titles
+  // differ.
+  std::vector<std::vector<abdm::Value>> rows;
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({abdm::Value::String("Bulk Course " + std::to_string(i)),
+                    abdm::Value::Integer(2 + i % 3)});
+  }
+  auto result = machine_->ExecuteBatch(
+      "STORE course (title = ?, semester = 'Fall87', credits = ?)", rows);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->info, "stored 6 record(s)");
+  for (int i = 0; i < 6; ++i) {
+    auto check = Kernel("RETRIEVE ((FILE = course) and (title = 'Bulk Course " +
+                        std::to_string(i) + "')) (semester, credits)");
+    ASSERT_EQ(check.records.size(), 1u) << "row " << i;
+    EXPECT_EQ(check.records[0].GetOrNull("semester").AsString(), "Fall87");
+    EXPECT_EQ(check.records[0].GetOrNull("credits").AsInteger(), 2 + i % 3);
+  }
+  // The last stored record is the current of the run-unit, as if the
+  // rows had been STOREd one by one.
+  ASSERT_TRUE(machine_->cit().run_unit().has_value());
+  EXPECT_EQ(machine_->cit().run_unit()->record_type, "course");
+  auto last = Kernel(
+      "RETRIEVE ((FILE = course) and (title = 'Bulk Course 5')) (course)");
+  ASSERT_EQ(last.records.size(), 1u);
+  EXPECT_EQ(machine_->cit().run_unit()->dbkey,
+            last.records[0].GetOrNull("course").AsString());
+}
+
+TEST_F(DmlUniversityTest, BatchStoreRejectsHostileShapes) {
+  const std::vector<std::vector<abdm::Value>> one_wide = {
+      {abdm::Value::String("T"), abdm::Value::String("S"),
+       abdm::Value::Integer(1)}};
+  // Zero rows, arity mismatch, and unparameterized templates all fail.
+  EXPECT_FALSE(machine_
+                   ->ExecuteBatch(
+                       "STORE course (title = ?, semester = ?, credits = ?)",
+                       {})
+                   .ok());
+  EXPECT_FALSE(machine_
+                   ->ExecuteBatch(
+                       "STORE course (title = ?, semester = ?, credits = ?)",
+                       {{abdm::Value::String("only-one")}})
+                   .ok());
+  EXPECT_FALSE(machine_->ExecuteBatch("STORE course", one_wide).ok());
+  // Direct execution of a parameterized STORE points at the batch
+  // interface instead of storing a half-bound UWA.
+  EXPECT_FALSE(
+      machine_->ExecuteText("STORE course (title = ?, semester = ?)").ok());
+}
+
+TEST_F(DmlUniversityTest, BatchStoreDuplicateAgainstKernelRejected) {
+  // course_1 already carries (Advanced Database, Fall86): the batch's
+  // per-record duplicate probe sees the kernel and aborts the chunk.
+  const std::vector<std::vector<abdm::Value>> dup = {
+      {abdm::Value::String("Advanced Database"),
+       abdm::Value::String("Fall86")}};
+  Status status =
+      machine_
+          ->ExecuteBatch("STORE course (title = ?, semester = ?)", dup)
+          .status();
+  EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
 }  // namespace
 }  // namespace mlds::kms

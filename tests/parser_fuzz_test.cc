@@ -11,6 +11,7 @@
 #include <string>
 
 #include "abdl/parser.h"
+#include "abdl/prepared.h"
 #include "client/client.h"
 #include "common/frame.h"
 #include "kds/snapshot.h"
@@ -649,6 +650,160 @@ TEST_P(ParserFuzzTest, WirePayloadDecodersSurviveGarbage) {
   EXPECT_TRUE(health->degraded);
   ASSERT_EQ(health->backends.size(), 2u);
   EXPECT_EQ(health->backends[1].state, "quarantined");
+}
+
+// ---------------------------------------------------------------------
+// Batch-INSERT grammar fuzzing: the prepared/parameterized forms added
+// for bulk ingest are parsers too. Hostile parameter counts, mismatched
+// rows, and zero-row batches must come back as clean Status errors.
+// ---------------------------------------------------------------------
+
+TEST_P(ParserFuzzTest, BatchInsertGrammarSurvivesHostileInputs) {
+  FuzzInputs inputs(static_cast<uint32_t>(GetParam()) + 15000);
+  const std::string valid_samples[] = {
+      "INSERT (<FILE, staff>, <name, ?>, <wage, ?>)",
+      "INSERT (<FILE, staff>, <name, 'ada'>, <wage, 90>), "
+      "(<FILE, staff>, <name, 'grace'>, <wage, 87>)",
+      "INSERT INTO staff (name, wage) VALUES (?, ?)",
+      "INSERT INTO staff (name, wage) VALUES ('ada', 90), ('grace', 87)",
+      "STORE staff (name = ?, wage = ?)",
+      "CREATE student (pname = ?, major = ?)",
+      "ISRT patient (pname = ?, age = ?)",
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    constexpr size_t kSamples = std::size(valid_samples);
+    const std::string candidates[] = {
+        inputs.Garbage(4 + trial % 50) + "?",
+        inputs.Spliced(valid_samples[trial % kSamples]),
+        inputs.Truncated(valid_samples[trial % kSamples]),
+        "INSERT (<FILE, staff>, <name, ??>)",
+        "INSERT INTO t (a) VALUES (?), (?)",  // params in multiple rows
+        "INSERT INTO t (a) VALUES (1), ",     // trailing row comma
+        "INSERT INTO t (a) VALUES ()",        // empty row
+    };
+    for (const std::string& text : candidates) {
+      // Each call must return (no crash/hang); outcome itself is free.
+      (void)abdl::ParseRequest(text);
+      (void)abdl::ParsePreparedInsert(text);
+      (void)sql::ParseSql(text);
+      (void)codasyl::ParseDmlStatement(text);
+      (void)daplex::ParseDaplexStatement(text);
+      (void)kms::ParseDliCall(text);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzzTest, ParameterMarkersOutsideInsertRejectCleanly) {
+  // '?' only binds in INSERT-family field lists; everywhere else it is a
+  // parse error, not a silent null.
+  EXPECT_FALSE(sql::ParseSql("SELECT a FROM t WHERE a = ?").ok());
+  EXPECT_FALSE(sql::ParseSql("UPDATE t SET a = ? WHERE a = 1").ok());
+  EXPECT_FALSE(codasyl::ParseDmlStatement("MOVE ? TO name IN staff").ok());
+  EXPECT_FALSE(kms::ParseDliCall("GU patient (pname = ?)").ok());
+  EXPECT_FALSE(kms::ParseDliCall("DLET patient (pname = ?)").ok());
+  EXPECT_FALSE(
+      abdl::ParseRequest("RETRIEVE ((FILE = staff) and (name = ?)) (name)")
+          .ok());
+}
+
+TEST(ParserFuzzTest, PreparedBindRejectsMismatchedRows) {
+  auto prepared = abdl::ParsePreparedInsert(
+      "INSERT (<FILE, staff>, <dept, 'sales'>, <name, ?>, <wage, ?>)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_EQ(prepared->params_per_row(), 2u);
+
+  const std::vector<abdm::Value> narrow = {abdm::Value::String("ada")};
+  const std::vector<abdm::Value> exact = {abdm::Value::String("ada"),
+                                          abdm::Value::Integer(90)};
+  const std::vector<abdm::Value> wide = {abdm::Value::String("ada"),
+                                         abdm::Value::Integer(90),
+                                         abdm::Value::Integer(7)};
+  EXPECT_FALSE(prepared->Bind(narrow).ok());
+  EXPECT_TRUE(prepared->Bind(exact).ok());
+  EXPECT_FALSE(prepared->Bind(wide).ok());
+
+  // Zero-row batches and any row/params mismatch inside a batch fail as
+  // a whole — a batch never partially binds.
+  EXPECT_FALSE(prepared->BindBatch({}).ok());
+  EXPECT_FALSE(prepared->BindBatch({exact, narrow, exact}).ok());
+  EXPECT_FALSE(prepared->BindBatch({exact, wide}).ok());
+  auto bound = prepared->BindBatch({exact, exact, exact});
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->records.size(), 3u);
+
+  // Chunked binds clamp the end and reject empty ranges.
+  EXPECT_FALSE(prepared->BindBatch({exact, exact}, 2, 2).ok());
+  EXPECT_FALSE(prepared->BindBatch({exact, exact}, 5, 9).ok());
+  auto tail = prepared->BindBatch({exact, exact, exact}, 1, 99);
+  ASSERT_TRUE(tail.ok()) << tail.status();
+  EXPECT_EQ(tail->records.size(), 2u);
+}
+
+TEST(ParserFuzzTest, HostileParameterCountsClampBatchSize) {
+  const abdl::BatchLimits limits;  // 1024 rows, 65535 parameters
+  EXPECT_EQ(abdl::EffectiveBatchSize(limits, 0), 1024u);
+  EXPECT_EQ(abdl::EffectiveBatchSize(limits, 2), 1024u);
+  EXPECT_EQ(abdl::EffectiveBatchSize(limits, 256), 255u);
+  // A row wider than max_parameters still ships one row at a time.
+  EXPECT_EQ(abdl::EffectiveBatchSize(limits, 1u << 20), 1u);
+  // Degenerate knobs never yield a zero batch (infinite-loop bait).
+  EXPECT_EQ(abdl::EffectiveBatchSize({0, 0}, 17), 1u);
+
+  // A template with thousands of slots parses and reports its width;
+  // the zero-slot template is legal and binds empty rows.
+  std::string huge = "INSERT (<FILE, t>";
+  for (int i = 0; i < 4000; ++i) {
+    huge += ", <a" + std::to_string(i) + ", ?>";
+  }
+  huge += ")";
+  auto wide = abdl::ParsePreparedInsert(huge);
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  EXPECT_EQ(wide->params_per_row(), 4000u);
+  EXPECT_EQ(abdl::EffectiveBatchSize(limits, wide->params_per_row()), 16u);
+
+  auto constant =
+      abdl::ParsePreparedInsert("INSERT (<FILE, t>, <a, 1>)");
+  ASSERT_TRUE(constant.ok()) << constant.status();
+  EXPECT_EQ(constant->params_per_row(), 0u);
+  auto bound = constant->BindBatch({{}, {}});
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->records.size(), 2u);
+}
+
+TEST_P(ParserFuzzTest, BatchRequestDecoderSurvivesGarbage) {
+  FuzzInputs inputs(static_cast<uint32_t>(GetParam()) + 17000);
+  wire::BatchRequest request;
+  request.statement = "INSERT INTO staff (name, wage) VALUES (?, ?)";
+  request.rows = {{abdm::Value::String("ada"), abdm::Value::Float(91.5)},
+                  {abdm::Value::Null(), abdm::Value::Integer(87)}};
+  const std::string valid = wire::EncodeBatchRequest(request);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string candidates[] = {
+        inputs.Garbage(trial % 29),
+        inputs.Truncated(valid),
+        inputs.Spliced(valid),
+    };
+    for (const std::string& bytes : candidates) {
+      (void)wire::DecodeBatchRequest(bytes);
+    }
+  }
+  // A claimed row count far beyond the remaining bytes is rejected from
+  // the header alone — the decoder never allocates toward the claim.
+  std::string evil = valid.substr(0, 4 + request.statement.size());
+  for (int i = 0; i < 4; ++i) evil += static_cast<char>(0xff);
+  EXPECT_FALSE(wire::DecodeBatchRequest(evil).ok());
+
+  // The unmangled encoding still round-trips after all that.
+  auto round = wire::DecodeBatchRequest(valid);
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->statement, request.statement);
+  ASSERT_EQ(round->rows.size(), 2u);
+  ASSERT_EQ(round->rows[0].size(), 2u);
+  EXPECT_EQ(round->rows[0][0].AsString(), "ada");
+  EXPECT_EQ(round->rows[0][1].AsFloat(), 91.5);
+  EXPECT_TRUE(round->rows[1][0].is_null());
+  EXPECT_EQ(round->rows[1][1].AsInteger(), 87);
 }
 
 }  // namespace

@@ -176,6 +176,103 @@ TEST_F(ServerRoundTripTest, AbdlTransactionBufferedUntilCommit) {
   EXPECT_EQ(aborted->body.find("lovelace"), std::string::npos);
 }
 
+TEST_F(ServerRoundTripTest, BatchInsertsTravelAsOneFrame) {
+  client::MldsClient client = Connected();
+
+  // SQL: a prepared INSERT template, ten rows, one kBatch frame.
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  std::vector<std::vector<abdm::Value>> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({abdm::Value::String("bulk" + std::to_string(i)),
+                    abdm::Value::Float(40.0 + i)});
+  }
+  Result<wire::ExecuteResult> inserted = client.ExecuteBatch(
+      "INSERT INTO staff (name, wage) VALUES (?, ?)", rows);
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  EXPECT_NE(inserted->body.find("10"), std::string::npos);
+  Result<wire::ExecuteResult> check =
+      client.Execute("SELECT name FROM staff WHERE wage > 48");
+  ASSERT_TRUE(check.ok());
+  EXPECT_NE(check->body.find("bulk9"), std::string::npos);
+
+  // DL/I: the anchored-parent rule applies across the wire too.
+  ASSERT_TRUE(client.Use("dli", "clinic").ok());
+  Result<wire::ExecuteResult> orphan = client.ExecuteBatch(
+      "ISRT visit (vdate = ?, cost = ?)",
+      {{abdm::Value::String("880101"), abdm::Value::Float(1.0)}});
+  ASSERT_FALSE(orphan.ok());
+  EXPECT_EQ(orphan.status().code(), StatusCode::kCurrencyError);
+  ASSERT_TRUE(client.Execute("GU patient (pname = 'jones')").ok());
+  Result<wire::ExecuteResult> visits = client.ExecuteBatch(
+      "ISRT visit (vdate = ?, cost = ?)",
+      {{abdm::Value::String("880101"), abdm::Value::Float(1.0)},
+       {abdm::Value::String("880102"), abdm::Value::Float(2.0)}});
+  ASSERT_TRUE(visits.ok()) << visits.status();
+
+  // Errors preserve their Status codes: empty batches and arity
+  // mismatches fail whole, applying nothing.
+  Result<wire::ExecuteResult> empty =
+      client.ExecuteBatch("ISRT visit (vdate = ?, cost = ?)", {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(client.Use("sql", "payroll").ok());
+  Result<wire::ExecuteResult> ragged = client.ExecuteBatch(
+      "INSERT INTO staff (name, wage) VALUES (?, ?)",
+      {{abdm::Value::String("lone")}});
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerRoundTripTest, AbdlBatchBuffersInsideTransactions) {
+  client::MldsClient client = Connected();
+  ASSERT_TRUE(client.Use("abdl", "payroll").ok());
+  const std::string prepared =
+      "INSERT (<FILE, staff>, <name, ?>, <wage, ?>)";
+  std::vector<std::vector<abdm::Value>> rows = {
+      {abdm::Value::String("knuth"), abdm::Value::Float(99.0)},
+      {abdm::Value::String("dijkstra"), abdm::Value::Float(98.0)},
+  };
+
+  ASSERT_TRUE(client.Execute("BEGIN").ok());
+  Result<wire::ExecuteResult> buffered = client.ExecuteBatch(prepared, rows);
+  ASSERT_TRUE(buffered.ok()) << buffered.status();
+  EXPECT_NE(buffered->body.find("buffered"), std::string::npos);
+
+  // Uncommitted: invisible to a second session.
+  client::MldsClient other = Connected();
+  ASSERT_TRUE(other.Use("sql", "payroll").ok());
+  Result<wire::ExecuteResult> before =
+      other.Execute("SELECT name FROM staff WHERE name = 'knuth'");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->body.find("knuth"), std::string::npos);
+
+  ASSERT_TRUE(client.Execute("COMMIT").ok());
+  Result<wire::ExecuteResult> after =
+      other.Execute("SELECT name FROM staff WHERE wage > 97.5");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->body.find("knuth"), std::string::npos);
+  EXPECT_NE(after->body.find("dijkstra"), std::string::npos);
+
+  // ABORT discards a buffered batch whole.
+  ASSERT_TRUE(client.Execute("BEGIN").ok());
+  ASSERT_TRUE(client
+                  .ExecuteBatch(prepared,
+                                {{abdm::Value::String("discarded"),
+                                  abdm::Value::Float(1.0)}})
+                  .ok());
+  ASSERT_TRUE(client.Execute("ABORT").ok());
+  Result<wire::ExecuteResult> aborted =
+      other.Execute("SELECT name FROM staff WHERE name = 'discarded'");
+  ASSERT_TRUE(aborted.ok());
+  EXPECT_EQ(aborted->body.find("discarded"), std::string::npos);
+
+  // Outside a transaction the batch applies immediately.
+  Result<wire::ExecuteResult> direct = client.ExecuteBatch(
+      prepared, {{abdm::Value::String("ritchie"), abdm::Value::Float(77.0)}});
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  EXPECT_NE(direct->body.find("1 records affected"), std::string::npos);
+}
+
 TEST_F(ServerRoundTripTest, HealthRoundTripsThroughParser) {
   client::MldsClient client = Connected();
   Result<kc::KernelHealth> health = client.Health();

@@ -35,12 +35,27 @@ else
   # The streaming bench bulk-loads its row count from the environment:
   # 8k rows keeps the smoke cheap while still exercising chunked
   # transfer end to end (the full 120k-row run happens off-CI).
+  # The bulk-load bench reads its record count from the environment the
+  # same way: 20k rows smokes the batch/WAL/recovery paths; the committed
+  # report is the full 1M-row run.
   for bench in bench_range_queries bench_intra_backend bench_fault_recovery \
-               bench_server bench_streaming; do
-    (cd build/bench-smoke && MLDS_STREAM_BENCH_ROWS=8000 \
+               bench_server bench_streaming bench_bulk_load; do
+    (cd build/bench-smoke && MLDS_STREAM_BENCH_ROWS=8000 MLDS_BULK_RECORDS=20000 \
       "../bench/${bench}" --benchmark_filter='^$')
   done
   ls build/bench-smoke/BENCH_*.json
+
+  # Regression floor for the bulk-ingest fast path: these are
+  # correctness/shape booleans (crash recovery byte-identity, warm
+  # template cache hits, coalesced group-commit flushes, batch at least
+  # matching single-record ingest), not wall-clock thresholds, so they
+  # hold at smoke size.
+  for key in recovery_byte_identical warm_cache_hit_rate_ok \
+             batch_coalesced_flushes batch_not_slower_than_single; do
+    grep -q "\"${key}\": true" build/bench-smoke/BENCH_bulk_load.json \
+      || { echo "bulk ingest floor regression: ${key} is not true"; exit 1; }
+  done
+  echo "bulk ingest floor holds"
 fi
 
 # Streaming smoke against a given build tree: a server with a tiny
@@ -75,6 +90,51 @@ run_streaming_smoke() {
   grep -Eq 'server\.chunks_streamed [1-9]' "${log}.shell" \
     || { echo "no chunks streamed in streaming smoke"; exit 1; }
   echo "streaming smoke passed (port ${port})"
+}
+
+# Bulk-load smoke against a given build tree: the server seeds itself
+# from a --source script before accepting connections, the shell replays
+# a second script with .source, and a SELECT confirms both loads landed.
+run_bulk_smoke() {
+  local build_dir="$1" log="$2"
+  local seed_script="${build_dir}/bulk_seed.mlds"
+  local more_script="${build_dir}/bulk_more.mlds"
+  printf '%s\n' \
+    "# seeded by mlds_server --source before it listens" \
+    ".use sql payroll" \
+    "INSERT INTO staff (name, wage) VALUES ('bulk_a', 11)" \
+    "INSERT INTO staff (name, wage) VALUES ('bulk_b', 12)" \
+    > "${seed_script}"
+  printf '%s\n' \
+    "-- replayed through the shell's .source" \
+    ".use sql payroll" \
+    "INSERT INTO staff (name, wage) VALUES ('bulk_c', 13)" \
+    > "${more_script}"
+  "${build_dir}/tools/mlds_server" --port 0 --source "${seed_script}" \
+    > "${log}" &
+  local server_pid=$!
+  trap 'kill "'"${server_pid}"'" 2>/dev/null || true' EXIT
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "${log}")"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  [[ -n "${port}" ]] || { echo "bulk smoke server never reported its port"; exit 1; }
+  printf '%s\n' \
+    ".source ${more_script}" \
+    ".use sql payroll" \
+    "SELECT name FROM staff WHERE wage > 10" \
+    ".shutdown" \
+    | "${build_dir}/tools/mlds_shell" 127.0.0.1 "${port}" --strict \
+    > "${log}.shell"
+  wait "${server_pid}"
+  trap - EXIT
+  grep -q "sourced ${seed_script}: 3 statement(s), 0 failed" "${log}" \
+    || { echo "server --source did not replay the seed script"; exit 1; }
+  grep -q "bulk_a" "${log}.shell" && grep -q "bulk_c" "${log}.shell" \
+    || { echo "bulk-loaded rows missing from SELECT"; exit 1; }
+  echo "bulk load smoke passed (port ${port})"
 }
 
 if [[ "${MLDS_SKIP_SERVER:-0}" == "1" ]]; then
@@ -117,6 +177,9 @@ else
 
   echo "== streaming smoke =="
   run_streaming_smoke build build/mlds_streaming_smoke.log
+
+  echo "== bulk load smoke =="
+  run_bulk_smoke build build/mlds_bulk_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
@@ -145,6 +208,11 @@ else
   # the chunked transfer end to end, not just in unit tests.
   echo "== TSan streaming smoke =="
   run_streaming_smoke build-tsan build-tsan/mlds_streaming_smoke.log
+  # Bulk smoke under TSan: the --source seeder runs on the client thread
+  # while the event loop serves it, and group commit coalesces appends
+  # across session workers — both are cross-thread write paths.
+  echo "== TSan bulk load smoke =="
+  run_bulk_smoke build-tsan build-tsan/mlds_bulk_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_ASAN:-0}" == "1" ]]; then

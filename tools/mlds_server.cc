@@ -6,10 +6,17 @@
 //   mlds_server [--port N] [--host A.B.C.D] [--max-sessions N]
 //               [--queue-depth N] [--backends N] [--workers N]
 //               [--stream-threshold BYTES] [--chunk-bytes BYTES]
-//               [--write-high-water BYTES]
+//               [--write-high-water BYTES] [--source FILE]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed as "listening on HOST:PORT" so scripts can parse it.
+//
+// --source FILE replays a bulk-load script over a loopback client
+// session right after the demo databases come up, so the server starts
+// serving pre-seeded data. Script lines are statements in the language
+// bound by the most recent `.use <language> <database>` line; '#' and
+// '--' start comments. An unreadable script is fatal; statement
+// failures are reported and counted but the server keeps serving.
 
 #include <atomic>
 #include <csignal>
@@ -19,6 +26,8 @@
 #include <string>
 #include <string_view>
 
+#include "client/client.h"
+#include "client/script.h"
 #include "mlds/mlds.h"
 #include "server/demo.h"
 #include "server/server.h"
@@ -48,6 +57,7 @@ bool ParseUint(std::string_view text, uint64_t* out) {
 int main(int argc, char** argv) {
   mlds::server::ServerOptions options;
   int backends = 0;
+  std::string source_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -77,12 +87,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--write-high-water" && has_value &&
                ParseUint(argv[++i], &value)) {
       options.write_high_water = static_cast<size_t>(value);
+    } else if (arg == "--source" && has_value) {
+      source_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: mlds_server [--port N] [--host A.B.C.D] "
                    "[--max-sessions N] [--queue-depth N] [--backends N] "
                    "[--workers N] [--stream-threshold BYTES] "
-                   "[--chunk-bytes BYTES] [--write-high-water BYTES]\n");
+                   "[--chunk-bytes BYTES] [--write-high-water BYTES] "
+                   "[--source FILE]\n");
       return 2;
     }
   }
@@ -110,6 +123,34 @@ int main(int argc, char** argv) {
   g_server.store(&server);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  // Seed the freshly loaded databases from a bulk-load script before
+  // announcing readiness, replaying it over a loopback session — the
+  // same path any client takes, so the script exercises the wire
+  // protocol, not a side door.
+  if (!source_path.empty()) {
+    mlds::client::MldsClient seeder;
+    const mlds::Status connected =
+        seeder.Connect(options.host, server.port(), "mlds-server-source");
+    if (!connected.ok()) {
+      std::fprintf(stderr, "source connect failed: %s\n",
+                   connected.ToString().c_str());
+      server.Shutdown();
+      return 1;
+    }
+    mlds::Result<mlds::client::ScriptSummary> sourced =
+        mlds::client::RunScript(seeder, source_path,
+                                /*stop_on_error=*/false, /*out=*/nullptr);
+    if (!sourced.ok()) {
+      std::fprintf(stderr, "source failed: %s\n",
+                   sourced.status().ToString().c_str());
+      server.Shutdown();
+      return 1;
+    }
+    (void)seeder.Close();
+    std::printf("sourced %s: %zu statement(s), %zu failed\n",
+                source_path.c_str(), sourced->statements, sourced->failed);
+  }
 
   std::printf("listening on %s:%u\n", options.host.c_str(),
               static_cast<unsigned>(server.port()));

@@ -13,6 +13,7 @@
 // Meta commands:
 //   .use <language> <database>   codasyl|daplex|sql|dli|abdl
 //   .explain <statement>         execute with plan annotation
+//   .source <file>               replay a bulk-load script
 //   .health                      kernel health over the wire
 //   .stats                       translation-cache + server counters
 //   .shutdown                    ask the server to drain and stop
@@ -29,6 +30,7 @@
 #include <string_view>
 
 #include "client/client.h"
+#include "client/script.h"
 #include "common/strings.h"
 #include "mlds/mlds.h"
 #include "server/demo.h"
@@ -44,6 +46,9 @@ void PrintHelp() {
       "  .use <language> <database>   bind a language interface\n"
       "                               (codasyl|daplex|sql|dli|abdl)\n"
       "  .explain <statement>         execute with plan annotation\n"
+      "  .source <file>               replay a bulk-load script\n"
+      "                               (statements + .use lines; '#'/'--'\n"
+      "                               comments)\n"
       "  .health                      kernel health over the wire\n"
       "  .stats                       cache + server counters\n"
       "  .shutdown                    drain and stop the server\n"
@@ -173,6 +178,18 @@ int main(int argc, char** argv) {
       }
     } else if (statement.rfind(".explain ", 0) == 0) {
       ok = RunStatement(client, statement.substr(9), /*explain=*/true);
+    } else if (statement.rfind(".source ", 0) == 0) {
+      const std::string path(Trim(statement.substr(8)));
+      Result<client::ScriptSummary> sourced =
+          client::RunScript(client, path, strict, stdout);
+      if (sourced.ok()) {
+        std::printf("sourced %s: %zu statement(s), %zu failed\n",
+                    path.c_str(), sourced->statements, sourced->failed);
+        ok = sourced->failed == 0;
+      } else {
+        std::printf("error: %s\n", sourced.status().ToString().c_str());
+        ok = false;
+      }
     } else if (statement == ".health") {
       Result<std::string> health = client.HealthText();
       if (health.ok()) {
