@@ -1,6 +1,8 @@
 #include "abdm/record.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 
 namespace mlds::abdm {
 
@@ -69,6 +71,125 @@ void Record::AppendTo(std::string& out) const {
     out += text_;
     out.push_back('}');
   }
+}
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+bool TakeU32(std::string_view& in, uint32_t* v) {
+  if (in.size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= uint32_t(uint8_t(in[i])) << (8 * i);
+  in.remove_prefix(4);
+  return true;
+}
+
+bool TakeU64(std::string_view& in, uint64_t* v) {
+  if (in.size() < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= uint64_t(uint8_t(in[i])) << (8 * i);
+  in.remove_prefix(8);
+  return true;
+}
+
+bool TakeBytes(std::string_view& in, std::string* s) {
+  uint32_t len = 0;
+  if (!TakeU32(in, &len) || in.size() < len) return false;
+  s->assign(in.data(), len);
+  in.remove_prefix(len);
+  return true;
+}
+
+}  // namespace
+
+void SerializeRecord(const Record& record, std::string& out) {
+  PutU32(out, uint32_t(record.keywords().size()));
+  for (const Keyword& kw : record.keywords()) {
+    PutU32(out, uint32_t(kw.attribute.size()));
+    out += kw.attribute;
+    out.push_back(char(static_cast<int>(kw.value.kind())));
+    switch (kw.value.kind()) {
+      case ValueKind::kNull:
+        break;
+      case ValueKind::kInteger: {
+        uint64_t bits = 0;
+        int64_t i = kw.value.AsInteger();
+        std::memcpy(&bits, &i, sizeof(bits));
+        PutU64(out, bits);
+        break;
+      }
+      case ValueKind::kFloat: {
+        uint64_t bits = 0;
+        double d = kw.value.AsFloat();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(out, bits);
+        break;
+      }
+      case ValueKind::kString: {
+        const std::string& s = kw.value.AsString();
+        PutU32(out, uint32_t(s.size()));
+        out += s;
+        break;
+      }
+    }
+  }
+  PutU32(out, uint32_t(record.text().size()));
+  out += record.text();
+}
+
+std::optional<Record> DeserializeRecord(std::string_view bytes) {
+  uint32_t count = 0;
+  if (!TakeU32(bytes, &count)) return std::nullopt;
+  std::vector<Keyword> keywords;
+  keywords.reserve(count);
+  for (uint32_t k = 0; k < count; ++k) {
+    Keyword kw;
+    if (!TakeBytes(bytes, &kw.attribute)) return std::nullopt;
+    if (bytes.empty()) return std::nullopt;
+    int tag = uint8_t(bytes.front());
+    bytes.remove_prefix(1);
+    switch (tag) {
+      case static_cast<int>(ValueKind::kNull):
+        kw.value = Value::Null();
+        break;
+      case static_cast<int>(ValueKind::kInteger): {
+        uint64_t bits = 0;
+        if (!TakeU64(bytes, &bits)) return std::nullopt;
+        int64_t i = 0;
+        std::memcpy(&i, &bits, sizeof(i));
+        kw.value = Value::Integer(i);
+        break;
+      }
+      case static_cast<int>(ValueKind::kFloat): {
+        uint64_t bits = 0;
+        if (!TakeU64(bytes, &bits)) return std::nullopt;
+        double d = 0;
+        std::memcpy(&d, &bits, sizeof(d));
+        kw.value = Value::Float(d);
+        break;
+      }
+      case static_cast<int>(ValueKind::kString): {
+        std::string s;
+        if (!TakeBytes(bytes, &s)) return std::nullopt;
+        kw.value = Value::String(std::move(s));
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+    keywords.push_back(std::move(kw));
+  }
+  std::string text;
+  if (!TakeBytes(bytes, &text)) return std::nullopt;
+  if (!bytes.empty()) return std::nullopt;
+  return Record(std::move(keywords), std::move(text));
 }
 
 }  // namespace mlds::abdm

@@ -82,6 +82,19 @@ class Record {
 /// belongs to. Every kernel record's first keyword is <FILE, name>.
 inline constexpr std::string_view kFileAttribute = "FILE";
 
+/// Appends a compact binary encoding of `record` to `out`. The format is
+/// self-delimiting and preserves keyword order and the textual portion,
+/// so Deserialize(Serialize(r)) == r. Layout (all integers little-endian):
+///   u32 keyword_count
+///   per keyword: u32 attr_len, attr bytes, u8 value_kind, payload
+///     (integer/float: 8 bytes; string: u32 len + bytes; null: none)
+///   u32 text_len, text bytes
+void SerializeRecord(const Record& record, std::string& out);
+
+/// Decodes one record from `bytes`; nullopt on any framing violation
+/// (truncation, bad kind tag, trailing garbage).
+std::optional<Record> DeserializeRecord(std::string_view bytes);
+
 }  // namespace mlds::abdm
 
 #endif  // MLDS_ABDM_RECORD_H_

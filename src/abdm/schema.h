@@ -20,6 +20,12 @@ struct AttributeDescriptor {
   /// Directory attributes participate in the kernel's keyword directory
   /// and get index-accelerated predicate evaluation.
   bool directory = false;
+  /// Non-directory attributes may instead carry a *secondary* index:
+  /// the store maintains the same ordered value buckets for them, so
+  /// range/equality predicates get an index path without the attribute
+  /// being part of the primary keyword directory. Ignored when
+  /// `directory` is true (directory attributes are always indexed).
+  bool indexed = false;
 
   friend bool operator==(const AttributeDescriptor&,
                          const AttributeDescriptor&) = default;

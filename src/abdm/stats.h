@@ -38,6 +38,21 @@ class DirectoryStats {
   /// Record slots per block; bounds how few blocks `n` candidate records
   /// can occupy (ceil(n / records_per_block)).
   virtual int records_per_block() const = 0;
+
+  /// True when `attr` is served by a secondary index rather than the
+  /// primary keyword directory. Purely descriptive: estimates and
+  /// lookups behave identically; the planner uses it to label the
+  /// access path in EXPLAIN output. Defaulted so synthetic statistics
+  /// (tests) need not override it.
+  virtual bool IsSecondaryIndex(std::string_view) const { return false; }
+
+  /// Fraction of this file's blocks resident in the buffer pool's
+  /// *cache* (pinned working pages excluded), in [0, 1]. The planner
+  /// discounts candidate-set materialization cost by it: probing
+  /// another index is cheaper when the blocks it would save are cold.
+  /// 0 (the default, and always the value in write-through mode)
+  /// reproduces the pool-unaware cost model exactly.
+  virtual double cached_fraction() const { return 0.0; }
 };
 
 }  // namespace mlds::abdm

@@ -71,6 +71,19 @@ class KernelExecutor {
     health.backends.push_back(BackendHealthStatus{0, "healthy", "", 0, 0});
     return health;
   }
+
+  /// Builds a secondary index on a non-directory attribute (see
+  /// kds::Engine::CreateIndex). The single engine and MBDS both realize
+  /// it; the default rejects for executors without storage.
+  virtual Status CreateIndex(std::string_view file, std::string_view attr) {
+    (void)file;
+    (void)attr;
+    return Status::Unimplemented("CreateIndex not supported");
+  }
+
+  /// Buffer-pool traffic counters of the kernel's storage layer (summed
+  /// over backends for MBDS). All-zero for executors without a pool.
+  virtual kds::PoolCounters PoolStats() const { return {}; }
 };
 
 /// KernelExecutor over a single kds::Engine (does not own it).
@@ -89,6 +102,12 @@ class EngineExecutor : public KernelExecutor {
   }
   size_t FileSize(std::string_view file) const override {
     return engine_->FileSize(file);
+  }
+  Status CreateIndex(std::string_view file, std::string_view attr) override {
+    return engine_->CreateIndex(file, attr);
+  }
+  kds::PoolCounters PoolStats() const override {
+    return engine_->pool_stats();
   }
 
  private:
@@ -114,6 +133,12 @@ class MbdsExecutor : public KernelExecutor {
   }
   size_t FileSize(std::string_view file) const override {
     return controller_->FileSize(file);
+  }
+  Status CreateIndex(std::string_view file, std::string_view attr) override {
+    return controller_->CreateIndex(file, attr);
+  }
+  kds::PoolCounters PoolStats() const override {
+    return controller_->PoolStats();
   }
 
   KernelHealth Health() const override {

@@ -1,0 +1,163 @@
+#include "kds/buffer_pool.h"
+
+#include <cassert>
+
+namespace mlds::kds {
+
+BufferPool::BufferPool(size_t capacity, size_t page_bytes)
+    : capacity_(capacity), page_bytes_(page_bytes) {}
+
+BufferPool::~BufferPool() = default;
+
+Result<BufferPool::Frame*> BufferPool::Fetch(PageFile* file, uint64_t page,
+                                             IoStats* io) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = frames_.find({file, page});
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    if (capacity_ == 0) {
+      // Write-through mode has no cache: the frame is resident only
+      // because a writer holds it pinned (the fill page). A reader
+      // landing on it still pays the logical block read, keeping the
+      // mode's blocks_read == distinct-pages-touched contract exact.
+      ++counters_.misses;
+      if (io != nullptr) ++io->blocks_read;
+    } else {
+      ++counters_.hits;
+    }
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+      --cached_per_file_[file];
+    }
+    ++frame->pins;
+    return frame;
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->file = file;
+  frame->page = page;
+  frame->data.resize(page_bytes_);
+  Status s = file->ReadPage(page, frame->data.data());
+  if (!s.ok()) return s;
+  ++counters_.misses;
+  if (io != nullptr) ++io->blocks_read;
+  frame->pins = 1;
+  Frame* raw = frame.get();
+  frames_.emplace(std::make_pair(file, page), std::move(frame));
+  return raw;
+}
+
+BufferPool::Frame* BufferPool::Create(PageFile* file, uint64_t page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto frame = std::make_unique<Frame>();
+  frame->file = file;
+  frame->page = page;
+  frame->data.assign(page_bytes_, '\0');
+  frame->pins = 1;
+  Frame* raw = frame.get();
+  frames_[{file, page}] = std::move(frame);
+  return raw;
+}
+
+void BufferPool::MarkDirty(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frame->dirty = true;
+}
+
+Status BufferPool::WriteThrough(Frame* frame, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status s = frame->file->WritePage(frame->page, frame->data.data());
+  if (!s.ok()) return s;
+  frame->dirty = false;
+  if (io != nullptr) ++io->blocks_written;
+  return Status::OK();
+}
+
+Status BufferPool::WriteBackLocked(Frame* frame, IoStats* io, bool eviction) {
+  if (!frame->dirty) return Status::OK();
+  Status s = frame->file->WritePage(frame->page, frame->data.data());
+  if (!s.ok()) {
+    if (sticky_error_.ok()) sticky_error_ = s;
+    return s;
+  }
+  frame->dirty = false;
+  ++counters_.dirty_writebacks;
+  if (io != nullptr) ++io->blocks_written;
+  (void)eviction;
+  return Status::OK();
+}
+
+void BufferPool::RemoveFrameLocked(Frame* frame) {
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+    --cached_per_file_[frame->file];
+  }
+  frames_.erase({frame->file, frame->page});
+}
+
+void BufferPool::EvictOverflowLocked(IoStats* io) {
+  while (lru_.size() > capacity_) {
+    Frame* victim = lru_.front();
+    (void)WriteBackLocked(victim, io, /*eviction=*/true);
+    ++counters_.evictions;
+    RemoveFrameLocked(victim);
+  }
+}
+
+void BufferPool::Unpin(Frame* frame, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(frame->pins > 0);
+  if (--frame->pins > 0) return;
+  if (capacity_ == 0) {
+    // Write-through mode: no cache. Persist any deferred bytes and drop.
+    (void)WriteBackLocked(frame, io, /*eviction=*/false);
+    RemoveFrameLocked(frame);
+    return;
+  }
+  frame->lru_pos = lru_.insert(lru_.end(), frame);
+  frame->in_lru = true;
+  ++cached_per_file_[frame->file];
+  EvictOverflowLocked(io);
+}
+
+Status BufferPool::Flush(PageFile* file, IoStats* io) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, frame] : frames_) {
+    if (file != nullptr && frame->file != file) continue;
+    MLDS_RETURN_IF_ERROR(WriteBackLocked(frame.get(), io, false));
+  }
+  Status s = sticky_error_;
+  sticky_error_ = Status::OK();
+  return s;
+}
+
+void BufferPool::Drop(PageFile* file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* frame = it->second.get();
+    if (frame->file == file) {
+      if (frame->in_lru) {
+        lru_.erase(frame->lru_pos);
+        --cached_per_file_[file];
+      }
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cached_per_file_.erase(file);
+}
+
+size_t BufferPool::ResidentCached(const PageFile* file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cached_per_file_.find(file);
+  return it == cached_per_file_.end() ? 0 : it->second;
+}
+
+PoolCounters BufferPool::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace mlds::kds

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -12,6 +14,27 @@
 namespace mlds::kds {
 
 namespace {
+
+constexpr char kCleanMarker[] = "CLEAN";
+
+/// Page-file name for a kernel file: alphanumerics pass through, every
+/// other byte is %XX-escaped so distinct file names never collide.
+std::string SanitizeFileName(std::string_view name) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_' || c == '-') {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[(uint8_t(c) >> 4) & 0xf];
+      out += kHex[uint8_t(c) & 0xf];
+    }
+  }
+  return out;
+}
 
 using abdl::AggregateOp;
 using abdm::Record;
@@ -224,40 +247,136 @@ std::vector<Record> PostProcessRetrieve(const abdl::RetrieveRequest& req,
   return out;
 }
 
-Engine::Engine(EngineOptions options) : options_(options) {}
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(options_.pool_pages, options_.page_bytes) {
+  if (!options_.data_dir.empty()) RestoreFromDisk();
+}
+
+Engine::~Engine() {
+  (void)Flush();
+  if (options_.data_dir.empty()) return;
+  // Write the clean-shutdown marker *after* the flush: its presence
+  // certifies that the page files hold the engine's final state. A crash
+  // anywhere before this point leaves no marker, and the next engine
+  // discards the page files in favor of WAL + checkpoint recovery.
+  const std::string path =
+      (std::filesystem::path(options_.data_dir) / kCleanMarker).string();
+  if (std::FILE* f = std::fopen(path.c_str(), "wb")) std::fclose(f);
+}
+
+void Engine::RestoreFromDisk() {
+  namespace fs = std::filesystem;
+  const fs::path dir(options_.data_dir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path marker = dir / kCleanMarker;
+  if (!fs::exists(marker, ec)) {
+    // No clean-shutdown marker: any page files are the stale cache of a
+    // crashed run. WAL + checkpoint are the durable truth there, and
+    // replaying them onto non-empty stores would double-apply — wipe.
+    WipeStorageDir(options_.data_dir);
+    return;
+  }
+  // Consume the marker: it certifies only the state it was written over.
+  // Should *this* run crash, the absence tells the next run to recover.
+  fs::remove(marker, ec);
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".mpf") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    auto file = PageFile::Open(path.string(), options_.page_bytes);
+    if (!file.ok()) {
+      if (restore_status_.ok()) restore_status_ = file.status();
+      continue;
+    }
+    auto meta = FileStore::DecodeMeta((*file)->meta());
+    if (!meta.ok()) {
+      if (restore_status_.ok()) restore_status_ = meta.status();
+      continue;
+    }
+    auto store = std::make_unique<FileStore>(
+        meta->descriptor, meta->block_capacity, &pool_, std::move(*file));
+    Status loaded = store->LoadFromPages();
+    if (!loaded.ok()) {
+      if (restore_status_.ok()) restore_status_ = loaded;
+      continue;
+    }
+    // Secondary indexes built on demand live only in the metadata blob;
+    // rebuild them now that the directory is loaded (uncharged, like the
+    // rest of the cold start).
+    for (const std::string& attr : meta->secondary) {
+      (void)store->BuildSecondaryIndex(attr, nullptr);
+    }
+    std::string name = store->name();
+    restored_unclaimed_.insert(name);
+    files_.emplace(std::move(name), std::move(store));
+  }
+}
+
+std::string Engine::PageFilePath(std::string_view file) const {
+  return (std::filesystem::path(options_.data_dir) /
+          (SanitizeFileName(file) + ".mpf"))
+      .string();
+}
+
+Status Engine::DefineFileLocked(const abdm::FileDescriptor& descriptor) {
+  auto it = files_.find(descriptor.name);
+  if (it != files_.end()) {
+    auto unclaimed = restored_unclaimed_.find(descriptor.name);
+    if (unclaimed != restored_unclaimed_.end() &&
+        it->second->descriptor() == descriptor) {
+      // Re-attach: the store was restored from its page file at startup
+      // and this definition matches it exactly. Nothing is created and
+      // nothing is logged — the definition that produced the page file
+      // is already durable.
+      restored_unclaimed_.erase(unclaimed);
+      return Status::OK();
+    }
+    return Status::AlreadyExists("kernel file '" + descriptor.name +
+                                 "' already defined");
+  }
+  std::unique_ptr<PageFile> file;
+  if (!options_.data_dir.empty()) {
+    MLDS_ASSIGN_OR_RETURN(
+        file, PageFile::Open(PageFilePath(descriptor.name),
+                             options_.page_bytes));
+  }
+  if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
+    MLDS_RETURN_IF_ERROR(wal->Append(EncodeDefineFile(descriptor)));
+  }
+  files_.emplace(descriptor.name,
+                 std::make_unique<FileStore>(descriptor,
+                                             options_.block_capacity, &pool_,
+                                             std::move(file)));
+  return Status::OK();
+}
 
 Status Engine::DefineDatabase(const abdm::DatabaseDescriptor& db) {
   std::unique_lock<std::shared_mutex> lock(map_mutex_);
+  // All-or-nothing validation first: every file must be fresh or
+  // re-attachable before any is defined.
   for (const auto& file : db.files) {
-    if (files_.count(file.name) > 0) {
+    auto it = files_.find(file.name);
+    if (it != files_.end() &&
+        (restored_unclaimed_.count(file.name) == 0 ||
+         !(it->second->descriptor() == file))) {
       return Status::AlreadyExists("kernel file '" + file.name +
                                    "' already defined");
     }
   }
-  if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
-    for (const auto& file : db.files) {
-      MLDS_RETURN_IF_ERROR(wal->Append(EncodeDefineFile(file)));
-    }
-  }
   for (const auto& file : db.files) {
-    files_.emplace(file.name,
-                   std::make_unique<FileStore>(file, options_.block_capacity));
+    MLDS_RETURN_IF_ERROR(DefineFileLocked(file));
   }
   return Status::OK();
 }
 
 Status Engine::DefineFile(const abdm::FileDescriptor& descriptor) {
   std::unique_lock<std::shared_mutex> lock(map_mutex_);
-  if (files_.count(descriptor.name) > 0) {
-    return Status::AlreadyExists("kernel file '" + descriptor.name +
-                                 "' already defined");
-  }
-  if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
-    MLDS_RETURN_IF_ERROR(wal->Append(EncodeDefineFile(descriptor)));
-  }
-  files_.emplace(descriptor.name, std::make_unique<FileStore>(
-                                      descriptor, options_.block_capacity));
-  return Status::OK();
+  return DefineFileLocked(descriptor);
 }
 
 Status Engine::RemoveFile(std::string_view file) {
@@ -269,8 +388,71 @@ Status Engine::RemoveFile(std::string_view file) {
   }
   // Exclusive map lock: no request can be holding (or acquiring) this
   // store's lock, so erasing it is safe.
+  const std::string path = it->second->page_file()->path();
   files_.erase(it);
+  restored_unclaimed_.erase(std::string(file));
+  if (!path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
   return Status::OK();
+}
+
+Status Engine::CreateIndex(std::string_view file, std::string_view attr) {
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("kernel file '" + std::string(file) +
+                            "' not defined");
+  }
+  if (attr.empty()) {
+    return Status::InvalidArgument("CreateIndex: empty attribute name");
+  }
+  // Write-ahead, like every other mutation: the index declaration is
+  // durable before the build, so recovery re-creates the same index set.
+  if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
+    MLDS_RETURN_IF_ERROR(wal->Append("INDEX " + std::string(file) + " " +
+                                     std::string(attr)));
+  }
+  std::unique_lock<std::shared_mutex> file_lock(it->second->mutex());
+  IoStats io;
+  Status built = it->second->BuildSecondaryIndex(attr, &io);
+  cumulative_io_.Add(io);
+  InjectLatency(io);
+  return built;
+}
+
+std::vector<std::string> Engine::SecondaryIndexes(std::string_view file) const {
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  auto it = files_.find(file);
+  if (it == files_.end()) return {};
+  std::shared_lock<std::shared_mutex> file_lock(it->second->mutex());
+  return it->second->secondary_indexes();
+}
+
+Status Engine::Flush() {
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  Status first = Status::OK();
+  IoStats io;
+  for (auto& [name, store] : files_) {
+    std::unique_lock<std::shared_mutex> file_lock(store->mutex());
+    Status flushed = store->Flush(&io);
+    if (first.ok() && !flushed.ok()) first = flushed;
+  }
+  cumulative_io_.Add(io);
+  return first;
+}
+
+void WipeStorageDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".mpf" ||
+        entry.path().filename() == kCleanMarker) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
 }
 
 bool Engine::HasFile(std::string_view file) const {
@@ -598,12 +780,11 @@ Result<Response> Engine::ExecuteUpdate(const abdl::UpdateRequest& req) {
   const abdl::Modifier& mod = req.modifier;
   for (FileStore* store : Route(req.query)) {
     PlanNode plan;
-    std::vector<RecordId> ids =
-        store->Select(req.query, &resp.io, req.explain ? &plan : nullptr);
+    std::vector<std::pair<RecordId, Record>> rows =
+        store->SelectRecords(req.query, &resp.io, req.explain ? &plan : nullptr);
     if (req.explain) plans.push_back(std::move(plan));
-    for (RecordId id : ids) {
-      const Record* old = store->Get(id);
-      Record updated = *old;
+    for (auto& [id, old] : rows) {
+      Record updated = std::move(old);
       switch (mod.kind) {
         case abdl::ModifierKind::kSet:
           updated.Set(mod.attribute, mod.operand);
@@ -638,9 +819,9 @@ Result<Response> Engine::ExecuteRetrieve(const abdl::RetrieveRequest& req) {
   std::vector<PlanNode> plans;
   for (FileStore* store : Route(req.query)) {
     PlanNode plan;
-    for (RecordId id :
-         store->Select(req.query, &resp.io, req.explain ? &plan : nullptr)) {
-      matched.push_back(*store->Get(id));
+    for (auto& [id, record] : store->SelectRecords(
+             req.query, &resp.io, req.explain ? &plan : nullptr)) {
+      matched.push_back(std::move(record));
     }
     if (req.explain) plans.push_back(std::move(plan));
   }
@@ -655,37 +836,37 @@ Result<Response> Engine::ExecuteRetrieve(const abdl::RetrieveRequest& req) {
 Result<Response> Engine::ExecuteRetrieveCommon(
     const abdl::RetrieveCommonRequest& req) {
   Response resp;
-  std::vector<const Record*> left, right;
+  std::vector<Record> left, right;
   std::vector<PlanNode> left_plans, right_plans;
   for (FileStore* store : Route(req.left_query)) {
     PlanNode plan;
-    for (RecordId id : store->Select(req.left_query, &resp.io,
-                                     req.explain ? &plan : nullptr)) {
-      left.push_back(store->Get(id));
+    for (auto& [id, record] : store->SelectRecords(
+             req.left_query, &resp.io, req.explain ? &plan : nullptr)) {
+      left.push_back(std::move(record));
     }
     if (req.explain) left_plans.push_back(std::move(plan));
   }
   for (FileStore* store : Route(req.right_query)) {
     PlanNode plan;
-    for (RecordId id : store->Select(req.right_query, &resp.io,
-                                     req.explain ? &plan : nullptr)) {
-      right.push_back(store->Get(id));
+    for (auto& [id, record] : store->SelectRecords(
+             req.right_query, &resp.io, req.explain ? &plan : nullptr)) {
+      right.push_back(std::move(record));
     }
     if (req.explain) right_plans.push_back(std::move(plan));
   }
   // Hash the right side by join value, then probe with the left.
   std::map<Value, std::vector<const Record*>> right_by_value;
-  for (const Record* r : right) {
-    Value v = r->GetOrNull(req.right_attribute);
-    if (!v.is_null()) right_by_value[std::move(v)].push_back(r);
+  for (const Record& r : right) {
+    Value v = r.GetOrNull(req.right_attribute);
+    if (!v.is_null()) right_by_value[std::move(v)].push_back(&r);
   }
-  for (const Record* l : left) {
-    Value v = l->GetOrNull(req.left_attribute);
+  for (const Record& l : left) {
+    Value v = l.GetOrNull(req.left_attribute);
     if (v.is_null()) continue;
     auto it = right_by_value.find(v);
     if (it == right_by_value.end()) continue;
     for (const Record* r : it->second) {
-      Record merged = *l;
+      Record merged = l;
       for (const auto& kw : r->keywords()) {
         if (!merged.Has(kw.attribute)) merged.Set(kw.attribute, kw.value);
       }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -72,6 +73,20 @@ PlanNode WrapRetrievePlan(const abdl::RetrieveRequest& request, PlanNode base,
 struct EngineOptions {
   /// Records per storage block; block counts feed the MBDS cost model.
   int block_capacity = 16;
+  /// Directory holding one page file per kernel file ("<name>.mpf") plus
+  /// the clean-shutdown marker. Empty (the default) keeps every file in
+  /// memory. With a data dir, a cleanly closed engine restores all of its
+  /// files on the next construction — persistence without snapshot
+  /// calls; after a crash (no marker) the page files are discarded and
+  /// the WAL + checkpoint recovery path is authoritative.
+  std::string data_dir;
+  /// Buffer-pool capacity in pages shared by every file of this engine.
+  /// 0 (the default) is write-through mode: no caching, physical block
+  /// counts equal the logical pages touched. > 0 enables LRU caching of
+  /// that many unpinned pages.
+  size_t pool_pages = 0;
+  /// Page size for new page files (existing files keep theirs).
+  size_t page_bytes = kDefaultPageBytes;
   /// When > 0, every executed request *really sleeps* this many
   /// milliseconds per block it read or wrote, while still holding its
   /// file locks — emulating the time the backend's disk is busy serving
@@ -108,7 +123,15 @@ struct EngineOptions {
 /// are lock-free atomics (AtomicIoStats).
 class Engine {
  public:
+  /// With EngineOptions::data_dir set, the constructor restores every
+  /// page file a cleanly shut-down predecessor left behind (or wipes
+  /// stale ones after a crash — see data_dir). Restore problems are
+  /// reported through restore_status(), not thrown.
   explicit Engine(EngineOptions options = {});
+
+  /// Flushes every store and, with a data dir, writes the clean-shutdown
+  /// marker that lets the next engine trust the page files.
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -120,12 +143,36 @@ class Engine {
   /// Creates one file. Rejects duplicates.
   Status DefineFile(const abdm::FileDescriptor& descriptor);
 
-  /// Removes one file and its records. Used to roll back a partially
-  /// applied snapshot load and to rebuild a backend during reintegration;
-  /// ordinary ABDL has no DROP.
+  /// Removes one file and its records (including its on-disk page file).
+  /// Used to roll back a partially applied snapshot load and to rebuild a
+  /// backend during reintegration; ordinary ABDL has no DROP.
   Status RemoveFile(std::string_view file);
 
   bool HasFile(std::string_view file) const;
+
+  /// Builds (or re-affirms) a secondary index on `attr` of `file`,
+  /// scanning the file once. Logged to the WAL ("INDEX <file> <attr>")
+  /// before it is applied, so recovery rebuilds the same index set.
+  Status CreateIndex(std::string_view file, std::string_view attr);
+
+  /// Names of the secondary-indexed attributes of `file` (empty when the
+  /// file has none or is not defined). Snapshots persist these as INDEX
+  /// lines.
+  std::vector<std::string> SecondaryIndexes(std::string_view file) const;
+
+  /// Writes back every dirty pool page, persists store metadata, and
+  /// syncs the backing page files. Does not write the clean-shutdown
+  /// marker — only the destructor does, after which no write can follow.
+  Status Flush();
+
+  /// First problem hit while restoring page files at construction
+  /// (OK when the data dir was empty, absent, or restored fully).
+  const Status& restore_status() const { return restore_status_; }
+
+  /// Buffer-pool traffic across every file of this engine.
+  PoolCounters pool_stats() const { return pool_.counters(); }
+
+  const EngineOptions& options() const { return options_; }
 
   /// Attaches a write-ahead log (not owned; nullptr detaches): every
   /// mutating request and file definition is appended — framed and
@@ -199,6 +246,15 @@ class Engine {
   }
 
  private:
+  /// Loads (clean shutdown) or wipes (crash) the data dir's page files.
+  void RestoreFromDisk();
+
+  /// Path of `file`'s page file under the data dir.
+  std::string PageFilePath(std::string_view file) const;
+
+  /// DefineFile body; caller holds the map lock exclusively.
+  Status DefineFileLocked(const abdm::FileDescriptor& descriptor);
+
   Result<Response> ExecuteInsert(const abdl::InsertRequest& req);
   Result<Response> ExecuteBatchInsert(const abdl::BatchInsertRequest& req);
   Result<Response> ExecuteDelete(const abdl::DeleteRequest& req);
@@ -226,10 +282,19 @@ class Engine {
   FileStore* FindFile(std::string_view file);
 
   EngineOptions options_;
+  /// Shared buffer pool for every store of this engine. Declared before
+  /// files_ so the stores (which write back through it on destruction)
+  /// are destroyed first.
+  BufferPool pool_;
   /// First locking level: guards the files map's shape. Shared for every
   /// request, exclusive for DDL.
   mutable std::shared_mutex map_mutex_;
   std::map<std::string, std::unique_ptr<FileStore>, std::less<>> files_;
+  /// Files restored from page files at construction that no DefineFile
+  /// has re-claimed yet: a matching definition attaches to the restored
+  /// store instead of failing with AlreadyExists.
+  std::set<std::string, std::less<>> restored_unclaimed_;
+  Status restore_status_;
   /// Mutable: const traversals (VisitRecords) still charge their reads.
   mutable AtomicIoStats cumulative_io_;
   std::atomic<double> latency_ms_per_block_{0.0};
@@ -239,6 +304,11 @@ class Engine {
   /// must be distinguishable on replay.
   std::atomic<uint64_t> next_txn_id_{1};
 };
+
+/// Removes every page file and the clean-shutdown marker under `dir`
+/// (best effort; a missing dir is fine). The MBDS controller wipes a
+/// backend's storage before rebuilding it during reintegration.
+void WipeStorageDir(const std::string& dir);
 
 }  // namespace mlds::kds
 

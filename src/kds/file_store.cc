@@ -1,19 +1,77 @@
 #include "kds/file_store.h"
 
 #include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cstring>
 #include <iterator>
+#include <sstream>
 #include <utility>
 
+#include "common/strings.h"
 #include "kds/planner.h"
+#include "kds/wal.h"
 
 namespace mlds::kds {
 
-FileStore::FileStore(abdm::FileDescriptor descriptor, int block_capacity)
-    : descriptor_(std::move(descriptor)),
-      block_capacity_(block_capacity > 0 ? block_capacity : 1) {}
+namespace {
 
-uint64_t FileStore::block_count() const {
-  return (slots_.size() + block_capacity_ - 1) / block_capacity_;
+/// Continuation pages of an overflow chain are not slotted; they carry
+/// this impossible slot count as their first header field.
+constexpr uint16_t kContinuationMarker = 0xffff;
+
+/// Set on the stored rid of an overflow head entry.
+constexpr uint64_t kOverflowRidBit = 1ull << 63;
+
+void PutU32(char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = char((v >> (8 * i)) & 0xff);
+}
+
+uint32_t GetU32(const char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(uint8_t(in[i])) << (8 * i);
+  return v;
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+bool IsContinuationPage(const char* page) {
+  return uint8_t(page[0]) == 0xff && uint8_t(page[1]) == 0xff;
+}
+
+}  // namespace
+
+FileStore::FileStore(abdm::FileDescriptor descriptor, int block_capacity,
+                     BufferPool* pool, std::unique_ptr<PageFile> file)
+    : descriptor_(std::move(descriptor)),
+      block_capacity_(block_capacity > 0 ? block_capacity : 1) {
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    owned_pool_ = std::make_unique<BufferPool>(
+        0, file != nullptr ? file->page_bytes() : kDefaultPageBytes);
+    pool_ = owned_pool_.get();
+  }
+  file_ = file != nullptr ? std::move(file)
+                          : std::make_unique<PageFile>(pool_->page_bytes());
+  pages_ = file_->page_count();
+  for (const auto& attr : descriptor_.attributes) {
+    if (!attr.directory && attr.indexed) secondary_.insert(attr.name);
+  }
+  if (file_->on_disk() && file_->meta().empty()) {
+    (void)file_->SetMeta(EncodeMeta());
+  }
+}
+
+FileStore::~FileStore() {
+  if (fill_frame_ != nullptr) {
+    pool_->Unpin(fill_frame_, nullptr);
+    fill_frame_ = nullptr;
+  }
+  (void)pool_->Flush(file_.get(), nullptr);
+  pool_->Drop(file_.get());
 }
 
 bool FileStore::IsDirectoryAttribute(std::string_view attr) const {
@@ -25,9 +83,23 @@ bool FileStore::IsDirectoryAttribute(std::string_view attr) const {
   return d->directory;
 }
 
+bool FileStore::IsIndexedAttribute(std::string_view attr) const {
+  return IsDirectoryAttribute(attr) || secondary_.count(attr) > 0;
+}
+
+bool FileStore::IsSecondaryIndex(std::string_view attr) const {
+  return !IsDirectoryAttribute(attr) && secondary_.count(attr) > 0;
+}
+
+double FileStore::cached_fraction() const {
+  if (pages_ == 0) return 0.0;
+  double f = double(pool_->ResidentCached(file_.get())) / double(pages_);
+  return f > 1.0 ? 1.0 : f;
+}
+
 void FileStore::IndexInsert(RecordId id, const abdm::Record& record) {
   for (const auto& kw : record.keywords()) {
-    if (!IsDirectoryAttribute(kw.attribute)) continue;
+    if (!IsIndexedAttribute(kw.attribute)) continue;
     index_[kw.attribute][kw.value].insert(id);
   }
 }
@@ -44,16 +116,141 @@ void FileStore::IndexErase(RecordId id, const abdm::Record& record) {
   }
 }
 
-RecordId FileStore::Insert(abdm::Record record, IoStats* io) {
-  const RecordId id = slots_.size();
-  IndexInsert(id, record);
-  slots_.push_back(std::move(record));
-  ++live_count_;
-  if (io != nullptr) {
-    io->blocks_written += 1;
-    io->index_probes += 1;
+void FileStore::CommitFrame(BufferPool::Frame* frame, IoStats* io) {
+  if (pool_->capacity() == 0) {
+    // Write-through: the page reaches the file immediately, so every
+    // mutation costs exactly one block write — the same accounting the
+    // pre-paged store charged.
+    (void)pool_->WriteThrough(frame, io);
+  } else {
+    pool_->MarkDirty(frame);
   }
+}
+
+void FileStore::SealFillPage(IoStats* io) {
+  if (fill_frame_ == nullptr) return;
+  pool_->Unpin(fill_frame_, io);
+  fill_frame_ = nullptr;
+  fill_count_ = 0;
+}
+
+void FileStore::EnsureFillPage(size_t payload_size, IoStats* io) {
+  const size_t pb = file_->page_bytes();
+  if (fill_frame_ != nullptr) {
+    PageView view(fill_frame_->data.data(), pb);
+    if (fill_count_ >= block_capacity_ || !view.Fits(payload_size)) {
+      SealFillPage(io);
+    }
+  }
+  if (fill_frame_ == nullptr) {
+    fill_page_ = uint32_t(pages_);
+    fill_frame_ = pool_->Create(file_.get(), pages_);
+    PageView(fill_frame_->data.data(), pb).Init();
+    ++pages_;
+    fill_count_ = 0;
+  }
+}
+
+FileStore::Addr FileStore::AppendOverflow(RecordId id,
+                                          const std::string& payload,
+                                          IoStats* io) {
+  const size_t pb = file_->page_bytes();
+  const size_t head_cap = PageView::MaxPayload(pb) - 8;
+  const size_t cont_cap = pb - 8;
+  SealFillPage(io);
+
+  const uint32_t head_page = uint32_t(pages_);
+  const uint32_t cont_first = head_page + 1;
+  BufferPool::Frame* head = pool_->Create(file_.get(), head_page);
+  PageView view(head->data.data(), pb);
+  view.Init();
+  std::string head_payload;
+  head_payload.reserve(8 + head_cap);
+  AppendU32(head_payload, uint32_t(payload.size()));
+  AppendU32(head_payload, cont_first);
+  head_payload.append(payload, 0, head_cap);
+  view.Append(id | kOverflowRidBit, head_payload);
+  ++pages_;
+  CommitFrame(head, io);
+  pool_->Unpin(head, io);
+
+  size_t off = head_cap;
+  uint32_t page = cont_first;
+  while (off < payload.size()) {
+    BufferPool::Frame* cont = pool_->Create(file_.get(), page);
+    char* d = cont->data.data();
+    d[0] = char(0xff);
+    d[1] = char(0xff);
+    d[2] = 0;
+    d[3] = 0;
+    const size_t n = std::min(cont_cap, payload.size() - off);
+    PutU32(d + 4, uint32_t(n));
+    std::memcpy(d + 8, payload.data() + off, n);
+    ++pages_;
+    CommitFrame(cont, io);
+    pool_->Unpin(cont, io);
+    off += n;
+    ++page;
+  }
+  return Addr{head_page, 0};
+}
+
+FileStore::Addr FileStore::AppendPayload(RecordId id,
+                                         const std::string& payload,
+                                         IoStats* io) {
+  if (payload.size() > PageView::MaxPayload(file_->page_bytes())) {
+    return AppendOverflow(id, payload, io);
+  }
+  EnsureFillPage(payload.size(), io);
+  PageView view(fill_frame_->data.data(), file_->page_bytes());
+  int slot = view.Append(id, payload);
+  assert(slot >= 0);
+  ++fill_count_;
+  CommitFrame(fill_frame_, io);
+  return Addr{fill_page_, uint16_t(slot)};
+}
+
+RecordId FileStore::Insert(abdm::Record record, IoStats* io) {
+  const RecordId id = dir_.size();
+  IndexInsert(id, record);
+  std::string payload;
+  abdm::SerializeRecord(record, payload);
+  dir_.push_back(AppendPayload(id, payload, io));
+  ++live_count_;
+  if (io != nullptr) io->index_probes += 1;
   return id;
+}
+
+std::optional<abdm::Record> FileStore::DecodeEntry(
+    uint32_t page, const PageView::Entry& entry, IoStats* io,
+    std::set<uint64_t>* touched) const {
+  if ((entry.rid & kOverflowRidBit) == 0) {
+    return abdm::DeserializeRecord(entry.payload);
+  }
+  if (entry.payload.size() < 8) return std::nullopt;
+  const size_t pb = file_->page_bytes();
+  const uint32_t total = GetU32(entry.payload.data());
+  uint32_t cont = GetU32(entry.payload.data() + 4);
+  std::string data(entry.payload.substr(8));
+  data.reserve(total);
+  while (data.size() < total) {
+    auto frame = pool_->Fetch(file_.get(), cont, io);
+    if (!frame.ok()) return std::nullopt;
+    const char* d = (*frame)->data.data();
+    size_t n = 0;
+    if (IsContinuationPage(d)) {
+      n = GetU32(d + 4);
+      if (n > pb - 8) n = 0;
+      data.append(d + 8, n);
+    }
+    pool_->Unpin(*frame, io);
+    if (touched != nullptr) touched->insert(cont);
+    if (n == 0) return std::nullopt;  // broken chain
+    ++cont;
+  }
+  if (data.size() != total) return std::nullopt;
+  (void)page;
+  return abdm::DeserializeRecord(data);
 }
 
 std::optional<std::vector<RecordId>> FileStore::IndexLookup(
@@ -62,7 +259,7 @@ std::optional<std::vector<RecordId>> FileStore::IndexLookup(
     // Not index-assisted: nearly the whole file qualifies.
     return std::nullopt;
   }
-  if (!IsDirectoryAttribute(pred.attribute)) return std::nullopt;
+  if (!IsIndexedAttribute(pred.attribute)) return std::nullopt;
   auto attr_it = index_.find(pred.attribute);
   if (attr_it == index_.end()) {
     // Attribute never seen: the directory alone proves nothing matches.
@@ -109,7 +306,7 @@ std::optional<size_t> FileStore::EstimateMatches(
     const abdm::Predicate& pred) const {
   if (pred.value.is_null()) return std::nullopt;  // null predicates scan.
   if (pred.op == abdm::RelOp::kNe) return std::nullopt;
-  if (!IsDirectoryAttribute(pred.attribute)) return std::nullopt;
+  if (!IsIndexedAttribute(pred.attribute)) return std::nullopt;
   auto attr_it = index_.find(pred.attribute);
   if (attr_it == index_.end()) return 0;
   const auto& by_value = attr_it->second;
@@ -141,7 +338,8 @@ std::optional<size_t> FileStore::EstimateMatches(
 }
 
 void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
-                                   PlanNode* node, std::set<RecordId>* out,
+                                   PlanNode* node,
+                                   std::map<RecordId, abdm::Record>* out,
                                    IoStats* io) const {
   // Materialize the candidate set the plan prescribes; nullopt means the
   // plan is a full scan. Access-path choice happened at plan time (see
@@ -159,13 +357,14 @@ void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
       best = IndexLookup(*driver.predicate, io);
       driver.executed = true;
       driver.actual_rows = best->size();
+      const double f = cached_fraction();
       for (size_t k = 1; k < node->children.size() && !best->empty(); ++k) {
         PlanNode& child = node->children[k];
         // The planner kept this child against the driver's estimate; the
         // survivor set may have shrunk below that since, so re-apply the
         // rule dynamically. The first skipped child ends the intersection
         // (children are cost-ordered — later ones are no cheaper).
-        if (!WorthIntersecting(child.est_rows, best->size())) break;
+        if (!WorthIntersecting(child.est_rows, best->size(), f)) break;
         std::optional<std::vector<RecordId>> next =
             IndexLookup(*child.predicate, io);
         child.executed = true;
@@ -186,40 +385,66 @@ void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
       break;
   }
 
+  const size_t pb = file_->page_bytes();
   std::set<uint64_t> blocks_touched;
   uint64_t matched = 0;
-  auto examine = [&](RecordId id) {
-    const auto& slot = slots_[id];
-    if (!slot.has_value()) return;
+  auto examine = [&](RecordId id, uint32_t page, const PageView::Entry& e) {
     if (io != nullptr) io->records_examined += 1;
-    blocks_touched.insert(BlockOf(id));
-    if (conj.Matches(*slot)) {
-      out->insert(id);
+    blocks_touched.insert(page);
+    std::optional<abdm::Record> rec = DecodeEntry(page, e, io, &blocks_touched);
+    if (!rec.has_value()) return;
+    if (conj.Matches(*rec)) {
+      out->emplace(id, std::move(*rec));
       ++matched;
     }
   };
 
   if (best.has_value()) {
+    // Fetch each distinct page once: candidates are grouped by page so a
+    // write-through pool charges exactly the logical block count.
+    std::map<uint32_t, std::vector<std::pair<uint16_t, RecordId>>> by_page;
     for (RecordId id : *best) {
-      if (id < slots_.size()) examine(id);
+      if (id >= dir_.size() || !dir_[id].has_value()) continue;
+      by_page[dir_[id]->page].emplace_back(dir_[id]->slot, id);
+    }
+    for (auto& [page, slots] : by_page) {
+      auto frame = pool_->Fetch(file_.get(), page, io);
+      if (!frame.ok()) continue;
+      PageView view((*frame)->data.data(), pb);
+      for (const auto& [slot, id] : slots) {
+        auto entry = view.Read(slot);
+        if (entry.has_value()) examine(id, page, *entry);
+      }
+      pool_->Unpin(*frame, io);
     }
   } else {
-    for (RecordId id = 0; id < slots_.size(); ++id) examine(id);
+    for (uint64_t page = 0; page < pages_; ++page) {
+      auto frame = pool_->Fetch(file_.get(), page, io);
+      if (!frame.ok()) continue;
+      PageView view((*frame)->data.data(), pb);
+      if (!IsContinuationPage((*frame)->data.data())) {
+        for (uint16_t s = 0; s < view.slot_count(); ++s) {
+          auto entry = view.Read(s);
+          if (!entry.has_value()) continue;
+          examine(entry->rid & ~kOverflowRidBit, uint32_t(page), *entry);
+        }
+      }
+      pool_->Unpin(*frame, io);
+    }
     // A full scan touches every allocated block even if records are dead.
-    for (uint64_t b = 0; b < block_count(); ++b) blocks_touched.insert(b);
+    for (uint64_t b = 0; b < pages_; ++b) blocks_touched.insert(b);
   }
   node->actual_rows = matched;
   node->actual_blocks = blocks_touched.size();
-  if (io != nullptr) io->blocks_read += blocks_touched.size();
 }
 
 PlanNode FileStore::Plan(const abdm::Query& query) const {
   return PlanQuery(query, *this, name());
 }
 
-std::vector<RecordId> FileStore::Execute(const abdm::Query& query,
-                                         PlanNode* plan, IoStats* io) const {
-  std::set<RecordId> matched;
+std::vector<std::pair<RecordId, abdm::Record>> FileStore::ExecuteRecords(
+    const abdm::Query& query, PlanNode* plan, IoStats* io) const {
+  std::map<RecordId, abdm::Record> matched;
   const auto& disjuncts = query.disjuncts();
   const size_t n = std::min(disjuncts.size(), plan->children.size());
   for (size_t i = 0; i < n; ++i) {
@@ -228,7 +453,17 @@ std::vector<RecordId> FileStore::Execute(const abdm::Query& query,
   plan->executed = true;
   plan->actual_rows = matched.size();
   plan->actual_blocks = plan->SumChildren(&PlanNode::actual_blocks);
-  return std::vector<RecordId>(matched.begin(), matched.end());
+  std::vector<std::pair<RecordId, abdm::Record>> out;
+  out.reserve(matched.size());
+  for (auto& [id, rec] : matched) out.emplace_back(id, std::move(rec));
+  return out;
+}
+
+std::vector<RecordId> FileStore::Execute(const abdm::Query& query,
+                                         PlanNode* plan, IoStats* io) const {
+  std::vector<RecordId> ids;
+  for (auto& [id, rec] : ExecuteRecords(query, plan, io)) ids.push_back(id);
+  return ids;
 }
 
 std::vector<RecordId> FileStore::Select(const abdm::Query& query, IoStats* io,
@@ -239,32 +474,85 @@ std::vector<RecordId> FileStore::Select(const abdm::Query& query, IoStats* io,
   return Execute(query, plan, io);
 }
 
+std::vector<std::pair<RecordId, abdm::Record>> FileStore::SelectRecords(
+    const abdm::Query& query, IoStats* io, PlanNode* plan_out) const {
+  PlanNode local;
+  PlanNode* plan = plan_out != nullptr ? plan_out : &local;
+  *plan = Plan(query);
+  return ExecuteRecords(query, plan, io);
+}
+
 size_t FileStore::Delete(const abdm::Query& query, IoStats* io,
                          PlanNode* plan_out) {
-  std::vector<RecordId> victims = Select(query, io, plan_out);
-  std::set<uint64_t> blocks;
-  for (RecordId id : victims) {
-    IndexErase(id, *slots_[id]);
-    slots_[id].reset();
+  PlanNode local;
+  PlanNode* plan = plan_out != nullptr ? plan_out : &local;
+  *plan = Plan(query);
+  auto victims = ExecuteRecords(query, plan, io);
+  std::map<uint32_t, std::vector<uint16_t>> by_page;
+  for (auto& [id, rec] : victims) {
+    IndexErase(id, rec);
+    by_page[dir_[id]->page].push_back(dir_[id]->slot);
+    dir_[id].reset();
     --live_count_;
-    blocks.insert(BlockOf(id));
   }
-  if (io != nullptr) io->blocks_written += blocks.size();
+  for (auto& [page, slots] : by_page) {
+    // The selection above just read these pages; the re-fetch is
+    // bookkeeping, so only the write-back is charged (one per block, as
+    // the slot-store charged before paging).
+    auto frame = pool_->Fetch(file_.get(), page, nullptr);
+    if (!frame.ok()) continue;
+    PageView view((*frame)->data.data(), file_->page_bytes());
+    for (uint16_t slot : slots) view.Erase(slot);
+    CommitFrame(*frame, io);
+    pool_->Unpin(*frame, nullptr);
+  }
   return victims.size();
+}
+
+void FileStore::CollectAll(std::map<RecordId, abdm::Record>* out) const {
+  const size_t pb = file_->page_bytes();
+  for (uint64_t page = 0; page < pages_; ++page) {
+    auto frame = pool_->Fetch(file_.get(), page, nullptr);
+    if (!frame.ok()) continue;
+    if (!IsContinuationPage((*frame)->data.data())) {
+      PageView view((*frame)->data.data(), pb);
+      for (uint16_t s = 0; s < view.slot_count(); ++s) {
+        auto entry = view.Read(s);
+        if (!entry.has_value()) continue;
+        auto rec = DecodeEntry(uint32_t(page), *entry, nullptr, nullptr);
+        if (rec.has_value()) {
+          out->emplace(entry->rid & ~kOverflowRidBit, std::move(*rec));
+        }
+      }
+    }
+    pool_->Unpin(*frame, nullptr);
+  }
+}
+
+void FileStore::ForEach(
+    const std::function<void(RecordId, const abdm::Record&)>& fn,
+    IoStats* io) const {
+  if (io != nullptr) {
+    io->blocks_read += block_count();
+    io->records_examined += live_count_;
+  }
+  std::map<RecordId, abdm::Record> all;
+  CollectAll(&all);
+  for (const auto& [id, rec] : all) fn(id, rec);
 }
 
 uint64_t FileStore::Compact(IoStats* io) {
   const uint64_t before = block_count();
-  std::vector<std::optional<abdm::Record>> live;
-  live.reserve(live_count_);
-  for (auto& slot : slots_) {
-    if (slot.has_value()) live.push_back(std::move(slot));
-  }
-  slots_ = std::move(live);
+  std::map<RecordId, abdm::Record> all;
+  CollectAll(&all);
+  SealFillPage(nullptr);
+  pool_->Drop(file_.get());
+  (void)file_->Truncate();
+  pages_ = 0;
+  dir_.clear();
   index_.clear();
-  for (RecordId id = 0; id < slots_.size(); ++id) {
-    IndexInsert(id, *slots_[id]);
-  }
+  live_count_ = 0;
+  for (auto& [id, rec] : all) Insert(std::move(rec), nullptr);
   if (io != nullptr) {
     // The rewrite reads every allocated block and writes back the
     // surviving ones.
@@ -274,37 +562,177 @@ uint64_t FileStore::Compact(IoStats* io) {
   return before - block_count();
 }
 
-const abdm::Record* FileStore::Get(RecordId id) const {
-  if (id >= slots_.size() || !slots_[id].has_value()) return nullptr;
-  return &*slots_[id];
+std::optional<abdm::Record> FileStore::Get(RecordId id) const {
+  if (id >= dir_.size() || !dir_[id].has_value()) return std::nullopt;
+  const Addr addr = *dir_[id];
+  auto frame = pool_->Fetch(file_.get(), addr.page, nullptr);
+  if (!frame.ok()) return std::nullopt;
+  PageView view((*frame)->data.data(), file_->page_bytes());
+  auto entry = view.Read(addr.slot);
+  std::optional<abdm::Record> rec;
+  if (entry.has_value()) rec = DecodeEntry(addr.page, *entry, nullptr, nullptr);
+  pool_->Unpin(*frame, nullptr);
+  return rec;
 }
 
 void FileStore::Replace(RecordId id, abdm::Record record, IoStats* io) {
-  if (id >= slots_.size() || !slots_[id].has_value()) return;
+  if (id >= dir_.size() || !dir_[id].has_value()) return;
+  const Addr addr = *dir_[id];
+  auto frame = pool_->Fetch(file_.get(), addr.page, nullptr);
+  if (!frame.ok()) return;
+  PageView view((*frame)->data.data(), file_->page_bytes());
+  auto entry = view.Read(addr.slot);
+  std::optional<abdm::Record> old;
+  if (entry.has_value()) old = DecodeEntry(addr.page, *entry, nullptr, nullptr);
+  if (!old.has_value()) {
+    pool_->Unpin(*frame, nullptr);
+    return;
+  }
   // Re-index only the changed keywords: erasing from an unchanged bucket
   // (e.g. the FILE keyword's, which lists every record of the file) would
   // cost O(file size) per update.
-  const abdm::Record& old = *slots_[id];
   abdm::Record changed_old, changed_new;
-  for (const auto& kw : old.keywords()) {
+  for (const auto& kw : old->keywords()) {
     auto updated = record.Get(kw.attribute);
     if (!updated.has_value() || *updated != kw.value) {
       changed_old.Set(kw.attribute, kw.value);
     }
   }
   for (const auto& kw : record.keywords()) {
-    auto previous = old.Get(kw.attribute);
+    auto previous = old->Get(kw.attribute);
     if (!previous.has_value() || *previous != kw.value) {
       changed_new.Set(kw.attribute, kw.value);
     }
   }
   IndexErase(id, changed_old);
-  slots_[id] = std::move(record);
   IndexInsert(id, changed_new);
-  if (io != nullptr) {
-    io->blocks_written += 1;
-    io->index_probes += 1;
+
+  std::string payload;
+  abdm::SerializeRecord(record, payload);
+  const bool was_overflow = (entry->rid & kOverflowRidBit) != 0;
+  view.Erase(addr.slot);
+  if (!was_overflow &&
+      payload.size() <= PageView::MaxPayload(file_->page_bytes()) &&
+      view.Fits(payload.size())) {
+    int slot = view.Append(id, payload);
+    dir_[id] = Addr{addr.page, uint16_t(slot)};
+    CommitFrame(*frame, io);
+    pool_->Unpin(*frame, nullptr);
+  } else {
+    // No room in place (or the old entry headed an overflow chain, whose
+    // continuation pages become dead until compaction): persist the slot
+    // erase and append at the fill page under the same id.
+    CommitFrame(*frame, io);
+    pool_->Unpin(*frame, nullptr);
+    dir_[id] = AppendPayload(id, payload, io);
   }
+  if (io != nullptr) io->index_probes += 1;
+}
+
+Status FileStore::BuildSecondaryIndex(std::string_view attr, IoStats* io) {
+  if (IsIndexedAttribute(attr)) return Status::OK();  // idempotent
+  std::string name(attr);
+  secondary_.insert(name);
+  // One charged full scan populates the new value buckets.
+  ForEach(
+      [&](RecordId id, const abdm::Record& rec) {
+        auto v = rec.Get(name);
+        if (v.has_value()) index_[name][*v].insert(id);
+      },
+      io);
+  if (file_->on_disk()) MLDS_RETURN_IF_ERROR(file_->SetMeta(EncodeMeta()));
+  return Status::OK();
+}
+
+std::vector<std::string> FileStore::secondary_indexes() const {
+  return std::vector<std::string>(secondary_.begin(), secondary_.end());
+}
+
+Status FileStore::LoadFromPages() {
+  dir_.clear();
+  index_.clear();
+  live_count_ = 0;
+  fill_frame_ = nullptr;
+  fill_count_ = 0;
+  pages_ = file_->page_count();
+  const size_t pb = file_->page_bytes();
+  std::vector<char> buf(pb);
+  for (uint64_t page = 0; page < pages_; ++page) {
+    MLDS_RETURN_IF_ERROR(file_->ReadPage(page, buf.data()));
+    if (IsContinuationPage(buf.data())) continue;
+    PageView view(buf.data(), pb);
+    for (uint16_t s = 0; s < view.slot_count(); ++s) {
+      auto entry = view.Read(s);
+      if (!entry.has_value()) continue;
+      const RecordId id = entry->rid & ~kOverflowRidBit;
+      auto rec = DecodeEntry(uint32_t(page), *entry, nullptr, nullptr);
+      if (!rec.has_value()) {
+        return Status::ParseError("file_store: corrupt page entry in '" +
+                                  name() + "'");
+      }
+      if (id >= dir_.size()) dir_.resize(id + 1);
+      dir_[id] = Addr{uint32_t(page), s};
+      ++live_count_;
+      IndexInsert(id, *rec);
+    }
+  }
+  // The next insert opens a fresh fill page; a partially filled tail
+  // page keeps its records but accepts no more appends.
+  return Status::OK();
+}
+
+Status FileStore::Flush(IoStats* io) {
+  MLDS_RETURN_IF_ERROR(pool_->Flush(file_.get(), io));
+  if (file_->on_disk()) {
+    MLDS_RETURN_IF_ERROR(file_->SetMeta(EncodeMeta()));
+  }
+  return file_->Sync();
+}
+
+std::string FileStore::EncodeMeta() const {
+  std::string out = "MLDS-FILEMETA 1\n";
+  out += "CAP " + std::to_string(block_capacity_) + "\n";
+  out += EncodeDefineFile(descriptor_);
+  out += "\n";
+  for (const auto& attr : secondary_) {
+    out += "SECONDARY " + attr + "\n";
+  }
+  return out;
+}
+
+Result<FileStore::Meta> FileStore::DecodeMeta(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "MLDS-FILEMETA 1") {
+    return Status::ParseError("file_store: bad metadata header");
+  }
+  Meta meta;
+  bool have_define = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("CAP ", 0) == 0) {
+      int cap = 0;
+      auto [ptr, ec] = std::from_chars(line.data() + 4,
+                                       line.data() + line.size(), cap);
+      if (ec != std::errc() || cap <= 0) {
+        return Status::ParseError("file_store: bad CAP in metadata");
+      }
+      meta.block_capacity = cap;
+    } else if (line.rfind("DEFINE ", 0) == 0) {
+      MLDS_ASSIGN_OR_RETURN(meta.descriptor,
+                            DecodeDefineFile(line.substr(7)));
+      have_define = true;
+    } else if (line.rfind("SECONDARY ", 0) == 0) {
+      meta.secondary.push_back(line.substr(10));
+    } else {
+      return Status::ParseError("file_store: unrecognized metadata line '" +
+                                line + "'");
+    }
+  }
+  if (!have_define || meta.block_capacity <= 0) {
+    return Status::ParseError("file_store: incomplete metadata");
+  }
+  return meta;
 }
 
 }  // namespace mlds::kds

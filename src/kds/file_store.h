@@ -2,11 +2,14 @@
 #define MLDS_KDS_FILE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "abdm/query.h"
@@ -14,33 +17,51 @@
 #include "abdm/schema.h"
 #include "abdm/stats.h"
 #include "common/result.h"
+#include "kds/buffer_pool.h"
 #include "kds/io_stats.h"
+#include "kds/page.h"
+#include "kds/page_file.h"
 #include "kds/plan.h"
 
 namespace mlds::kds {
 
-/// Identifies a record slot within one file.
+/// Identifies a record within one file. Ids are stable across restarts:
+/// each record carries its id inside its page entry, and reopening a
+/// page file restores the original numbering.
 using RecordId = uint64_t;
 
-/// Block-structured storage for one kernel file, with a keyword directory
-/// (per-attribute index) over the file's directory attributes.
+/// Page-structured storage for one kernel file, with a keyword directory
+/// (per-attribute index) over the file's directory attributes and
+/// optional secondary indexes over declared non-directory attributes.
 ///
-/// Records occupy fixed slots; `block_capacity` consecutive slots form one
-/// block. Query evaluation accounts block reads: an index-assisted
-/// conjunction touches only the blocks holding candidate records, while a
-/// non-indexable conjunction scans every live block. This mirrors the
-/// attribute-based directory design of MBDS, where keyword predicates are
-/// resolved against the directory before record blocks are fetched.
+/// Records are serialized into fixed-size slotted pages (see page.h)
+/// fetched through a shared BufferPool; one page is one accounting
+/// "block", and `block_capacity` caps the records placed per page so
+/// directory statistics (records_per_block) stay exact. The newest page
+/// — the *fill page* — stays pinned in the pool while it accepts
+/// appends and is sealed once full. Pages live in a PageFile, either in
+/// memory or on disk, so a store built over a disk-backed file persists
+/// without snapshot calls. Oversized records spill into overflow page
+/// chains (a head entry whose rid carries the overflow bit, followed by
+/// raw continuation pages).
 ///
 /// Query evaluation is split planner/executor: `Plan()` builds an
-/// explicit physical plan from the directory statistics (the store is its
-/// own abdm::DirectoryStats), and `Execute()` runs the plan, writing
-/// actual per-node row/block counts next to the planner's estimates.
-/// `Select()` is plan-then-execute with the plan discarded; pass
-/// `plan_out` to keep the annotated tree (EXPLAIN).
+/// explicit physical plan from the directory statistics (the store is
+/// its own abdm::DirectoryStats), and `Execute()` runs the plan,
+/// writing actual per-node row/block counts next to the planner's
+/// estimates. Plan actual_blocks counts *logical* distinct pages
+/// touched; IoStats counts *physical* pool traffic — under the default
+/// write-through pool (capacity 0) the two coincide, and with a real
+/// pool cache hits make the physical count smaller.
 class FileStore : public abdm::DirectoryStats {
  public:
-  FileStore(abdm::FileDescriptor descriptor, int block_capacity);
+  /// `pool` is the shared buffer pool (nullptr: the store owns a
+  /// private write-through pool); `file` is the backing page array
+  /// (nullptr: a fresh in-memory PageFile).
+  FileStore(abdm::FileDescriptor descriptor, int block_capacity,
+            BufferPool* pool = nullptr,
+            std::unique_ptr<PageFile> file = nullptr);
+  ~FileStore() override;
 
   FileStore(const FileStore&) = delete;
   FileStore& operator=(const FileStore&) = delete;
@@ -60,8 +81,8 @@ class FileStore : public abdm::DirectoryStats {
   /// Number of live records.
   size_t size() const { return live_count_; }
 
-  /// Number of blocks currently allocated (including partially dead ones).
-  uint64_t block_count() const;
+  /// Number of pages currently allocated (including partially dead ones).
+  uint64_t block_count() const { return pages_; }
 
   /// abdm::DirectoryStats — the planner's view of this store's directory.
   std::optional<size_t> EstimateMatches(
@@ -69,6 +90,8 @@ class FileStore : public abdm::DirectoryStats {
   size_t live_records() const override { return live_count_; }
   uint64_t allocated_blocks() const override { return block_count(); }
   int records_per_block() const override { return block_capacity_; }
+  bool IsSecondaryIndex(std::string_view attr) const override;
+  double cached_fraction() const override;
 
   /// Appends a record. The record is stored as given; the caller (engine)
   /// is responsible for ensuring the FILE keyword is present.
@@ -80,24 +103,34 @@ class FileStore : public abdm::DirectoryStats {
 
   /// Executes `plan` — which must have been built by `Plan(query)` under
   /// the same lock — returning ids of live records satisfying `query` in
-  /// slot order, charging `io`, and filling the plan's actual counters.
+  /// id order, charging `io`, and filling the plan's actual counters.
   std::vector<RecordId> Execute(const abdm::Query& query, PlanNode* plan,
                                 IoStats* io) const;
 
-  /// Returns ids of live records satisfying `query`, in slot order. When
+  /// Returns ids of live records satisfying `query`, in id order. When
   /// `plan_out` is non-null the annotated plan is stored there.
   std::vector<RecordId> Select(const abdm::Query& query, IoStats* io,
                                PlanNode* plan_out = nullptr) const;
+
+  /// Like Select, but also returns each matching record — the records
+  /// were deserialized during evaluation anyway, and the paged store
+  /// has no stable in-memory record addresses to hand out.
+  std::vector<std::pair<RecordId, abdm::Record>> SelectRecords(
+      const abdm::Query& query, IoStats* io,
+      PlanNode* plan_out = nullptr) const;
 
   /// Deletes all records satisfying `query`; returns how many. When
   /// `plan_out` is non-null the annotated retrieval plan is stored there.
   size_t Delete(const abdm::Query& query, IoStats* io,
                 PlanNode* plan_out = nullptr);
 
-  /// Returns the live record at `id`, or nullptr.
-  const abdm::Record* Get(RecordId id) const;
+  /// Returns the live record at `id`, or nullopt. Uncharged (directory
+  /// maintenance path); retrieval goes through SelectRecords.
+  std::optional<abdm::Record> Get(RecordId id) const;
 
   /// Replaces the record at `id` (must be live), updating the directory.
+  /// The id is preserved; the record moves to the fill page when the
+  /// replacement no longer fits its page.
   void Replace(RecordId id, abdm::Record record, IoStats* io);
 
   /// Rebuilds the store without dead slots, renumbering records and
@@ -107,28 +140,68 @@ class FileStore : public abdm::DirectoryStats {
   /// allocated block is read and every surviving block written.
   uint64_t Compact(IoStats* io = nullptr);
 
-  /// Calls `fn` for every live record id (slot order). Iterating every
-  /// slot reads every allocated block; when `io` is non-null that full
-  /// scan is charged (`blocks_read += block_count()`, one
-  /// `records_examined` per live record). Callers passing nullptr must
-  /// document why their traversal is exempt from I/O accounting.
-  template <typename Fn>
-  void ForEach(Fn&& fn, IoStats* io = nullptr) const {
-    if (io != nullptr) {
-      io->blocks_read += block_count();
-      io->records_examined += live_count_;
-    }
-    for (RecordId id = 0; id < slots_.size(); ++id) {
-      if (slots_[id].has_value()) fn(id, *slots_[id]);
-    }
-  }
+  /// Calls `fn` for every live record in id order. Iterating the file
+  /// reads every allocated page; when `io` is non-null that full scan
+  /// is charged (`blocks_read += block_count()`, one `records_examined`
+  /// per live record). Callers passing nullptr must document why their
+  /// traversal is exempt from I/O accounting.
+  void ForEach(const std::function<void(RecordId, const abdm::Record&)>& fn,
+               IoStats* io = nullptr) const;
+
+  /// Secondary indexes ----------------------------------------------------
+
+  /// Builds (or re-affirms) a secondary index over `attr`, scanning the
+  /// file once (charged to `io`). No-op when the attribute is already
+  /// indexed — directory attributes always are.
+  Status BuildSecondaryIndex(std::string_view attr, IoStats* io);
+
+  /// Names of attributes carrying a secondary index, sorted.
+  std::vector<std::string> secondary_indexes() const;
+
+  /// Persistence ----------------------------------------------------------
+
+  /// Rebuilds the in-memory directory, record ids, and live count from
+  /// the backing page file (called once after attaching to an existing
+  /// file). Cold-start reads are not charged to any IoStats.
+  Status LoadFromPages();
+
+  /// Writes back dirty pool pages, persists store metadata, and syncs
+  /// the backing file.
+  Status Flush(IoStats* io);
+
+  PageFile* page_file() { return file_.get(); }
+  BufferPool* pool() { return pool_; }
+
+  /// Store metadata blob kept in the page file header: descriptor,
+  /// block capacity, secondary-index set.
+  std::string EncodeMeta() const;
+  struct Meta {
+    abdm::FileDescriptor descriptor;
+    int block_capacity = 0;
+    std::vector<std::string> secondary;
+  };
+  static Result<Meta> DecodeMeta(const std::string& text);
 
  private:
-  /// Executes one conjunction's plan node, appending matching live ids to
-  /// `out`, charging `io` for index probes / block reads, and filling the
-  /// node's actual counters.
+  /// Location of one live record: its page and slot.
+  struct Addr {
+    uint32_t page = 0;
+    uint16_t slot = 0;
+  };
+
+  /// Executes one conjunction's plan node, adding matching live records
+  /// to `out`, charging `io` for index probes / pool misses, and filling
+  /// the node's actual counters (logical pages touched).
   void ExecuteConjunction(const abdm::Conjunction& conj, PlanNode* node,
-                          std::set<RecordId>* out, IoStats* io) const;
+                          std::map<RecordId, abdm::Record>* out,
+                          IoStats* io) const;
+
+  std::vector<std::pair<RecordId, abdm::Record>> ExecuteRecords(
+      const abdm::Query& query, PlanNode* plan, IoStats* io) const;
+
+  /// Materializes every live record in id order (uncharged page scan;
+  /// callers charge logical full-scan costs themselves).
+  void CollectAll(std::map<RecordId, abdm::Record>* out) const;
 
   /// Candidate ids from the directory for an index-assisted predicate
   /// (equality, or a range served by ordered lower/upper-bound iteration);
@@ -137,20 +210,61 @@ class FileStore : public abdm::DirectoryStats {
       const abdm::Predicate& pred, IoStats* io) const;
 
   bool IsDirectoryAttribute(std::string_view attr) const;
+  bool IsIndexedAttribute(std::string_view attr) const;
 
   void IndexInsert(RecordId id, const abdm::Record& record);
   void IndexErase(RecordId id, const abdm::Record& record);
 
-  uint64_t BlockOf(RecordId id) const { return id / block_capacity_; }
+  /// Appends a serialized record, returning its location. Routes through
+  /// the pinned fill page, or an overflow chain for oversized payloads.
+  Addr AppendPayload(RecordId id, const std::string& payload, IoStats* io);
+  void SealFillPage(IoStats* io);
+  /// Ensures a pinned fill page with room for `payload_size` more bytes
+  /// and fewer than block_capacity records.
+  void EnsureFillPage(size_t payload_size, IoStats* io);
+
+  /// Reads the record stored behind `entry` on `page`, following the
+  /// overflow chain if needed; pages fetched along the chain are charged
+  /// to `io` and recorded in `touched` when non-null.
+  std::optional<abdm::Record> DecodeEntry(uint32_t page,
+                                          const PageView::Entry& entry,
+                                          IoStats* io,
+                                          std::set<uint64_t>* touched) const;
+
+  /// Writes an oversized payload as an overflow chain; returns the head
+  /// entry's location.
+  Addr AppendOverflow(RecordId id, const std::string& payload, IoStats* io);
+
+  /// Persists (write-through pool) or stages (cached pool) a mutated
+  /// pinned frame.
+  void CommitFrame(BufferPool::Frame* frame, IoStats* io);
 
   mutable std::shared_mutex mutex_;
   abdm::FileDescriptor descriptor_;
   int block_capacity_;
-  std::vector<std::optional<abdm::Record>> slots_;
+  std::unique_ptr<BufferPool> owned_pool_;
+  BufferPool* pool_;
+  std::unique_ptr<PageFile> file_;
+
+  /// id -> page location of the live record; nullopt = deleted.
+  std::vector<std::optional<Addr>> dir_;
   size_t live_count_ = 0;
-  /// Directory: attribute -> value -> slot ids holding that keyword.
-  /// Buckets are ordered sets so insert/erase stay logarithmic even for
-  /// huge buckets (the FILE keyword's bucket lists every record).
+  /// Pages allocated, including ones not yet written to the file by a
+  /// cached pool.
+  uint64_t pages_ = 0;
+
+  /// The append target: pinned in the pool until sealed.
+  BufferPool::Frame* fill_frame_ = nullptr;
+  uint32_t fill_page_ = 0;
+  int fill_count_ = 0;
+
+  /// Non-directory attributes carrying a secondary index.
+  std::set<std::string, std::less<>> secondary_;
+
+  /// Directory: attribute -> value -> ids holding that keyword. Buckets
+  /// are ordered sets so insert/erase stay logarithmic even for huge
+  /// buckets (the FILE keyword's bucket lists every record). Memory
+  /// resident; rebuilt from pages on open.
   std::map<std::string, std::map<abdm::Value, std::set<RecordId>>,
            std::less<>>
       index_;

@@ -1,0 +1,94 @@
+#include "kds/page.h"
+
+#include <cstring>
+
+namespace mlds::kds {
+
+void PageView::Init() {
+  std::memset(bytes_, 0, page_bytes_);
+  PutU16(0, 0);
+  PutU16(2, uint16_t(page_bytes_ == kMaxPageBytes ? 0 : page_bytes_));
+}
+
+uint16_t PageView::GetU16(size_t off) const {
+  return uint16_t(uint8_t(bytes_[off])) |
+         (uint16_t(uint8_t(bytes_[off + 1])) << 8);
+}
+
+void PageView::PutU16(size_t off, uint16_t v) {
+  bytes_[off] = char(v & 0xff);
+  bytes_[off + 1] = char(v >> 8);
+}
+
+uint64_t PageView::GetU64(size_t off) const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(uint8_t(bytes_[off + i])) << (8 * i);
+  return v;
+}
+
+void PageView::PutU64(size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_[off + i] = char((v >> (8 * i)) & 0xff);
+}
+
+// heap_off is stored mod 64 KiB so a full-size page (65536) encodes the
+// empty offset as 0; decode maps 0 back to page_bytes when no slot exists
+// below it.
+size_t PageView::free_bytes() const {
+  size_t heap = GetU16(2);
+  if (heap == 0 && page_bytes_ == kMaxPageBytes) heap = page_bytes_;
+  size_t dir_end = kHeaderBytes + size_t(slot_count()) * kSlotBytes;
+  return heap > dir_end ? heap - dir_end : 0;
+}
+
+size_t PageView::MaxPayload(size_t page_bytes) {
+  size_t overhead = kHeaderBytes + kSlotBytes + kRidBytes;
+  if (page_bytes <= overhead) return 0;
+  size_t room = page_bytes - overhead;
+  // Slot lengths are u16 and include the rid prefix.
+  size_t cap = 0xffff - kRidBytes;
+  return room < cap ? room : cap;
+}
+
+bool PageView::Fits(size_t payload_size) const {
+  if (payload_size + kRidBytes > 0xffff) return false;
+  return free_bytes() >= kSlotBytes + kRidBytes + payload_size;
+}
+
+int PageView::Append(uint64_t rid, std::string_view payload) {
+  if (!Fits(payload.size())) return -1;
+  size_t heap = GetU16(2);
+  if (heap == 0 && page_bytes_ == kMaxPageBytes) heap = page_bytes_;
+  size_t len = kRidBytes + payload.size();
+  size_t off = heap - len;
+  PutU64(off, rid);
+  std::memcpy(bytes_ + off + kRidBytes, payload.data(), payload.size());
+  uint16_t slot = slot_count();
+  PutU16(kHeaderBytes + size_t(slot) * kSlotBytes, uint16_t(off));
+  PutU16(kHeaderBytes + size_t(slot) * kSlotBytes + 2, uint16_t(len));
+  PutU16(0, uint16_t(slot + 1));
+  PutU16(2, uint16_t(off == kMaxPageBytes ? 0 : off));
+  return slot;
+}
+
+bool PageView::Erase(uint16_t slot) {
+  if (slot >= slot_count()) return false;
+  size_t dir = kHeaderBytes + size_t(slot) * kSlotBytes;
+  if (GetU16(dir + 2) == 0) return false;
+  PutU16(dir + 2, 0);
+  return true;
+}
+
+std::optional<PageView::Entry> PageView::Read(uint16_t slot) const {
+  if (slot >= slot_count()) return std::nullopt;
+  size_t dir = kHeaderBytes + size_t(slot) * kSlotBytes;
+  size_t len = GetU16(dir + 2);
+  if (len < kRidBytes) return std::nullopt;
+  size_t off = GetU16(dir);
+  if (off + len > page_bytes_) return std::nullopt;
+  Entry e;
+  e.rid = GetU64(off);
+  e.payload = std::string_view(bytes_ + off + kRidBytes, len - kRidBytes);
+  return e;
+}
+
+}  // namespace mlds::kds

@@ -1,0 +1,81 @@
+#ifndef MLDS_KDS_PAGE_H_
+#define MLDS_KDS_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mlds::kds {
+
+/// Default page size for paged storage. Slot offsets and lengths are
+/// 16-bit, so pages may not exceed 64 KiB.
+inline constexpr size_t kDefaultPageBytes = 8192;
+inline constexpr size_t kMaxPageBytes = 65536;
+
+/// Mutable view over one fixed-size slotted page.
+///
+/// Layout (all integers little-endian):
+///
+///   +0               +2               +4
+///   | u16 slot_count | u16 heap_off   | slot dir: (u16 off, u16 len)* ->
+///   |                      ... free space ...                         |
+///   | <- heap: entries appended back-to-front, each [u64 rid][payload]|
+///   +-----------------------------------------------------------bytes+
+///
+/// The slot directory grows forward from the header; the entry heap
+/// grows backward from the end of the page. `heap_off` is the offset of
+/// the lowest heap byte in use (== page size while empty). A directory
+/// entry with len == 0 marks a dead (erased) slot; its heap bytes are
+/// reclaimed only by file compaction.
+class PageView {
+ public:
+  struct Entry {
+    uint64_t rid = 0;
+    std::string_view payload;
+  };
+
+  static constexpr size_t kHeaderBytes = 4;
+  static constexpr size_t kSlotBytes = 4;
+  static constexpr size_t kRidBytes = 8;
+
+  /// Wraps `bytes` (page_bytes long). The buffer must outlive the view.
+  PageView(char* bytes, size_t page_bytes)
+      : bytes_(bytes), page_bytes_(page_bytes) {}
+
+  /// Formats the buffer as an empty page.
+  void Init();
+
+  uint16_t slot_count() const { return GetU16(0); }
+  size_t free_bytes() const;
+
+  /// Largest payload an empty page of `page_bytes` can hold.
+  static size_t MaxPayload(size_t page_bytes);
+
+  /// True when a (rid, payload) entry would fit in the current free space.
+  bool Fits(size_t payload_size) const;
+
+  /// Appends an entry; returns the slot number or -1 when it does not fit.
+  int Append(uint64_t rid, std::string_view payload);
+
+  /// Marks `slot` dead. Returns false when out of range or already dead.
+  bool Erase(uint16_t slot);
+
+  /// Reads a live slot; nullopt for dead or out-of-range slots. The
+  /// payload view aliases the page buffer.
+  std::optional<Entry> Read(uint16_t slot) const;
+
+ private:
+  uint16_t GetU16(size_t off) const;
+  void PutU16(size_t off, uint16_t v);
+  uint64_t GetU64(size_t off) const;
+  void PutU64(size_t off, uint64_t v);
+
+  char* bytes_;
+  size_t page_bytes_;
+};
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_PAGE_H_

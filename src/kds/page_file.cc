@@ -1,0 +1,186 @@
+#include "kds/page_file.h"
+
+#include <cstring>
+
+namespace mlds::kds {
+
+namespace {
+
+constexpr char kMagic[] = "MLDSPAGE 1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+void PutU32(char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = char((v >> (8 * i)) & 0xff);
+}
+
+uint32_t GetU32(const char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(uint8_t(in[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+PageFile::PageFile(size_t page_bytes) : page_bytes_(page_bytes) {}
+
+PageFile::PageFile(std::string path, std::FILE* file, size_t page_bytes,
+                   uint64_t page_count, std::string meta)
+    : page_bytes_(page_bytes),
+      path_(std::move(path)),
+      file_(file),
+      page_count_(page_count),
+      meta_(std::move(meta)) {}
+
+PageFile::~PageFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
+                                                 size_t page_bytes) {
+  if (page_bytes < 64 || page_bytes > kMaxPageBytes) {
+    return Status::InvalidArgument("page_file: unsupported page size");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  bool fresh = false;
+  if (f == nullptr) {
+    f = std::fopen(path.c_str(), "w+b");
+    fresh = true;
+  }
+  if (f == nullptr) {
+    return Status::Internal("page_file: cannot open " + path);
+  }
+  if (fresh) {
+    auto pf = std::unique_ptr<PageFile>(
+        new PageFile(path, f, page_bytes, 0, ""));
+    Status s = pf->WriteHeaderLocked();
+    if (!s.ok()) return s;
+    return pf;
+  }
+  std::vector<char> header(page_bytes);
+  if (std::fread(header.data(), 1, page_bytes, f) != page_bytes ||
+      std::memcmp(header.data(), kMagic, kMagicLen) != 0) {
+    std::fclose(f);
+    return Status::ParseError("page_file: bad header in " + path);
+  }
+  uint32_t stored_page_bytes = GetU32(header.data() + kMagicLen);
+  if (stored_page_bytes != page_bytes) {
+    std::fclose(f);
+    return Status::InvalidArgument("page_file: page size mismatch in " + path);
+  }
+  uint32_t meta_len = GetU32(header.data() + kMagicLen + 4);
+  if (kMagicLen + 8 + size_t(meta_len) > page_bytes) {
+    std::fclose(f);
+    return Status::ParseError("page_file: oversized metadata in " + path);
+  }
+  std::string meta(header.data() + kMagicLen + 8, meta_len);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < long(page_bytes)) {
+    std::fclose(f);
+    return Status::ParseError("page_file: truncated " + path);
+  }
+  uint64_t pages = (uint64_t(size) - page_bytes) / page_bytes;
+  return std::unique_ptr<PageFile>(
+      new PageFile(path, f, page_bytes, pages, std::move(meta)));
+}
+
+uint64_t PageFile::page_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return page_count_;
+}
+
+Status PageFile::ReadPage(uint64_t page, char* buf) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page >= page_count_) {
+    return Status::NotFound("page_file: page out of range");
+  }
+  if (file_ == nullptr) {
+    std::memcpy(buf, pages_[page].data(), page_bytes_);
+    return Status::OK();
+  }
+  if (std::fseek(file_, long((page + 1) * page_bytes_), SEEK_SET) != 0 ||
+      std::fread(buf, 1, page_bytes_, file_) != page_bytes_) {
+    return Status::Internal("page_file: short read in " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(uint64_t page, const char* buf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Writes may extend the file out of page-number order: LRU eviction
+  // flushes frames in recency order, so page 5 can reach the medium
+  // before pages 3 and 4. Gap pages stay zeroed (slot_count 0), which
+  // every scan skips.
+  if (file_ == nullptr) {
+    if (page >= page_count_) {
+      pages_.resize(page + 1, std::string(page_bytes_, '\0'));
+      page_count_ = page + 1;
+    }
+    pages_[page].assign(buf, page_bytes_);
+    return Status::OK();
+  }
+  if (std::fseek(file_, long((page + 1) * page_bytes_), SEEK_SET) != 0 ||
+      std::fwrite(buf, 1, page_bytes_, file_) != page_bytes_) {
+    return Status::Internal("page_file: short write in " + path_);
+  }
+  if (page >= page_count_) page_count_ = page + 1;
+  return Status::OK();
+}
+
+Status PageFile::SetMeta(std::string meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr && kMagicLen + 8 + meta.size() > page_bytes_) {
+    return Status::InvalidArgument(
+        "page_file: metadata exceeds header page");
+  }
+  meta_ = std::move(meta);
+  if (file_ == nullptr) return Status::OK();
+  return WriteHeaderLocked();
+}
+
+std::string PageFile::meta() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return meta_;
+}
+
+Status PageFile::WriteHeaderLocked() {
+  std::vector<char> header(page_bytes_, 0);
+  std::memcpy(header.data(), kMagic, kMagicLen);
+  PutU32(header.data() + kMagicLen, uint32_t(page_bytes_));
+  PutU32(header.data() + kMagicLen + 4, uint32_t(meta_.size()));
+  std::memcpy(header.data() + kMagicLen + 8, meta_.data(), meta_.size());
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header.data(), 1, page_bytes_, file_) != page_bytes_ ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("page_file: header write failed in " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Truncate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  page_count_ = 0;
+  if (file_ == nullptr) {
+    pages_.clear();
+    return Status::OK();
+  }
+  // stdio has no portable truncate; rewrite the file from its header.
+  std::FILE* f = std::fopen(path_.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::Internal("page_file: reopen for truncate failed");
+  }
+  std::fclose(file_);
+  file_ = f;
+  return WriteHeaderLocked();
+}
+
+Status PageFile::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("page_file: flush failed in " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace mlds::kds

@@ -1,0 +1,84 @@
+#ifndef MLDS_KDS_PAGE_FILE_H_
+#define MLDS_KDS_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kds/page.h"
+
+namespace mlds::kds {
+
+/// Fixed-size page array with an attached metadata blob, either purely in
+/// memory (no backing path: tests, benches, engines without a data dir)
+/// or backed by one file on disk.
+///
+/// On-disk layout: a header page at offset 0 —
+///   "MLDSPAGE 1\n" magic, u32 page_bytes, u32 meta_len, meta bytes —
+/// followed by data page i at offset (i + 1) * page_bytes. The metadata
+/// blob (the owning store's descriptor, secondary-index set, and block
+/// capacity) must fit in the header page.
+///
+/// Reads and writes are internally serialized: buffer-pool eviction may
+/// write back a page of file B while the caller holds only file A's
+/// store lock.
+class PageFile {
+ public:
+  /// Creates an in-memory page file.
+  explicit PageFile(size_t page_bytes);
+
+  /// Opens (or creates) the page file at `path`. An existing file must
+  /// carry the magic and the same page size.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path,
+                                                size_t page_bytes);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  size_t page_bytes() const { return page_bytes_; }
+  const std::string& path() const { return path_; }
+  bool on_disk() const { return file_ != nullptr; }
+
+  /// Number of data pages written so far.
+  uint64_t page_count() const;
+
+  /// Reads data page `page` into `buf` (page_bytes long).
+  Status ReadPage(uint64_t page, char* buf) const;
+
+  /// Writes data page `page` from `buf`; `page == page_count()` extends
+  /// the file by one page.
+  Status WritePage(uint64_t page, const char* buf);
+
+  /// Replaces the metadata blob; persisted immediately when on disk.
+  Status SetMeta(std::string meta);
+  std::string meta() const;
+
+  /// Drops all data pages (metadata survives). Used by compaction.
+  Status Truncate();
+
+  /// Flushes buffered writes to stable storage (no-op in memory mode).
+  Status Sync();
+
+ private:
+  PageFile(std::string path, std::FILE* file, size_t page_bytes,
+           uint64_t page_count, std::string meta);
+
+  Status WriteHeaderLocked();
+
+  mutable std::mutex mutex_;
+  const size_t page_bytes_;
+  const std::string path_;
+  std::FILE* file_ = nullptr;       // nullptr in memory mode
+  uint64_t page_count_ = 0;
+  std::vector<std::string> pages_;  // memory mode backing store
+  std::string meta_;
+};
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_PAGE_FILE_H_

@@ -32,6 +32,7 @@ std::string_view PlanNodeKindName(PlanNodeKind kind) {
 
 std::string PlanNode::Describe() const {
   std::string out(PlanNodeKindName(kind));
+  if (secondary) out += " [secondary]";
   if (predicate.has_value()) {
     out += ' ';
     out += predicate->ToString();

@@ -72,6 +72,11 @@ struct PlanNode {
   /// The predicate an index node resolves against the directory.
   std::optional<abdm::Predicate> predicate;
 
+  /// True when an index node is served by a secondary index (a declared
+  /// non-directory attribute) rather than the primary keyword
+  /// directory; rendered as a "[secondary]" marker in EXPLAIN output.
+  bool secondary = false;
+
   /// Planner estimates.
   uint64_t est_rows = 0;
   uint64_t est_blocks = 0;

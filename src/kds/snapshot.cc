@@ -24,7 +24,11 @@ Status SaveSnapshot(const Engine& engine, std::ostream& out) {
     out << "FILE " << name << "\n";
     for (const auto& attr : desc->attributes) {
       out << "ATTR " << attr.name << " " << abdm::ValueKindToString(attr.kind)
-          << " " << attr.max_length << " " << (attr.directory ? 1 : 0) << "\n";
+          << " " << attr.max_length << " " << (attr.directory ? 1 : 0) << " "
+          << (attr.indexed ? 1 : 0) << "\n";
+    }
+    for (const auto& attr : engine.SecondaryIndexes(name)) {
+      out << "INDEX " << name << " " << attr << "\n";
     }
   }
   for (const auto& name : engine.FileNames()) {
@@ -49,6 +53,7 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
   // malformed line must reject the whole snapshot without leaving the
   // engine partially defined.
   std::vector<abdm::FileDescriptor> files;
+  std::vector<std::pair<std::string, std::string>> indexes;
   std::vector<abdl::Request> inserts;
   size_t line_number = 1;
   while (std::getline(in, line)) {
@@ -66,7 +71,8 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
       files.push_back(std::move(descriptor));
     } else if (text.starts_with("ATTR ")) {
       if (files.empty()) return parse_error("ATTR outside FILE");
-      // ATTR <name> <kind> <max_length> <directory>
+      // ATTR <name> <kind> <max_length> <directory> [<indexed>]
+      // (snapshots written before secondary indexes carry four fields).
       std::vector<std::string> parts;
       for (std::string_view piece = Trim(text.substr(5)); !piece.empty();) {
         size_t space = piece.find(' ');
@@ -74,7 +80,9 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
         if (space == std::string_view::npos) break;
         piece = Trim(piece.substr(space + 1));
       }
-      if (parts.size() != 4) return parse_error("malformed ATTR");
+      if (parts.size() != 4 && parts.size() != 5) {
+        return parse_error("malformed ATTR");
+      }
       abdm::AttributeDescriptor attr;
       attr.name = parts[0];
       MLDS_ASSIGN_OR_RETURN(attr.kind, ParseAttributeKind(parts[1]));
@@ -90,7 +98,23 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
         return parse_error("malformed ATTR directory flag '" + parts[3] + "'");
       }
       attr.directory = parts[3] == "1";
+      if (parts.size() == 5) {
+        if (parts[4] != "0" && parts[4] != "1") {
+          return parse_error("malformed ATTR indexed flag '" + parts[4] + "'");
+        }
+        attr.indexed = parts[4] == "1";
+      }
       files.back().attributes.push_back(std::move(attr));
+    } else if (text.starts_with("INDEX ")) {
+      // INDEX <file> <attr>: a secondary index built on demand after the
+      // file was defined.
+      std::string_view body = Trim(text.substr(6));
+      const size_t space = body.find(' ');
+      if (space == std::string_view::npos) {
+        return parse_error("malformed INDEX");
+      }
+      indexes.emplace_back(std::string(Trim(body.substr(0, space))),
+                           std::string(Trim(body.substr(space + 1))));
     } else if (text.starts_with("INSERT ")) {
       auto request = abdl::ParseRequest(text);
       if (!request.ok()) {
@@ -105,8 +129,18 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
     }
   }
 
-  // Cross-checks: every INSERT must target a file this snapshot defines,
-  // so the apply phase below cannot fail halfway through the data.
+  // Cross-checks: every INDEX and INSERT must target a file this
+  // snapshot defines, so the apply phase below cannot fail halfway
+  // through the data.
+  for (const auto& [file, attr] : indexes) {
+    const bool known = std::any_of(
+        files.begin(), files.end(),
+        [&](const abdm::FileDescriptor& f) { return f.name == file; });
+    if (!known) {
+      return Status::ParseError("snapshot INDEX targets undefined file: " +
+                                file);
+    }
+  }
   for (const auto& request : inserts) {
     const auto& record = std::get<abdl::InsertRequest>(request).record;
     abdm::Value file_value = record.GetOrNull(abdm::kFileAttribute);
@@ -136,6 +170,13 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
       return status;
     }
     defined.push_back(descriptor.name);
+  }
+  for (const auto& [file, attr] : indexes) {
+    Status status = engine->CreateIndex(file, attr);
+    if (!status.ok()) {
+      rollback();
+      return status;
+    }
   }
   for (const auto& request : inserts) {
     auto response = engine->Execute(request);

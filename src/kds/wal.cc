@@ -68,6 +68,8 @@ std::string EncodeDefineFile(const abdm::FileDescriptor& descriptor) {
     out += std::to_string(attr.max_length);
     out += ' ';
     out += attr.directory ? '1' : '0';
+    out += ' ';
+    out += attr.indexed ? '1' : '0';
   }
   return out;
 }
@@ -82,34 +84,59 @@ Result<abdm::FileDescriptor> DecodeDefineFile(std::string_view body) {
   while (piece_end != std::string_view::npos) {
     body.remove_prefix(piece_end + kAttrSeparator.size());
     piece_end = body.find(kAttrSeparator);
-    std::string_view piece = Trim(body.substr(0, piece_end));
-    // <name> <kind> <max_length> <directory>; the name is everything
-    // before the last three fields.
+    const std::string_view whole_piece = Trim(body.substr(0, piece_end));
+    // <name> <kind> <max_length> <directory> [<indexed>]; the name is
+    // everything before the trailing fields. The indexed flag arrived
+    // with secondary indexes, so both arities must parse — pop up to
+    // four fields right-to-left and accept the four-field reading only
+    // when every popped field checks out as its column.
+    std::string_view piece = whole_piece;
     std::vector<std::string_view> fields;
     for (size_t cut = piece.rfind(' ');
-         fields.size() < 3 && cut != std::string_view::npos;
+         fields.size() < 4 && cut != std::string_view::npos;
          cut = piece.rfind(' ')) {
       fields.push_back(piece.substr(cut + 1));
       piece = Trim(piece.substr(0, cut));
     }
-    if (fields.size() != 3 || piece.empty()) {
-      return Status::ParseError("malformed DEFINE attribute '" +
-                                std::string(piece) + "'");
+    bool five_fields =
+        fields.size() == 4 && !piece.empty() &&
+        (fields[0] == "0" || fields[0] == "1") &&
+        (fields[1] == "0" || fields[1] == "1") &&
+        ParseSize(fields[2]) != std::string_view::npos &&
+        ParseAttributeKind(fields[3]).ok();
+    if (!five_fields) {
+      // Legacy form: exactly three trailing fields.
+      piece = whole_piece;
+      fields.clear();
+      for (size_t cut = piece.rfind(' ');
+           fields.size() < 3 && cut != std::string_view::npos;
+           cut = piece.rfind(' ')) {
+        fields.push_back(piece.substr(cut + 1));
+        piece = Trim(piece.substr(0, cut));
+      }
+      if (fields.size() != 3 || piece.empty()) {
+        return Status::ParseError("malformed DEFINE attribute '" +
+                                  std::string(piece) + "'");
+      }
     }
     abdm::AttributeDescriptor attr;
     attr.name = std::string(piece);
-    MLDS_ASSIGN_OR_RETURN(attr.kind, ParseAttributeKind(fields[2]));
-    const size_t max_length = ParseSize(fields[1]);
+    const std::string_view kind_field = five_fields ? fields[3] : fields[2];
+    const std::string_view len_field = five_fields ? fields[2] : fields[1];
+    const std::string_view dir_field = five_fields ? fields[1] : fields[0];
+    MLDS_ASSIGN_OR_RETURN(attr.kind, ParseAttributeKind(kind_field));
+    const size_t max_length = ParseSize(len_field);
     if (max_length == std::string_view::npos) {
       return Status::ParseError("malformed DEFINE attribute length '" +
-                                std::string(fields[1]) + "'");
+                                std::string(len_field) + "'");
     }
     attr.max_length = static_cast<int>(max_length);
-    if (fields[0] != "0" && fields[0] != "1") {
+    if (dir_field != "0" && dir_field != "1") {
       return Status::ParseError("malformed DEFINE directory flag '" +
-                                std::string(fields[0]) + "'");
+                                std::string(dir_field) + "'");
     }
-    attr.directory = fields[0] == "1";
+    attr.directory = dir_field == "1";
+    attr.indexed = five_fields && fields[0] == "1";
     descriptor.attributes.push_back(std::move(attr));
   }
   return descriptor;
@@ -384,6 +411,19 @@ Result<RecoveryReport> RecoverEngine(std::istream& snapshot,
                             DecodeDefineFile(payload.substr(7)));
       ++report.replayed;
       if (!engine->DefineFile(descriptor).ok()) ++report.failed_replays;
+    } else if (payload.starts_with("INDEX ")) {
+      std::string_view body = Trim(payload.substr(6));
+      const size_t space = body.find(' ');
+      if (space == std::string_view::npos) {
+        return Status::ParseError("wal: malformed INDEX entry");
+      }
+      ++report.replayed;
+      if (!engine
+               ->CreateIndex(body.substr(0, space),
+                             Trim(body.substr(space + 1)))
+               .ok()) {
+        ++report.failed_replays;
+      }
     } else if (payload.starts_with("REQUEST ")) {
       MLDS_RETURN_IF_ERROR(apply(payload.substr(8)));
     } else if (payload.starts_with("BEGIN ")) {

@@ -39,11 +39,15 @@ class Engine;
 ///
 /// Payload grammar:
 ///
-///   DEFINE <file> :: <attr> <kind> <max_length> <directory> :: ...
+///   DEFINE <file> :: <attr> <kind> <max_length> <directory> <indexed> :: ...
+///   INDEX <file> <attr>               -- secondary index built on demand
 ///   REQUEST <abdl request>            -- auto-committed single request
 ///   BEGIN <txn_id>
 ///   TREQUEST <txn_id> <abdl request>  -- request inside a transaction
 ///   COMMIT <txn_id>
+///
+/// (Logs written before the indexed flag carry four attribute fields;
+/// DecodeDefineFile accepts both arities.)
 ///
 /// A transaction's requests are durable only once its COMMIT entry is
 /// framed; recovery discards in-flight transactions, yielding exactly the

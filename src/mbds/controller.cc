@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "abdl/parser.h"
+#include "common/strings.h"
 #include "kds/snapshot.h"
 
 namespace mlds::mbds {
@@ -74,12 +75,20 @@ kds::PlanNode MergeBackendPlans(
 void ReplayCatchupPayload(std::string_view payload, kds::Engine* engine) {
   constexpr std::string_view kRequest = "REQUEST ";
   constexpr std::string_view kDefine = "DEFINE ";
+  constexpr std::string_view kIndex = "INDEX ";
   if (payload.starts_with(kRequest)) {
     auto request = abdl::ParseRequest(payload.substr(kRequest.size()));
     if (request.ok()) (void)engine->Execute(*request);
   } else if (payload.starts_with(kDefine)) {
     auto descriptor = kds::DecodeDefineFile(payload.substr(kDefine.size()));
     if (descriptor.ok()) (void)engine->DefineFile(*descriptor);
+  } else if (payload.starts_with(kIndex)) {
+    std::string_view body = payload.substr(kIndex.size());
+    const size_t space = body.find(' ');
+    if (space != std::string_view::npos) {
+      (void)engine->CreateIndex(body.substr(0, space),
+                                Trim(body.substr(space + 1)));
+    }
   }
 }
 
@@ -102,8 +111,14 @@ Controller::Controller(MbdsOptions options) : options_(options) {
   const int n = std::max(1, options_.num_backends);
   backends_.reserve(n);
   for (int i = 0; i < n; ++i) {
+    // Each backend models its own dedicated disk: with persistent
+    // storage configured, it gets its own subdirectory of the data dir.
+    kds::EngineOptions engine_options = options_.engine;
+    if (!engine_options.data_dir.empty()) {
+      engine_options.data_dir += "/backend" + std::to_string(i);
+    }
     backends_.push_back(std::make_unique<Backend>(
-        i, options_.engine, options_.fault_tolerance.health));
+        i, std::move(engine_options), options_.fault_tolerance.health));
   }
   pool_ = std::make_unique<common::ThreadPool>(n);
   txn_pool_ = std::make_unique<common::ThreadPool>(n - 1);
@@ -159,7 +174,13 @@ bool Controller::ReintegrateBackend(Backend& backend) {
   // The simulated crash may have left a torn frame at the tail; repair
   // also clears the crashed flag so catch-up appends are accepted again.
   wal.RepairTail();
-  auto fresh = std::make_shared<kds::Engine>(options_.engine);
+  // The rebuild replays checkpoint + full log into an empty engine; any
+  // page files the dead engine left behind must not be restored on top
+  // of that (double-apply), so wipe the backend's storage first.
+  if (!backend.engine_options().data_dir.empty()) {
+    kds::WipeStorageDir(backend.engine_options().data_dir);
+  }
+  auto fresh = std::make_shared<kds::Engine>(backend.engine_options());
   std::string log = wal.contents();
   std::istringstream snapshot(backend.checkpoint());
   auto recovered = kds::RecoverEngine(snapshot, log, fresh.get());
@@ -233,6 +254,26 @@ Status Controller::DefineFile(const abdm::FileDescriptor& descriptor) {
   }
   return RunParallel(participants.size(), [&](size_t k) {
     return backends_[participants[k]]->engine().DefineFile(descriptor);
+  });
+}
+
+Status Controller::CreateIndex(std::string_view file, std::string_view attr) {
+  MaybeReintegrate();
+  const std::vector<std::string> payloads = {
+      "INDEX " + std::string(file) + " " + std::string(attr)};
+  std::vector<size_t> participants;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (!AdmitBackend(i, payloads, nullptr)) continue;
+    (void)backends_[i]->wal().Append(payloads.front());
+    participants.push_back(i);
+  }
+  if (participants.empty()) {
+    return Status::Unavailable("no available backends to index '" +
+                               std::string(file) + "." + std::string(attr) +
+                               "'");
+  }
+  return RunParallel(participants.size(), [&](size_t k) {
+    return backends_[participants[k]]->engine().CreateIndex(file, attr);
   });
 }
 
@@ -999,6 +1040,14 @@ ControllerHealth Controller::Health() const {
     health.backends.push_back(std::move(status));
   }
   return health;
+}
+
+kds::PoolCounters Controller::PoolStats() const {
+  kds::PoolCounters total;
+  for (const auto& backend : backends_) {
+    total += backend->SnapshotEngine()->pool_stats();
+  }
+  return total;
 }
 
 void Controller::ResetTiming() {

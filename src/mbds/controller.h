@@ -31,10 +31,16 @@ class Backend {
  public:
   Backend(int id, kds::EngineOptions options, HealthPolicy health = {})
       : id_(id),
-        engine_(std::make_shared<kds::Engine>(options)),
+        options_(std::move(options)),
+        engine_(std::make_shared<kds::Engine>(options_)),
         health_(health) {}
 
   int id() const { return id_; }
+
+  /// This backend's engine options (with its per-backend data dir, when
+  /// the controller assigned storage dirs). Reintegration rebuilds the
+  /// fresh engine from these.
+  const kds::EngineOptions& engine_options() const { return options_; }
   kds::Engine& engine() { return *engine_; }
   const kds::Engine& engine() const { return *engine_; }
 
@@ -90,6 +96,7 @@ class Backend {
 
  private:
   int id_;
+  kds::EngineOptions options_;
   mutable std::mutex engine_mutex_;
   std::shared_ptr<kds::Engine> engine_;
   std::string checkpoint_;
@@ -239,6 +246,11 @@ class Controller {
   /// Broadcasts one file definition to every available backend.
   Status DefineFile(const abdm::FileDescriptor& descriptor);
 
+  /// Broadcasts a secondary-index build to every available backend,
+  /// logging "INDEX <file> <attr>" to each backend's WAL first (catch-up
+  /// for quarantined ones), so a rebuilt backend recreates the index.
+  Status CreateIndex(std::string_view file, std::string_view attr);
+
   bool HasFile(std::string_view file) const;
 
   /// Executes one ABDL request across the backends.
@@ -288,6 +300,9 @@ class Controller {
 
   /// Current health of every backend.
   ControllerHealth Health() const;
+
+  /// Buffer-pool traffic summed over every backend's engine.
+  kds::PoolCounters PoolStats() const;
 
  private:
   /// One backend's share of a fault-tolerant fan-out.

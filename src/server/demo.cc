@@ -10,19 +10,25 @@
 namespace mlds::server {
 
 Status LoadDemoDatabases(MldsSystem* system) {
+  // Schema loads always run — on a persistent kernel the DDL reattaches
+  // to the restored files — but each seed block is skipped when its
+  // database already holds records, so a server restarted over a
+  // --data-dir does not duplicate the demo rows.
   MLDS_RETURN_IF_ERROR(
       system->LoadFunctionalDatabase(university::kUniversityDaplexDdl));
-  university::UniversityConfig config;
-  MLDS_ASSIGN_OR_RETURN(
-      university::LoadSummary summary,
-      university::BuildUniversityDatabaseOnLoaded(config, system->executor()));
-  (void)summary;
+  if (system->executor()->FileSize("person") == 0) {
+    university::UniversityConfig config;
+    MLDS_ASSIGN_OR_RETURN(university::LoadSummary summary,
+                          university::BuildUniversityDatabaseOnLoaded(
+                              config, system->executor()));
+    (void)summary;
+  }
 
   MLDS_RETURN_IF_ERROR(system->LoadRelationalDatabase(
       "SCHEMA payroll;"
       "CREATE TABLE staff (name CHAR(12) NOT NULL, wage FLOAT, "
       "UNIQUE (name));"));
-  {
+  if (system->executor()->FileSize("staff") == 0) {
     const relational::Schema* schema = system->FindRelationalSchema("payroll");
     kms::SqlMachine sql(schema, system->executor());
     const std::vector<std::string> rows = {
@@ -42,7 +48,7 @@ Status LoadDemoDatabases(MldsSystem* system) {
       "SEGMENT patient; FIELD pname CHAR(12);"
       "SEGMENT visit PARENT patient; FIELD vdate CHAR(8); FIELD "
       "cost FLOAT;"));
-  {
+  if (system->executor()->FileSize("patient") == 0) {
     const hierarchical::Schema* schema =
         system->FindHierarchicalSchema("clinic");
     kms::DliMachine dli(schema, system->executor());

@@ -731,6 +731,11 @@ wire::StatsReply MldsServer::BuildStats() const {
   stats.results_streamed = results_streamed_.load();
   stats.chunks_streamed = chunks_streamed_.load();
   stats.backpressure_stalls = backpressure_stalls_.load();
+  const kds::PoolCounters pool = system_->executor()->PoolStats();
+  stats.pool_hits = pool.hits;
+  stats.pool_misses = pool.misses;
+  stats.pool_evictions = pool.evictions;
+  stats.pool_dirty_writebacks = pool.dirty_writebacks;
   stats.health = kfs::SerializeHealth(system_->Health());
   return stats;
 }

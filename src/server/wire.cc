@@ -245,6 +245,10 @@ std::string EncodeStatsReply(const StatsReply& stats) {
   writer.PutU64(stats.results_streamed);
   writer.PutU64(stats.chunks_streamed);
   writer.PutU64(stats.backpressure_stalls);
+  writer.PutU64(stats.pool_hits);
+  writer.PutU64(stats.pool_misses);
+  writer.PutU64(stats.pool_evictions);
+  writer.PutU64(stats.pool_dirty_writebacks);
   writer.PutString(stats.health);
   return writer.Take();
 }
@@ -268,6 +272,10 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
       !reader.GetU64(&stats.results_streamed) ||
       !reader.GetU64(&stats.chunks_streamed) ||
       !reader.GetU64(&stats.backpressure_stalls) ||
+      !reader.GetU64(&stats.pool_hits) ||
+      !reader.GetU64(&stats.pool_misses) ||
+      !reader.GetU64(&stats.pool_evictions) ||
+      !reader.GetU64(&stats.pool_dirty_writebacks) ||
       !reader.GetString(&stats.health) || !reader.exhausted()) {
     return Malformed("STATS");
   }
@@ -294,6 +302,11 @@ std::string StatsReply::ToText() const {
   out += "server.results_streamed " + std::to_string(results_streamed) + "\n";
   out += "server.chunks_streamed " + std::to_string(chunks_streamed) + "\n";
   out += "server.backpressure_stalls " + std::to_string(backpressure_stalls) +
+         "\n";
+  out += "pool.hits " + std::to_string(pool_hits) + "\n";
+  out += "pool.misses " + std::to_string(pool_misses) + "\n";
+  out += "pool.evictions " + std::to_string(pool_evictions) + "\n";
+  out += "pool.dirty_writebacks " + std::to_string(pool_dirty_writebacks) +
          "\n";
   return out;
 }

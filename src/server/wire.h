@@ -126,6 +126,11 @@ struct StatsReply {
   uint64_t results_streamed = 0;     ///< bodies sent as chunk runs.
   uint64_t chunks_streamed = 0;      ///< kResultChunk frames sent.
   uint64_t backpressure_stalls = 0;  ///< times streaming paused on high-water.
+  // --- storage buffer-pool counters (paged storage engine) ---
+  uint64_t pool_hits = 0;             ///< page fetches served from the pool.
+  uint64_t pool_misses = 0;           ///< page fetches that read the file.
+  uint64_t pool_evictions = 0;        ///< frames evicted to make room.
+  uint64_t pool_dirty_writebacks = 0; ///< dirty frames written on eviction.
   std::string health;  ///< kfs::SerializeHealth text.
 
   /// Human-readable rendering ("cache.hits 12\n...") for shells.

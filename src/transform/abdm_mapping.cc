@@ -40,10 +40,14 @@ Result<abdm::DatabaseDescriptor> MapNetworkToAbdm(
     file.attributes.push_back(abdm::AttributeDescriptor{
         KeyAttribute(record.name), abdm::ValueKind::kString, 0, true});
 
-    // One keyword per data-item.
+    // One keyword per data-item, carried by a secondary index: the FILE
+    // keyword, database key, and set keywords below keep the primary
+    // directory clustering, while data-item predicates take the
+    // secondary-index path.
     for (const auto& attr : record.attributes) {
       file.attributes.push_back(abdm::AttributeDescriptor{
-          attr.name, MapAttrType(attr.type), attr.length, true});
+          attr.name, MapAttrType(attr.type), attr.length,
+          /*directory=*/false, /*indexed=*/true});
     }
 
     // Member-side set keywords (owner's dbkey), skipping SYSTEM sets.

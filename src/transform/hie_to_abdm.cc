@@ -33,9 +33,13 @@ Result<abdm::DatabaseDescriptor> MapHierarchicalToAbdm(
         std::string(abdm::kFileAttribute), abdm::ValueKind::kString, 0, true});
     file.attributes.push_back(abdm::AttributeDescriptor{
         KeyAttribute(segment.name), abdm::ValueKind::kString, 0, true});
+    // Segment fields ride a secondary index; the FILE keyword, segment
+    // key, and parent pointer stay in the keyword directory so the
+    // hierarchy traversal keeps its clustered paths.
     for (const auto& field : segment.fields) {
       file.attributes.push_back(abdm::AttributeDescriptor{
-          field.name, MapFieldType(field.type), field.length, true});
+          field.name, MapFieldType(field.type), field.length,
+          /*directory=*/false, /*indexed=*/true});
     }
     if (!segment.is_root()) {
       file.attributes.push_back(abdm::AttributeDescriptor{

@@ -33,9 +33,13 @@ Result<abdm::DatabaseDescriptor> MapRelationalToAbdm(
         std::string(abdm::kFileAttribute), abdm::ValueKind::kString, 0, true});
     file.attributes.push_back(abdm::AttributeDescriptor{
         KeyAttribute(table.name), abdm::ValueKind::kString, 0, true});
+    // Data columns ride a secondary index rather than the keyword
+    // directory: the FILE keyword and surrogate key keep clustering the
+    // file, while column predicates get the secondary-index path.
     for (const auto& column : table.columns) {
       file.attributes.push_back(abdm::AttributeDescriptor{
-          column.name, MapColumnType(column.type), column.length, true});
+          column.name, MapColumnType(column.type), column.length,
+          /*directory=*/false, /*indexed=*/true});
     }
     db.files.push_back(std::move(file));
   }

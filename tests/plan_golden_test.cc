@@ -64,7 +64,7 @@ TEST_F(SqlPlanGoldenTest, ExplainSelectRendersAnnotatedTree) {
       "PROJECT (title)  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
       "  UNION (course)  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
       "    INTERSECT  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
-      "      INDEX EQUALITY (dept = 'CS')  est: 2 rows, 1 blocks"
+      "      INDEX EQUALITY [secondary] (dept = 'CS')  est: 2 rows, 1 blocks"
       "  actual: 2 rows, 0 blocks\n"
       "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
       "  actual: 3 rows, 0 blocks\n");
@@ -90,13 +90,15 @@ TEST_F(SqlPlanGoldenTest, ExplainUpdateSequencesPerAssignmentPlans) {
       "  actual: 2 rows, 2 blocks\n"
       "  UNION (course)  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
       "    INTERSECT  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
-      "      INDEX EQUALITY (title = 'Thermo')  est: 1 rows, 1 blocks"
+      "      INDEX EQUALITY [secondary] (title = 'Thermo')  est: 1 rows,"
+      " 1 blocks"
       "  actual: 1 rows, 0 blocks\n"
       "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
       "  actual: 3 rows, 0 blocks\n"
       "  UNION (course)  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
       "    INTERSECT  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
-      "      INDEX EQUALITY (title = 'Thermo')  est: 1 rows, 1 blocks"
+      "      INDEX EQUALITY [secondary] (title = 'Thermo')  est: 1 rows,"
+      " 1 blocks"
       "  actual: 1 rows, 0 blocks\n"
       "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
       "  actual: 3 rows, 0 blocks\n");
@@ -141,7 +143,8 @@ TEST_F(DmlPlanGoldenTest, ExplainFindAnyRendersAnnotatedTree) {
       "  actual: 4 rows, 2 blocks\n"
       "  UNION (student)  est: 4 rows, 2 blocks  actual: 4 rows, 2 blocks\n"
       "    INTERSECT  est: 4 rows, 2 blocks  actual: 4 rows, 2 blocks\n"
-      "      INDEX EQUALITY (major = 'Computer Science')  est: 4 rows,"
+      "      INDEX EQUALITY [secondary] (major = 'Computer Science')"
+      "  est: 4 rows,"
       " 2 blocks  actual: 4 rows, 0 blocks\n"
       "      INDEX EQUALITY (FILE = 'student')  est: 30 rows, 2 blocks"
       "  actual: 30 rows, 0 blocks\n");

@@ -39,7 +39,8 @@ else
   # same way: 20k rows smokes the batch/WAL/recovery paths; the committed
   # report is the full 1M-row run.
   for bench in bench_range_queries bench_intra_backend bench_fault_recovery \
-               bench_server bench_streaming bench_bulk_load; do
+               bench_server bench_streaming bench_bulk_load \
+               bench_paged_storage; do
     (cd build/bench-smoke && MLDS_STREAM_BENCH_ROWS=8000 MLDS_BULK_RECORDS=20000 \
       "../bench/${bench}" --benchmark_filter='^$')
   done
@@ -56,6 +57,20 @@ else
       || { echo "bulk ingest floor regression: ${key} is not true"; exit 1; }
   done
   echo "bulk ingest floor holds"
+
+  # Regression floors for the paged storage engine: point-lookup physical
+  # reads stay flat (within 1.5x) across the 1x→4x buffer-pool sweep, and
+  # every secondary-index probe both beats the full scan and renders a
+  # [secondary] access path in its EXPLAIN.
+  grep -q '"point_lookup_flat_within_1p5x": true' \
+      build/bench-smoke/BENCH_paged_storage.json \
+    || { echo "paged storage floor regression: pool sweep not flat"; exit 1; }
+  if grep -q '"below_scan": false\|"plan_uses_secondary": false' \
+      build/bench-smoke/BENCH_paged_storage.json; then
+    echo "paged storage floor regression: a secondary probe lost its floor"
+    exit 1
+  fi
+  echo "paged storage floor holds"
 fi
 
 # Streaming smoke against a given build tree: a server with a tiny
@@ -137,6 +152,75 @@ run_bulk_smoke() {
   echo "bulk load smoke passed (port ${port})"
 }
 
+# Restart-persistence smoke against a given build tree: a server with a
+# --data-dir takes one write per language interface over the wire, shuts
+# down cleanly (remote SHUTDOWN → drain → engine flush + clean marker),
+# and a second server over the same dir must serve all four rows back —
+# no snapshot call anywhere, the page files alone carry the database.
+run_persistence_smoke() {
+  local build_dir="$1" log="$2"
+  local data_dir="${build_dir}/persist-smoke-data"
+  rm -rf "${data_dir}"
+
+  start_persistence_server() {
+    "${build_dir}/tools/mlds_server" --port 0 --data-dir "${data_dir}" \
+      --pool-pages 64 > "$1" &
+    PERSIST_PID=$!
+    trap 'kill "${PERSIST_PID}" 2>/dev/null || true' EXIT
+    PERSIST_PORT=""
+    for _ in $(seq 1 100); do
+      PERSIST_PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$1")"
+      [[ -n "${PERSIST_PORT}" ]] && break
+      sleep 0.1
+    done
+    [[ -n "${PERSIST_PORT}" ]] \
+      || { echo "persistence server never reported its port"; exit 1; }
+  }
+
+  start_persistence_server "${log}.first"
+  printf '%s\n' \
+    ".use sql payroll" \
+    "INSERT INTO staff (name, wage) VALUES ('persist_sql', 55)" \
+    ".use daplex university" \
+    "CREATE department (dname = 'Persistence')" \
+    ".use codasyl university" \
+    "MOVE 'Hopper Hall' TO dname IN department" \
+    "STORE department" \
+    ".use dli clinic" \
+    "ISRT patient (pname = 'persist_p')" \
+    ".shutdown" \
+    | "${build_dir}/tools/mlds_shell" 127.0.0.1 "${PERSIST_PORT}" --strict \
+    > "${log}.first.shell"
+  wait "${PERSIST_PID}"
+  trap - EXIT
+  grep -q "stopped" "${log}.first" \
+    || { echo "persistence server did not drain cleanly"; exit 1; }
+
+  start_persistence_server "${log}.second"
+  printf '%s\n' \
+    ".use sql payroll" \
+    "SELECT name FROM staff WHERE name = 'persist_sql'" \
+    ".use daplex university" \
+    "FOR EACH department SUCH THAT dname = 'Persistence' PRINT dname" \
+    ".use codasyl university" \
+    "MOVE 'Hopper Hall' TO dname IN department" \
+    "FIND ANY department USING dname IN department" \
+    "GET dname IN department" \
+    ".use dli clinic" \
+    "GU patient (pname = 'persist_p')" \
+    ".stats" \
+    ".shutdown" \
+    | "${build_dir}/tools/mlds_shell" 127.0.0.1 "${PERSIST_PORT}" --strict \
+    > "${log}.second.shell"
+  wait "${PERSIST_PID}"
+  trap - EXIT
+  for row in persist_sql Persistence Hopper persist_p; do
+    grep -q "${row}" "${log}.second.shell" \
+      || { echo "row '${row}' did not survive the restart"; exit 1; }
+  done
+  echo "restart persistence smoke passed (port ${PERSIST_PORT})"
+}
+
 if [[ "${MLDS_SKIP_SERVER:-0}" == "1" ]]; then
   echo "== server smoke skipped (MLDS_SKIP_SERVER=1) =="
 else
@@ -180,6 +264,9 @@ else
 
   echo "== bulk load smoke =="
   run_bulk_smoke build build/mlds_bulk_smoke.log
+
+  echo "== restart persistence smoke =="
+  run_persistence_smoke build build/mlds_persist_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
@@ -213,6 +300,11 @@ else
   # across session workers — both are cross-thread write paths.
   echo "== TSan bulk load smoke =="
   run_bulk_smoke build-tsan build-tsan/mlds_bulk_smoke.log
+  # Persistence smoke under TSan: session workers share the buffer pool
+  # (pin/unpin, LRU moves, eviction write-backs) while the shutdown path
+  # flushes it — exactly where a storage-layer race would hide.
+  echo "== TSan restart persistence smoke =="
+  run_persistence_smoke build-tsan build-tsan/mlds_persist_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_ASAN:-0}" == "1" ]]; then

@@ -7,9 +7,15 @@
 //               [--queue-depth N] [--backends N] [--workers N]
 //               [--stream-threshold BYTES] [--chunk-bytes BYTES]
 //               [--write-high-water BYTES] [--source FILE]
+//               [--data-dir DIR] [--pool-pages N]
 //
 // --port 0 (the default) binds an ephemeral port; the chosen port is
 // printed as "listening on HOST:PORT" so scripts can parse it.
+//
+// --data-dir DIR stores kernel page files under DIR: databases written
+// during the run persist across a clean restart with no snapshot calls
+// (demo seeding is skipped when persisted data is found). --pool-pages
+// sizes the shared buffer pool in frames (0 = write-through).
 //
 // --source FILE replays a bulk-load script over a loopback client
 // session right after the demo databases come up, so the server starts
@@ -58,6 +64,8 @@ int main(int argc, char** argv) {
   mlds::server::ServerOptions options;
   int backends = 0;
   std::string source_path;
+  std::string data_dir;
+  size_t pool_pages = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -89,13 +97,18 @@ int main(int argc, char** argv) {
       options.write_high_water = static_cast<size_t>(value);
     } else if (arg == "--source" && has_value) {
       source_path = argv[++i];
+    } else if (arg == "--data-dir" && has_value) {
+      data_dir = argv[++i];
+    } else if (arg == "--pool-pages" && has_value &&
+               ParseUint(argv[++i], &value)) {
+      pool_pages = static_cast<size_t>(value);
     } else {
       std::fprintf(stderr,
                    "usage: mlds_server [--port N] [--host A.B.C.D] "
                    "[--max-sessions N] [--queue-depth N] [--backends N] "
                    "[--workers N] [--stream-threshold BYTES] "
                    "[--chunk-bytes BYTES] [--write-high-water BYTES] "
-                   "[--source FILE]\n");
+                   "[--source FILE] [--data-dir DIR] [--pool-pages N]\n");
       return 2;
     }
   }
@@ -105,6 +118,8 @@ int main(int argc, char** argv) {
     system_options.use_mbds = true;
     system_options.backends = backends;
   }
+  system_options.engine.data_dir = data_dir;
+  system_options.engine.pool_pages = pool_pages;
   mlds::MldsSystem system(system_options);
   const mlds::Status loaded = mlds::server::LoadDemoDatabases(&system);
   if (!loaded.ok()) {
