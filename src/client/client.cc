@@ -141,6 +141,12 @@ Result<wire::StatsReply> MldsClient::Stats() {
   return wire::DecodeStatsReply(reply.payload);
 }
 
+Result<std::string> MldsClient::Verify() {
+  MLDS_ASSIGN_OR_RETURN(common::Frame reply,
+                        RoundTrip(wire::FrameType::kVerify, std::string()));
+  return std::move(reply.payload);
+}
+
 Status MldsClient::RequestShutdown() {
   MLDS_ASSIGN_OR_RETURN(
       common::Frame reply,

@@ -122,6 +122,10 @@ class MldsClient {
   /// Admin: translation-cache, server, and event-loop counters.
   Result<wire::StatsReply> Stats();
 
+  /// Admin: on-demand storage scrub — walks every on-disk page through
+  /// the checksum verify and returns the per-file report text.
+  Result<std::string> Verify();
+
   /// Admin: asks the server to drain and stop.
   Status RequestShutdown();
 

@@ -1,5 +1,12 @@
 #include "common/checksum.h"
 
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define MLDS_PAGEHASH_X86 1
+#endif
+
 namespace mlds::common {
 
 uint64_t Fnv1a64Continue(uint64_t state, std::string_view bytes) {
@@ -12,6 +19,137 @@ uint64_t Fnv1a64Continue(uint64_t state, std::string_view bytes) {
 
 uint64_t Fnv1a64(std::string_view bytes) {
   return Fnv1a64Continue(0xcbf29ce484222325ull, bytes);
+}
+
+namespace {
+
+constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kPrime = 0x100000001b3ull;
+constexpr size_t kLanes = 16;
+
+inline uint64_t LoadWord(const char* p) {
+  uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+  return word;
+}
+
+inline uint64_t Rotl(uint64_t v, int s) { return (v << s) | (v >> (64 - s)); }
+
+/// Folds the mixed lane digests word-wise, then absorbs the sub-128-byte
+/// tail byte-wise. Shared by every PageHash64 implementation so their
+/// digests agree bit-for-bit.
+uint64_t FinishLanes(const uint64_t lane[kLanes], const char* tail,
+                     size_t tail_len) {
+  uint64_t state = kOffset;
+  for (size_t i = 0; i < kLanes; ++i) state = Fnv1a64Word(state, lane[i]);
+  return Fnv1a64Continue(state, std::string_view(tail, tail_len));
+}
+
+uint64_t PageHash64Portable(std::string_view bytes) {
+  uint64_t lane[kLanes];
+  for (size_t i = 0; i < kLanes; ++i) lane[i] = kOffset + i;
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 512) {
+    // Each multiply absorbs four words, 128 bytes apart, spread to
+    // distinct bit positions by odd rotations so corruption in one word
+    // cannot cancel corruption in another. The sixteen multiplies are
+    // independent, so they pipeline: the loop runs at load throughput,
+    // not at FNV's one-multiply-per-byte chain.
+    for (size_t i = 0; i < kLanes; ++i) {
+      lane[i] = (lane[i] ^ LoadWord(p + 8 * i) ^
+                 Rotl(LoadWord(p + 128 + 8 * i), 13) ^
+                 Rotl(LoadWord(p + 256 + 8 * i), 29) ^
+                 Rotl(LoadWord(p + 384 + 8 * i), 43)) *
+                kPrime;
+    }
+    p += 512;
+    n -= 512;
+  }
+  while (n >= 128) {
+    for (size_t i = 0; i < kLanes; ++i) {
+      lane[i] = (lane[i] ^ LoadWord(p + 8 * i)) * kPrime;
+    }
+    p += 128;
+    n -= 128;
+  }
+  return FinishLanes(lane, p, n);
+}
+
+#ifdef MLDS_PAGEHASH_X86
+
+/// The same arithmetic with the sixteen lanes in four ymm registers:
+/// vprolq supplies the rotations and vpmullq the 64-bit multiplies, so
+/// one loop iteration retires 512 bytes in a handful of instructions.
+/// 256-bit vectors beat 512-bit here — no license-based downclocking
+/// and one extra independent dependency chain.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) uint64_t
+PageHash64Avx512(std::string_view bytes) {
+  alignas(32) uint64_t lane[kLanes];
+  for (size_t i = 0; i < kLanes; ++i) lane[i] = kOffset + i;
+  __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lane));
+  __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lane + 4));
+  __m256i a2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lane + 8));
+  __m256i a3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lane + 12));
+  const __m256i prime = _mm256_set1_epi64x(static_cast<long long>(kPrime));
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+#define MLDS_LD(off) \
+  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + (off)))
+#define MLDS_ABSORB4(acc, off)                                            \
+  _mm256_mullo_epi64(                                                     \
+      _mm256_xor_si256(                                                   \
+          (acc),                                                          \
+          _mm256_xor_si256(                                               \
+              _mm256_xor_si256(MLDS_LD(off),                              \
+                               _mm256_rol_epi64(MLDS_LD((off) + 128),     \
+                                                13)),                     \
+              _mm256_xor_si256(_mm256_rol_epi64(MLDS_LD((off) + 256),     \
+                                                29),                      \
+                               _mm256_rol_epi64(MLDS_LD((off) + 384),     \
+                                                43)))),                   \
+      prime)
+  while (n >= 512) {
+    a0 = MLDS_ABSORB4(a0, 0);
+    a1 = MLDS_ABSORB4(a1, 32);
+    a2 = MLDS_ABSORB4(a2, 64);
+    a3 = MLDS_ABSORB4(a3, 96);
+    p += 512;
+    n -= 512;
+  }
+  while (n >= 128) {
+    a0 = _mm256_mullo_epi64(_mm256_xor_si256(a0, MLDS_LD(0)), prime);
+    a1 = _mm256_mullo_epi64(_mm256_xor_si256(a1, MLDS_LD(32)), prime);
+    a2 = _mm256_mullo_epi64(_mm256_xor_si256(a2, MLDS_LD(64)), prime);
+    a3 = _mm256_mullo_epi64(_mm256_xor_si256(a3, MLDS_LD(96)), prime);
+    p += 128;
+    n -= 128;
+  }
+#undef MLDS_ABSORB4
+#undef MLDS_LD
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane), a0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane + 4), a1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane + 8), a2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane + 12), a3);
+  return FinishLanes(lane, p, n);
+}
+
+bool HasAvx512() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+}
+
+#endif  // MLDS_PAGEHASH_X86
+
+}  // namespace
+
+uint64_t PageHash64(std::string_view bytes) {
+#ifdef MLDS_PAGEHASH_X86
+  static const bool use_avx512 = HasAvx512();
+  if (use_avx512) return PageHash64Avx512(bytes);
+#endif
+  return PageHash64Portable(bytes);
 }
 
 }  // namespace mlds::common

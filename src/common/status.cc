@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -26,6 +26,11 @@ enum class StatusCode {
   /// A backend (or other component) is temporarily unable to serve: an
   /// injected fault, an exceeded deadline, or a quarantined partition.
   kUnavailable,
+  /// On-disk bytes failed an integrity check: a page checksum mismatch, a
+  /// torn header, or a broken overflow chain. Distinct from kInternal so
+  /// callers can trigger quarantine + rebuild instead of treating the
+  /// fault as a logic error.
+  kCorruption,
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -82,6 +87,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +101,7 @@ class Status {
     return code_ == StatusCode::kConstraintViolation;
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -84,6 +84,15 @@ class KernelExecutor {
   /// Buffer-pool traffic counters of the kernel's storage layer (summed
   /// over backends for MBDS). All-zero for executors without a pool.
   virtual kds::PoolCounters PoolStats() const { return {}; }
+
+  /// On-demand scrub: walks every on-disk page of the kernel's storage
+  /// through the checksum verify (see kds::Engine::VerifyIntegrity).
+  /// An executor without storage reports an empty, clean kernel.
+  virtual kds::IntegrityReport VerifyIntegrity() const { return {}; }
+
+  /// Storage-integrity counters (summed over backends for MBDS).
+  /// All-zero for executors without storage.
+  virtual kds::IntegrityCounters IntegrityStats() const { return {}; }
 };
 
 /// KernelExecutor over a single kds::Engine (does not own it).
@@ -108,6 +117,12 @@ class EngineExecutor : public KernelExecutor {
   }
   kds::PoolCounters PoolStats() const override {
     return engine_->pool_stats();
+  }
+  kds::IntegrityReport VerifyIntegrity() const override {
+    return engine_->VerifyIntegrity();
+  }
+  kds::IntegrityCounters IntegrityStats() const override {
+    return engine_->integrity_stats();
   }
 
  private:
@@ -139,6 +154,12 @@ class MbdsExecutor : public KernelExecutor {
   }
   kds::PoolCounters PoolStats() const override {
     return controller_->PoolStats();
+  }
+  kds::IntegrityReport VerifyIntegrity() const override {
+    return controller_->VerifyIntegrity();
+  }
+  kds::IntegrityCounters IntegrityStats() const override {
+    return controller_->IntegrityStats();
   }
 
   KernelHealth Health() const override {

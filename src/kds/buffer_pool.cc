@@ -67,7 +67,10 @@ void BufferPool::MarkDirty(Frame* frame) {
 Status BufferPool::WriteThrough(Frame* frame, IoStats* io) {
   std::lock_guard<std::mutex> lock(mutex_);
   Status s = frame->file->WritePage(frame->page, frame->data.data());
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    if (sticky_error_.ok()) sticky_error_ = s;
+    return s;
+  }
   frame->dirty = false;
   if (io != nullptr) ++io->blocks_written;
   return Status::OK();
@@ -97,9 +100,20 @@ void BufferPool::RemoveFrameLocked(Frame* frame) {
 }
 
 void BufferPool::EvictOverflowLocked(IoStats* io) {
-  while (lru_.size() > capacity_) {
+  // A victim whose dirty write-back fails must NOT be discarded: its
+  // on-disk page is stale, so dropping the frame would silently serve
+  // old bytes on the next fetch. The victim is rotated to the MRU end
+  // instead and the next candidate is tried; if every unpinned frame
+  // fails, the pool temporarily exceeds capacity and the sticky error
+  // surfaces through Flush().
+  size_t attempts = lru_.size();
+  while (lru_.size() > capacity_ && attempts-- > 0) {
     Frame* victim = lru_.front();
-    (void)WriteBackLocked(victim, io, /*eviction=*/true);
+    if (!WriteBackLocked(victim, io, /*eviction=*/true).ok()) {
+      lru_.erase(victim->lru_pos);
+      victim->lru_pos = lru_.insert(lru_.end(), victim);
+      continue;
+    }
     ++counters_.evictions;
     RemoveFrameLocked(victim);
   }
@@ -111,8 +125,12 @@ void BufferPool::Unpin(Frame* frame, IoStats* io) {
   if (--frame->pins > 0) return;
   if (capacity_ == 0) {
     // Write-through mode: no cache. Persist any deferred bytes and drop.
-    (void)WriteBackLocked(frame, io, /*eviction=*/false);
-    RemoveFrameLocked(frame);
+    // On a failed write-back the frame stays resident (the disk copy is
+    // stale), so later fetches still see the true bytes and a later
+    // Flush retries; the failure is sticky and surfaces there.
+    if (WriteBackLocked(frame, io, /*eviction=*/false).ok()) {
+      RemoveFrameLocked(frame);
+    }
     return;
   }
   frame->lru_pos = lru_.insert(lru_.end(), frame);
@@ -123,9 +141,21 @@ void BufferPool::Unpin(Frame* frame, IoStats* io) {
 
 Status BufferPool::Flush(PageFile* file, IoStats* io) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [key, frame] : frames_) {
-    if (file != nullptr && frame->file != file) continue;
-    MLDS_RETURN_IF_ERROR(WriteBackLocked(frame.get(), io, false));
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* frame = it->second.get();
+    if (file != nullptr && frame->file != file) {
+      ++it;
+      continue;
+    }
+    MLDS_RETURN_IF_ERROR(WriteBackLocked(frame, io, false));
+    // Write-through mode holds no cache: a frame kept resident only
+    // because an earlier write-back failed is released once its bytes
+    // finally land.
+    if (capacity_ == 0 && frame->pins == 0 && !frame->dirty) {
+      it = frames_.erase(it);
+      continue;
+    }
+    ++it;
   }
   Status s = sticky_error_;
   sticky_error_ = Status::OK();

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <utility>
 
+#include "kds/snapshot.h"
 #include "kds/wal.h"
 
 namespace mlds::kds {
@@ -16,6 +17,8 @@ namespace mlds::kds {
 namespace {
 
 constexpr char kCleanMarker[] = "CLEAN";
+constexpr char kCheckpointName[] = "checkpoint.snap";
+constexpr char kQuarantineSuffix[] = ".quarantined";
 
 /// Page-file name for a kernel file: alphanumerics pass through, every
 /// other byte is %XX-escaped so distinct file names never collide.
@@ -151,6 +154,29 @@ PlanNode MergeFilePlans(std::vector<PlanNode> plans) {
 
 }  // namespace
 
+std::string IntegrityReport::ToText() const {
+  uint64_t pages = 0, bad = 0;
+  for (const auto& verdict : files) {
+    pages += verdict.pages;
+    bad += verdict.bad_pages;
+  }
+  std::string out = clean ? "integrity OK" : "integrity FAILED";
+  out += ": " + std::to_string(files.size()) + " file(s), " +
+         std::to_string(pages) + " page(s) scrubbed, " + std::to_string(bad) +
+         " bad\n";
+  for (const auto& verdict : files) {
+    out += "  " + verdict.file + ": " + std::to_string(verdict.pages) +
+           " page(s)";
+    if (verdict.bad_pages == 0) {
+      out += " OK\n";
+    } else {
+      out += ", " + std::to_string(verdict.bad_pages) +
+             " bad: " + verdict.status.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
 PlanNode WrapRetrievePlan(const abdl::RetrieveRequest& req, PlanNode base,
                           size_t output_rows) {
   const bool has_aggregate =
@@ -249,20 +275,38 @@ std::vector<Record> PostProcessRetrieve(const abdl::RetrieveRequest& req,
 
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
-      pool_(options_.pool_pages, options_.page_bytes) {
+      pool_(options_.pool_pages, options_.page_bytes),
+      io_(options_.file_io != nullptr ? options_.file_io
+                                      : FileIo::Default()) {
   if (!options_.data_dir.empty()) RestoreFromDisk();
 }
 
 Engine::~Engine() {
-  (void)Flush();
+  const Status flushed = Flush();
   if (options_.data_dir.empty()) return;
-  // Write the clean-shutdown marker *after* the flush: its presence
-  // certifies that the page files hold the engine's final state. A crash
-  // anywhere before this point leaves no marker, and the next engine
-  // discards the page files in favor of WAL + checkpoint recovery.
+  // A failed flush means the page files may not hold the engine's final
+  // state — leave no marker and no fresh checkpoint, so the next engine
+  // treats the directory as a crash and recovers from WAL + checkpoint.
+  if (!flushed.ok()) return;
+  // Checkpoint snapshot next to the page files: the rebuild source when
+  // a later restore finds a corrupt page file. Written atomically
+  // (temp + fsync + rename), so running out of space mid-write leaves
+  // the previous checkpoint intact.
+  std::ostringstream snap;
+  if (SaveSnapshot(*this, snap).ok() &&
+      io_->WriteFileAtomic(CheckpointPath(), snap.str()).ok()) {
+    integrity_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The clean-shutdown marker goes last — atomically, because its mere
+  // presence certifies that the page files hold the engine's final
+  // state. A crash anywhere before this point leaves no marker, and the
+  // next engine discards the page files in favor of WAL + checkpoint
+  // recovery.
   const std::string path =
       (std::filesystem::path(options_.data_dir) / kCleanMarker).string();
-  if (std::FILE* f = std::fopen(path.c_str(), "wb")) std::fclose(f);
+  if (io_->WriteFileAtomic(path, "").ok()) {
+    integrity_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Engine::RestoreFromDisk() {
@@ -287,39 +331,98 @@ void Engine::RestoreFromDisk() {
     if (entry.path().extension() == ".mpf") paths.push_back(entry.path());
   }
   std::sort(paths.begin(), paths.end());
+  std::set<std::string> damaged;
   for (const auto& path : paths) {
-    auto file = PageFile::Open(path.string(), options_.page_bytes);
+    Status broken = Status::OK();
+    auto file = PageFile::Open(path.string(), options_.page_bytes, io_,
+                               &integrity_);
+    std::unique_ptr<FileStore> store;
+    std::vector<std::string> secondary;
     if (!file.ok()) {
-      if (restore_status_.ok()) restore_status_ = file.status();
-      continue;
+      broken = file.status();
+    } else {
+      auto meta = FileStore::DecodeMeta((*file)->meta());
+      if (!meta.ok()) {
+        broken = meta.status();
+      } else {
+        secondary = meta->secondary;
+        store = std::make_unique<FileStore>(
+            meta->descriptor, meta->block_capacity, &pool_, std::move(*file));
+        broken = store->LoadFromPages();
+      }
     }
-    auto meta = FileStore::DecodeMeta((*file)->meta());
-    if (!meta.ok()) {
-      if (restore_status_.ok()) restore_status_ = meta.status();
-      continue;
-    }
-    auto store = std::make_unique<FileStore>(
-        meta->descriptor, meta->block_capacity, &pool_, std::move(*file));
-    Status loaded = store->LoadFromPages();
-    if (!loaded.ok()) {
-      if (restore_status_.ok()) restore_status_ = loaded;
+    if (!broken.ok()) {
+      // Damaged page file: quarantine it and remember its stem so the
+      // checkpoint rebuild below can re-create just this kernel file.
+      // The engine degrades gracefully instead of serving garbage or
+      // refusing to start.
+      if (restore_status_.ok()) restore_status_ = broken;
+      store.reset();
+      if (file.ok()) file->reset();
+      QuarantinePageFile(path.string());
+      damaged.insert(path.stem().string());
       continue;
     }
     // Secondary indexes built on demand live only in the metadata blob;
     // rebuild them now that the directory is loaded (uncharged, like the
     // rest of the cold start).
-    for (const std::string& attr : meta->secondary) {
+    for (const std::string& attr : secondary) {
       (void)store->BuildSecondaryIndex(attr, nullptr);
     }
     std::string name = store->name();
     restored_unclaimed_.insert(name);
     files_.emplace(std::move(name), std::move(store));
   }
+  if (!damaged.empty()) RebuildFromCheckpoint(damaged);
+}
+
+void Engine::QuarantinePageFile(const std::string& path) {
+  // Replace any quarantine leftover from an earlier incident, then move
+  // the damaged bytes aside; if even the rename fails, fall back to
+  // removing the file so the rebuild still starts from a clean slate.
+  (void)io_->Remove(path + kQuarantineSuffix);
+  if (!io_->Rename(path, path + kQuarantineSuffix).ok()) {
+    (void)io_->Remove(path);
+  }
+  (void)io_->Remove(path + ".hdr");
+}
+
+void Engine::RebuildFromCheckpoint(const std::set<std::string>& damaged) {
+  auto text = io_->ReadFile(CheckpointPath());
+  if (!text.ok()) return;  // no checkpoint; restore_status_ reports it
+  std::istringstream in(*text);
+  Status rebuilt = LoadSnapshotFiltered(
+      in, this, [&](const std::string& name) {
+        return damaged.count(SanitizeFileName(name)) > 0;
+      });
+  if (!rebuilt.ok()) {
+    if (restore_status_.ok()) restore_status_ = rebuilt;
+    return;
+  }
+  // Rebuilt files are re-attachable exactly like cleanly restored ones:
+  // the schema definition that follows on startup must find them instead
+  // of failing with AlreadyExists.
+  uint64_t recreated = 0;
+  for (const auto& [name, store] : files_) {
+    if (damaged.count(SanitizeFileName(name)) == 0) continue;
+    restored_unclaimed_.insert(name);
+    ++recreated;
+  }
+  integrity_.files_rebuilt.fetch_add(recreated, std::memory_order_relaxed);
+  // Every damaged file came back from the checkpoint: the restore healed
+  // itself, so the engine reports the incident through the integrity
+  // counters rather than a sticky restore error.
+  if (recreated == damaged.size()) restore_status_ = Status::OK();
 }
 
 std::string Engine::PageFilePath(std::string_view file) const {
   return (std::filesystem::path(options_.data_dir) /
           (SanitizeFileName(file) + ".mpf"))
+      .string();
+}
+
+std::string Engine::CheckpointPath() const {
+  return (std::filesystem::path(options_.data_dir) / kCheckpointName)
       .string();
 }
 
@@ -343,7 +446,7 @@ Status Engine::DefineFileLocked(const abdm::FileDescriptor& descriptor) {
   if (!options_.data_dir.empty()) {
     MLDS_ASSIGN_OR_RETURN(
         file, PageFile::Open(PageFilePath(descriptor.name),
-                             options_.page_bytes));
+                             options_.page_bytes, io_, &integrity_));
   }
   if (WalWriter* wal = wal_.load(std::memory_order_acquire)) {
     MLDS_RETURN_IF_ERROR(wal->Append(EncodeDefineFile(descriptor)));
@@ -394,6 +497,9 @@ Status Engine::RemoveFile(std::string_view file) {
   if (!path.empty()) {
     std::error_code ec;
     std::filesystem::remove(path, ec);
+    // The header sidecar journal must not outlive its page file: a later
+    // file of the same name would otherwise adopt a stale header.
+    std::filesystem::remove(path + ".hdr", ec);
   }
   return Status::OK();
 }
@@ -447,10 +553,13 @@ void WipeStorageDir(const std::string& dir) {
   namespace fs = std::filesystem;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.path().extension() == ".mpf" ||
-        entry.path().filename() == kCleanMarker) {
+    const fs::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext == ".mpf" || ext == ".hdr" || ext == ".quarantined" ||
+        ext == ".tmp" || path.filename() == kCleanMarker ||
+        path.filename() == kCheckpointName) {
       std::error_code remove_ec;
-      fs::remove(entry.path(), remove_ec);
+      fs::remove(path, remove_ec);
     }
   }
 }
@@ -490,10 +599,57 @@ uint64_t Engine::CompactAll() {
   IoStats io;
   for (auto& [name, store] : files_) {
     std::unique_lock<std::shared_mutex> file_lock(store->mutex());
-    reclaimed += store->Compact(&io);
+    // A failed compaction (read error mid-collect) leaves the store
+    // untouched; the error resurfaces on the next request that reads
+    // the bad page, where it carries request context.
+    auto result = store->Compact(&io);
+    if (result.ok()) reclaimed += *result;
   }
   cumulative_io_.Add(io);
   return reclaimed;
+}
+
+IntegrityReport Engine::VerifyIntegrity() const {
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  IntegrityReport report;
+  for (const auto& [name, store] : files_) {
+    std::shared_lock<std::shared_mutex> file_lock(store->mutex());
+    IntegrityReport::FileVerdict verdict;
+    verdict.file = name;
+    const PageFile* file = store->page_file();
+    std::vector<char> buf(file->page_bytes());
+    const uint64_t pages = file->page_count();
+    for (uint64_t page = 0; page < pages; ++page) {
+      ++verdict.pages;
+      integrity_.pages_scrubbed.fetch_add(1, std::memory_order_relaxed);
+      Status read = file->ReadPage(page, buf.data());
+      if (read.ok()) continue;
+      ++verdict.bad_pages;
+      if (verdict.status.ok()) verdict.status = read;
+    }
+    if (verdict.bad_pages > 0) report.clean = false;
+    report.files.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+void Engine::SetVerifyReads(bool verify) {
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  for (auto& [name, store] : files_) {
+    std::unique_lock<std::shared_mutex> file_lock(store->mutex());
+    store->page_file()->set_verify_reads(verify);
+  }
+}
+
+IntegrityCounters Engine::integrity_stats() const {
+  IntegrityCounters c = integrity_.Snapshot();
+  // The page layer counts every I/O failure it observes; the seam knows
+  // how many of those it manufactured.
+  c.io_errors_injected = io_->injected_faults();
+  c.io_errors_real = c.io_errors_real > c.io_errors_injected
+                         ? c.io_errors_real - c.io_errors_injected
+                         : 0;
+  return c;
 }
 
 const abdm::FileDescriptor* Engine::FindDescriptor(
@@ -725,7 +881,7 @@ Result<Response> Engine::ExecuteInsert(const abdl::InsertRequest& req) {
                             "' not defined");
   }
   Response resp;
-  store->Insert(req.record, &resp.io);
+  MLDS_RETURN_IF_ERROR(store->Insert(req.record, &resp.io).status());
   resp.affected = 1;
   return resp;
 }
@@ -753,7 +909,7 @@ Result<Response> Engine::ExecuteBatchInsert(const abdl::BatchInsertRequest& req)
   }
   Response resp;
   for (size_t i = 0; i < req.records.size(); ++i) {
-    stores[i]->Insert(req.records[i], &resp.io);
+    MLDS_RETURN_IF_ERROR(stores[i]->Insert(req.records[i], &resp.io).status());
   }
   resp.affected = req.records.size();
   return resp;
@@ -764,8 +920,10 @@ Result<Response> Engine::ExecuteDelete(const abdl::DeleteRequest& req) {
   std::vector<PlanNode> plans;
   for (FileStore* store : Route(req.query)) {
     PlanNode plan;
-    resp.affected +=
-        store->Delete(req.query, &resp.io, req.explain ? &plan : nullptr);
+    MLDS_ASSIGN_OR_RETURN(
+        const size_t deleted,
+        store->Delete(req.query, &resp.io, req.explain ? &plan : nullptr));
+    resp.affected += deleted;
     if (req.explain) plans.push_back(std::move(plan));
   }
   if (req.explain) {
@@ -780,8 +938,9 @@ Result<Response> Engine::ExecuteUpdate(const abdl::UpdateRequest& req) {
   const abdl::Modifier& mod = req.modifier;
   for (FileStore* store : Route(req.query)) {
     PlanNode plan;
-    std::vector<std::pair<RecordId, Record>> rows =
-        store->SelectRecords(req.query, &resp.io, req.explain ? &plan : nullptr);
+    MLDS_ASSIGN_OR_RETURN(
+        auto rows, store->SelectRecords(req.query, &resp.io,
+                                        req.explain ? &plan : nullptr));
     if (req.explain) plans.push_back(std::move(plan));
     for (auto& [id, old] : rows) {
       Record updated = std::move(old);
@@ -803,7 +962,7 @@ Result<Response> Engine::ExecuteUpdate(const abdl::UpdateRequest& req) {
           break;
         }
       }
-      store->Replace(id, std::move(updated), &resp.io);
+      MLDS_RETURN_IF_ERROR(store->Replace(id, std::move(updated), &resp.io));
       ++resp.affected;
     }
   }
@@ -819,10 +978,10 @@ Result<Response> Engine::ExecuteRetrieve(const abdl::RetrieveRequest& req) {
   std::vector<PlanNode> plans;
   for (FileStore* store : Route(req.query)) {
     PlanNode plan;
-    for (auto& [id, record] : store->SelectRecords(
-             req.query, &resp.io, req.explain ? &plan : nullptr)) {
-      matched.push_back(std::move(record));
-    }
+    MLDS_ASSIGN_OR_RETURN(
+        auto rows, store->SelectRecords(req.query, &resp.io,
+                                        req.explain ? &plan : nullptr));
+    for (auto& [id, record] : rows) matched.push_back(std::move(record));
     if (req.explain) plans.push_back(std::move(plan));
   }
   resp.records = PostProcessRetrieve(req, std::move(matched));
@@ -840,18 +999,18 @@ Result<Response> Engine::ExecuteRetrieveCommon(
   std::vector<PlanNode> left_plans, right_plans;
   for (FileStore* store : Route(req.left_query)) {
     PlanNode plan;
-    for (auto& [id, record] : store->SelectRecords(
-             req.left_query, &resp.io, req.explain ? &plan : nullptr)) {
-      left.push_back(std::move(record));
-    }
+    MLDS_ASSIGN_OR_RETURN(
+        auto rows, store->SelectRecords(req.left_query, &resp.io,
+                                        req.explain ? &plan : nullptr));
+    for (auto& [id, record] : rows) left.push_back(std::move(record));
     if (req.explain) left_plans.push_back(std::move(plan));
   }
   for (FileStore* store : Route(req.right_query)) {
     PlanNode plan;
-    for (auto& [id, record] : store->SelectRecords(
-             req.right_query, &resp.io, req.explain ? &plan : nullptr)) {
-      right.push_back(std::move(record));
-    }
+    MLDS_ASSIGN_OR_RETURN(
+        auto rows, store->SelectRecords(req.right_query, &resp.io,
+                                        req.explain ? &plan : nullptr));
+    for (auto& [id, record] : rows) right.push_back(std::move(record));
     if (req.explain) right_plans.push_back(std::move(plan));
   }
   // Hash the right side by join value, then probe with the left.

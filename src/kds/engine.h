@@ -12,6 +12,7 @@
 #include "abdl/request.h"
 #include "abdm/schema.h"
 #include "common/result.h"
+#include "kds/file_io.h"
 #include "kds/file_store.h"
 #include "kds/io_stats.h"
 
@@ -96,6 +97,27 @@ struct EngineOptions {
   /// makes the reader-concurrency claim observable as wall-clock speedup
   /// on any core count. 0 disables injection.
   double latency_ms_per_block = 0.0;
+  /// File-I/O seam for every page file, the checkpoint snapshot, and the
+  /// clean-shutdown marker (not owned; nullptr uses the real POSIX
+  /// implementation). Fault tests install a FaultyFileIo here.
+  FileIo* file_io = nullptr;
+};
+
+/// Per-file verdicts from Engine::VerifyIntegrity — the on-demand
+/// scrubber that walks every on-disk page through the checksum verify.
+struct IntegrityReport {
+  struct FileVerdict {
+    std::string file;        ///< Kernel file name.
+    uint64_t pages = 0;      ///< On-disk pages walked.
+    uint64_t bad_pages = 0;  ///< Pages failing the verify.
+    Status status;           ///< First failure (OK when clean).
+  };
+  std::vector<FileVerdict> files;
+  bool clean = true;
+
+  /// Human-readable multi-line report (one line per file plus a verdict
+  /// header), served verbatim to the shell's `.verify`.
+  std::string ToText() const;
 };
 
 /// The kernel database system (KDS) execution engine for one backend: it
@@ -172,6 +194,24 @@ class Engine {
   /// Buffer-pool traffic across every file of this engine.
   PoolCounters pool_stats() const { return pool_.counters(); }
 
+  /// Walks every on-disk page of every file through the checksum verify
+  /// (read-only; file locks held shared, so retrievals overlap the
+  /// scrub). Memory-mode files report their page count with zero bad
+  /// pages — there are no disk bytes to distrust.
+  IntegrityReport VerifyIntegrity() const;
+
+  /// Storage-integrity counters for this engine, with I/O errors split
+  /// into injected (served by a FaultyFileIo seam) and real.
+  IntegrityCounters integrity_stats() const;
+
+  /// Toggles checksum verification on page reads for every file (see
+  /// PageFile::set_verify_reads). Only the integrity bench turns this
+  /// off, to price the verify itself.
+  void SetVerifyReads(bool verify);
+
+  /// The engine's file-I/O seam (never nullptr).
+  FileIo* file_io() const { return io_; }
+
   const EngineOptions& options() const { return options_; }
 
   /// Attaches a write-ahead log (not owned; nullptr detaches): every
@@ -239,18 +279,34 @@ class Engine {
     }
     std::shared_lock<std::shared_mutex> file_lock(it->second->mutex());
     IoStats io;
-    it->second->ForEach(
+    Status visited = it->second->ForEach(
         [&](RecordId, const abdm::Record& record) { fn(record); }, &io);
     cumulative_io_.Add(io);
-    return Status::OK();
+    return visited;
   }
 
  private:
   /// Loads (clean shutdown) or wipes (crash) the data dir's page files.
+  /// A page file that fails to open, verify, or load is quarantined and
+  /// rebuilt from the checkpoint snapshot instead of aborting the
+  /// restore.
   void RestoreFromDisk();
+
+  /// Moves a damaged page file aside as "<path>.quarantined" so the
+  /// rebuild starts from a fresh file while the bad bytes stay around
+  /// for post-mortems.
+  void QuarantinePageFile(const std::string& path);
+
+  /// Re-creates the kernel files whose sanitized page-file stems appear
+  /// in `damaged` from the checkpoint snapshot written at the last clean
+  /// shutdown. Rebuilt files become re-attachable like any restored one.
+  void RebuildFromCheckpoint(const std::set<std::string>& damaged);
 
   /// Path of `file`'s page file under the data dir.
   std::string PageFilePath(std::string_view file) const;
+
+  /// Path of the checkpoint snapshot under the data dir.
+  std::string CheckpointPath() const;
 
   /// DefineFile body; caller holds the map lock exclusively.
   Status DefineFileLocked(const abdm::FileDescriptor& descriptor);
@@ -286,6 +342,10 @@ class Engine {
   /// files_ so the stores (which write back through it on destruction)
   /// are destroyed first.
   BufferPool pool_;
+  /// Resolved file-I/O seam: options_.file_io or the POSIX default.
+  FileIo* io_ = nullptr;
+  /// Mutable: const scrubs (VerifyIntegrity) still count pages walked.
+  mutable AtomicIntegrityCounters integrity_;
   /// First locking level: guards the files map's shape. Shared for every
   /// request, exclusive for DDL.
   mutable std::shared_mutex map_mutex_;
@@ -305,9 +365,13 @@ class Engine {
   std::atomic<uint64_t> next_txn_id_{1};
 };
 
-/// Removes every page file and the clean-shutdown marker under `dir`
-/// (best effort; a missing dir is fine). The MBDS controller wipes a
-/// backend's storage before rebuilding it during reintegration.
+/// Removes every storage artifact under `dir`: page files, header
+/// sidecars, quarantined files, atomic-write temps, the checkpoint
+/// snapshot, and the clean-shutdown marker (best effort; a missing dir
+/// is fine). The MBDS controller wipes a backend's storage before
+/// rebuilding it during reintegration; a stale checkpoint snapshot must
+/// not survive the wipe, or a later corruption rebuild would resurrect
+/// pre-recovery records.
 void WipeStorageDir(const std::string& dir);
 
 }  // namespace mlds::kds

@@ -1,0 +1,266 @@
+#include "kds/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mlds::kds {
+
+namespace {
+
+std::string ErrnoMessage(const char* verb, const std::string& path) {
+  std::string out = "file_io: ";
+  out += verb;
+  out += " '";
+  out += path;
+  out += "': ";
+  out += std::strerror(errno);
+  return out;
+}
+
+#ifndef _WIN32
+
+/// The real POSIX file handle: pread/pwrite keep the handle free of seek
+/// state so PageFile can serve concurrent readers off one descriptor.
+class PosixFileHandle : public FileHandle {
+ public:
+  PosixFileHandle(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFileHandle() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, void* buf, size_t n) override {
+    size_t done = 0;
+    char* out = static_cast<char*>(buf);
+    while (done < n) {
+      const ssize_t got = ::pread(fd_, out + done, n - done,
+                                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(ErrnoMessage("read", path_));
+      }
+      if (got == 0) break;  // EOF.
+      done += static_cast<size_t>(got);
+    }
+    return done;
+  }
+
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override {
+    size_t done = 0;
+    const char* in = static_cast<const char*>(buf);
+    while (done < n) {
+      const ssize_t put = ::pwrite(fd_, in + done, n - done,
+                                   static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(ErrnoMessage("write", path_));
+      }
+      done += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::Internal(ErrnoMessage("stat", path_));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::Internal(ErrnoMessage("truncate", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileIo : public FileIo {
+ public:
+  Result<std::unique_ptr<FileHandle>> Open(const std::string& path,
+                                            bool create) override {
+    int flags = O_RDWR;
+    if (create) flags |= O_CREAT;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound(ErrnoMessage("open", path));
+      }
+      return Status::Internal(ErrnoMessage("open", path));
+    }
+    return std::unique_ptr<FileHandle>(new PosixFileHandle(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal(ErrnoMessage("rename", from));
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::Internal(ErrnoMessage("remove", path));
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+};
+
+#else
+#error "kds::FileIo has no non-POSIX implementation"
+#endif  // _WIN32
+
+}  // namespace
+
+FileIo* FileIo::Default() {
+  static PosixFileIo* io = new PosixFileIo();
+  return io;
+}
+
+Status FileIo::WriteFileAtomic(const std::string& path,
+                               std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    auto handle = Open(tmp, /*create=*/true);
+    if (!handle.ok()) return handle.status();
+    MLDS_RETURN_IF_ERROR((*handle)->Truncate(0));
+    MLDS_RETURN_IF_ERROR((*handle)->WriteAt(0, data.data(), data.size()));
+    MLDS_RETURN_IF_ERROR((*handle)->Sync());
+  }
+  Status renamed = Rename(tmp, path);
+  if (!renamed.ok()) {
+    (void)Remove(tmp);  // best effort: don't leave the temp behind.
+    return renamed;
+  }
+  return Status::OK();
+}
+
+Result<std::string> FileIo::ReadFile(const std::string& path) {
+  auto handle = Open(path, /*create=*/false);
+  if (!handle.ok()) return handle.status();
+  MLDS_ASSIGN_OR_RETURN(const uint64_t size, (*handle)->Size());
+  std::string out(static_cast<size_t>(size), '\0');
+  MLDS_ASSIGN_OR_RETURN(const size_t got,
+                        (*handle)->ReadAt(0, out.data(), out.size()));
+  out.resize(got);
+  return out;
+}
+
+namespace {
+
+/// Wraps a base handle, consulting the owning FaultyFileIo before every
+/// operation. A kShortWrite lands the first half of the buffer (the torn
+/// write the page checksum must catch) before reporting failure.
+class FaultyFileHandle : public FileHandle {
+ public:
+  FaultyFileHandle(std::unique_ptr<FileHandle> base, FaultyFileIo* owner)
+      : base_(std::move(base)), owner_(owner) {}
+
+  Result<size_t> ReadAt(uint64_t offset, void* buf, size_t n) override;
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override;
+  Status Sync() override;
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+ private:
+  std::unique_ptr<FileHandle> base_;
+  FaultyFileIo* owner_;
+};
+
+Result<size_t> FaultyFileHandle::ReadAt(uint64_t offset, void* buf,
+                                        size_t n) {
+  if (owner_->ShouldFault(IoFaultKind::kReadError)) {
+    return Status::Internal("file_io: injected EIO on read");
+  }
+  return base_->ReadAt(offset, buf, n);
+}
+
+Status FaultyFileHandle::WriteAt(uint64_t offset, const void* buf, size_t n) {
+  if (owner_->ShouldFault(IoFaultKind::kWriteError)) {
+    return Status::Internal("file_io: injected EIO on write");
+  }
+  if (owner_->ShouldFault(IoFaultKind::kNoSpace)) {
+    return Status::Internal("file_io: injected ENOSPC on write");
+  }
+  if (owner_->ShouldFault(IoFaultKind::kShortWrite)) {
+    // Land a torn prefix, then fail: the on-disk frame is now half old,
+    // half new — exactly what the page checksum exists to detect.
+    const size_t half = n / 2;
+    if (half > 0) (void)base_->WriteAt(offset, buf, half);
+    return Status::Internal("file_io: injected short write");
+  }
+  return base_->WriteAt(offset, buf, n);
+}
+
+Status FaultyFileHandle::Sync() {
+  if (owner_->ShouldFault(IoFaultKind::kSyncError)) {
+    return Status::Internal("file_io: injected fsync failure");
+  }
+  return base_->Sync();
+}
+
+}  // namespace
+
+bool FaultyFileIo::ShouldFault(IoFaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_ || kind_ != kind || remaining_ == 0) return false;
+  if (countdown_ > 0) {
+    --countdown_;
+    return false;
+  }
+  --remaining_;
+  if (remaining_ == 0) armed_ = false;
+  faults_served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Result<std::unique_ptr<FileHandle>> FaultyFileIo::Open(const std::string& path,
+                                                       bool create) {
+  auto base = base_->Open(path, create);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<FileHandle>(
+      new FaultyFileHandle(std::move(*base), this));
+}
+
+Status FaultyFileIo::Rename(const std::string& from, const std::string& to) {
+  if (ShouldFault(IoFaultKind::kRenameError)) {
+    return Status::Internal("file_io: injected rename failure");
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultyFileIo::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+bool FaultyFileIo::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+}  // namespace mlds::kds

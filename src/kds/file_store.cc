@@ -116,15 +116,15 @@ void FileStore::IndexErase(RecordId id, const abdm::Record& record) {
   }
 }
 
-void FileStore::CommitFrame(BufferPool::Frame* frame, IoStats* io) {
+Status FileStore::CommitFrame(BufferPool::Frame* frame, IoStats* io) {
   if (pool_->capacity() == 0) {
     // Write-through: the page reaches the file immediately, so every
     // mutation costs exactly one block write — the same accounting the
     // pre-paged store charged.
-    (void)pool_->WriteThrough(frame, io);
-  } else {
-    pool_->MarkDirty(frame);
+    return pool_->WriteThrough(frame, io);
   }
+  pool_->MarkDirty(frame);
+  return Status::OK();
 }
 
 void FileStore::SealFillPage(IoStats* io) {
@@ -151,9 +151,9 @@ void FileStore::EnsureFillPage(size_t payload_size, IoStats* io) {
   }
 }
 
-FileStore::Addr FileStore::AppendOverflow(RecordId id,
-                                          const std::string& payload,
-                                          IoStats* io) {
+Result<FileStore::Addr> FileStore::AppendOverflow(RecordId id,
+                                                  const std::string& payload,
+                                                  IoStats* io) {
   const size_t pb = file_->page_bytes();
   const size_t head_cap = PageView::MaxPayload(pb) - 8;
   const size_t cont_cap = pb - 8;
@@ -171,8 +171,9 @@ FileStore::Addr FileStore::AppendOverflow(RecordId id,
   head_payload.append(payload, 0, head_cap);
   view.Append(id | kOverflowRidBit, head_payload);
   ++pages_;
-  CommitFrame(head, io);
+  Status committed = CommitFrame(head, io);
   pool_->Unpin(head, io);
+  MLDS_RETURN_IF_ERROR(committed);
 
   size_t off = head_cap;
   uint32_t page = cont_first;
@@ -187,17 +188,18 @@ FileStore::Addr FileStore::AppendOverflow(RecordId id,
     PutU32(d + 4, uint32_t(n));
     std::memcpy(d + 8, payload.data() + off, n);
     ++pages_;
-    CommitFrame(cont, io);
+    committed = CommitFrame(cont, io);
     pool_->Unpin(cont, io);
+    MLDS_RETURN_IF_ERROR(committed);
     off += n;
     ++page;
   }
   return Addr{head_page, 0};
 }
 
-FileStore::Addr FileStore::AppendPayload(RecordId id,
-                                         const std::string& payload,
-                                         IoStats* io) {
+Result<FileStore::Addr> FileStore::AppendPayload(RecordId id,
+                                                 const std::string& payload,
+                                                 IoStats* io) {
   if (payload.size() > PageView::MaxPayload(file_->page_bytes())) {
     return AppendOverflow(id, payload, io);
   }
@@ -206,28 +208,38 @@ FileStore::Addr FileStore::AppendPayload(RecordId id,
   int slot = view.Append(id, payload);
   assert(slot >= 0);
   ++fill_count_;
-  CommitFrame(fill_frame_, io);
+  MLDS_RETURN_IF_ERROR(CommitFrame(fill_frame_, io));
   return Addr{fill_page_, uint16_t(slot)};
 }
 
-RecordId FileStore::Insert(abdm::Record record, IoStats* io) {
+Result<RecordId> FileStore::Insert(abdm::Record record, IoStats* io) {
   const RecordId id = dir_.size();
-  IndexInsert(id, record);
   std::string payload;
   abdm::SerializeRecord(record, payload);
-  dir_.push_back(AppendPayload(id, payload, io));
+  // Append first: on a failed page write the directory and index stay
+  // untouched, and the partial pages are dead space until compaction.
+  MLDS_ASSIGN_OR_RETURN(const Addr addr, AppendPayload(id, payload, io));
+  IndexInsert(id, record);
+  dir_.push_back(addr);
   ++live_count_;
   if (io != nullptr) io->index_probes += 1;
   return id;
 }
 
-std::optional<abdm::Record> FileStore::DecodeEntry(
-    uint32_t page, const PageView::Entry& entry, IoStats* io,
-    std::set<uint64_t>* touched) const {
+Result<abdm::Record> FileStore::DecodeEntry(uint32_t page,
+                                            const PageView::Entry& entry,
+                                            IoStats* io,
+                                            std::set<uint64_t>* touched) const {
+  auto corrupt = [this](const char* what) {
+    return Status::Corruption(std::string("file_store: ") + what + " in '" +
+                              name() + "'");
+  };
   if ((entry.rid & kOverflowRidBit) == 0) {
-    return abdm::DeserializeRecord(entry.payload);
+    auto rec = abdm::DeserializeRecord(entry.payload);
+    if (!rec.has_value()) return corrupt("undecodable record");
+    return std::move(*rec);
   }
-  if (entry.payload.size() < 8) return std::nullopt;
+  if (entry.payload.size() < 8) return corrupt("truncated overflow head");
   const size_t pb = file_->page_bytes();
   const uint32_t total = GetU32(entry.payload.data());
   uint32_t cont = GetU32(entry.payload.data() + 4);
@@ -235,7 +247,7 @@ std::optional<abdm::Record> FileStore::DecodeEntry(
   data.reserve(total);
   while (data.size() < total) {
     auto frame = pool_->Fetch(file_.get(), cont, io);
-    if (!frame.ok()) return std::nullopt;
+    if (!frame.ok()) return frame.status();
     const char* d = (*frame)->data.data();
     size_t n = 0;
     if (IsContinuationPage(d)) {
@@ -245,12 +257,14 @@ std::optional<abdm::Record> FileStore::DecodeEntry(
     }
     pool_->Unpin(*frame, io);
     if (touched != nullptr) touched->insert(cont);
-    if (n == 0) return std::nullopt;  // broken chain
+    if (n == 0) return corrupt("broken overflow chain");
     ++cont;
   }
-  if (data.size() != total) return std::nullopt;
+  if (data.size() != total) return corrupt("overlong overflow chain");
   (void)page;
-  return abdm::DeserializeRecord(data);
+  auto rec = abdm::DeserializeRecord(data);
+  if (!rec.has_value()) return corrupt("undecodable overflow record");
+  return std::move(*rec);
 }
 
 std::optional<std::vector<RecordId>> FileStore::IndexLookup(
@@ -337,10 +351,10 @@ std::optional<size_t> FileStore::EstimateMatches(
   return total;
 }
 
-void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
-                                   PlanNode* node,
-                                   std::map<RecordId, abdm::Record>* out,
-                                   IoStats* io) const {
+Status FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
+                                     PlanNode* node,
+                                     std::map<RecordId, abdm::Record>* out,
+                                     IoStats* io) const {
   // Materialize the candidate set the plan prescribes; nullopt means the
   // plan is a full scan. Access-path choice happened at plan time (see
   // PlanConjunction): the cheapest directory estimate drives the fetch,
@@ -388,15 +402,17 @@ void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
   const size_t pb = file_->page_bytes();
   std::set<uint64_t> blocks_touched;
   uint64_t matched = 0;
-  auto examine = [&](RecordId id, uint32_t page, const PageView::Entry& e) {
+  auto examine = [&](RecordId id, uint32_t page,
+                     const PageView::Entry& e) -> Status {
     if (io != nullptr) io->records_examined += 1;
     blocks_touched.insert(page);
-    std::optional<abdm::Record> rec = DecodeEntry(page, e, io, &blocks_touched);
-    if (!rec.has_value()) return;
-    if (conj.Matches(*rec)) {
-      out->emplace(id, std::move(*rec));
+    MLDS_ASSIGN_OR_RETURN(abdm::Record rec,
+                          DecodeEntry(page, e, io, &blocks_touched));
+    if (conj.Matches(rec)) {
+      out->emplace(id, std::move(rec));
       ++matched;
     }
+    return Status::OK();
   };
 
   if (best.has_value()) {
@@ -409,46 +425,56 @@ void FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
     }
     for (auto& [page, slots] : by_page) {
       auto frame = pool_->Fetch(file_.get(), page, io);
-      if (!frame.ok()) continue;
+      if (!frame.ok()) return frame.status();
       PageView view((*frame)->data.data(), pb);
+      Status examined;
       for (const auto& [slot, id] : slots) {
         auto entry = view.Read(slot);
-        if (entry.has_value()) examine(id, page, *entry);
+        if (entry.has_value()) examined = examine(id, page, *entry);
+        if (!examined.ok()) break;
       }
       pool_->Unpin(*frame, io);
+      MLDS_RETURN_IF_ERROR(examined);
     }
   } else {
     for (uint64_t page = 0; page < pages_; ++page) {
       auto frame = pool_->Fetch(file_.get(), page, io);
-      if (!frame.ok()) continue;
+      if (!frame.ok()) return frame.status();
       PageView view((*frame)->data.data(), pb);
+      Status examined;
       if (!IsContinuationPage((*frame)->data.data())) {
         for (uint16_t s = 0; s < view.slot_count(); ++s) {
           auto entry = view.Read(s);
           if (!entry.has_value()) continue;
-          examine(entry->rid & ~kOverflowRidBit, uint32_t(page), *entry);
+          examined =
+              examine(entry->rid & ~kOverflowRidBit, uint32_t(page), *entry);
+          if (!examined.ok()) break;
         }
       }
       pool_->Unpin(*frame, io);
+      MLDS_RETURN_IF_ERROR(examined);
     }
     // A full scan touches every allocated block even if records are dead.
     for (uint64_t b = 0; b < pages_; ++b) blocks_touched.insert(b);
   }
   node->actual_rows = matched;
   node->actual_blocks = blocks_touched.size();
+  return Status::OK();
 }
 
 PlanNode FileStore::Plan(const abdm::Query& query) const {
   return PlanQuery(query, *this, name());
 }
 
-std::vector<std::pair<RecordId, abdm::Record>> FileStore::ExecuteRecords(
-    const abdm::Query& query, PlanNode* plan, IoStats* io) const {
+Result<std::vector<std::pair<RecordId, abdm::Record>>>
+FileStore::ExecuteRecords(const abdm::Query& query, PlanNode* plan,
+                          IoStats* io) const {
   std::map<RecordId, abdm::Record> matched;
   const auto& disjuncts = query.disjuncts();
   const size_t n = std::min(disjuncts.size(), plan->children.size());
   for (size_t i = 0; i < n; ++i) {
-    ExecuteConjunction(disjuncts[i], &plan->children[i], &matched, io);
+    MLDS_RETURN_IF_ERROR(
+        ExecuteConjunction(disjuncts[i], &plan->children[i], &matched, io));
   }
   plan->executed = true;
   plan->actual_rows = matched.size();
@@ -459,22 +485,26 @@ std::vector<std::pair<RecordId, abdm::Record>> FileStore::ExecuteRecords(
   return out;
 }
 
-std::vector<RecordId> FileStore::Execute(const abdm::Query& query,
-                                         PlanNode* plan, IoStats* io) const {
+Result<std::vector<RecordId>> FileStore::Execute(const abdm::Query& query,
+                                                 PlanNode* plan,
+                                                 IoStats* io) const {
+  MLDS_ASSIGN_OR_RETURN(auto records, ExecuteRecords(query, plan, io));
   std::vector<RecordId> ids;
-  for (auto& [id, rec] : ExecuteRecords(query, plan, io)) ids.push_back(id);
+  ids.reserve(records.size());
+  for (auto& [id, rec] : records) ids.push_back(id);
   return ids;
 }
 
-std::vector<RecordId> FileStore::Select(const abdm::Query& query, IoStats* io,
-                                        PlanNode* plan_out) const {
+Result<std::vector<RecordId>> FileStore::Select(const abdm::Query& query,
+                                                IoStats* io,
+                                                PlanNode* plan_out) const {
   PlanNode local;
   PlanNode* plan = plan_out != nullptr ? plan_out : &local;
   *plan = Plan(query);
   return Execute(query, plan, io);
 }
 
-std::vector<std::pair<RecordId, abdm::Record>> FileStore::SelectRecords(
+Result<std::vector<std::pair<RecordId, abdm::Record>>> FileStore::SelectRecords(
     const abdm::Query& query, IoStats* io, PlanNode* plan_out) const {
   PlanNode local;
   PlanNode* plan = plan_out != nullptr ? plan_out : &local;
@@ -482,12 +512,12 @@ std::vector<std::pair<RecordId, abdm::Record>> FileStore::SelectRecords(
   return ExecuteRecords(query, plan, io);
 }
 
-size_t FileStore::Delete(const abdm::Query& query, IoStats* io,
-                         PlanNode* plan_out) {
+Result<size_t> FileStore::Delete(const abdm::Query& query, IoStats* io,
+                                 PlanNode* plan_out) {
   PlanNode local;
   PlanNode* plan = plan_out != nullptr ? plan_out : &local;
   *plan = Plan(query);
-  auto victims = ExecuteRecords(query, plan, io);
+  MLDS_ASSIGN_OR_RETURN(auto victims, ExecuteRecords(query, plan, io));
   std::map<uint32_t, std::vector<uint16_t>> by_page;
   for (auto& [id, rec] : victims) {
     IndexErase(id, rec);
@@ -498,38 +528,46 @@ size_t FileStore::Delete(const abdm::Query& query, IoStats* io,
   for (auto& [page, slots] : by_page) {
     // The selection above just read these pages; the re-fetch is
     // bookkeeping, so only the write-back is charged (one per block, as
-    // the slot-store charged before paging).
+    // the slot-store charged before paging). A failure here leaves the
+    // on-page slots behind the in-memory directory — the error reaches
+    // the caller, and WAL replay restores consistency after a restart.
     auto frame = pool_->Fetch(file_.get(), page, nullptr);
-    if (!frame.ok()) continue;
+    if (!frame.ok()) return frame.status();
     PageView view((*frame)->data.data(), file_->page_bytes());
     for (uint16_t slot : slots) view.Erase(slot);
-    CommitFrame(*frame, io);
+    Status committed = CommitFrame(*frame, io);
     pool_->Unpin(*frame, nullptr);
+    MLDS_RETURN_IF_ERROR(committed);
   }
   return victims.size();
 }
 
-void FileStore::CollectAll(std::map<RecordId, abdm::Record>* out) const {
+Status FileStore::CollectAll(std::map<RecordId, abdm::Record>* out) const {
   const size_t pb = file_->page_bytes();
   for (uint64_t page = 0; page < pages_; ++page) {
     auto frame = pool_->Fetch(file_.get(), page, nullptr);
-    if (!frame.ok()) continue;
+    if (!frame.ok()) return frame.status();
+    Status decoded;
     if (!IsContinuationPage((*frame)->data.data())) {
       PageView view((*frame)->data.data(), pb);
       for (uint16_t s = 0; s < view.slot_count(); ++s) {
         auto entry = view.Read(s);
         if (!entry.has_value()) continue;
         auto rec = DecodeEntry(uint32_t(page), *entry, nullptr, nullptr);
-        if (rec.has_value()) {
-          out->emplace(entry->rid & ~kOverflowRidBit, std::move(*rec));
+        if (!rec.ok()) {
+          decoded = rec.status();
+          break;
         }
+        out->emplace(entry->rid & ~kOverflowRidBit, std::move(*rec));
       }
     }
     pool_->Unpin(*frame, nullptr);
+    MLDS_RETURN_IF_ERROR(decoded);
   }
+  return Status::OK();
 }
 
-void FileStore::ForEach(
+Status FileStore::ForEach(
     const std::function<void(RecordId, const abdm::Record&)>& fn,
     IoStats* io) const {
   if (io != nullptr) {
@@ -537,22 +575,27 @@ void FileStore::ForEach(
     io->records_examined += live_count_;
   }
   std::map<RecordId, abdm::Record> all;
-  CollectAll(&all);
+  MLDS_RETURN_IF_ERROR(CollectAll(&all));
   for (const auto& [id, rec] : all) fn(id, rec);
+  return Status::OK();
 }
 
-uint64_t FileStore::Compact(IoStats* io) {
+Result<uint64_t> FileStore::Compact(IoStats* io) {
   const uint64_t before = block_count();
   std::map<RecordId, abdm::Record> all;
-  CollectAll(&all);
+  // A read failure aborts before the truncate below, so a corrupt page
+  // can never turn compaction into data loss.
+  MLDS_RETURN_IF_ERROR(CollectAll(&all));
   SealFillPage(nullptr);
   pool_->Drop(file_.get());
-  (void)file_->Truncate();
+  MLDS_RETURN_IF_ERROR(file_->Truncate());
   pages_ = 0;
   dir_.clear();
   index_.clear();
   live_count_ = 0;
-  for (auto& [id, rec] : all) Insert(std::move(rec), nullptr);
+  for (auto& [id, rec] : all) {
+    MLDS_RETURN_IF_ERROR(Insert(std::move(rec), nullptr).status());
+  }
   if (io != nullptr) {
     // The rewrite reads every allocated block and writes back the
     // surviving ones.
@@ -570,24 +613,35 @@ std::optional<abdm::Record> FileStore::Get(RecordId id) const {
   PageView view((*frame)->data.data(), file_->page_bytes());
   auto entry = view.Read(addr.slot);
   std::optional<abdm::Record> rec;
-  if (entry.has_value()) rec = DecodeEntry(addr.page, *entry, nullptr, nullptr);
+  if (entry.has_value()) {
+    auto decoded = DecodeEntry(addr.page, *entry, nullptr, nullptr);
+    if (decoded.ok()) rec = std::move(*decoded);
+  }
   pool_->Unpin(*frame, nullptr);
   return rec;
 }
 
-void FileStore::Replace(RecordId id, abdm::Record record, IoStats* io) {
-  if (id >= dir_.size() || !dir_[id].has_value()) return;
+Status FileStore::Replace(RecordId id, abdm::Record record, IoStats* io) {
+  if (id >= dir_.size() || !dir_[id].has_value()) {
+    return Status::NotFound("file_store: no live record " +
+                            std::to_string(id) + " in '" + name() + "'");
+  }
   const Addr addr = *dir_[id];
   auto frame = pool_->Fetch(file_.get(), addr.page, nullptr);
-  if (!frame.ok()) return;
+  if (!frame.ok()) return frame.status();
   PageView view((*frame)->data.data(), file_->page_bytes());
   auto entry = view.Read(addr.slot);
-  std::optional<abdm::Record> old;
-  if (entry.has_value()) old = DecodeEntry(addr.page, *entry, nullptr, nullptr);
-  if (!old.has_value()) {
+  if (!entry.has_value()) {
     pool_->Unpin(*frame, nullptr);
-    return;
+    return Status::Corruption("file_store: directory points at dead slot in '" +
+                              name() + "'");
   }
+  auto decoded = DecodeEntry(addr.page, *entry, nullptr, nullptr);
+  if (!decoded.ok()) {
+    pool_->Unpin(*frame, nullptr);
+    return decoded.status();
+  }
+  std::optional<abdm::Record> old = std::move(*decoded);
   // Re-index only the changed keywords: erasing from an unchanged bucket
   // (e.g. the FILE keyword's, which lists every record of the file) would
   // cost O(file size) per update.
@@ -616,17 +670,21 @@ void FileStore::Replace(RecordId id, abdm::Record record, IoStats* io) {
       view.Fits(payload.size())) {
     int slot = view.Append(id, payload);
     dir_[id] = Addr{addr.page, uint16_t(slot)};
-    CommitFrame(*frame, io);
+    Status committed = CommitFrame(*frame, io);
     pool_->Unpin(*frame, nullptr);
+    MLDS_RETURN_IF_ERROR(committed);
   } else {
     // No room in place (or the old entry headed an overflow chain, whose
     // continuation pages become dead until compaction): persist the slot
     // erase and append at the fill page under the same id.
-    CommitFrame(*frame, io);
+    Status committed = CommitFrame(*frame, io);
     pool_->Unpin(*frame, nullptr);
-    dir_[id] = AppendPayload(id, payload, io);
+    MLDS_RETURN_IF_ERROR(committed);
+    MLDS_ASSIGN_OR_RETURN(const Addr moved, AppendPayload(id, payload, io));
+    dir_[id] = moved;
   }
   if (io != nullptr) io->index_probes += 1;
+  return Status::OK();
 }
 
 Status FileStore::BuildSecondaryIndex(std::string_view attr, IoStats* io) {
@@ -634,12 +692,12 @@ Status FileStore::BuildSecondaryIndex(std::string_view attr, IoStats* io) {
   std::string name(attr);
   secondary_.insert(name);
   // One charged full scan populates the new value buckets.
-  ForEach(
+  MLDS_RETURN_IF_ERROR(ForEach(
       [&](RecordId id, const abdm::Record& rec) {
         auto v = rec.Get(name);
         if (v.has_value()) index_[name][*v].insert(id);
       },
-      io);
+      io));
   if (file_->on_disk()) MLDS_RETURN_IF_ERROR(file_->SetMeta(EncodeMeta()));
   return Status::OK();
 }
@@ -666,10 +724,7 @@ Status FileStore::LoadFromPages() {
       if (!entry.has_value()) continue;
       const RecordId id = entry->rid & ~kOverflowRidBit;
       auto rec = DecodeEntry(uint32_t(page), *entry, nullptr, nullptr);
-      if (!rec.has_value()) {
-        return Status::ParseError("file_store: corrupt page entry in '" +
-                                  name() + "'");
-      }
+      if (!rec.ok()) return rec.status();
       if (id >= dir_.size()) dir_.resize(id + 1);
       dir_[id] = Addr{uint32_t(page), s};
       ++live_count_;

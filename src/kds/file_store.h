@@ -94,8 +94,10 @@ class FileStore : public abdm::DirectoryStats {
   double cached_fraction() const override;
 
   /// Appends a record. The record is stored as given; the caller (engine)
-  /// is responsible for ensuring the FILE keyword is present.
-  RecordId Insert(abdm::Record record, IoStats* io);
+  /// is responsible for ensuring the FILE keyword is present. A failed
+  /// page write (write-through pool) fails the insert; the partially
+  /// appended pages become dead space until compaction.
+  Result<RecordId> Insert(abdm::Record record, IoStats* io);
 
   /// Builds the physical plan for `query` against this store's directory
   /// statistics (estimates filled, actuals zero).
@@ -104,25 +106,27 @@ class FileStore : public abdm::DirectoryStats {
   /// Executes `plan` — which must have been built by `Plan(query)` under
   /// the same lock — returning ids of live records satisfying `query` in
   /// id order, charging `io`, and filling the plan's actual counters.
-  std::vector<RecordId> Execute(const abdm::Query& query, PlanNode* plan,
-                                IoStats* io) const;
+  /// A page fetch failure (I/O error or checksum mismatch) fails the
+  /// whole evaluation — corrupt data is never silently skipped.
+  Result<std::vector<RecordId>> Execute(const abdm::Query& query,
+                                        PlanNode* plan, IoStats* io) const;
 
   /// Returns ids of live records satisfying `query`, in id order. When
   /// `plan_out` is non-null the annotated plan is stored there.
-  std::vector<RecordId> Select(const abdm::Query& query, IoStats* io,
-                               PlanNode* plan_out = nullptr) const;
+  Result<std::vector<RecordId>> Select(const abdm::Query& query, IoStats* io,
+                                       PlanNode* plan_out = nullptr) const;
 
   /// Like Select, but also returns each matching record — the records
   /// were deserialized during evaluation anyway, and the paged store
   /// has no stable in-memory record addresses to hand out.
-  std::vector<std::pair<RecordId, abdm::Record>> SelectRecords(
+  Result<std::vector<std::pair<RecordId, abdm::Record>>> SelectRecords(
       const abdm::Query& query, IoStats* io,
       PlanNode* plan_out = nullptr) const;
 
   /// Deletes all records satisfying `query`; returns how many. When
   /// `plan_out` is non-null the annotated retrieval plan is stored there.
-  size_t Delete(const abdm::Query& query, IoStats* io,
-                PlanNode* plan_out = nullptr);
+  Result<size_t> Delete(const abdm::Query& query, IoStats* io,
+                        PlanNode* plan_out = nullptr);
 
   /// Returns the live record at `id`, or nullopt. Uncharged (directory
   /// maintenance path); retrieval goes through SelectRecords.
@@ -131,22 +135,24 @@ class FileStore : public abdm::DirectoryStats {
   /// Replaces the record at `id` (must be live), updating the directory.
   /// The id is preserved; the record moves to the fill page when the
   /// replacement no longer fits its page.
-  void Replace(RecordId id, abdm::Record record, IoStats* io);
+  Status Replace(RecordId id, abdm::Record record, IoStats* io);
 
   /// Rebuilds the store without dead slots, renumbering records and
   /// rebuilding the directory. Returns how many blocks were reclaimed.
   /// Record ids are invalidated; callers must not hold RecordIds across a
-  /// compaction. When `io` is non-null the rewrite is charged: every
-  /// allocated block is read and every surviving block written.
-  uint64_t Compact(IoStats* io = nullptr);
+  /// compaction. A read failure aborts before any page is dropped, so the
+  /// store is untouched on error. When `io` is non-null the rewrite is
+  /// charged: every allocated block is read and every surviving block
+  /// written.
+  Result<uint64_t> Compact(IoStats* io = nullptr);
 
   /// Calls `fn` for every live record in id order. Iterating the file
   /// reads every allocated page; when `io` is non-null that full scan
   /// is charged (`blocks_read += block_count()`, one `records_examined`
   /// per live record). Callers passing nullptr must document why their
   /// traversal is exempt from I/O accounting.
-  void ForEach(const std::function<void(RecordId, const abdm::Record&)>& fn,
-               IoStats* io = nullptr) const;
+  Status ForEach(const std::function<void(RecordId, const abdm::Record&)>& fn,
+                 IoStats* io = nullptr) const;
 
   /// Secondary indexes ----------------------------------------------------
 
@@ -170,6 +176,7 @@ class FileStore : public abdm::DirectoryStats {
   Status Flush(IoStats* io);
 
   PageFile* page_file() { return file_.get(); }
+  const PageFile* page_file() const { return file_.get(); }
   BufferPool* pool() { return pool_; }
 
   /// Store metadata blob kept in the page file header: descriptor,
@@ -191,17 +198,18 @@ class FileStore : public abdm::DirectoryStats {
 
   /// Executes one conjunction's plan node, adding matching live records
   /// to `out`, charging `io` for index probes / pool misses, and filling
-  /// the node's actual counters (logical pages touched).
-  void ExecuteConjunction(const abdm::Conjunction& conj, PlanNode* node,
-                          std::map<RecordId, abdm::Record>* out,
-                          IoStats* io) const;
+  /// the node's actual counters (logical pages touched). A page fetch or
+  /// decode failure aborts the evaluation with its status.
+  Status ExecuteConjunction(const abdm::Conjunction& conj, PlanNode* node,
+                            std::map<RecordId, abdm::Record>* out,
+                            IoStats* io) const;
 
-  std::vector<std::pair<RecordId, abdm::Record>> ExecuteRecords(
+  Result<std::vector<std::pair<RecordId, abdm::Record>>> ExecuteRecords(
       const abdm::Query& query, PlanNode* plan, IoStats* io) const;
 
   /// Materializes every live record in id order (uncharged page scan;
   /// callers charge logical full-scan costs themselves).
-  void CollectAll(std::map<RecordId, abdm::Record>* out) const;
+  Status CollectAll(std::map<RecordId, abdm::Record>* out) const;
 
   /// Candidate ids from the directory for an index-assisted predicate
   /// (equality, or a range served by ordered lower/upper-bound iteration);
@@ -217,7 +225,8 @@ class FileStore : public abdm::DirectoryStats {
 
   /// Appends a serialized record, returning its location. Routes through
   /// the pinned fill page, or an overflow chain for oversized payloads.
-  Addr AppendPayload(RecordId id, const std::string& payload, IoStats* io);
+  Result<Addr> AppendPayload(RecordId id, const std::string& payload,
+                             IoStats* io);
   void SealFillPage(IoStats* io);
   /// Ensures a pinned fill page with room for `payload_size` more bytes
   /// and fewer than block_capacity records.
@@ -225,19 +234,21 @@ class FileStore : public abdm::DirectoryStats {
 
   /// Reads the record stored behind `entry` on `page`, following the
   /// overflow chain if needed; pages fetched along the chain are charged
-  /// to `io` and recorded in `touched` when non-null.
-  std::optional<abdm::Record> DecodeEntry(uint32_t page,
-                                          const PageView::Entry& entry,
-                                          IoStats* io,
-                                          std::set<uint64_t>* touched) const;
+  /// to `io` and recorded in `touched` when non-null. A broken chain or
+  /// undecodable payload returns Status::Corruption.
+  Result<abdm::Record> DecodeEntry(uint32_t page,
+                                   const PageView::Entry& entry, IoStats* io,
+                                   std::set<uint64_t>* touched) const;
 
   /// Writes an oversized payload as an overflow chain; returns the head
   /// entry's location.
-  Addr AppendOverflow(RecordId id, const std::string& payload, IoStats* io);
+  Result<Addr> AppendOverflow(RecordId id, const std::string& payload,
+                              IoStats* io);
 
   /// Persists (write-through pool) or stages (cached pool) a mutated
-  /// pinned frame.
-  void CommitFrame(BufferPool::Frame* frame, IoStats* io);
+  /// pinned frame. A write-through failure is returned (and sticky in
+  /// the pool).
+  Status CommitFrame(BufferPool::Frame* frame, IoStats* io);
 
   mutable std::shared_mutex mutex_;
   abdm::FileDescriptor descriptor_;

@@ -1,13 +1,26 @@
 #include "kds/page_file.h"
 
 #include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "common/checksum.h"
 
 namespace mlds::kds {
 
 namespace {
 
-constexpr char kMagic[] = "MLDSPAGE 1\n";
+constexpr char kMagic[] = "MLDSPAGE 2\n";
 constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+// Header layout: magic, u32 page_bytes, u32 meta_len, u64 next_generation,
+// u64 header_checksum, meta bytes.
+constexpr size_t kHdrPageBytesOff = kMagicLen;
+constexpr size_t kHdrMetaLenOff = kMagicLen + 4;
+constexpr size_t kHdrGenerationOff = kMagicLen + 8;
+constexpr size_t kHdrChecksumOff = kMagicLen + 16;
+constexpr size_t kHdrMetaOff = kMagicLen + 24;
+// Data frame trailer: u64 checksum, u64 generation.
+constexpr size_t kTrailerBytes = 16;
 
 void PutU32(char* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out[i] = char((v >> (8 * i)) & 0xff);
@@ -19,69 +32,166 @@ uint32_t GetU32(const char* in) {
   return v;
 }
 
+void PutU64(char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = char((v >> (8 * i)) & 0xff);
+}
+
+uint64_t GetU64(const char* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(uint8_t(in[i])) << (8 * i);
+  return v;
+}
+
+/// Checksum for data frame `page`: the payload continued with the page
+/// index and generation, so torn, flipped, and misdirected writes all
+/// fail the verify.
+uint64_t FrameChecksum(const char* payload, size_t page_bytes, uint64_t page,
+                       uint64_t generation) {
+  // PageHash64: lane-parallel over the payload, so the verify-on-fetch
+  // runs at memory speed; the page index and generation fold in
+  // word-wise on top of the already-mixed digest.
+  uint64_t state = common::PageHash64(std::string_view(payload, page_bytes));
+  state = common::Fnv1a64Word(state, page);
+  return common::Fnv1a64Word(state, generation);
+}
+
+/// Builds the header page for `meta` / `next_generation`, checksummed
+/// over the whole page with the checksum field zeroed.
+std::string BuildHeader(size_t page_bytes, const std::string& meta,
+                        uint64_t next_generation) {
+  std::string header(page_bytes, '\0');
+  std::memcpy(header.data(), kMagic, kMagicLen);
+  PutU32(header.data() + kHdrPageBytesOff, uint32_t(page_bytes));
+  PutU32(header.data() + kHdrMetaLenOff, uint32_t(meta.size()));
+  PutU64(header.data() + kHdrGenerationOff, next_generation);
+  std::memcpy(header.data() + kHdrMetaOff, meta.data(), meta.size());
+  const uint64_t checksum = common::PageHash64(header);
+  PutU64(header.data() + kHdrChecksumOff, checksum);
+  return header;
+}
+
+/// Verifies and parses a candidate header page. Returns false when the
+/// magic, size, or checksum does not hold.
+bool ParseHeader(std::string_view header, size_t page_bytes,
+                 std::string* meta, uint64_t* next_generation) {
+  if (header.size() != page_bytes) return false;
+  if (std::memcmp(header.data(), kMagic, kMagicLen) != 0) return false;
+  if (GetU32(header.data() + kHdrPageBytesOff) != page_bytes) return false;
+  const uint32_t meta_len = GetU32(header.data() + kHdrMetaLenOff);
+  if (kHdrMetaOff + size_t(meta_len) > page_bytes) return false;
+  const uint64_t stored = GetU64(header.data() + kHdrChecksumOff);
+  std::string zeroed(header);
+  std::memset(zeroed.data() + kHdrChecksumOff, 0, 8);
+  if (common::PageHash64(zeroed) != stored) return false;
+  *meta = std::string(header.substr(kHdrMetaOff, meta_len));
+  *next_generation = GetU64(header.data() + kHdrGenerationOff);
+  return true;
+}
+
+bool AllZero(const char* buf, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (buf[i] != '\0') return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 PageFile::PageFile(size_t page_bytes) : page_bytes_(page_bytes) {}
 
-PageFile::PageFile(std::string path, std::FILE* file, size_t page_bytes,
-                   uint64_t page_count, std::string meta)
+PageFile::PageFile(std::string path, std::unique_ptr<FileHandle> file,
+                   FileIo* io, AtomicIntegrityCounters* counters,
+                   size_t page_bytes, uint64_t page_count,
+                   uint64_t next_generation, std::string meta)
     : page_bytes_(page_bytes),
       path_(std::move(path)),
-      file_(file),
+      file_(std::move(file)),
+      io_(io),
+      counters_(counters),
       page_count_(page_count),
+      next_generation_(next_generation),
       meta_(std::move(meta)) {}
 
-PageFile::~PageFile() {
-  if (file_ != nullptr) std::fclose(file_);
+PageFile::~PageFile() = default;
+
+void PageFile::CountIoError() const {
+  if (counters_ != nullptr) {
+    counters_->io_errors.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
-                                                 size_t page_bytes) {
+Result<std::unique_ptr<PageFile>> PageFile::Open(
+    const std::string& path, size_t page_bytes, FileIo* io,
+    AtomicIntegrityCounters* counters) {
   if (page_bytes < 64 || page_bytes > kMaxPageBytes) {
     return Status::InvalidArgument("page_file: unsupported page size");
   }
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  bool fresh = false;
-  if (f == nullptr) {
-    f = std::fopen(path.c_str(), "w+b");
-    fresh = true;
+  if (io == nullptr) io = FileIo::Default();
+  auto opened = io->Open(path, /*create=*/true);
+  if (!opened.ok()) {
+    if (counters != nullptr) {
+      counters->io_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return opened.status();
   }
-  if (f == nullptr) {
-    return Status::Internal("page_file: cannot open " + path);
-  }
-  if (fresh) {
-    auto pf = std::unique_ptr<PageFile>(
-        new PageFile(path, f, page_bytes, 0, ""));
-    Status s = pf->WriteHeaderLocked();
-    if (!s.ok()) return s;
+  std::unique_ptr<FileHandle> file = std::move(*opened);
+  auto size = file->Size();
+  if (!size.ok()) return size.status();
+
+  if (*size == 0) {
+    auto pf = std::unique_ptr<PageFile>(new PageFile(
+        path, std::move(file), io, counters, page_bytes, 0, 1, ""));
+    std::lock_guard<std::mutex> lock(pf->mutex_);
+    MLDS_RETURN_IF_ERROR(pf->WriteHeaderLocked());
     return pf;
   }
-  std::vector<char> header(page_bytes);
-  if (std::fread(header.data(), 1, page_bytes, f) != page_bytes ||
-      std::memcmp(header.data(), kMagic, kMagicLen) != 0) {
-    std::fclose(f);
-    return Status::ParseError("page_file: bad header in " + path);
+
+  // Existing file: the newest header is the sidecar when one survives
+  // (a crash between sidecar commit and the in-place write), else the
+  // in-place header page.
+  std::string in_place;
+  if (*size >= page_bytes) {
+    in_place.resize(page_bytes);
+    auto got = file->ReadAt(0, in_place.data(), page_bytes);
+    if (!got.ok() || *got != page_bytes) in_place.clear();
   }
-  uint32_t stored_page_bytes = GetU32(header.data() + kMagicLen);
-  if (stored_page_bytes != page_bytes) {
-    std::fclose(f);
-    return Status::InvalidArgument("page_file: page size mismatch in " + path);
+  std::string meta;
+  uint64_t next_generation = 1;
+  bool header_ok = false;
+  const std::string sidecar_path = path + ".hdr";
+  if (io->Exists(sidecar_path)) {
+    auto sidecar = io->ReadFile(sidecar_path);
+    if (sidecar.ok() &&
+        ParseHeader(*sidecar, page_bytes, &meta, &next_generation)) {
+      header_ok = true;
+      // Repair the (possibly torn) in-place header from the sidecar.
+      if (in_place != *sidecar) {
+        MLDS_RETURN_IF_ERROR(file->WriteAt(0, sidecar->data(), page_bytes));
+      }
+    }
   }
-  uint32_t meta_len = GetU32(header.data() + kMagicLen + 4);
-  if (kMagicLen + 8 + size_t(meta_len) > page_bytes) {
-    std::fclose(f);
-    return Status::ParseError("page_file: oversized metadata in " + path);
+  if (!header_ok) {
+    header_ok = ParseHeader(in_place, page_bytes, &meta, &next_generation);
   }
-  std::string meta(header.data() + kMagicLen + 8, meta_len);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  if (size < long(page_bytes)) {
-    std::fclose(f);
-    return Status::ParseError("page_file: truncated " + path);
+  if (!header_ok) {
+    if (counters != nullptr) {
+      counters->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Corruption("page_file: bad header in " + path);
   }
-  uint64_t pages = (uint64_t(size) - page_bytes) / page_bytes;
+
+  const uint64_t frame_bytes = page_bytes + kTrailerBytes;
+  const uint64_t data_bytes = *size > page_bytes ? *size - page_bytes : 0;
+  if (data_bytes % frame_bytes != 0) {
+    if (counters != nullptr) {
+      counters->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::Corruption("page_file: torn frame tail in " + path);
+  }
   return std::unique_ptr<PageFile>(
-      new PageFile(path, f, page_bytes, pages, std::move(meta)));
+      new PageFile(path, std::move(file), io, counters, page_bytes,
+                   data_bytes / frame_bytes, next_generation,
+                   std::move(meta)));
 }
 
 uint64_t PageFile::page_count() const {
@@ -98,10 +208,45 @@ Status PageFile::ReadPage(uint64_t page, char* buf) const {
     std::memcpy(buf, pages_[page].data(), page_bytes_);
     return Status::OK();
   }
-  if (std::fseek(file_, long((page + 1) * page_bytes_), SEEK_SET) != 0 ||
-      std::fread(buf, 1, page_bytes_, file_) != page_bytes_) {
-    return Status::Internal("page_file: short read in " + path_);
+  const uint64_t frame_bytes = page_bytes_ + kTrailerBytes;
+  const uint64_t offset = page_bytes_ + page * frame_bytes;
+  // Reused across calls: a fresh zero-initialized vector per read costs
+  // an alloc + 8KB memset on the hot fetch path.
+  thread_local std::vector<char> frame;
+  frame.resize(frame_bytes);
+  auto got = file_->ReadAt(offset, frame.data(), frame_bytes);
+  if (!got.ok()) {
+    CountIoError();
+    return got.status();
   }
+  if (*got != frame_bytes) {
+    CountIoError();
+    return Status::Corruption("page_file: short read in " + path_);
+  }
+  if (verify_reads_) {
+    const uint64_t stored = GetU64(frame.data() + page_bytes_);
+    const uint64_t generation = GetU64(frame.data() + page_bytes_ + 8);
+    if (stored == 0 && generation == 0) {
+      // A never-written gap page (eviction extends the file out of page
+      // order): legitimate only when the whole frame is zero.
+      if (!AllZero(frame.data(), page_bytes_)) {
+        if (counters_ != nullptr) {
+          counters_->checksum_failures.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+        return Status::Corruption("page_file: corrupt gap page " +
+                                  std::to_string(page) + " in " + path_);
+      }
+    } else if (FrameChecksum(frame.data(), page_bytes_, page, generation) !=
+               stored) {
+      if (counters_ != nullptr) {
+        counters_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::Corruption("page_file: checksum mismatch on page " +
+                                std::to_string(page) + " in " + path_);
+    }
+  }
+  std::memcpy(buf, frame.data(), page_bytes_);
   return Status::OK();
 }
 
@@ -119,9 +264,19 @@ Status PageFile::WritePage(uint64_t page, const char* buf) {
     pages_[page].assign(buf, page_bytes_);
     return Status::OK();
   }
-  if (std::fseek(file_, long((page + 1) * page_bytes_), SEEK_SET) != 0 ||
-      std::fwrite(buf, 1, page_bytes_, file_) != page_bytes_) {
-    return Status::Internal("page_file: short write in " + path_);
+  const uint64_t frame_bytes = page_bytes_ + kTrailerBytes;
+  const uint64_t generation = next_generation_++;
+  thread_local std::vector<char> frame;
+  frame.resize(frame_bytes);
+  std::memcpy(frame.data(), buf, page_bytes_);
+  PutU64(frame.data() + page_bytes_,
+         FrameChecksum(buf, page_bytes_, page, generation));
+  PutU64(frame.data() + page_bytes_ + 8, generation);
+  Status wrote = file_->WriteAt(page_bytes_ + page * frame_bytes,
+                                frame.data(), frame_bytes);
+  if (!wrote.ok()) {
+    CountIoError();
+    return wrote;
   }
   if (page >= page_count_) page_count_ = page + 1;
   return Status::OK();
@@ -129,7 +284,7 @@ Status PageFile::WritePage(uint64_t page, const char* buf) {
 
 Status PageFile::SetMeta(std::string meta) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ != nullptr && kMagicLen + 8 + meta.size() > page_bytes_) {
+  if (file_ != nullptr && kHdrMetaOff + meta.size() > page_bytes_) {
     return Status::InvalidArgument(
         "page_file: metadata exceeds header page");
   }
@@ -144,16 +299,25 @@ std::string PageFile::meta() const {
 }
 
 Status PageFile::WriteHeaderLocked() {
-  std::vector<char> header(page_bytes_, 0);
-  std::memcpy(header.data(), kMagic, kMagicLen);
-  PutU32(header.data() + kMagicLen, uint32_t(page_bytes_));
-  PutU32(header.data() + kMagicLen + 4, uint32_t(meta_.size()));
-  std::memcpy(header.data() + kMagicLen + 8, meta_.data(), meta_.size());
-  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fwrite(header.data(), 1, page_bytes_, file_) != page_bytes_ ||
-      std::fflush(file_) != 0) {
-    return Status::Internal("page_file: header write failed in " + path_);
+  const std::string header = BuildHeader(page_bytes_, meta_, next_generation_);
+  // Commit point one: the sidecar lands atomically (temp + fsync +
+  // rename), so the newest header survives a crash before the in-place
+  // write below. Open prefers a valid sidecar for exactly this reason.
+  header_in_place_ = false;
+  Status sidecar = io_->WriteFileAtomic(path_ + ".hdr", header);
+  if (!sidecar.ok()) {
+    CountIoError();
+    return sidecar;
   }
+  if (counters_ != nullptr) {
+    counters_->fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  Status in_place = file_->WriteAt(0, header.data(), page_bytes_);
+  if (!in_place.ok()) {
+    CountIoError();
+    return in_place;
+  }
+  header_in_place_ = true;
   return Status::OK();
 }
 
@@ -164,22 +328,28 @@ Status PageFile::Truncate() {
     pages_.clear();
     return Status::OK();
   }
-  // stdio has no portable truncate; rewrite the file from its header.
-  std::FILE* f = std::fopen(path_.c_str(), "w+b");
-  if (f == nullptr) {
-    return Status::Internal("page_file: reopen for truncate failed");
+  Status truncated = file_->Truncate(page_bytes_);
+  if (!truncated.ok()) {
+    CountIoError();
+    return truncated;
   }
-  std::fclose(file_);
-  file_ = f;
   return WriteHeaderLocked();
 }
 
 Status PageFile::Sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::OK();
-  if (std::fflush(file_) != 0) {
-    return Status::Internal("page_file: flush failed in " + path_);
+  Status synced = file_->Sync();
+  if (!synced.ok()) {
+    CountIoError();
+    return synced;
   }
+  if (counters_ != nullptr) {
+    counters_->fsyncs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The in-place header is durable and matches the sidecar: the journal
+  // has served its purpose.
+  if (header_in_place_) (void)io_->Remove(path_ + ".hdr");
   return Status::OK();
 }
 

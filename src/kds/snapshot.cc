@@ -42,6 +42,13 @@ Status SaveSnapshot(const Engine& engine, std::ostream& out) {
 }
 
 Status LoadSnapshot(std::istream& in, Engine* engine) {
+  return LoadSnapshotFiltered(in, engine,
+                              [](const std::string&) { return true; });
+}
+
+Status LoadSnapshotFiltered(
+    std::istream& in, Engine* engine,
+    const std::function<bool(const std::string&)>& want) {
   std::string line;
   if (!std::getline(in, line) || Trim(line) != kHeader) {
     return Status::ParseError("missing snapshot header '" +
@@ -156,14 +163,17 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
     }
   }
 
-  // Phase 2 — apply. Any failure (e.g. a file that already exists in the
-  // engine) rolls back every file this load defined, so a rejected
-  // snapshot never leaves files partially defined.
+  // Phase 2 — apply (only the wanted files; cross-checks above already
+  // ran against the full definition set, so skipping is purely a filter).
+  // Any failure (e.g. a file that already exists in the engine) rolls
+  // back every file this load defined, so a rejected snapshot never
+  // leaves files partially defined.
   std::vector<std::string> defined;
   auto rollback = [&]() {
     for (const std::string& name : defined) (void)engine->RemoveFile(name);
   };
   for (const auto& descriptor : files) {
+    if (!want(descriptor.name)) continue;
     Status status = engine->DefineFile(descriptor);
     if (!status.ok()) {
       rollback();
@@ -172,6 +182,7 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
     defined.push_back(descriptor.name);
   }
   for (const auto& [file, attr] : indexes) {
+    if (!want(file)) continue;
     Status status = engine->CreateIndex(file, attr);
     if (!status.ok()) {
       rollback();
@@ -179,6 +190,8 @@ Status LoadSnapshot(std::istream& in, Engine* engine) {
     }
   }
   for (const auto& request : inserts) {
+    const auto& record = std::get<abdl::InsertRequest>(request).record;
+    if (!want(record.GetOrNull(abdm::kFileAttribute).AsString())) continue;
     auto response = engine->Execute(request);
     if (!response.ok()) {
       rollback();

@@ -1,8 +1,10 @@
 #ifndef MLDS_KDS_SNAPSHOT_H_
 #define MLDS_KDS_SNAPSHOT_H_
 
+#include <functional>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "common/result.h"
 #include "kds/engine.h"
@@ -30,6 +32,15 @@ Status SaveSnapshot(const Engine& engine, std::ostream& out);
 /// Recreates files and records from a snapshot into `engine`. Files that
 /// already exist are rejected (load into a fresh engine).
 Status LoadSnapshot(std::istream& in, Engine* engine);
+
+/// Like LoadSnapshot, but applies only the files for which `want` returns
+/// true (with their indexes and records); everything else is parsed and
+/// validated but skipped. Corruption recovery uses this to rebuild just
+/// the quarantined kernel files from the checkpoint snapshot without
+/// disturbing the healthy ones.
+Status LoadSnapshotFiltered(
+    std::istream& in, Engine* engine,
+    const std::function<bool(const std::string&)>& want);
 
 }  // namespace mlds::kds
 

@@ -446,7 +446,23 @@ void Controller::ApplySlotHealth(
   const bool faulted = slot.fault != FaultKind::kNone || slot.timed_out;
   if (!faulted) {
     // A genuine engine error is a property of the request (it fails
-    // identically on every backend), not of the backend's health.
+    // identically on every backend), not of the backend's health — with
+    // one exception: a Corruption status means *this* backend's storage
+    // served bad bytes. That is fatal for the backend (only a rebuild
+    // from checkpoint + log realigns it), and the caller sees a partial
+    // result instead of an aborted request.
+    if (slot.status.IsCorruption()) {
+      backend.health().OnFailure(slot.status.message(), /*fatal=*/true);
+      if (warnings != nullptr) {
+        AppendWarning(
+            warnings,
+            kds::PartialResultWarning{
+                backend.id(),
+                std::string(BackendHealthName(backend.health().state())),
+                slot.status.message()});
+      }
+      return;
+    }
     if (slot.status.ok()) backend.health().OnSuccess();
     return;
   }
@@ -1046,6 +1062,30 @@ kds::PoolCounters Controller::PoolStats() const {
   kds::PoolCounters total;
   for (const auto& backend : backends_) {
     total += backend->SnapshotEngine()->pool_stats();
+  }
+  return total;
+}
+
+kds::IntegrityReport Controller::VerifyIntegrity() const {
+  kds::IntegrityReport merged;
+  for (const auto& backend : backends_) {
+    kds::IntegrityReport report =
+        backend->SnapshotEngine()->VerifyIntegrity();
+    if (!report.clean) merged.clean = false;
+    const std::string prefix =
+        "backend" + std::to_string(backend->id()) + "/";
+    for (auto& verdict : report.files) {
+      verdict.file = prefix + verdict.file;
+      merged.files.push_back(std::move(verdict));
+    }
+  }
+  return merged;
+}
+
+kds::IntegrityCounters Controller::IntegrityStats() const {
+  kds::IntegrityCounters total;
+  for (const auto& backend : backends_) {
+    total += backend->SnapshotEngine()->integrity_stats();
   }
   return total;
 }

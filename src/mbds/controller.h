@@ -304,6 +304,14 @@ class Controller {
   /// Buffer-pool traffic summed over every backend's engine.
   kds::PoolCounters PoolStats() const;
 
+  /// Scrubs every backend's on-disk pages through the checksum verify;
+  /// per-file verdicts carry a "backend<i>/" prefix so one report covers
+  /// the whole kernel.
+  kds::IntegrityReport VerifyIntegrity() const;
+
+  /// Storage-integrity counters summed over every backend's engine.
+  kds::IntegrityCounters IntegrityStats() const;
+
  private:
   /// One backend's share of a fault-tolerant fan-out.
   struct FanoutSlot {

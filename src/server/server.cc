@@ -513,6 +513,14 @@ MldsServer::PendingReply MldsServer::ExecuteOnWorker(
       reply.payload = wire::EncodeStatsReply(BuildStats());
       break;
     }
+    case wire::FrameType::kVerify: {
+      // Admin scrub: walk every on-disk page through the checksum
+      // verify. Runs on this worker like any request; file locks are
+      // held shared, so concurrent retrievals proceed.
+      reply.type = static_cast<uint8_t>(wire::FrameType::kVerifyReport);
+      reply.payload = system_->executor()->VerifyIntegrity().ToText();
+      break;
+    }
     case wire::FrameType::kCloseSession: {
       ok_reply("session closed");
       break;
@@ -736,6 +744,14 @@ wire::StatsReply MldsServer::BuildStats() const {
   stats.pool_misses = pool.misses;
   stats.pool_evictions = pool.evictions;
   stats.pool_dirty_writebacks = pool.dirty_writebacks;
+  const kds::IntegrityCounters integrity =
+      system_->executor()->IntegrityStats();
+  stats.integrity_checksum_failures = integrity.checksum_failures;
+  stats.integrity_io_errors_injected = integrity.io_errors_injected;
+  stats.integrity_io_errors_real = integrity.io_errors_real;
+  stats.integrity_pages_scrubbed = integrity.pages_scrubbed;
+  stats.integrity_files_rebuilt = integrity.files_rebuilt;
+  stats.integrity_fsyncs = integrity.fsyncs;
   stats.health = kfs::SerializeHealth(system_->Health());
   return stats;
 }

@@ -15,7 +15,7 @@ Status Malformed(std::string_view what) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kBatch);
+         type <= static_cast<uint8_t>(FrameType::kVerify);
 }
 
 std::string EncodeUseRequest(const UseRequest& request) {
@@ -192,7 +192,7 @@ Result<WireError> DecodeWireError(std::string_view payload) {
       !reader.exhausted()) {
     return Malformed("ERROR");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kUnavailable) ||
+  if (code > static_cast<uint8_t>(StatusCode::kCorruption) ||
       code == static_cast<uint8_t>(StatusCode::kOk)) {
     // An unknown or OK code in an error frame: keep the message but
     // classify it as internal rather than inventing a category.
@@ -249,6 +249,12 @@ std::string EncodeStatsReply(const StatsReply& stats) {
   writer.PutU64(stats.pool_misses);
   writer.PutU64(stats.pool_evictions);
   writer.PutU64(stats.pool_dirty_writebacks);
+  writer.PutU64(stats.integrity_checksum_failures);
+  writer.PutU64(stats.integrity_io_errors_injected);
+  writer.PutU64(stats.integrity_io_errors_real);
+  writer.PutU64(stats.integrity_pages_scrubbed);
+  writer.PutU64(stats.integrity_files_rebuilt);
+  writer.PutU64(stats.integrity_fsyncs);
   writer.PutString(stats.health);
   return writer.Take();
 }
@@ -276,6 +282,12 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
       !reader.GetU64(&stats.pool_misses) ||
       !reader.GetU64(&stats.pool_evictions) ||
       !reader.GetU64(&stats.pool_dirty_writebacks) ||
+      !reader.GetU64(&stats.integrity_checksum_failures) ||
+      !reader.GetU64(&stats.integrity_io_errors_injected) ||
+      !reader.GetU64(&stats.integrity_io_errors_real) ||
+      !reader.GetU64(&stats.integrity_pages_scrubbed) ||
+      !reader.GetU64(&stats.integrity_files_rebuilt) ||
+      !reader.GetU64(&stats.integrity_fsyncs) ||
       !reader.GetString(&stats.health) || !reader.exhausted()) {
     return Malformed("STATS");
   }
@@ -308,6 +320,17 @@ std::string StatsReply::ToText() const {
   out += "pool.evictions " + std::to_string(pool_evictions) + "\n";
   out += "pool.dirty_writebacks " + std::to_string(pool_dirty_writebacks) +
          "\n";
+  out += "integrity.checksum_failures " +
+         std::to_string(integrity_checksum_failures) + "\n";
+  out += "integrity.io_errors_injected " +
+         std::to_string(integrity_io_errors_injected) + "\n";
+  out += "integrity.io_errors_real " +
+         std::to_string(integrity_io_errors_real) + "\n";
+  out += "integrity.pages_scrubbed " +
+         std::to_string(integrity_pages_scrubbed) + "\n";
+  out += "integrity.files_rebuilt " +
+         std::to_string(integrity_files_rebuilt) + "\n";
+  out += "integrity.fsyncs " + std::to_string(integrity_fsyncs) + "\n";
   return out;
 }
 

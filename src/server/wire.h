@@ -34,6 +34,7 @@ enum class FrameType : uint8_t {
   kOpenSession = 0x09,   ///< open another session on this connection.
   kCloseSession = 0x0A,  ///< close the session named in the header.
   kBatch = 0x0B,         ///< bulk DML; payload: BatchRequest.
+  kVerify = 0x0C,        ///< admin: scrub storage integrity; empty.
 
   // --- responses ---
   kOk = 0x81,           ///< payload: informational message.
@@ -43,6 +44,7 @@ enum class FrameType : uint8_t {
   kHealthReport = 0x85, ///< payload: kfs::SerializeHealth text.
   kStatsReport = 0x86,  ///< payload: StatsReply.
   kResultChunk = 0x87,  ///< payload: ResultChunk (one slice of a body).
+  kVerifyReport = 0x88, ///< payload: IntegrityReport::ToText text.
 };
 
 /// True for types a client may send.
@@ -131,6 +133,13 @@ struct StatsReply {
   uint64_t pool_misses = 0;           ///< page fetches that read the file.
   uint64_t pool_evictions = 0;        ///< frames evicted to make room.
   uint64_t pool_dirty_writebacks = 0; ///< dirty frames written on eviction.
+  // --- storage integrity counters (checksummed pages, fault seam) ---
+  uint64_t integrity_checksum_failures = 0;  ///< failed page verifies.
+  uint64_t integrity_io_errors_injected = 0; ///< faults served by the seam.
+  uint64_t integrity_io_errors_real = 0;     ///< genuine I/O failures.
+  uint64_t integrity_pages_scrubbed = 0;     ///< pages walked by verifies.
+  uint64_t integrity_files_rebuilt = 0;      ///< quarantine + rebuild events.
+  uint64_t integrity_fsyncs = 0;             ///< durability barriers issued.
   std::string health;  ///< kfs::SerializeHealth text.
 
   /// Human-readable rendering ("cache.hits 12\n...") for shells.

@@ -41,7 +41,7 @@ TEST(FileStoreTest, InsertAndSelectByIndexedEquality) {
 
   io.Reset();
   Query q = Query::And({{"key", RelOp::kEq, Value::Integer(42)}});
-  auto ids = store.Select(q, &io);
+  auto ids = *store.Select(q, &io);
   ASSERT_EQ(ids.size(), 1u);
   EXPECT_EQ(store.Get(ids[0])->GetOrNull("key").AsInteger(), 42);
   // Index-assisted: only the candidate's block is read.
@@ -55,7 +55,7 @@ TEST(FileStoreTest, RangePredicateUsesIndex) {
   for (int i = 0; i < 64; ++i) store.Insert(MakeRecord(i), &io);
   io.Reset();
   Query q = Query::And({{"key", RelOp::kLt, Value::Integer(8)}});
-  auto ids = store.Select(q, &io);
+  auto ids = *store.Select(q, &io);
   EXPECT_EQ(ids.size(), 8u);
   // 8 records in blocks of 4, inserted in order: exactly 2 blocks.
   EXPECT_EQ(io.blocks_read, 2u);
@@ -68,7 +68,7 @@ TEST(FileStoreTest, NonIndexedPredicateScansAllBlocks) {
   for (int i = 0; i < 64; ++i) store.Insert(MakeRecord(i), &io);
   io.Reset();
   Query q = Query::And({{"payload", RelOp::kEq, Value::String("p7")}});
-  auto ids = store.Select(q, &io);
+  auto ids = *store.Select(q, &io);
   ASSERT_EQ(ids.size(), 1u);
   EXPECT_EQ(io.blocks_read, store.block_count());
   EXPECT_EQ(io.records_examined, 64u);
@@ -79,25 +79,25 @@ TEST(FileStoreTest, DeleteRemovesAndFreesSlots) {
   IoStats io;
   for (int i = 0; i < 10; ++i) store.Insert(MakeRecord(i), &io);
   Query q = Query::And({{"key", RelOp::kLt, Value::Integer(5)}});
-  EXPECT_EQ(store.Delete(q, &io), 5u);
+  EXPECT_EQ(*store.Delete(q, &io), 5u);
   EXPECT_EQ(store.size(), 5u);
   // Deleted records no longer match.
-  auto ids = store.Select(Query::And({{"key", RelOp::kEq, Value::Integer(0)}}),
-                          &io);
+  auto ids = *store.Select(
+      Query::And({{"key", RelOp::kEq, Value::Integer(0)}}), &io);
   EXPECT_TRUE(ids.empty());
 }
 
 TEST(FileStoreTest, ReplaceUpdatesIndex) {
   FileStore store(Descriptor(true), 4);
   IoStats io;
-  RecordId id = store.Insert(MakeRecord(1), &io);
+  RecordId id = *store.Insert(MakeRecord(1), &io);
   Record updated = MakeRecord(99);
   store.Replace(id, updated, &io);
   auto old_ids =
-      store.Select(Query::And({{"key", RelOp::kEq, Value::Integer(1)}}), &io);
+      *store.Select(Query::And({{"key", RelOp::kEq, Value::Integer(1)}}), &io);
   EXPECT_TRUE(old_ids.empty());
   auto new_ids =
-      store.Select(Query::And({{"key", RelOp::kEq, Value::Integer(99)}}), &io);
+      *store.Select(Query::And({{"key", RelOp::kEq, Value::Integer(99)}}), &io);
   ASSERT_EQ(new_ids.size(), 1u);
   EXPECT_EQ(new_ids[0], id);
 }
@@ -110,7 +110,7 @@ TEST(FileStoreTest, NullValuedPredicateFallsBackToScan) {
   store.Insert(with_null, &io);
   store.Insert(MakeRecord(2), &io);
   auto ids =
-      store.Select(Query::And({{"key", RelOp::kEq, Value::Null()}}), &io);
+      *store.Select(Query::And({{"key", RelOp::kEq, Value::Null()}}), &io);
   ASSERT_EQ(ids.size(), 1u);
 }
 
@@ -124,7 +124,7 @@ TEST(FileStoreTest, UndeclaredAttributesAreStillIndexed) {
   store.Insert(r, &io);
   for (int i = 2; i < 50; ++i) store.Insert(MakeRecord(i), &io);
   io.Reset();
-  auto ids = store.Select(
+  auto ids = *store.Select(
       Query::And({{"owner_set", RelOp::kEq, Value::String("emp_3")}}), &io);
   ASSERT_EQ(ids.size(), 1u);
   EXPECT_EQ(io.blocks_read, 1u);
@@ -144,7 +144,8 @@ TEST(FileStoreTest, RangeBoundariesAreExact) {
   for (int i = 1; i <= 10; ++i) store.Insert(MakeRecord(i), &io);
   auto keys_of = [&](const Query& q) {
     std::vector<int64_t> keys;
-    for (RecordId id : store.Select(q, &io)) {
+    const std::vector<RecordId> ids = *store.Select(q, &io);
+    for (RecordId id : ids) {
       keys.push_back(store.Get(id)->GetOrNull("key").AsInteger());
     }
     return keys;
@@ -174,10 +175,10 @@ TEST(FileStoreTest, RangeLookupSkipsDeadSlots) {
   FileStore store(Descriptor(true), /*block_capacity=*/2);
   IoStats io;
   for (int i = 0; i < 10; ++i) store.Insert(MakeRecord(i), &io);  // 5 blocks
-  store.Delete(Query::And({{"key", RelOp::kGe, Value::Integer(4)}}), &io);
+  (void)store.Delete(Query::And({{"key", RelOp::kGe, Value::Integer(4)}}), &io);
   io.Reset();
   Query q = Query::And({{"key", RelOp::kGe, Value::Integer(0)}});
-  auto ids = store.Select(q, &io);
+  auto ids = *store.Select(q, &io);
   EXPECT_EQ(ids.size(), 4u);  // keys 0..3 survive
   // Keys 0..3 sit in blocks 0 and 1; blocks 2..4 hold only dead slots and
   // are never touched because the directory no longer lists their ids.
@@ -194,7 +195,7 @@ TEST(FileStoreTest, RangeBeatsBroadEqualityAsAccessPath) {
   io.Reset();
   Query q = Query::And({{"FILE", RelOp::kEq, Value::String("f")},
                         {"key", RelOp::kGe, Value::Integer(60)}});
-  auto ids = store.Select(q, &io);
+  auto ids = *store.Select(q, &io);
   EXPECT_EQ(ids.size(), 4u);
   EXPECT_EQ(io.blocks_read, 1u);  // keys 60..63 share one block of 4
   EXPECT_EQ(io.records_examined, 4u);
@@ -219,7 +220,7 @@ TEST(FileStoreTest, CheapestBucketDrivesConjunction) {
         {"tag", RelOp::kEq, Value::String("rare")},
         {"key", RelOp::kEq, Value::Integer(40 % 5)}};
     if (!rare_first) std::swap(preds[0], preds[1]);
-    auto ids = store.Select(Query::And(preds), &io);
+    auto ids = *store.Select(Query::And(preds), &io);
     ASSERT_EQ(ids.size(), 1u) << "rare_first=" << rare_first;
     // Driven by tag='rare' (1 candidate) and intersected with the key
     // bucket: a single block and a single record examined.
@@ -233,7 +234,7 @@ TEST(FileStoreTest, EmptyRangeIsProvenByDirectoryAlone) {
   IoStats io;
   for (int i = 0; i < 32; ++i) store.Insert(MakeRecord(i), &io);
   io.Reset();
-  auto ids = store.Select(
+  auto ids = *store.Select(
       Query::And({{"key", RelOp::kGt, Value::Integer(1000)}}), &io);
   EXPECT_TRUE(ids.empty());
   EXPECT_EQ(io.blocks_read, 0u);
@@ -256,14 +257,14 @@ TEST_P(FileStoreAccessPathTest, IndexAndScanAgree) {
   }
   for (int probe : {0, 3, 16, 42}) {
     Query q = Query::And({{"key", RelOp::kEq, Value::Integer(probe)}});
-    auto a = indexed.Select(q, &io);
-    auto b = scanned.Select(q, &io);
+    auto a = *indexed.Select(q, &io);
+    auto b = *scanned.Select(q, &io);
     EXPECT_EQ(a, b) << "n=" << n << " probe=" << probe;
   }
   for (int bound : {1, 8, 20}) {
     Query q = Query::And({{"key", RelOp::kGe, Value::Integer(bound)}});
-    auto a = indexed.Select(q, &io);
-    auto b = scanned.Select(q, &io);
+    auto a = *indexed.Select(q, &io);
+    auto b = *scanned.Select(q, &io);
     EXPECT_EQ(a, b) << "n=" << n << " bound=" << bound;
   }
 }

@@ -250,7 +250,7 @@ TEST(PlannerBoundsTest, ActualsStayWithinDocumentedBounds) {
   for (const Query& query : queries) {
     io.Reset();
     PlanNode plan;
-    auto ids = store.Select(query, &io, &plan);
+    auto ids = *store.Select(query, &io, &plan);
     EXPECT_TRUE(plan.executed) << plan.ToString();
     EXPECT_EQ(plan.actual_rows, ids.size()) << plan.ToString();
     CheckBounds(plan, kPerBlock);

@@ -155,7 +155,7 @@ TEST_P(FileStoreFuzzTest, RandomOperationsMatchReferenceModel) {
       reference.emplace_back(true, std::move(r));
     } else if (op < 7) {  // delete by key
       Query q = make_query(RelOp::kEq, key_dist(rng));
-      size_t deleted = store.Delete(q, &io);
+      size_t deleted = *store.Delete(q, &io);
       size_t expected = 0;
       for (auto& [live, r] : reference) {
         if (live && q.Matches(r)) {
@@ -167,7 +167,7 @@ TEST_P(FileStoreFuzzTest, RandomOperationsMatchReferenceModel) {
     } else {  // select with a random operator
       const RelOp rel = static_cast<RelOp>(op_dist(rng) % 6);
       Query q = make_query(rel, key_dist(rng));
-      auto ids = store.Select(q, &io);
+      auto ids = *store.Select(q, &io);
       std::vector<uint64_t> expected;
       for (uint64_t id = 0; id < reference.size(); ++id) {
         if (reference[id].first && q.Matches(reference[id].second)) {

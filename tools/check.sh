@@ -221,6 +221,101 @@ run_persistence_smoke() {
   echo "restart persistence smoke passed (port ${PERSIST_PORT})"
 }
 
+# Corruption-recovery smoke against a given build tree: a server with a
+# --data-dir takes one write per language interface and shuts down
+# cleanly; then one byte near the tail of every kernel page file is
+# flipped. The restarted server must detect the damage via the page
+# checksums, quarantine the files, rebuild them from checkpoint + WAL,
+# and serve all four rows back — .verify must scrub clean afterwards and
+# .stats must report the rebuilds. At no point may a wrong byte be
+# served.
+run_integrity_smoke() {
+  local build_dir="$1" log="$2"
+  local data_dir="${build_dir}/integrity-smoke-data"
+  rm -rf "${data_dir}"
+
+  start_integrity_server() {
+    "${build_dir}/tools/mlds_server" --port 0 --data-dir "${data_dir}" \
+      --pool-pages 64 > "$1" &
+    INTEGRITY_PID=$!
+    trap 'kill "${INTEGRITY_PID}" 2>/dev/null || true' EXIT
+    INTEGRITY_PORT=""
+    for _ in $(seq 1 100); do
+      INTEGRITY_PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$1")"
+      [[ -n "${INTEGRITY_PORT}" ]] && break
+      sleep 0.1
+    done
+    [[ -n "${INTEGRITY_PORT}" ]] \
+      || { echo "integrity server never reported its port"; exit 1; }
+  }
+
+  start_integrity_server "${log}.first"
+  printf '%s\n' \
+    ".use sql payroll" \
+    "INSERT INTO staff (name, wage) VALUES ('integrity_sql', 77)" \
+    ".use daplex university" \
+    "CREATE department (dname = 'IntegrityDept')" \
+    ".use codasyl university" \
+    "MOVE 'Integrity Hall' TO dname IN department" \
+    "STORE department" \
+    ".use dli clinic" \
+    "ISRT patient (pname = 'integrity_p')" \
+    ".shutdown" \
+    | "${build_dir}/tools/mlds_shell" 127.0.0.1 "${INTEGRITY_PORT}" --strict \
+    > "${log}.first.shell"
+  wait "${INTEGRITY_PID}"
+  trap - EXIT
+  grep -q "stopped" "${log}.first" \
+    || { echo "integrity server did not drain cleanly"; exit 1; }
+
+  # Flip one byte near the end of every kernel page file: depending on
+  # the file that lands in a frame payload, a frame trailer, or the
+  # header page — the checksums must catch all three.
+  python3 - "${data_dir}" <<'PY' \
+    || { echo "no page files found to corrupt"; exit 1; }
+import pathlib, sys
+count = 0
+for mpf in sorted(pathlib.Path(sys.argv[1]).rglob('*.mpf')):
+    data = bytearray(mpf.read_bytes())
+    if not data:
+        continue
+    data[max(0, len(data) - 5)] ^= 0x40
+    mpf.write_bytes(bytes(data))
+    count += 1
+print(f"flipped one byte in {count} page file(s)")
+sys.exit(0 if count else 1)
+PY
+
+  start_integrity_server "${log}.second"
+  printf '%s\n' \
+    ".use sql payroll" \
+    "SELECT name FROM staff WHERE name = 'integrity_sql'" \
+    ".use daplex university" \
+    "FOR EACH department SUCH THAT dname = 'IntegrityDept' PRINT dname" \
+    ".use codasyl university" \
+    "MOVE 'Integrity Hall' TO dname IN department" \
+    "FIND ANY department USING dname IN department" \
+    "GET dname IN department" \
+    ".use dli clinic" \
+    "GU patient (pname = 'integrity_p')" \
+    ".verify" \
+    ".stats" \
+    ".shutdown" \
+    | "${build_dir}/tools/mlds_shell" 127.0.0.1 "${INTEGRITY_PORT}" --strict \
+    > "${log}.second.shell"
+  wait "${INTEGRITY_PID}"
+  trap - EXIT
+  for row in integrity_sql IntegrityDept "Integrity Hall" integrity_p; do
+    grep -q "${row}" "${log}.second.shell" \
+      || { echo "row '${row}' did not survive corruption recovery"; exit 1; }
+  done
+  grep -q "integrity OK" "${log}.second.shell" \
+    || { echo ".verify did not scrub clean after the rebuild"; exit 1; }
+  grep -Eq 'integrity\.files_rebuilt [1-9]' "${log}.second.shell" \
+    || { echo ".stats did not report any rebuilt file"; exit 1; }
+  echo "corruption recovery smoke passed (port ${INTEGRITY_PORT})"
+}
+
 if [[ "${MLDS_SKIP_SERVER:-0}" == "1" ]]; then
   echo "== server smoke skipped (MLDS_SKIP_SERVER=1) =="
 else
@@ -267,6 +362,9 @@ else
 
   echo "== restart persistence smoke =="
   run_persistence_smoke build build/mlds_persist_smoke.log
+
+  echo "== corruption recovery smoke =="
+  run_integrity_smoke build build/mlds_integrity_smoke.log
 fi
 
 if [[ "${MLDS_SKIP_TSAN:-0}" == "1" ]]; then
@@ -316,6 +414,13 @@ else
   (cd build-asan && \
     ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ctest --output-on-failure -j "${JOBS}")
+  # Corruption-recovery smoke under ASan: quarantine + rebuild tears down
+  # and recreates whole FileStores while sessions hold pool frames — the
+  # exact shape where a use-after-free would hide.
+  if [[ "${MLDS_SKIP_SERVER:-0}" != "1" ]]; then
+    echo "== ASan corruption recovery smoke =="
+    run_integrity_smoke build-asan build-asan/mlds_integrity_smoke.log
+  fi
 fi
 
 if [[ "${MLDS_SKIP_UBSAN:-0}" == "1" ]]; then

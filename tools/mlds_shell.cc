@@ -16,6 +16,7 @@
 //   .source <file>               replay a bulk-load script
 //   .health                      kernel health over the wire
 //   .stats                       translation-cache + server counters
+//   .verify                      scrub all on-disk pages (checksums)
 //   .shutdown                    ask the server to drain and stop
 //   .help  .quit
 //
@@ -51,6 +52,7 @@ void PrintHelp() {
       "                               comments)\n"
       "  .health                      kernel health over the wire\n"
       "  .stats                       cache + server counters\n"
+      "  .verify                      scrub all on-disk pages (checksums)\n"
       "  .shutdown                    drain and stop the server\n"
       "  .help  .quit\n"
       "Anything else executes in the bound language.\n"
@@ -204,6 +206,17 @@ int main(int argc, char** argv) {
         std::fputs(stats->ToText().c_str(), stdout);
       } else {
         std::printf("error: %s\n", stats.status().ToString().c_str());
+        ok = false;
+      }
+    } else if (statement == ".verify") {
+      Result<std::string> report = client.Verify();
+      if (report.ok()) {
+        std::fputs(report->c_str(), stdout);
+        // A dirty scrub is a failure in strict mode: scripts can gate
+        // on it the way check.sh gates on statement errors.
+        ok = report->rfind("integrity OK", 0) == 0;
+      } else {
+        std::printf("error: %s\n", report.status().ToString().c_str());
         ok = false;
       }
     } else if (statement == ".shutdown") {
