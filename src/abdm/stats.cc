@@ -1,0 +1,19 @@
+#include "abdm/stats.h"
+
+namespace mlds::abdm {
+
+std::string_view EstimateSourceToString(EstimateSource source) {
+  switch (source) {
+    case EstimateSource::kNone:
+      return "none";
+    case EstimateSource::kDirectory:
+      return "directory";
+    case EstimateSource::kHistogram:
+      return "histogram";
+    case EstimateSource::kHeuristic:
+      return "heuristic";
+  }
+  return "none";
+}
+
+}  // namespace mlds::abdm

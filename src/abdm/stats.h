@@ -4,10 +4,29 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "abdm/query.h"
 
 namespace mlds::abdm {
+
+/// Where a cardinality estimate came from. The planner stamps the source
+/// onto the plan node it produced so EXPLAIN can render estimate
+/// provenance (`[directory]`, `[histogram]`, `[heuristic]`).
+enum class EstimateSource {
+  kNone = 0,    // no estimate attached (structural nodes)
+  kDirectory,   // exact bucket count read off the keyword directory
+  kHistogram,   // interpolated from an equi-depth histogram
+  kHeuristic,   // fallback (live-record count, fixed selectivity)
+};
+
+std::string_view EstimateSourceToString(EstimateSource source);
+
+/// A cardinality estimate together with its provenance.
+struct CardinalityEstimate {
+  size_t rows = 0;
+  EstimateSource source = EstimateSource::kHeuristic;
+};
 
 /// Read-only statistics a keyword directory exposes to the query planner.
 ///
@@ -53,6 +72,28 @@ class DirectoryStats {
   /// 0 (the default, and always the value in write-through mode)
   /// reproduces the pool-unaware cost model exactly.
   virtual double cached_fraction() const { return 0.0; }
+
+  /// EstimateMatches plus provenance. The default wraps EstimateMatches
+  /// (an exact directory bucket count) and falls back to a heuristic
+  /// live-record estimate, so existing implementations and synthetic
+  /// test statistics get sensible sources for free. Implementations with
+  /// histograms override this to answer from them when the directory
+  /// cannot (e.g. stale buckets skipped, or range predicates estimated
+  /// without walking value buckets).
+  virtual std::optional<CardinalityEstimate> EstimateWithSource(
+      const Predicate& pred) const {
+    if (auto n = EstimateMatches(pred); n.has_value()) {
+      return CardinalityEstimate{*n, EstimateSource::kDirectory};
+    }
+    return std::nullopt;
+  }
+
+  /// Number of distinct values of `attr` among live records, or nullopt
+  /// when unknown (attribute not indexed / no statistics kept). Join
+  /// cardinality estimation divides by it.
+  virtual std::optional<size_t> DistinctValues(std::string_view) const {
+    return std::nullopt;
+  }
 };
 
 }  // namespace mlds::abdm

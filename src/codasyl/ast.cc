@@ -68,6 +68,7 @@ std::string_view StatementKind(const Statement& statement) {
     std::string_view operator()(const EraseStatement& s) {
       return s.all ? "ERASE ALL" : "ERASE";
     }
+    std::string_view operator()(const WalkStatement&) { return "WALK"; }
   };
   return std::visit(Visitor{}, statement);
 }
@@ -145,6 +146,9 @@ std::string ToString(const Statement& statement) {
     }
     std::string operator()(const EraseStatement& s) {
       return std::string(s.all ? "ERASE ALL " : "ERASE ") + s.record;
+    }
+    std::string operator()(const WalkStatement& s) {
+      return "WALK " + Join(s.sets, " THEN ");
     }
   };
   return std::visit(Visitor{}, statement);

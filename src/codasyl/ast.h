@@ -141,13 +141,25 @@ struct EraseStatement {
   bool all = false;
 };
 
+/// WALK set_1 THEN set_2 ... — a multi-level set traversal fused into
+/// JOIN plans: each level joins the set's owner file with its member
+/// file in ONE RETRIEVE-COMMON kernel request instead of one FIND per
+/// owner occurrence. Levels must chain: the member type of set_i is the
+/// owner type of set_{i+1}. The result is the member records of the
+/// last set reachable through the whole chain (each enriched with the
+/// riding-along owner keywords); currency is left untouched.
+struct WalkStatement {
+  std::vector<std::string> sets;
+};
+
 /// One CODASYL-DML statement.
 using Statement =
     std::variant<MoveStatement, FindAnyStatement, FindCurrentStatement,
                  FindDuplicateStatement, FindPositionalStatement,
                  FindOwnerStatement, FindWithinCurrentStatement, GetStatement,
                  StoreStatement, ConnectStatement, DisconnectStatement,
-                 ReconnectStatement, ModifyStatement, EraseStatement>;
+                 ReconnectStatement, ModifyStatement, EraseStatement,
+                 WalkStatement>;
 
 /// The statement's leading keyword(s), e.g. "FIND ANY", "CONNECT".
 std::string_view StatementKind(const Statement& statement);

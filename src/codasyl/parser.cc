@@ -232,6 +232,16 @@ class Parser {
       MLDS_ASSIGN_OR_RETURN(s.sets, ParseNameList("set type"));
       return Statement(std::move(s));
     }
+    if (ConsumeKeyword("WALK")) {
+      WalkStatement s;
+      MLDS_ASSIGN_OR_RETURN(std::string first, ExpectName("set type"));
+      s.sets.push_back(std::move(first));
+      while (ConsumeKeyword("THEN")) {
+        MLDS_ASSIGN_OR_RETURN(std::string next, ExpectName("set type"));
+        s.sets.push_back(std::move(next));
+      }
+      return Statement(std::move(s));
+    }
     if (ConsumeKeyword("MODIFY")) return ParseModify();
     if (ConsumeKeyword("ERASE")) {
       EraseStatement s;

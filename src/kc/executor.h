@@ -93,6 +93,12 @@ class KernelExecutor {
   /// Storage-integrity counters (summed over backends for MBDS).
   /// All-zero for executors without storage.
   virtual kds::IntegrityCounters IntegrityStats() const { return {}; }
+
+  /// Statistics & join subsystem counters — histogram builds, adaptive
+  /// re-plans, join strategy counts (summed over backends for MBDS,
+  /// plus the controller's own distributed joins). All-zero for
+  /// executors without storage.
+  virtual kds::StatisticsCounters StatisticsStats() const { return {}; }
 };
 
 /// KernelExecutor over a single kds::Engine (does not own it).
@@ -123,6 +129,9 @@ class EngineExecutor : public KernelExecutor {
   }
   kds::IntegrityCounters IntegrityStats() const override {
     return engine_->integrity_stats();
+  }
+  kds::StatisticsCounters StatisticsStats() const override {
+    return engine_->statistics_stats();
   }
 
  private:
@@ -160,6 +169,9 @@ class MbdsExecutor : public KernelExecutor {
   }
   kds::IntegrityCounters IntegrityStats() const override {
     return controller_->IntegrityStats();
+  }
+  kds::StatisticsCounters StatisticsStats() const override {
+    return controller_->StatisticsStats();
   }
 
   KernelHealth Health() const override {

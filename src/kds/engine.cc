@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "kds/join.h"
+#include "kds/planner.h"
 #include "kds/snapshot.h"
 #include "kds/wal.h"
 
@@ -338,6 +340,7 @@ void Engine::RestoreFromDisk() {
                                &integrity_);
     std::unique_ptr<FileStore> store;
     std::vector<std::string> secondary;
+    std::optional<FileStore::Meta> stats_meta;
     if (!file.ok()) {
       broken = file.status();
     } else {
@@ -349,6 +352,7 @@ void Engine::RestoreFromDisk() {
         store = std::make_unique<FileStore>(
             meta->descriptor, meta->block_capacity, &pool_, std::move(*file));
         broken = store->LoadFromPages();
+        if (broken.ok()) stats_meta = std::move(*meta);
       }
     }
     if (!broken.ok()) {
@@ -369,6 +373,10 @@ void Engine::RestoreFromDisk() {
     for (const std::string& attr : secondary) {
       (void)store->BuildSecondaryIndex(attr, nullptr);
     }
+    // Statistics restore comes after the secondary rebuild (which bumps
+    // the epoch): persisted histograms adopt their persisted epoch and
+    // skip the per-record rebuild cost.
+    if (stats_meta.has_value()) store->RestoreStatistics(*stats_meta);
     std::string name = store->name();
     restored_unclaimed_.insert(name);
     files_.emplace(std::move(name), std::move(store));
@@ -650,6 +658,35 @@ IntegrityCounters Engine::integrity_stats() const {
                          ? c.io_errors_real - c.io_errors_injected
                          : 0;
   return c;
+}
+
+uint64_t Engine::EstimateQuery(const abdm::Query& query, std::string_view attr,
+                               std::optional<size_t>* distinct) const {
+  uint64_t est = 0;
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  // Route is non-const only because callers usually go on to mutate the
+  // stores; estimation reads the directory statistics under shared locks.
+  auto* self = const_cast<Engine*>(this);
+  for (FileStore* store : self->Route(query)) {
+    std::shared_lock<std::shared_mutex> file_lock(store->mutex());
+    est += store->Plan(query).est_rows;
+    if (distinct != nullptr) {
+      if (auto d = store->DistinctValues(attr); d.has_value()) {
+        *distinct = distinct->value_or(0) + *d;
+      }
+    }
+  }
+  return est;
+}
+
+StatisticsCounters Engine::statistics_stats() const {
+  StatisticsCounters s = stats_counters_.Snapshot();
+  std::shared_lock<std::shared_mutex> map_lock(map_mutex_);
+  for (const auto& [name, store] : files_) {
+    std::shared_lock<std::shared_mutex> file_lock(store->mutex());
+    s.histogram_builds += store->statistics().builds();
+  }
+  return s;
 }
 
 const abdm::FileDescriptor* Engine::FindDescriptor(
@@ -995,6 +1032,30 @@ Result<Response> Engine::ExecuteRetrieve(const abdl::RetrieveRequest& req) {
 Result<Response> Engine::ExecuteRetrieveCommon(
     const abdl::RetrieveCommonRequest& req) {
   Response resp;
+  // Pre-execution side estimates (planner statistics, no
+  // materialization) drive the join strategy choice; the join
+  // attributes' distinct counts feed the output-cardinality estimate.
+  JoinInputs inputs;
+  inputs.left_attribute = req.left_attribute;
+  inputs.right_attribute = req.right_attribute;
+  inputs.targets.reserve(req.targets.size());
+  for (const auto& target : req.targets) {
+    inputs.targets.push_back(target.attribute);
+  }
+  auto estimate_side = [&](const abdm::Query& query, const std::string& attr,
+                           uint64_t* est, std::optional<size_t>* distinct) {
+    for (FileStore* store : Route(query)) {
+      *est += store->Plan(query).est_rows;
+      if (auto d = store->DistinctValues(attr); d.has_value()) {
+        *distinct = distinct->value_or(0) + *d;
+      }
+    }
+  };
+  estimate_side(req.left_query, req.left_attribute, &inputs.est_left,
+                &inputs.left_distinct);
+  estimate_side(req.right_query, req.right_attribute, &inputs.est_right,
+                &inputs.right_distinct);
+
   std::vector<Record> left, right;
   std::vector<PlanNode> left_plans, right_plans;
   for (FileStore* store : Route(req.left_query)) {
@@ -1013,41 +1074,34 @@ Result<Response> Engine::ExecuteRetrieveCommon(
     for (auto& [id, record] : rows) right.push_back(std::move(record));
     if (req.explain) right_plans.push_back(std::move(plan));
   }
-  // Hash the right side by join value, then probe with the left.
-  std::map<Value, std::vector<const Record*>> right_by_value;
-  for (const Record& r : right) {
-    Value v = r.GetOrNull(req.right_attribute);
-    if (!v.is_null()) right_by_value[std::move(v)].push_back(&r);
+  inputs.left = &left;
+  inputs.right = &right;
+  JoinOutcome joined = ExecuteJoin(inputs);
+  if (joined.replanned) {
+    stats_counters_.replans.fetch_add(1, std::memory_order_relaxed);
   }
-  for (const Record& l : left) {
-    Value v = l.GetOrNull(req.left_attribute);
-    if (v.is_null()) continue;
-    auto it = right_by_value.find(v);
-    if (it == right_by_value.end()) continue;
-    for (const Record* r : it->second) {
-      Record merged = l;
-      for (const auto& kw : r->keywords()) {
-        if (!merged.Has(kw.attribute)) merged.Set(kw.attribute, kw.value);
-      }
-      if (!req.targets.empty()) {
-        Record projected;
-        for (const auto& target : req.targets) {
-          projected.Set(target.attribute, merged.GetOrNull(target.attribute));
-        }
-        merged = std::move(projected);
-      }
-      resp.records.push_back(std::move(merged));
-    }
-  }
+  auto& strategy_counter = joined.strategy == JoinStrategy::kMerge
+                               ? stats_counters_.merge_joins
+                               : stats_counters_.hash_joins;
+  strategy_counter.fetch_add(1, std::memory_order_relaxed);
+  resp.records = std::move(joined.records);
   if (req.explain) {
     PlanNode join;
     join.kind = PlanNodeKind::kJoin;
     join.label = "(" + req.left_attribute + " = " + req.right_attribute + ")";
     join.executed = true;
+    join.join_strategy = joined.strategy;
+    join.replanned = joined.replanned;
     join.children.push_back(MergeFilePlans(std::move(left_plans)));
     join.children.push_back(MergeFilePlans(std::move(right_plans)));
-    join.est_rows = join.SumChildren(&PlanNode::est_rows);
+    join.est_rows = EstimateJoinRows(inputs.est_left, inputs.est_right,
+                                     inputs.left_distinct,
+                                     inputs.right_distinct);
     join.est_blocks = join.SumChildren(&PlanNode::est_blocks);
+    join.est_source = inputs.left_distinct.has_value() &&
+                              inputs.right_distinct.has_value()
+                          ? abdm::EstimateSource::kDirectory
+                          : abdm::EstimateSource::kHeuristic;
     join.actual_rows = resp.records.size();
     join.actual_blocks = join.SumChildren(&PlanNode::actual_blocks);
     resp.plan = std::make_shared<PlanNode>(std::move(join));

@@ -194,6 +194,10 @@ class Engine {
   /// Buffer-pool traffic across every file of this engine.
   PoolCounters pool_stats() const { return pool_.counters(); }
 
+  /// Statistics & join subsystem counters: this engine's join strategy
+  /// and re-plan counts plus histogram builds summed over its files.
+  StatisticsCounters statistics_stats() const;
+
   /// Walks every on-disk page of every file through the checksum verify
   /// (read-only; file locks held shared, so retrievals overlap the
   /// scrub). Memory-mode files report their page count with zero bad
@@ -244,6 +248,15 @@ class Engine {
   void set_latency_ms_per_block(double ms) {
     latency_ms_per_block_.store(ms, std::memory_order_relaxed);
   }
+
+  /// Planner-statistics estimate of how many records `query` selects
+  /// across this engine's files — no record is materialized. When
+  /// `distinct` is non-null, the routed files' distinct counts of `attr`
+  /// are accumulated into it (left untouched when unknown). The MBDS
+  /// controller costs distributed join sides with this before fanning
+  /// out.
+  uint64_t EstimateQuery(const abdm::Query& query, std::string_view attr,
+                         std::optional<size_t>* distinct) const;
 
   /// Live record count in `file` (0 if absent).
   size_t FileSize(std::string_view file) const;
@@ -346,6 +359,9 @@ class Engine {
   FileIo* io_ = nullptr;
   /// Mutable: const scrubs (VerifyIntegrity) still count pages walked.
   mutable AtomicIntegrityCounters integrity_;
+  /// Join strategy / re-plan counters (histogram builds live with each
+  /// FileStore's statistics).
+  AtomicStatisticsCounters stats_counters_;
   /// First locking level: guards the files map's shape. Shared for every
   /// request, exclusive for DDL.
   mutable std::shared_mutex map_mutex_;

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cstring>
 #include <iterator>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -101,6 +102,7 @@ void FileStore::IndexInsert(RecordId id, const abdm::Record& record) {
   for (const auto& kw : record.keywords()) {
     if (!IsIndexedAttribute(kw.attribute)) continue;
     index_[kw.attribute][kw.value].insert(id);
+    MaintainHistogram(kw.attribute, kw.value, /*insert=*/true);
   }
 }
 
@@ -113,6 +115,40 @@ void FileStore::IndexErase(RecordId id, const abdm::Record& record) {
     auto& ids = val_it->second;
     ids.erase(id);
     if (ids.empty()) attr_it->second.erase(val_it);
+    MaintainHistogram(kw.attribute, kw.value, /*insert=*/false);
+  }
+}
+
+void FileStore::MaintainHistogram(const std::string& attr,
+                                  const abdm::Value& value, bool insert) {
+  if (!maintain_stats_) return;
+  AttributeHistogram* h = stats_.Find(attr);
+  if (h != nullptr && !h->Stale()) {
+    if (insert) {
+      h->Add(value);
+    } else {
+      h->Remove(value);
+    }
+    return;
+  }
+  RebuildHistogram(attr);
+}
+
+void FileStore::RebuildHistogram(std::string_view attr) {
+  auto it = index_.find(attr);
+  if (it == index_.end()) return;
+  std::vector<std::pair<abdm::Value, uint64_t>> sorted;
+  sorted.reserve(it->second.size());
+  for (const auto& [value, ids] : it->second) {
+    sorted.emplace_back(value, ids.size());
+  }
+  stats_.Install(std::string(attr), AttributeHistogram::Build(sorted));
+}
+
+void FileStore::RebuildAllHistograms() {
+  for (const auto& [attr, buckets] : index_) {
+    (void)buckets;
+    RebuildHistogram(attr);
   }
 }
 
@@ -349,6 +385,37 @@ std::optional<size_t> FileStore::EstimateMatches(
   size_t total = 0;
   for (auto it = first; it != last; ++it) total += it->second.size();
   return total;
+}
+
+std::optional<abdm::CardinalityEstimate> FileStore::EstimateWithSource(
+    const abdm::Predicate& pred) const {
+  if (pred.value.is_null()) return std::nullopt;
+  if (pred.op == abdm::RelOp::kNe) return std::nullopt;
+  if (!IsIndexedAttribute(pred.attribute)) return std::nullopt;
+  if (pred.op != abdm::RelOp::kEq) {
+    // Range predicate: a fresh histogram answers in O(log buckets)
+    // instead of walking every matching value bucket. Stale histograms
+    // are skipped — the next mutation rebuilds them.
+    const AttributeHistogram* h = stats_.Find(pred.attribute);
+    if (h != nullptr && !h->Stale()) {
+      if (auto est = h->Estimate(pred); est.has_value()) {
+        return abdm::CardinalityEstimate{size_t(*est),
+                                         abdm::EstimateSource::kHistogram};
+      }
+    }
+  }
+  if (auto n = EstimateMatches(pred); n.has_value()) {
+    return abdm::CardinalityEstimate{*n, abdm::EstimateSource::kDirectory};
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> FileStore::DistinctValues(std::string_view attr) const {
+  auto it = index_.find(attr);
+  if (it != index_.end()) return it->second.size();
+  const AttributeHistogram* h = stats_.Find(attr);
+  if (h != nullptr && h->distinct_values() > 0) return h->distinct_values();
+  return std::nullopt;
 }
 
 Status FileStore::ExecuteConjunction(const abdm::Conjunction& conj,
@@ -592,6 +659,10 @@ Result<uint64_t> FileStore::Compact(IoStats* io) {
   pages_ = 0;
   dir_.clear();
   index_.clear();
+  // The rewrite invalidates record ids wholesale: advance the schema
+  // epoch so stale persisted histograms cannot outlive it; the re-insert
+  // loop below rebuilds fresh ones incrementally.
+  stats_.BumpEpoch();
   live_count_ = 0;
   for (auto& [id, rec] : all) {
     MLDS_RETURN_IF_ERROR(Insert(std::move(rec), nullptr).status());
@@ -698,6 +769,11 @@ Status FileStore::BuildSecondaryIndex(std::string_view attr, IoStats* io) {
         if (v.has_value()) index_[name][*v].insert(id);
       },
       io));
+  // A new access path changes what the statistics cover: advance the
+  // epoch (dropping every histogram) and rebuild fresh ones so read-only
+  // workloads after CreateIndex get histogram estimates immediately.
+  stats_.BumpEpoch();
+  RebuildAllHistograms();
   if (file_->on_disk()) MLDS_RETURN_IF_ERROR(file_->SetMeta(EncodeMeta()));
   return Status::OK();
 }
@@ -709,6 +785,10 @@ std::vector<std::string> FileStore::secondary_indexes() const {
 Status FileStore::LoadFromPages() {
   dir_.clear();
   index_.clear();
+  stats_.Clear();
+  // Suppress per-record histogram maintenance for the bulk rebuild;
+  // RestoreStatistics installs the persisted histograms afterwards.
+  maintain_stats_ = false;
   live_count_ = 0;
   fill_frame_ = nullptr;
   fill_count_ = 0;
@@ -733,7 +813,20 @@ Status FileStore::LoadFromPages() {
   }
   // The next insert opens a fresh fill page; a partially filled tail
   // page keeps its records but accepts no more appends.
+  maintain_stats_ = true;
   return Status::OK();
+}
+
+void FileStore::RestoreStatistics(const Meta& meta) {
+  maintain_stats_ = true;  // a failed load leaves suppression on
+  stats_.RestoreEpoch(meta.stats_epoch);
+  for (const Meta::Histogram& h : meta.histograms) {
+    if (h.epoch != meta.stats_epoch) continue;  // built under an old epoch
+    if (!IsIndexedAttribute(h.attr)) continue;
+    auto decoded = AttributeHistogram::Decode(h.encoded);
+    if (!decoded.ok()) continue;  // damaged line: rebuilt on next mutation
+    stats_.Restore(h.attr, std::move(*decoded));
+  }
 }
 
 Status FileStore::Flush(IoStats* io) {
@@ -751,6 +844,18 @@ std::string FileStore::EncodeMeta() const {
   out += "\n";
   for (const auto& attr : secondary_) {
     out += "SECONDARY " + attr + "\n";
+  }
+  out += "STATSEPOCH " + std::to_string(stats_.epoch()) + "\n";
+  // Histogram persistence is best-effort: the metadata blob must fit the
+  // header page, so on small pages histogram lines that would overflow it
+  // are dropped (they rebuild lazily after restart).
+  const size_t budget = file_->on_disk()
+                            ? file_->meta_capacity()
+                            : std::numeric_limits<size_t>::max();
+  for (const auto& [attr, histogram] : stats_.histograms()) {
+    std::string line = "HISTOGRAM " + std::to_string(stats_.epoch()) + " " +
+                       attr + " " + histogram.Encode() + "\n";
+    if (out.size() + line.size() <= budget) out += line;
   }
   return out;
 }
@@ -779,6 +884,38 @@ Result<FileStore::Meta> FileStore::DecodeMeta(const std::string& text) {
       have_define = true;
     } else if (line.rfind("SECONDARY ", 0) == 0) {
       meta.secondary.push_back(line.substr(10));
+    } else if (line.rfind("STATSEPOCH ", 0) == 0) {
+      uint64_t epoch = 0;
+      auto [ptr, ec] = std::from_chars(line.data() + 11,
+                                       line.data() + line.size(), epoch);
+      if (ec != std::errc()) {
+        return Status::ParseError("file_store: bad STATSEPOCH in metadata");
+      }
+      meta.stats_epoch = epoch;
+    } else if (line.rfind("HISTOGRAM ", 0) == 0) {
+      // HISTOGRAM <epoch> <attr> <encoded...>
+      std::string_view rest(line);
+      rest.remove_prefix(10);
+      const size_t epoch_end = rest.find(' ');
+      if (epoch_end == std::string_view::npos) {
+        return Status::ParseError("file_store: bad HISTOGRAM in metadata");
+      }
+      uint64_t epoch = 0;
+      auto [ptr, ec] =
+          std::from_chars(rest.data(), rest.data() + epoch_end, epoch);
+      if (ec != std::errc()) {
+        return Status::ParseError("file_store: bad HISTOGRAM epoch");
+      }
+      rest.remove_prefix(epoch_end + 1);
+      const size_t attr_end = rest.find(' ');
+      if (attr_end == std::string_view::npos || attr_end == 0) {
+        return Status::ParseError("file_store: bad HISTOGRAM attribute");
+      }
+      Meta::Histogram h;
+      h.epoch = epoch;
+      h.attr = std::string(rest.substr(0, attr_end));
+      h.encoded = std::string(rest.substr(attr_end + 1));
+      meta.histograms.push_back(std::move(h));
     } else {
       return Status::ParseError("file_store: unrecognized metadata line '" +
                                 line + "'");

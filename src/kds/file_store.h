@@ -22,6 +22,7 @@
 #include "kds/page.h"
 #include "kds/page_file.h"
 #include "kds/plan.h"
+#include "kds/statistics.h"
 
 namespace mlds::kds {
 
@@ -92,6 +93,15 @@ class FileStore : public abdm::DirectoryStats {
   int records_per_block() const override { return block_capacity_; }
   bool IsSecondaryIndex(std::string_view attr) const override;
   double cached_fraction() const override;
+  /// Estimate with provenance: fresh equi-depth histograms answer range
+  /// predicates in O(log buckets) (`[histogram]`); equality predicates
+  /// and histogram misses fall back to the exact directory bucket walk
+  /// (`[directory]`).
+  std::optional<abdm::CardinalityEstimate> EstimateWithSource(
+      const abdm::Predicate& pred) const override;
+  /// Exact distinct-value count off the directory for indexed
+  /// attributes; histogram estimate otherwise unavailable (nullopt).
+  std::optional<size_t> DistinctValues(std::string_view attr) const override;
 
   /// Appends a record. The record is stored as given; the caller (engine)
   /// is responsible for ensuring the FILE keyword is present. A failed
@@ -180,14 +190,33 @@ class FileStore : public abdm::DirectoryStats {
   BufferPool* pool() { return pool_; }
 
   /// Store metadata blob kept in the page file header: descriptor,
-  /// block capacity, secondary-index set.
+  /// block capacity, secondary-index set, statistics epoch, and the
+  /// per-attribute histograms built under that epoch.
   std::string EncodeMeta() const;
   struct Meta {
     abdm::FileDescriptor descriptor;
     int block_capacity = 0;
     std::vector<std::string> secondary;
+    /// Statistics schema epoch the histograms below were built under.
+    uint64_t stats_epoch = 0;
+    struct Histogram {
+      uint64_t epoch = 0;
+      std::string attr;
+      std::string encoded;
+    };
+    std::vector<Histogram> histograms;
   };
   static Result<Meta> DecodeMeta(const std::string& text);
+
+  /// Adopts persisted statistics after LoadFromPages: the epoch is
+  /// restored and every histogram whose epoch matches it (and whose
+  /// attribute is still indexed) is installed without a rebuild.
+  /// Histograms from an older epoch are discarded — the schema-epoch
+  /// invalidation protocol, mirroring the translation cache.
+  void RestoreStatistics(const Meta& meta);
+
+  /// The per-file statistics set (histograms + epoch + build count).
+  const FileStatistics& statistics() const { return stats_; }
 
  private:
   /// Location of one live record: its page and slot.
@@ -222,6 +251,23 @@ class FileStore : public abdm::DirectoryStats {
 
   void IndexInsert(RecordId id, const abdm::Record& record);
   void IndexErase(RecordId id, const abdm::Record& record);
+
+  /// Incremental histogram maintenance for one keyword, called after the
+  /// directory change was applied. Rebuilds from the directory when the
+  /// attribute's histogram is missing or stale (amortized O(log n)
+  /// rebuilds over n inserts); otherwise applies the delta in O(log
+  /// buckets). Requires the exclusive file lock (all callers are
+  /// mutation paths).
+  void MaintainHistogram(const std::string& attr, const abdm::Value& value,
+                         bool insert);
+
+  /// Rebuilds one attribute's histogram from its sorted directory value
+  /// buckets; counts a build.
+  void RebuildHistogram(std::string_view attr);
+
+  /// Rebuilds every indexed attribute's histogram (post-epoch-bump
+  /// refresh in BuildSecondaryIndex).
+  void RebuildAllHistograms();
 
   /// Appends a serialized record, returning its location. Routes through
   /// the pinned fill page, or an overflow chain for oversized payloads.
@@ -271,6 +317,14 @@ class FileStore : public abdm::DirectoryStats {
 
   /// Non-directory attributes carrying a secondary index.
   std::set<std::string, std::less<>> secondary_;
+
+  /// Per-attribute equi-depth histograms + schema epoch. Mutated only
+  /// under the exclusive file lock (same discipline as index_).
+  FileStatistics stats_;
+  /// False while LoadFromPages bulk-rebuilds the directory: persisted
+  /// histograms are restored afterwards instead of being re-derived
+  /// record by record.
+  bool maintain_stats_ = true;
 
   /// Directory: attribute -> value -> ids holding that keyword. Buckets
   /// are ordered sets so insert/erase stay logarithmic even for huge

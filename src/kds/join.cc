@@ -1,0 +1,136 @@
+#include "kds/join.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "kds/planner.h"
+
+namespace mlds::kds {
+
+namespace {
+
+using abdm::Record;
+using abdm::Value;
+
+/// Combines one matching pair the way the RETRIEVE-COMMON nested loop
+/// always has: left keywords win collisions, then the optional target
+/// projection.
+Record MergeAndProject(const Record& l, const Record& r,
+                       const std::vector<std::string>& targets) {
+  Record merged = l;
+  for (const auto& kw : r.keywords()) {
+    if (!merged.Has(kw.attribute)) merged.Set(kw.attribute, kw.value);
+  }
+  if (!targets.empty()) {
+    Record projected;
+    for (const std::string& target : targets) {
+      projected.Set(target, merged.GetOrNull(target));
+    }
+    merged = std::move(projected);
+  }
+  return merged;
+}
+
+/// Hash strategy: value table on the smaller side, probed by the larger.
+std::vector<std::pair<size_t, size_t>> HashMatches(const JoinInputs& in) {
+  const bool build_left = in.left->size() <= in.right->size();
+  const std::vector<Record>& build = build_left ? *in.left : *in.right;
+  const std::vector<Record>& probe = build_left ? *in.right : *in.left;
+  const std::string& build_attr =
+      build_left ? in.left_attribute : in.right_attribute;
+  const std::string& probe_attr =
+      build_left ? in.right_attribute : in.left_attribute;
+  std::map<Value, std::vector<size_t>> table;
+  for (size_t i = 0; i < build.size(); ++i) {
+    Value v = build[i].GetOrNull(build_attr);
+    if (!v.is_null()) table[std::move(v)].push_back(i);
+  }
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t j = 0; j < probe.size(); ++j) {
+    Value v = probe[j].GetOrNull(probe_attr);
+    if (v.is_null()) continue;
+    auto it = table.find(v);
+    if (it == table.end()) continue;
+    for (size_t i : it->second) {
+      pairs.emplace_back(build_left ? i : j, build_left ? j : i);
+    }
+  }
+  return pairs;
+}
+
+/// Merge strategy: both sides sorted on the join value, equal runs
+/// zipped with their cross products emitted.
+std::vector<std::pair<size_t, size_t>> MergeMatches(const JoinInputs& in) {
+  using Keyed = std::pair<Value, size_t>;
+  auto collect = [](const std::vector<Record>& records,
+                    const std::string& attr) {
+    std::vector<Keyed> keyed;
+    keyed.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      Value v = records[i].GetOrNull(attr);
+      if (!v.is_null()) keyed.emplace_back(std::move(v), i);
+    }
+    std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+      const int c = a.first.Compare(b.first);
+      return c != 0 ? c < 0 : a.second < b.second;
+    });
+    return keyed;
+  };
+  std::vector<Keyed> ls = collect(*in.left, in.left_attribute);
+  std::vector<Keyed> rs = collect(*in.right, in.right_attribute);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    const int c = ls[i].first.Compare(rs[j].first);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      size_t i_end = i + 1;
+      while (i_end < ls.size() && ls[i_end].first == ls[i].first) ++i_end;
+      size_t j_end = j + 1;
+      while (j_end < rs.size() && rs[j_end].first == rs[j].first) ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          pairs.emplace_back(ls[a].second, rs[b].second);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+JoinOutcome ExecuteJoin(const JoinInputs& in) {
+  JoinOutcome out;
+  out.planned = ChooseJoinStrategy(in.est_left, in.est_right);
+  out.strategy = out.planned;
+  const uint64_t actual_left = in.left->size();
+  const uint64_t actual_right = in.right->size();
+  if (EstimateMissed(in.est_left, actual_left) ||
+      EstimateMissed(in.est_right, actual_right)) {
+    // Adaptive re-plan: the remaining subtree (the join itself) is
+    // re-planned against the actual side cardinalities.
+    out.strategy = ChooseJoinStrategy(actual_left, actual_right);
+    out.replanned = true;
+  }
+  std::vector<std::pair<size_t, size_t>> pairs =
+      out.strategy == JoinStrategy::kMerge ? MergeMatches(in)
+                                           : HashMatches(in);
+  // Emit in (left index, right index) order: the strategy never changes
+  // the output bytes.
+  std::sort(pairs.begin(), pairs.end());
+  out.records.reserve(pairs.size());
+  for (const auto& [l, r] : pairs) {
+    out.records.push_back(
+        MergeAndProject((*in.left)[l], (*in.right)[r], in.targets));
+  }
+  return out;
+}
+
+}  // namespace mlds::kds

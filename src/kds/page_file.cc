@@ -282,6 +282,10 @@ Status PageFile::WritePage(uint64_t page, const char* buf) {
   return Status::OK();
 }
 
+size_t PageFile::meta_capacity() const {
+  return page_bytes_ > kHdrMetaOff ? page_bytes_ - kHdrMetaOff : 0;
+}
+
 Status PageFile::SetMeta(std::string meta) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr && kHdrMetaOff + meta.size() > page_bytes_) {

@@ -61,6 +61,10 @@ class PageFile {
   PageFile& operator=(const PageFile&) = delete;
 
   size_t page_bytes() const { return page_bytes_; }
+
+  /// Largest metadata blob SetMeta accepts when on disk: the header-page
+  /// bytes left after the magic and fixed header fields.
+  size_t meta_capacity() const;
   const std::string& path() const { return path_; }
   bool on_disk() const { return file_ != nullptr; }
 

@@ -30,8 +30,26 @@ std::string_view PlanNodeKindName(PlanNodeKind kind) {
   return "?";
 }
 
+std::string_view JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kNone:
+      return "none";
+    case JoinStrategy::kHash:
+      return "hash";
+    case JoinStrategy::kMerge:
+      return "merge";
+  }
+  return "none";
+}
+
 std::string PlanNode::Describe() const {
   std::string out(PlanNodeKindName(kind));
+  if (join_strategy != JoinStrategy::kNone) {
+    out += " [";
+    out += JoinStrategyName(join_strategy);
+    out += ']';
+  }
+  if (replanned) out += " [replanned]";
   if (secondary) out += " [secondary]";
   if (predicate.has_value()) {
     out += ' ';
@@ -45,6 +63,11 @@ std::string PlanNode::Describe() const {
       out += label;
       out += ')';
     }
+  }
+  if (est_source != abdm::EstimateSource::kNone) {
+    out += " [";
+    out += abdm::EstimateSourceToString(est_source);
+    out += ']';
   }
   return out;
 }

@@ -8,8 +8,21 @@
 #include <vector>
 
 #include "abdm/query.h"
+#include "abdm/stats.h"
 
 namespace mlds::kds {
+
+/// Physical strategy of a kJoin node. kNone on non-join nodes (and on
+/// join trees built before the strategy choice ran).
+enum class JoinStrategy {
+  kNone = 0,
+  /// Build a hash table on the smaller side, probe with the larger.
+  kHash,
+  /// Sort both sides on the join attribute and zip them.
+  kMerge,
+};
+
+std::string_view JoinStrategyName(JoinStrategy strategy);
 
 /// Physical plan node kinds. The kernel planner emits the access-path
 /// kinds (index equality/range, full scan, intersect, union); the layers
@@ -76,6 +89,19 @@ struct PlanNode {
   /// non-directory attribute) rather than the primary keyword
   /// directory; rendered as a "[secondary]" marker in EXPLAIN output.
   bool secondary = false;
+
+  /// Where est_rows came from ([directory] / [histogram] / [heuristic]
+  /// in EXPLAIN output; kNone renders nothing — structural nodes whose
+  /// estimates are just child sums).
+  abdm::EstimateSource est_source = abdm::EstimateSource::kNone;
+
+  /// Physical strategy of a kJoin node ([hash] / [merge] in EXPLAIN).
+  JoinStrategy join_strategy = JoinStrategy::kNone;
+
+  /// True when adaptive execution re-planned this node mid-plan — its
+  /// side's actual cardinality missed the estimate by >= 10x and the
+  /// strategy choice was redone ([replanned] in EXPLAIN).
+  bool replanned = false;
 
   /// Planner estimates.
   uint64_t est_rows = 0;

@@ -43,6 +43,25 @@ PlanNode PlanConjunction(const abdm::Conjunction& conj,
 PlanNode PlanQuery(const abdm::Query& query, const abdm::DirectoryStats& stats,
                    std::string_view file);
 
+/// Join strategy choice from the two sides' (estimated or actual) row
+/// counts. Merge pays two sorts but streams with no build table — worth
+/// it only when both sides are large and balanced: min >= 64 rows and
+/// max < 4 * min. Everything else hash-joins, building on the smaller
+/// side. Deterministic so plan goldens can pin the choice.
+JoinStrategy ChooseJoinStrategy(uint64_t left_rows, uint64_t right_rows);
+
+/// Estimated output rows of an equi-join: left * right / max distinct
+/// count of the join attribute (each missing distinct count defaults to
+/// 1 — the all-rows-match worst case).
+uint64_t EstimateJoinRows(uint64_t left_rows, uint64_t right_rows,
+                          std::optional<size_t> left_distinct,
+                          std::optional<size_t> right_distinct);
+
+/// The adaptive re-plan trigger: true when actual and estimate disagree
+/// by >= 10x (and the larger of the two is at least 10, so tiny results
+/// never churn the strategy).
+bool EstimateMissed(uint64_t estimate, uint64_t actual);
+
 }  // namespace mlds::kds
 
 #endif  // MLDS_KDS_PLANNER_H_

@@ -1,0 +1,207 @@
+#ifndef MLDS_KDS_STATISTICS_H_
+#define MLDS_KDS_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "abdm/query.h"
+#include "abdm/value.h"
+#include "common/result.h"
+
+namespace mlds::kds {
+
+/// Counters of the statistics & join subsystem, surfaced through
+/// STATS / `.stats` as the `stats.*` group. Summed over backends by the
+/// MBDS executor the same way the pool counters are.
+struct StatisticsCounters {
+  /// Equi-depth histogram (re)builds — first build, staleness rebuilds,
+  /// and epoch-invalidation rebuilds all count.
+  uint64_t histogram_builds = 0;
+  /// Adaptive re-plans: a join switched strategy or build side after a
+  /// side's actual cardinality missed its estimate by >= 10x.
+  uint64_t replans = 0;
+  /// Joins executed with the hash strategy.
+  uint64_t hash_joins = 0;
+  /// Joins executed with the merge strategy.
+  uint64_t merge_joins = 0;
+
+  StatisticsCounters& operator+=(const StatisticsCounters& o) {
+    histogram_builds += o.histogram_builds;
+    replans += o.replans;
+    hash_joins += o.hash_joins;
+    merge_joins += o.merge_joins;
+    return *this;
+  }
+};
+
+/// Lock-free accumulation form of StatisticsCounters, owned by layers
+/// that count joins while requests run concurrently (Engine, MBDS
+/// controller).
+struct AtomicStatisticsCounters {
+  std::atomic<uint64_t> histogram_builds{0};
+  std::atomic<uint64_t> replans{0};
+  std::atomic<uint64_t> hash_joins{0};
+  std::atomic<uint64_t> merge_joins{0};
+
+  StatisticsCounters Snapshot() const {
+    StatisticsCounters s;
+    s.histogram_builds = histogram_builds.load(std::memory_order_relaxed);
+    s.replans = replans.load(std::memory_order_relaxed);
+    s.hash_joins = hash_joins.load(std::memory_order_relaxed);
+    s.merge_joins = merge_joins.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// An equi-depth histogram over one attribute's live values.
+///
+/// Built from the keyword directory's sorted value buckets, so each
+/// histogram bucket covers a contiguous value range holding roughly
+/// total/kDefaultBuckets rows. Range predicates are then estimated in
+/// O(log buckets) instead of walking every matching value bucket, and the
+/// per-bucket distinct counts give the join cardinality model its
+/// denominators.
+///
+/// Error bound (pinned by planner_test): at build time a range estimate
+/// is off by at most one bucket depth (the rows of the boundary bucket,
+/// <= ceil(N / buckets) + the heaviest single value); incremental
+/// maintenance widens that by at most drift() rows. Staleness triggers a
+/// rebuild on the next mutation once drift exceeds a quarter of the rows
+/// it was built over.
+class AttributeHistogram {
+ public:
+  static constexpr size_t kDefaultBuckets = 32;
+
+  struct Bucket {
+    abdm::Value upper;      ///< Inclusive upper boundary value.
+    uint64_t rows = 0;      ///< Rows in (previous upper, upper].
+    uint64_t distinct = 0;  ///< Distinct values in the same range.
+  };
+
+  AttributeHistogram() = default;
+
+  /// Builds from (value, count) pairs ascending by value — exactly the
+  /// shape of one keyword-directory attribute map. A value bucket is
+  /// never split across histogram buckets, so depth() can exceed
+  /// ceil(N / max_buckets) only by the heaviest value's count.
+  static AttributeHistogram Build(
+      const std::vector<std::pair<abdm::Value, uint64_t>>& sorted,
+      size_t max_buckets = kDefaultBuckets);
+
+  bool empty() const { return buckets_.empty(); }
+  uint64_t total_rows() const { return total_; }
+  uint64_t distinct_values() const { return distinct_; }
+  uint64_t built_rows() const { return built_rows_; }
+  uint64_t drift() const { return drift_; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Maximum rows any bucket held at build time: the histogram's
+  /// resolution, and the build-time error bound of Estimate.
+  uint64_t depth() const { return depth_; }
+
+  /// True once incremental maintenance has drifted far enough from the
+  /// build (drift >= built_rows/4 + 16) that the owner should rebuild.
+  bool Stale() const { return drift_ >= built_rows_ / 4 + 16; }
+
+  /// Incremental maintenance on INSERT / DELETE / UPDATE. Values beyond
+  /// the last boundary extend the last bucket. Each call adds one row of
+  /// drift; distinct counts stay at their build-time values.
+  void Add(const abdm::Value& v);
+  void Remove(const abdm::Value& v);
+
+  /// Estimated matches for an equality or range predicate over this
+  /// attribute, or nullopt for shapes a histogram cannot answer (a !=
+  /// comparison or a null operand). Equality answers rows/distinct of
+  /// the containing bucket; ranges sum whole buckets inside the bound
+  /// plus half of the boundary bucket.
+  std::optional<uint64_t> Estimate(const abdm::Predicate& pred) const;
+
+  /// Single-line serialized form (page-file metadata); value boundaries
+  /// are hex-wrapped ABDL literals so arbitrary string bytes survive the
+  /// line-oriented format. Round-trips through Decode.
+  std::string Encode() const;
+  static Result<AttributeHistogram> Decode(std::string_view text);
+
+ private:
+  /// Index of the bucket whose range contains `v`, or npos when the
+  /// histogram is empty or `v` precedes the lowest value.
+  size_t BucketFor(const abdm::Value& v) const;
+
+  std::vector<Bucket> buckets_;
+  abdm::Value lower_;        ///< Minimum value at build (inclusive).
+  uint64_t total_ = 0;       ///< Live rows covered (maintained).
+  uint64_t distinct_ = 0;    ///< Distinct values at build.
+  uint64_t built_rows_ = 0;  ///< Rows at build time.
+  uint64_t depth_ = 0;       ///< Max bucket rows at build time.
+  uint64_t drift_ = 0;       ///< Adds + removes since build.
+};
+
+/// The per-file statistics set: one histogram per indexed attribute,
+/// versioned by a schema epoch like the translation cache — any change
+/// that invalidates value distributions wholesale (compaction rewrites,
+/// new secondary index, schema redefinition) bumps the epoch and drops
+/// every histogram, so estimates are rebuilt from the post-change
+/// directory instead of drifting silently. Persisted histograms carry
+/// the epoch they were built under; a loader discards mismatches.
+///
+/// Thread safety: none of its own. The owning FileStore mutates it only
+/// under its exclusive file lock (INSERT/DELETE/UPDATE paths) and reads
+/// it under the shared lock, which is exactly the discipline the
+/// directory index itself follows.
+class FileStatistics {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  uint64_t builds() const { return builds_; }
+
+  /// Invalidate: advance the epoch and drop every histogram.
+  void BumpEpoch() {
+    ++epoch_;
+    histograms_.clear();
+  }
+
+  /// Adopt a persisted epoch (page-file metadata load).
+  void RestoreEpoch(uint64_t epoch) { epoch_ = epoch; }
+
+  const AttributeHistogram* Find(std::string_view attr) const {
+    auto it = histograms_.find(attr);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+  AttributeHistogram* Find(std::string_view attr) {
+    auto it = histograms_.find(attr);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  /// Installs a freshly built histogram and counts the build.
+  void Install(std::string attr, AttributeHistogram histogram) {
+    histograms_[std::move(attr)] = std::move(histogram);
+    ++builds_;
+  }
+
+  /// Installs a histogram decoded from persisted metadata (no build
+  /// happened, so none is counted).
+  void Restore(std::string attr, AttributeHistogram histogram) {
+    histograms_[std::move(attr)] = std::move(histogram);
+  }
+
+  void Clear() { histograms_.clear(); }
+
+  const std::map<std::string, AttributeHistogram, std::less<>>& histograms()
+      const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, AttributeHistogram, std::less<>> histograms_;
+  uint64_t epoch_ = 0;
+  uint64_t builds_ = 0;
+};
+
+}  // namespace mlds::kds
+
+#endif  // MLDS_KDS_STATISTICS_H_

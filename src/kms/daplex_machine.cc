@@ -23,6 +23,10 @@ using daplex::FunctionClass;
 using transform::KeyAttribute;
 using transform::SetAttribute;
 
+/// ISA-chain fetches this large lower to one fused RETRIEVE-COMMON join
+/// of the two files instead of a per-key disjunct retrieve.
+constexpr size_t kIsaFusionThreshold = 8;
+
 Predicate EqStr(std::string attribute, std::string_view value) {
   return Predicate{std::move(attribute), RelOp::kEq,
                    Value::String(std::string(value))};
@@ -179,17 +183,46 @@ Status DaplexMachine::AbsorbAncestors(
         next_key[dbkey] = isa->front().AsString();
       }
       if (super_keys.empty()) continue;
-      MLDS_ASSIGN_OR_RETURN(std::vector<Record> records,
-                            FetchByKeys(super, super_keys));
+      // Above the fusion threshold, one RETRIEVE-COMMON joins the whole
+      // supertype file with the current-level file on the ISA keyword —
+      // a single fused JOIN plan instead of a per-key disjunct probe.
+      // The merged records carry both levels' keywords; the merge below
+      // keys on (super key, current-level key) so each view absorbs only
+      // its own entity's pair, and Absorb dedups the riding-along
+      // current-level keywords the view already holds.
+      const bool fused = super_keys.size() >= kIsaFusionThreshold;
+      std::vector<Record> records;
+      if (fused) {
+        abdl::RetrieveCommonRequest req;
+        req.left_query =
+            Query::And({EqStr(std::string(abdm::kFileAttribute), super)});
+        req.left_attribute = KeyAttribute(super);
+        req.right_query =
+            Query::And({EqStr(std::string(abdm::kFileAttribute), current)});
+        req.right_attribute = isa_attr;
+        MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(std::move(req)));
+        records = std::move(resp.records);
+      } else {
+        MLDS_ASSIGN_OR_RETURN(records, FetchByKeys(super, super_keys));
+      }
       std::map<std::string, std::vector<const Record*>> by_key;
       for (const Record& r : records) {
-        by_key[r.GetOrNull(KeyAttribute(super)).ToDisplayString()].push_back(
-            &r);
+        std::string k = r.GetOrNull(KeyAttribute(super)).ToDisplayString();
+        if (fused) {
+          k += '\x1f';
+          k += r.GetOrNull(KeyAttribute(current)).ToDisplayString();
+        }
+        by_key[k].push_back(&r);
       }
       for (auto& [dbkey, view] : *views) {
         auto key_it = next_key.find(dbkey);
         if (key_it == next_key.end()) continue;
-        auto recs_it = by_key.find(key_it->second);
+        std::string lookup = key_it->second;
+        if (fused) {
+          lookup += '\x1f';
+          lookup += level_key[dbkey];
+        }
+        auto recs_it = by_key.find(lookup);
         if (recs_it == by_key.end()) continue;
         for (const Record* r : recs_it->second) {
           view.Absorb(*r);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "codasyl/parser.h"
 #include "transform/abdm_mapping.h"
@@ -140,6 +141,9 @@ Result<DmlResult> DmlMachine::Execute(const codasyl::Statement& statement) {
     }
     Result<DmlResult> operator()(const codasyl::EraseStatement& s) {
       return self->Erase(s);
+    }
+    Result<DmlResult> operator()(const codasyl::WalkStatement& s) {
+      return self->Walk(s);
     }
   };
   auto result = std::visit(Visitor{this}, statement);
@@ -1327,6 +1331,118 @@ Result<DmlResult> DmlMachine::Erase(const codasyl::EraseStatement& s) {
   DmlResult result;
   result.info = "erased " + run_key + " (" + std::to_string(resp.affected) +
                 " kernel record(s))";
+  return result;
+}
+
+/// WALK level fan-out above which the owner side of the fused join is a
+/// full-file scan (page-grouped block fetches) rather than one equality
+/// disjunct per reached key (one scattered block probe each).
+constexpr size_t kWalkProbeLimit = 64;
+
+Result<DmlResult> DmlMachine::Walk(const codasyl::WalkStatement& s) {
+  // Resolve and validate the chain: every level is a member-side set
+  // (the member record carries the owner's dbkey in the set keyword, so
+  // one RETRIEVE-COMMON joins the two files), and the member type of
+  // each set is the owner type of the next.
+  std::vector<const SetType*> chain;
+  chain.reserve(s.sets.size());
+  for (const std::string& name : s.sets) {
+    MLDS_ASSIGN_OR_RETURN(const SetType* set, RequireSet(name));
+    if (set->IsSystemOwned()) {
+      return Status::InvalidArgument(
+          "WALK: set '" + name + "' is SYSTEM-owned; membership is implied "
+          "by the FILE keyword and needs no traversal");
+    }
+    if (IsOwnerSideOneToMany(name)) {
+      return Status::InvalidArgument(
+          "WALK: set '" + name + "' is an owner-side function set; only "
+          "member-side sets lower to a fused JOIN");
+    }
+    if (set->members.size() != 1) {
+      return Status::InvalidArgument(
+          "WALK: set '" + name + "' has " +
+          std::to_string(set->members.size()) +
+          " member types; WALK requires exactly one per level");
+    }
+    if (!chain.empty() && chain.back()->members[0] != set->owner) {
+      return Status::InvalidArgument(
+          "WALK: set '" + name + "' is owned by '" + set->owner +
+          "' but the previous level ends at '" + chain.back()->members[0] +
+          "'");
+    }
+    chain.push_back(set);
+  }
+
+  // One fused RETRIEVE-COMMON per level — the member file joined with
+  // the owner file on (set keyword = owner dbkey) — instead of one FIND
+  // per owner occurrence. The member side is the LEFT side so merged
+  // records keep the member's FILE keyword; riding-along owner keywords
+  // are harmless (attribute names are per-record-type).
+  std::vector<Record> current;
+  std::vector<std::string> reachable;  // owner keys for the next level
+  for (size_t level = 0; level < chain.size(); ++level) {
+    const SetType& set = *chain[level];
+    const std::string& member = set.members[0];
+    abdl::RetrieveCommonRequest req;
+    req.left_query =
+        Query::And({EqStr(std::string(abdm::kFileAttribute), member)});
+    req.left_attribute = SetAttribute(set.name);
+    if (level == 0) {
+      req.right_query =
+          Query::And({EqStr(std::string(abdm::kFileAttribute), set.owner)});
+    } else {
+      if (reachable.empty()) {
+        current.clear();
+        break;
+      }
+      if (reachable.size() > kWalkProbeLimit) {
+        // Wide level: each per-key disjunct costs one scattered block
+        // probe, so past this fan-out a page-grouped scan of the whole
+        // owner file is cheaper. Reachability still prunes, below — the
+        // member side carries the owner dbkey in the set keyword.
+        req.right_query =
+            Query::And({EqStr(std::string(abdm::kFileAttribute), set.owner)});
+      } else {
+        // Sparse level: restrict the owner side to the records reached
+        // so far — one disjunct per key, still a single kernel request.
+        std::vector<Conjunction> disjuncts;
+        disjuncts.reserve(reachable.size());
+        for (const std::string& key : reachable) {
+          disjuncts.push_back(Conjunction{
+              {EqStr(std::string(abdm::kFileAttribute), set.owner),
+               EqStr(KeyAttribute(set.owner), key)}});
+        }
+        req.right_query = Query(std::move(disjuncts));
+      }
+    }
+    req.right_attribute = KeyAttribute(set.owner);
+    MLDS_ASSIGN_OR_RETURN(kds::Response resp, Issue(std::move(req)));
+    current = std::move(resp.records);
+    if (level > 0 && reachable.size() > kWalkProbeLimit) {
+      // The owner side ran unrestricted; drop members whose owner was
+      // never reached so the chain's pruning semantics are unchanged.
+      const std::unordered_set<std::string> reached(reachable.begin(),
+                                                    reachable.end());
+      const std::string set_attr = SetAttribute(set.name);
+      std::erase_if(current, [&](const Record& r) {
+        Value owner_key = r.GetOrNull(set_attr);
+        return !owner_key.is_string() ||
+               reached.count(owner_key.AsString()) == 0;
+      });
+    }
+    std::set<std::string> keys;
+    for (const Record& r : current) {
+      Value key = r.GetOrNull(KeyAttribute(member));
+      if (key.is_string()) keys.insert(key.AsString());
+    }
+    reachable.assign(keys.begin(), keys.end());
+  }
+
+  SortByKey(chain.back()->members[0], &current);
+  DmlResult result;
+  result.info = "walked " + std::to_string(chain.size()) + " set(s): " +
+                std::to_string(current.size()) + " record(s)";
+  result.records = std::move(current);
   return result;
 }
 

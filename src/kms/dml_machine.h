@@ -148,6 +148,7 @@ class DmlMachine {
   Result<DmlResult> Reconnect(const codasyl::ReconnectStatement& s);
   Result<DmlResult> Modify(const codasyl::ModifyStatement& s);
   Result<DmlResult> Erase(const codasyl::EraseStatement& s);
+  Result<DmlResult> Walk(const codasyl::WalkStatement& s);
 
   // --- Shared machinery ---
 

@@ -13,6 +13,8 @@
 
 #include "abdl/parser.h"
 #include "common/strings.h"
+#include "kds/join.h"
+#include "kds/planner.h"
 #include "kds/snapshot.h"
 
 namespace mlds::mbds {
@@ -798,6 +800,25 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
   }
   const size_t p = participants.size();
 
+  // Pre-fan-out side estimates from every participant's planner
+  // statistics: they choose the controller-side join strategy, and the
+  // distinct counts of the join attributes feed the output estimate.
+  kds::JoinInputs join_inputs;
+  join_inputs.left_attribute = request.left_attribute;
+  join_inputs.right_attribute = request.right_attribute;
+  join_inputs.targets.reserve(request.targets.size());
+  for (const auto& target : request.targets) {
+    join_inputs.targets.push_back(target.attribute);
+  }
+  for (size_t i : participants) {
+    std::shared_ptr<kds::Engine> engine = backends_[i]->SnapshotEngine();
+    join_inputs.est_left += engine->EstimateQuery(
+        request.left_query, request.left_attribute, &join_inputs.left_distinct);
+    join_inputs.est_right +=
+        engine->EstimateQuery(request.right_query, request.right_attribute,
+                              &join_inputs.right_distinct);
+  }
+
   // Both sides fan out as one batch of 2p concurrent single-backend
   // retrieves. Simulated time still charges the sides as consecutive
   // parallel phases (each costs its slowest backend), matching the
@@ -867,43 +888,39 @@ Result<ExecutionReport> Controller::ExecuteDistributedJoin(
     return slots.front().status;
   }
 
-  // Hash join at the controller, mirroring the kernel engine's local
-  // RETRIEVE-COMMON semantics.
-  std::map<abdm::Value, std::vector<const abdm::Record*>> right_by_value;
-  for (const abdm::Record& r : right) {
-    abdm::Value v = r.GetOrNull(request.right_attribute);
-    if (!v.is_null()) right_by_value[std::move(v)].push_back(&r);
+  // Join at the controller, mirroring the kernel engine's local
+  // RETRIEVE-COMMON semantics: strategy chosen from the pre-fan-out
+  // estimates, re-planned adaptively when the gathered sides miss them
+  // by >= 10x.
+  join_inputs.left = &left;
+  join_inputs.right = &right;
+  kds::JoinOutcome joined = kds::ExecuteJoin(join_inputs);
+  if (joined.replanned) {
+    stats_counters_.replans.fetch_add(1, std::memory_order_relaxed);
   }
-  for (const abdm::Record& l : left) {
-    abdm::Value v = l.GetOrNull(request.left_attribute);
-    if (v.is_null()) continue;
-    auto it = right_by_value.find(v);
-    if (it == right_by_value.end()) continue;
-    for (const abdm::Record* r : it->second) {
-      abdm::Record joined = l;
-      for (const auto& kw : r->keywords()) {
-        if (!joined.Has(kw.attribute)) joined.Set(kw.attribute, kw.value);
-      }
-      if (!request.targets.empty()) {
-        abdm::Record projected;
-        for (const auto& target : request.targets) {
-          projected.Set(target.attribute, joined.GetOrNull(target.attribute));
-        }
-        joined = std::move(projected);
-      }
-      report.response.records.push_back(std::move(joined));
-    }
-  }
+  auto& strategy_counter = joined.strategy == kds::JoinStrategy::kMerge
+                               ? stats_counters_.merge_joins
+                               : stats_counters_.hash_joins;
+  strategy_counter.fetch_add(1, std::memory_order_relaxed);
+  report.response.records = std::move(joined.records);
   if (request.explain) {
     kds::PlanNode join;
     join.kind = kds::PlanNodeKind::kJoin;
     join.label =
         "(" + request.left_attribute + " = " + request.right_attribute + ")";
     join.executed = true;
+    join.join_strategy = joined.strategy;
+    join.replanned = joined.replanned;
     join.children.push_back(MergeBackendPlans(plan_parts[0]));
     join.children.push_back(MergeBackendPlans(plan_parts[1]));
-    join.est_rows = join.SumChildren(&kds::PlanNode::est_rows);
+    join.est_rows = kds::EstimateJoinRows(
+        join_inputs.est_left, join_inputs.est_right,
+        join_inputs.left_distinct, join_inputs.right_distinct);
     join.est_blocks = join.SumChildren(&kds::PlanNode::est_blocks);
+    join.est_source = join_inputs.left_distinct.has_value() &&
+                              join_inputs.right_distinct.has_value()
+                          ? abdm::EstimateSource::kDirectory
+                          : abdm::EstimateSource::kHeuristic;
     join.actual_rows = report.response.records.size();
     join.actual_blocks = join.SumChildren(&kds::PlanNode::actual_blocks);
     report.response.plan = std::make_shared<kds::PlanNode>(std::move(join));
@@ -1086,6 +1103,14 @@ kds::IntegrityCounters Controller::IntegrityStats() const {
   kds::IntegrityCounters total;
   for (const auto& backend : backends_) {
     total += backend->SnapshotEngine()->integrity_stats();
+  }
+  return total;
+}
+
+kds::StatisticsCounters Controller::StatisticsStats() const {
+  kds::StatisticsCounters total = stats_counters_.Snapshot();
+  for (const auto& backend : backends_) {
+    total += backend->SnapshotEngine()->statistics_stats();
   }
   return total;
 }

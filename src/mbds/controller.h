@@ -312,6 +312,10 @@ class Controller {
   /// Storage-integrity counters summed over every backend's engine.
   kds::IntegrityCounters IntegrityStats() const;
 
+  /// Statistics & join counters: every backend engine's counts plus the
+  /// controller's own distributed-join strategy / re-plan counts.
+  kds::StatisticsCounters StatisticsStats() const;
+
  private:
   /// One backend's share of a fault-tolerant fan-out.
   struct FanoutSlot {
@@ -415,6 +419,8 @@ class Controller {
   std::atomic<uint64_t> request_seq_{0};
   std::atomic<double> total_response_ms_{0.0};
   std::atomic<double> latency_scale_{0.0};
+  /// Controller-side distributed-join strategy / re-plan counters.
+  kds::AtomicStatisticsCounters stats_counters_;
 };
 
 }  // namespace mlds::mbds

@@ -752,6 +752,12 @@ wire::StatsReply MldsServer::BuildStats() const {
   stats.integrity_pages_scrubbed = integrity.pages_scrubbed;
   stats.integrity_files_rebuilt = integrity.files_rebuilt;
   stats.integrity_fsyncs = integrity.fsyncs;
+  const kds::StatisticsCounters statistics =
+      system_->executor()->StatisticsStats();
+  stats.stats_histogram_builds = statistics.histogram_builds;
+  stats.stats_replans = statistics.replans;
+  stats.stats_hash_joins = statistics.hash_joins;
+  stats.stats_merge_joins = statistics.merge_joins;
   stats.health = kfs::SerializeHealth(system_->Health());
   return stats;
 }

@@ -255,6 +255,10 @@ std::string EncodeStatsReply(const StatsReply& stats) {
   writer.PutU64(stats.integrity_pages_scrubbed);
   writer.PutU64(stats.integrity_files_rebuilt);
   writer.PutU64(stats.integrity_fsyncs);
+  writer.PutU64(stats.stats_histogram_builds);
+  writer.PutU64(stats.stats_replans);
+  writer.PutU64(stats.stats_hash_joins);
+  writer.PutU64(stats.stats_merge_joins);
   writer.PutString(stats.health);
   return writer.Take();
 }
@@ -288,6 +292,10 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
       !reader.GetU64(&stats.integrity_pages_scrubbed) ||
       !reader.GetU64(&stats.integrity_files_rebuilt) ||
       !reader.GetU64(&stats.integrity_fsyncs) ||
+      !reader.GetU64(&stats.stats_histogram_builds) ||
+      !reader.GetU64(&stats.stats_replans) ||
+      !reader.GetU64(&stats.stats_hash_joins) ||
+      !reader.GetU64(&stats.stats_merge_joins) ||
       !reader.GetString(&stats.health) || !reader.exhausted()) {
     return Malformed("STATS");
   }
@@ -331,6 +339,11 @@ std::string StatsReply::ToText() const {
   out += "integrity.files_rebuilt " +
          std::to_string(integrity_files_rebuilt) + "\n";
   out += "integrity.fsyncs " + std::to_string(integrity_fsyncs) + "\n";
+  out += "stats.histogram_builds " +
+         std::to_string(stats_histogram_builds) + "\n";
+  out += "stats.replans " + std::to_string(stats_replans) + "\n";
+  out += "stats.hash_joins " + std::to_string(stats_hash_joins) + "\n";
+  out += "stats.merge_joins " + std::to_string(stats_merge_joins) + "\n";
   return out;
 }
 

@@ -140,6 +140,11 @@ struct StatsReply {
   uint64_t integrity_pages_scrubbed = 0;     ///< pages walked by verifies.
   uint64_t integrity_files_rebuilt = 0;      ///< quarantine + rebuild events.
   uint64_t integrity_fsyncs = 0;             ///< durability barriers issued.
+  // --- statistics & join subsystem counters ---
+  uint64_t stats_histogram_builds = 0;  ///< attribute histogram (re)builds.
+  uint64_t stats_replans = 0;           ///< adaptive mid-plan re-plans.
+  uint64_t stats_hash_joins = 0;        ///< joins executed hash-strategy.
+  uint64_t stats_merge_joins = 0;       ///< joins executed merge-strategy.
   std::string health;  ///< kfs::SerializeHealth text.
 
   /// Human-readable rendering ("cache.hits 12\n...") for shells.

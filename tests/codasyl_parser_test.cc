@@ -170,6 +170,20 @@ TEST(CodasylParserTest, EmptyProgramRejected) {
   EXPECT_FALSE(ParseProgram("  \n-- nothing\n").ok());
 }
 
+TEST(CodasylParserTest, WalkChain) {
+  auto s = MustParseAs<WalkStatement>("WALK dept THEN advisor THEN enrolls");
+  ASSERT_EQ(s.sets.size(), 3u);
+  EXPECT_EQ(s.sets[0], "dept");
+  EXPECT_EQ(s.sets[1], "advisor");
+  EXPECT_EQ(s.sets[2], "enrolls");
+  EXPECT_EQ(MustParseAs<WalkStatement>("WALK dept").sets.size(), 1u);
+}
+
+TEST(CodasylParserTest, WalkRejectsMissingSetName) {
+  EXPECT_FALSE(ParseStatement("WALK").ok());
+  EXPECT_FALSE(ParseStatement("WALK dept THEN").ok());
+}
+
 TEST(CodasylParserTest, ToStringRoundTrip) {
   const char* statements[] = {
       "MOVE 'Advanced Database' TO title IN course",
@@ -189,6 +203,8 @@ TEST(CodasylParserTest, ToStringRoundTrip) {
       "MODIFY title, credits IN course",
       "ERASE course",
       "ERASE ALL course",
+      "WALK dept",
+      "WALK dept THEN advisor",
   };
   for (const char* text : statements) {
     auto first = ParseStatement(text);

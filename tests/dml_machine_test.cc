@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "abdl/parser.h"
+#include "daplex/ddl_parser.h"
 #include "kds/engine.h"
+#include "transform/abdm_mapping.h"
+#include "transform/fun_to_net.h"
 #include "university/university.h"
 
 namespace mlds::kms {
@@ -620,6 +623,152 @@ TEST_F(DmlUniversityTest, BatchStoreDuplicateAgainstKernelRejected) {
           ->ExecuteBatch("STORE course (title = ?, semester = ?)", dup)
           .status();
   EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
+// --- WALK: CODASYL set traversal lowered to fused JOIN plans ---
+
+TEST_F(DmlUniversityTest, WalkFusesSetChainIntoJoins) {
+  // dept: department -> faculty, advisor: faculty -> student. Two set
+  // levels lower to exactly two RETRIEVE-COMMON requests — not one
+  // FIND OWNER per visited record.
+  DmlResult walked = Must("WALK dept THEN advisor");
+  EXPECT_EQ(walked.info, "walked 2 set(s): 30 record(s)");
+  ASSERT_EQ(walked.records.size(), 30u);
+  for (const auto& record : walked.records) {
+    EXPECT_EQ(record.GetOrNull("FILE").AsString(), "student");
+    // The student's set keyword names its advisor; the join absorbed
+    // that faculty record, so its key attribute must agree.
+    EXPECT_EQ(record.GetOrNull("advisor").AsString(),
+              record.GetOrNull("faculty").AsString());
+    EXPECT_TRUE(record.Has("frank"));  // absorbed faculty attribute.
+  }
+  const TraceEntry& entry = machine_->trace().back();
+  ASSERT_EQ(entry.abdl.size(), 2u);
+  for (const auto& abdl : entry.abdl) {
+    EXPECT_EQ(abdl.rfind("RETRIEVE-COMMON", 0), 0u) << abdl;
+  }
+}
+
+TEST_F(DmlUniversityTest, WalkSingleLevelAbsorbsOwnerAttributes) {
+  DmlResult walked = Must("WALK dept");
+  EXPECT_EQ(walked.info, "walked 1 set(s): 8 record(s)");
+  ASSERT_EQ(walked.records.size(), 8u);
+  for (const auto& record : walked.records) {
+    EXPECT_EQ(record.GetOrNull("FILE").AsString(), "faculty");
+    EXPECT_FALSE(record.GetOrNull("dname").is_null());  // from department.
+  }
+}
+
+TEST_F(DmlUniversityTest, ExplainWalkShowsFusedJoinPlan) {
+  DmlResult explained = Must("EXPLAIN WALK dept THEN advisor");
+  ASSERT_NE(explained.plan, nullptr);
+  const std::string plan = explained.plan->ToString();
+  EXPECT_NE(plan.find("SEQUENCE"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("JOIN"), std::string::npos) << plan;
+}
+
+TEST_F(DmlUniversityTest, WalkSystemSetRejected) {
+  Status status = Fails("WALK system_person");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SYSTEM-owned"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(DmlUniversityTest, WalkManyToManyTraversesLinkRecords) {
+  // teaching: faculty -> link_1. The link record is a real member-side
+  // set occurrence, so WALK joins link records with their owners.
+  DmlResult walked = Must("WALK teaching");
+  EXPECT_EQ(walked.records.size(), size_t(config_.teaching_links));
+  for (const auto& record : walked.records) {
+    EXPECT_EQ(record.GetOrNull("FILE").AsString(), "link_1");
+  }
+}
+
+TEST(DmlWalkValidationTest, WalkOwnerSideSetRejected) {
+  // A SET OF function without an inverse stays on the owner side: the
+  // member record carries no set keyword, so there is nothing to join.
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY kids : SET OF b; END ENTITY;"
+      "TYPE b IS ENTITY x : INTEGER; END ENTITY;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = transform::TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  kds::Engine engine;
+  kc::EngineExecutor executor(&engine);
+  DmlMachine machine(&mapping->schema, &*mapping, &executor);
+  auto result = machine.ExecuteText("WALK kids");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("owner-side"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(DmlWalkValidationTest, WalkWideLevelPrunesUnreachableOwners) {
+  // Past kWalkProbeLimit reached keys, the owner side of a WALK level
+  // runs as a full-file scan and reachability is enforced by a post-join
+  // filter; members of never-reached owners must still be pruned.
+  auto schema = daplex::ParseFunctionalSchema(
+      "TYPE a IS ENTITY label : STRING(8); END ENTITY;"
+      "TYPE b IS ENTITY in_a : a; END ENTITY;"
+      "TYPE c IS ENTITY in_b : b; END ENTITY;");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto mapping = transform::TransformFunctionalToNetwork(*schema);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  kds::Engine engine;
+  kc::EngineExecutor executor(&engine);
+  auto descriptor = transform::MapNetworkToAbdm(mapping->schema, &*mapping);
+  ASSERT_TRUE(descriptor.ok()) << descriptor.status();
+  ASSERT_TRUE(executor.DefineDatabase(*descriptor).ok());
+
+  auto insert = [&](const std::string& file, const std::string& dbkey,
+                    const std::string& set_attr, const std::string& owner) {
+    abdm::Record r;
+    r.Set(std::string(abdm::kFileAttribute), abdm::Value::String(file));
+    r.Set(file, abdm::Value::String(dbkey));
+    if (!set_attr.empty()) r.Set(set_attr, abdm::Value::String(owner));
+    auto resp = executor.Execute(abdl::InsertRequest{std::move(r)});
+    ASSERT_TRUE(resp.ok()) << resp.status();
+  };
+  // One a; 80 b records (2 with dangling owners, pruned at level 0);
+  // one c per b. 80 reached b keys exceed the per-key probe limit, so
+  // the second level's owner side is the full b file.
+  insert("a", transform::MakeDbKey("a", 1), "", "");
+  constexpr int kB = 80;
+  for (int i = 1; i <= kB; ++i) {
+    const bool dangling = i == 3 || i == 57;
+    insert("b", transform::MakeDbKey("b", i), "in_a",
+           dangling ? transform::MakeDbKey("a", 999)
+                    : transform::MakeDbKey("a", 1));
+  }
+  for (int i = 1; i <= kB; ++i) {
+    insert("c", transform::MakeDbKey("c", i), "in_b",
+           transform::MakeDbKey("b", i));
+  }
+
+  DmlMachine machine(&mapping->schema, &*mapping, &executor);
+  auto result = machine.ExecuteText("WALK in_a THEN in_b");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->records.size(), size_t(kB - 2));
+  for (const abdm::Record& r : result->records) {
+    const std::string owner_key = r.GetOrNull("in_b").AsString();
+    EXPECT_NE(owner_key, transform::MakeDbKey("b", 3));
+    EXPECT_NE(owner_key, transform::MakeDbKey("b", 57));
+  }
+}
+
+TEST_F(DmlUniversityTest, WalkBrokenChainRejected) {
+  // advisor ends at student; dept is owned by department, so the second
+  // level cannot continue from the first.
+  Status status = Fails("WALK advisor THEN dept");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("previous level ends at 'student'"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST_F(DmlUniversityTest, WalkUnknownSetIsNotFound) {
+  Status status = Fails("WALK nothere");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
 }
 
 }  // namespace

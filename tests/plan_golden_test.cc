@@ -8,6 +8,9 @@
 
 #include <string>
 
+#include "abdl/parser.h"
+#include "abdl/request.h"
+#include "kds/engine.h"
 #include "kfs/formatter.h"
 #include "kms/dml_machine.h"
 #include "kms/sql_machine.h"
@@ -63,11 +66,12 @@ TEST_F(SqlPlanGoldenTest, ExplainSelectRendersAnnotatedTree) {
       "----------\n"
       "PROJECT (title)  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
       "  UNION (course)  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
-      "    INTERSECT  est: 2 rows, 1 blocks  actual: 2 rows, 1 blocks\n"
-      "      INDEX EQUALITY [secondary] (dept = 'CS')  est: 2 rows, 1 blocks"
-      "  actual: 2 rows, 0 blocks\n"
-      "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
-      "  actual: 3 rows, 0 blocks\n");
+      "    INTERSECT [directory]  est: 2 rows, 1 blocks"
+      "  actual: 2 rows, 1 blocks\n"
+      "      INDEX EQUALITY [secondary] (dept = 'CS') [directory]"
+      "  est: 2 rows, 1 blocks  actual: 2 rows, 0 blocks\n"
+      "      INDEX EQUALITY (FILE = 'course') [directory]"
+      "  est: 3 rows, 1 blocks  actual: 3 rows, 0 blocks\n");
 }
 
 TEST_F(SqlPlanGoldenTest, PlainSelectCarriesNoPlan) {
@@ -89,18 +93,22 @@ TEST_F(SqlPlanGoldenTest, ExplainUpdateSequencesPerAssignmentPlans) {
       "SEQUENCE (2 requests)  est: 2 rows, 2 blocks"
       "  actual: 2 rows, 2 blocks\n"
       "  UNION (course)  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
-      "    INTERSECT  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
-      "      INDEX EQUALITY [secondary] (title = 'Thermo')  est: 1 rows,"
-      " 1 blocks"
+      "    INTERSECT [directory]  est: 1 rows, 1 blocks"
+      "  actual: 1 rows, 1 blocks\n"
+      "      INDEX EQUALITY [secondary] (title = 'Thermo') [directory]"
+      "  est: 1 rows, 1 blocks"
       "  actual: 1 rows, 0 blocks\n"
-      "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
+      "      INDEX EQUALITY (FILE = 'course') [directory]"
+      "  est: 3 rows, 1 blocks"
       "  actual: 3 rows, 0 blocks\n"
       "  UNION (course)  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
-      "    INTERSECT  est: 1 rows, 1 blocks  actual: 1 rows, 1 blocks\n"
-      "      INDEX EQUALITY [secondary] (title = 'Thermo')  est: 1 rows,"
-      " 1 blocks"
+      "    INTERSECT [directory]  est: 1 rows, 1 blocks"
+      "  actual: 1 rows, 1 blocks\n"
+      "      INDEX EQUALITY [secondary] (title = 'Thermo') [directory]"
+      "  est: 1 rows, 1 blocks"
       "  actual: 1 rows, 0 blocks\n"
-      "      INDEX EQUALITY (FILE = 'course')  est: 3 rows, 1 blocks"
+      "      INDEX EQUALITY (FILE = 'course') [directory]"
+      "  est: 3 rows, 1 blocks"
       "  actual: 3 rows, 0 blocks\n");
 }
 
@@ -142,11 +150,13 @@ TEST_F(DmlPlanGoldenTest, ExplainFindAnyRendersAnnotatedTree) {
       "PROJECT (all attributes) BY student  est: 4 rows, 2 blocks"
       "  actual: 4 rows, 2 blocks\n"
       "  UNION (student)  est: 4 rows, 2 blocks  actual: 4 rows, 2 blocks\n"
-      "    INTERSECT  est: 4 rows, 2 blocks  actual: 4 rows, 2 blocks\n"
+      "    INTERSECT [directory]  est: 4 rows, 2 blocks"
+      "  actual: 4 rows, 2 blocks\n"
       "      INDEX EQUALITY [secondary] (major = 'Computer Science')"
-      "  est: 4 rows,"
+      " [directory]  est: 4 rows,"
       " 2 blocks  actual: 4 rows, 0 blocks\n"
-      "      INDEX EQUALITY (FILE = 'student')  est: 30 rows, 2 blocks"
+      "      INDEX EQUALITY (FILE = 'student') [directory]"
+      "  est: 30 rows, 2 blocks"
       "  actual: 30 rows, 0 blocks\n");
 }
 
@@ -154,6 +164,86 @@ TEST_F(DmlPlanGoldenTest, PlainFindCarriesNoPlan) {
   Must("MOVE 'Computer Science' TO major IN student");
   auto result = Must("FIND ANY student USING major IN student");
   EXPECT_EQ(result.plan, nullptr);
+}
+
+// --- RETRIEVE-COMMON join plans (statistics & join subsystem) ---
+
+class JoinPlanGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    abdm::DatabaseDescriptor db;
+    db.name = "joins";
+    for (const char* name : {"left", "right"}) {
+      abdm::FileDescriptor f;
+      f.name = name;
+      f.attributes = {
+          {"FILE", abdm::ValueKind::kString, 0, true},
+          {"v", abdm::ValueKind::kInteger, 0, true},
+      };
+      db.files.push_back(std::move(f));
+    }
+    ASSERT_TRUE(engine_.DefineDatabase(db).ok());
+  }
+
+  void Fill(const std::string& file, int rows) {
+    for (int i = 0; i < rows; ++i) {
+      auto request = abdl::ParseRequest("INSERT (<FILE, " + file + ">, <v, " +
+                                        std::to_string(i) + ">)");
+      ASSERT_TRUE(request.ok()) << request.status();
+      auto response = engine_.Execute(*request);
+      ASSERT_TRUE(response.ok()) << response.status();
+    }
+  }
+
+  std::string Explain(std::string_view text) {
+    auto request = abdl::ParseRequest(text);
+    EXPECT_TRUE(request.ok()) << text << ": " << request.status();
+    if (!request.ok()) return "";
+    abdl::SetExplain(*request, true);
+    auto response = engine_.Execute(*request);
+    EXPECT_TRUE(response.ok()) << text << ": " << response.status();
+    if (!response.ok() || response->plan == nullptr) return "";
+    return kfs::FormatPlan(*response->plan);
+  }
+
+  kds::Engine engine_;
+};
+
+TEST_F(JoinPlanGoldenTest, SkewedSidesRenderHashJoin) {
+  Fill("left", 5);
+  Fill("right", 8);
+  EXPECT_EQ(
+      Explain("RETRIEVE-COMMON ((FILE = left)) (v) AND ((FILE = right)) (v) "
+              "(v)"),
+      "QUERY PLAN\n"
+      "----------\n"
+      "JOIN [hash] (v = v) [directory]  est: 5 rows, 2 blocks"
+      "  actual: 5 rows, 2 blocks\n"
+      "  UNION (left)  est: 5 rows, 1 blocks  actual: 5 rows, 1 blocks\n"
+      "    INDEX EQUALITY (FILE = 'left') [directory]"
+      "  est: 5 rows, 1 blocks  actual: 5 rows, 1 blocks\n"
+      "  UNION (right)  est: 8 rows, 1 blocks  actual: 8 rows, 1 blocks\n"
+      "    INDEX EQUALITY (FILE = 'right') [directory]"
+      "  est: 8 rows, 1 blocks  actual: 8 rows, 1 blocks\n");
+}
+
+TEST_F(JoinPlanGoldenTest, LargeBalancedSidesRenderMergeJoin) {
+  Fill("left", 80);
+  Fill("right", 100);
+  EXPECT_EQ(
+      Explain("RETRIEVE-COMMON ((FILE = left)) (v) AND ((FILE = right)) (v) "
+              "(v)"),
+      "QUERY PLAN\n"
+      "----------\n"
+      "JOIN [merge] (v = v) [directory]  est: 80 rows, 12 blocks"
+      "  actual: 80 rows, 12 blocks\n"
+      "  UNION (left)  est: 80 rows, 5 blocks  actual: 80 rows, 5 blocks\n"
+      "    INDEX EQUALITY (FILE = 'left') [directory]"
+      "  est: 80 rows, 5 blocks  actual: 80 rows, 5 blocks\n"
+      "  UNION (right)  est: 100 rows, 7 blocks"
+      "  actual: 100 rows, 7 blocks\n"
+      "    INDEX EQUALITY (FILE = 'right') [directory]"
+      "  est: 100 rows, 7 blocks  actual: 100 rows, 7 blocks\n");
 }
 
 TEST(MbdsPlanTest, ExplainMergesPerBackendPlans) {
@@ -226,6 +316,70 @@ TEST(MbdsPlanTest, FacadeExplainsRawAbdl) {
   // INSERT has no access path: the facade refuses to explain it.
   EXPECT_FALSE(
       system.ExplainAbdl("INSERT (<FILE, course>, <title, 'X'>)").ok());
+}
+
+TEST(MbdsPlanTest, DistributedJoinGraftsBackendMergesUnderJoinRoot) {
+  constexpr char kShopDdl[] = R"(
+SCHEMA shop;
+
+CREATE TABLE item (
+  label CHAR(10) NOT NULL,
+  price INTEGER,
+  UNIQUE (label)
+);
+
+CREATE TABLE tag (
+  label CHAR(10) NOT NULL,
+  color CHAR(10)
+);
+)";
+  MldsSystem::Options options;
+  options.use_mbds = true;
+  options.backends = 2;
+  MldsSystem system(options);
+  ASSERT_TRUE(system.LoadRelationalDatabase(kShopDdl).ok());
+  auto session = system.OpenSqlSession("shop");
+  ASSERT_TRUE(session.ok());
+  kms::SqlMachine* machine = *session;
+  for (int i = 0; i < 6; ++i) {
+    auto insert = machine->ExecuteText(
+        "INSERT INTO item (label, price) VALUES ('l" + std::to_string(i) +
+        "', " + std::to_string(10 + i) + ")");
+    ASSERT_TRUE(insert.ok()) << insert.status();
+    auto tag = machine->ExecuteText("INSERT INTO tag (label, color) VALUES ('l" +
+                                    std::to_string(i) + "', 'blue')");
+    ASSERT_TRUE(tag.ok()) << tag.status();
+  }
+
+  auto outcome = machine->ExecuteText(
+      "EXPLAIN SELECT price, color FROM item, tag "
+      "WHERE item.label = tag.label");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->rows.size(), 6u);
+  ASSERT_NE(outcome->plan, nullptr);
+
+  // The controller grafts one BACKEND MERGE subtree per join side under
+  // the JOIN root: the distributed plan shows where each side's records
+  // came from, per backend, with the join executed at the controller.
+  const kds::PlanNode* join = outcome->plan.get();
+  while (join != nullptr && join->kind != kds::PlanNodeKind::kJoin) {
+    join = join->children.empty() ? nullptr : &join->children[0];
+  }
+  ASSERT_NE(join, nullptr) << kfs::FormatPlan(*outcome->plan);
+  EXPECT_TRUE(join->executed);
+  EXPECT_NE(join->join_strategy, kds::JoinStrategy::kNone);
+  ASSERT_EQ(join->children.size(), 2u);
+  for (const kds::PlanNode& side : join->children) {
+    EXPECT_EQ(side.kind, kds::PlanNodeKind::kBackendMerge)
+        << kfs::FormatPlan(*outcome->plan);
+    EXPECT_EQ(side.label, "2 backends");
+    ASSERT_EQ(side.children.size(), 2u);
+  }
+  // The rendered tree names both the strategy and the merge roots.
+  const std::string rendered = kfs::FormatPlan(*outcome->plan);
+  EXPECT_NE(rendered.find("JOIN ["), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("BACKEND MERGE (2 backends)"), std::string::npos)
+      << rendered;
 }
 
 }  // namespace

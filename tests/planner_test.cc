@@ -164,9 +164,10 @@ TEST(PlannerTest, QueryPlanShapeGolden) {
   PlanNode plan = PlanQuery(query, stats, "item");
   EXPECT_EQ(plan.ToString(),
             "UNION (item)  est: 65 rows, 9 blocks  (not executed)\n"
-            "  INDEX EQUALITY (key = 42)  est: 1 rows, 1 blocks"
+            "  INDEX EQUALITY (key = 42) [directory]  est: 1 rows, 1 blocks"
             "  (not executed)\n"
-            "  FULL SCAN  est: 64 rows, 8 blocks  (not executed)\n");
+            "  FULL SCAN [heuristic]  est: 64 rows, 8 blocks"
+            "  (not executed)\n");
 }
 
 // --- Estimate-vs-actual bounds against a real FileStore ---
@@ -193,8 +194,13 @@ Record MakeRecord(int key) {
 }
 
 /// Asserts the documented planner/executor relationships on every
-/// executed node of the tree.
-void CheckBounds(const PlanNode& node, int records_per_block) {
+/// executed node of the tree. Histogram-sourced estimates are
+/// approximate: the documented error bound for an equi-depth histogram
+/// range estimate is the bucket depth at build time plus the drift
+/// absorbed since (Add/Remove adjust one bucket each, so the boundary
+/// bucket the estimate halves is off by at most depth + drift).
+void CheckBounds(const FileStore& store, const PlanNode& node,
+                 int records_per_block) {
   if (node.executed) {
     switch (node.kind) {
       case PlanNodeKind::kFullScan:
@@ -203,15 +209,37 @@ void CheckBounds(const PlanNode& node, int records_per_block) {
         break;
       case PlanNodeKind::kIndexEquality:
       case PlanNodeKind::kIndexRange:
-        // Directory buckets only list live records, so the candidate
-        // estimate is exact for an executed index leaf.
-        EXPECT_EQ(node.actual_rows, node.est_rows) << node.Describe();
+        if (node.est_source == abdm::EstimateSource::kHistogram) {
+          ASSERT_TRUE(node.predicate.has_value()) << node.Describe();
+          const AttributeHistogram* h =
+              store.statistics().Find(node.predicate->attribute);
+          ASSERT_NE(h, nullptr) << node.Describe();
+          const uint64_t bound = h->depth() + h->drift();
+          const uint64_t err = node.actual_rows > node.est_rows
+                                   ? node.actual_rows - node.est_rows
+                                   : node.est_rows - node.actual_rows;
+          EXPECT_LE(err, bound) << node.Describe();
+        } else {
+          // Directory buckets only list live records, so the candidate
+          // estimate is exact for an executed index leaf.
+          EXPECT_EQ(node.actual_rows, node.est_rows) << node.Describe();
+        }
         break;
       case PlanNodeKind::kIntersect: {
-        // Verified matches never exceed the driver's candidate estimate;
-        // block fetches respect both the worst-case budget and the
-        // packing lower bound.
-        EXPECT_LE(node.actual_rows, node.est_rows) << node.Describe();
+        // Verified matches never exceed the driver's candidate estimate
+        // (padded by the histogram error bound when the driver's
+        // estimate is itself approximate); block fetches respect both
+        // the worst-case budget and the packing lower bound.
+        uint64_t row_budget = node.est_rows;
+        if (node.est_source == abdm::EstimateSource::kHistogram &&
+            !node.children.empty() &&
+            node.children.front().predicate.has_value()) {
+          if (const AttributeHistogram* h = store.statistics().Find(
+                  node.children.front().predicate->attribute)) {
+            row_budget += h->depth() + h->drift();
+          }
+        }
+        EXPECT_LE(node.actual_rows, row_budget) << node.Describe();
         EXPECT_LE(node.actual_blocks, node.est_blocks) << node.Describe();
         const uint64_t packed =
             (node.actual_rows + records_per_block - 1) / records_per_block;
@@ -224,7 +252,7 @@ void CheckBounds(const PlanNode& node, int records_per_block) {
     }
   }
   for (const PlanNode& child : node.children) {
-    CheckBounds(child, records_per_block);
+    CheckBounds(store, child, records_per_block);
   }
 }
 
@@ -253,7 +281,7 @@ TEST(PlannerBoundsTest, ActualsStayWithinDocumentedBounds) {
     auto ids = *store.Select(query, &io, &plan);
     EXPECT_TRUE(plan.executed) << plan.ToString();
     EXPECT_EQ(plan.actual_rows, ids.size()) << plan.ToString();
-    CheckBounds(plan, kPerBlock);
+    CheckBounds(store, plan, kPerBlock);
     // The root's actual block count is what the executor charged to io.
     EXPECT_EQ(plan.actual_blocks, io.blocks_read) << plan.ToString();
   }

@@ -40,7 +40,7 @@ else
   # report is the full 1M-row run.
   for bench in bench_range_queries bench_intra_backend bench_fault_recovery \
                bench_server bench_streaming bench_bulk_load \
-               bench_paged_storage; do
+               bench_paged_storage bench_joins; do
     (cd build/bench-smoke && MLDS_STREAM_BENCH_ROWS=8000 MLDS_BULK_RECORDS=20000 \
       "../bench/${bench}" --benchmark_filter='^$')
   done
@@ -71,6 +71,14 @@ else
     exit 1
   fi
   echo "paged storage floor holds"
+
+  # Regression floor for the statistics & join subsystem: the fused WALK
+  # (one RETRIEVE-COMMON join per set level) must beat the per-record
+  # traversal by at least 5x under the bench's disk-latency emulation,
+  # with both paths visiting the same final-level records.
+  grep -q '"fused_speedup_ge_5x": true' build/bench-smoke/BENCH_joins.json \
+    || { echo "fused join floor regression: fused_speedup_ge_5x is not true"; exit 1; }
+  echo "fused join floor holds"
 fi
 
 # Streaming smoke against a given build tree: a server with a tiny
@@ -382,12 +390,14 @@ else
   # race-checked with every injected-fault path (error/stall/crash,
   # deadline abandonment, quarantine catch-up, reintegration hand-off)
   # exercised — the fan-out/cancellation machinery is exactly where a
-  # data race would hide.
+  # data race would hide. StatisticsStress rides along: concurrent
+  # histogram maintenance against concurrent estimate readers is the
+  # statistics subsystem's cross-thread hot path.
   echo "== TSan fault matrix =="
   (cd build-tsan && \
     TSAN_OPTIONS="halt_on_error=1" \
     ctest --output-on-failure -j "${JOBS}" \
-      -R 'BackendFailover|WalRecovery|FailureInjection')
+      -R 'BackendFailover|WalRecovery|FailureInjection|StatisticsStress')
   # Streaming smoke under TSan: the epoll loop thread, the worker pool,
   # and the per-session stream state all touch the write path — race-check
   # the chunked transfer end to end, not just in unit tests.
